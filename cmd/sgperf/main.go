@@ -1,0 +1,135 @@
+// Command sgperf regenerates the SafeGuard paper's performance figures:
+//
+//	sgperf -fig7           SafeGuard vs SECDED baseline (per workload)
+//	sgperf -fig11          SafeGuard vs Chipkill baseline (per workload)
+//	sgperf -fig12          SafeGuard vs SGX-style vs Synergy-style
+//	sgperf -fig13          sensitivity to MAC latency (8..80 cycles)
+//	sgperf -all            everything
+//
+// Budgets: -instr/-warmup set per-core instruction counts, -seeds the
+// averaging runs. -full selects the paper-scale preset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"safeguard/internal/experiments"
+	"safeguard/internal/report"
+	"safeguard/internal/sim"
+)
+
+func main() {
+	var (
+		fig7    = flag.Bool("fig7", false, "run Figure 7 (SafeGuard vs SECDED)")
+		fig11   = flag.Bool("fig11", false, "run Figure 11 (SafeGuard vs Chipkill)")
+		fig12   = flag.Bool("fig12", false, "run Figure 12 (MAC organizations)")
+		fig13   = flag.Bool("fig13", false, "run Figure 13 (MAC latency sweep)")
+		fullsgx = flag.Bool("fullsgx", false, "run the full-SGX (counters+tree) extension")
+		all     = flag.Bool("all", false, "run every performance experiment")
+		full    = flag.Bool("full", false, "paper-scale budgets (slower)")
+		instr   = flag.Int64("instr", 0, "measured instructions per core (override)")
+		warmup  = flag.Int64("warmup", 0, "warm-up instructions per core (override)")
+		seeds   = flag.Int("seeds", 0, "number of seeds to average (override)")
+		wl      = flag.String("workloads", "", "comma-separated workload subset")
+	)
+	flag.Parse()
+	if !(*fig7 || *fig11 || *fig12 || *fig13 || *fullsgx || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.QuickPerf()
+	if *full {
+		cfg = experiments.FullPerf()
+	}
+	if *instr > 0 {
+		cfg.InstrPerCore = *instr
+	}
+	if *warmup > 0 {
+		cfg.WarmupInstr = *warmup
+	}
+	if *seeds > 0 {
+		cfg.Seeds = cfg.Seeds[:0]
+		for s := 1; s <= *seeds; s++ {
+			cfg.Seeds = append(cfg.Seeds, uint64(s))
+		}
+	}
+	if *wl != "" {
+		cfg.Workloads = strings.Split(*wl, ",")
+	}
+
+	if *fig7 || *all {
+		renderPerf("Figure 7: SafeGuard vs SECDED (slowdown per workload; paper avg 0.7%)",
+			experiments.Figure7(cfg), sim.SafeGuard)
+	}
+	if *fig11 || *all {
+		renderPerf("Figure 11: SafeGuard vs Chipkill (slowdown per workload; paper avg 0.7%)",
+			experiments.Figure11(cfg), sim.SafeGuard)
+	}
+	if *fig12 || *all {
+		res := experiments.Figure12(cfg)
+		t := report.NewTable("Figure 12: MAC organizations (slowdown vs baseline; paper: SGX 18.7%, Synergy 7.8%, SafeGuard 0.7%)",
+			"workload", "SafeGuard", "SGX-style", "Synergy-style")
+		for _, row := range res.Rows {
+			t.AddRowStrings(row.Workload,
+				report.Percent(row.Slowdown[sim.SafeGuard]),
+				report.Percent(row.Slowdown[sim.SGXStyle]),
+				report.Percent(row.Slowdown[sim.SynergyStyle]))
+		}
+		t.AddRowStrings("AVERAGE",
+			report.Percent(res.Average(sim.SafeGuard)),
+			report.Percent(res.Average(sim.SGXStyle)),
+			report.Percent(res.Average(sim.SynergyStyle)))
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+	if *fullsgx || *all {
+		c := cfg
+		if len(c.Workloads) == 0 {
+			c.Workloads = []string{"mcf", "omnetpp", "lbm", "gcc", "leela"}
+		}
+		res := experiments.RunSchemes(c, []sim.Scheme{sim.SafeGuard, sim.SGXStyle, sim.SGXFullStyle})
+		t := report.NewTable("Extension: full SGX (MAC + counters + integrity tree), the metadata the paper's comparison excluded",
+			"workload", "SafeGuard", "SGX-style (MAC only)", "SGX-full (counters+tree)")
+		for _, row := range res.Rows {
+			t.AddRowStrings(row.Workload,
+				report.Percent(row.Slowdown[sim.SafeGuard]),
+				report.Percent(row.Slowdown[sim.SGXStyle]),
+				report.Percent(row.Slowdown[sim.SGXFullStyle]))
+		}
+		t.AddRowStrings("AVERAGE",
+			report.Percent(res.Average(sim.SafeGuard)),
+			report.Percent(res.Average(sim.SGXStyle)),
+			report.Percent(res.Average(sim.SGXFullStyle)))
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+	if *fig13 || *all {
+		points := experiments.Figure13(cfg, []int64{8, 16, 40, 80})
+		t := report.NewTable("Figure 13: sensitivity to MAC latency (average slowdown; paper: SafeGuard 5.8% at 80 cycles)",
+			"MAC latency (CPU cycles)", "SafeGuard", "SGX-style", "Synergy-style")
+		for _, p := range points {
+			t.AddRowStrings(fmt.Sprint(p.MACLatencyCPU),
+				report.Percent(p.Average[sim.SafeGuard]),
+				report.Percent(p.Average[sim.SGXStyle]),
+				report.Percent(p.Average[sim.SynergyStyle]))
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+}
+
+func renderPerf(title string, res experiments.PerfResult, scheme sim.Scheme) {
+	t := report.NewTable(title, "workload", "base IPC", "slowdown")
+	for _, row := range res.Rows {
+		t.AddRowStrings(row.Workload, fmt.Sprintf("%.3f", row.BaseIPC), report.Percent(row.Slowdown[scheme]))
+	}
+	worstName, worst := res.Worst(scheme)
+	t.AddRowStrings("AVERAGE", "", report.Percent(res.Average(scheme)))
+	t.AddRowStrings("WORST ("+worstName+")", "", report.Percent(worst))
+	t.Render(os.Stdout)
+	fmt.Println()
+}

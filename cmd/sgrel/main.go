@@ -1,0 +1,117 @@
+// Command sgrel regenerates the SafeGuard paper's reliability results:
+//
+//	sgrel -fig6     7-year lifetime: SECDED vs SafeGuard (± column parity)
+//	sgrel -fig10    7-year lifetime: Chipkill vs SafeGuard-Chipkill (1x/10x FIT)
+//	sgrel -matrix   Table IV resiliency matrix via fault injection
+//	sgrel -escape   empirical MAC-escape rates (iterative vs eager)
+//	sgrel -all      everything
+//
+// -modules sets the Monte-Carlo population (paper: 10M; default 1M).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"safeguard/internal/ecc"
+	"safeguard/internal/experiments"
+	fm "safeguard/internal/faultmodel"
+	"safeguard/internal/faultsim"
+	"safeguard/internal/report"
+)
+
+func main() {
+	var (
+		fig6    = flag.Bool("fig6", false, "run Figure 6")
+		fig10   = flag.Bool("fig10", false, "run Figure 10")
+		matrix  = flag.Bool("matrix", false, "run the Table IV matrix")
+		escape  = flag.Bool("escape", false, "run the MAC-escape measurement")
+		all     = flag.Bool("all", false, "run everything")
+		modules = flag.Int("modules", 1_000_000, "Monte-Carlo module population")
+		seed    = flag.Uint64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+	if !(*fig6 || *fig10 || *matrix || *escape || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := faultsim.Config{Modules: *modules, Years: 7, FITScale: 1, Seed: *seed}
+
+	if *fig6 || *all {
+		rs := experiments.Figure6(cfg)
+		t := report.NewTable(fmt.Sprintf("Figure 6: probability of system failure over 7 years (%d modules; paper: no-parity ~1.25x SECDED, parity ~= SECDED)", *modules),
+			"scheme", "P(fail) by year 1..7", "end-of-life", "vs SECDED")
+		base := rs[0].Probability()
+		for _, r := range rs {
+			t.AddRowStrings(r.Scheme, probSeries(r), fmt.Sprintf("%.6f", r.Probability()),
+				fmt.Sprintf("%.3fx", safeRatio(r.Probability(), base)))
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+	if *fig10 || *all {
+		out := experiments.Figure10(cfg)
+		t := report.NewTable(fmt.Sprintf("Figure 10: Chipkill vs SafeGuard-Chipkill (%d modules; paper: virtually identical at 1x and 10x FIT)", *modules),
+			"FIT scale", "scheme", "P(fail, 7y)")
+		for _, scale := range []float64{1, 10} {
+			for _, r := range out[scale] {
+				t.AddRowStrings(fmt.Sprintf("%.0fx", scale), r.Scheme, fmt.Sprintf("%.6f", r.Probability()))
+			}
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+	if *matrix || *all {
+		m := experiments.Table4(2000, *seed)
+		t := report.NewTable("Table IV: resiliency of SECDED vs SafeGuard (per fault mode)",
+			"fault mode", "SECDED detect", "SECDED correct", "SafeGuard detect", "SafeGuard correct")
+		for _, mode := range fm.Modes {
+			s, g := m["SECDED"][mode], m["SafeGuard"][mode]
+			t.AddRowStrings(mode.String(), mark(s.Detect, s.Silent), mark(s.Correct, 0),
+				mark(g.Detect, g.Silent), mark(g.Correct, 0))
+		}
+		t.Render(os.Stdout)
+		fmt.Println("  (* = sometimes: silent escapes observed)")
+		fmt.Println()
+	}
+	if *escape || *all {
+		t := report.NewTable("MAC-escape exposure: iterative vs eager correction (6-bit MAC so escapes are observable; Section V-C/VII-E)",
+			"policy", "trials", "faulty MAC checks", "escapes", "escape rate")
+		for _, policy := range []ecc.CorrectionPolicy{ecc.Iterative, ecc.History, ecc.Eager} {
+			m := experiments.MeasureEscapes(policy, 6, 20_000, *seed)
+			t.AddRowStrings(policy.String(), fmt.Sprint(m.Trials), fmt.Sprint(m.FaultyMACChecks),
+				fmt.Sprint(m.Escapes), fmt.Sprintf("%.5f", m.Rate()))
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+}
+
+func probSeries(r faultsim.Result) string {
+	s := ""
+	for i, p := range r.ProbabilityByYear() {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.5f", p)
+	}
+	return s
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func mark(ok bool, silent int) string {
+	if ok {
+		return "yes"
+	}
+	if silent > 0 {
+		return "*"
+	}
+	return "no"
+}

@@ -1,0 +1,75 @@
+// Chipkill recovery: walk through Section V of the paper on a live codec.
+// A permanent x4 chip failure is corrected by chip-wise parity under MAC
+// verification; the demo contrasts the three correction policies —
+// iterative search (Figure 9a), history-based, and Eager Correction
+// (Figure 9b) — measuring both the latency currency (MAC checks per read)
+// and the security currency (MAC checks performed against faulty data,
+// each one a 1/2^32 escape opportunity).
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"safeguard"
+	"safeguard/internal/ecc"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(2022, 5))
+	keyed := safeguard.NewRandomMAC(rng)
+
+	fmt.Println("A permanent failure of x4 device #11, observed over 200 reads:")
+	fmt.Println()
+	fmt.Printf("%-10s  %9s  %16s  %22s\n", "policy", "corrected", "MAC checks/read", "faulty-data MAC checks")
+	for _, policy := range []safeguard.CorrectionPolicy{safeguard.Iterative, safeguard.History, safeguard.Eager} {
+		codec := safeguard.NewSafeGuardChipkillPolicy(keyed, policy, safeguard.MACWidthChipkill)
+		var corrected, totalChecks, faultyChecks int
+		const reads = 200
+		for i := 0; i < reads; i++ {
+			var line safeguard.Line
+			for w := range line {
+				line[w] = rng.Uint64()
+			}
+			addr := uint64(i) * 64
+			meta := codec.Encode(line, addr)
+			bad, badMeta := line, meta
+			ecc.InjectChipFaultX4(&bad, &badMeta, 11, rng)
+			res := codec.Decode(bad, badMeta, addr)
+			if res.Status == safeguard.Corrected && res.Line == line {
+				corrected++
+			}
+			totalChecks += res.MACChecks
+			faultyChecks += res.FaultyMACChecks
+		}
+		fmt.Printf("%-10s  %6d/%d  %16.2f  %22d\n",
+			policy, corrected, reads, float64(totalChecks)/reads, faultyChecks)
+	}
+
+	fmt.Println()
+	fmt.Println("Eager Correction reconstructs the remembered chip first and checks only")
+	fmt.Println("the repaired data: one MAC check per read, zero checks against faulty")
+	fmt.Println("data after the first access — closing the Section V-C escape channel.")
+
+	secded, iter, eager := safeguard.Section7EBounds()
+	fmt.Println()
+	fmt.Println("Section VII-E attack-time bounds (one corrupted line per 64ms):")
+	fmt.Printf("  SafeGuard-SECDED, 46-bit MAC:              %.0f years (paper: 1000+)\n", secded)
+	fmt.Printf("  SafeGuard-Chipkill, 32-bit MAC, iterative: %.2f years (paper: ~6 months)\n", iter)
+	fmt.Printf("  SafeGuard-Chipkill, 32-bit MAC, eager:     %.1f years (paper: ~9 years, the 18x factor)\n", eager)
+
+	// Footnote 2: spare lines absorb repeated corrections of lines with
+	// permanent single-bit faults.
+	fmt.Println()
+	codec := safeguard.NewSafeGuardChipkill(keyed)
+	var line safeguard.Line
+	for w := range line {
+		line[w] = rng.Uint64()
+	}
+	meta := codec.Encode(line, 0x9000)
+	stuck := line.FlipBit(321) // a permanently stuck cell
+	first := codec.Decode(stuck, meta, 0x9000)
+	second := codec.Decode(stuck, meta, 0x9000)
+	fmt.Printf("spare lines (footnote 2): first read %v (%d MAC checks), second read %v via spare store (%d MAC checks)\n",
+		first.Status, first.MACChecks, second.Status, second.MACChecks)
+}

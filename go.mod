@@ -1,0 +1,3 @@
+module safeguard
+
+go 1.23

@@ -1,0 +1,189 @@
+// Package analysis implements the closed-form models the SafeGuard paper
+// uses alongside its simulations:
+//
+//   - the birthday-collision analysis of multi-fault accumulation that
+//     justifies line-granularity ECC (Section IV-B);
+//   - the MAC-escape time bounds for breakthrough Row-Hammer attacks under
+//     different MAC widths and correction policies (Sections V-C and
+//     VII-E);
+//   - the DRAM storage-overhead accounting of Table V.
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// ---------------------------------------------------------------------------
+// Section IV-B: birthday analysis of independent single-bit faults
+// ---------------------------------------------------------------------------
+
+// BirthdayModel analyzes independent single-bit faults accumulating over a
+// memory of N cache lines.
+type BirthdayModel struct {
+	// Lines is the number of 64-byte lines in the memory.
+	Lines float64
+}
+
+// NewBirthdayModel builds the model for a memory of the given byte size
+// (the paper's example uses 64GB = 2^30 lines).
+func NewBirthdayModel(memoryBytes uint64) BirthdayModel {
+	return BirthdayModel{Lines: float64(memoryBytes / 64)}
+}
+
+// FaultsForCollision returns the expected number of accumulated single-bit
+// faults before two land in one line: ~sqrt(N) by the birthday bound.
+func (m BirthdayModel) FaultsForCollision() float64 { return math.Sqrt(m.Lines) }
+
+// NextFaultCollisionProbability returns the chance that fault number f+1
+// lands on an already-faulty line: f/N.
+func (m BirthdayModel) NextFaultCollisionProbability(f float64) float64 {
+	return f / m.Lines
+}
+
+// SECDEDSuperiorityProbability returns the probability that word-granular
+// SECDED corrects a two-fault line that SafeGuard's line-granular ECC-1
+// cannot: the two faults must land in different words of the line (7/8)
+// times the collision probability at the sqrt(N) horizon (1/sqrt(N)).
+// For 64GB the paper reports 7/8 * 1/32K = 3.51e-5.
+func (m BirthdayModel) SECDEDSuperiorityProbability() float64 {
+	return (7.0 / 8.0) / math.Sqrt(m.Lines)
+}
+
+// YearsToTwoFaultLine estimates the years until some line holds two
+// independent single-bit faults in *different words*, given a single-bit
+// fault arrival rate per memory (faults/hour). The paper's example: even at
+// 100x the field FIT rate (one fault per ~6 months on 64GB), the two-fault
+// word-distinct case takes ~2,500 years.
+func (m BirthdayModel) YearsToTwoFaultLine(faultsPerHour float64) float64 {
+	faults := m.FaultsForCollision() * 8.0 / 7.0 // collisions that matter
+	hours := faults / faultsPerHour
+	return hours / (24 * 365.25)
+}
+
+// ---------------------------------------------------------------------------
+// Sections V-C and VII-E: MAC escape bounds
+// ---------------------------------------------------------------------------
+
+// EscapeModel bounds how long an adversary (or a permanent fault) needs to
+// slip one corrupted line past an n-bit MAC.
+type EscapeModel struct {
+	// MACBits is the truncated MAC width.
+	MACBits int
+	// ChecksPerFault is how many MAC verifications run against faulty
+	// data per corrupted-line event: 1 under Eager Correction, up to 18
+	// under iterative correction with Chipkill geometry (Section VII-E),
+	// ~66 for SafeGuard-SECDED's full column search.
+	ChecksPerFault float64
+}
+
+// EscapeProbabilityPerFault returns the chance one corrupted-line event
+// escapes: 1 - (1 - 2^-n)^checks ≈ checks / 2^n.
+func (e EscapeModel) EscapeProbabilityPerFault() float64 {
+	p := math.Exp2(-float64(e.MACBits))
+	return 1 - math.Pow(1-p, e.ChecksPerFault)
+}
+
+// ExpectedFaultsToEscape returns the expected number of corrupted-line
+// events before one escapes.
+func (e EscapeModel) ExpectedFaultsToEscape() float64 {
+	return 1 / e.EscapeProbabilityPerFault()
+}
+
+// ExpectedSecondsToEscape returns the expected attack time when the
+// adversary corrupts one line every `faultInterval` seconds (the paper uses
+// the 64ms refresh period).
+func (e EscapeModel) ExpectedSecondsToEscape(faultInterval float64) float64 {
+	return e.ExpectedFaultsToEscape() * faultInterval
+}
+
+// ExpectedYearsToEscape is ExpectedSecondsToEscape in years.
+func (e EscapeModel) ExpectedYearsToEscape(faultInterval float64) float64 {
+	return e.ExpectedSecondsToEscape(faultInterval) / (365.25 * 24 * 3600)
+}
+
+// RefreshPeriodSeconds is the 64ms attack cadence of Section VII-E.
+const RefreshPeriodSeconds = 0.064
+
+// Section7EBounds returns the paper's three headline bounds: SafeGuard-
+// SECDED's 46-bit MAC (>1000 years), SafeGuard-Chipkill with iterative
+// correction (~6 months), and with Eager Correction (~18x longer).
+func Section7EBounds() (secdedYears, chipkillIterativeYears, chipkillEagerYears float64) {
+	secded := EscapeModel{MACBits: 46, ChecksPerFault: 1}
+	iter := EscapeModel{MACBits: 32, ChecksPerFault: 18}
+	eager := EscapeModel{MACBits: 32, ChecksPerFault: 1}
+	return secded.ExpectedYearsToEscape(RefreshPeriodSeconds),
+		iter.ExpectedYearsToEscape(RefreshPeriodSeconds),
+		eager.ExpectedYearsToEscape(RefreshPeriodSeconds)
+}
+
+// PermanentChipFailureEscape models Section V-C: under a permanent chip
+// failure without Eager Correction, *every* memory access checks faulty
+// data. It returns the expected seconds until silent corruption given an
+// access rate per second ("4 billion accesses, less than 1 minute").
+func PermanentChipFailureEscape(macBits int, accessesPerSecond float64) float64 {
+	return math.Exp2(float64(macBits)) / accessesPerSecond
+}
+
+// ---------------------------------------------------------------------------
+// Table V: DRAM storage overheads
+// ---------------------------------------------------------------------------
+
+// StorageRow is one row of Table V.
+type StorageRow struct {
+	BaselineGB         int
+	SGXSynergyUsableGB int
+	SGXSynergyLossGB   int
+	SafeGuardUsableGB  int
+}
+
+// StorageOverheadTable reproduces Table V for the given baseline sizes:
+// SGX-/Synergy-style MAC organizations lose 12.5% of data memory to the
+// MAC (or parity) region; SafeGuard keeps the full capacity.
+func StorageOverheadTable(baselineGB ...int) []StorageRow {
+	rows := make([]StorageRow, len(baselineGB))
+	for i, gb := range baselineGB {
+		loss := gb / 8 // 64-bit MAC per 64-byte line = 12.5%
+		rows[i] = StorageRow{
+			BaselineGB:         gb,
+			SGXSynergyUsableGB: gb - loss,
+			SGXSynergyLossGB:   loss,
+			SafeGuardUsableGB:  gb,
+		}
+	}
+	return rows
+}
+
+// ECCBudget describes how a scheme splits the 64 ECC bits per line.
+type ECCBudget struct {
+	Scheme       string
+	ECC1Bits     int
+	ColumnParity int
+	MACBits      int
+	ChipParity   int
+	RSCheckBits  int
+}
+
+// ECCBudgets returns the per-line ECC bit allocation of every scheme in
+// the paper (Figures 3, 5 and 8).
+func ECCBudgets() []ECCBudget {
+	return []ECCBudget{
+		{Scheme: "SECDED (word granularity)", RSCheckBits: 64},
+		{Scheme: "SafeGuard-SECDED", ECC1Bits: 10, ColumnParity: 8, MACBits: 46},
+		{Scheme: "SafeGuard-SECDED (no parity)", ECC1Bits: 10, MACBits: 54},
+		{Scheme: "Chipkill (RS symbol code)", RSCheckBits: 64},
+		{Scheme: "SafeGuard-Chipkill", MACBits: 32, ChipParity: 32},
+	}
+}
+
+// Total returns the bits a budget consumes; every scheme must tile exactly
+// the 64 ECC bits.
+func (b ECCBudget) Total() int {
+	return b.ECC1Bits + b.ColumnParity + b.MACBits + b.ChipParity + b.RSCheckBits
+}
+
+// String renders the budget.
+func (b ECCBudget) String() string {
+	return fmt.Sprintf("%-30s ECC1=%-2d colparity=%-2d MAC=%-2d chipparity=%-2d code=%-2d total=%d",
+		b.Scheme, b.ECC1Bits, b.ColumnParity, b.MACBits, b.ChipParity, b.RSCheckBits, b.Total())
+}

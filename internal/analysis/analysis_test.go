@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Abs(want) {
+		t.Fatalf("%s = %v, want ~%v", what, got, want)
+	}
+}
+
+func TestBirthdaySection4BNumbers(t *testing.T) {
+	// Paper: 64GB = 2^30 lines; ~32K faults to see a two-fault line; the
+	// probability SECDED beats SafeGuard is 7/8 * 1/32K = 3.51e-5.
+	m := NewBirthdayModel(64 << 30)
+	approx(t, m.Lines, float64(uint64(1)<<30), 0, "lines")
+	approx(t, m.FaultsForCollision(), 32768, 0.01, "faults to collision")
+	approx(t, m.SECDEDSuperiorityProbability(), 3.51e-5, 0.25, "SECDED superiority probability")
+	approx(t, m.NextFaultCollisionProbability(32768), 1.0/32768, 1e-9, "next-fault collision")
+}
+
+func TestBirthdayYearsToTwoFaultLine(t *testing.T) {
+	// Paper: at 100x FIT, one single-bit fault per ~6 months on 64GB;
+	// two word-distinct faults in one line take "approximately 2,500
+	// years". The exact birthday horizon (sqrt(N) * 8/7 faults at one per
+	// six months) is ~18,700 years; the paper's figure appears to carry a
+	// rounding shortcut. Both support the qualitative claim — millennia,
+	// far beyond any system lifetime — which is what we pin here
+	// (EXPERIMENTS.md records the numeric discrepancy).
+	faultsPerHour := 1.0 / (6 * 30 * 24) // one per six months
+	years := NewBirthdayModel(64 << 30).YearsToTwoFaultLine(faultsPerHour)
+	if years < 1000 {
+		t.Fatalf("years to two-fault line = %v, must be millennia", years)
+	}
+}
+
+func TestEscapeModelBasics(t *testing.T) {
+	e := EscapeModel{MACBits: 1, ChecksPerFault: 1}
+	approx(t, e.EscapeProbabilityPerFault(), 0.5, 1e-12, "1-bit escape")
+	approx(t, e.ExpectedFaultsToEscape(), 2, 1e-12, "1-bit expected faults")
+
+	// More checks per fault scale the escape probability ~linearly for
+	// wide MACs.
+	one := EscapeModel{MACBits: 32, ChecksPerFault: 1}
+	eighteen := EscapeModel{MACBits: 32, ChecksPerFault: 18}
+	ratio := eighteen.EscapeProbabilityPerFault() / one.EscapeProbabilityPerFault()
+	approx(t, ratio, 18, 0.01, "18-check amplification")
+}
+
+func TestSection7EBounds(t *testing.T) {
+	secded, iter, eager := Section7EBounds()
+	// 46-bit MAC at one fault per 64ms: 2^46 * 0.064s ≈ 142,700 years —
+	// comfortably the paper's "1000+ years".
+	if secded < 1000 {
+		t.Fatalf("SECDED bound %v years, paper says 1000+", secded)
+	}
+	approx(t, secded, math.Exp2(46)*0.064/(365.25*24*3600), 0.01, "secded years")
+	// 32-bit iterative: ~6 months.
+	if iter < 0.3 || iter > 0.7 {
+		t.Fatalf("iterative bound %v years, paper says ~6 months", iter)
+	}
+	// Eager: 18x longer, ~9 years.
+	approx(t, eager/iter, 18, 0.01, "eager vs iterative factor")
+	if eager < 7 || eager > 11 {
+		t.Fatalf("eager bound %v years, paper says ~9", eager)
+	}
+}
+
+func TestPermanentChipFailureEscape(t *testing.T) {
+	// Section V-C: with every access checking faulty data, a 32-bit MAC
+	// falls in ~4 billion accesses — "less than 1 minute" at ~100M
+	// accesses/s.
+	secs := PermanentChipFailureEscape(32, 100e6)
+	if secs > 60 {
+		t.Fatalf("32-bit MAC survives %v s of permanent-failure checking, paper says <1min", secs)
+	}
+	if secs < 1 {
+		t.Fatalf("unexpectedly fast escape: %v s", secs)
+	}
+}
+
+func TestStorageOverheadTableV(t *testing.T) {
+	rows := StorageOverheadTable(16, 64, 256)
+	want := []StorageRow{
+		{16, 14, 2, 16},
+		{64, 56, 8, 64},
+		{256, 224, 32, 256},
+	}
+	for i, r := range rows {
+		if r != want[i] {
+			t.Fatalf("row %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestECCBudgetsTile64Bits(t *testing.T) {
+	for _, b := range ECCBudgets() {
+		if b.Total() != 64 {
+			t.Fatalf("%s uses %d ECC bits, must tile exactly 64", b.Scheme, b.Total())
+		}
+		if b.String() == "" {
+			t.Fatal("empty render")
+		}
+	}
+}

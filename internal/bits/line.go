@@ -1,0 +1,219 @@
+// Package bits provides the 512-bit cache-line value type and the low-level
+// bit manipulation utilities shared by every ECC, MAC, and DRAM module in the
+// SafeGuard reproduction.
+//
+// Throughout the repository a cache line is 64 bytes (512 bits), matching the
+// granularity at which modern processors interact with DRAM and at which
+// SafeGuard forms its ECC code. A line is stored as eight 64-bit words in
+// little-endian word order: word w holds bits [64*w, 64*w+64).
+package bits
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// LineWords is the number of 64-bit words in a cache line.
+const LineWords = 8
+
+// LineBytes is the size of a cache line in bytes.
+const LineBytes = 64
+
+// LineBits is the size of a cache line in bits.
+const LineBits = 512
+
+// Line is a 64-byte (512-bit) cache line. The zero value is the all-zero
+// line and is ready to use.
+type Line [LineWords]uint64
+
+// LineFromBytes builds a Line from a 64-byte slice. It panics if b is not
+// exactly 64 bytes, since callers always deal in whole cache lines.
+func LineFromBytes(b []byte) Line {
+	if len(b) != LineBytes {
+		panic(fmt.Sprintf("bits: LineFromBytes got %d bytes, want %d", len(b), LineBytes))
+	}
+	var l Line
+	for w := 0; w < LineWords; w++ {
+		l[w] = binary.LittleEndian.Uint64(b[8*w:])
+	}
+	return l
+}
+
+// Bytes returns the line's 64-byte representation.
+func (l Line) Bytes() []byte {
+	b := make([]byte, LineBytes)
+	for w := 0; w < LineWords; w++ {
+		binary.LittleEndian.PutUint64(b[8*w:], l[w])
+	}
+	return b
+}
+
+// Bit returns bit i of the line (0 <= i < 512).
+func (l Line) Bit(i int) uint64 {
+	return (l[i>>6] >> (uint(i) & 63)) & 1
+}
+
+// SetBit returns a copy of the line with bit i set to v (0 or 1).
+func (l Line) SetBit(i int, v uint64) Line {
+	w := i >> 6
+	mask := uint64(1) << (uint(i) & 63)
+	if v&1 == 1 {
+		l[w] |= mask
+	} else {
+		l[w] &^= mask
+	}
+	return l
+}
+
+// FlipBit returns a copy of the line with bit i inverted.
+func (l Line) FlipBit(i int) Line {
+	l[i>>6] ^= uint64(1) << (uint(i) & 63)
+	return l
+}
+
+// FlipBits returns a copy of the line with every listed bit inverted.
+func (l Line) FlipBits(positions ...int) Line {
+	for _, p := range positions {
+		l = l.FlipBit(p)
+	}
+	return l
+}
+
+// XOR returns the bitwise XOR of two lines.
+func (l Line) XOR(o Line) Line {
+	for w := 0; w < LineWords; w++ {
+		l[w] ^= o[w]
+	}
+	return l
+}
+
+// IsZero reports whether every bit of the line is zero.
+func (l Line) IsZero() bool {
+	var acc uint64
+	for _, w := range l {
+		acc |= w
+	}
+	return acc == 0
+}
+
+// Popcount returns the number of set bits in the line.
+func (l Line) Popcount() int {
+	n := 0
+	for _, w := range l {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Word returns 64-bit word w of the line (0 <= w < 8).
+func (l Line) Word(w int) uint64 { return l[w] }
+
+// WithWord returns a copy of the line with word w replaced by v.
+func (l Line) WithWord(w int, v uint64) Line {
+	l[w] = v
+	return l
+}
+
+// String renders the line as sixteen hex digits per word, most significant
+// word last (matching word index order).
+func (l Line) String() string {
+	s := ""
+	for w := 0; w < LineWords; w++ {
+		if w > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%016x", l[w])
+	}
+	return s
+}
+
+// Fold64 XOR-folds the eight words of the line into a single 64-bit value.
+func (l Line) Fold64() uint64 {
+	var acc uint64
+	for _, w := range l {
+		acc ^= w
+	}
+	return acc
+}
+
+// Nibble returns the 4-bit nibble at index i (0 <= i < 128). Nibble i covers
+// line bits [4i, 4i+4). This is the symbol view used by x4 Chipkill devices.
+func (l Line) Nibble(i int) uint8 {
+	return uint8((l[i>>4] >> (uint(i&15) * 4)) & 0xF)
+}
+
+// WithNibble returns a copy of the line with nibble i replaced by v.
+func (l Line) WithNibble(i int, v uint8) Line {
+	w := i >> 4
+	sh := uint(i&15) * 4
+	l[w] = (l[w] &^ (uint64(0xF) << sh)) | (uint64(v&0xF) << sh)
+	return l
+}
+
+// Byte returns byte i of the line (0 <= i < 64). Byte i covers line bits
+// [8i, 8i+8). This is the symbol view used by x8 devices.
+func (l Line) Byte(i int) uint8 {
+	return uint8(l[i>>3] >> (uint(i&7) * 8))
+}
+
+// WithByte returns a copy of the line with byte i replaced by v.
+func (l Line) WithByte(i int, v uint8) Line {
+	w := i >> 3
+	sh := uint(i&7) * 8
+	l[w] = (l[w] &^ (uint64(0xFF) << sh)) | (uint64(v) << sh)
+	return l
+}
+
+// Parity returns the overall (even) parity bit of the line: 1 if the line
+// has an odd number of set bits.
+func (l Line) Parity() uint64 {
+	var acc uint64
+	for _, w := range l {
+		acc ^= w
+	}
+	return uint64(bits.OnesCount64(acc) & 1)
+}
+
+// A note on pin symbols (SafeGuard with SECDED, Section IV-C of the paper).
+//
+// An x8 ECC DIMM transfers a 64-byte line as 8 beats of 64 data bits. DQ pin
+// k (0 <= k < 64) supplies bit k of every beat, so over a whole line pin k
+// supplies the 8-bit "pin symbol" { bit(64*w + k) : w = 0..7 }. A column
+// (pin/bit-line) failure corrupts exactly one pin symbol — the vertical
+// fault pattern of Figure 4. The paper's 8-bit column parity is the XOR of
+// the 64 pin symbols, which lets any single corrupted pin symbol be
+// reconstructed from the other 63 plus the parity.
+
+// PinSymbol returns the 8-bit symbol supplied by DQ pin k (0 <= k < 64):
+// bit w of the result is line bit 64*w + k.
+func (l Line) PinSymbol(k int) uint8 {
+	var s uint8
+	for w := 0; w < LineWords; w++ {
+		s |= uint8((l[w]>>uint(k))&1) << uint(w)
+	}
+	return s
+}
+
+// WithPinSymbol returns a copy of the line with pin k's symbol replaced by s.
+func (l Line) WithPinSymbol(k int, s uint8) Line {
+	mask := uint64(1) << uint(k)
+	for w := 0; w < LineWords; w++ {
+		if (s>>uint(w))&1 == 1 {
+			l[w] |= mask
+		} else {
+			l[w] &^= mask
+		}
+	}
+	return l
+}
+
+// ColumnParity8 returns the XOR of the line's 64 pin symbols. Bit w of the
+// result is the parity of word w of the line.
+func (l Line) ColumnParity8() uint8 {
+	var p uint8
+	for w := 0; w < LineWords; w++ {
+		p |= uint8(bits.OnesCount64(l[w])&1) << uint(w)
+	}
+	return p
+}

@@ -1,0 +1,211 @@
+package bits
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func rngLine(r *rand.Rand) Line {
+	var l Line
+	for w := range l {
+		l[w] = r.Uint64()
+	}
+	return l
+}
+
+func TestLineBytesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 100; i++ {
+		l := rngLine(r)
+		got := LineFromBytes(l.Bytes())
+		if got != l {
+			t.Fatalf("round trip mismatch: %v != %v", got, l)
+		}
+	}
+}
+
+func TestLineFromBytesPanicsOnWrongSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short slice")
+		}
+	}()
+	LineFromBytes(make([]byte, 63))
+}
+
+func TestBitSetGetFlip(t *testing.T) {
+	var l Line
+	for _, i := range []int{0, 1, 63, 64, 100, 255, 256, 511} {
+		l = l.SetBit(i, 1)
+		if l.Bit(i) != 1 {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if l.Popcount() != 8 {
+		t.Fatalf("popcount = %d, want 8", l.Popcount())
+	}
+	l = l.FlipBit(511)
+	if l.Bit(511) != 0 {
+		t.Fatal("flip did not clear bit 511")
+	}
+	l = l.SetBit(100, 0)
+	if l.Bit(100) != 0 {
+		t.Fatal("SetBit(100, 0) did not clear")
+	}
+	if l.Popcount() != 6 {
+		t.Fatalf("popcount = %d, want 6", l.Popcount())
+	}
+}
+
+func TestFlipBitsInvolution(t *testing.T) {
+	f := func(w0, w1, w2, w3, w4, w5, w6, w7 uint64, p0, p1 uint16) bool {
+		l := Line{w0, w1, w2, w3, w4, w5, w6, w7}
+		a, b := int(p0)%LineBits, int(p1)%LineBits
+		if a == b {
+			return l.FlipBits(a, b) == l
+		}
+		return l.FlipBits(a, b).FlipBits(b, a) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORProperties(t *testing.T) {
+	f := func(a0, a1, a2, a3, a4, a5, a6, a7, b0 uint64) bool {
+		a := Line{a0, a1, a2, a3, a4, a5, a6, a7}
+		b := Line{b0, a1 ^ 1, a2, a3, a4, a5, a6, a7}
+		return a.XOR(b).XOR(b) == a && a.XOR(a).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordAccess(t *testing.T) {
+	var l Line
+	l = l.WithWord(3, 0xDEADBEEF)
+	if l.Word(3) != 0xDEADBEEF {
+		t.Fatalf("word 3 = %#x", l.Word(3))
+	}
+	if l.Word(2) != 0 || l.Word(4) != 0 {
+		t.Fatal("neighbour words disturbed")
+	}
+}
+
+func TestNibbleAccess(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	l := rngLine(r)
+	for i := 0; i < 128; i++ {
+		v := uint8(r.Uint64() & 0xF)
+		l2 := l.WithNibble(i, v)
+		if l2.Nibble(i) != v {
+			t.Fatalf("nibble %d = %#x, want %#x", i, l2.Nibble(i), v)
+		}
+		// Only 4 bits may differ.
+		if d := l.XOR(l2).Popcount(); d > 4 {
+			t.Fatalf("WithNibble changed %d bits", d)
+		}
+	}
+	// Nibble i must cover bits [4i, 4i+4).
+	var z Line
+	z = z.WithNibble(5, 0xF)
+	for b := 0; b < LineBits; b++ {
+		want := uint64(0)
+		if b >= 20 && b < 24 {
+			want = 1
+		}
+		if z.Bit(b) != want {
+			t.Fatalf("bit %d = %d after setting nibble 5", b, z.Bit(b))
+		}
+	}
+}
+
+func TestByteAccess(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 6))
+	l := rngLine(r)
+	raw := l.Bytes()
+	for i := 0; i < LineBytes; i++ {
+		if l.Byte(i) != raw[i] {
+			t.Fatalf("Byte(%d) = %#x, want %#x", i, l.Byte(i), raw[i])
+		}
+	}
+	l2 := l.WithByte(17, 0xAB)
+	if l2.Byte(17) != 0xAB {
+		t.Fatal("WithByte failed")
+	}
+	if d := l.XOR(l2).Popcount(); d > 8 {
+		t.Fatalf("WithByte changed %d bits", d)
+	}
+}
+
+func TestPinSymbolRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 8))
+	l := rngLine(r)
+	for k := 0; k < 64; k++ {
+		s := l.PinSymbol(k)
+		if got := l.WithPinSymbol(k, s); got != l {
+			t.Fatalf("pin %d: WithPinSymbol(PinSymbol) changed the line", k)
+		}
+		// Each pin symbol bit w is line bit 64w+k.
+		for w := 0; w < LineWords; w++ {
+			if uint64((s>>uint(w))&1) != l.Bit(64*w+k) {
+				t.Fatalf("pin %d word %d symbol bit mismatch", k, w)
+			}
+		}
+	}
+}
+
+func TestColumnParityReconstructsPin(t *testing.T) {
+	// Core invariant behind SafeGuard's column-failure recovery: stored
+	// parity XOR the parity of the corrupted line equals the XOR
+	// difference of the corrupted pin symbol.
+	r := rand.New(rand.NewPCG(9, 10))
+	for trial := 0; trial < 200; trial++ {
+		l := rngLine(r)
+		parity := l.ColumnParity8()
+		pin := int(r.Uint64() % 64)
+		bad := l.WithPinSymbol(pin, l.PinSymbol(pin)^uint8(1+r.Uint64()%255))
+		// Reconstruct pin's symbol from the other 63 + stored parity.
+		recovered := parity ^ bad.ColumnParity8() ^ bad.PinSymbol(pin)
+		fixed := bad.WithPinSymbol(pin, recovered)
+		if fixed != l {
+			t.Fatalf("trial %d: pin %d not reconstructed", trial, pin)
+		}
+	}
+}
+
+func TestColumnParityIsXOROfPinSymbols(t *testing.T) {
+	f := func(w0, w1, w2, w3, w4, w5, w6, w7 uint64) bool {
+		l := Line{w0, w1, w2, w3, w4, w5, w6, w7}
+		var acc uint8
+		for k := 0; k < 64; k++ {
+			acc ^= l.PinSymbol(k)
+		}
+		return acc == l.ColumnParity8()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFold64AndParity(t *testing.T) {
+	l := Line{}
+	if l.Fold64() != 0 || l.Parity() != 0 {
+		t.Fatal("zero line should fold to zero")
+	}
+	l = l.SetBit(5, 1)
+	if l.Parity() != 1 {
+		t.Fatal("single set bit should give odd parity")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	var l Line
+	l = l.WithWord(0, 0x1)
+	s := l.String()
+	if len(s) != 8*16+7 {
+		t.Fatalf("unexpected String length %d: %q", len(s), s)
+	}
+}

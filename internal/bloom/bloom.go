@@ -1,0 +1,78 @@
+// Package bloom implements a counting Bloom filter, the tracking substrate
+// of the BlockHammer mitigation discussed in Section VIII of the SafeGuard
+// paper (Yağlıkçı et al., HPCA 2021): BlockHammer blacklists rapidly
+// activated DRAM rows using a pair of counting Bloom filters so that no
+// per-row state is needed, then rate-limits activations to blacklisted
+// rows.
+//
+// The filter supports Insert (increment all hashed counters), Estimate
+// (the count-min style minimum over hashed counters — an overestimate,
+// never an underestimate, which is the safety direction BlockHammer needs),
+// and Clear for epoch rotation.
+package bloom
+
+import "fmt"
+
+// Counting is a counting Bloom filter with k hash functions over m
+// counters.
+type Counting struct {
+	counters []uint32
+	k        int
+	seed     uint64
+}
+
+// NewCounting builds a filter with m counters and k hashes. It panics on
+// non-positive sizes, which are compile-time configuration mistakes.
+func NewCounting(m, k int, seed uint64) *Counting {
+	if m <= 0 || k <= 0 {
+		panic(fmt.Sprintf("bloom: invalid geometry m=%d k=%d", m, k))
+	}
+	return &Counting{counters: make([]uint32, m), k: k, seed: seed}
+}
+
+// hash derives the i-th counter index for a key (splitmix64 over key and
+// hash index).
+func (c *Counting) hash(key uint64, i int) int {
+	x := key + uint64(i)*0x9E3779B97F4A7C15 + c.seed
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int(x % uint64(len(c.counters)))
+}
+
+// Insert increments the key's counters and returns the new estimate.
+func (c *Counting) Insert(key uint64) uint32 {
+	est := ^uint32(0)
+	for i := 0; i < c.k; i++ {
+		idx := c.hash(key, i)
+		c.counters[idx]++
+		if c.counters[idx] < est {
+			est = c.counters[idx]
+		}
+	}
+	return est
+}
+
+// Estimate returns the count-min estimate for a key: an upper bound on the
+// number of inserts of this key (collisions only inflate it).
+func (c *Counting) Estimate(key uint64) uint32 {
+	est := ^uint32(0)
+	for i := 0; i < c.k; i++ {
+		if v := c.counters[c.hash(key, i)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Clear zeroes every counter (epoch rotation).
+func (c *Counting) Clear() {
+	for i := range c.counters {
+		c.counters[i] = 0
+	}
+}
+
+// Counters returns the filter size.
+func (c *Counting) Counters() int { return len(c.counters) }

@@ -1,0 +1,94 @@
+package bloom
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestEstimateNeverUnderestimates(t *testing.T) {
+	// The count-min property BlockHammer's safety rests on: the estimate
+	// is always >= the true insert count.
+	c := NewCounting(1024, 4, 1)
+	truth := make(map[uint64]uint32)
+	r := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 20000; i++ {
+		key := r.Uint64N(500)
+		truth[key]++
+		c.Insert(key)
+	}
+	for key, n := range truth {
+		if got := c.Estimate(key); got < n {
+			t.Fatalf("key %d: estimate %d < true count %d", key, got, n)
+		}
+	}
+}
+
+func TestEstimateTightForSparseKeys(t *testing.T) {
+	// With few keys and a large filter, estimates are exact.
+	c := NewCounting(1<<14, 4, 2)
+	for i := 0; i < 100; i++ {
+		c.Insert(42)
+	}
+	c.Insert(99)
+	if got := c.Estimate(42); got != 100 {
+		t.Fatalf("estimate %d, want exactly 100 for a sparse filter", got)
+	}
+	if got := c.Estimate(7); got != 0 {
+		t.Fatalf("absent key estimate %d", got)
+	}
+}
+
+func TestInsertReturnsEstimate(t *testing.T) {
+	c := NewCounting(1<<12, 4, 3)
+	for i := uint32(1); i <= 50; i++ {
+		if got := c.Insert(5); got != i {
+			t.Fatalf("insert %d returned %d", i, got)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := NewCounting(256, 3, 4)
+	for i := 0; i < 10; i++ {
+		c.Insert(uint64(i))
+	}
+	c.Clear()
+	for i := 0; i < 10; i++ {
+		if c.Estimate(uint64(i)) != 0 {
+			t.Fatal("counter survived Clear")
+		}
+	}
+}
+
+func TestCollisionInflationBounded(t *testing.T) {
+	// Heavy multi-key load: estimates inflate but stay within a small
+	// factor for a reasonably sized filter.
+	c := NewCounting(1<<14, 4, 5)
+	r := rand.New(rand.NewPCG(6, 6))
+	const keys = 2000
+	const perKey = 10
+	for k := 0; k < keys; k++ {
+		for i := 0; i < perKey; i++ {
+			c.Insert(uint64(k) * 977)
+		}
+	}
+	inflated := 0
+	for k := 0; k < keys; k++ {
+		if c.Estimate(uint64(k)*977) > perKey*3 {
+			inflated++
+		}
+	}
+	_ = r
+	if frac := float64(inflated) / keys; frac > 0.02 {
+		t.Fatalf("%.1f%% of keys inflated >3x", frac*100)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCounting(0, 4, 0)
+}

@@ -1,0 +1,138 @@
+// Package cpu is the trace-driven out-of-order core model of the paper's
+// Table II configuration: 6-wide dispatch/retire, a 224-entry reorder
+// buffer, and dependence-aware loads. The model captures the first-order
+// behaviour the performance results depend on: memory-level parallelism
+// bounded by the ROB window (independent misses overlap), in-order
+// retirement stalled by the oldest incomplete instruction, and pointer
+// chases serialized on their producer loads — the axis that makes
+// `omnetpp` the paper's most latency-sensitive workload.
+package cpu
+
+import "safeguard/internal/workload"
+
+// MemoryPort is the core's window into the cache hierarchy and memory
+// system. Load begins an access at cycle `at` and must invoke complete
+// exactly once with the data-ready cycle (possibly synchronously for cache
+// hits). Store latency is hidden by the store buffer, but the buffer is
+// finite: Store returns false when the memory system cannot accept another
+// write-allocate miss, and the core must stall dispatch and retry — the
+// backpressure that bounds outstanding traffic.
+type MemoryPort interface {
+	Load(addr uint64, at int64, complete func(done int64))
+	Store(addr uint64, at int64) bool
+}
+
+// InstrSource produces the core's instruction trace.
+type InstrSource interface {
+	Next() workload.Instr
+}
+
+type robEntry struct {
+	done       bool
+	completeAt int64
+	// dep is the producer load a pointer-chase waits on (nil otherwise).
+	dep  *robEntry
+	addr uint64
+}
+
+// Core is one out-of-order core.
+type Core struct {
+	ROBSize int
+	Width   int
+
+	src InstrSource
+	mem MemoryPort
+
+	rob   []*robEntry // FIFO: rob[0] is the head
+	await []*robEntry // dependent loads waiting for their producer
+	// lastLoad is the most recently dispatched load (producer for
+	// pointer-chase dependences); it may already be retired.
+	lastLoad *robEntry
+	// stalledStore holds a store the memory system refused (store-buffer
+	// backpressure); dispatch halts until it is accepted.
+	stalledStore *workload.Instr
+
+	// Retired counts completed instructions.
+	Retired int64
+	// Loads/Stores count dispatched memory operations.
+	Loads, Stores int64
+}
+
+// New builds a core with the Table II parameters (224-entry ROB, 6-wide).
+func New(src InstrSource, mem MemoryPort) *Core {
+	return &Core{ROBSize: 224, Width: 6, src: src, mem: mem}
+}
+
+// Cycle advances the core by one CPU cycle.
+func (c *Core) Cycle(now int64) {
+	// Retire in order, up to Width per cycle.
+	retired := 0
+	for len(c.rob) > 0 && retired < c.Width {
+		h := c.rob[0]
+		if !h.done || h.completeAt > now {
+			break
+		}
+		c.rob = c.rob[1:]
+		c.Retired++
+		retired++
+	}
+
+	// Start dependent loads whose producers have completed.
+	if len(c.await) > 0 {
+		kept := c.await[:0]
+		for _, e := range c.await {
+			if e.dep.done && e.dep.completeAt <= now {
+				e.dep = nil
+				c.startLoad(e, now)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		c.await = kept
+	}
+
+	// Dispatch up to Width new instructions, first retrying a store the
+	// memory system previously refused.
+	for d := 0; d < c.Width && len(c.rob) < c.ROBSize; d++ {
+		var in workload.Instr
+		if c.stalledStore != nil {
+			in = *c.stalledStore
+		} else {
+			in = c.src.Next()
+		}
+		e := &robEntry{}
+		switch {
+		case in.IsLoad:
+			c.Loads++
+			e.addr = in.Addr
+			if in.DependsOnLoad && c.lastLoad != nil && !(c.lastLoad.done && c.lastLoad.completeAt <= now) {
+				e.dep = c.lastLoad
+				c.await = append(c.await, e)
+			} else {
+				c.startLoad(e, now)
+			}
+			c.lastLoad = e
+		case in.IsStore:
+			if !c.mem.Store(in.Addr, now) {
+				st := in
+				c.stalledStore = &st
+				return // stall dispatch until the store buffer drains
+			}
+			c.stalledStore = nil
+			c.Stores++
+			e.done = true
+			e.completeAt = now + 1
+		default:
+			e.done = true
+			e.completeAt = now + 1
+		}
+		c.rob = append(c.rob, e)
+	}
+}
+
+func (c *Core) startLoad(e *robEntry, now int64) {
+	c.mem.Load(e.addr, now, func(done int64) {
+		e.done = true
+		e.completeAt = done
+	})
+}

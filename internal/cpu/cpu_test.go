@@ -1,0 +1,196 @@
+package cpu
+
+import (
+	"testing"
+
+	"safeguard/internal/workload"
+)
+
+// scriptSource feeds a fixed instruction slice, then NOPs.
+type scriptSource struct {
+	instrs []workload.Instr
+	pos    int
+}
+
+func (s *scriptSource) Next() workload.Instr {
+	if s.pos < len(s.instrs) {
+		s.pos++
+		return s.instrs[s.pos-1]
+	}
+	return workload.Instr{}
+}
+
+// fixedMem completes every load after a fixed latency.
+type fixedMem struct {
+	latency int64
+	loads   int
+	stores  int
+}
+
+func (m *fixedMem) Load(addr uint64, at int64, complete func(int64)) {
+	m.loads++
+	complete(at + m.latency)
+}
+
+func (m *fixedMem) Store(addr uint64, at int64) bool { m.stores++; return true }
+
+func run(c *Core, cycles int64) {
+	for now := int64(1); now <= cycles; now++ {
+		c.Cycle(now)
+	}
+}
+
+func TestNonMemIPCReachesWidth(t *testing.T) {
+	c := New(&scriptSource{}, &fixedMem{latency: 1})
+	run(c, 1000)
+	ipc := float64(c.Retired) / 1000
+	if ipc < 5.5 {
+		t.Fatalf("NOP IPC %.2f, want ~6 (width)", ipc)
+	}
+}
+
+func TestLoadLatencyBoundsIPCWhenSerialized(t *testing.T) {
+	// All-dependent loads: every load waits for the previous one, so
+	// throughput ≈ 1 load per latency.
+	instrs := make([]workload.Instr, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		instrs = append(instrs, workload.Instr{IsLoad: true, Addr: uint64(i) * 64, DependsOnLoad: true})
+	}
+	mem := &fixedMem{latency: 50}
+	c := New(&scriptSource{instrs: instrs}, mem)
+	run(c, 10000)
+	// ~10000/50 = 200 loads retired.
+	if c.Retired < 150 || c.Retired > 260 {
+		t.Fatalf("serialized chase retired %d in 10000 cycles with 50-cycle loads", c.Retired)
+	}
+}
+
+func TestIndependentLoadsOverlap(t *testing.T) {
+	// Independent loads exploit the ROB: with a 224-entry window and
+	// 50-cycle loads, many are in flight at once.
+	instrs := make([]workload.Instr, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		instrs = append(instrs, workload.Instr{IsLoad: true, Addr: uint64(i) * 64})
+	}
+	mem := &fixedMem{latency: 50}
+	c := New(&scriptSource{instrs: instrs}, mem)
+	run(c, 2000)
+	serial := int64(2000 / 50)
+	if c.Retired < 20*serial {
+		t.Fatalf("independent loads retired %d, want >> %d (MLP)", c.Retired, serial)
+	}
+}
+
+func TestROBLimitsOutstanding(t *testing.T) {
+	// With a never-completing memory, dispatch must stop at the ROB size.
+	type blackhole struct{ fixedMem }
+	bh := &blackhole{}
+	bhPort := MemoryPort(loadBlocker{&bh.loads})
+	instrs := make([]workload.Instr, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		instrs = append(instrs, workload.Instr{IsLoad: true, Addr: uint64(i) * 64})
+	}
+	c := New(&scriptSource{instrs: instrs}, bhPort)
+	run(c, 1000)
+	if c.Retired != 0 {
+		t.Fatal("nothing should retire with a black-hole memory")
+	}
+	if bh.loads > c.ROBSize {
+		t.Fatalf("%d loads issued, ROB is %d", bh.loads, c.ROBSize)
+	}
+}
+
+// loadBlocker never completes loads.
+type loadBlocker struct{ count *int }
+
+func (b loadBlocker) Load(addr uint64, at int64, complete func(int64)) { *b.count++ }
+func (b loadBlocker) Store(addr uint64, at int64) bool                 { return true }
+
+func TestStoresDoNotBlockRetirement(t *testing.T) {
+	instrs := make([]workload.Instr, 0, 600)
+	for i := 0; i < 600; i++ {
+		instrs = append(instrs, workload.Instr{IsStore: true, Addr: uint64(i) * 64})
+	}
+	mem := &fixedMem{latency: 1000}
+	c := New(&scriptSource{instrs: instrs}, mem)
+	run(c, 300)
+	if c.Retired < 600 {
+		t.Fatalf("stores retired %d/600 in 300 cycles", c.Retired)
+	}
+	if mem.stores != 600 {
+		t.Fatalf("stores seen by memory: %d", mem.stores)
+	}
+}
+
+func TestDependentLoadWaitsForProducer(t *testing.T) {
+	// load A (100 cycles), dependent load B: B must not start before A
+	// completes.
+	var starts []int64
+	mem := &recordingMem{latency: 100, starts: &starts}
+	instrs := []workload.Instr{
+		{IsLoad: true, Addr: 0},
+		{IsLoad: true, Addr: 64, DependsOnLoad: true},
+	}
+	c := New(&scriptSource{instrs: instrs}, mem)
+	run(c, 400)
+	if len(starts) != 2 {
+		t.Fatalf("expected 2 load starts, got %d", len(starts))
+	}
+	if starts[1]-starts[0] < 100 {
+		t.Fatalf("dependent load started %d cycles after producer, want >= 100", starts[1]-starts[0])
+	}
+	if c.Retired < 2 {
+		t.Fatal("loads did not retire")
+	}
+}
+
+type recordingMem struct {
+	latency int64
+	starts  *[]int64
+}
+
+func (m *recordingMem) Load(addr uint64, at int64, complete func(int64)) {
+	*m.starts = append(*m.starts, at)
+	complete(at + m.latency)
+}
+func (m *recordingMem) Store(addr uint64, at int64) bool { return true }
+
+func TestRetirementIsInOrder(t *testing.T) {
+	// A slow load followed by fast NOPs: nothing after the load retires
+	// until it completes.
+	instrs := []workload.Instr{{IsLoad: true, Addr: 0}}
+	for i := 0; i < 100; i++ {
+		instrs = append(instrs, workload.Instr{})
+	}
+	mem := &fixedMem{latency: 200}
+	c := New(&scriptSource{instrs: instrs}, mem)
+	run(c, 150)
+	if c.Retired != 0 {
+		t.Fatalf("retired %d before the head load completed", c.Retired)
+	}
+	run2 := func(from, to int64) {
+		for now := from; now <= to; now++ {
+			c.Cycle(now)
+		}
+	}
+	run2(151, 300)
+	if c.Retired < 100 {
+		t.Fatalf("after the load completed only %d retired", c.Retired)
+	}
+}
+
+func TestCountersTrackMix(t *testing.T) {
+	p, _ := workload.ByName("gcc")
+	gen := workload.NewGenerator(p, 0, 3)
+	mem := &fixedMem{latency: 5}
+	c := New(gen, mem)
+	run(c, 20000)
+	if c.Loads == 0 || c.Stores == 0 {
+		t.Fatal("no memory activity recorded")
+	}
+	loadFrac := float64(c.Loads) / float64(c.Loads+c.Stores)
+	wantFrac := p.LoadFrac / (p.LoadFrac + p.StoreFrac)
+	if loadFrac < wantFrac-0.05 || loadFrac > wantFrac+0.05 {
+		t.Fatalf("load fraction %.3f, want ~%.3f", loadFrac, wantFrac)
+	}
+}

@@ -1,0 +1,91 @@
+// Package crc implements parameterizable CRCs over GF(2) for the Section
+// IV-A ablation of the SafeGuard paper: "We considered using error
+// detection codes such as CRC, however, such codes can be reverse-
+// engineered by an adversary, as they have a predictable parity-based
+// pattern."
+//
+// A CRC is a linear function of the data: crc(a XOR b) = crc(a) XOR crc(b)
+// (for the homogeneous part). An adversary who can flip arbitrary bits —
+// exactly the power Row-Hammer grants — can therefore flip data bits and
+// simultaneously flip the stored CRC bits by the known syndrome of their
+// chosen error pattern, producing a forgery the checker accepts. The test
+// suite and the ecc.CRCDetect codec demonstrate the forgery concretely;
+// the keyed MAC has no such linear structure.
+package crc
+
+import (
+	"fmt"
+
+	"safeguard/internal/bits"
+)
+
+// Poly is a CRC polynomial of up to 54 bits (the metadata budget of the
+// no-parity SafeGuard layout), given without the leading x^width term.
+type Poly struct {
+	width int
+	poly  uint64
+	// table is the byte-at-a-time stepping table.
+	table [256]uint64
+}
+
+// Koopman54 is a 54-bit polynomial for the full metadata-word ablation
+// (arbitrary dense polynomial; detection strength against random errors is
+// near 2^-54 like any good CRC).
+var Koopman54 = New(54, 0x2B5D4F3A91C6E7)
+
+// CRC32C is the Castagnoli polynomial, for cross-checking against known
+// behaviour at a standard width.
+var CRC32C = New(32, 0x1EDC6F41)
+
+// New builds a CRC of the given width (8..54) and polynomial.
+func New(width int, poly uint64) *Poly {
+	if width < 8 || width > 54 {
+		panic(fmt.Sprintf("crc: unsupported width %d", width))
+	}
+	p := &Poly{width: width, poly: poly & ((1 << uint(width)) - 1)}
+	top := uint64(1) << uint(width-1)
+	mask := (uint64(1) << uint(width)) - 1
+	for b := 0; b < 256; b++ {
+		r := uint64(b) << uint(width-8)
+		for i := 0; i < 8; i++ {
+			if r&top != 0 {
+				r = (r << 1) ^ p.poly
+			} else {
+				r <<= 1
+			}
+		}
+		p.table[b] = r & mask
+	}
+	return p
+}
+
+// Width returns the CRC width in bits.
+func (p *Poly) Width() int { return p.width }
+
+// Checksum computes the CRC of a 64-byte line (zero initial value, no
+// final XOR: the pure linear form, which is what the forgery analysis
+// exploits).
+func (p *Poly) Checksum(l bits.Line) uint64 {
+	mask := (uint64(1) << uint(p.width)) - 1
+	var r uint64
+	for i := 0; i < bits.LineBytes; i++ {
+		idx := byte(r>>uint(p.width-8)) ^ l.Byte(i)
+		r = ((r << 8) ^ p.table[idx]) & mask
+	}
+	return r
+}
+
+// Syndrome returns the CRC of an error pattern: by linearity,
+// Checksum(data XOR e) == Checksum(data) XOR Syndrome(e).
+func (p *Poly) Syndrome(errorPattern bits.Line) uint64 {
+	return p.Checksum(errorPattern)
+}
+
+// Forge computes the stored-checksum adjustment for a chosen error pattern:
+// flipping the data by `errorPattern` and XOR-ing the stored CRC with the
+// returned value yields a pair the checker accepts. This is the
+// reverse-engineering attack the paper rejects CRC over — it requires no
+// key because there is none.
+func (p *Poly) Forge(errorPattern bits.Line) uint64 {
+	return p.Syndrome(errorPattern)
+}

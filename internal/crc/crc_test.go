@@ -1,0 +1,115 @@
+package crc
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"safeguard/internal/bits"
+)
+
+func randLine(r *rand.Rand) bits.Line {
+	var l bits.Line
+	for w := range l {
+		l[w] = r.Uint64()
+	}
+	return l
+}
+
+func TestChecksumDeterministicAndWidthBounded(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	for _, p := range []*Poly{Koopman54, CRC32C} {
+		for i := 0; i < 200; i++ {
+			l := randLine(r)
+			c1, c2 := p.Checksum(l), p.Checksum(l)
+			if c1 != c2 {
+				t.Fatal("not deterministic")
+			}
+			if c1 >= 1<<uint(p.Width()) {
+				t.Fatalf("checksum %#x exceeds width %d", c1, p.Width())
+			}
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	// crc(a XOR b) == crc(a) XOR crc(b): the property that makes CRC
+	// forgeable and therefore unsuitable for SafeGuard (Section IV-A).
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 uint64) bool {
+		a := bits.Line{a0, a1, a2, a3, a0 ^ 1, a1, a2, a3}
+		b := bits.Line{b0, b1, b2, b3, b0, b1 ^ 2, b2, b3}
+		return Koopman54.Checksum(a.XOR(b)) == Koopman54.Checksum(a)^Koopman54.Checksum(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsRandomCorruption(t *testing.T) {
+	// Against non-adversarial corruption a CRC is a fine detector.
+	r := rand.New(rand.NewPCG(2, 2))
+	for i := 0; i < 2000; i++ {
+		l := randLine(r)
+		sum := Koopman54.Checksum(l)
+		bad := l
+		n := 1 + r.IntN(20)
+		for j := 0; j < n; j++ {
+			bad = bad.FlipBit(r.IntN(bits.LineBits))
+		}
+		if bad != l && Koopman54.Checksum(bad) == sum {
+			t.Fatalf("random %d-bit corruption escaped the 54-bit CRC", n)
+		}
+	}
+}
+
+func TestForgeryAlwaysSucceeds(t *testing.T) {
+	// The adversarial break: for ANY chosen error pattern, adjusting the
+	// stored CRC by the pattern's syndrome yields an accepted pair. No
+	// search, no luck — pure linear algebra.
+	r := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 500; i++ {
+		data := randLine(r)
+		sum := Koopman54.Checksum(data)
+		var pattern bits.Line
+		n := 1 + r.IntN(64)
+		for j := 0; j < n; j++ {
+			pattern = pattern.FlipBit(r.IntN(bits.LineBits))
+		}
+		attacked := data.XOR(pattern)
+		forgedSum := sum ^ Koopman54.Forge(pattern)
+		if Koopman54.Checksum(attacked) != forgedSum {
+			t.Fatal("forgery failed — CRC linearity broken?")
+		}
+	}
+}
+
+func TestCRC32CKnownBehaviour(t *testing.T) {
+	// Sanity: distinct inputs yield distinct checksums at the expected
+	// rate, and the zero line checks to zero (no init/final XOR form).
+	var zero bits.Line
+	if CRC32C.Checksum(zero) != 0 {
+		t.Fatal("pure-linear CRC of zero must be zero")
+	}
+	r := rand.New(rand.NewPCG(4, 4))
+	seen := make(map[uint64]bool)
+	for i := 0; i < 5000; i++ {
+		c := CRC32C.Checksum(randLine(r))
+		if seen[c] {
+			t.Fatal("unexpected 32-bit collision in 5000 samples")
+		}
+		seen[c] = true
+	}
+}
+
+func TestBadWidthPanics(t *testing.T) {
+	for _, w := range []int{0, 7, 55} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("width %d should panic", w)
+				}
+			}()
+			New(w, 0x3)
+		}()
+	}
+}

@@ -1,0 +1,165 @@
+// Package dimm models the wire-level organization of the two ECC DIMM
+// types in the SafeGuard paper at burst granularity: how a 64-byte cache
+// line plus its 64 ECC-space metadata bits are split across the DIMM's
+// devices and the eight beats of a DDR4 burst (Figures 3 and 8).
+//
+//	x8 (SECDED-family):  9 devices; beat b carries byte c of word b from
+//	                     data device c, and metadata byte b from device 8.
+//	x4 (Chipkill-family): 18 devices; beat b carries nibble c of word b
+//	                     from data device c, metadata nibbles from
+//	                     devices 16 and 17.
+//
+// The package gives the rest of the repository a single ground truth for
+// device geometry: serializing to beats and back is the identity, a device
+// failure corrupts exactly the bits the ecc package's injectors model, and
+// a pin failure is one bit-lane of one device across all beats.
+package dimm
+
+import (
+	"fmt"
+
+	"safeguard/internal/bits"
+)
+
+// Beats per burst (DDR4 BL8).
+const Beats = 8
+
+// Organization selects a module type.
+type Organization int
+
+const (
+	// X8 is the 9-device SECDED-family DIMM.
+	X8 Organization = iota
+	// X4 is the 18-device Chipkill-family DIMM.
+	X4
+)
+
+func (o Organization) String() string {
+	switch o {
+	case X8:
+		return "x8"
+	case X4:
+		return "x4"
+	default:
+		return "unknown"
+	}
+}
+
+// Devices returns the device count of the organization.
+func (o Organization) Devices() int {
+	if o == X8 {
+		return 9
+	}
+	return 18
+}
+
+// Width returns bits per device per beat.
+func (o Organization) Width() int {
+	if o == X8 {
+		return 8
+	}
+	return 4
+}
+
+// DataDevices returns the device count carrying line data.
+func (o Organization) DataDevices() int {
+	if o == X8 {
+		return 8
+	}
+	return 16
+}
+
+// Burst is the wire-level image of one line transfer: per device, per
+// beat, the transferred bits (low `width` bits used).
+type Burst struct {
+	Org Organization
+	// Lanes[device][beat]
+	Lanes [][]uint8
+}
+
+// Serialize splits a line and its metadata word into the burst image.
+func Serialize(org Organization, line bits.Line, meta uint64) Burst {
+	b := Burst{Org: org, Lanes: make([][]uint8, org.Devices())}
+	for d := range b.Lanes {
+		b.Lanes[d] = make([]uint8, Beats)
+	}
+	w := org.Width()
+	for beat := 0; beat < Beats; beat++ {
+		word := line.Word(beat)
+		for d := 0; d < org.DataDevices(); d++ {
+			b.Lanes[d][beat] = uint8(word>>(uint(d*w))) & mask(w)
+		}
+		switch org {
+		case X8:
+			b.Lanes[8][beat] = uint8(meta >> (8 * uint(beat)))
+		case X4:
+			b.Lanes[16][beat] = uint8(meta>>(4*uint(beat))) & 0xF
+			b.Lanes[17][beat] = uint8(meta>>(32+4*uint(beat))) & 0xF
+		}
+	}
+	return b
+}
+
+// Deserialize reassembles the line and metadata from a burst image.
+func Deserialize(b Burst) (bits.Line, uint64) {
+	var line bits.Line
+	var meta uint64
+	w := b.Org.Width()
+	for beat := 0; beat < Beats; beat++ {
+		var word uint64
+		for d := 0; d < b.Org.DataDevices(); d++ {
+			word |= uint64(b.Lanes[d][beat]&mask(w)) << (uint(d * w))
+		}
+		line = line.WithWord(beat, word)
+		switch b.Org {
+		case X8:
+			meta |= uint64(b.Lanes[8][beat]) << (8 * uint(beat))
+		case X4:
+			meta |= uint64(b.Lanes[16][beat]&0xF) << (4 * uint(beat))
+			meta |= uint64(b.Lanes[17][beat]&0xF) << (32 + 4*uint(beat))
+		}
+	}
+	return line, meta
+}
+
+// CorruptDevice XORs an error mask into every beat of one device (a chip
+// failure as one line observes it).
+func (b *Burst) CorruptDevice(device int, masks [Beats]uint8) {
+	b.checkDevice(device)
+	w := mask(b.Org.Width())
+	for beat := 0; beat < Beats; beat++ {
+		b.Lanes[device][beat] ^= masks[beat] & w
+	}
+}
+
+// CorruptPin flips one DQ lane of one device across the beats selected by
+// beatMask — the vertical column-fault pattern of Figure 4.
+func (b *Burst) CorruptPin(device, pin int, beatMask uint8) {
+	b.checkDevice(device)
+	if pin < 0 || pin >= b.Org.Width() {
+		panic(fmt.Sprintf("dimm: pin %d out of range for %v", pin, b.Org))
+	}
+	for beat := 0; beat < Beats; beat++ {
+		if beatMask&(1<<uint(beat)) != 0 {
+			b.Lanes[device][beat] ^= 1 << uint(pin)
+		}
+	}
+}
+
+// CorruptBeat XORs an error into a single (device, beat) transfer — the
+// "single word" fault as one line observes it.
+func (b *Burst) CorruptBeat(device, beat int, errMask uint8) {
+	b.checkDevice(device)
+	if beat < 0 || beat >= Beats {
+		panic("dimm: beat out of range")
+	}
+	b.Lanes[device][beat] ^= errMask & mask(b.Org.Width())
+}
+
+func (b *Burst) checkDevice(device int) {
+	if device < 0 || device >= b.Org.Devices() {
+		panic(fmt.Sprintf("dimm: device %d out of range for %v", device, b.Org))
+	}
+}
+
+func mask(w int) uint8 { return uint8(1<<uint(w)) - 1 }

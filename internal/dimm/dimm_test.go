@@ -1,0 +1,174 @@
+package dimm
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"safeguard/internal/bits"
+	"safeguard/internal/ecc"
+	"safeguard/internal/mac"
+)
+
+func randLine(r *rand.Rand) bits.Line {
+	var l bits.Line
+	for w := range l {
+		l[w] = r.Uint64()
+	}
+	return l
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	f := func(w0, w1, w2, w3, w4, w5, w6, w7, meta uint64) bool {
+		l := bits.Line{w0, w1, w2, w3, w4, w5, w6, w7}
+		for _, org := range []Organization{X8, X4} {
+			gotL, gotM := Deserialize(Serialize(org, l, meta))
+			if gotL != l || gotM != meta {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	if X8.Devices() != 9 || X8.Width() != 8 || X8.DataDevices() != 8 {
+		t.Fatal("x8 geometry")
+	}
+	if X4.Devices() != 18 || X4.Width() != 4 || X4.DataDevices() != 16 {
+		t.Fatal("x4 geometry")
+	}
+}
+
+func TestDataDeviceLaneContent(t *testing.T) {
+	// Device d of an x8 burst must carry byte d of every word — the
+	// ground-truth layout the ecc injectors assume.
+	r := rand.New(rand.NewPCG(1, 1))
+	l := randLine(r)
+	b := Serialize(X8, l, 0)
+	for beat := 0; beat < Beats; beat++ {
+		for d := 0; d < 8; d++ {
+			want := uint8(l.Word(beat) >> (8 * uint(d)))
+			if b.Lanes[d][beat] != want {
+				t.Fatalf("x8 device %d beat %d: %#x want %#x", d, beat, b.Lanes[d][beat], want)
+			}
+		}
+	}
+	b4 := Serialize(X4, l, 0)
+	for beat := 0; beat < Beats; beat++ {
+		for d := 0; d < 16; d++ {
+			want := uint8(l.Word(beat)>>(4*uint(d))) & 0xF
+			if b4.Lanes[d][beat] != want {
+				t.Fatalf("x4 device %d beat %d", d, beat)
+			}
+		}
+	}
+}
+
+func TestPinCorruptionMatchesPinSymbolView(t *testing.T) {
+	// Corrupting pin p of x8 device d on all beats must equal flipping
+	// pin symbol 8d+p in the bits.Line view — the equivalence SafeGuard's
+	// column parity recovery relies on.
+	r := rand.New(rand.NewPCG(2, 2))
+	for trial := 0; trial < 100; trial++ {
+		l := randLine(r)
+		d, p := r.IntN(8), r.IntN(8)
+		b := Serialize(X8, l, 0)
+		b.CorruptPin(d, p, 0xFF)
+		gotL, _ := Deserialize(b)
+		want := l.WithPinSymbol(8*d+p, l.PinSymbol(8*d+p)^0xFF)
+		if gotL != want {
+			t.Fatalf("pin (%d,%d) wire corruption != pin-symbol flip", d, p)
+		}
+	}
+}
+
+func TestDeviceCorruptionDetectedBySafeGuard(t *testing.T) {
+	// Wire-level chip garbage, deserialized and decoded: SafeGuard-
+	// Chipkill corrects any single x4 device failure end to end.
+	var key [16]byte
+	key[0] = 0xD1
+	keyed := mac.NewKeyed(key)
+	codec := ecc.NewSafeGuardChipkill(keyed)
+	r := rand.New(rand.NewPCG(3, 3))
+	for trial := 0; trial < 100; trial++ {
+		l := randLine(r)
+		addr := uint64(trial) * 64
+		meta := codec.Encode(l, addr)
+		b := Serialize(X4, l, meta)
+		var masks [Beats]uint8
+		for i := range masks {
+			masks[i] = uint8(r.Uint64()) & 0xF
+		}
+		masks[0] |= 1 // guarantee damage
+		dev := r.IntN(16)
+		b.CorruptDevice(dev, masks)
+		badLine, badMeta := Deserialize(b)
+		res := codec.Decode(badLine, badMeta, addr)
+		if res.Status == ecc.DUE || res.Line != l {
+			t.Fatalf("device %d wire fault: %v", dev, res.Status)
+		}
+		// Fresh controller state per trial keeps ping-pong out of scope.
+		codec = ecc.NewSafeGuardChipkill(keyed)
+	}
+}
+
+func TestMetadataDevices(t *testing.T) {
+	meta := uint64(0x0123456789ABCDEF)
+	b := Serialize(X8, bits.Line{}, meta)
+	// Device 8 byte per beat.
+	for beat := 0; beat < Beats; beat++ {
+		if b.Lanes[8][beat] != uint8(meta>>(8*uint(beat))) {
+			t.Fatalf("x8 metadata beat %d", beat)
+		}
+	}
+	b4 := Serialize(X4, bits.Line{}, meta)
+	for beat := 0; beat < Beats; beat++ {
+		if b4.Lanes[16][beat] != uint8(meta>>(4*uint(beat)))&0xF {
+			t.Fatalf("x4 MAC device beat %d", beat)
+		}
+		if b4.Lanes[17][beat] != uint8(meta>>(32+4*uint(beat)))&0xF {
+			t.Fatalf("x4 parity device beat %d", beat)
+		}
+	}
+}
+
+func TestBeatCorruption(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 4))
+	l := randLine(r)
+	b := Serialize(X8, l, 0)
+	b.CorruptBeat(3, 5, 0xFF)
+	got, _ := Deserialize(b)
+	diff := got.XOR(l)
+	// Exactly byte 3 of word 5 flipped.
+	for w := 0; w < 8; w++ {
+		want := uint64(0)
+		if w == 5 {
+			want = 0xFF << 24
+		}
+		if diff.Word(w) != want {
+			t.Fatalf("word %d diff %#x", w, diff.Word(w))
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := Serialize(X8, bits.Line{}, 0)
+	for _, f := range []func(){
+		func() { b.CorruptDevice(9, [Beats]uint8{}) },
+		func() { b.CorruptPin(0, 8, 1) },
+		func() { b.CorruptBeat(0, 8, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

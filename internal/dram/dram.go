@@ -1,0 +1,150 @@
+// Package dram describes the DDR4 main memory of the paper's Table II
+// configuration: geometry (16GB, one channel, 2 ranks of 16 banks, 8KB row
+// buffers), the DDR4-3200 timing set in memory-controller cycles, and the
+// physical-address mapping used by the cycle-level controller in
+// internal/memctrl.
+package dram
+
+// Geometry is the channel organization.
+type Geometry struct {
+	// Ranks per channel.
+	Ranks int
+	// Banks per rank.
+	Banks int
+	// RowsPerBank per bank.
+	RowsPerBank int
+	// RowBytes is the row-buffer size per bank.
+	RowBytes int
+	// LineBytes is the cache-line (and burst) size.
+	LineBytes int
+}
+
+// Table2Geometry is the paper's memory: 16GB DDR4, 1 channel, 2 ranks of 16
+// banks, 8KB row buffer.
+var Table2Geometry = Geometry{
+	Ranks:       2,
+	Banks:       16,
+	RowsPerBank: 65536,
+	RowBytes:    8192,
+	LineBytes:   64,
+}
+
+// LinesPerRow returns how many cache lines one row buffer holds.
+func (g Geometry) LinesPerRow() int { return g.RowBytes / g.LineBytes }
+
+// TotalBytes returns the channel capacity.
+func (g Geometry) TotalBytes() uint64 {
+	return uint64(g.Ranks) * uint64(g.Banks) * uint64(g.RowsPerBank) * uint64(g.RowBytes)
+}
+
+// Timing is the DRAM timing set in memory-controller cycles (DDR4-3200:
+// 1600MHz MC clock, 0.625ns per cycle).
+type Timing struct {
+	TRCD   int // ACT to RD/WR
+	TRP    int // PRE to ACT
+	TCL    int // RD to data
+	TCWL   int // WR to data
+	TRAS   int // ACT to PRE
+	TWR    int // end of write data to PRE
+	TRTP   int // RD to PRE
+	TCCD   int // RD-to-RD / WR-to-WR same bank group (burst gap)
+	TRRD   int // ACT to ACT, same rank
+	TFAW   int // four-activate window per rank
+	TRFC   int // refresh cycle time
+	TREFI  int // refresh interval
+	TBURST int // data burst duration (BL8 = 4 MC cycles)
+	TWTR   int // write data to read command turnaround
+	TRTW   int // read to write turnaround (bus direction change)
+}
+
+// DDR4_3200 returns the DDR4-3200 (CL22) timing set of Table II's memory.
+func DDR4_3200() Timing {
+	return Timing{
+		TRCD:   22,
+		TRP:    22,
+		TCL:    22,
+		TCWL:   16,
+		TRAS:   52,
+		TWR:    24,
+		TRTP:   12,
+		TCCD:   4,
+		TRRD:   6,
+		TFAW:   34,
+		TRFC:   560, // 350ns for an 8Gb device
+		TREFI:  12480,
+		TBURST: 4,
+		TWTR:   12,
+		TRTW:   8,
+	}
+}
+
+// Coord is a decoded DRAM location.
+type Coord struct {
+	Rank, Bank, Row, Col int
+}
+
+// Mapper translates line addresses (physical address >> 6) to DRAM
+// coordinates using a row-interleaved RoRaBaCo layout: consecutive lines
+// walk the columns of one row, so streaming accesses are row-buffer hits;
+// bank bits sit above the column bits so independent streams spread over
+// banks.
+type Mapper struct {
+	g        Geometry
+	colBits  uint
+	bankBits uint
+	rankBits uint
+	rowBits  uint
+}
+
+// NewMapper builds the mapper for a geometry. It panics unless every
+// dimension is a power of two, which Table II's are.
+func NewMapper(g Geometry) *Mapper {
+	m := &Mapper{g: g}
+	m.colBits = log2(g.LinesPerRow())
+	m.bankBits = log2(g.Banks)
+	m.rankBits = log2(g.Ranks)
+	m.rowBits = log2(g.RowsPerBank)
+	return m
+}
+
+func log2(v int) uint {
+	if v <= 0 || v&(v-1) != 0 {
+		panic("dram: dimensions must be powers of two")
+	}
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Decode maps a line address to its DRAM coordinates. The bank index is
+// XOR-hashed with the low row bits (the permutation-based interleaving of
+// real controllers), which breaks pathological stream-to-stream bank
+// alignment without hurting row locality.
+func (m *Mapper) Decode(lineAddr uint64) Coord {
+	a := lineAddr
+	col := int(a & ((1 << m.colBits) - 1))
+	a >>= m.colBits
+	bank := int(a & ((1 << m.bankBits) - 1))
+	a >>= m.bankBits
+	rank := int(a & ((1 << m.rankBits) - 1))
+	a >>= m.rankBits
+	row := int(a & ((1 << m.rowBits) - 1))
+	bank ^= row & ((1 << m.bankBits) - 1)
+	return Coord{Rank: rank, Bank: bank, Row: row, Col: col}
+}
+
+// Encode is the inverse of Decode.
+func (m *Mapper) Encode(c Coord) uint64 {
+	bank := c.Bank ^ (c.Row & ((1 << m.bankBits) - 1))
+	a := uint64(c.Row)
+	a = a<<m.rankBits | uint64(c.Rank)
+	a = a<<m.bankBits | uint64(bank)
+	a = a<<m.colBits | uint64(c.Col)
+	return a
+}
+
+// Geometry returns the mapper's geometry.
+func (m *Mapper) Geometry() Geometry { return m.g }

@@ -1,0 +1,88 @@
+package dram
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable2Geometry(t *testing.T) {
+	g := Table2Geometry
+	if g.TotalBytes() != 16<<30 {
+		t.Fatalf("capacity %d, want 16GB", g.TotalBytes())
+	}
+	if g.LinesPerRow() != 128 {
+		t.Fatalf("lines per row %d, want 128 (8KB rows)", g.LinesPerRow())
+	}
+}
+
+func TestTimingSanity(t *testing.T) {
+	tm := DDR4_3200()
+	if tm.TRAS < tm.TRCD {
+		t.Fatal("tRAS must cover tRCD")
+	}
+	if tm.TREFI < tm.TRFC {
+		t.Fatal("refresh interval must exceed refresh time")
+	}
+	if tm.TBURST != 4 {
+		t.Fatal("BL8 at DDR is 4 MC cycles")
+	}
+	// tCL 22 cycles at 0.625ns ≈ 13.75ns, a CL22 part.
+	if tm.TCL != 22 || tm.TRCD != 22 || tm.TRP != 22 {
+		t.Fatal("expected 22-22-22 primary timings")
+	}
+}
+
+func TestMapperRoundTrip(t *testing.T) {
+	m := NewMapper(Table2Geometry)
+	lines := Table2Geometry.TotalBytes() / 64
+	f := func(a uint64) bool {
+		a %= lines
+		return m.Encode(m.Decode(a)) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapperBounds(t *testing.T) {
+	m := NewMapper(Table2Geometry)
+	r := rand.New(rand.NewPCG(1, 1))
+	lines := Table2Geometry.TotalBytes() / 64
+	for i := 0; i < 5000; i++ {
+		c := m.Decode(r.Uint64N(lines))
+		if c.Rank < 0 || c.Rank >= 2 || c.Bank < 0 || c.Bank >= 16 ||
+			c.Row < 0 || c.Row >= 65536 || c.Col < 0 || c.Col >= 128 {
+			t.Fatalf("coordinates out of range: %+v", c)
+		}
+	}
+}
+
+func TestMapperStreamLocality(t *testing.T) {
+	// Consecutive lines must walk one row's columns (row-buffer hits).
+	m := NewMapper(Table2Geometry)
+	c0 := m.Decode(0)
+	for i := uint64(1); i < 128; i++ {
+		c := m.Decode(i)
+		if c.Rank != c0.Rank || c.Bank != c0.Bank || c.Row != c0.Row {
+			t.Fatalf("line %d left the row: %+v vs %+v", i, c, c0)
+		}
+		if c.Col != int(i) {
+			t.Fatalf("line %d column %d", i, c.Col)
+		}
+	}
+	// Line 128 moves to the next bank, same row index.
+	c := m.Decode(128)
+	if c.Bank == c0.Bank {
+		t.Fatal("row crossing should change bank")
+	}
+}
+
+func TestMapperPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMapper(Geometry{Ranks: 3, Banks: 16, RowsPerBank: 1024, RowBytes: 8192, LineBytes: 64})
+}

@@ -1,0 +1,118 @@
+package ecc
+
+import (
+	xbits "math/bits"
+
+	"safeguard/internal/bits"
+	"safeguard/internal/gf"
+	"safeguard/internal/rs"
+)
+
+// Chip layout for x4 Chipkill DIMMs (Figure 8a): 18 devices per rank.
+// Data chip c (0..15) supplies nibble c of every 64-bit beat; over a whole
+// line that is line nibbles {16*w + c : w = 0..7}, 32 bits per chip. The two
+// extra devices hold the code's check symbols (conventional Chipkill) or the
+// MAC and chip-wise parity (SafeGuard).
+const (
+	// ChipkillDataChips is the number of x4 data devices.
+	ChipkillDataChips = 16
+	// ChipkillChips is the total device count including the two check chips.
+	ChipkillChips = 18
+)
+
+// dataNibble returns the nibble chip c supplies in beat w.
+func dataNibble(l bits.Line, c, w int) uint8 { return l.Nibble(16*w + c) }
+
+// withDataNibble replaces the nibble chip c supplies in beat w.
+func withDataNibble(l bits.Line, c, w int, v uint8) bits.Line {
+	return l.WithNibble(16*w+c, v)
+}
+
+// Chipkill is the conventional symbol-based SSC-DSD baseline. Pairs of
+// beats are combined so each device contributes one 8-bit symbol to an
+// RS(18,16) codeword over GF(256): 16 data symbols plus the 2 check symbols
+// held by the two extra devices. The code corrects any single-symbol
+// (single-chip) error per codeword; wider faults are detected or — beyond
+// the code's guarantee — may miscorrect, the weakness ECCploit exploits.
+type Chipkill struct {
+	code *rs.Codec
+}
+
+// NewChipkill returns the conventional Chipkill codec.
+func NewChipkill() *Chipkill {
+	return &Chipkill{code: rs.New(gf.GF256, ChipkillChips, ChipkillDataChips)}
+}
+
+// Name implements Codec.
+func (c *Chipkill) Name() string { return "Chipkill" }
+
+// MetaBits implements Codec: 2 check chips x 32 bits.
+func (c *Chipkill) MetaBits() int { return 64 }
+
+// ExtraDataBits implements Codec.
+func (c *Chipkill) ExtraDataBits() int { return 0 }
+
+// chipSymbol builds device c's 8-bit symbol for beat pair p (beats 2p and
+// 2p+1).
+func chipSymbol(l bits.Line, c, p int) uint8 {
+	return dataNibble(l, c, 2*p) | dataNibble(l, c, 2*p+1)<<4
+}
+
+func withChipSymbol(l bits.Line, c, p int, v uint8) bits.Line {
+	l = withDataNibble(l, c, 2*p, v&0xF)
+	return withDataNibble(l, c, 2*p+1, v>>4)
+}
+
+// Encode computes the four codewords' check symbols. Byte 2p+i of the
+// result is check symbol i of beat pair p; check symbol i lives on device
+// 16+i.
+func (c *Chipkill) Encode(line bits.Line, addr uint64) uint64 {
+	var meta uint64
+	data := make([]uint8, ChipkillDataChips)
+	for p := 0; p < 4; p++ {
+		for ch := 0; ch < ChipkillDataChips; ch++ {
+			data[ch] = chipSymbol(line, ch, p)
+		}
+		par := c.code.Encode(data)
+		meta |= uint64(par[0]) << (16 * uint(p))
+		meta |= uint64(par[1]) << (16*uint(p) + 8)
+	}
+	return meta
+}
+
+// Decode runs the four RS decodes. Any codeword flagged uncorrectable makes
+// the line a DUE; single-chip errors are repaired.
+func (c *Chipkill) Decode(stored bits.Line, meta uint64, addr uint64) Result {
+	res := Result{Line: stored, Status: OK}
+	cw := make([]uint8, ChipkillChips)
+	for p := 0; p < 4; p++ {
+		for ch := 0; ch < ChipkillDataChips; ch++ {
+			cw[ch] = chipSymbol(stored, ch, p)
+		}
+		cw[16] = uint8(meta >> (16 * uint(p)))
+		cw[17] = uint8(meta >> (16*uint(p) + 8))
+		st, _ := c.code.Decode(cw)
+		switch st {
+		case rs.Corrected:
+			for ch := 0; ch < ChipkillDataChips; ch++ {
+				old := chipSymbol(res.Line, ch, p)
+				if cw[ch] != old {
+					res.CorrectedBits += xbits.OnesCount8(cw[ch] ^ old)
+					res.Line = withChipSymbol(res.Line, ch, p, cw[ch])
+				}
+			}
+			if res.CorrectedBits == 0 {
+				res.CorrectedBits = 1 // repair was in a check chip
+			}
+			if res.Status == OK {
+				res.Status = Corrected
+			}
+		case rs.Detected:
+			res.Status = DUE
+		}
+	}
+	if res.Status == DUE {
+		res.Line = bits.Line{}
+	}
+	return res
+}

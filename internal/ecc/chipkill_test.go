@@ -1,0 +1,429 @@
+package ecc
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"safeguard/internal/bits"
+	"safeguard/internal/mac"
+)
+
+func TestChipkillCorrectsAnySingleChip(t *testing.T) {
+	c := NewChipkill()
+	r := rand.New(rand.NewPCG(20, 20))
+	for chip := 0; chip < ChipkillChips; chip++ {
+		for trial := 0; trial < 20; trial++ {
+			l := randLine(r)
+			meta := c.Encode(l, 0)
+			bad, badMeta := l, meta
+			InjectChipFaultChipkillRS(&bad, &badMeta, chip, r)
+			res := c.Decode(bad, badMeta, 0)
+			if res.Status == DUE || res.Line != l {
+				t.Fatalf("chip %d fault: status %v", chip, res.Status)
+			}
+		}
+	}
+}
+
+func TestChipkillTwoChipFaultNotDelivered(t *testing.T) {
+	// Two-chip faults exceed SSC; they are detected or miscorrect (the
+	// ECCploit weakness) but the decode must never return the original.
+	c := NewChipkill()
+	r := rand.New(rand.NewPCG(21, 21))
+	due, silent := 0, 0
+	for i := 0; i < 500; i++ {
+		l := randLine(r)
+		meta := c.Encode(l, 0)
+		bad, badMeta := l, meta
+		InjectMultiChipFaultX4(&bad, &badMeta, 2, r)
+		res := c.Decode(bad, badMeta, 0)
+		switch {
+		case res.Status == DUE:
+			due++
+		case res.Line != l:
+			silent++
+		default:
+			t.Fatal("two-chip fault fully corrected — impossible for SSC")
+		}
+	}
+	if due == 0 {
+		t.Fatal("no two-chip faults detected")
+	}
+	t.Logf("two-chip faults: %d detected, %d silent/miscorrected", due, silent)
+}
+
+func TestSafeGuardChipkillCorrectsAnySingleChipAllPolicies(t *testing.T) {
+	r := rand.New(rand.NewPCG(22, 22))
+	for _, policy := range []CorrectionPolicy{Iterative, History, Eager} {
+		for chip := 0; chip < ChipkillChips; chip++ {
+			// Fresh controller per chip: a single module does not see 18
+			// different whole-chip failures back to back.
+			c := NewSafeGuardChipkillPolicy(testMAC(), policy, mac.WidthChipkill)
+			l := randLine(r)
+			addr := uint64(chip) * 64
+			meta := c.Encode(l, addr)
+			bad, badMeta := l, meta
+			InjectChipFaultX4(&bad, &badMeta, chip, r)
+			res := c.Decode(bad, badMeta, addr)
+			if chip == parityChip {
+				// A failed parity chip leaves data+MAC consistent.
+				if res.Status == DUE || res.Line != l {
+					t.Fatalf("%v: parity chip fault: status %v", policy, res.Status)
+				}
+				continue
+			}
+			if res.Status != Corrected || res.Line != l {
+				t.Fatalf("%v: chip %d fault: status %v", policy, chip, res.Status)
+			}
+		}
+	}
+}
+
+func TestSafeGuardChipkillEagerSkipsVulnerableCheck(t *testing.T) {
+	// Section V-D: under a permanent chip failure, Eager performs exactly
+	// one MAC check per read and never checks faulty data, while
+	// Iterative/History check raw faulty data every time.
+	r := rand.New(rand.NewPCG(23, 23))
+	const chip = 7
+	run := func(policy CorrectionPolicy, reads int) (faultyChecks, lastTotal int) {
+		c := NewSafeGuardChipkillPolicy(testMAC(), policy, mac.WidthChipkill)
+		for i := 0; i < reads; i++ {
+			l := randLine(r)
+			addr := uint64(i) * 64
+			meta := c.Encode(l, addr)
+			bad, badMeta := l, meta
+			// Multi-bit chip corruption so spares don't absorb it.
+			InjectChipFaultX4(&bad, &badMeta, chip, r)
+			res := c.Decode(bad, badMeta, addr)
+			if res.Status != Corrected || res.Line != l {
+				panic("chip fault not corrected")
+			}
+			if i > 0 { // the very first read has no history under any policy
+				faultyChecks += res.FaultyMACChecks
+			}
+			lastTotal = res.MACChecks
+		}
+		return
+	}
+	iterFaulty, _ := run(Iterative, 50)
+	histFaulty, histLast := run(History, 50)
+	eagerFaulty, eagerLast := run(Eager, 50)
+	if eagerFaulty != 0 { // steady state: zero checks against faulty data
+		t.Fatalf("eager performed %d faulty-data MAC checks after warm-up", eagerFaulty)
+	}
+	if eagerLast != 1 {
+		t.Fatalf("eager steady-state cost %d checks, want 1", eagerLast)
+	}
+	if histFaulty < 49 { // one raw-data check per read after warm-up
+		t.Fatalf("history policy should check raw faulty data every read, got %d", histFaulty)
+	}
+	if histLast != 2 {
+		t.Fatalf("history steady-state cost %d checks, want 2", histLast)
+	}
+	if iterFaulty < histFaulty {
+		t.Fatalf("iterative (%d) should be at least as exposed as history (%d)", iterFaulty, histFaulty)
+	}
+}
+
+func TestSafeGuardChipkillEscapeRatioIterativeVsEager(t *testing.T) {
+	// Section VII-E: with iterative correction each fault incurs up to 18
+	// MAC verifications on faulty data vs 1 for eager — an ~18x escape
+	// exposure gap. Use a 6-bit MAC so escapes are observable.
+	r := rand.New(rand.NewPCG(24, 24))
+	const width = 6
+	run := func(policy CorrectionPolicy) (escapes, faultyChecks int) {
+		c := NewSafeGuardChipkillPolicy(testMAC(), policy, width)
+		for i := 0; i < 4000; i++ {
+			l := randLine(r)
+			addr := uint64(i) * 64
+			meta := c.Encode(l, addr)
+			bad, badMeta := l, meta
+			InjectChipFaultX4(&bad, &badMeta, 3, r)
+			res := c.Decode(bad, badMeta, addr)
+			faultyChecks += res.FaultyMACChecks
+			if res.Status != DUE && res.Line != l {
+				escapes++
+			}
+		}
+		return
+	}
+	iterEsc, iterChecks := run(Iterative)
+	eagerEsc, eagerChecks := run(Eager)
+	t.Logf("iterative: %d escapes / %d faulty checks; eager: %d escapes / %d faulty checks",
+		iterEsc, iterChecks, eagerEsc, eagerChecks)
+	if iterChecks < 10*eagerChecks {
+		t.Fatalf("iterative faulty-check exposure (%d) should dwarf eager (%d)", iterChecks, eagerChecks)
+	}
+	if eagerEsc > iterEsc && iterEsc > 0 {
+		t.Fatalf("eager escapes (%d) exceed iterative (%d)", eagerEsc, iterEsc)
+	}
+}
+
+func TestSafeGuardChipkillMACChipFailure(t *testing.T) {
+	// The MAC chip itself failing is recovered: its content is rebuilt
+	// from parity and the data verified against the rebuilt MAC.
+	c := NewSafeGuardChipkill(testMAC())
+	r := rand.New(rand.NewPCG(25, 25))
+	for i := 0; i < 100; i++ {
+		l := randLine(r)
+		addr := uint64(i) * 64
+		meta := c.Encode(l, addr)
+		bad, badMeta := l, meta
+		InjectChipFaultX4(&bad, &badMeta, macChip, r)
+		res := c.Decode(bad, badMeta, addr)
+		if res.Status != Corrected || res.Line != l {
+			t.Fatalf("MAC chip fault: status %v", res.Status)
+		}
+	}
+}
+
+func TestSafeGuardChipkillTwoChipIsDUE(t *testing.T) {
+	r := rand.New(rand.NewPCG(26, 26))
+	c := NewSafeGuardChipkill(testMAC())
+	for i := 0; i < 300; i++ {
+		l := randLine(r)
+		addr := uint64(i) * 64
+		meta := c.Encode(l, addr)
+		bad, badMeta := l, meta
+		// Two data chips, guaranteed damage in both.
+		InjectChipFaultX4(&bad, &badMeta, 2, r)
+		InjectChipFaultX4(&bad, &badMeta, 9, r)
+		res := c.Decode(bad, badMeta, addr)
+		if res.Status != DUE && res.Line != l {
+			t.Fatalf("two-chip fault delivered corrupt data (status %v)", res.Status)
+		}
+	}
+}
+
+func TestSafeGuardChipkillRowHammerDetected(t *testing.T) {
+	c := NewSafeGuardChipkill(testMAC())
+	r := rand.New(rand.NewPCG(27, 27))
+	for i := 0; i < 500; i++ {
+		l := randLine(r)
+		addr := uint64(i) * 64
+		meta := c.Encode(l, addr)
+		bad := l
+		InjectRandomFlips(&bad, 2+r.IntN(60), r)
+		res := c.Decode(bad, meta, addr)
+		if res.Status != DUE && res.Line != l {
+			t.Fatalf("RH pattern delivered corrupt data (status %v)", res.Status)
+		}
+	}
+}
+
+func TestSafeGuardChipkillSpareLines(t *testing.T) {
+	// Footnote 2: a line with a single-bit permanent fault is copied into
+	// the controller spares; subsequent reads come from the spare with no
+	// MAC checks against faulty data and no iterative search.
+	c := NewSafeGuardChipkill(testMAC())
+	r := rand.New(rand.NewPCG(28, 28))
+	l := randLine(r)
+	const addr = 0x4000
+	meta := c.Encode(l, addr)
+	bad := l.FlipBit(137) // persistent single-bit fault
+	res := c.Decode(bad, meta, addr)
+	if res.Status != Corrected || res.Line != l {
+		t.Fatalf("first read: %v", res.Status)
+	}
+	res2 := c.Decode(bad, meta, addr)
+	if !res2.UsedSpare || res2.Line != l {
+		t.Fatalf("second read should hit the spare store: %+v", res2)
+	}
+	// Writes invalidate.
+	c.InvalidateSpare(addr)
+	res3 := c.Decode(bad, meta, addr)
+	if res3.UsedSpare {
+		t.Fatal("spare survived invalidation")
+	}
+	if res3.Status != Corrected || res3.Line != l {
+		t.Fatalf("post-invalidation read: %v", res3.Status)
+	}
+}
+
+func TestSafeGuardChipkillSpareCapacity(t *testing.T) {
+	c := NewSafeGuardChipkill(testMAC())
+	r := rand.New(rand.NewPCG(29, 29))
+	// Fill beyond capacity; oldest entries must be evicted, map bounded.
+	for i := 0; i < SpareLines+3; i++ {
+		l := randLine(r)
+		addr := uint64(i) * 64
+		meta := c.Encode(l, addr)
+		bad := l.FlipBit(i)
+		if res := c.Decode(bad, meta, addr); res.Status != Corrected {
+			t.Fatalf("read %d: %v", i, res.Status)
+		}
+	}
+	if len(c.spares) > SpareLines || len(c.spareAddrs) > SpareLines {
+		t.Fatalf("spare store exceeded capacity: %d", len(c.spares))
+	}
+}
+
+func TestSafeGuardChipkillPingPongDeclaresDUE(t *testing.T) {
+	// Section V-D: interchangeably failing chips are not a pattern
+	// Chipkill repairs; after several rounds SafeGuard declares DUE.
+	c := NewSafeGuardChipkillPolicy(testMAC(), Eager, mac.WidthChipkill)
+	r := rand.New(rand.NewPCG(30, 30))
+	sawDUE := false
+	for i := 0; i < 3*pingPongLimit; i++ {
+		l := randLine(r)
+		addr := uint64(i) * 64
+		meta := c.Encode(l, addr)
+		bad, badMeta := l, meta
+		chip := []int{2, 11}[i%2] // alternate between two chips
+		InjectChipFaultX4(&bad, &badMeta, chip, r)
+		res := c.Decode(bad, badMeta, addr)
+		if res.Status == DUE {
+			sawDUE = true
+			break
+		}
+	}
+	if !sawDUE {
+		t.Fatal("alternating chip failures never declared DUE")
+	}
+}
+
+func TestSafeGuardChipkillParityLayout(t *testing.T) {
+	// parity32 must satisfy: XOR of all 17 devices' nibbles per beat
+	// equals the parity nibble.
+	r := rand.New(rand.NewPCG(31, 31))
+	l := randLine(r)
+	m := uint64(0xDEADBEEF)
+	par := parity32(l, m)
+	for w := 0; w < bits.LineWords; w++ {
+		var nib uint8
+		for cdev := 0; cdev < ChipkillDataChips; cdev++ {
+			nib ^= dataNibble(l, cdev, w)
+		}
+		nib ^= uint8(m>>(4*uint(w))) & 0xF
+		if nib != uint8(par>>(4*uint(w)))&0xF {
+			t.Fatalf("beat %d parity mismatch", w)
+		}
+	}
+}
+
+func TestSafeGuardChipkillBadWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for width > 32")
+		}
+	}()
+	NewSafeGuardChipkillPolicy(testMAC(), Eager, 33)
+}
+
+// ---------------------------------------------------------------------------
+// SGX- and Synergy-style organizations
+// ---------------------------------------------------------------------------
+
+func TestSGXStyleDetectsBeyondSECDED(t *testing.T) {
+	k := testMAC()
+	c := NewSGXStyleMAC(k)
+	r := rand.New(rand.NewPCG(32, 32))
+	for i := 0; i < 300; i++ {
+		l := randLine(r)
+		addr := uint64(i) * 64
+		meta := c.Encode(l, addr)
+		bad, badMeta := l, meta
+		InjectChipFaultX8(&bad, &badMeta, r.IntN(8), r)
+		res := c.Decode(bad, badMeta, addr)
+		if res.Status != DUE && res.Line != l {
+			t.Fatalf("SGX-style delivered corrupt data (status %v)", res.Status)
+		}
+	}
+}
+
+func TestSGXStyleMACRegionCorruption(t *testing.T) {
+	// The MAC region lives in DRAM too: corrupting it causes a DUE on an
+	// otherwise clean line (a false alarm, not silent corruption).
+	k := testMAC()
+	c := NewSGXStyleMAC(k)
+	r := rand.New(rand.NewPCG(33, 33))
+	l := randLine(r)
+	meta := c.Encode(l, 640)
+	c.CorruptMACRegion(640, 1<<17)
+	res := c.Decode(l, meta, 640)
+	if res.Status != DUE {
+		t.Fatalf("corrupted MAC region: status %v", res.Status)
+	}
+}
+
+func TestSynergyStyleCorrectsChipFailure(t *testing.T) {
+	k := testMAC()
+	c := NewSynergyStyleMAC(k)
+	r := rand.New(rand.NewPCG(34, 34))
+	for chip := 0; chip < 9; chip++ {
+		l := randLine(r)
+		addr := uint64(chip) * 64
+		meta := c.Encode(l, addr)
+		bad, badMeta := l, meta
+		InjectChipFaultX8(&bad, &badMeta, chip, r)
+		res := c.Decode(bad, badMeta, addr)
+		if res.Line != l || res.Status == DUE {
+			t.Fatalf("synergy chip %d: status %v", chip, res.Status)
+		}
+	}
+}
+
+func TestSynergyStyleDetectsMultiChip(t *testing.T) {
+	k := testMAC()
+	c := NewSynergyStyleMAC(k)
+	r := rand.New(rand.NewPCG(35, 35))
+	for i := 0; i < 200; i++ {
+		l := randLine(r)
+		addr := uint64(i) * 64
+		meta := c.Encode(l, addr)
+		bad, badMeta := l, meta
+		InjectChipFaultX8(&bad, &badMeta, 1, r)
+		InjectChipFaultX8(&bad, &badMeta, 5, r)
+		res := c.Decode(bad, badMeta, addr)
+		if res.Status != DUE && res.Line != l {
+			t.Fatalf("synergy multi-chip delivered corrupt data")
+		}
+	}
+}
+
+func BenchmarkDecodeCleanSafeGuardSECDED(b *testing.B) {
+	c := NewSafeGuardSECDED(testMAC())
+	r := rand.New(rand.NewPCG(36, 36))
+	l := randLine(r)
+	meta := c.Encode(l, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Decode(l, meta, 64)
+	}
+}
+
+func BenchmarkDecodeCleanChipkill(b *testing.B) {
+	c := NewChipkill()
+	r := rand.New(rand.NewPCG(37, 37))
+	l := randLine(r)
+	meta := c.Encode(l, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Decode(l, meta, 64)
+	}
+}
+
+func BenchmarkDecodeCleanSafeGuardChipkill(b *testing.B) {
+	c := NewSafeGuardChipkill(testMAC())
+	r := rand.New(rand.NewPCG(38, 38))
+	l := randLine(r)
+	meta := c.Encode(l, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Decode(l, meta, 64)
+	}
+}
+
+func BenchmarkIterativeCorrection(b *testing.B) {
+	c := NewSafeGuardChipkillPolicy(testMAC(), Iterative, mac.WidthChipkill)
+	r := rand.New(rand.NewPCG(39, 39))
+	l := randLine(r)
+	meta := c.Encode(l, 64)
+	bad, badMeta := l, meta
+	InjectChipFaultX4(&bad, &badMeta, 15, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.lastBadChip = -1 // force the full search each iteration
+		c.Decode(bad, badMeta, 64)
+	}
+}

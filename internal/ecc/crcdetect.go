@@ -1,0 +1,78 @@
+package ecc
+
+import (
+	"safeguard/internal/bits"
+	"safeguard/internal/crc"
+	"safeguard/internal/hamming"
+)
+
+// CRCDetect is the Section IV-A strawman SafeGuard explicitly rejects: the
+// Figure 3b layout with the 54-bit MAC replaced by a 54-bit CRC (10-bit
+// line-granularity ECC-1 + 54-bit CRC). Against *natural* faults it detects
+// exactly as well as the MAC variant — random corruption escapes with
+// probability 2^-54. Against an *adversary* it is worthless: the CRC is a
+// keyless linear function, so an attacker who flips chosen data bits can
+// flip the matching stored-CRC bits (crc.Forge) and pass verification.
+// The ecc tests and the CRC-vs-MAC ablation bench demonstrate the forgery.
+type CRCDetect struct {
+	code *crc.Poly
+	sec  *hamming.SEC
+}
+
+// NewCRCDetect builds the CRC-based detection layout.
+func NewCRCDetect() *CRCDetect {
+	return &CRCDetect{code: crc.Koopman54, sec: hamming.NewSEC(566)}
+}
+
+// Name implements Codec.
+func (c *CRCDetect) Name() string { return "CRC-detect (rejected strawman)" }
+
+// MetaBits implements Codec.
+func (c *CRCDetect) MetaBits() int { return 64 }
+
+// ExtraDataBits implements Codec.
+func (c *CRCDetect) ExtraDataBits() int { return 0 }
+
+// Encode packs ECC-1 (bits 0-9) and the 54-bit CRC (bits 10-63).
+func (c *CRCDetect) Encode(line bits.Line, addr uint64) uint64 {
+	sum := c.code.Checksum(line)
+	var msg [secMsgWords]uint64
+	copy(msg[:], line[:])
+	msg[bits.LineWords] = sum
+	return uint64(c.sec.Encode(msg[:])) | sum<<10
+}
+
+// Decode mirrors the SafeGuard read path with the CRC in the MAC's role.
+func (c *CRCDetect) Decode(stored bits.Line, meta uint64, addr uint64) Result {
+	res := Result{}
+	storedSum := meta >> 10
+	if c.code.Checksum(stored) == storedSum {
+		res.Line = stored
+		res.Status = OK
+		return res
+	}
+	var msg [secMsgWords]uint64
+	copy(msg[:], stored[:])
+	msg[bits.LineWords] = storedSum
+	if _, st := c.sec.Decode(msg[:], uint32(meta&0x3FF)); st == hamming.Corrected {
+		var cand bits.Line
+		copy(cand[:], msg[:bits.LineWords])
+		if c.code.Checksum(cand) == msg[bits.LineWords] {
+			res.Line = cand
+			res.Status = Corrected
+			res.CorrectedBits = max(countDiff(stored, cand), 1)
+			return res
+		}
+	}
+	res.Status = DUE
+	return res
+}
+
+// RecomputeForgedMeta performs the keyless-linearity attack: given the
+// attacked line, produce fully consistent metadata (CRC via crc.Forge's
+// syndrome arithmetic — equivalently a fresh Checksum — and ECC-1), as any
+// adversary with knowledge of the public layout can. Decode accepts the
+// forged pair unconditionally; the keyed MAC admits no analogue.
+func (c *CRCDetect) RecomputeForgedMeta(attacked bits.Line) uint64 {
+	return c.Encode(attacked, 0)
+}

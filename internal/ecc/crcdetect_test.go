@@ -1,0 +1,89 @@
+package ecc
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"safeguard/internal/bits"
+)
+
+func TestCRCDetectHandlesNaturalFaults(t *testing.T) {
+	// Against nature, the CRC layout behaves like the MAC layout: single
+	// bits corrected by ECC-1, multi-bit damage detected.
+	c := NewCRCDetect()
+	r := rand.New(rand.NewPCG(40, 40))
+	for i := 0; i < 200; i++ {
+		l := randLine(r)
+		addr := uint64(i) * 64
+		meta := c.Encode(l, addr)
+		if res := c.Decode(l, meta, addr); res.Status != OK {
+			t.Fatalf("clean: %v", res.Status)
+		}
+		if res := c.Decode(l.FlipBit(r.IntN(bits.LineBits)), meta, addr); res.Status != Corrected || res.Line != l {
+			t.Fatalf("single bit: %v", res.Status)
+		}
+		bad := l
+		InjectRandomFlips(&bad, 5, r)
+		if res := c.Decode(bad, meta, addr); res.Status != DUE && res.Line != l {
+			t.Fatal("multi-bit natural fault slipped through")
+		}
+	}
+}
+
+func TestCRCDetectForgeableByAdversary(t *testing.T) {
+	// The Section IV-A rejection rationale, demonstrated: an adversary
+	// with arbitrary bit-flip power (Row-Hammer) corrupts the data AND
+	// the metadata so the CRC layout accepts silently — every single
+	// time. The same adversary against the MAC layout is caught, because
+	// the metadata depends on a key the attacker cannot read.
+	cCRC := NewCRCDetect()
+	cMAC := NewSafeGuardSECDEDNoParity(testMAC())
+	r := rand.New(rand.NewPCG(41, 41))
+	forgeries, macEscapes := 0, 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		l := randLine(r)
+		addr := uint64(i) * 64
+
+		// CRC layout: the attacker flips chosen bits and recomputes the
+		// (public, keyless) metadata.
+		crcMeta := cCRC.Encode(l, addr)
+		_ = crcMeta
+		var pattern bits.Line
+		for j := 0; j < 8; j++ {
+			pattern = pattern.FlipBit(r.IntN(bits.LineBits))
+		}
+		attacked := l.XOR(pattern)
+		forgedMeta := cCRC.RecomputeForgedMeta(attacked)
+		res := cCRC.Decode(attacked, forgedMeta, addr)
+		if res.Status == OK && res.Line == attacked && attacked != l {
+			forgeries++
+		}
+
+		// MAC layout under the same attack: the attacker cannot compute
+		// the keyed MAC of the attacked line; flipping metadata bits at
+		// random is the best available move.
+		macMeta := cMAC.Encode(l, addr)
+		badMeta := macMeta ^ (r.Uint64() | 1)
+		mres := cMAC.Decode(attacked, badMeta, addr)
+		if mres.Status != DUE && mres.Line != l {
+			macEscapes++
+		}
+	}
+	if forgeries != trials {
+		t.Fatalf("CRC forgery succeeded %d/%d times; linearity should make it universal", forgeries, trials)
+	}
+	if macEscapes != 0 {
+		t.Fatalf("MAC layout leaked %d forgeries", macEscapes)
+	}
+}
+
+func TestCRCDetectMetaLayout(t *testing.T) {
+	c := NewCRCDetect()
+	if c.MetaBits() != 64 || c.ExtraDataBits() != 0 {
+		t.Fatal("CRC layout must fit the ECC budget")
+	}
+	if c.Name() == "" {
+		t.Fatal("unnamed codec")
+	}
+}

@@ -1,0 +1,99 @@
+// Package ecc implements the six memory-protection schemes evaluated by the
+// SafeGuard paper behind one Codec interface:
+//
+//   - SECDED: the conventional ECC-DIMM baseline — an independent (72,64)
+//     SECDED code per 8-byte bus transfer (Figure 3a).
+//   - SafeGuardSECDED: the paper's proposal for x8 DIMMs — the 64 ECC bits
+//     of a line reorganized into 10-bit line-granularity ECC-1, 8-bit
+//     column parity, and a 46-bit MAC (Figures 3b and 5), with iterative
+//     column recovery and the permanent-column-failure fast path.
+//   - Chipkill: the conventional x4 Chipkill baseline — a symbol-based
+//     SSC-DSD Reed–Solomon code over the 18 devices (Figure 8a).
+//   - SafeGuardChipkill: the paper's x4 proposal — 32-bit MAC plus 32-bit
+//     chip-wise parity with iterative correction, history, and Eager
+//     Correction (Figures 8b and 9), plus the footnote-2 spare lines.
+//   - SGXStyleMAC / SynergyStyleMAC: the comparison MAC organizations of
+//     Section VI. Their extra-traffic behaviour is modeled by the memory
+//     controller; here they provide the functional detect/correct paths.
+//
+// Codec instances carry per-memory-controller state (remembered fault
+// locations, spare lines) and are NOT safe for concurrent use; create one
+// per simulated controller.
+package ecc
+
+import "safeguard/internal/bits"
+
+// Status classifies a read.
+type Status int
+
+const (
+	// OK: data delivered with no correction activity.
+	OK Status = iota
+	// Corrected: an error was repaired; delivered data passed verification.
+	Corrected
+	// DUE: detected uncorrectable error. No data is delivered; the paper's
+	// SafeGuard signals the system to take preventative action.
+	DUE
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case DUE:
+		return "due"
+	default:
+		return "unknown"
+	}
+}
+
+// Result reports the outcome of decoding one line.
+type Result struct {
+	// Line is the delivered data. Valid only when Status != DUE. If the
+	// scheme was defeated (miscorrection or MAC collision) this differs
+	// from the originally written data — the caller detects silent
+	// corruption by comparing against its golden copy.
+	Line bits.Line
+	// Status is the read outcome.
+	Status Status
+	// CorrectedBits counts repaired data bits (approximate for symbol
+	// codes: whole repaired symbols count their differing bits).
+	CorrectedBits int
+	// MACChecks is the total number of MAC verifications performed, the
+	// latency currency of Sections V-B and VI-D.
+	MACChecks int
+	// FaultyMACChecks counts MAC verifications performed against data that
+	// did not match its MAC — each such check is an independent 1/2^n
+	// escape opportunity (Sections V-C and VII-E).
+	FaultyMACChecks int
+	// UsedSpare reports that the read was serviced from the controller's
+	// spare-line store (SafeGuard-Chipkill footnote 2).
+	UsedSpare bool
+}
+
+// Codec encodes 64-byte lines into (stored data, ECC metadata) pairs and
+// decodes possibly corrupted pairs.
+type Codec interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// MetaBits is the number of ECC-space metadata bits per line held in
+	// the DIMM's extra chips (64 for all ECC-DIMM schemes). Metadata that
+	// a scheme stores in *data* memory (SGX/Synergy MACs or parity) is
+	// reported by ExtraDataBits instead.
+	MetaBits() int
+	// ExtraDataBits is metadata stored in normal data memory per line
+	// (0 for SafeGuard; 64 for SGX-style MAC; 64 for Synergy's parity).
+	ExtraDataBits() int
+	// Encode produces the metadata stored alongside the line.
+	Encode(line bits.Line, addr uint64) uint64
+	// Decode verifies and possibly repairs a (line, meta) pair read back
+	// from memory.
+	Decode(stored bits.Line, meta uint64, addr uint64) Result
+}
+
+// ok returns a no-error result delivering the given line.
+func okResult(line bits.Line, macChecks int) Result {
+	return Result{Line: line, Status: OK, MACChecks: macChecks}
+}

@@ -1,0 +1,256 @@
+package ecc
+
+import (
+	xbits "math/bits"
+
+	"safeguard/internal/bits"
+	"safeguard/internal/hamming"
+	"safeguard/internal/mac"
+)
+
+// SafeGuardSECDED implements the paper's proposal for x8 ECC DIMMs
+// (Sections IV-A and IV-C). The 64 ECC bits of each 64-byte line are
+// reorganized into:
+//
+//	with column parity (Figure 5):  10-bit ECC-1 | 8-bit column parity | 46-bit MAC
+//	without column parity (Fig 3b): 10-bit ECC-1 | 54-bit MAC
+//
+// ECC-1 is a single-error-correcting Hamming code over the 512 data bits
+// plus the MAC (and parity), so a single bit flip anywhere — including in
+// the metadata — is correctable. The MAC provides strong detection of
+// arbitrary failures; column parity restores the correction of pin/column
+// faults that word-granularity SECDED handled natively.
+type SafeGuardSECDED struct {
+	keyed        *mac.Keyed
+	sec          *hamming.SEC
+	columnParity bool
+	macWidth     int
+
+	// Permanent-column-failure fast path (Section IV-C): remember the pin
+	// whose reconstruction last satisfied the MAC, and after a few
+	// consecutive hits skip the initial (always-failing) MAC check.
+	lastBadPin      int
+	consecutiveHits int
+}
+
+// skipCheckThreshold is how many consecutive same-pin corrections SafeGuard
+// observes before treating the column failure as permanent and skipping the
+// initial MAC check ("after a few rounds of correction, we skip the first
+// MAC check").
+const skipCheckThreshold = 4
+
+// secMsgWords is the packed size of the ECC-1 message: 512 data bits plus
+// one metadata word (MAC and, when enabled, column parity) = 566 bits.
+const secMsgWords = bits.LineWords + 1
+
+// NewSafeGuardSECDED builds the scheme with column parity (the paper's full
+// design: 46-bit MAC).
+func NewSafeGuardSECDED(keyed *mac.Keyed) *SafeGuardSECDED {
+	return newSafeGuardSECDED(keyed, true, mac.WidthSECDED)
+}
+
+// NewSafeGuardSECDEDNoParity builds the Figure 3b variant without column
+// parity (54-bit MAC) — the ablation of Figure 6.
+func NewSafeGuardSECDEDNoParity(keyed *mac.Keyed) *SafeGuardSECDED {
+	return newSafeGuardSECDED(keyed, false, mac.WidthSECDEDNoParity)
+}
+
+// NewSafeGuardSECDEDWidth builds the column-parity variant with a custom
+// MAC width (used by the MAC-escape experiments, which need observable
+// collision rates).
+func NewSafeGuardSECDEDWidth(keyed *mac.Keyed, macWidth int) *SafeGuardSECDED {
+	return newSafeGuardSECDED(keyed, true, macWidth)
+}
+
+func newSafeGuardSECDED(keyed *mac.Keyed, parity bool, macWidth int) *SafeGuardSECDED {
+	return &SafeGuardSECDED{
+		keyed:        keyed,
+		sec:          hamming.NewSEC(566),
+		columnParity: parity,
+		macWidth:     macWidth,
+		lastBadPin:   -1,
+	}
+}
+
+// Name implements Codec.
+func (s *SafeGuardSECDED) Name() string {
+	if s.columnParity {
+		return "SafeGuard-SECDED"
+	}
+	return "SafeGuard-SECDED (no column parity)"
+}
+
+// MetaBits implements Codec.
+func (s *SafeGuardSECDED) MetaBits() int { return 64 }
+
+// ExtraDataBits implements Codec: SafeGuard stores nothing in data memory.
+func (s *SafeGuardSECDED) ExtraDataBits() int { return 0 }
+
+// metaWord packs MAC and column parity into the 54-bit metadata word that
+// ECC-1 covers.
+func (s *SafeGuardSECDED) metaWord(macVal uint64, parity uint8) uint64 {
+	if s.columnParity {
+		return (macVal & ((1 << uint(s.macWidth)) - 1)) | uint64(parity)<<uint(s.macWidth)
+	}
+	return macVal & ((1 << uint(s.macWidth)) - 1)
+}
+
+func (s *SafeGuardSECDED) splitMetaWord(mw uint64) (macVal uint64, parity uint8) {
+	macVal = mw & ((1 << uint(s.macWidth)) - 1)
+	if s.columnParity {
+		parity = uint8(mw >> uint(s.macWidth))
+	}
+	return
+}
+
+// Encode packs ECC-1 (bits 0-9), then the metadata word (MAC, and parity
+// when enabled) into the 64 ECC bits.
+func (s *SafeGuardSECDED) Encode(line bits.Line, addr uint64) uint64 {
+	macVal := s.keyed.MAC(line, addr, s.macWidth)
+	var parity uint8
+	if s.columnParity {
+		parity = line.ColumnParity8()
+	}
+	mw := s.metaWord(macVal, parity)
+	var msg [secMsgWords]uint64
+	copy(msg[:], line[:])
+	msg[bits.LineWords] = mw
+	ecc1 := uint64(s.sec.Encode(msg[:]))
+	return ecc1 | mw<<10
+}
+
+func (s *SafeGuardSECDED) macMatches(line bits.Line, addr, storedMAC uint64) bool {
+	return s.keyed.MAC(line, addr, s.macWidth) == storedMAC
+}
+
+// Decode implements the paper's read path. With column parity (Section
+// IV-C): check MAC; on mismatch try ECC-1 and recheck; then iterative
+// column recovery over the 64 pin positions (starting from the remembered
+// pin), verifying each reconstruction with the MAC; all failing, DUE.
+func (s *SafeGuardSECDED) Decode(stored bits.Line, meta uint64, addr uint64) Result {
+	res := Result{}
+	mw := meta >> 10
+	storedMAC, storedParity := s.splitMetaWord(mw)
+
+	// Permanent-column fast path: skip the initial MAC check and eagerly
+	// reconstruct the remembered pin. On clean data the reconstruction is
+	// the identity (parity is consistent), so reliability is unaffected.
+	if s.columnParity && s.consecutiveHits >= skipCheckThreshold && s.lastBadPin >= 0 {
+		repaired := reconstructPin(stored, storedParity, s.lastBadPin)
+		res.MACChecks++
+		if s.macMatches(repaired, addr, storedMAC) {
+			if repaired == stored {
+				// Fault has disappeared (e.g. transient cleared).
+				s.consecutiveHits = 0
+				s.lastBadPin = -1
+				res.Line = repaired
+				res.Status = OK
+				return res
+			}
+			s.consecutiveHits++
+			res.Line = repaired
+			res.Status = Corrected
+			res.CorrectedBits = countDiff(stored, repaired)
+			return res
+		}
+		res.FaultyMACChecks++
+		s.consecutiveHits = 0
+		s.lastBadPin = -1
+		// Fall through to the full path.
+	}
+
+	// Step 1: MAC check on the raw data.
+	res.MACChecks++
+	if s.macMatches(stored, addr, storedMAC) {
+		res.Line = stored
+		res.Status = OK
+		if s.columnParity {
+			s.consecutiveHits = 0
+		}
+		return res
+	}
+	res.FaultyMACChecks++
+
+	// Step 2: ECC-1 correction, then recheck the MAC. ECC-1 covers data,
+	// MAC, and parity, so metadata bit flips are also repaired here.
+	var msg [secMsgWords]uint64
+	copy(msg[:], stored[:])
+	msg[bits.LineWords] = mw
+	if _, st := s.sec.Decode(msg[:], uint32(meta&0x3FF)); st == hamming.Corrected {
+		var cand bits.Line
+		copy(cand[:], msg[:bits.LineWords])
+		candMAC, candParity := s.splitMetaWord(msg[bits.LineWords])
+		res.MACChecks++
+		if s.macMatches(cand, addr, candMAC) {
+			res.Line = cand
+			res.Status = Corrected
+			res.CorrectedBits = countDiff(stored, cand)
+			if res.CorrectedBits == 0 {
+				res.CorrectedBits = 1 // the repaired bit was in the metadata
+			}
+			storedParity = candParity
+			return res
+		}
+		res.FaultyMACChecks++
+	}
+
+	// Step 3: iterative column recovery (Figure 5 flow). Try the
+	// remembered pin first to dodge the 64-round worst case.
+	if s.columnParity {
+		order := pinOrder(s.lastBadPin)
+		for _, pin := range order {
+			repaired := reconstructPin(stored, storedParity, pin)
+			if repaired == stored {
+				continue // reconstruction is a no-op for this pin
+			}
+			res.MACChecks++
+			if s.macMatches(repaired, addr, storedMAC) {
+				if pin == s.lastBadPin {
+					s.consecutiveHits++
+				} else {
+					s.lastBadPin = pin
+					s.consecutiveHits = 1
+				}
+				res.Line = repaired
+				res.Status = Corrected
+				res.CorrectedBits = countDiff(stored, repaired)
+				return res
+			}
+			res.FaultyMACChecks++
+		}
+	}
+
+	// Detected Unrecoverable Error: RH-style multi-bit damage or a fault
+	// beyond column granularity.
+	res.Status = DUE
+	return res
+}
+
+// reconstructPin rebuilds pin k's 8-bit symbol from the stored column
+// parity and the other 63 pin symbols.
+func reconstructPin(l bits.Line, storedParity uint8, pin int) bits.Line {
+	recovered := storedParity ^ l.ColumnParity8() ^ l.PinSymbol(pin)
+	return l.WithPinSymbol(pin, recovered)
+}
+
+// pinOrder returns pin indices 0..63 with the remembered pin (if any) first.
+func pinOrder(first int) []int {
+	order := make([]int, 0, 64)
+	if first >= 0 {
+		order = append(order, first)
+	}
+	for p := 0; p < 64; p++ {
+		if p != first {
+			order = append(order, p)
+		}
+	}
+	return order
+}
+
+func countDiff(a, b bits.Line) int {
+	n := 0
+	for w := 0; w < bits.LineWords; w++ {
+		n += xbits.OnesCount64(a[w] ^ b[w])
+	}
+	return n
+}

@@ -1,0 +1,260 @@
+// Package faultsim is a Monte-Carlo DRAM-module lifetime reliability
+// simulator in the style of FaultSim (Nair, Roberts & Qureshi, TACO 2015),
+// which the SafeGuard paper uses for its reliability evaluation (Figures 6
+// and 10). Modules accumulate faults drawn from the Table III FIT rates;
+// a module is considered *failed* when it observes an uncorrectable or an
+// undetectable error under the protection scheme being evaluated.
+//
+// Following the FaultSim methodology, classification works on fault-region
+// geometry: a fault makes its region's bits untrustworthy, and a scheme
+// fails when some codeword (word / beat-pair / line, depending on the
+// scheme's granularity) contains untrustworthy bits beyond the scheme's
+// correction capability. Single faults are classified alone; fault pairs
+// are classified by geometric intersection.
+package faultsim
+
+import (
+	fm "safeguard/internal/faultmodel"
+)
+
+// Evaluator classifies fault patterns for one protection scheme over one
+// module geometry.
+type Evaluator interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Geometry returns the module organization the scheme runs on.
+	Geometry() fm.ModuleGeometry
+	// FatalAlone reports whether a single fault already exceeds the
+	// scheme (uncorrectable or undetectable, either way module failure).
+	FatalAlone(f fm.Fault) bool
+	// PairFatal reports whether two individually survivable faults
+	// together exceed the scheme.
+	PairFatal(a, b fm.Fault) bool
+}
+
+// ---------------------------------------------------------------------------
+// Geometry helpers
+// ---------------------------------------------------------------------------
+
+// ranksOverlap reports whether two faults can touch a common rank.
+func ranksOverlap(a, b fm.Fault) bool {
+	return a.Rank < 0 || b.Rank < 0 || a.Rank == b.Rank
+}
+
+// banksOverlap reports whether the faults can touch a common bank (assuming
+// a common rank).
+func banksOverlap(a, b fm.Fault) bool {
+	return a.SpansAllBanks() || b.SpansAllBanks() || a.Bank == b.Bank
+}
+
+// rowsOverlap reports whether the faults can touch a common row.
+func rowsOverlap(a, b fm.Fault) bool {
+	return a.SpansAllRows() || b.SpansAllRows() || a.Row == b.Row
+}
+
+// colWindowsOverlap reports whether the faults can touch a common
+// `window`-column-wide group (the per-chip footprint of one codeword).
+// SingleWord faults span Width columns starting at Col; they stay within
+// one window as long as window >= Width (true for every scheme here).
+func colWindowsOverlap(a, b fm.Fault, window int) bool {
+	if a.SpansAllCols() || b.SpansAllCols() {
+		return true
+	}
+	return a.Col/window == b.Col/window
+}
+
+// sameCodeword reports whether two faults in *different chips* of a common
+// rank intersect the same codeword, where a codeword's per-chip footprint
+// is `window` columns of one row.
+func sameCodeword(a, b fm.Fault, window int) bool {
+	return ranksOverlap(a, b) && banksOverlap(a, b) && rowsOverlap(a, b) &&
+		colWindowsOverlap(a, b, window)
+}
+
+// ---------------------------------------------------------------------------
+// Conventional SECDED (x8)
+// ---------------------------------------------------------------------------
+
+// SECDEDEval classifies faults for the word-granularity SECDED baseline:
+// one correctable bit per 72-bit word. Any chip fault mode that corrupts
+// several bits of one word (word, row, bank, multi-bank, multi-rank) is
+// uncorrectable on its own; bit and column faults are correctable alone and
+// fatal only when two of them meet in one word.
+type SECDEDEval struct{}
+
+// Name implements Evaluator.
+func (SECDEDEval) Name() string { return "SECDED" }
+
+// Geometry implements Evaluator.
+func (SECDEDEval) Geometry() fm.ModuleGeometry { return fm.X8SECDED16GB }
+
+// FatalAlone implements Evaluator.
+func (SECDEDEval) FatalAlone(f fm.Fault) bool {
+	switch f.Mode {
+	case fm.SingleBit, fm.SingleColumn:
+		return false
+	default:
+		return true
+	}
+}
+
+// PairFatal implements Evaluator: two surviving (bit/column) faults are
+// fatal when they place two untrustworthy bits in one word. The per-chip
+// footprint of a word is Width=8 columns; faults in the same chip must be
+// distinct bits of one beat group, faults in different chips must share the
+// beat index.
+func (SECDEDEval) PairFatal(a, b fm.Fault) bool {
+	const window = 8 // one beat: Width columns per chip
+	if !ranksOverlap(a, b) || !banksOverlap(a, b) || !rowsOverlap(a, b) {
+		return false
+	}
+	if !colWindowsOverlap(a, b, window) {
+		return false
+	}
+	if a.Chip == b.Chip && sameBitLine(a, b) {
+		// Identical column position: the same bits, not two errors.
+		return false
+	}
+	return true
+}
+
+// sameBitLine reports whether two same-chip faults occupy the same column
+// position (and thus the same bits wherever they overlap).
+func sameBitLine(a, b fm.Fault) bool {
+	return !a.SpansAllCols() && !b.SpansAllCols() && a.Col == b.Col &&
+		(a.Mode == fm.SingleColumn || b.Mode == fm.SingleColumn || a.Row == b.Row)
+}
+
+// ---------------------------------------------------------------------------
+// SafeGuard with SECDED (x8)
+// ---------------------------------------------------------------------------
+
+// SafeGuardSECDEDEval classifies faults for SafeGuard on x8 modules:
+// per-line ECC-1 (one bit) plus, when ColumnParity is set, recovery of one
+// pin column per line. Everything else is a detected uncorrectable error —
+// still a module failure in FaultSim terms, but never silent.
+type SafeGuardSECDEDEval struct {
+	// ColumnParity selects the Figure 5 design; false gives the Figure 3b
+	// ablation whose column faults are fatal (the 1.25x curve of Fig 6).
+	ColumnParity bool
+}
+
+// Name implements Evaluator.
+func (e SafeGuardSECDEDEval) Name() string {
+	if e.ColumnParity {
+		return "SafeGuard-SECDED"
+	}
+	return "SafeGuard-SECDED (no column parity)"
+}
+
+// Geometry implements Evaluator.
+func (SafeGuardSECDEDEval) Geometry() fm.ModuleGeometry { return fm.X8SECDED16GB }
+
+// eccChip is the index of the metadata device on an x8 rank.
+const eccChipX8 = 8
+
+// FatalAlone implements Evaluator.
+func (e SafeGuardSECDEDEval) FatalAlone(f fm.Fault) bool {
+	switch f.Mode {
+	case fm.SingleBit:
+		return false
+	case fm.SingleColumn:
+		if !e.ColumnParity {
+			return true
+		}
+		// Column parity reconstructs data pins; a vertical fault in the
+		// ECC chip corrupts ECC-1/parity/MAC bits beyond repair.
+		return f.Chip == eccChipX8
+	default:
+		return true
+	}
+}
+
+// PairFatal implements Evaluator: the correction granule is the 64-byte
+// line — Width*8 = 64 columns per chip. Two faults meeting in one line
+// exceed ECC-1 unless they corrupt the very same pin column (a single pin
+// symbol, which column parity still recovers).
+func (e SafeGuardSECDEDEval) PairFatal(a, b fm.Fault) bool {
+	const window = 64 // 8 beats x 8 columns per chip per line
+	if !sameCodeword(a, b, window) {
+		return false
+	}
+	if e.ColumnParity && a.Chip == b.Chip && samePin(a, b) {
+		// Both faults live on one pin: the damaged pin symbol is
+		// recovered whole.
+		return false
+	}
+	if a.Chip == b.Chip && sameBitLine(a, b) {
+		return false
+	}
+	return true
+}
+
+// samePin reports whether two same-chip faults sit on the same DQ pin
+// (column index congruent modulo the chip width).
+func samePin(a, b fm.Fault) bool {
+	return !a.SpansAllCols() && !b.SpansAllCols() && a.Col%8 == b.Col%8
+}
+
+// ---------------------------------------------------------------------------
+// Conventional Chipkill (x4)
+// ---------------------------------------------------------------------------
+
+// ChipkillEval classifies faults for the symbol-based SSC-DSD baseline:
+// any single chip's damage is one symbol per codeword and correctable; two
+// chips damaged in one codeword exceed the code. A codeword's per-chip
+// footprint is a beat pair: 8 columns.
+type ChipkillEval struct{}
+
+// Name implements Evaluator.
+func (ChipkillEval) Name() string { return "Chipkill" }
+
+// Geometry implements Evaluator.
+func (ChipkillEval) Geometry() fm.ModuleGeometry { return fm.X4Chipkill16GB }
+
+// FatalAlone implements Evaluator: no single-chip fault exceeds SSC; a
+// multi-rank fault corrupts one chip per rank, still one symbol per
+// codeword.
+func (ChipkillEval) FatalAlone(f fm.Fault) bool { return false }
+
+// PairFatal implements Evaluator: same chip position is still one symbol
+// per codeword (chips in different ranks never share codewords, so a
+// multi-rank fault plus a same-position fault stays single-symbol too);
+// different positions are fatal when they meet in one codeword.
+func (ChipkillEval) PairFatal(a, b fm.Fault) bool {
+	if a.Chip == b.Chip {
+		return false
+	}
+	const window = 8 // beat pair: 2 beats x 4 columns
+	return sameCodeword(a, b, window)
+}
+
+// ---------------------------------------------------------------------------
+// SafeGuard with Chipkill (x4)
+// ---------------------------------------------------------------------------
+
+// SafeGuardChipkillEval classifies faults for SafeGuard on x4 modules with
+// Eager Correction: one failed chip per line is reconstructed via chip-wise
+// parity under MAC verification; two chips damaged in one line are a
+// detected uncorrectable error. The per-chip line footprint is 32 columns.
+// MAC-collision escapes are negligible under Eager Correction (Section
+// V-D); the dedicated MAC-escape analysis quantifies them separately.
+type SafeGuardChipkillEval struct{}
+
+// Name implements Evaluator.
+func (SafeGuardChipkillEval) Name() string { return "SafeGuard-Chipkill" }
+
+// Geometry implements Evaluator.
+func (SafeGuardChipkillEval) Geometry() fm.ModuleGeometry { return fm.X4Chipkill16GB }
+
+// FatalAlone implements Evaluator.
+func (SafeGuardChipkillEval) FatalAlone(f fm.Fault) bool { return false }
+
+// PairFatal implements Evaluator.
+func (SafeGuardChipkillEval) PairFatal(a, b fm.Fault) bool {
+	if a.Chip == b.Chip {
+		return false
+	}
+	const window = 32 // 8 beats x 4 columns per chip per line
+	return sameCodeword(a, b, window)
+}

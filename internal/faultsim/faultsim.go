@@ -1,0 +1,206 @@
+package faultsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	fm "safeguard/internal/faultmodel"
+)
+
+// Config parameterizes a Monte-Carlo lifetime study.
+type Config struct {
+	// Modules is the Monte-Carlo population size (the paper uses 10M
+	// devices; tests use far fewer).
+	Modules int
+	// Years of simulated deployment (paper: 7).
+	Years float64
+	// FITScale multiplies every Table III rate (the 10x study of
+	// Figure 10 uses 10).
+	FITScale float64
+	// Rates overrides the fault rates; nil selects Table III.
+	Rates map[fm.Mode]fm.Rate
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Workers bounds parallelism; <=0 selects GOMAXPROCS.
+	Workers int
+	// ScrubIntervalHours enables patrol scrubbing: a *transient* fault
+	// that the scheme can correct in isolation is repaired at the first
+	// scrub pass after its arrival, so it can only pair up with faults
+	// arriving inside its scrub window. Zero disables scrubbing (the
+	// paper's configuration). Permanent faults are never scrubbed away.
+	ScrubIntervalHours float64
+}
+
+// DefaultConfig mirrors the paper's setup at a tractable default population.
+func DefaultConfig() Config {
+	return Config{Modules: 1_000_000, Years: 7, FITScale: 1, Seed: 1}
+}
+
+// Result summarizes one scheme's lifetime study.
+type Result struct {
+	Scheme  string
+	Config  Config
+	Modules int
+	// FailedByYear[y] counts modules whose first failure occurred within
+	// year y+1 (cumulative).
+	FailedByYear []int
+	// Failed is the total failed module count at end of life.
+	Failed int
+	// SingleFaultFailures / PairFailures break down the causes.
+	SingleFaultFailures int
+	PairFailures        int
+	// FailuresByMode counts, for single-fault failures, the triggering
+	// mode.
+	FailuresByMode map[fm.Mode]int
+}
+
+// ProbabilityByYear returns the cumulative failure probability per year.
+func (r Result) ProbabilityByYear() []float64 {
+	out := make([]float64, len(r.FailedByYear))
+	for i, f := range r.FailedByYear {
+		out[i] = float64(f) / float64(r.Modules)
+	}
+	return out
+}
+
+// Probability returns the end-of-life failure probability.
+func (r Result) Probability() float64 {
+	return float64(r.Failed) / float64(r.Modules)
+}
+
+// Run executes the Monte-Carlo study for one scheme.
+func Run(eval Evaluator, cfg Config) Result {
+	if cfg.Modules <= 0 {
+		panic("faultsim: Modules must be positive")
+	}
+	if cfg.FITScale == 0 {
+		cfg.FITScale = 1
+	}
+	rates := cfg.Rates
+	if rates == nil {
+		rates = fm.SridharanFITRates
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	years := int(cfg.Years + 0.5)
+	hours := cfg.Years * fm.HoursPerYear
+
+	type partial struct {
+		failedByYear []int
+		single, pair int
+		byMode       map[fm.Mode]int
+	}
+	partials := make([]partial, workers)
+	per := (cfg.Modules + workers - 1) / workers
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sampler := fm.NewSampler(eval.Geometry(), rates, cfg.FITScale)
+			rng := rand.New(rand.NewPCG(cfg.Seed, uint64(w)+1))
+			p := partial{
+				failedByYear: make([]int, years),
+				byMode:       make(map[fm.Mode]int),
+			}
+			n := per
+			if (w+1)*per > cfg.Modules {
+				n = cfg.Modules - w*per
+			}
+			for m := 0; m < n; m++ {
+				faults := sampler.SampleLifetime(rng, hours)
+				if len(faults) == 0 {
+					continue
+				}
+				failH, single, mode := moduleFailure(eval, faults, cfg.ScrubIntervalHours)
+				if failH < 0 {
+					continue
+				}
+				year := int(failH / fm.HoursPerYear)
+				if year >= years {
+					year = years - 1
+				}
+				for y := year; y < years; y++ {
+					p.failedByYear[y]++
+				}
+				if single {
+					p.single++
+					p.byMode[mode]++
+				} else {
+					p.pair++
+				}
+			}
+			partials[w] = p
+		}(w)
+	}
+	wg.Wait()
+
+	res := Result{
+		Scheme:         eval.Name(),
+		Config:         cfg,
+		Modules:        cfg.Modules,
+		FailedByYear:   make([]int, years),
+		FailuresByMode: make(map[fm.Mode]int),
+	}
+	for _, p := range partials {
+		for y := range p.failedByYear {
+			res.FailedByYear[y] += p.failedByYear[y]
+		}
+		res.SingleFaultFailures += p.single
+		res.PairFailures += p.pair
+		for m, c := range p.byMode {
+			res.FailuresByMode[m] += c
+		}
+	}
+	if years > 0 {
+		res.Failed = res.FailedByYear[years-1]
+	}
+	return res
+}
+
+// moduleFailure scans a module's time-ordered fault list and returns the
+// first failure time in hours (or -1), whether it was a single-fault
+// failure, and the triggering mode for single-fault failures. With
+// scrubbing enabled, a transient survivable fault is only active until the
+// scrub pass after its arrival; a newer fault is pair-fatal with it only if
+// it lands within that window.
+func moduleFailure(eval Evaluator, faults []fm.Fault, scrubHours float64) (failHours float64, single bool, mode fm.Mode) {
+	for i, f := range faults {
+		if eval.FatalAlone(f) {
+			return f.Hours, true, f.Mode
+		}
+		for j := 0; j < i; j++ {
+			prev := faults[j]
+			if scrubHours > 0 && prev.Transient {
+				scrubAt := (float64(int(prev.Hours/scrubHours)) + 1) * scrubHours
+				if f.Hours > scrubAt {
+					continue // prev was scrubbed before f arrived
+				}
+			}
+			if eval.PairFatal(prev, f) {
+				return f.Hours, false, f.Mode
+			}
+		}
+	}
+	return -1, false, 0
+}
+
+// RunAll executes the study for several schemes with the same config.
+func RunAll(evals []Evaluator, cfg Config) []Result {
+	out := make([]Result, len(evals))
+	for i, e := range evals {
+		out[i] = Run(e, cfg)
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%-36s P(fail,%dy)=%.6f (single=%d pair=%d of %d modules)",
+		r.Scheme, len(r.FailedByYear), r.Probability(), r.SingleFaultFailures, r.PairFailures, r.Modules)
+}

@@ -1,0 +1,130 @@
+// Package gf implements arithmetic over the small binary Galois fields
+// GF(2^4) and GF(2^8) used by the symbol-based error-correcting codes in
+// this repository (Reed–Solomon Chipkill, Section V of the SafeGuard paper).
+//
+// Both fields are represented with log/antilog tables built at package
+// initialization from a primitive polynomial, so multiplication, division,
+// inversion, and exponentiation are table lookups.
+package gf
+
+import "fmt"
+
+// Field is a binary extension field GF(2^m) for m <= 8.
+type Field struct {
+	m    uint   // extension degree
+	n    int    // field size, 2^m
+	poly uint16 // primitive polynomial (with the x^m term)
+	exp  []uint8
+	log  []uint8
+}
+
+var (
+	// GF16 is GF(2^4) with primitive polynomial x^4 + x + 1 (0x13). Its
+	// elements are the 4-bit symbols delivered by x4 DRAM devices.
+	GF16 = NewField(4, 0x13)
+
+	// GF256 is GF(2^8) with primitive polynomial x^8 + x^4 + x^3 + x^2 + 1
+	// (0x11D), the polynomial used by most byte-oriented RS codes.
+	GF256 = NewField(8, 0x11D)
+)
+
+// NewField constructs GF(2^m) from the given primitive polynomial. It panics
+// if m is out of range or the polynomial is not primitive for GF(2^m), since
+// field construction happens with compile-time constants.
+func NewField(m uint, poly uint16) *Field {
+	if m < 2 || m > 8 {
+		panic(fmt.Sprintf("gf: unsupported extension degree %d", m))
+	}
+	n := 1 << m
+	f := &Field{m: m, n: n, poly: poly}
+	f.exp = make([]uint8, 2*n)
+	f.log = make([]uint8, n)
+	x := uint16(1)
+	for i := 0; i < n-1; i++ {
+		if x == 1 && i != 0 {
+			panic(fmt.Sprintf("gf: polynomial %#x is not primitive for GF(2^%d)", poly, m))
+		}
+		f.exp[i] = uint8(x)
+		f.log[x] = uint8(i)
+		x <<= 1
+		if x&uint16(n) != 0 {
+			x ^= poly
+		}
+		x &= uint16(n - 1) // keep within m bits after reduction
+	}
+	// Duplicate the table so Mul can skip the mod (n-1) on index sums.
+	for i := n - 1; i < 2*n; i++ {
+		f.exp[i] = f.exp[i-(n-1)]
+	}
+	return f
+}
+
+// Size returns the number of field elements, 2^m.
+func (f *Field) Size() int { return f.n }
+
+// Add returns a + b (XOR in binary fields).
+func (f *Field) Add(a, b uint8) uint8 { return a ^ b }
+
+// Mul returns a * b.
+func (f *Field) Mul(a, b uint8) uint8 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+int(f.log[b])]
+}
+
+// Div returns a / b. It panics on division by zero: every caller divides by
+// syndrome or locator values already checked to be nonzero.
+func (f *Field) Div(a, b uint8) uint8 {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(f.log[a]) - int(f.log[b])
+	if d < 0 {
+		d += f.n - 1
+	}
+	return f.exp[d]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a is zero.
+func (f *Field) Inv(a uint8) uint8 {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return f.exp[f.n-1-int(f.log[a])]
+}
+
+// Exp returns alpha^i where alpha is the field's primitive element.
+func (f *Field) Exp(i int) uint8 {
+	i %= f.n - 1
+	if i < 0 {
+		i += f.n - 1
+	}
+	return f.exp[i]
+}
+
+// Log returns the discrete log of a to base alpha. It panics if a is zero.
+func (f *Field) Log(a uint8) int {
+	if a == 0 {
+		panic("gf: log of zero")
+	}
+	return int(f.log[a])
+}
+
+// Pow returns a^k.
+func (f *Field) Pow(a uint8, k int) uint8 {
+	if a == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	e := (int(f.log[a]) * k) % (f.n - 1)
+	if e < 0 {
+		e += f.n - 1
+	}
+	return f.exp[e]
+}

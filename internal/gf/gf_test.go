@@ -1,0 +1,141 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldAxiomsGF16(t *testing.T)  { testFieldAxioms(t, GF16) }
+func TestFieldAxiomsGF256(t *testing.T) { testFieldAxioms(t, GF256) }
+
+func testFieldAxioms(t *testing.T, f *Field) {
+	t.Helper()
+	n := f.Size()
+	for a := 0; a < n; a++ {
+		// Multiplicative identity and zero.
+		if f.Mul(uint8(a), 1) != uint8(a) {
+			t.Fatalf("%d * 1 != %d", a, a)
+		}
+		if f.Mul(uint8(a), 0) != 0 {
+			t.Fatalf("%d * 0 != 0", a)
+		}
+		if a != 0 {
+			if f.Mul(uint8(a), f.Inv(uint8(a))) != 1 {
+				t.Fatalf("%d * inv(%d) != 1", a, a)
+			}
+			if f.Div(uint8(a), uint8(a)) != 1 {
+				t.Fatalf("%d / %d != 1", a, a)
+			}
+		}
+		for b := 0; b < n; b++ {
+			ab := f.Mul(uint8(a), uint8(b))
+			ba := f.Mul(uint8(b), uint8(a))
+			if ab != ba {
+				t.Fatalf("mul not commutative at %d,%d", a, b)
+			}
+			if int(ab) >= n {
+				t.Fatalf("product %d out of field", ab)
+			}
+			if b != 0 {
+				if f.Mul(f.Div(uint8(a), uint8(b)), uint8(b)) != uint8(a) {
+					t.Fatalf("(%d/%d)*%d != %d", a, b, b, a)
+				}
+			}
+		}
+	}
+}
+
+func TestAssociativityAndDistributivityGF16(t *testing.T) {
+	f := GF16
+	n := f.Size()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			for c := 0; c < n; c++ {
+				l := f.Mul(f.Mul(uint8(a), uint8(b)), uint8(c))
+				r := f.Mul(uint8(a), f.Mul(uint8(b), uint8(c)))
+				if l != r {
+					t.Fatalf("mul not associative at %d,%d,%d", a, b, c)
+				}
+				ld := f.Mul(uint8(a), f.Add(uint8(b), uint8(c)))
+				rd := f.Add(f.Mul(uint8(a), uint8(b)), f.Mul(uint8(a), uint8(c)))
+				if ld != rd {
+					t.Fatalf("not distributive at %d,%d,%d", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestDistributivityGF256Sampled(t *testing.T) {
+	f := GF256
+	g := func(a, b, c uint8) bool {
+		l := f.Mul(a, f.Add(b, c))
+		r := f.Add(f.Mul(a, b), f.Mul(a, c))
+		la := f.Mul(f.Mul(a, b), c)
+		ra := f.Mul(a, f.Mul(b, c))
+		return l == r && la == ra
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpLogInverse(t *testing.T) {
+	for _, f := range []*Field{GF16, GF256} {
+		for a := 1; a < f.Size(); a++ {
+			if f.Exp(f.Log(uint8(a))) != uint8(a) {
+				t.Fatalf("exp(log(%d)) != %d", a, a)
+			}
+		}
+		// Exp is periodic with period n-1 and handles negatives.
+		if f.Exp(-1) != f.Exp(f.Size()-2) {
+			t.Fatal("negative exponent broken")
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	f := GF256
+	for a := 1; a < 256; a++ {
+		acc := uint8(1)
+		for k := 0; k < 10; k++ {
+			if got := f.Pow(uint8(a), k); got != acc {
+				t.Fatalf("Pow(%d,%d) = %d, want %d", a, k, got, acc)
+			}
+			acc = f.Mul(acc, uint8(a))
+		}
+	}
+	if f.Pow(0, 0) != 1 || f.Pow(0, 3) != 0 {
+		t.Fatal("zero base powers wrong")
+	}
+}
+
+func TestPrimitiveElementGeneratesField(t *testing.T) {
+	for _, f := range []*Field{GF16, GF256} {
+		seen := make(map[uint8]bool)
+		for i := 0; i < f.Size()-1; i++ {
+			seen[f.Exp(i)] = true
+		}
+		if len(seen) != f.Size()-1 {
+			t.Fatalf("alpha generates %d elements, want %d", len(seen), f.Size()-1)
+		}
+	}
+}
+
+func TestNonPrimitivePolynomialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-primitive polynomial")
+		}
+	}()
+	NewField(4, 0x1F) // x^4+x^3+x^2+x+1 is irreducible but not primitive
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GF16.Div(3, 0)
+}

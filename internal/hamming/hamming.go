@@ -1,0 +1,223 @@
+// Package hamming implements the binary Hamming-family codes used by the
+// SafeGuard paper:
+//
+//   - SECDED(72,64): the word-granularity Single-Error-Correct
+//     Double-Error-Detect code of conventional ECC DIMMs (Section IV-A,
+//     Figure 3a). Each 64-bit bus transfer carries 8 ECC bits.
+//   - SEC: a parametric single-error-correcting Hamming code over messages
+//     of up to 1013 bits with 10 check bits, used by SafeGuard for its
+//     line-granularity ECC-1 over the 512 data bits plus the MAC
+//     (Section IV-A, Figure 3b).
+//
+// Both codes use the classic Hamming construction: codeword positions are
+// numbered from 1, check bits sit at power-of-two positions, and the
+// syndrome of a single-bit error equals the error's position.
+package hamming
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Status classifies a decode outcome.
+type Status int
+
+const (
+	// OK means no error was present.
+	OK Status = iota
+	// Corrected means a single-bit error was repaired.
+	Corrected
+	// Detected means an uncorrectable error was detected (SECDED's DED, or
+	// a SEC syndrome pointing outside the codeword).
+	Detected
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	default:
+		return fmt.Sprintf("hamming.Status(%d)", int(s))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SECDED(72,64)
+// ---------------------------------------------------------------------------
+
+// SECDED72 is the (72,64) extended Hamming code: 7 Hamming check bits plus
+// one overall parity bit per 64-bit word. The zero value is ready to use.
+type SECDED72 struct{}
+
+// secdedPos maps data bit d (0..63) to its Hamming codeword position
+// (1-based, skipping power-of-two positions). Positions fit in 7 bits.
+var secdedPos [64]uint32
+
+// secdedDataAt maps a codeword position back to the data bit index, or -1.
+var secdedDataAt [128]int8
+
+func init() {
+	for i := range secdedDataAt {
+		secdedDataAt[i] = -1
+	}
+	pos := uint32(1)
+	for d := 0; d < 64; d++ {
+		for pos&(pos-1) == 0 { // skip power-of-two (check bit) positions
+			pos++
+		}
+		secdedPos[d] = pos
+		secdedDataAt[pos] = int8(d)
+		pos++
+	}
+}
+
+// hamming7 returns the 7-bit Hamming syndrome contribution of the data word:
+// the XOR of the positions of all set data bits.
+func hamming7(word uint64) uint32 {
+	var s uint32
+	for w := word; w != 0; w &= w - 1 {
+		s ^= secdedPos[bits.TrailingZeros64(w)]
+	}
+	return s
+}
+
+// Encode returns the 8 ECC bits for a 64-bit word: bits 0..6 are the Hamming
+// check bits, bit 7 is the overall parity of data plus check bits.
+func (SECDED72) Encode(word uint64) uint8 {
+	chk := hamming7(word)
+	parity := uint32(bits.OnesCount64(word)+bits.OnesCount32(chk)) & 1
+	return uint8(chk) | uint8(parity<<7)
+}
+
+// Decode checks a (word, ecc) pair, returning the possibly corrected word,
+// the corrected ECC bits, and the status. Double-bit errors are Detected;
+// patterns of three or more bits alias onto single-bit corrections or
+// detections exactly as the real code behaves.
+func (SECDED72) Decode(word uint64, ecc uint8) (uint64, uint8, Status) {
+	storedChk := uint32(ecc & 0x7F)
+	syndrome := hamming7(word) ^ storedChk
+	parityObserved := uint32(bits.OnesCount64(word)+bits.OnesCount8(ecc)) & 1
+	// parityObserved includes the stored parity bit, so a clean word has
+	// overall even parity (0).
+	switch {
+	case syndrome == 0 && parityObserved == 0:
+		return word, ecc, OK
+	case syndrome == 0 && parityObserved == 1:
+		// Only the overall parity bit flipped.
+		return word, ecc ^ 0x80, Corrected
+	case parityObserved == 1:
+		// Odd number of flips with nonzero syndrome: single-bit error at
+		// the syndrome position.
+		if d := secdedDataAt[syndrome&0x7F]; d >= 0 {
+			return word ^ (1 << uint(d)), ecc, Corrected
+		}
+		if syndrome&(syndrome-1) == 0 && syndrome < 128 {
+			// A check bit itself flipped.
+			return word, ecc ^ uint8(1<<uint(bits.TrailingZeros32(syndrome))), Corrected
+		}
+		return word, ecc, Detected
+	default:
+		// Even number of flips with nonzero syndrome: double-bit error.
+		return word, ecc, Detected
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parametric SEC for line-granularity ECC-1
+// ---------------------------------------------------------------------------
+
+// SEC is a single-error-correcting Hamming code over a message of msgBits
+// bits. Check returns ceil(log2(msgBits + checkBits + 1)) check bits; for
+// SafeGuard's 566-bit message (512 data + 54 MAC) this is the paper's
+// 10-bit ECC-1.
+type SEC struct {
+	msgBits   int
+	checkBits int
+	pos       []uint32 // message bit -> codeword position
+	msgAt     []int32  // codeword position -> message bit, or -1
+}
+
+// NewSEC builds a SEC code for msgBits message bits. It panics if the
+// message does not fit a Hamming code with at most 16 check bits.
+func NewSEC(msgBits int) *SEC {
+	if msgBits <= 0 {
+		panic("hamming: NewSEC needs a positive message size")
+	}
+	checkBits := 2
+	for (1<<uint(checkBits))-checkBits-1 < msgBits {
+		checkBits++
+		if checkBits > 16 {
+			panic(fmt.Sprintf("hamming: message of %d bits too large", msgBits))
+		}
+	}
+	s := &SEC{
+		msgBits:   msgBits,
+		checkBits: checkBits,
+		pos:       make([]uint32, msgBits),
+		msgAt:     make([]int32, msgBits+checkBits+1),
+	}
+	for i := range s.msgAt {
+		s.msgAt[i] = -1
+	}
+	pos := uint32(1)
+	for d := 0; d < msgBits; d++ {
+		for pos&(pos-1) == 0 {
+			pos++
+		}
+		s.pos[d] = pos
+		s.msgAt[pos] = int32(d)
+		pos++
+	}
+	return s
+}
+
+// CheckBits returns the number of check bits of the code.
+func (s *SEC) CheckBits() int { return s.checkBits }
+
+// MsgBits returns the message length in bits.
+func (s *SEC) MsgBits() int { return s.msgBits }
+
+// Encode computes the check bits for a message given as packed 64-bit words
+// (bit i of the message is word i/64, bit i%64). Excess bits beyond msgBits
+// in the final word must be zero.
+func (s *SEC) Encode(msg []uint64) uint32 {
+	return s.syndromeOf(msg)
+}
+
+func (s *SEC) syndromeOf(msg []uint64) uint32 {
+	var syn uint32
+	for wi, w := range msg {
+		base := wi * 64
+		for v := w; v != 0; v &= v - 1 {
+			syn ^= s.pos[base+bits.TrailingZeros64(v)]
+		}
+	}
+	return syn
+}
+
+// Decode verifies (msg, check), correcting a single-bit error in place
+// (including errors in the check bits themselves). The returned status is
+// Detected when the syndrome points outside the codeword, which for a pure
+// SEC code is the only locally detectable uncorrectable pattern — SafeGuard
+// relies on the MAC, not ECC-1, for strong detection.
+func (s *SEC) Decode(msg []uint64, check uint32) (uint32, Status) {
+	syn := s.syndromeOf(msg) ^ check
+	if syn == 0 {
+		return check, OK
+	}
+	if int(syn) < len(s.msgAt) {
+		if d := s.msgAt[syn]; d >= 0 {
+			msg[d>>6] ^= uint64(1) << (uint(d) & 63)
+			return check, Corrected
+		}
+		if syn&(syn-1) == 0 {
+			// A check bit flipped; repair the stored check value.
+			return check ^ syn, Corrected
+		}
+	}
+	return check, Detected
+}

@@ -1,0 +1,220 @@
+package itree
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"safeguard/internal/bits"
+	"safeguard/internal/mac"
+)
+
+func keyed() *mac.Keyed {
+	var key [16]byte
+	for i := range key {
+		key[i] = byte(0x33 + i)
+	}
+	return mac.NewKeyed(key)
+}
+
+func randLine(r *rand.Rand) bits.Line {
+	var l bits.Line
+	for w := range l {
+		l[w] = r.Uint64()
+	}
+	return l
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := NewSecureMemory(500, keyed())
+	if m.Lines() != 512 { // rounded up to a power of 8
+		t.Fatalf("capacity %d, want 512", m.Lines())
+	}
+	r := rand.New(rand.NewPCG(1, 1))
+	want := make(map[int]bits.Line)
+	for i := 0; i < 200; i++ {
+		idx := r.IntN(m.Lines())
+		l := randLine(r)
+		m.Write(idx, l)
+		want[idx] = l
+	}
+	for idx, l := range want {
+		got, ok := m.Read(idx)
+		if !ok || got != l {
+			t.Fatalf("line %d: ok=%v", idx, ok)
+		}
+	}
+}
+
+func TestDetectsDataTamper(t *testing.T) {
+	m := NewSecureMemory(64, keyed())
+	r := rand.New(rand.NewPCG(2, 2))
+	m.Write(5, randLine(r))
+	m.TamperData(5, 100, 200)
+	if _, ok := m.Read(5); ok {
+		t.Fatal("tampered data accepted")
+	}
+}
+
+func TestDetectsCounterTamper(t *testing.T) {
+	m := NewSecureMemory(64, keyed())
+	r := rand.New(rand.NewPCG(3, 3))
+	m.Write(9, randLine(r))
+	m.TamperCounter(9, 1)
+	if _, ok := m.Read(9); ok {
+		t.Fatal("tampered counter accepted")
+	}
+}
+
+func TestDetectsTreeNodeTamper(t *testing.T) {
+	m := NewSecureMemory(512, keyed())
+	r := rand.New(rand.NewPCG(4, 4))
+	m.Write(100, randLine(r))
+	for lvl := 0; lvl < m.Levels(); lvl++ {
+		mm := NewSecureMemory(512, keyed())
+		mm.Write(100, randLine(r))
+		mm.TamperNode(lvl, 0, 7)
+		// Any line whose path passes through the tampered node fails.
+		if _, ok := mm.Read(0); ok {
+			t.Fatalf("level-%d node tamper accepted", lvl)
+		}
+	}
+}
+
+func TestReplayDetected(t *testing.T) {
+	// The capability SafeGuard deliberately trades away (Section VII-C):
+	// the counter-tree memory detects even a full off-chip replay.
+	m := NewSecureMemory(512, keyed())
+	r := rand.New(rand.NewPCG(5, 5))
+	old := randLine(r)
+	m.Write(77, old)
+	snap := m.Capture(77)
+
+	m.Write(77, randLine(r)) // the value moves on
+
+	m.Replay(snap) // adversary restores old data+MAC+counter
+	if _, ok := m.Read(77); ok {
+		t.Fatal("shallow replay accepted")
+	}
+
+	// Even replaying every off-chip tree node on the path fails at the
+	// in-SRAM root.
+	m.ReplayDeep(snap)
+	if _, ok := m.Read(77); ok {
+		t.Fatal("deep replay accepted — root should disagree")
+	}
+}
+
+func TestReplayDeepConsistencyWithoutRoot(t *testing.T) {
+	// Sanity for the threat analysis: after a deep replay the *off-chip*
+	// state is self-consistent (the detection really does hinge on the
+	// SRAM root), shown by replaying the root too.
+	m := NewSecureMemory(64, keyed())
+	r := rand.New(rand.NewPCG(6, 6))
+	old := randLine(r)
+	m.Write(7, old)
+	snap := m.Capture(7)
+	rootBefore := m.root
+	m.Write(7, randLine(r))
+	m.ReplayDeep(snap)
+	m.root = rootBefore // hypothetical on-chip breach
+	got, ok := m.Read(7)
+	if !ok || got != old {
+		t.Fatal("with the root also reverted, the replay must verify (it is the only anchor)")
+	}
+}
+
+func TestUnwrittenLinesVerify(t *testing.T) {
+	m := NewSecureMemory(64, keyed())
+	if _, ok := m.Read(3); !ok {
+		t.Fatal("pristine lines must verify")
+	}
+}
+
+func TestBadIndexPanics(t *testing.T) {
+	m := NewSecureMemory(64, keyed())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Read(9999)
+}
+
+// ---------------------------------------------------------------------------
+// Traffic model
+// ---------------------------------------------------------------------------
+
+func TestTrafficLevels(t *testing.T) {
+	// 16GB = 2^28 lines: counters + ceil(log8(2^28/8)) internal levels.
+	tm := NewTrafficModel(1<<40, 1<<28, 32<<10)
+	if tm.Levels() < 9 || tm.Levels() > 11 {
+		t.Fatalf("levels = %d for 2^28 lines", tm.Levels())
+	}
+}
+
+func TestTrafficColdVsWarm(t *testing.T) {
+	tm := NewTrafficModel(1<<40, 1<<28, 32<<10)
+	cold, _ := tm.OnAccess(12345, false)
+	if len(cold) != tm.Levels() {
+		t.Fatalf("cold access missed %d levels, want all %d", len(cold), tm.Levels())
+	}
+	warm, _ := tm.OnAccess(12345, false)
+	if len(warm) != 0 {
+		t.Fatalf("warm re-access missed %d levels, want 0", len(warm))
+	}
+	// A neighbour shares the counter line: first lookup hits level 0.
+	near, _ := tm.OnAccess(12346, false)
+	if len(near) != 0 {
+		t.Fatalf("sibling access missed %d, counter line should be cached", len(near))
+	}
+}
+
+func TestTrafficLocalityCutsMisses(t *testing.T) {
+	// Streaming accesses amortize metadata: the per-access DRAM cost is
+	// far below the tree depth.
+	tm := NewTrafficModel(1<<40, 1<<28, 32<<10)
+	total := 0
+	for i := uint64(0); i < 8192; i++ {
+		miss, _ := tm.OnAccess(i, false)
+		total += len(miss)
+	}
+	perAccess := float64(total) / 8192
+	if perAccess > 0.5 {
+		t.Fatalf("streaming metadata cost %.3f lines/access, expected heavy amortization", perAccess)
+	}
+	// Random accesses over a huge footprint pay much more.
+	tm2 := NewTrafficModel(1<<40, 1<<28, 32<<10)
+	r := rand.New(rand.NewPCG(7, 7))
+	total2 := 0
+	for i := 0; i < 8192; i++ {
+		miss, _ := tm2.OnAccess(r.Uint64N(1<<28), false)
+		total2 += len(miss)
+	}
+	perRandom := float64(total2) / 8192
+	if perRandom < 2 {
+		t.Fatalf("random metadata cost %.2f lines/access, expected several levels", perRandom)
+	}
+}
+
+func TestTrafficStats(t *testing.T) {
+	tm := NewTrafficModel(0, 1<<20, 4<<10)
+	tm.OnAccess(0, true)
+	if tm.Accesses == 0 || tm.MissRate() == 0 {
+		t.Fatal("stats not recorded")
+	}
+}
+
+func TestTrafficDirtyCounterWritebacks(t *testing.T) {
+	// Dirty counter lines displaced from a tiny metadata cache come back
+	// as writebacks.
+	tm := NewTrafficModel(0, 1<<20, 1<<9) // 8-line cache
+	r := rand.New(rand.NewPCG(8, 8))
+	wb := 0
+	for i := 0; i < 4096; i++ {
+		_, w := tm.OnAccess(r.Uint64N(1<<20), true)
+		wb += len(w)
+	}
+	if wb == 0 {
+		t.Fatal("no dirty metadata writebacks observed")
+	}
+}

@@ -1,0 +1,83 @@
+package itree
+
+import "safeguard/internal/cache"
+
+// TrafficModel is the timing-side cost of full SGX-class protection: each
+// memory access must also reach the line's version-counter line and the
+// tree nodes above it, except where an on-chip metadata cache already
+// holds them. The performance simulator uses the returned metadata line
+// addresses as extra DRAM reads (and writebacks for dirtied counters) —
+// extending the paper's Figure 12 comparison with the machinery it
+// excluded.
+type TrafficModel struct {
+	// metaBase is the line address where the metadata region starts.
+	metaBase uint64
+	levels   int
+	cache    *cache.Cache
+
+	// Accesses / Misses count metadata lookups and the subset that went
+	// to DRAM.
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewTrafficModel builds the model for a memory of dataLines cache lines
+// with an on-chip metadata cache of cacheBytes.
+func NewTrafficModel(metaBase uint64, dataLines uint64, cacheBytes int) *TrafficModel {
+	levels := 0
+	for span := uint64(Arity); span < dataLines; span *= Arity {
+		levels++
+	}
+	return &TrafficModel{
+		metaBase: metaBase,
+		levels:   levels + 1, // counter level plus internal levels
+		cache:    cache.New(cacheBytes, 8),
+	}
+}
+
+// Levels returns the metadata levels touched per access (counters + tree).
+func (t *TrafficModel) Levels() int { return t.levels }
+
+// metaLine returns the metadata line holding level `lvl`'s entry for a
+// data line. Level 0 is the counter line (8 counters per line); level k
+// groups by another factor of Arity. Levels get disjoint regions so they
+// do not alias in the metadata cache.
+func (t *TrafficModel) metaLine(dataLine uint64, lvl int) uint64 {
+	granule := uint64(Arity)
+	for i := 0; i < lvl; i++ {
+		granule *= Arity
+	}
+	return t.metaBase + uint64(lvl)<<24 + dataLine/granule
+}
+
+// OnAccess walks the metadata path for one data-line access, returning the
+// metadata line addresses that missed the on-chip cache (extra DRAM reads)
+// and the dirty metadata lines the fills displaced (extra DRAM
+// writebacks). `write` dirties the counter line. The walk stops at the
+// first cached level, the standard Bonsai-style optimization: a cached
+// node is trusted, so nothing above it needs fetching.
+func (t *TrafficModel) OnAccess(dataLine uint64, write bool) (misses, writebacks []uint64) {
+	for lvl := 0; lvl < t.levels; lvl++ {
+		addr := t.metaLine(dataLine, lvl)
+		t.Accesses++
+		dirty := write && lvl == 0
+		if t.cache.Lookup(addr, dirty) {
+			// Trusted on-chip copy: the path above is covered.
+			break
+		}
+		t.Misses++
+		misses = append(misses, addr)
+		if ev := t.cache.Fill(addr, dirty); ev.Valid && ev.Dirty {
+			writebacks = append(writebacks, ev.LineAddr)
+		}
+	}
+	return misses, writebacks
+}
+
+// MissRate returns the fraction of metadata lookups that went to DRAM.
+func (t *TrafficModel) MissRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Accesses)
+}

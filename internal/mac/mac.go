@@ -1,0 +1,94 @@
+// Package mac implements SafeGuard's per-cache-line Message Authentication
+// Code (Section III and IV-A of the paper).
+//
+// To obtain a fast MAC, the eight 64-bit words of a 64-byte line are
+// encrypted concurrently with a low-latency tweakable cipher and the eight
+// ciphertexts are XOR-ed into a 64-bit MAC. Shorter MACs (46 bits for
+// SafeGuard-SECDED, 32 bits for SafeGuard-Chipkill) take the
+// least-significant bits of MAC-64. The memory controller holds a 16-byte
+// key initialized randomly at boot; the line address is mixed into the
+// per-word tweak so the effective key is address-dependent, as the paper
+// prescribes ("we concatenate the line address with the key to use as the
+// effective key").
+package mac
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"safeguard/internal/bits"
+	"safeguard/internal/qarma"
+)
+
+// Widths used by the two SafeGuard instantiations.
+const (
+	// WidthSECDED is the MAC width for SafeGuard with SECDED and column
+	// parity: 64 ECC bits - 10 (ECC-1) - 8 (column parity) = 46.
+	WidthSECDED = 46
+	// WidthSECDEDNoParity is the MAC width without column parity: 54 bits.
+	WidthSECDEDNoParity = 54
+	// WidthChipkill is the MAC width for SafeGuard with Chipkill: one x4
+	// chip's worth of line storage, 32 bits.
+	WidthChipkill = 32
+)
+
+// wordTweakStride decorrelates the per-word tweaks; any odd constant works,
+// this one is the golden-ratio multiplier used by Fibonacci hashing.
+const wordTweakStride = 0x9E3779B97F4A7C15
+
+// Keyed computes per-line MACs under one boot-time key. It is immutable
+// after construction and safe for concurrent use.
+type Keyed struct {
+	cipher *qarma.Cipher
+}
+
+// NewKeyed builds a MAC engine from a 16-byte key.
+func NewKeyed(key [16]byte) *Keyed {
+	return &Keyed{cipher: qarma.NewFromBytes(key)}
+}
+
+// NewRandomKeyed draws a random boot key from rng, mirroring the memory
+// controller's boot-time key initialization.
+func NewRandomKeyed(rng *rand.Rand) *Keyed {
+	var key [16]byte
+	for i := range key {
+		key[i] = byte(rng.Uint64())
+	}
+	return NewKeyed(key)
+}
+
+// MAC64 returns the full 64-bit MAC of a line stored at the given line
+// address: the XOR of the eight tweaked word encryptions.
+func (k *Keyed) MAC64(line bits.Line, addr uint64) uint64 {
+	var m uint64
+	for w := 0; w < bits.LineWords; w++ {
+		tweak := addr + uint64(w+1)*wordTweakStride
+		m ^= k.cipher.Encrypt(line[w], tweak)
+	}
+	return m
+}
+
+// MAC returns the MAC truncated to width bits (1 <= width <= 64).
+func (k *Keyed) MAC(line bits.Line, addr uint64, width int) uint64 {
+	return Truncate(k.MAC64(line, addr), width)
+}
+
+// Truncate keeps the least-significant width bits of a MAC-64 value.
+func Truncate(mac64 uint64, width int) uint64 {
+	if width <= 0 || width > 64 {
+		panic("mac: width out of range")
+	}
+	if width == 64 {
+		return mac64
+	}
+	return mac64 & ((1 << uint(width)) - 1)
+}
+
+// EscapeProbability returns the per-check probability that corrupted data
+// passes an n-bit MAC check: 1/2^n (Section VII-E).
+func EscapeProbability(width int) float64 {
+	if width <= 0 || width > 64 {
+		panic("mac: width out of range")
+	}
+	return math.Exp2(-float64(width))
+}

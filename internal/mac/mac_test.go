@@ -1,0 +1,205 @@
+package mac
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"safeguard/internal/bits"
+)
+
+func testKey() *Keyed {
+	var key [16]byte
+	for i := range key {
+		key[i] = byte(0x10 + i)
+	}
+	return NewKeyed(key)
+}
+
+func randLine(r *rand.Rand) bits.Line {
+	var l bits.Line
+	for w := range l {
+		l[w] = r.Uint64()
+	}
+	return l
+}
+
+func TestMACDeterministic(t *testing.T) {
+	k := testKey()
+	r := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 100; i++ {
+		l := randLine(r)
+		addr := r.Uint64()
+		if k.MAC64(l, addr) != k.MAC64(l, addr) {
+			t.Fatal("MAC not deterministic")
+		}
+	}
+}
+
+func TestMACDetectsSingleBitFlips(t *testing.T) {
+	k := testKey()
+	r := rand.New(rand.NewPCG(2, 2))
+	l := randLine(r)
+	m := k.MAC64(l, 0x1000)
+	for b := 0; b < bits.LineBits; b++ {
+		if k.MAC64(l.FlipBit(b), 0x1000) == m {
+			t.Fatalf("bit %d flip not reflected in MAC-64", b)
+		}
+	}
+}
+
+func TestMACDetectsMultiBitFlips(t *testing.T) {
+	// Row-Hammer style patterns: arbitrary multi-bit flips must change the
+	// MAC (with overwhelming probability; any equality here at 46 bits
+	// would indicate a structural flaw, not bad luck).
+	k := testKey()
+	r := rand.New(rand.NewPCG(3, 3))
+	for trial := 0; trial < 2000; trial++ {
+		l := randLine(r)
+		addr := r.Uint64()
+		m := Truncate(k.MAC64(l, addr), WidthSECDED)
+		bad := l
+		nflips := 2 + int(r.Uint64()%30)
+		for i := 0; i < nflips; i++ {
+			bad = bad.FlipBit(int(r.Uint64() % bits.LineBits))
+		}
+		if bad == l {
+			continue
+		}
+		if Truncate(k.MAC64(bad, addr), WidthSECDED) == m {
+			t.Fatalf("trial %d: %d-bit corruption escaped 46-bit MAC", trial, nflips)
+		}
+	}
+}
+
+func TestMACAddressDependence(t *testing.T) {
+	// The same data at different addresses must have different MACs:
+	// this is what blocks an attacker from copying a valid (data, MAC)
+	// pair between lines.
+	k := testKey()
+	r := rand.New(rand.NewPCG(4, 4))
+	l := randLine(r)
+	seen := make(map[uint64]bool)
+	for a := uint64(0); a < 1000; a++ {
+		m := k.MAC64(l, a*64)
+		if seen[m] {
+			t.Fatalf("MAC collision across addresses at %d", a)
+		}
+		seen[m] = true
+	}
+}
+
+func TestMACKeyDependence(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 5))
+	k1 := NewRandomKeyed(r)
+	k2 := NewRandomKeyed(r)
+	l := randLine(r)
+	if k1.MAC64(l, 64) == k2.MAC64(l, 64) {
+		t.Fatal("two random keys produced the same MAC")
+	}
+}
+
+func TestWordPermutationChangesMAC(t *testing.T) {
+	// Because each word is encrypted under a word-indexed tweak, swapping
+	// two words of the line must change the MAC even though the XOR fold
+	// is order-insensitive.
+	k := testKey()
+	r := rand.New(rand.NewPCG(6, 6))
+	for trial := 0; trial < 200; trial++ {
+		l := randLine(r)
+		if l.Word(0) == l.Word(7) {
+			continue
+		}
+		swapped := l.WithWord(0, l.Word(7)).WithWord(7, l.Word(0))
+		if k.MAC64(l, 128) == k.MAC64(swapped, 128) {
+			t.Fatal("word swap not detected")
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if Truncate(0xFFFFFFFFFFFFFFFF, 32) != 0xFFFFFFFF {
+		t.Fatal("32-bit truncation wrong")
+	}
+	if Truncate(0xFFFFFFFFFFFFFFFF, 64) != 0xFFFFFFFFFFFFFFFF {
+		t.Fatal("64-bit truncation wrong")
+	}
+	if Truncate(0xABCD, 46) != 0xABCD {
+		t.Fatal("46-bit truncation wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for width 0")
+		}
+	}()
+	Truncate(1, 0)
+}
+
+func TestEscapeProbability(t *testing.T) {
+	if got := EscapeProbability(1); got != 0.5 {
+		t.Fatalf("P(escape 1-bit) = %v", got)
+	}
+	if got := EscapeProbability(32); math.Abs(got-1.0/4294967296.0) > 1e-18 {
+		t.Fatalf("P(escape 32-bit) = %v", got)
+	}
+	if got := EscapeProbability(64); got <= 0 {
+		t.Fatal("64-bit escape probability must be positive")
+	}
+}
+
+func TestEscapeRateMatchesTruncationEmpirically(t *testing.T) {
+	// With a very short MAC (8 bits) corrupted data should escape at
+	// ~1/256. This validates the 1/2^n model that the paper's Section
+	// VII-E security bounds rest on.
+	k := testKey()
+	r := rand.New(rand.NewPCG(7, 7))
+	const width = 8
+	const trials = 200000
+	escapes := 0
+	for i := 0; i < trials; i++ {
+		l := randLine(r)
+		addr := uint64(i) * 64
+		m := Truncate(k.MAC64(l, addr), width)
+		bad := l.FlipBits(
+			int(r.Uint64()%bits.LineBits),
+			int(r.Uint64()%bits.LineBits),
+			int(r.Uint64()%bits.LineBits),
+		)
+		if bad == l {
+			continue
+		}
+		if Truncate(k.MAC64(bad, addr), width) == m {
+			escapes++
+		}
+	}
+	rate := float64(escapes) / trials
+	want := EscapeProbability(width)
+	if rate < want/2 || rate > want*2 {
+		t.Fatalf("empirical escape rate %.6f, want ~%.6f", rate, want)
+	}
+}
+
+func TestMACWidthConstants(t *testing.T) {
+	// Paper Section IV: 64 ECC bits = 10 ECC-1 + 8 column parity + 46 MAC;
+	// without column parity, 54-bit MAC. Chipkill: one x4 chip = 32 bits.
+	if WidthSECDED != 64-10-8 {
+		t.Fatal("SECDED MAC width inconsistent with ECC budget")
+	}
+	if WidthSECDEDNoParity != 64-10 {
+		t.Fatal("no-parity MAC width inconsistent")
+	}
+	if WidthChipkill != 32 {
+		t.Fatal("chipkill MAC width must be 32")
+	}
+}
+
+func BenchmarkMAC64(b *testing.B) {
+	k := testKey()
+	r := rand.New(rand.NewPCG(8, 8))
+	l := randLine(r)
+	b.SetBytes(bits.LineBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.MAC64(l, uint64(i)*64)
+	}
+}

@@ -1,0 +1,422 @@
+// Package memctrl is the cycle-level DDR4 memory controller of the paper's
+// Table II configuration: one channel, FR-FCFS scheduling with read
+// priority and write-drain watermarks, 64-entry read and write queues,
+// per-bank timing state (tRCD/tRP/tCL/tRAS/tWR/tRTP/tCCD), rank-level tRRD
+// and tFAW, shared data-bus occupancy with turnaround penalties, and
+// periodic refresh (tREFI/tRFC).
+//
+// The controller is scheme-agnostic: protection schemes add their MAC
+// latency and extra metadata traffic at the memory-system layer
+// (internal/sim), keeping this model purely about DRAM timing.
+package memctrl
+
+import (
+	"safeguard/internal/dram"
+)
+
+// Queue capacities from Table II.
+const (
+	ReadQueueSize  = 64
+	WriteQueueSize = 64
+)
+
+// Write-drain watermarks: switch to writes above High, back to reads below
+// Low.
+const (
+	drainHigh = 48
+	drainLow  = 16
+)
+
+// fcfsWindow is the in-order scheduling window of the FCFS ablation.
+const fcfsWindow = 4
+
+// Request is one line-sized memory command.
+type request struct {
+	lineAddr  uint64
+	coord     dram.Coord
+	enqueued  int64
+	write     bool
+	actIssued bool
+	callback  func(mcDone int64)
+}
+
+type bankState struct {
+	openRow    int
+	actReadyAt int64
+	rdReadyAt  int64
+	wrReadyAt  int64
+	preReadyAt int64
+}
+
+type rankState struct {
+	lastActAt     int64
+	actWindow     [4]int64 // rolling tFAW window
+	actWindowPos  int
+	nextRefreshAt int64
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Reads, Writes       uint64
+	RowHits, RowMisses  uint64
+	SumReadLatencyMC    int64
+	MaxReadQueueDepth   int
+	ReadQueueFullEvents uint64
+	Refreshes           uint64
+}
+
+// AvgReadLatencyMC returns the mean enqueue-to-data read latency in MC
+// cycles.
+func (s Stats) AvgReadLatencyMC() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.SumReadLatencyMC) / float64(s.Reads)
+}
+
+// RowHitRate returns the fraction of column commands that hit an open row.
+func (s Stats) RowHitRate() float64 {
+	t := s.RowHits + s.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(t)
+}
+
+// Controller is a single-channel DDR4 controller.
+type Controller struct {
+	// FCFS disables first-ready (row-hit-first) reordering: only the few
+	// oldest requests may be scheduled, in arrival order — the scheduler
+	// ablation.
+	FCFS bool
+
+	tm     dram.Timing
+	mapper *dram.Mapper
+
+	readQ  []*request
+	writeQ []*request
+	banks  [][]bankState
+	ranks  []rankState
+
+	busFreeAt    int64
+	lastBusWrite bool
+	draining     bool
+
+	// completions holds issued reads waiting for their data time.
+	completions []pendingCompletion
+
+	now int64
+
+	Stats Stats
+}
+
+type pendingCompletion struct {
+	at  int64
+	req *request
+}
+
+// New builds a controller for the geometry and timing.
+func New(g dram.Geometry, tm dram.Timing) *Controller {
+	c := &Controller{tm: tm, mapper: dram.NewMapper(g)}
+	c.banks = make([][]bankState, g.Ranks)
+	c.ranks = make([]rankState, g.Ranks)
+	for r := range c.banks {
+		c.banks[r] = make([]bankState, g.Banks)
+		for b := range c.banks[r] {
+			c.banks[r][b].openRow = -1
+		}
+		rk := &c.ranks[r]
+		// Stagger per-rank refresh so the ranks do not blackout together.
+		rk.nextRefreshAt = int64(tm.TREFI) * int64(r+1) / int64(g.Ranks)
+		// No ACT has happened yet: rank ACT-spacing windows start far in
+		// the past.
+		rk.lastActAt = -1 << 30
+		for i := range rk.actWindow {
+			rk.actWindow[i] = -1 << 30
+		}
+	}
+	return c
+}
+
+// Now returns the controller's cycle count.
+func (c *Controller) Now() int64 { return c.now }
+
+// CanAcceptRead reports read-queue space.
+func (c *Controller) CanAcceptRead() bool { return len(c.readQ) < ReadQueueSize }
+
+// CanAcceptWrite reports write-queue space.
+func (c *Controller) CanAcceptWrite() bool { return len(c.writeQ) < WriteQueueSize }
+
+// EnqueueRead queues a line read; callback fires with the MC cycle at which
+// data (including the burst) has arrived. Returns false when the queue is
+// full.
+func (c *Controller) EnqueueRead(lineAddr uint64, callback func(mcDone int64)) bool {
+	if len(c.readQ) >= ReadQueueSize {
+		c.Stats.ReadQueueFullEvents++
+		return false
+	}
+	// Forward from a queued write to the same line: the controller holds
+	// the freshest data.
+	for _, w := range c.writeQ {
+		if w.lineAddr == lineAddr {
+			done := c.now + 1
+			c.completions = append(c.completions, pendingCompletion{at: done, req: &request{
+				lineAddr: lineAddr, enqueued: c.now, callback: callback,
+			}})
+			c.Stats.Reads++
+			c.Stats.SumReadLatencyMC++
+			return true
+		}
+	}
+	r := &request{lineAddr: lineAddr, coord: c.mapper.Decode(lineAddr), enqueued: c.now, callback: callback}
+	c.readQ = append(c.readQ, r)
+	if d := len(c.readQ); d > c.Stats.MaxReadQueueDepth {
+		c.Stats.MaxReadQueueDepth = d
+	}
+	return true
+}
+
+// EnqueueWrite queues a line write (writeback). Returns false when full.
+func (c *Controller) EnqueueWrite(lineAddr uint64) bool {
+	if len(c.writeQ) >= WriteQueueSize {
+		return false
+	}
+	for _, w := range c.writeQ {
+		if w.lineAddr == lineAddr {
+			return true // coalesce repeated writebacks of one line
+		}
+	}
+	r := &request{lineAddr: lineAddr, coord: c.mapper.Decode(lineAddr), enqueued: c.now, write: true}
+	c.writeQ = append(c.writeQ, r)
+	return true
+}
+
+// PendingReads returns the read-queue depth.
+func (c *Controller) PendingReads() int { return len(c.readQ) }
+
+// PendingWrites returns the write-queue depth.
+func (c *Controller) PendingWrites() int { return len(c.writeQ) }
+
+// Idle reports whether no work is queued or in flight.
+func (c *Controller) Idle() bool {
+	return len(c.readQ) == 0 && len(c.writeQ) == 0 && len(c.completions) == 0
+}
+
+// Tick advances one MC cycle: fire matured completions, start refreshes,
+// pick the drain mode, and issue at most one command.
+func (c *Controller) Tick() {
+	c.now++
+	c.fireCompletions()
+	c.refresh()
+	c.updateDrainMode()
+	queue := c.readQ
+	if c.draining {
+		queue = c.writeQ
+	}
+	if len(queue) == 0 {
+		if c.draining {
+			queue = c.readQ
+		} else {
+			queue = c.writeQ
+		}
+	}
+	c.schedule(queue)
+}
+
+func (c *Controller) fireCompletions() {
+	kept := c.completions[:0]
+	for _, p := range c.completions {
+		if p.at <= c.now {
+			if p.req.callback != nil {
+				p.req.callback(p.at)
+			}
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	c.completions = kept
+}
+
+// refresh blocks a rank for tRFC every tREFI, closing its rows.
+func (c *Controller) refresh() {
+	for r := range c.ranks {
+		rk := &c.ranks[r]
+		if c.now < rk.nextRefreshAt {
+			continue
+		}
+		rk.nextRefreshAt += int64(c.tm.TREFI)
+		c.Stats.Refreshes++
+		until := c.now + int64(c.tm.TRFC)
+		for b := range c.banks[r] {
+			bank := &c.banks[r][b]
+			bank.openRow = -1
+			if bank.actReadyAt < until {
+				bank.actReadyAt = until
+			}
+		}
+	}
+}
+
+func (c *Controller) updateDrainMode() {
+	if c.draining {
+		if len(c.writeQ) <= drainLow || len(c.readQ) >= ReadQueueSize-4 {
+			c.draining = false
+		}
+		return
+	}
+	if len(c.writeQ) >= drainHigh || (len(c.readQ) == 0 && len(c.writeQ) > 0) {
+		c.draining = true
+	}
+}
+
+// schedule implements FR-FCFS over one queue: first the oldest issuable
+// row-hit column command, else progress the oldest request (ACT or PRE).
+func (c *Controller) schedule(queue []*request) {
+	// Pass 1: row-hit column commands, oldest first. Under FCFS only a
+	// small in-order window is eligible for scheduling at all.
+	limit := len(queue)
+	if c.FCFS && limit > fcfsWindow {
+		limit = fcfsWindow
+	}
+	for i, r := range queue[:limit] {
+		bank := &c.banks[r.coord.Rank][r.coord.Bank]
+		if bank.openRow == r.coord.Row && c.canIssueColumn(r, bank) {
+			c.issueColumn(r, bank)
+			c.removeFromQueue(queue, i)
+			// A request that needed its own ACT is a row miss; one that
+			// found the row open is a hit.
+			if r.actIssued {
+				c.Stats.RowMisses++
+			} else {
+				c.Stats.RowHits++
+			}
+			return
+		}
+	}
+	// Pass 2: progress requests in age order — activate a precharged
+	// bank or precharge a wrong-row bank.
+	for _, r := range queue[:limit] {
+		bank := &c.banks[r.coord.Rank][r.coord.Bank]
+		rank := &c.ranks[r.coord.Rank]
+		if bank.openRow == -1 {
+			if c.canActivate(bank, rank) {
+				c.activate(r, bank, rank)
+				return
+			}
+			continue
+		}
+		if bank.openRow != r.coord.Row && c.now >= bank.preReadyAt && !rowHasHitsQueued(queue, r.coord, bank.openRow) {
+			bank.openRow = -1
+			bank.actReadyAt = maxI64(bank.actReadyAt, c.now+int64(c.tm.TRP))
+			return
+		}
+	}
+}
+
+// rowHasHitsQueued reports whether the queue being scheduled still targets
+// the bank's open row — FR-FCFS keeps rows open while same-direction hits
+// remain. Only the active queue counts: deferring a precharge to hits in
+// the idle queue could stall the active direction indefinitely.
+func rowHasHitsQueued(queue []*request, coord dram.Coord, openRow int) bool {
+	for _, r := range queue {
+		if r.coord.Rank == coord.Rank && r.coord.Bank == coord.Bank && r.coord.Row == openRow {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) canActivate(bank *bankState, rank *rankState) bool {
+	if c.now < bank.actReadyAt {
+		return false
+	}
+	if c.now < rank.lastActAt+int64(c.tm.TRRD) {
+		return false
+	}
+	// tFAW: the fourth-most-recent ACT must be at least tFAW ago.
+	if c.now < rank.actWindow[rank.actWindowPos]+int64(c.tm.TFAW) {
+		return false
+	}
+	return true
+}
+
+func (c *Controller) activate(r *request, bank *bankState, rank *rankState) {
+	bank.openRow = r.coord.Row
+	bank.rdReadyAt = c.now + int64(c.tm.TRCD)
+	bank.wrReadyAt = c.now + int64(c.tm.TRCD)
+	bank.preReadyAt = c.now + int64(c.tm.TRAS)
+	rank.lastActAt = c.now
+	rank.actWindow[rank.actWindowPos] = c.now
+	rank.actWindowPos = (rank.actWindowPos + 1) & 3
+	r.actIssued = true
+}
+
+func (c *Controller) canIssueColumn(r *request, bank *bankState) bool {
+	if r.write {
+		if c.now < bank.wrReadyAt {
+			return false
+		}
+		dataStart := c.now + int64(c.tm.TCWL)
+		return dataStart >= c.busNeed(true)
+	}
+	if c.now < bank.rdReadyAt {
+		return false
+	}
+	dataStart := c.now + int64(c.tm.TCL)
+	return dataStart >= c.busNeed(false)
+}
+
+// busNeed returns the earliest data-start time the shared bus allows for
+// the given direction.
+func (c *Controller) busNeed(write bool) int64 {
+	t := c.busFreeAt
+	if write != c.lastBusWrite {
+		if write {
+			t += int64(c.tm.TRTW)
+		} else {
+			t += int64(c.tm.TWTR)
+		}
+	}
+	return t
+}
+
+func (c *Controller) issueColumn(r *request, bank *bankState) {
+	if r.write {
+		dataStart := c.now + int64(c.tm.TCWL)
+		dataEnd := dataStart + int64(c.tm.TBURST)
+		c.busFreeAt = dataEnd
+		c.lastBusWrite = true
+		bank.wrReadyAt = c.now + int64(c.tm.TCCD)
+		bank.rdReadyAt = maxI64(bank.rdReadyAt, dataEnd+int64(c.tm.TWTR))
+		bank.preReadyAt = maxI64(bank.preReadyAt, dataEnd+int64(c.tm.TWR))
+		c.Stats.Writes++
+		return
+	}
+	dataStart := c.now + int64(c.tm.TCL)
+	dataEnd := dataStart + int64(c.tm.TBURST)
+	c.busFreeAt = dataEnd
+	c.lastBusWrite = false
+	bank.rdReadyAt = c.now + int64(c.tm.TCCD)
+	bank.preReadyAt = maxI64(bank.preReadyAt, c.now+int64(c.tm.TRTP))
+	c.Stats.Reads++
+	c.Stats.SumReadLatencyMC += dataEnd - r.enqueued
+	c.completions = append(c.completions, pendingCompletion{at: dataEnd, req: r})
+}
+
+// removeFromQueue deletes entry i of the queue the request came from;
+// reads only ever live in readQ and writes in writeQ, so the request's kind
+// selects the slice (queue aliases one of them).
+func (c *Controller) removeFromQueue(queue []*request, i int) {
+	if queue[i].write {
+		c.writeQ = append(c.writeQ[:i], c.writeQ[i+1:]...)
+	} else {
+		c.readQ = append(c.readQ[:i], c.readQ[i+1:]...)
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,143 @@
+// Package memsys couples a DRAM data store with a protection codec into the
+// functional read/write datapath of a SafeGuard memory controller: writes
+// encode metadata, reads decode through the scheme's verify/correct path,
+// and fault injectors (persistent stuck-at faults, chip failures, transient
+// flips, Row-Hammer damage) corrupt the stored image between the two. It is
+// the integration surface the examples and cross-module tests drive.
+package memsys
+
+import (
+	"fmt"
+
+	"safeguard/internal/bits"
+	"safeguard/internal/ecc"
+)
+
+// Fault is a persistent corruption applied to a line's stored image on
+// every read until cleared (a permanent DRAM fault). The function receives
+// copies of the stored data and metadata and returns the corrupted view.
+type Fault func(line bits.Line, meta uint64) (bits.Line, uint64)
+
+// StuckBit returns a fault forcing one data bit to a fixed value.
+func StuckBit(bit int, value uint64) Fault {
+	return func(l bits.Line, m uint64) (bits.Line, uint64) {
+		return l.SetBit(bit, value), m
+	}
+}
+
+// FlipBits returns a fault inverting fixed data bits.
+func FlipBits(positions ...int) Fault {
+	return func(l bits.Line, m uint64) (bits.Line, uint64) {
+		return l.FlipBits(positions...), m
+	}
+}
+
+// FlipMeta returns a fault inverting metadata bits.
+func FlipMeta(mask uint64) Fault {
+	return func(l bits.Line, m uint64) (bits.Line, uint64) {
+		return l, m ^ mask
+	}
+}
+
+// Stats counts datapath activity.
+type Stats struct {
+	Reads, Writes   uint64
+	Corrected, DUEs uint64
+	// SilentCorruptions counts reads that delivered data differing from
+	// the last write — detectable here only because the store keeps the
+	// golden copy; a real system cannot see these, which is the point.
+	SilentCorruptions uint64
+}
+
+type entry struct {
+	golden bits.Line
+	stored bits.Line
+	meta   uint64
+}
+
+// Memory is a functional protected memory.
+type Memory struct {
+	codec  ecc.Codec
+	lines  map[uint64]*entry
+	faults map[uint64][]Fault
+
+	Stats Stats
+}
+
+// New builds a memory protected by the codec.
+func New(codec ecc.Codec) *Memory {
+	return &Memory{
+		codec:  codec,
+		lines:  make(map[uint64]*entry),
+		faults: make(map[uint64][]Fault),
+	}
+}
+
+// Codec returns the protection scheme in use.
+func (m *Memory) Codec() ecc.Codec { return m.codec }
+
+// Write stores a line at the 64-byte-aligned address.
+func (m *Memory) Write(addr uint64, line bits.Line) {
+	mustAligned(addr)
+	m.Stats.Writes++
+	m.lines[addr] = &entry{golden: line, stored: line, meta: m.codec.Encode(line, addr)}
+	if sg, ok := m.codec.(*ecc.SafeGuardChipkill); ok {
+		sg.InvalidateSpare(addr)
+	}
+}
+
+// Read returns the line at addr through the codec's verify/correct path,
+// plus the decode result. Reading an unwritten address returns an error.
+func (m *Memory) Read(addr uint64) (bits.Line, ecc.Result, error) {
+	mustAligned(addr)
+	e, ok := m.lines[addr]
+	if !ok {
+		return bits.Line{}, ecc.Result{}, fmt.Errorf("memsys: read of unwritten address %#x", addr)
+	}
+	m.Stats.Reads++
+	stored, meta := e.stored, e.meta
+	for _, f := range m.faults[addr] {
+		stored, meta = f(stored, meta)
+	}
+	res := m.codec.Decode(stored, meta, addr)
+	switch {
+	case res.Status == ecc.DUE:
+		m.Stats.DUEs++
+	case res.Line != e.golden:
+		m.Stats.SilentCorruptions++
+	case res.Status == ecc.Corrected:
+		m.Stats.Corrected++
+	}
+	return res.Line, res, nil
+}
+
+// Corrupt permanently alters the stored image (a write disturbance or
+// Row-Hammer flip that landed in the array): unlike AddFault it mutates the
+// stored copy once.
+func (m *Memory) Corrupt(addr uint64, f Fault) error {
+	mustAligned(addr)
+	e, ok := m.lines[addr]
+	if !ok {
+		return fmt.Errorf("memsys: corrupt of unwritten address %#x", addr)
+	}
+	e.stored, e.meta = f(e.stored, e.meta)
+	return nil
+}
+
+// AddFault attaches a persistent read-path fault to an address.
+func (m *Memory) AddFault(addr uint64, f Fault) {
+	mustAligned(addr)
+	m.faults[addr] = append(m.faults[addr], f)
+}
+
+// ClearFaults removes an address's persistent faults (a repair/remap).
+func (m *Memory) ClearFaults(addr uint64) { delete(m.faults, addr) }
+
+// Lines returns the number of distinct written lines.
+func (m *Memory) Lines() int { return len(m.lines) }
+
+func mustAligned(addr uint64) {
+	if addr%bits.LineBytes != 0 {
+		panic(fmt.Sprintf("memsys: address %#x not 64-byte aligned", addr))
+	}
+}

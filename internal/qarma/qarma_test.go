@@ -1,0 +1,227 @@
+package qarma
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	f := func(keyHi, keyLo, block, tweak uint64) bool {
+		c := New(keyHi, keyLo)
+		return c.Decrypt(c.Encrypt(block, tweak), tweak) == block
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncryptIsPermutationPerTweak(t *testing.T) {
+	// Injectivity spot-check: distinct plaintexts never collide.
+	c := New(0x0123456789ABCDEF, 0xFEDCBA9876543210)
+	seen := make(map[uint64]uint64)
+	r := rand.New(rand.NewPCG(1, 1))
+	const tweak = 42
+	for i := 0; i < 20000; i++ {
+		p := r.Uint64()
+		ct := c.Encrypt(p, tweak)
+		if prev, ok := seen[ct]; ok && prev != p {
+			t.Fatalf("collision: E(%#x) == E(%#x)", prev, p)
+		}
+		seen[ct] = p
+	}
+}
+
+func TestTweakSeparation(t *testing.T) {
+	c := New(1, 2)
+	r := rand.New(rand.NewPCG(2, 2))
+	for i := 0; i < 1000; i++ {
+		p := r.Uint64()
+		t1, t2 := r.Uint64(), r.Uint64()
+		if t1 == t2 {
+			continue
+		}
+		if c.Encrypt(p, t1) == c.Encrypt(p, t2) {
+			t.Fatalf("tweaks %#x and %#x give identical ciphertext", t1, t2)
+		}
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 3))
+	c1 := New(r.Uint64(), r.Uint64())
+	c2 := New(r.Uint64(), r.Uint64())
+	same := 0
+	for i := 0; i < 1000; i++ {
+		p := r.Uint64()
+		if c1.Encrypt(p, 7) == c2.Encrypt(p, 7) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/1000 plaintexts encrypt identically under different keys", same)
+	}
+}
+
+func TestAvalanchePlaintext(t *testing.T) {
+	// Flipping one plaintext bit should flip ~32 ciphertext bits on
+	// average. Accept a generous band; a broken diffusion layer gives
+	// values near 1 or near 64.
+	c := New(0xDEADBEEFCAFEF00D, 0x0123456789ABCDEF)
+	r := rand.New(rand.NewPCG(4, 4))
+	total, n := 0, 0
+	for i := 0; i < 500; i++ {
+		p := r.Uint64()
+		b := uint(r.Uint64() % 64)
+		d := c.Encrypt(p, 99) ^ c.Encrypt(p^(1<<b), 99)
+		total += bits.OnesCount64(d)
+		n++
+	}
+	avg := float64(total) / float64(n)
+	if avg < 24 || avg > 40 {
+		t.Fatalf("plaintext avalanche average %.2f bits, want ~32", avg)
+	}
+}
+
+func TestAvalancheTweak(t *testing.T) {
+	c := New(0xDEADBEEFCAFEF00D, 0x0123456789ABCDEF)
+	r := rand.New(rand.NewPCG(5, 5))
+	total, n := 0, 0
+	for i := 0; i < 500; i++ {
+		p := r.Uint64()
+		tw := r.Uint64()
+		b := uint(r.Uint64() % 64)
+		d := c.Encrypt(p, tw) ^ c.Encrypt(p, tw^(1<<b))
+		total += bits.OnesCount64(d)
+		n++
+	}
+	avg := float64(total) / float64(n)
+	if avg < 24 || avg > 40 {
+		t.Fatalf("tweak avalanche average %.2f bits, want ~32", avg)
+	}
+}
+
+func TestAvalancheKey(t *testing.T) {
+	r := rand.New(rand.NewPCG(6, 6))
+	total, n := 0, 0
+	for i := 0; i < 300; i++ {
+		hi, lo := r.Uint64(), r.Uint64()
+		p := r.Uint64()
+		b := uint(r.Uint64() % 64)
+		var d uint64
+		if i%2 == 0 {
+			d = New(hi, lo).Encrypt(p, 5) ^ New(hi^(1<<b), lo).Encrypt(p, 5)
+		} else {
+			d = New(hi, lo).Encrypt(p, 5) ^ New(hi, lo^(1<<b)).Encrypt(p, 5)
+		}
+		total += bits.OnesCount64(d)
+		n++
+	}
+	avg := float64(total) / float64(n)
+	if avg < 24 || avg > 40 {
+		t.Fatalf("key avalanche average %.2f bits, want ~32", avg)
+	}
+}
+
+func TestSboxIsInvolution(t *testing.T) {
+	for i := uint8(0); i < 16; i++ {
+		if sbox[sbox[i]] != i {
+			t.Fatalf("sbox not involutory at %d", i)
+		}
+	}
+}
+
+func TestMixColumnsIsInvolution(t *testing.T) {
+	f := func(s uint64) bool { return mixColumns(mixColumns(s)) == s }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePermutationsInverse(t *testing.T) {
+	f := func(s uint64) bool {
+		return shuffle(shuffle(s, &tau), &tauInv) == s &&
+			shuffle(shuffle(s, &tweakPerm), &tweakPermInv) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLFSRInverse(t *testing.T) {
+	seen := make(map[uint8]bool)
+	for v := uint8(0); v < 16; v++ {
+		w := lfsr(v)
+		if w > 15 {
+			t.Fatalf("lfsr(%d) = %d out of range", v, w)
+		}
+		if seen[w] {
+			t.Fatalf("lfsr not injective at %d", v)
+		}
+		seen[w] = true
+		if lfsrInv(w) != v {
+			t.Fatalf("lfsrInv(lfsr(%d)) = %d", v, lfsrInv(w))
+		}
+	}
+}
+
+func TestTweakScheduleInvertible(t *testing.T) {
+	f := func(tw uint64) bool { return tweakBackward(tweakForward(tw)) == tw }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReflectorInverse(t *testing.T) {
+	c := New(11, 22)
+	f := func(s uint64) bool {
+		return c.reflectorInv(c.reflector(s)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewFromBytesMatchesHalves(t *testing.T) {
+	var key [16]byte
+	for i := range key {
+		key[i] = byte(i + 1)
+	}
+	c1 := NewFromBytes(key)
+	c2 := New(0x0102030405060708, 0x090A0B0C0D0E0F10)
+	for p := uint64(0); p < 16; p++ {
+		if c1.Encrypt(p, p) != c2.Encrypt(p, p) {
+			t.Fatal("NewFromBytes disagrees with New")
+		}
+	}
+}
+
+func TestCiphertextDistribution(t *testing.T) {
+	// Each output bit should be ~50% over many random inputs.
+	c := New(123, 456)
+	r := rand.New(rand.NewPCG(7, 7))
+	const n = 20000
+	var counts [64]int
+	for i := 0; i < n; i++ {
+		ct := c.Encrypt(r.Uint64(), r.Uint64())
+		for b := 0; b < 64; b++ {
+			counts[b] += int((ct >> uint(b)) & 1)
+		}
+	}
+	for b, cnt := range counts {
+		frac := float64(cnt) / n
+		if frac < 0.45 || frac > 0.55 {
+			t.Fatalf("output bit %d biased: %.3f", b, frac)
+		}
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	c := New(1, 2)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= c.Encrypt(uint64(i), uint64(i)*3)
+	}
+	_ = acc
+}

@@ -1,0 +1,133 @@
+// Package report renders the experiment outputs as aligned ASCII tables
+// and series, the textual equivalents of the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows for aligned rendering.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable builds a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowStrings appends pre-formatted cells.
+func (t *Table) AddRowStrings(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series renders a labeled numeric series (a textual figure curve).
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// RenderSeries writes one-or-more series under a title, one label column and
+// one column per series — the textual form of the paper's bar charts.
+func RenderSeries(w io.Writer, title string, labels []string, series ...Series) {
+	t := NewTable(title, append([]string{""}, names(series)...)...)
+	for i, lab := range labels {
+		cells := make([]any, 0, len(series)+1)
+		cells = append(cells, lab)
+		for _, s := range series {
+			if i < len(s.Values) {
+				cells = append(cells, fmt.Sprintf("%.4f", s.Values[i]))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	t.Render(w)
+}
+
+func names(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Percent formats a fractional slowdown as a signed percentage.
+func Percent(frac float64) string {
+	return fmt.Sprintf("%+.2f%%", frac*100)
+}

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Table X: demo", "name", "value", "note")
+	tab.AddRow("alpha", 1.5, "first")
+	tab.AddRow("beta-longer-name", 22, "second row")
+	out := tab.String()
+	if !strings.Contains(out, "Table X: demo") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count %d: %q", len(lines), out)
+	}
+	// Columns align: every data line has the value column at the same
+	// offset.
+	h := strings.Index(lines[1], "value")
+	if h < 0 {
+		t.Fatal("header missing column")
+	}
+	if !strings.HasPrefix(lines[3][h:], "1.5") {
+		t.Fatalf("misaligned value column: %q", lines[3])
+	}
+}
+
+func TestAddRowStrings(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRowStrings("x", "y")
+	if !strings.Contains(tab.String(), "x") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	var b strings.Builder
+	RenderSeries(&b, "Figure Y", []string{"w1", "w2"},
+		Series{Name: "s1", Values: []float64{0.1, 0.2}},
+		Series{Name: "s2", Values: []float64{0.3}},
+	)
+	out := b.String()
+	if !strings.Contains(out, "Figure Y") || !strings.Contains(out, "0.1000") {
+		t.Fatalf("series render wrong: %q", out)
+	}
+	if !strings.Contains(out, "-") { // missing value placeholder
+		t.Fatal("missing-value placeholder absent")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.007) != "+0.70%" {
+		t.Fatalf("got %q", Percent(0.007))
+	}
+	if Percent(-0.012) != "-1.20%" {
+		t.Fatalf("got %q", Percent(-0.012))
+	}
+}

@@ -1,0 +1,166 @@
+// Package response implements the system side of SafeGuard's contract
+// (Sections VII-A and VII-B of the paper): the hardware converts
+// Row-Hammer corruption into Detected Uncorrectable Errors, and the
+// software must then act — restart the victim process, migrate it to
+// another machine (cloud systems), or reboot — and, because an adversary
+// who can persistently force DUEs gains a denial-of-service lever, the
+// system should identify persistently-failing (potentially malicious)
+// processes and quarantine them.
+package response
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Action is a preventative measure taken on a DUE.
+type Action int
+
+const (
+	// RestartProcess re-executes the consuming process from a clean state.
+	RestartProcess Action = iota
+	// MigrateProcess relocates the process to a different machine
+	// (the paper's cloud-system option).
+	MigrateProcess
+	// RebootMachine is the last resort for machine-wide damage.
+	RebootMachine
+	// QuarantineProcess suspends a process identified as the likely
+	// aggressor of persistent failures (Section VII-B's DoS response).
+	QuarantineProcess
+)
+
+func (a Action) String() string {
+	switch a {
+	case RestartProcess:
+		return "restart-process"
+	case MigrateProcess:
+		return "migrate-process"
+	case RebootMachine:
+		return "reboot-machine"
+	case QuarantineProcess:
+		return "quarantine-process"
+	default:
+		return fmt.Sprintf("response.Action(%d)", int(a))
+	}
+}
+
+// DUEEvent is one detected uncorrectable error, attributed to the
+// consuming process and the co-resident processes that were scheduled when
+// it happened (the aggressor is usually among the latter).
+type DUEEvent struct {
+	// Time is in arbitrary monotonic units (e.g. seconds).
+	Time float64
+	// LineAddr locates the corrupted line.
+	LineAddr uint64
+	// Consumer is the process that read the corrupted data.
+	Consumer string
+	// CoResident lists processes running on the machine at the time.
+	CoResident []string
+}
+
+// Policy decides actions for DUE events.
+type Policy struct {
+	// Cloud selects migration over restart for the first responses.
+	Cloud bool
+	// QuarantineThreshold is how many DUE events a suspect may be
+	// co-resident with, within Window time units, before quarantine.
+	QuarantineThreshold int
+	// Window is the sliding correlation window.
+	Window float64
+	// RebootThreshold is the event count (per Window, machine-wide)
+	// beyond which the machine reboots.
+	RebootThreshold int
+
+	events      []DUEEvent
+	quarantined map[string]bool
+}
+
+// NewPolicy builds a policy with the given thresholds.
+func NewPolicy(cloud bool, quarantineThreshold int, window float64, rebootThreshold int) *Policy {
+	if quarantineThreshold <= 0 || window <= 0 || rebootThreshold <= 0 {
+		panic("response: thresholds must be positive")
+	}
+	return &Policy{
+		Cloud:               cloud,
+		QuarantineThreshold: quarantineThreshold,
+		Window:              window,
+		RebootThreshold:     rebootThreshold,
+		quarantined:         make(map[string]bool),
+	}
+}
+
+// Decision is the policy's response to one event.
+type Decision struct {
+	Actions []Action
+	// Quarantine names the processes newly quarantined by this event.
+	Quarantine []string
+}
+
+// OnDUE records an event and returns the decided actions. Events must be
+// delivered in time order.
+func (p *Policy) OnDUE(ev DUEEvent) Decision {
+	if n := len(p.events); n > 0 && ev.Time < p.events[n-1].Time {
+		panic("response: events must be time-ordered")
+	}
+	p.events = append(p.events, ev)
+	p.gc(ev.Time)
+
+	var d Decision
+	if p.Cloud {
+		d.Actions = append(d.Actions, MigrateProcess)
+	} else {
+		d.Actions = append(d.Actions, RestartProcess)
+	}
+
+	// Section VII-B: correlate persistent failures with co-resident
+	// processes to find the likely aggressor.
+	counts := p.suspectCounts()
+	suspects := make([]string, 0)
+	for proc, n := range counts {
+		if n >= p.QuarantineThreshold && !p.quarantined[proc] {
+			suspects = append(suspects, proc)
+		}
+	}
+	sort.Strings(suspects)
+	for _, s := range suspects {
+		p.quarantined[s] = true
+		d.Quarantine = append(d.Quarantine, s)
+	}
+	if len(d.Quarantine) > 0 {
+		d.Actions = append(d.Actions, QuarantineProcess)
+	}
+
+	if len(p.events) >= p.RebootThreshold {
+		d.Actions = append(d.Actions, RebootMachine)
+	}
+	return d
+}
+
+// gc drops events older than the sliding window.
+func (p *Policy) gc(now float64) {
+	cut := 0
+	for cut < len(p.events) && p.events[cut].Time < now-p.Window {
+		cut++
+	}
+	p.events = p.events[cut:]
+}
+
+// suspectCounts tallies, per process, how many in-window events it was
+// co-resident with (consumers are victims, not suspects).
+func (p *Policy) suspectCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, ev := range p.events {
+		for _, proc := range ev.CoResident {
+			if proc != ev.Consumer {
+				counts[proc]++
+			}
+		}
+	}
+	return counts
+}
+
+// Quarantined reports whether a process has been quarantined.
+func (p *Policy) Quarantined(proc string) bool { return p.quarantined[proc] }
+
+// PendingEvents returns the in-window event count (for tests/telemetry).
+func (p *Policy) PendingEvents() int { return len(p.events) }

@@ -1,0 +1,109 @@
+package response
+
+import "testing"
+
+func TestFirstResponseMatchesDeployment(t *testing.T) {
+	onprem := NewPolicy(false, 3, 60, 100)
+	d := onprem.OnDUE(DUEEvent{Time: 1, Consumer: "db"})
+	if len(d.Actions) != 1 || d.Actions[0] != RestartProcess {
+		t.Fatalf("on-prem first response: %v", d.Actions)
+	}
+	cloud := NewPolicy(true, 3, 60, 100)
+	d = cloud.OnDUE(DUEEvent{Time: 1, Consumer: "db"})
+	if d.Actions[0] != MigrateProcess {
+		t.Fatalf("cloud first response: %v", d.Actions)
+	}
+}
+
+func TestPersistentAggressorQuarantined(t *testing.T) {
+	// Section VII-B: the attacker process is co-resident with every DUE;
+	// innocent processes are not. After the threshold the attacker is
+	// quarantined, the victims are not.
+	p := NewPolicy(true, 3, 100, 1000)
+	var quarantined []string
+	for i := 0; i < 5; i++ {
+		d := p.OnDUE(DUEEvent{
+			Time:       float64(i),
+			Consumer:   "victim",
+			CoResident: []string{"victim", "attacker", "bystander" + string(rune('a'+i))},
+		})
+		quarantined = append(quarantined, d.Quarantine...)
+	}
+	if len(quarantined) != 1 || quarantined[0] != "attacker" {
+		t.Fatalf("quarantined %v, want exactly [attacker]", quarantined)
+	}
+	if !p.Quarantined("attacker") || p.Quarantined("victim") {
+		t.Fatal("quarantine state wrong")
+	}
+}
+
+func TestConsumerIsNotASuspect(t *testing.T) {
+	// The process consuming corrupted data is the victim; repeated
+	// victimhood must not get it quarantined.
+	p := NewPolicy(false, 2, 100, 1000)
+	for i := 0; i < 10; i++ {
+		d := p.OnDUE(DUEEvent{Time: float64(i), Consumer: "victim", CoResident: []string{"victim"}})
+		if len(d.Quarantine) != 0 {
+			t.Fatal("victim quarantined")
+		}
+	}
+}
+
+func TestSlidingWindowForgets(t *testing.T) {
+	p := NewPolicy(false, 3, 10, 1000)
+	p.OnDUE(DUEEvent{Time: 0, Consumer: "v", CoResident: []string{"x"}})
+	p.OnDUE(DUEEvent{Time: 1, Consumer: "v", CoResident: []string{"x"}})
+	// Long quiet period: old events age out.
+	d := p.OnDUE(DUEEvent{Time: 100, Consumer: "v", CoResident: []string{"x"}})
+	if len(d.Quarantine) != 0 {
+		t.Fatal("stale events should not count toward quarantine")
+	}
+	if p.PendingEvents() != 1 {
+		t.Fatalf("window holds %d events, want 1", p.PendingEvents())
+	}
+}
+
+func TestRebootOnMachineWideStorm(t *testing.T) {
+	p := NewPolicy(false, 100, 10, 3)
+	var last Decision
+	for i := 0; i < 3; i++ {
+		last = p.OnDUE(DUEEvent{Time: float64(i), Consumer: "v"})
+	}
+	found := false
+	for _, a := range last.Actions {
+		if a == RebootMachine {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no reboot after storm: %v", last.Actions)
+	}
+}
+
+func TestOutOfOrderEventsPanic(t *testing.T) {
+	p := NewPolicy(false, 3, 10, 100)
+	p.OnDUE(DUEEvent{Time: 5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.OnDUE(DUEEvent{Time: 4})
+}
+
+func TestBadThresholdsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPolicy(false, 0, 10, 10)
+}
+
+func TestActionStrings(t *testing.T) {
+	for _, a := range []Action{RestartProcess, MigrateProcess, RebootMachine, QuarantineProcess} {
+		if a.String() == "" {
+			t.Fatal("unnamed action")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package rowhammer
+
+import "safeguard/internal/bloom"
+
+// BlockHammer models the Bloom-filter mitigation of Yağlıkçı et al. (HPCA
+// 2021), which Section VIII of the SafeGuard paper discusses: rows are
+// tracked in a counting Bloom filter, and once a row's estimated activation
+// count within the refresh window crosses the blacklist threshold, further
+// activations to it are rate-limited (delayed) so no row can reach the
+// RH-Threshold before the window's refresh.
+//
+// BlockHammer has the two weaknesses the paper calls out, both reproduced
+// by this model's experiments:
+//
+//   - it must be sized for a particular RH-Threshold: a module with a
+//     lower threshold than designed for still flips bits;
+//   - blacklisted-but-benign hot rows suffer severe added latency (the
+//     paper quotes >125 microseconds per access at low thresholds).
+type BlockHammer struct {
+	// DesignThreshold is the RH-Threshold the mitigation was built for.
+	DesignThreshold int
+	// cap is the maximum activations any row may receive per window.
+	cap    uint32
+	filter *bloom.Counting
+	// Throttled counts denied (delayed) activations — the latency cost.
+	Throttled int
+}
+
+// NewBlockHammer sizes the mitigation for a design-time RH-Threshold. The
+// per-row cap is just under half the threshold: a victim's disturbance sums
+// over both its neighbours (double-sided hammering), so each aggressor must
+// individually stay below T/2 for the sum to stay below T.
+func NewBlockHammer(designThreshold int) *BlockHammer {
+	cap := designThreshold/2 - 1
+	if cap < 1 {
+		cap = 1
+	}
+	return &BlockHammer{
+		DesignThreshold: designThreshold,
+		cap:             uint32(cap),
+		filter:          bloom.NewCounting(1<<14, 4, 0xB10C),
+	}
+}
+
+// Name implements Mitigation.
+func (bh *BlockHammer) Name() string { return "BlockHammer" }
+
+// AllowActivate implements Throttler: activations beyond the per-window cap
+// are delayed (denied for this slot). The Bloom estimate never
+// underestimates, so the cap is enforced safely even under collisions.
+func (bh *BlockHammer) AllowActivate(row int) bool {
+	if bh.filter.Estimate(uint64(row)) >= bh.cap {
+		bh.Throttled++
+		return false
+	}
+	return true
+}
+
+// OnActivate implements Mitigation: count the activation.
+func (bh *BlockHammer) OnActivate(b *Bank, row int) {
+	bh.filter.Insert(uint64(row))
+}
+
+// OnREF implements Mitigation: BlockHammer issues no victim refreshes — it
+// prevents rows from ever reaching hammering rates instead.
+func (bh *BlockHammer) OnREF(*Bank) {}
+
+// ResetWindow implements WindowResetter: the filter rotates with the
+// refresh window.
+func (bh *BlockHammer) ResetWindow() { bh.filter.Clear() }
+
+// ThrottledFraction returns the share of attempted activations that were
+// delayed, given the total attempts — the mitigation's latency currency.
+func (bh *BlockHammer) ThrottledFraction(attempts int) float64 {
+	if attempts == 0 {
+		return 0
+	}
+	return float64(bh.Throttled) / float64(attempts)
+}

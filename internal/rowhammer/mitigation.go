@@ -1,0 +1,240 @@
+package rowhammer
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// Mitigation is a Row-Hammer defense observing the bank's command stream.
+// OnActivate fires on every ACT; OnREF fires on each periodic REF command
+// (REFsPerWindow per 64ms window), where REF-synchronized mitigations such
+// as TRR do their victim refreshes.
+type Mitigation interface {
+	Name() string
+	OnActivate(b *Bank, row int)
+	OnREF(b *Bank)
+}
+
+// ---------------------------------------------------------------------------
+// None
+// ---------------------------------------------------------------------------
+
+// None is the unprotected baseline.
+type None struct{}
+
+// Name implements Mitigation.
+func (None) Name() string { return "none" }
+
+// OnActivate implements Mitigation.
+func (None) OnActivate(*Bank, int) {}
+
+// OnREF implements Mitigation.
+func (None) OnREF(*Bank) {}
+
+// ---------------------------------------------------------------------------
+// PARA
+// ---------------------------------------------------------------------------
+
+// PARA is the probabilistic mitigation of Kim et al. (ISCA'14): on every
+// activation, with probability P, refresh the aggressor's immediate
+// neighbours. P must be tailored to the RH-Threshold — the paper's point
+// about threshold-dependent defenses.
+type PARA struct {
+	// P is the per-activation refresh probability.
+	P   float64
+	rng *rand.Rand
+}
+
+// NewPARA builds PARA with the probability sized for the given threshold:
+// P = 10/threshold makes the chance of a victim surviving `threshold`
+// activations without a refresh (1-P)^threshold ≈ e^-10 ≈ 5e-5. Note the
+// Half-Double irony: the stronger P is, the more middle-row refreshes the
+// mitigation itself issues on behalf of a distance-2 attacker.
+func NewPARA(threshold int, seed uint64) *PARA {
+	return &PARA{P: 10.0 / float64(threshold), rng: rand.New(rand.NewPCG(seed, 0xAA))}
+}
+
+// Name implements Mitigation.
+func (p *PARA) Name() string { return "PARA" }
+
+// OnActivate implements Mitigation.
+func (p *PARA) OnActivate(b *Bank, row int) {
+	if p.rng.Float64() < p.P {
+		b.RefreshRow(row - 1)
+		b.RefreshRow(row + 1)
+	}
+}
+
+// OnREF implements Mitigation.
+func (p *PARA) OnREF(*Bank) {}
+
+// ---------------------------------------------------------------------------
+// TRR
+// ---------------------------------------------------------------------------
+
+// TRR models in-DRAM Targeted Row Refresh the way deployed samplers work
+// (and the way TRRespass characterized them): activations are counted only
+// within the current REF interval; on each REF command the neighbours of
+// the top-counted rows are refreshed and the sampler clears. The sampler's
+// tiny capacity and per-interval horizon are exactly what TRRespass
+// exploits — a stream of dummy rows out-counts the true aggressors in
+// every interval, so the victims' neighbours are never the ones refreshed.
+type TRR struct {
+	// TableSize is the sampler capacity (real devices track only a
+	// handful of rows).
+	TableSize int
+	// VictimsPerREF is how many tracked rows get their neighbours
+	// refreshed per REF command.
+	VictimsPerREF int
+	// RefreshCooldownREFs rate-limits per-row victim refreshes: a row
+	// refreshed within this many REF commands is skipped. Without the
+	// limit the mitigation would re-activate the same victims thousands
+	// of times per window and hammer *their* neighbours itself.
+	RefreshCooldownREFs int
+	// EligibleMin is the sampler's per-interval activation-count bar: a
+	// row is considered an aggressor only if it was activated at least
+	// this many times within the REF interval. TRRespass's dummy-row
+	// calibration keeps the true aggressors just under this bar while
+	// the dummies stay above it.
+	EligibleMin   int
+	counts        map[int]int
+	refIndex      int
+	lastRefreshed map[int]int
+}
+
+// NewTRR builds a TRR sampler with the given table capacity.
+func NewTRR(tableSize int) *TRR {
+	return &TRR{
+		TableSize:           tableSize,
+		VictimsPerREF:       2,
+		RefreshCooldownREFs: 8,
+		EligibleMin:         8,
+		counts:              make(map[int]int),
+		lastRefreshed:       make(map[int]int),
+	}
+}
+
+// Name implements Mitigation.
+func (t *TRR) Name() string { return "TRR" }
+
+// OnActivate implements Mitigation: count rows seen this REF interval; on
+// overflow evict the coldest entry for the newcomer.
+func (t *TRR) OnActivate(b *Bank, row int) {
+	if _, ok := t.counts[row]; ok {
+		t.counts[row]++
+		return
+	}
+	if len(t.counts) >= t.TableSize {
+		minRow, minCount := -1, int(^uint(0)>>1)
+		for r, c := range t.counts {
+			if c < minCount {
+				minRow, minCount = r, c
+			}
+		}
+		delete(t.counts, minRow)
+	}
+	t.counts[row] = 1
+}
+
+// OnREF implements Mitigation: refresh the neighbours of the
+// hottest-this-interval rows, then start a fresh interval.
+func (t *TRR) OnREF(b *Bank) {
+	if len(t.counts) == 0 {
+		return
+	}
+	hot := make([]int, 0, len(t.counts))
+	for r, c := range t.counts {
+		if c >= t.EligibleMin {
+			hot = append(hot, r)
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if t.counts[hot[i]] != t.counts[hot[j]] {
+			return t.counts[hot[i]] > t.counts[hot[j]]
+		}
+		return hot[i] < hot[j]
+	})
+	n := t.VictimsPerREF
+	if n > len(hot) {
+		n = len(hot)
+	}
+	t.refIndex++
+	for _, r := range hot[:n] {
+		for _, victim := range [2]int{r - 1, r + 1} {
+			if last, ok := t.lastRefreshed[victim]; ok && t.refIndex-last < t.RefreshCooldownREFs {
+				continue
+			}
+			b.RefreshRow(victim)
+			t.lastRefreshed[victim] = t.refIndex
+		}
+	}
+	t.counts = make(map[int]int)
+}
+
+// ---------------------------------------------------------------------------
+// Graphene
+// ---------------------------------------------------------------------------
+
+// Graphene models the Misra–Gries frequent-item tracker of Park et al.
+// (MICRO'20): exact frequent-element counting guarantees any row activated
+// more than the trigger count is caught, defeating capacity-eviction
+// attacks like TRRespass — but its refreshes still target only immediate
+// neighbours, which Half-Double turns into a weapon.
+type Graphene struct {
+	// Trigger is the activation count at which a tracked row's
+	// neighbours are refreshed (sized as a fraction of the RH-Threshold).
+	Trigger int
+	// Counters is the Misra–Gries table size.
+	Counters int
+	counts   map[int]int
+	spill    int
+}
+
+// NewGraphene sizes the tracker for the given threshold: trigger at half
+// the design threshold, with enough counters to make decrement-evictions
+// unable to hide a real aggressor within one window.
+func NewGraphene(designThreshold int) *Graphene {
+	trigger := designThreshold / 2
+	if trigger < 1 {
+		trigger = 1
+	}
+	counters := ActsPerWindow/trigger + 1
+	return &Graphene{Trigger: trigger, Counters: counters, counts: make(map[int]int)}
+}
+
+// Name implements Mitigation.
+func (g *Graphene) Name() string { return "Graphene" }
+
+// OnActivate implements Mitigation (Misra–Gries update + threshold
+// trigger).
+func (g *Graphene) OnActivate(b *Bank, row int) {
+	if _, ok := g.counts[row]; ok {
+		g.counts[row]++
+	} else if len(g.counts) < g.Counters {
+		g.counts[row] = g.spill + 1
+	} else {
+		// Decrement-all step of Misra–Gries.
+		g.spill++
+		for r, c := range g.counts {
+			if c <= g.spill {
+				delete(g.counts, r)
+			}
+		}
+	}
+	if c, ok := g.counts[row]; ok && c-g.spill >= g.Trigger {
+		b.RefreshRow(row - 1)
+		b.RefreshRow(row + 1)
+		g.counts[row] = g.spill // reset estimated count
+	}
+}
+
+// OnREF implements Mitigation: Graphene resets its table every refresh
+// window, approximated as a gradual per-REF decay handled at window ends
+// by ResetWindow.
+func (g *Graphene) OnREF(*Bank) {}
+
+// ResetWindow clears the tracker at a refresh-window boundary.
+func (g *Graphene) ResetWindow() {
+	g.counts = make(map[int]int)
+	g.spill = 0
+}

@@ -1,0 +1,123 @@
+package rowhammer
+
+import "fmt"
+
+// Pattern is an adversarial activation stream: Next returns the row to
+// activate. Patterns are deterministic so experiments reproduce.
+type Pattern interface {
+	Name() string
+	Next() int
+}
+
+// ---------------------------------------------------------------------------
+// Classic single- and double-sided hammering (Figure 2)
+// ---------------------------------------------------------------------------
+
+// SingleSided hammers one aggressor row; victims are its neighbours.
+type SingleSided struct {
+	Aggressor int
+}
+
+// Name implements Pattern.
+func (p *SingleSided) Name() string { return fmt.Sprintf("single-sided(%d)", p.Aggressor) }
+
+// Next implements Pattern.
+func (p *SingleSided) Next() int { return p.Aggressor }
+
+// DoubleSided alternates the two rows sandwiching the victim, doubling the
+// disturbance rate on it.
+type DoubleSided struct {
+	Victim int
+	turn   bool
+}
+
+// Name implements Pattern.
+func (p *DoubleSided) Name() string { return fmt.Sprintf("double-sided(%d)", p.Victim) }
+
+// Next implements Pattern.
+func (p *DoubleSided) Next() int {
+	p.turn = !p.turn
+	if p.turn {
+		return p.Victim - 1
+	}
+	return p.Victim + 1
+}
+
+// ---------------------------------------------------------------------------
+// TRRespass many-sided pattern (Section II-E, Case-2)
+// ---------------------------------------------------------------------------
+
+// ManySided is the TRRespass pattern: the true aggressor pair around the
+// victim plus a stream of dummy rows that overflow TRR's sampler table and
+// evict the real aggressors before the next REF can refresh their
+// neighbours.
+type ManySided struct {
+	Victim int
+	// Dummies is the number of decoy rows (must exceed the TRR table).
+	Dummies int
+	// DummyBase is the first decoy row (placed far from the victim).
+	DummyBase int
+	step      int
+}
+
+// Name implements Pattern.
+func (p *ManySided) Name() string {
+	return fmt.Sprintf("TRRespass-many-sided(%d,+%d dummies)", p.Victim, p.Dummies)
+}
+
+// Next implements Pattern: cycle aggressor-, dummy-burst, aggressor+,
+// dummy-burst so that between consecutive true-aggressor activations every
+// dummy appears, keeping the dummies at the top of any small sampler.
+func (p *ManySided) Next() int {
+	cycle := 2 + 2*p.Dummies
+	i := p.step % cycle
+	p.step++
+	switch {
+	case i == 0:
+		return p.Victim - 1
+	case i == p.Dummies+1:
+		return p.Victim + 1
+	case i <= p.Dummies:
+		return p.DummyBase + 8*(i-1)
+	default:
+		return p.DummyBase + 8*(i-p.Dummies-2)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Half-Double (Section II-E, Case-1; Figure 1b)
+// ---------------------------------------------------------------------------
+
+// HalfDouble is Google's distance-two pattern: hammer the far rows (V±2)
+// heavily and the near rows (V±1) lightly. The mitigation sees the far rows
+// as aggressors and keeps refreshing the near rows — and each of those
+// refreshes is an activation at distance 1 from V. The light direct near
+// hammering stays below the mitigation's trigger so the near rows' own
+// neighbours (V!) are never refreshed.
+type HalfDouble struct {
+	Victim int
+	// NearEvery controls the light near-row hammering: one near
+	// activation per NearEvery far activations (0 disables direct near
+	// hits and relies purely on mitigation refreshes).
+	NearEvery int
+	step      int
+}
+
+// Name implements Pattern.
+func (p *HalfDouble) Name() string { return fmt.Sprintf("half-double(%d)", p.Victim) }
+
+// Next implements Pattern.
+func (p *HalfDouble) Next() int {
+	i := p.step
+	p.step++
+	if p.NearEvery > 0 && i%p.NearEvery == p.NearEvery/2 {
+		if (i/p.NearEvery)%2 == 0 {
+			return p.Victim - 1
+		}
+		return p.Victim + 1
+	}
+	if i%2 == 0 {
+		return p.Victim - 2
+	}
+	return p.Victim + 2
+}

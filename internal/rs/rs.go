@@ -1,0 +1,235 @@
+// Package rs implements systematic Reed–Solomon codes over the small binary
+// fields in internal/gf. It is the symbol-based code behind the conventional
+// Chipkill baseline of the SafeGuard paper (Section V): an RS(18,16) code
+// over GF(256) whose 18 symbols are the 8-bit contributions of the 18 x4
+// DRAM devices across a pair of bus beats. With two check symbols the code
+// corrects any single-symbol (single-chip) error; errors spanning more
+// symbols are either detected or — as the paper notes for Chipkill — may
+// miscorrect silently.
+//
+// The decoder is a full Berlekamp–Massey / Chien / Forney implementation, so
+// codecs with more check symbols (e.g. Bamboo-style vertical codes) can be
+// instantiated as well.
+package rs
+
+import (
+	"fmt"
+
+	"safeguard/internal/gf"
+)
+
+// Status classifies the outcome of a decode.
+type Status int
+
+const (
+	// OK means the codeword was consistent with zero errors.
+	OK Status = iota
+	// Corrected means one or more symbol errors were found and repaired.
+	Corrected
+	// Detected means the error pattern exceeded the correction capability
+	// and was flagged (detected uncorrectable error).
+	Detected
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	default:
+		return fmt.Sprintf("rs.Status(%d)", int(s))
+	}
+}
+
+// Codec is a systematic RS(n, k) code: k data symbols followed by n-k check
+// symbols. n must not exceed the field size minus one.
+type Codec struct {
+	field  *gf.Field
+	n, k   int
+	nroots int
+	gen    []uint8 // generator polynomial, degree nroots, gen[0] is the x^nroots coefficient (1)
+}
+
+// New constructs an RS(n, k) codec over the given field. It panics on
+// impossible geometry, since codecs are built from compile-time constants.
+func New(field *gf.Field, n, k int) *Codec {
+	if k <= 0 || n <= k || n > field.Size()-1 {
+		panic(fmt.Sprintf("rs: invalid code RS(%d,%d) over GF(%d)", n, k, field.Size()))
+	}
+	c := &Codec{field: field, n: n, k: k, nroots: n - k}
+	// gen(x) = (x - alpha^0)(x - alpha^1)...(x - alpha^{nroots-1})
+	c.gen = make([]uint8, c.nroots+1)
+	c.gen[0] = 1
+	for i := 0; i < c.nroots; i++ {
+		root := field.Exp(i)
+		// Multiply gen by (x + root).
+		for j := i + 1; j > 0; j-- {
+			c.gen[j] = field.Add(c.gen[j-1], field.Mul(c.gen[j], root))
+		}
+		c.gen[0] = field.Mul(c.gen[0], root)
+	}
+	// Reverse into descending order so gen[0] is the leading coefficient.
+	for i, j := 0, len(c.gen)-1; i < j; i, j = i+1, j-1 {
+		c.gen[i], c.gen[j] = c.gen[j], c.gen[i]
+	}
+	return c
+}
+
+// N returns the codeword length in symbols.
+func (c *Codec) N() int { return c.n }
+
+// K returns the number of data symbols.
+func (c *Codec) K() int { return c.k }
+
+// Encode computes the n-k check symbols for the given k data symbols.
+// The returned slice has length n-k. It panics if len(data) != k.
+func (c *Codec) Encode(data []uint8) []uint8 {
+	if len(data) != c.k {
+		panic(fmt.Sprintf("rs: Encode got %d symbols, want %d", len(data), c.k))
+	}
+	// Systematic encoding: parity = (data * x^nroots) mod gen.
+	parity := make([]uint8, c.nroots)
+	for _, d := range data {
+		feedback := c.field.Add(d, parity[0])
+		copy(parity, parity[1:])
+		parity[c.nroots-1] = 0
+		if feedback != 0 {
+			for j := 0; j < c.nroots; j++ {
+				parity[j] = c.field.Add(parity[j], c.field.Mul(feedback, c.gen[j+1]))
+			}
+		}
+	}
+	return parity
+}
+
+// Decode checks and repairs a codeword in place. cw must hold the k data
+// symbols followed by the n-k check symbols. It returns the decode status
+// and the number of symbols corrected. Error patterns beyond the correction
+// radius are reported as Detected when the syndrome equations are
+// inconsistent; patterns that alias onto a correctable word miscorrect
+// silently, exactly as real bounded-distance RS decoders do.
+func (c *Codec) Decode(cw []uint8) (Status, int) {
+	if len(cw) != c.n {
+		panic(fmt.Sprintf("rs: Decode got %d symbols, want %d", len(cw), c.n))
+	}
+	f := c.field
+	// Syndromes S_i = cw(alpha^i), with cw viewed as a polynomial whose
+	// leading coefficient is cw[0] (matching the encoder's convention).
+	synd := make([]uint8, c.nroots)
+	allZero := true
+	for i := 0; i < c.nroots; i++ {
+		var s uint8
+		for _, sym := range cw {
+			s = f.Add(f.Mul(s, f.Exp(i)), sym)
+		}
+		synd[i] = s
+		if s != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		return OK, 0
+	}
+
+	// Berlekamp–Massey: find the error locator polynomial lambda.
+	lambda := make([]uint8, c.nroots+1)
+	b := make([]uint8, c.nroots+1)
+	lambda[0], b[0] = 1, 1
+	L := 0
+	for r := 0; r < c.nroots; r++ {
+		// Discrepancy.
+		var delta uint8
+		for i := 0; i <= L && i <= r && i < len(lambda); i++ {
+			delta = f.Add(delta, f.Mul(lambda[i], synd[r-i]))
+		}
+		// Shift b by one (multiply by x).
+		copy(b[1:], b[:len(b)-1])
+		b[0] = 0
+		if delta != 0 {
+			t := make([]uint8, len(lambda))
+			for i := range lambda {
+				t[i] = f.Add(lambda[i], f.Mul(delta, b[i]))
+			}
+			if 2*L <= r {
+				// b = lambda / delta (pre-update lambda).
+				for i := range b {
+					b[i] = f.Div(lambda[i], delta)
+				}
+				L = r + 1 - L
+			}
+			lambda = t
+		}
+	}
+	if L > c.nroots/2 {
+		return Detected, 0
+	}
+
+	// Chien search over codeword positions. Position p (0-based from the
+	// first symbol) corresponds to polynomial degree n-1-p, so the error
+	// locator root alpha^{-(n-1-p)}.
+	var errPos []int
+	var errLoc []uint8 // X_j = alpha^{deg_j}
+	for p := 0; p < c.n; p++ {
+		deg := c.n - 1 - p
+		xInv := f.Exp(-deg)
+		var v uint8
+		for i := L; i >= 0; i-- {
+			v = f.Add(f.Mul(v, xInv), lambda[i])
+		}
+		if v == 0 {
+			errPos = append(errPos, p)
+			errLoc = append(errLoc, f.Exp(deg))
+		}
+	}
+	if len(errPos) != L {
+		// Locator degree does not match its root count: uncorrectable.
+		return Detected, 0
+	}
+
+	// Forney: error values. Omega(x) = [S(x) * lambda(x)] mod x^nroots,
+	// with S(x) = sum synd[i] x^i.
+	omega := make([]uint8, c.nroots)
+	for i := 0; i < c.nroots; i++ {
+		var v uint8
+		for j := 0; j <= i && j <= L; j++ {
+			v = f.Add(v, f.Mul(lambda[j], synd[i-j]))
+		}
+		omega[i] = v
+	}
+	// lambda'(x): formal derivative (odd-degree terms).
+	for j, x := range errLoc {
+		xInv := f.Inv(x)
+		// omega(X^-1)
+		var num uint8
+		for i := len(omega) - 1; i >= 0; i-- {
+			num = f.Add(f.Mul(num, xInv), omega[i])
+		}
+		// lambda'(X^-1)
+		var den uint8
+		for i := 1; i <= L; i += 2 {
+			den = f.Add(den, f.Mul(lambda[i], f.Pow(xInv, i-1)))
+		}
+		if den == 0 {
+			return Detected, 0
+		}
+		// Forney with first consecutive root 0: e_j = X_j * Omega(X_j^-1) / Lambda'(X_j^-1).
+		mag := f.Mul(x, f.Div(num, den))
+		cw[errPos[j]] = f.Add(cw[errPos[j]], mag)
+	}
+
+	// Verify: recompute syndromes on the repaired word. A bounded-distance
+	// decode that still fails verification is uncorrectable.
+	for i := 0; i < c.nroots; i++ {
+		var s uint8
+		for _, sym := range cw {
+			s = f.Add(f.Mul(s, f.Exp(i)), sym)
+		}
+		if s != 0 {
+			return Detected, 0
+		}
+	}
+	return Corrected, L
+}

@@ -1,0 +1,255 @@
+package rs
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"safeguard/internal/gf"
+)
+
+// chipkill is the RS(18,16) over GF(256) used by the conventional Chipkill
+// baseline: 16 data chips + 2 check chips, 8-bit symbols.
+func chipkill() *Codec { return New(gf.GF256, 18, 16) }
+
+func randData(r *rand.Rand, k int) []uint8 {
+	d := make([]uint8, k)
+	for i := range d {
+		d[i] = uint8(r.Uint64())
+	}
+	return d
+}
+
+func codeword(c *Codec, data []uint8) []uint8 {
+	cw := make([]uint8, 0, c.N())
+	cw = append(cw, data...)
+	cw = append(cw, c.Encode(data)...)
+	return cw
+}
+
+func TestCleanCodewordDecodesOK(t *testing.T) {
+	c := chipkill()
+	r := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 200; i++ {
+		cw := codeword(c, randData(r, c.K()))
+		orig := append([]uint8(nil), cw...)
+		st, n := c.Decode(cw)
+		if st != OK || n != 0 {
+			t.Fatalf("clean decode: status %v corrections %d", st, n)
+		}
+		for j := range cw {
+			if cw[j] != orig[j] {
+				t.Fatal("clean decode modified the codeword")
+			}
+		}
+	}
+}
+
+func TestSingleSymbolCorrection(t *testing.T) {
+	c := chipkill()
+	r := rand.New(rand.NewPCG(2, 2))
+	for i := 0; i < 500; i++ {
+		data := randData(r, c.K())
+		cw := codeword(c, data)
+		orig := append([]uint8(nil), cw...)
+		pos := r.IntN(c.N())
+		errVal := uint8(1 + r.Uint64()%255)
+		cw[pos] ^= errVal
+		st, n := c.Decode(cw)
+		if st != Corrected || n != 1 {
+			t.Fatalf("single error at %d: status %v corrections %d", pos, st, n)
+		}
+		for j := range cw {
+			if cw[j] != orig[j] {
+				t.Fatalf("symbol %d not restored", j)
+			}
+		}
+	}
+}
+
+func TestEverySymbolPositionCorrectable(t *testing.T) {
+	c := chipkill()
+	r := rand.New(rand.NewPCG(3, 3))
+	data := randData(r, c.K())
+	for pos := 0; pos < c.N(); pos++ {
+		for _, errVal := range []uint8{0x01, 0x80, 0xFF} {
+			cw := codeword(c, data)
+			cw[pos] ^= errVal
+			st, _ := c.Decode(cw)
+			if st != Corrected {
+				t.Fatalf("position %d value %#x: status %v", pos, errVal, st)
+			}
+		}
+	}
+}
+
+func TestDoubleSymbolErrorNeverMiscorrectsSilently(t *testing.T) {
+	// With 2 check symbols the code has distance 3: a two-symbol error is
+	// at distance >= 1 from every codeword, so decode either flags it or
+	// lands on a wrong codeword. We verify that whenever decode claims
+	// success on a double error, the result differs from the original in
+	// at most... actually distance-3 guarantees a 2-error pattern cannot
+	// be within distance 1 of the original, so "Corrected" results must
+	// repair to a *different* codeword (miscorrection) or be Detected.
+	c := chipkill()
+	r := rand.New(rand.NewPCG(4, 4))
+	detected, miscorrected := 0, 0
+	for i := 0; i < 500; i++ {
+		data := randData(r, c.K())
+		cw := codeword(c, data)
+		orig := append([]uint8(nil), cw...)
+		p1 := r.IntN(c.N())
+		p2 := (p1 + 1 + r.IntN(c.N()-1)) % c.N()
+		cw[p1] ^= uint8(1 + r.Uint64()%255)
+		cw[p2] ^= uint8(1 + r.Uint64()%255)
+		st, _ := c.Decode(cw)
+		switch st {
+		case Detected:
+			detected++
+		case Corrected:
+			same := true
+			for j := range cw {
+				if cw[j] != orig[j] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatal("double error decoded back to the original codeword")
+			}
+			miscorrected++
+		case OK:
+			t.Fatal("double error reported as clean")
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no double errors detected at all")
+	}
+	// Bounded-distance decoding over GF(256) with n=18: most random double
+	// errors land outside every correction sphere.
+	if miscorrected > detected {
+		t.Fatalf("miscorrections (%d) dominate detections (%d)", miscorrected, detected)
+	}
+}
+
+func TestWholeChipErrorPatterns(t *testing.T) {
+	// A chip failure corrupts exactly one 8-bit symbol: always correctable
+	// regardless of how many of its bits flipped.
+	c := chipkill()
+	r := rand.New(rand.NewPCG(5, 5))
+	for chip := 0; chip < 16; chip++ {
+		data := randData(r, c.K())
+		cw := codeword(c, data)
+		cw[chip] = uint8(r.Uint64()) // arbitrary garbage, may equal original
+		st, _ := c.Decode(cw)
+		if st != OK && st != Corrected {
+			t.Fatalf("chip %d garbage: status %v", chip, st)
+		}
+	}
+}
+
+func TestStrongerCodeCorrectsMoreSymbols(t *testing.T) {
+	// RS(20,14): 6 check symbols, corrects 3.
+	c := New(gf.GF256, 20, 14)
+	r := rand.New(rand.NewPCG(6, 6))
+	for i := 0; i < 100; i++ {
+		data := randData(r, c.K())
+		cw := codeword(c, data)
+		orig := append([]uint8(nil), cw...)
+		// Three distinct error positions.
+		perm := r.Perm(c.N())
+		for _, p := range perm[:3] {
+			cw[p] ^= uint8(1 + r.Uint64()%255)
+		}
+		st, n := c.Decode(cw)
+		if st != Corrected || n != 3 {
+			t.Fatalf("triple error: status %v corrections %d", st, n)
+		}
+		for j := range cw {
+			if cw[j] != orig[j] {
+				t.Fatal("triple error not fully repaired")
+			}
+		}
+	}
+}
+
+func TestGF16Code(t *testing.T) {
+	// RS(15,13) over GF(16): single-symbol correction on nibbles.
+	c := New(gf.GF16, 15, 13)
+	r := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 200; i++ {
+		data := make([]uint8, c.K())
+		for j := range data {
+			data[j] = uint8(r.Uint64() & 0xF)
+		}
+		cw := codeword(c, data)
+		orig := append([]uint8(nil), cw...)
+		pos := r.IntN(c.N())
+		cw[pos] ^= uint8(1 + r.Uint64()%15)
+		st, _ := c.Decode(cw)
+		if st != Corrected {
+			t.Fatalf("status %v", st)
+		}
+		for j := range cw {
+			if cw[j] != orig[j] {
+				t.Fatal("not repaired")
+			}
+		}
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	for _, tc := range [][2]int{{300, 16}, {16, 16}, {10, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RS(%d,%d) should panic", tc[0], tc[1])
+				}
+			}()
+			New(gf.GF256, tc[0], tc[1])
+		}()
+	}
+}
+
+func TestEncodeLinearity(t *testing.T) {
+	// RS is linear: parity(a XOR b) = parity(a) XOR parity(b).
+	c := chipkill()
+	r := rand.New(rand.NewPCG(8, 8))
+	for i := 0; i < 100; i++ {
+		a := randData(r, c.K())
+		b := randData(r, c.K())
+		ab := make([]uint8, c.K())
+		for j := range ab {
+			ab[j] = a[j] ^ b[j]
+		}
+		pa, pb, pab := c.Encode(a), c.Encode(b), c.Encode(ab)
+		for j := range pab {
+			if pab[j] != pa[j]^pb[j] {
+				t.Fatal("encoder is not linear")
+			}
+		}
+	}
+}
+
+func BenchmarkEncode18_16(b *testing.B) {
+	c := chipkill()
+	r := rand.New(rand.NewPCG(9, 9))
+	data := randData(r, c.K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(data)
+	}
+}
+
+func BenchmarkDecodeSingleError(b *testing.B) {
+	c := chipkill()
+	r := rand.New(rand.NewPCG(10, 10))
+	data := randData(r, c.K())
+	clean := codeword(c, data)
+	cw := make([]uint8, len(clean))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(cw, clean)
+		cw[5] ^= 0x41
+		c.Decode(cw)
+	}
+}

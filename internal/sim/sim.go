@@ -1,0 +1,566 @@
+// Package sim assembles the full performance-simulation system of the
+// paper's Table II: four trace-driven out-of-order cores with private L1
+// data caches, a shared inclusive 4MB LLC with a stream prefetcher, and one
+// DDR4-3200 channel behind a cycle-level FR-FCFS memory controller.
+//
+// Protection schemes attach here, at the memory-system boundary:
+//
+//   - Baseline (conventional SECDED or Chipkill): ECC checking is off the
+//     critical path; no extra latency or traffic.
+//   - SafeGuard: a MAC check (8 CPU cycles by default, Table II) on every
+//     memory read's critical path; no extra traffic — the paper's 0.7%.
+//   - SGX-style MAC: every memory read also fetches the line's MAC from a
+//     separate region (extra read traffic), data usable only after both
+//     arrive plus the MAC check; writes update the MAC region too.
+//   - Synergy-style MAC: the MAC travels with the data (read side free of
+//     extra accesses, MAC latency only), but every memory write issues a
+//     second write to update the remote parity.
+package sim
+
+import (
+	"fmt"
+
+	"safeguard/internal/cache"
+	"safeguard/internal/cpu"
+	"safeguard/internal/dram"
+	"safeguard/internal/itree"
+	"safeguard/internal/memctrl"
+	"safeguard/internal/workload"
+)
+
+// Scheme selects the protection organization under evaluation.
+type Scheme int
+
+const (
+	// Baseline is conventional ECC (SECDED or Chipkill): no MAC latency,
+	// no extra traffic.
+	Baseline Scheme = iota
+	// SafeGuard adds only the MAC-check latency to reads.
+	SafeGuard
+	// SGXStyle adds a MAC-region read per memory read and a MAC-region
+	// write per memory write, plus the MAC latency.
+	SGXStyle
+	// SynergyStyle adds the MAC latency to reads and a parity write per
+	// memory write.
+	SynergyStyle
+	// SGXFullStyle is SGXStyle plus the metadata the paper's comparison
+	// excluded: version-counter and integrity-tree accesses per memory
+	// access, filtered through a 32KB on-chip metadata cache
+	// (internal/itree.TrafficModel).
+	SGXFullStyle
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "Baseline"
+	case SafeGuard:
+		return "SafeGuard"
+	case SGXStyle:
+		return "SGX-style"
+	case SynergyStyle:
+		return "Synergy-style"
+	case SGXFullStyle:
+		return "SGX-full (counters+tree)"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Cores          int
+	L1Bytes        int
+	L1Ways         int
+	L1Latency      int64
+	LLCBytes       int
+	LLCWays        int
+	LLCLatency     int64
+	PrefetchDegree int
+	// MACLatencyCPU is the MAC check latency in CPU cycles (Table II: 8;
+	// Figure 13 sweeps to 80).
+	MACLatencyCPU int64
+	Scheme        Scheme
+	// WarmupInstr is the per-core warm-up budget: caches fill and queues
+	// reach steady state before measurement starts (the stand-in for the
+	// paper's SimPoint fast-forwarding).
+	WarmupInstr int64
+	// InstrPerCore is the measured per-core instruction budget; every
+	// core's IPC is measured over these instructions while all cores keep
+	// running (the paper's rate methodology).
+	InstrPerCore int64
+	Workload     workload.Params
+	Seed         uint64
+	// MaxCycles aborts runaway simulations.
+	MaxCycles int64
+	// FCFSScheduler degrades the memory controller from FR-FCFS to
+	// strict in-order data service (the scheduler ablation).
+	FCFSScheduler bool
+}
+
+// DefaultConfig returns the Table II system.
+func DefaultConfig() Config {
+	return Config{
+		Cores:          4,
+		L1Bytes:        32 << 10,
+		L1Ways:         4,
+		L1Latency:      2,
+		LLCBytes:       4 << 20,
+		LLCWays:        16,
+		LLCLatency:     18,
+		PrefetchDegree: 8,
+		MACLatencyCPU:  8,
+		Scheme:         Baseline,
+		WarmupInstr:    300_000,
+		InstrPerCore:   300_000,
+		Seed:           1,
+		MaxCycles:      2_000_000_000,
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	Scheme     Scheme
+	Workload   string
+	CoreCycles []int64 // cycle at which each core retired InstrPerCore
+	IPC        []float64
+	MCStats    memctrl.Stats
+	LLCMisses  uint64
+	LLCHits    uint64
+	Prefetches uint64
+}
+
+// HarmonicMeanIPC aggregates per-core IPCs.
+func (r Result) HarmonicMeanIPC() float64 {
+	var inv float64
+	for _, v := range r.IPC {
+		inv += 1 / v
+	}
+	return float64(len(r.IPC)) / inv
+}
+
+// macBaseLine places the SGX/Synergy metadata region: high in the physical
+// space, one metadata line per eight data lines.
+const macBaseLine = uint64(15) << (30 - 6) // line address of the 15GB mark
+
+// System is one assembled simulation instance.
+type System struct {
+	cfg   Config
+	cores []*cpu.Core
+	l1    []*cache.Cache
+	llc   *cache.Cache
+	pf    *cache.StreamPrefetcher
+	mc    *memctrl.Controller
+
+	// mshr tracks in-flight line fills: line -> fill state.
+	mshr map[uint64]*mshrEntry
+	// macInflight merges concurrent SGX-style MAC-line fetches.
+	macInflight map[uint64][]func(int64)
+	// tree models counter/integrity-tree metadata traffic (SGXFullStyle).
+	tree *itree.TrafficModel
+	// pendingReads/pendingWrites retry when controller queues are full.
+	pendingReads  []deferredRead
+	pendingWrites []uint64
+
+	lineMask uint64
+	now      int64
+}
+
+type mshrEntry struct {
+	// waiters are demand consumers: (core, completion callback).
+	waiters []waiter
+	// dirtyFill marks RFO fills that enter the caches dirty.
+	dirtyFill bool
+}
+
+type waiter struct {
+	core     int
+	complete func(int64)
+}
+
+type deferredRead struct {
+	lineAddr uint64
+	cb       func(mcDone int64)
+}
+
+// NewSystem builds the system for a config.
+func NewSystem(cfg Config) *System {
+	g := dram.Table2Geometry
+	s := &System{
+		cfg:         cfg,
+		llc:         cache.New(cfg.LLCBytes, cfg.LLCWays),
+		pf:          cache.NewStreamPrefetcher(cfg.PrefetchDegree),
+		mc:          memctrl.New(g, dram.DDR4_3200()),
+		mshr:        make(map[uint64]*mshrEntry),
+		macInflight: make(map[uint64][]func(int64)),
+		lineMask:    g.TotalBytes()/64 - 1,
+	}
+	s.mc.FCFS = cfg.FCFSScheduler
+	if cfg.Scheme == SGXFullStyle {
+		// Metadata region above the MAC region; 32KB on-chip metadata
+		// cache, the counter/tree geometry of the 16GB memory.
+		s.tree = itree.NewTrafficModel(macBaseLine+(1<<22), g.TotalBytes()/64, 32<<10)
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		gen := workload.NewGenerator(cfg.Workload, i, cfg.Seed)
+		s.l1 = append(s.l1, cache.New(cfg.L1Bytes, cfg.L1Ways))
+		s.cores = append(s.cores, cpu.New(gen, &corePort{sys: s, core: i}))
+	}
+	return s
+}
+
+// corePort adapts the shared memory system to one core's MemoryPort.
+type corePort struct {
+	sys  *System
+	core int
+}
+
+// Load implements cpu.MemoryPort.
+func (p *corePort) Load(addr uint64, at int64, complete func(int64)) {
+	p.sys.load(p.core, addr>>6, at, complete)
+}
+
+// Store implements cpu.MemoryPort.
+func (p *corePort) Store(addr uint64, at int64) bool {
+	return p.sys.store(p.core, addr>>6)
+}
+
+func (s *System) load(core int, line uint64, at int64, complete func(int64)) {
+	line &= s.lineMask
+	if s.l1[core].Lookup(line, false) {
+		complete(at + s.cfg.L1Latency)
+		return
+	}
+	if s.llc.Lookup(line, false) {
+		s.fillL1(core, line, false)
+		complete(at + s.cfg.LLCLatency)
+		return
+	}
+	// Train the stream detector on demand misses only: LLC-hit traffic
+	// (hot sets) would otherwise churn the table and evict live streams.
+	s.prefetchOn(line)
+	s.demandMiss(core, line, false, complete)
+}
+
+// storeMissCap bounds outstanding write-allocate misses: beyond it the
+// store buffer refuses new missing stores and the core stalls (real
+// store-buffer backpressure; without it, metadata-amplified schemes let
+// store traffic outrun the controller without bound).
+const storeMissCap = 192
+
+func (s *System) store(core int, line uint64) bool {
+	line &= s.lineMask
+	if s.l1[core].Lookup(line, true) {
+		return true
+	}
+	if s.llc.Lookup(line, false) {
+		s.fillL1(core, line, true)
+		return true
+	}
+	if len(s.mshr) >= storeMissCap || len(s.pendingReads) > 0 {
+		return false
+	}
+	// Write-allocate: fetch the line (RFO); the store itself retires via
+	// the store buffer, so nobody waits on the fill.
+	s.demandMiss(core, line, true, nil)
+	return true
+}
+
+// demandMiss joins or creates the line's MSHR entry and issues the memory
+// read through the scheme adapter.
+func (s *System) demandMiss(core int, line uint64, dirtyFill bool, complete func(int64)) {
+	if e, ok := s.mshr[line]; ok {
+		if complete != nil {
+			e.waiters = append(e.waiters, waiter{core: core, complete: complete})
+		} else {
+			e.waiters = append(e.waiters, waiter{core: core, complete: nil})
+		}
+		e.dirtyFill = e.dirtyFill || dirtyFill
+		return
+	}
+	e := &mshrEntry{dirtyFill: dirtyFill}
+	e.waiters = append(e.waiters, waiter{core: core, complete: complete})
+	s.mshr[line] = e
+	s.schemeRead(line, func(cpuDone int64) { s.finishFill(line, cpuDone) })
+}
+
+// finishFill installs a fetched line and wakes its waiters.
+func (s *System) finishFill(line uint64, cpuDone int64) {
+	e := s.mshr[line]
+	delete(s.mshr, line)
+	s.fillLLC(line, e.dirtyFill)
+	for _, w := range e.waiters {
+		s.fillL1(w.core, line, e.dirtyFill)
+		if w.complete != nil {
+			w.complete(cpuDone)
+		}
+	}
+}
+
+// fillL1 installs a line into a core's L1, spilling dirty evictions into
+// the (inclusive) LLC.
+func (s *System) fillL1(core int, line uint64, dirty bool) {
+	ev := s.l1[core].Fill(line, dirty)
+	if ev.Valid && ev.Dirty {
+		// The LLC holds every L1 line (inclusive); mark it dirty there.
+		if !s.llc.Lookup(ev.LineAddr, true) {
+			// Back-invalidation raced the eviction: write through.
+			s.writeback(ev.LineAddr)
+		}
+	}
+}
+
+// fillLLC installs a line into the LLC, back-invalidating L1 copies of the
+// victim and writing back dirty data.
+func (s *System) fillLLC(line uint64, dirty bool) {
+	ev := s.llc.Fill(line, dirty)
+	if !ev.Valid {
+		return
+	}
+	evDirty := ev.Dirty
+	for _, l1 := range s.l1 {
+		_, d := l1.Invalidate(ev.LineAddr)
+		evDirty = evDirty || d
+	}
+	if evDirty {
+		s.writeback(ev.LineAddr)
+	}
+}
+
+// prefetchOn trains the stream detector with one LLC access and launches
+// its suggestions as LLC fills. Prefetches are dropped, not queued, when
+// the controller is saturated — useless prefetches must never crowd out
+// demand traffic.
+func (s *System) prefetchOn(trigger uint64) {
+	suggestions := s.pf.OnAccess(trigger)
+	if len(suggestions) == 0 {
+		return
+	}
+	// Leave headroom for demand reads; prefetching into a saturated
+	// controller (or on top of an overflow backlog) only adds queueing
+	// delay — and under metadata-amplified schemes it would grow the
+	// backlog without bound.
+	if s.mc.PendingReads() >= memctrl.ReadQueueSize*3/4 || len(s.pendingReads) > 0 {
+		return
+	}
+	for _, pl := range suggestions {
+		pl &= s.lineMask
+		if s.llc.Contains(pl) {
+			continue
+		}
+		if _, ok := s.mshr[pl]; ok {
+			continue
+		}
+		e := &mshrEntry{}
+		s.mshr[pl] = e
+		line := pl
+		s.schemeRead(line, func(cpuDone int64) { s.finishFill(line, cpuDone) })
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scheme adapter: latency and traffic per protection organization
+// ---------------------------------------------------------------------------
+
+// metaLine maps a data line to its MAC/parity metadata line (one metadata
+// line per eight data lines, in a dedicated region).
+func (s *System) metaLine(line uint64) uint64 {
+	return (macBaseLine + line/8) & s.lineMask
+}
+
+// schemeRead issues a memory read with the scheme's latency/traffic rules;
+// cb receives the CPU cycle at which data is usable by the hierarchy.
+func (s *System) schemeRead(line uint64, cb func(cpuDone int64)) {
+	mac := s.cfg.MACLatencyCPU
+	switch s.cfg.Scheme {
+	case Baseline:
+		s.mcRead(line, func(mcDone int64) { cb(mcDone * 2) })
+	case SafeGuard, SynergyStyle:
+		s.mcRead(line, func(mcDone int64) { cb(mcDone*2 + mac) })
+	case SGXStyle:
+		// Data is usable once both the line and its MAC line arrived and
+		// the MAC check ran. In-flight MAC-line fetches are shared: eight
+		// data lines map to one MAC line, so concurrent misses on
+		// neighbouring lines coalesce (no MAC cache — the paper's
+		// fair-comparison rule — only MSHR-style merging).
+		remaining := 2
+		var latest int64
+		join := func(cpuDone int64) {
+			if cpuDone > latest {
+				latest = cpuDone
+			}
+			remaining--
+			if remaining == 0 {
+				cb(latest + mac)
+			}
+		}
+		s.mcRead(line, func(mcDone int64) { join(mcDone * 2) })
+		s.macRead(s.metaLine(line), join)
+	case SGXFullStyle:
+		// SGXStyle plus the counter/tree path: data is usable only after
+		// the data line, the MAC line, and every metadata-cache-missing
+		// tree level have arrived.
+		treeReads, treeWBs := s.tree.OnAccess(line, false)
+		remaining := 2 + len(treeReads)
+		var latest int64
+		join := func(cpuDone int64) {
+			if cpuDone > latest {
+				latest = cpuDone
+			}
+			remaining--
+			if remaining == 0 {
+				cb(latest + mac)
+			}
+		}
+		s.mcRead(line, func(mcDone int64) { join(mcDone * 2) })
+		s.macRead(s.metaLine(line), join)
+		for _, tr := range treeReads {
+			s.macRead(tr&s.lineMask, join)
+		}
+		for _, wb := range treeWBs {
+			s.mcWrite(wb & s.lineMask)
+		}
+	}
+}
+
+// macRead fetches a MAC line, merging with an identical fetch in flight.
+func (s *System) macRead(macLine uint64, cb func(cpuDone int64)) {
+	if waiters, ok := s.macInflight[macLine]; ok {
+		s.macInflight[macLine] = append(waiters, cb)
+		return
+	}
+	s.macInflight[macLine] = []func(int64){cb}
+	s.mcRead(macLine, func(mcDone int64) {
+		done := mcDone * 2
+		// Detach the waiter list before firing: a callback may request
+		// this same line again, and that new request must start a fresh
+		// fetch rather than append to a list we are about to drop.
+		ws := s.macInflight[macLine]
+		delete(s.macInflight, macLine)
+		for _, w := range ws {
+			w(done)
+		}
+	})
+}
+
+// writeback issues a memory write with the scheme's traffic rules.
+func (s *System) writeback(line uint64) {
+	s.mcWrite(line)
+	switch s.cfg.Scheme {
+	case SGXStyle, SynergyStyle:
+		// MAC-region update (SGX) or remote parity update (Synergy).
+		s.mcWrite(s.metaLine(line))
+	case SGXFullStyle:
+		s.mcWrite(s.metaLine(line))
+		// Writes bump the version counter: fetch any missing tree levels
+		// and absorb displaced dirty counter lines.
+		treeReads, treeWBs := s.tree.OnAccess(line, true)
+		for _, tr := range treeReads {
+			tr := tr & s.lineMask
+			s.macRead(tr, func(int64) {})
+		}
+		for _, wb := range treeWBs {
+			s.mcWrite(wb & s.lineMask)
+		}
+	}
+}
+
+func (s *System) mcRead(line uint64, cb func(mcDone int64)) {
+	if !s.mc.EnqueueRead(line, cb) {
+		s.pendingReads = append(s.pendingReads, deferredRead{lineAddr: line, cb: cb})
+	}
+}
+
+func (s *System) mcWrite(line uint64) {
+	if !s.mc.EnqueueWrite(line) {
+		s.pendingWrites = append(s.pendingWrites, line)
+	}
+}
+
+func (s *System) retryDeferred() {
+	for len(s.pendingReads) > 0 && s.mc.CanAcceptRead() {
+		d := s.pendingReads[0]
+		s.pendingReads = s.pendingReads[1:]
+		if !s.mc.EnqueueRead(d.lineAddr, d.cb) {
+			s.pendingReads = append([]deferredRead{d}, s.pendingReads...)
+			break
+		}
+	}
+	for len(s.pendingWrites) > 0 && s.mc.CanAcceptWrite() {
+		w := s.pendingWrites[0]
+		s.pendingWrites = s.pendingWrites[1:]
+		if !s.mc.EnqueueWrite(w) {
+			s.pendingWrites = append([]uint64{w}, s.pendingWrites...)
+			break
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------------
+
+// Run simulates a warm-up phase followed by the measured phase and returns
+// per-core IPCs over the measured instructions (each core measured at its
+// own boundary crossings while every core keeps running — the paper's rate
+// methodology).
+func (s *System) Run() (Result, error) {
+	n := s.cfg.Cores
+	warmCycle := make([]int64, n)
+	doneCycle := make([]int64, n)
+	remaining := n
+	target := s.cfg.WarmupInstr + s.cfg.InstrPerCore
+	for s.now = 1; remaining > 0; s.now++ {
+		if s.now > s.cfg.MaxCycles {
+			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d (%d cores unfinished)", s.cfg.MaxCycles, remaining)
+		}
+		s.retryDeferred()
+		for i, c := range s.cores {
+			// Stagger core start-up so the rate copies desynchronize
+			// (absorbed entirely by the warm-up phase).
+			if s.now < int64(i)*997 {
+				continue
+			}
+			c.Cycle(s.now)
+			if warmCycle[i] == 0 && c.Retired >= s.cfg.WarmupInstr {
+				warmCycle[i] = s.now
+			}
+			if doneCycle[i] == 0 && c.Retired >= target {
+				doneCycle[i] = s.now
+				remaining--
+			}
+		}
+		if s.now&1 == 0 {
+			s.mc.Tick()
+		}
+	}
+	res := Result{
+		Scheme:     s.cfg.Scheme,
+		Workload:   s.cfg.Workload.Name,
+		CoreCycles: doneCycle,
+		MCStats:    s.mc.Stats,
+		LLCMisses:  s.llc.Misses,
+		LLCHits:    s.llc.Hits,
+		Prefetches: s.pf.Issued,
+	}
+	for i, dc := range doneCycle {
+		res.IPC = append(res.IPC, float64(s.cfg.InstrPerCore)/float64(dc-warmCycle[i]))
+	}
+	return res, nil
+}
+
+// RunWorkload is the one-call experiment helper: simulate a workload under
+// a scheme with the default Table II system.
+func RunWorkload(w workload.Params, scheme Scheme, macLatencyCPU int64, instr int64, seed uint64) (Result, error) {
+	cfg := DefaultConfig()
+	cfg.Workload = w
+	cfg.Scheme = scheme
+	if macLatencyCPU > 0 {
+		cfg.MACLatencyCPU = macLatencyCPU
+	}
+	if instr > 0 {
+		cfg.InstrPerCore = instr
+	}
+	cfg.Seed = seed
+	return NewSystem(cfg).Run()
+}

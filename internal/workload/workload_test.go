@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllWorkloadsWellFormed(t *testing.T) {
+	for _, p := range SPEC2017Rate {
+		memFrac := p.LoadFrac + p.StoreFrac
+		if memFrac <= 0 || memFrac >= 1 {
+			t.Fatalf("%s: memory fraction %v out of range", p.Name, memFrac)
+		}
+		loadSplit := p.StreamFrac + p.ChaseFrac + p.ColdFrac
+		if loadSplit > 1 {
+			t.Fatalf("%s: load class fractions sum to %v > 1", p.Name, loadSplit)
+		}
+		if p.StreamWS == 0 || p.ColdWS == 0 || p.HotWS == 0 || p.StoreWS == 0 {
+			t.Fatalf("%s: zero working set", p.Name)
+		}
+	}
+	if len(SPEC2017Rate) != 15 {
+		t.Fatalf("expected 15 workloads, got %d", len(SPEC2017Rate))
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("omnetpp")
+	if err != nil || p.Name != "omnetpp" {
+		t.Fatalf("ByName failed: %v %v", p, err)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+	if len(Names()) != len(SPEC2017Rate) {
+		t.Fatal("Names length mismatch")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ByName("mcf")
+	g1 := NewGenerator(p, 0, 42)
+	g2 := NewGenerator(p, 0, 42)
+	for i := 0; i < 10000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatalf("divergence at instruction %d", i)
+		}
+	}
+}
+
+func TestCopiesAreDisjoint(t *testing.T) {
+	p, _ := ByName("mcf")
+	g0 := NewGenerator(p, 0, 42)
+	g3 := NewGenerator(p, 3, 42)
+	max0, min3 := uint64(0), ^uint64(0)
+	for i := 0; i < 50000; i++ {
+		if in := g0.Next(); in.IsLoad || in.IsStore {
+			if in.Addr > max0 {
+				max0 = in.Addr
+			}
+		}
+		if in := g3.Next(); in.IsLoad || in.IsStore {
+			if in.Addr < min3 {
+				min3 = in.Addr
+			}
+		}
+	}
+	if max0 >= min3 {
+		t.Fatalf("copy footprints overlap: copy0 max %#x, copy3 min %#x", max0, min3)
+	}
+	// And everything stays within the 16GB memory.
+	if min3 >= 16<<30 || max0 >= 16<<30 {
+		t.Fatal("addresses exceed 16GB")
+	}
+}
+
+func TestInstructionMixMatchesParams(t *testing.T) {
+	for _, name := range []string{"mcf", "lbm", "leela"} {
+		p, _ := ByName(name)
+		g := NewGenerator(p, 0, 7)
+		const n = 200000
+		loads, stores, chases := 0, 0, 0
+		for i := 0; i < n; i++ {
+			in := g.Next()
+			if in.IsLoad {
+				loads++
+				if in.DependsOnLoad {
+					chases++
+				}
+			}
+			if in.IsStore {
+				stores++
+			}
+		}
+		if got := float64(loads) / n; math.Abs(got-p.LoadFrac) > 0.01 {
+			t.Fatalf("%s: load fraction %.3f, want %.3f", name, got, p.LoadFrac)
+		}
+		if got := float64(stores) / n; math.Abs(got-p.StoreFrac) > 0.01 {
+			t.Fatalf("%s: store fraction %.3f, want %.3f", name, got, p.StoreFrac)
+		}
+		wantChase := p.LoadFrac * p.ChaseFrac
+		if got := float64(chases) / n; math.Abs(got-wantChase) > 0.005 {
+			t.Fatalf("%s: chase fraction %.4f, want %.4f", name, got, wantChase)
+		}
+	}
+}
+
+func TestStreamStrideIsWordGranular(t *testing.T) {
+	// Streaming loads must revisit each cache line ~8 times (8-byte
+	// stride), the spatial locality real code has.
+	p, _ := ByName("lbm")
+	g := NewGenerator(p, 0, 9)
+	lineCounts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		if in.IsLoad && in.Addr < coldOffset { // stream region
+			lineCounts[in.Addr>>6]++
+		}
+	}
+	total, lines := 0, 0
+	for _, c := range lineCounts {
+		total += c
+		lines++
+	}
+	avg := float64(total) / float64(lines)
+	if avg < 6 || avg > 10 {
+		t.Fatalf("stream touches per line %.1f, want ~8", avg)
+	}
+}
+
+func TestMemoryIntensityOrdering(t *testing.T) {
+	// The DRAM-footprint fractions must order the workloads the paper's
+	// results depend on: mcf/lbm memory-bound, leela/exchange2 resident.
+	intensity := func(name string) float64 {
+		p, _ := ByName(name)
+		miss := p.ChaseFrac + p.ColdFrac
+		if p.StreamWS > 1<<16 { // streams beyond the LLC miss once per line
+			miss += p.StreamFrac / 8
+		}
+		return p.LoadFrac * miss
+	}
+	if intensity("mcf") <= intensity("gcc") || intensity("lbm") <= intensity("leela") {
+		t.Fatal("memory-intensity ordering broken")
+	}
+	if intensity("exchange2") > 0.001 {
+		t.Fatal("exchange2 must be cache-resident")
+	}
+}
+
+func TestOmnetppIsTheChaseHeavyWorkload(t *testing.T) {
+	// omnetpp's DRAM traffic must be chase-dominated (latency-critical,
+	// the paper's 3.6% worst case).
+	p, _ := ByName("omnetpp")
+	if p.ChaseFrac <= p.ColdFrac {
+		t.Fatal("omnetpp should be dominated by dependent loads")
+	}
+	for _, other := range SPEC2017Rate {
+		if other.Name == "omnetpp" || other.Name == "mcf" {
+			continue
+		}
+		if other.ChaseFrac > p.ChaseFrac {
+			t.Fatalf("%s out-chases omnetpp", other.Name)
+		}
+	}
+}
