@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test bench ci fmt vet
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# ci is the gate: vet, formatting, and the full test suite under the race
+# detector (includes the figure-shape regression tests in figures_test.go).
+ci: vet fmt
+	$(GO) test -race ./...

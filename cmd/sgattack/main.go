@@ -5,7 +5,13 @@
 //	sgattack -breakthrough  TRRespass and Half-Double vs deployed mitigations,
 //	                        plus detection outcomes under SECDED and SafeGuard
 //	sgattack -table1      Table I: RH-Threshold per DRAM generation
+//	sgattack -mc          attacks through the cycle-level memory controller,
+//	                      with the mitigation running as a controller plugin
 //	sgattack -all         everything
+//
+// Selections are mutually exclusive; -all runs everything. -mitigation
+// names an in-controller defense from the registry (none, para, trr,
+// graphene, blockhammer); unknown names exit with usage.
 package main
 
 import (
@@ -13,28 +19,37 @@ import (
 	"fmt"
 	"os"
 
+	"safeguard/internal/cliflags"
 	"safeguard/internal/ecc"
 	"safeguard/internal/eccploit"
 	"safeguard/internal/experiments"
 	"safeguard/internal/mac"
+	"safeguard/internal/memctrl"
 	"safeguard/internal/report"
 	"safeguard/internal/rowhammer"
 )
 
 func main() {
 	var (
-		fig2     = flag.Bool("fig2", false, "run the Figure 2 demonstration")
-		brk      = flag.Bool("breakthrough", false, "run the breakthrough case studies (Figure 1b/1c)")
-		table1   = flag.Bool("table1", false, "print Table I")
-		eccpl    = flag.Bool("eccploit", false, "run the ECCploit timing-channel escalation (Case-3)")
-		blockhmr = flag.Bool("blockhammer", false, "run the BlockHammer sizing/latency study (Section VIII)")
-		all      = flag.Bool("all", false, "run everything")
-		seed     = flag.Uint64("seed", 7, "simulation seed")
+		fig2       = flag.Bool("fig2", false, "run the Figure 2 demonstration")
+		brk        = flag.Bool("breakthrough", false, "run the breakthrough case studies (Figure 1b/1c)")
+		table1     = flag.Bool("table1", false, "print Table I")
+		eccpl      = flag.Bool("eccploit", false, "run the ECCploit timing-channel escalation (Case-3)")
+		blockhmr   = flag.Bool("blockhammer", false, "run the BlockHammer sizing/latency study (Section VIII)")
+		mcMode     = flag.Bool("mc", false, "run attacks through the cycle-level controller (plugin mitigations)")
+		all        = flag.Bool("all", false, "run everything")
+		seed       = flag.Uint64("seed", 7, "simulation seed")
+		mitigation = flag.String("mitigation", "", "in-controller mitigation for -mc (default: sweep the registry)")
 	)
 	flag.Parse()
-	if !(*fig2 || *brk || *table1 || *eccpl || *blockhmr || *all) {
-		flag.Usage()
-		os.Exit(2)
+	if err := cliflags.Exclusive(*all, map[string]bool{
+		"fig2": *fig2, "breakthrough": *brk, "table1": *table1,
+		"eccploit": *eccpl, "blockhammer": *blockhmr, "mc": *mcMode,
+	}); err != nil {
+		cliflags.Fail(err)
+	}
+	if _, err := memctrl.NewMitigationPlugin(*mitigation, 4800, 1); err != nil {
+		cliflags.Fail(err)
 	}
 
 	if *table1 || *all {
@@ -80,6 +95,39 @@ func main() {
 			cfg.Threshold, res.TotalFlips, bh.ThrottledFraction(rowhammer.ActsPerWindow)*100)
 		fmt.Printf("  sized for threshold %d (an older module): %d flips — broken by the paper's threshold-dependence argument\n",
 			3*cfg.Threshold, res2.TotalFlips)
+		fmt.Println()
+	}
+	if *mcMode || *all {
+		mits := memctrl.MitigationNames()
+		if *mitigation != "" {
+			mits = []string{*mitigation}
+		}
+		fmt.Println("Controller-driven attacks: double-sided hammering through the")
+		fmt.Println("cycle-level DDR4 controller, mitigations running as plugins")
+		fmt.Printf("(reduced bank: 8192 rows, threshold 1000, %s budget)\n", "60k accesses")
+		for _, mit := range mits {
+			cfg := rowhammer.MCAttackConfig{
+				Bank: rowhammer.Config{
+					Rows: 8192, Threshold: 1000, LinesPerRow: 16,
+					VulnerableCellsPerRow: 64, FlipsPerCrossing: 8, Seed: *seed,
+				},
+				Mitigation: mit,
+				Seed:       *seed,
+				Accesses:   60_000,
+				MaxCycles:  40_000_000,
+			}
+			res, err := rowhammer.RunMCAttack(cfg, &rowhammer.DoubleSided{Victim: 4000})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			note := ""
+			if res.Stalled {
+				note = "  [attacker stalled by throttling]"
+			}
+			fmt.Printf("  %s%s\n", res, note)
+		}
+		fmt.Println("  VRRs are real commands here: each victim refresh pays tRAS+tRP in the bank.")
 		fmt.Println()
 	}
 	if *brk || *all {

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"safeguard/internal/analysis"
+	"safeguard/internal/cliflags"
 	"safeguard/internal/report"
 )
 
@@ -25,9 +26,10 @@ func main() {
 		all      = flag.Bool("all", false, "print everything")
 	)
 	flag.Parse()
-	if !(*table5 || *budgets || *bounds || *birthday || *all) {
-		flag.Usage()
-		os.Exit(2)
+	if err := cliflags.Exclusive(*all, map[string]bool{
+		"table5": *table5, "budgets": *budgets, "bounds": *bounds, "birthday": *birthday,
+	}); err != nil {
+		cliflags.Fail(err)
 	}
 
 	if *table5 || *all {

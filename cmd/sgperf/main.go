@@ -4,10 +4,14 @@
 //	sgperf -fig11          SafeGuard vs Chipkill baseline (per workload)
 //	sgperf -fig12          SafeGuard vs SGX-style vs Synergy-style
 //	sgperf -fig13          sensitivity to MAC latency (8..80 cycles)
+//	sgperf -schemes a,b,c  custom scheme comparison (names per ParseScheme)
 //	sgperf -all            everything
 //
+// Figure selections are mutually exclusive; -all runs every figure.
 // Budgets: -instr/-warmup set per-core instruction counts, -seeds the
-// averaging runs. -full selects the paper-scale preset.
+// averaging runs. -full selects the paper-scale preset. -mitigation
+// attaches an in-controller Row-Hammer defense (none, para, trr,
+// graphene, blockhammer) to every run of the sweep.
 package main
 
 import (
@@ -16,29 +20,63 @@ import (
 	"os"
 	"strings"
 
+	"safeguard/internal/cliflags"
 	"safeguard/internal/experiments"
+	"safeguard/internal/memctrl"
 	"safeguard/internal/report"
 	"safeguard/internal/sim"
 )
 
 func main() {
 	var (
-		fig7    = flag.Bool("fig7", false, "run Figure 7 (SafeGuard vs SECDED)")
-		fig11   = flag.Bool("fig11", false, "run Figure 11 (SafeGuard vs Chipkill)")
-		fig12   = flag.Bool("fig12", false, "run Figure 12 (MAC organizations)")
-		fig13   = flag.Bool("fig13", false, "run Figure 13 (MAC latency sweep)")
-		fullsgx = flag.Bool("fullsgx", false, "run the full-SGX (counters+tree) extension")
-		all     = flag.Bool("all", false, "run every performance experiment")
-		full    = flag.Bool("full", false, "paper-scale budgets (slower)")
-		instr   = flag.Int64("instr", 0, "measured instructions per core (override)")
-		warmup  = flag.Int64("warmup", 0, "warm-up instructions per core (override)")
-		seeds   = flag.Int("seeds", 0, "number of seeds to average (override)")
-		wl      = flag.String("workloads", "", "comma-separated workload subset")
+		fig7       = flag.Bool("fig7", false, "run Figure 7 (SafeGuard vs SECDED)")
+		fig11      = flag.Bool("fig11", false, "run Figure 11 (SafeGuard vs Chipkill)")
+		fig12      = flag.Bool("fig12", false, "run Figure 12 (MAC organizations)")
+		fig13      = flag.Bool("fig13", false, "run Figure 13 (MAC latency sweep)")
+		fullsgx    = flag.Bool("fullsgx", false, "run the full-SGX (counters+tree) extension")
+		schemes    = flag.String("schemes", "", "comma-separated schemes for a custom comparison (see -list-names)")
+		all        = flag.Bool("all", false, "run every performance experiment")
+		full       = flag.Bool("full", false, "paper-scale budgets (slower)")
+		instr      = flag.Int64("instr", 0, "measured instructions per core (override)")
+		warmup     = flag.Int64("warmup", 0, "warm-up instructions per core (override)")
+		seeds      = flag.Int("seeds", 0, "number of seeds to average (override)")
+		wl         = flag.String("workloads", "", "comma-separated workload subset")
+		mitigation = flag.String("mitigation", "", "in-controller Row-Hammer mitigation attached to every run")
+		threshold  = flag.Int("threshold", 0, "RH-Threshold sizing the mitigation (0 = Table I default)")
+		listNames  = flag.Bool("list-names", false, "print the scheme and mitigation registries and exit")
 	)
 	flag.Parse()
-	if !(*fig7 || *fig11 || *fig12 || *fig13 || *fullsgx || *all) {
-		flag.Usage()
-		os.Exit(2)
+	if *listNames {
+		fmt.Printf("schemes:     %s\n", strings.Join(sim.SchemeNames(), ", "))
+		fmt.Printf("mitigations: %s\n", strings.Join(memctrl.MitigationNames(), ", "))
+		return
+	}
+	if err := cliflags.Exclusive(*all, map[string]bool{
+		"fig7": *fig7, "fig11": *fig11, "fig12": *fig12, "fig13": *fig13,
+		"fullsgx": *fullsgx, "schemes": *schemes != "",
+	}); err != nil {
+		cliflags.Fail(err)
+	}
+	var customSchemes []sim.Scheme
+	for _, name := range strings.Split(*schemes, ",") {
+		if name == "" {
+			continue
+		}
+		s, err := sim.ParseScheme(name)
+		if err != nil {
+			cliflags.Fail(err)
+		}
+		customSchemes = append(customSchemes, s)
+	}
+	if *schemes != "" && len(customSchemes) == 0 {
+		cliflags.Fail(fmt.Errorf("-schemes %q names no scheme", *schemes))
+	}
+	effTh := *threshold
+	if effTh == 0 {
+		effTh = 4800
+	}
+	if _, err := memctrl.NewMitigationPlugin(*mitigation, effTh, 1); err != nil {
+		cliflags.Fail(err)
 	}
 
 	cfg := experiments.QuickPerf()
@@ -60,7 +98,31 @@ func main() {
 	if *wl != "" {
 		cfg.Workloads = strings.Split(*wl, ",")
 	}
+	cfg.Mitigation = *mitigation
+	cfg.RHThreshold = *threshold
 
+	if len(customSchemes) > 0 {
+		res := experiments.RunSchemes(cfg, customSchemes)
+		cols := []string{"workload"}
+		for _, s := range customSchemes {
+			cols = append(cols, s.String())
+		}
+		t := report.NewTable("Custom scheme comparison (slowdown vs baseline)", cols...)
+		for _, row := range res.Rows {
+			cells := []string{row.Workload}
+			for _, s := range customSchemes {
+				cells = append(cells, report.Percent(row.Slowdown[s]))
+			}
+			t.AddRowStrings(cells...)
+		}
+		avg := []string{"AVERAGE"}
+		for _, s := range customSchemes {
+			avg = append(avg, report.Percent(res.Average(s)))
+		}
+		t.AddRowStrings(avg...)
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
 	if *fig7 || *all {
 		renderPerf("Figure 7: SafeGuard vs SECDED (slowdown per workload; paper avg 0.7%)",
 			experiments.Figure7(cfg), sim.SafeGuard)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"safeguard/internal/cliflags"
 	"safeguard/internal/ecc"
 	"safeguard/internal/experiments"
 	fm "safeguard/internal/faultmodel"
@@ -32,9 +33,10 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "simulation seed")
 	)
 	flag.Parse()
-	if !(*fig6 || *fig10 || *matrix || *escape || *all) {
-		flag.Usage()
-		os.Exit(2)
+	if err := cliflags.Exclusive(*all, map[string]bool{
+		"fig6": *fig6, "fig10": *fig10, "matrix": *matrix, "escape": *escape,
+	}); err != nil {
+		cliflags.Fail(err)
 	}
 	cfg := faultsim.Config{Modules: *modules, Years: 7, FITScale: 1, Seed: *seed}
 

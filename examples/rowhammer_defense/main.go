@@ -80,4 +80,30 @@ func main() {
 		}
 	}
 	fmt.Println("\nEvery SafeGuard line reads SILENT=0: the attack is detected, not consumed.")
+
+	fmt.Println("\n=== Phase 4: the same fight through the cycle-level controller ===")
+	fmt.Println("Mitigations resolved by registry name run as controller plugins; their")
+	fmt.Println("victim refreshes are VRR commands paying real bank timing (tRAS+tRP).")
+	for _, name := range safeguard.MitigationNames() {
+		mcCfg := safeguard.MCAttackConfig{
+			Bank: safeguard.RHConfig{
+				Rows: 8192, Threshold: 1000, LinesPerRow: 16,
+				VulnerableCellsPerRow: 64, FlipsPerCrossing: 8, Seed: 2022,
+			},
+			Mitigation: name,
+			Seed:       2022,
+			Accesses:   30_000,
+			MaxCycles:  20_000_000,
+		}
+		res, err := safeguard.RunMCAttack(mcCfg, &safeguard.DoubleSided{Victim: victim})
+		if err != nil {
+			panic(err)
+		}
+		note := ""
+		if res.Stalled {
+			note = "  [attacker stalled by ACT throttling]"
+		}
+		fmt.Printf("  %-12s: %5d flips, %5d VRRs, %8d cycles%s\n",
+			name, res.TotalFlips, res.MCStats.VRRs, res.Cycles, note)
+	}
 }

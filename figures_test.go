@@ -1,0 +1,59 @@
+// Figure-shape regression tests: the paper's headline performance shapes
+// must hold under plain `go test` (tier-1), with the controller plugin
+// architecture active. The budgets are reduced from the benchmark presets
+// so the whole file runs in seconds; the shapes themselves (SafeGuard's
+// near-zero overhead, the Figure 12 ordering) are robust at this scale.
+package safeguard_test
+
+import (
+	"testing"
+
+	"safeguard/internal/experiments"
+	"safeguard/internal/sim"
+)
+
+// shapeConfig is the tier-1 budget: a memory-heavy subset, one seed, and
+// PARA attached as the in-controller mitigation so every run exercises
+// the plugin dispatch path.
+func shapeConfig() experiments.PerfConfig {
+	cfg := experiments.QuickPerf()
+	cfg.Workloads = []string{"mcf", "lbm", "leela"}
+	cfg.InstrPerCore = 150_000
+	cfg.WarmupInstr = 100_000
+	cfg.Seeds = []uint64{1}
+	cfg.Mitigation = "para"
+	cfg.RHThreshold = 4800
+	return cfg
+}
+
+// TestFigure7ShapeWithPlugins: SafeGuard vs SECDED baseline stays well
+// under 2% average slowdown (paper: 0.7%) with a mitigation plugin live.
+func TestFigure7ShapeWithPlugins(t *testing.T) {
+	res := experiments.Figure7(shapeConfig())
+	if avg := res.Average(sim.SafeGuard); avg >= 0.02 {
+		t.Fatalf("Figure 7 shape broken: SafeGuard average slowdown %.2f%%, must be < 2%%", avg*100)
+	}
+}
+
+// TestFigure11ShapeWithPlugins: the Chipkill-baseline comparison shows
+// the same near-zero overhead.
+func TestFigure11ShapeWithPlugins(t *testing.T) {
+	res := experiments.Figure11(shapeConfig())
+	if avg := res.Average(sim.SafeGuard); avg >= 0.02 {
+		t.Fatalf("Figure 11 shape broken: SafeGuard average slowdown %.2f%%, must be < 2%%", avg*100)
+	}
+}
+
+// TestFigure12OrderingWithPlugins: the MAC-organization ordering SGX >
+// Synergy > SafeGuard (paper: 18.7% > 7.8% > 0.7%) survives the plugin
+// architecture.
+func TestFigure12OrderingWithPlugins(t *testing.T) {
+	res := experiments.Figure12(shapeConfig())
+	sg := res.Average(sim.SafeGuard)
+	syn := res.Average(sim.SynergyStyle)
+	sgx := res.Average(sim.SGXStyle)
+	if !(sgx > syn && syn > sg) {
+		t.Fatalf("Figure 12 ordering broken: SGX %.2f%% > Synergy %.2f%% > SafeGuard %.2f%% expected",
+			sgx*100, syn*100, sg*100)
+	}
+}

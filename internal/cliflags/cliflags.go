@@ -1,0 +1,44 @@
+// Package cliflags validates the experiment-selection flags shared by the
+// cmd binaries: each binary exposes one boolean flag per figure/table plus
+// -all, and the selections are mutually exclusive — combining two figure
+// flags (or a figure flag with -all) is rejected up front instead of
+// silently running a subset.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Exclusive checks an experiment selection: at most one of the named
+// flags may be set, and none may combine with -all. The returned error
+// names the offending flags.
+func Exclusive(all bool, selected map[string]bool) error {
+	var set []string
+	for name, on := range selected {
+		if on {
+			set = append(set, "-"+name)
+		}
+	}
+	sort.Strings(set)
+	if all && len(set) > 0 {
+		return fmt.Errorf("-all cannot be combined with %s", strings.Join(set, " "))
+	}
+	if len(set) > 1 {
+		return fmt.Errorf("%s are mutually exclusive; pick one or use -all", strings.Join(set, " "))
+	}
+	if !all && len(set) == 0 {
+		return fmt.Errorf("no experiment selected")
+	}
+	return nil
+}
+
+// Fail reports a usage error and exits non-zero.
+func Fail(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", os.Args[0], err)
+	flag.Usage()
+	os.Exit(2)
+}

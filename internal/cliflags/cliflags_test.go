@@ -1,0 +1,50 @@
+package cliflags
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExclusiveSingleSelection(t *testing.T) {
+	if err := Exclusive(false, map[string]bool{"a": true, "b": false}); err != nil {
+		t.Fatalf("single selection rejected: %v", err)
+	}
+}
+
+func TestExclusiveAllAlone(t *testing.T) {
+	if err := Exclusive(true, map[string]bool{"a": false, "b": false}); err != nil {
+		t.Fatalf("-all alone rejected: %v", err)
+	}
+}
+
+func TestExclusiveNothingSelected(t *testing.T) {
+	err := Exclusive(false, map[string]bool{"a": false, "b": false})
+	if err == nil {
+		t.Fatal("empty selection must error")
+	}
+}
+
+func TestExclusiveTwoFlags(t *testing.T) {
+	err := Exclusive(false, map[string]bool{"fig7": true, "fig11": true, "fig12": false})
+	if err == nil {
+		t.Fatal("two selections must error")
+	}
+	// The message must name both offenders, sorted, so the user sees what
+	// clashed regardless of map order.
+	if !strings.Contains(err.Error(), "-fig11") || !strings.Contains(err.Error(), "-fig7") {
+		t.Fatalf("error does not name the clashing flags: %v", err)
+	}
+	if strings.Index(err.Error(), "-fig11") > strings.Index(err.Error(), "-fig7") {
+		t.Fatalf("flag names not sorted: %v", err)
+	}
+}
+
+func TestExclusiveAllPlusFlag(t *testing.T) {
+	err := Exclusive(true, map[string]bool{"a": true, "b": false})
+	if err == nil {
+		t.Fatal("-all combined with a selection must error")
+	}
+	if !strings.Contains(err.Error(), "-all") || !strings.Contains(err.Error(), "-a") {
+		t.Fatalf("error does not explain the -all clash: %v", err)
+	}
+}

@@ -37,6 +37,12 @@ type PerfConfig struct {
 	Workloads []string
 	// Parallelism bounds worker goroutines (0 = GOMAXPROCS).
 	Parallelism int
+	// Mitigation attaches an in-controller Row-Hammer mitigation (by
+	// memctrl registry name) to every run of the sweep, baseline
+	// included — the figure shapes must hold with plugins enabled.
+	Mitigation string
+	// RHThreshold sizes the mitigation (0 = Table I default).
+	RHThreshold int
 }
 
 // QuickPerf is the benchmark-harness preset.
@@ -145,6 +151,8 @@ func runPerf(cfg PerfConfig, schemes []sim.Scheme) PerfResult {
 				sc.InstrPerCore = cfg.InstrPerCore
 				sc.WarmupInstr = cfg.WarmupInstr
 				sc.Seed = j.seed
+				sc.Mitigation = cfg.Mitigation
+				sc.RHThreshold = cfg.RHThreshold
 				res, err := sim.NewSystem(sc).Run()
 				if err != nil {
 					panic(fmt.Sprintf("experiments: %s/%v/seed%d: %v", names[j.wIdx], j.scheme, j.seed, err))
@@ -400,7 +408,6 @@ func MeasureEscapes(policy ecc.CorrectionPolicy, macWidth, trials int, seed uint
 	}
 	return m
 }
-
 
 // RunSchemes exposes the sweep for arbitrary scheme sets (extension
 // experiments such as the full-SGX comparison).

@@ -63,6 +63,10 @@ type Stats struct {
 	MaxReadQueueDepth   int
 	ReadQueueFullEvents uint64
 	Refreshes           uint64
+	// VRRs counts issued victim-row refreshes (plugin-requested);
+	// VRRDrops counts requests dropped at a full VRR queue.
+	VRRs     uint64
+	VRRDrops uint64
 }
 
 // AvgReadLatencyMC returns the mean enqueue-to-data read latency in MC
@@ -91,12 +95,17 @@ type Controller struct {
 	FCFS bool
 
 	tm     dram.Timing
+	geom   dram.Geometry
 	mapper *dram.Mapper
 
 	readQ  []*request
 	writeQ []*request
 	banks  [][]bankState
 	ranks  []rankState
+
+	plugins []Plugin
+	gates   []ActGate
+	vrrQ    []vrrReq
 
 	busFreeAt    int64
 	lastBusWrite bool
@@ -117,7 +126,7 @@ type pendingCompletion struct {
 
 // New builds a controller for the geometry and timing.
 func New(g dram.Geometry, tm dram.Timing) *Controller {
-	c := &Controller{tm: tm, mapper: dram.NewMapper(g)}
+	c := &Controller{tm: tm, geom: g, mapper: dram.NewMapper(g)}
 	c.banks = make([][]bankState, g.Ranks)
 	c.ranks = make([]rankState, g.Ranks)
 	for r := range c.banks {
@@ -199,15 +208,23 @@ func (c *Controller) PendingWrites() int { return len(c.writeQ) }
 
 // Idle reports whether no work is queued or in flight.
 func (c *Controller) Idle() bool {
-	return len(c.readQ) == 0 && len(c.writeQ) == 0 && len(c.completions) == 0
+	return len(c.readQ) == 0 && len(c.writeQ) == 0 && len(c.completions) == 0 &&
+		len(c.vrrQ) == 0
 }
 
 // Tick advances one MC cycle: fire matured completions, start refreshes,
-// pick the drain mode, and issue at most one command.
+// pick the drain mode, and issue at most one command. Queued victim-row
+// refreshes take the command slot ahead of normal traffic.
 func (c *Controller) Tick() {
 	c.now++
+	for _, p := range c.plugins {
+		p.OnTick(c.now)
+	}
 	c.fireCompletions()
 	c.refresh()
+	if len(c.vrrQ) > 0 && c.issueVRR() {
+		return
+	}
 	c.updateDrainMode()
 	queue := c.readQ
 	if c.draining {
@@ -246,6 +263,7 @@ func (c *Controller) refresh() {
 		}
 		rk.nextRefreshAt += int64(c.tm.TREFI)
 		c.Stats.Refreshes++
+		c.dispatch(CmdREF, r, -1, -1)
 		until := c.now + int64(c.tm.TRFC)
 		for b := range c.banks[r] {
 			bank := &c.banks[r][b]
@@ -280,6 +298,9 @@ func (c *Controller) schedule(queue []*request) {
 	}
 	for i, r := range queue[:limit] {
 		bank := &c.banks[r.coord.Rank][r.coord.Bank]
+		if len(c.vrrQ) > 0 && c.hasPendingVRR(r.coord.Rank, r.coord.Bank) {
+			continue // the bank yields to its pending victim-row refresh
+		}
 		if bank.openRow == r.coord.Row && c.canIssueColumn(r, bank) {
 			c.issueColumn(r, bank)
 			c.removeFromQueue(queue, i)
@@ -298,8 +319,11 @@ func (c *Controller) schedule(queue []*request) {
 	for _, r := range queue[:limit] {
 		bank := &c.banks[r.coord.Rank][r.coord.Bank]
 		rank := &c.ranks[r.coord.Rank]
+		if len(c.vrrQ) > 0 && c.hasPendingVRR(r.coord.Rank, r.coord.Bank) {
+			continue
+		}
 		if bank.openRow == -1 {
-			if c.canActivate(bank, rank) {
+			if c.canActivate(bank, rank) && c.allowAct(r.coord.Rank, r.coord.Bank, r.coord.Row) {
 				c.activate(r, bank, rank)
 				return
 			}
@@ -349,6 +373,7 @@ func (c *Controller) activate(r *request, bank *bankState, rank *rankState) {
 	rank.actWindow[rank.actWindowPos] = c.now
 	rank.actWindowPos = (rank.actWindowPos + 1) & 3
 	r.actIssued = true
+	c.dispatch(CmdACT, r.coord.Rank, r.coord.Bank, r.coord.Row)
 }
 
 func (c *Controller) canIssueColumn(r *request, bank *bankState) bool {
@@ -390,6 +415,7 @@ func (c *Controller) issueColumn(r *request, bank *bankState) {
 		bank.rdReadyAt = maxI64(bank.rdReadyAt, dataEnd+int64(c.tm.TWTR))
 		bank.preReadyAt = maxI64(bank.preReadyAt, dataEnd+int64(c.tm.TWR))
 		c.Stats.Writes++
+		c.dispatch(CmdWR, r.coord.Rank, r.coord.Bank, r.coord.Row)
 		return
 	}
 	dataStart := c.now + int64(c.tm.TCL)
@@ -401,6 +427,7 @@ func (c *Controller) issueColumn(r *request, bank *bankState) {
 	c.Stats.Reads++
 	c.Stats.SumReadLatencyMC += dataEnd - r.enqueued
 	c.completions = append(c.completions, pendingCompletion{at: dataEnd, req: r})
+	c.dispatch(CmdRD, r.coord.Rank, r.coord.Bank, r.coord.Row)
 }
 
 // removeFromQueue deletes entry i of the queue the request came from;

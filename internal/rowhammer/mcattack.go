@@ -1,0 +1,132 @@
+package rowhammer
+
+import (
+	"fmt"
+
+	"safeguard/internal/dram"
+	"safeguard/internal/memctrl"
+)
+
+// MCAttackConfig drives an attack pattern through the cycle-level memory
+// controller instead of the idealized RunAttack loop: accesses become
+// reads scheduled under FR-FCFS, mitigations run as controller plugins,
+// and their victim refreshes are VRR commands paying real bank timing.
+type MCAttackConfig struct {
+	// Bank configures the disturbance model (Rows and LinesPerRow must be
+	// powers of two for the address mapper).
+	Bank Config
+	// Mitigation is a registry name from memctrl.MitigationNames().
+	Mitigation string
+	// MitigationThreshold sizes the mitigation; defaults to
+	// Bank.Threshold.
+	MitigationThreshold int
+	// Seed drives the mitigation's randomness (PARA).
+	Seed uint64
+	// Accesses is the attacker's memory-access budget (each access reads
+	// one line of the pattern's next row).
+	Accesses int
+	// MaxCycles bounds the run — BlockHammer legitimately stalls a
+	// throttled attacker until the refresh window rotates. Defaults to
+	// 4000 cycles per access plus slack.
+	MaxCycles int64
+}
+
+// MCAttackResult summarizes one controller-driven attack run.
+type MCAttackResult struct {
+	Pattern    string
+	Mitigation string
+	// Accesses is how many reads completed (< the budget when stalled).
+	Accesses int
+	Cycles   int64
+	// Stalled reports the run hit MaxCycles before finishing its budget —
+	// the expected outcome under BlockHammer throttling.
+	Stalled bool
+	// Activations counts real ACT commands reaching the bank model.
+	Activations         int
+	MitigationRefreshes int
+	TotalFlips          int
+	FlipsByRow          map[int]int
+	PluginStats         map[string]memctrl.PluginStats
+	MCStats             memctrl.Stats
+}
+
+func (r MCAttackResult) String() string {
+	return fmt.Sprintf("%-38s vs %-11s: %6d flips in %9d MC cycles (%d accesses, %d ACTs, %d VRRs)",
+		r.Pattern, r.Mitigation, r.TotalFlips, r.Cycles, r.Accesses, r.Activations, r.MCStats.VRRs)
+}
+
+// RunMCAttack serializes the pattern's accesses as line reads through a
+// single-bank DDR4-3200 controller with the named mitigation plugin (and
+// an ActivationTracer) attached. The attack bank is (rank 0, bank 0);
+// single-bank geometry makes every row switch a genuine
+// precharge+activate, matching the one-ACT-per-access assumption of the
+// pure model.
+func RunMCAttack(cfg MCAttackConfig, pattern Pattern) (MCAttackResult, error) {
+	if cfg.Bank.Rows == 0 {
+		cfg.Bank = DefaultConfig()
+	}
+	th := cfg.MitigationThreshold
+	if th == 0 {
+		th = cfg.Bank.Threshold
+	}
+	mitName := cfg.Mitigation
+	if mitName == "" {
+		mitName = "none"
+	}
+	geom := dram.Geometry{
+		Ranks:       1,
+		Banks:       1,
+		RowsPerBank: cfg.Bank.Rows,
+		RowBytes:    cfg.Bank.LinesPerRow * 64,
+		LineBytes:   64,
+	}
+	mc := memctrl.New(geom, dram.DDR4_3200())
+	mit, err := memctrl.NewMitigationPlugin(mitName, th, cfg.Seed)
+	if err != nil {
+		return MCAttackResult{}, err
+	}
+	mc.AttachPlugin(mit) // nil-safe for "none"
+	tracer := NewActivationTracer(cfg.Bank)
+	mc.AttachPlugin(tracer)
+	mapper := dram.NewMapper(geom)
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = int64(cfg.Accesses)*4000 + 100_000
+	}
+
+	res := MCAttackResult{Pattern: pattern.Name(), Mitigation: mitName}
+	for res.Accesses < cfg.Accesses {
+		row := pattern.Next()
+		if row < 0 || row >= cfg.Bank.Rows {
+			return res, fmt.Errorf("pattern row %d outside bank of %d rows", row, cfg.Bank.Rows)
+		}
+		done := false
+		mc.EnqueueRead(mapper.Encode(dram.Coord{Row: row}), func(int64) { done = true })
+		for !done && mc.Now() < maxCycles {
+			mc.Tick()
+		}
+		if !done {
+			res.Stalled = true
+			break
+		}
+		res.Accesses++
+	}
+	// Let queued victim refreshes land before reading out the damage.
+	for !mc.Idle() && mc.Now() < maxCycles {
+		mc.Tick()
+	}
+
+	res.Cycles = mc.Now()
+	res.PluginStats = mc.DrainPluginStats()
+	res.MCStats = mc.Stats
+	res.FlipsByRow = make(map[int]int)
+	bank := tracer.Bank(0, 0)
+	res.Activations = bank.Activations
+	res.MitigationRefreshes = bank.MitigationRefreshes
+	for _, f := range bank.Flips() {
+		res.FlipsByRow[f.Row]++
+		res.TotalFlips++
+	}
+	return res, nil
+}

@@ -125,9 +125,12 @@ func (t *TRR) OnActivate(b *Bank, row int) {
 		return
 	}
 	if len(t.counts) >= t.TableSize {
+		// Evict the coldest entry; ties break toward the smaller row so
+		// eviction does not depend on map iteration order (the plugin
+		// parity tests require deterministic decisions).
 		minRow, minCount := -1, int(^uint(0)>>1)
 		for r, c := range t.counts {
-			if c < minCount {
+			if c < minCount || (c == minCount && r < minRow) {
 				minRow, minCount = r, c
 			}
 		}

@@ -1,0 +1,177 @@
+package rowhammer_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"safeguard/internal/memctrl"
+	"safeguard/internal/rowhammer"
+)
+
+// The parity tests drive a legacy oracle (internal/rowhammer/mitigation.go)
+// and its controller-plugin re-implementation (internal/memctrl) with the
+// SAME activation stream at RunAttackAround's cadence (one OnREF every
+// ActsPerWindow/REFsPerWindow acts) and assert the two make identical
+// victim-refresh decisions: same rows, same order. The oracle's decisions
+// are observed through Bank.TraceRefresh; the plugin's through a recording
+// VRR sink that applies the same in-range filter Bank.RefreshRow does.
+
+const (
+	parityRows      = 8192
+	parityThreshold = 1000
+	// parityActs stays under one full window: the plugin rotates windows
+	// on its 8192nd REF command, RunAttackAround after the window's last
+	// act — a 128-act phase difference that is fine in the controller but
+	// would make exact cross-model parity ill-defined at the boundary.
+	parityActs = 300_000
+)
+
+type recordingSink struct {
+	rows int
+	got  []int
+}
+
+func (s *recordingSink) EnqueueVRR(rank, bank, row int) bool {
+	if row < 0 || row >= s.rows {
+		return false
+	}
+	s.got = append(s.got, row)
+	return true
+}
+
+func parityBank(t *testing.T, refreshed *[]int) *rowhammer.Bank {
+	t.Helper()
+	cfg := rowhammer.DefaultConfig()
+	cfg.Rows = parityRows
+	cfg.Threshold = parityThreshold
+	cfg.Seed = 99
+	b := rowhammer.NewBank(cfg)
+	b.TraceRefresh = func(row int) { *refreshed = append(*refreshed, row) }
+	return b
+}
+
+// parityStream yields a deterministic act stream: double-sided hammering
+// of rows 3999/4001 interleaved with random background rows, so samplers
+// see both hot aggressors and table churn.
+func parityStream(seed uint64) func() int {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	flip := false
+	return func() int {
+		if rng.Float64() < 0.5 {
+			flip = !flip
+			if flip {
+				return 3999
+			}
+			return 4001
+		}
+		return rng.IntN(parityRows)
+	}
+}
+
+func assertSameRows(t *testing.T, kind string, oracle, plugin []int) {
+	t.Helper()
+	if len(oracle) == 0 {
+		t.Fatalf("%s: oracle made no refresh decisions; the stream is too weak to test parity", kind)
+	}
+	if len(oracle) != len(plugin) {
+		t.Fatalf("%s: oracle refreshed %d rows, plugin %d", kind, len(oracle), len(plugin))
+	}
+	for i := range oracle {
+		if oracle[i] != plugin[i] {
+			t.Fatalf("%s: decision %d diverges: oracle row %d, plugin row %d", kind, i, oracle[i], plugin[i])
+		}
+	}
+}
+
+// runParity replays one stream through oracle and plugin at the
+// RunAttackAround cadence and returns both decision sequences.
+func runParity(t *testing.T, mit rowhammer.Mitigation, plug memctrl.Plugin) (oracle, plugin []int) {
+	t.Helper()
+	b := parityBank(t, &oracle)
+	sink := &recordingSink{rows: parityRows}
+	if binder, ok := plug.(memctrl.SinkBinder); ok {
+		binder.BindSink(sink)
+	} else {
+		t.Fatalf("plugin %s cannot bind a VRR sink", plug.Name())
+	}
+	next := parityStream(7)
+	refEvery := rowhammer.ActsPerWindow / rowhammer.REFsPerWindow
+	for i := 0; i < parityActs; i++ {
+		row := next()
+		b.Activate(row)
+		mit.OnActivate(b, row)
+		plug.OnCommand(memctrl.CmdACT, 0, 0, row, int64(i))
+		if i%refEvery == refEvery-1 {
+			mit.OnREF(b)
+			plug.OnCommand(memctrl.CmdREF, 0, -1, -1, int64(i))
+		}
+	}
+	return oracle, sink.got
+}
+
+func TestWindowConstantsAgree(t *testing.T) {
+	if memctrl.ActsPerWindow != rowhammer.ActsPerWindow {
+		t.Fatalf("memctrl.ActsPerWindow = %d, rowhammer.ActsPerWindow = %d",
+			memctrl.ActsPerWindow, rowhammer.ActsPerWindow)
+	}
+	if memctrl.REFsPerWindow != rowhammer.REFsPerWindow {
+		t.Fatalf("memctrl.REFsPerWindow = %d, rowhammer.REFsPerWindow = %d",
+			memctrl.REFsPerWindow, rowhammer.REFsPerWindow)
+	}
+}
+
+func TestPARAPluginParity(t *testing.T) {
+	const seed = 31
+	oracle, plugin := runParity(t,
+		rowhammer.NewPARA(parityThreshold, seed),
+		memctrl.NewPARAPlugin(parityThreshold, seed))
+	assertSameRows(t, "PARA", oracle, plugin)
+}
+
+func TestTRRPluginParity(t *testing.T) {
+	oracle, plugin := runParity(t, rowhammer.NewTRR(4), memctrl.NewTRRPlugin(4))
+	assertSameRows(t, "TRR", oracle, plugin)
+}
+
+func TestGraphenePluginParity(t *testing.T) {
+	oracle, plugin := runParity(t,
+		rowhammer.NewGraphene(parityThreshold),
+		memctrl.NewGraphenePlugin(parityThreshold))
+	assertSameRows(t, "Graphene", oracle, plugin)
+}
+
+// TestBlockHammerPluginParity compares the allow/deny sequence instead of
+// refresh rows: BlockHammer never refreshes, it throttles.
+func TestBlockHammerPluginParity(t *testing.T) {
+	var refreshed []int
+	b := parityBank(t, &refreshed)
+	oracle := rowhammer.NewBlockHammer(parityThreshold)
+	plug := memctrl.NewBlockHammerPlugin(parityThreshold)
+	next := parityStream(7)
+	denied := 0
+	for i := 0; i < parityActs; i++ {
+		row := next()
+		oAllow := oracle.AllowActivate(row)
+		pAllow := plug.AllowAct(0, 0, row, int64(i))
+		if oAllow != pAllow {
+			t.Fatalf("act %d row %d: oracle allow=%v, plugin allow=%v", i, row, oAllow, pAllow)
+		}
+		if !oAllow {
+			denied++
+			continue
+		}
+		b.Activate(row)
+		oracle.OnActivate(b, row)
+		plug.OnCommand(memctrl.CmdACT, 0, 0, row, int64(i))
+	}
+	if denied == 0 {
+		t.Fatal("stream never hit BlockHammer's cap; parity untested")
+	}
+	if got := plug.DrainStats()["throttled"]; int(got) != oracle.Throttled || int(got) != denied {
+		t.Fatalf("throttle counts diverge: oracle %d, plugin %v, observed %d",
+			oracle.Throttled, got, denied)
+	}
+	if len(refreshed) != 0 {
+		t.Fatalf("BlockHammer refreshed %d rows; it must never refresh", len(refreshed))
+	}
+}

@@ -105,6 +105,9 @@ type Bank struct {
 	Activations int
 	// MitigationRefreshes counts refreshes issued by the mitigation.
 	MitigationRefreshes int
+	// TraceRefresh, when set, observes every in-range mitigation refresh
+	// (parity tests record the oracle's victim decisions through it).
+	TraceRefresh func(row int)
 }
 
 // NewBank builds a bank.
@@ -192,6 +195,9 @@ func (b *Bank) RefreshRow(row int) {
 		return
 	}
 	b.MitigationRefreshes++
+	if b.TraceRefresh != nil {
+		b.TraceRefresh(row)
+	}
 	b.disturb(row)
 }
 

@@ -19,6 +19,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"safeguard/internal/cache"
 	"safeguard/internal/cpu"
@@ -67,6 +68,46 @@ func (s Scheme) String() string {
 	}
 }
 
+// Schemes lists every scheme in enum order.
+func Schemes() []Scheme {
+	return []Scheme{Baseline, SafeGuard, SGXStyle, SynergyStyle, SGXFullStyle}
+}
+
+// SchemeNames lists the canonical scheme names (Scheme.String values).
+func SchemeNames() []string {
+	var out []string
+	for _, s := range Schemes() {
+		out = append(out, s.String())
+	}
+	return out
+}
+
+// ParseScheme resolves a scheme by name. Canonical names round-trip
+// exactly through Scheme.String(); matching is otherwise
+// case-insensitive, with short aliases for the CLI ("sgx", "synergy",
+// "sgx-full"). Unknown names are an error listing the valid set.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range Schemes() {
+		if name == s.String() {
+			return s, nil
+		}
+	}
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "baseline":
+		return Baseline, nil
+	case "safeguard":
+		return SafeGuard, nil
+	case "sgx", "sgx-style", "sgxstyle":
+		return SGXStyle, nil
+	case "synergy", "synergy-style", "synergystyle":
+		return SynergyStyle, nil
+	case "sgx-full", "sgxfull", "sgx-full (counters+tree)":
+		return SGXFullStyle, nil
+	}
+	return Baseline, fmt.Errorf("unknown scheme %q (valid: %s)",
+		name, strings.Join(SchemeNames(), ", "))
+}
+
 // Config parameterizes one simulation run.
 type Config struct {
 	Cores          int
@@ -96,6 +137,13 @@ type Config struct {
 	// FCFSScheduler degrades the memory controller from FR-FCFS to
 	// strict in-order data service (the scheduler ablation).
 	FCFSScheduler bool
+	// Mitigation attaches an in-controller Row-Hammer mitigation by
+	// registry name (memctrl.MitigationNames); "" or "none" runs without
+	// one. Unknown names surface as an error from Run.
+	Mitigation string
+	// RHThreshold sizes the mitigation; 0 uses the paper's LPDDR4-new
+	// threshold (Table I: 4800).
+	RHThreshold int
 }
 
 // DefaultConfig returns the Table II system.
@@ -128,6 +176,9 @@ type Result struct {
 	LLCMisses  uint64
 	LLCHits    uint64
 	Prefetches uint64
+	// PluginStats holds each attached controller plugin's drained
+	// counters, keyed by plugin name (nil when no plugins attached).
+	PluginStats map[string]memctrl.PluginStats
 }
 
 // HarmonicMeanIPC aggregates per-core IPCs.
@@ -164,6 +215,10 @@ type System struct {
 
 	lineMask uint64
 	now      int64
+
+	// initErr defers construction-time failures (unknown mitigation
+	// name) to Run, keeping NewSystem's signature.
+	initErr error
 }
 
 type mshrEntry struct {
@@ -196,6 +251,15 @@ func NewSystem(cfg Config) *System {
 		lineMask:    g.TotalBytes()/64 - 1,
 	}
 	s.mc.FCFS = cfg.FCFSScheduler
+	th := cfg.RHThreshold
+	if th == 0 {
+		th = 4800 // Table I, LPDDR4-new
+	}
+	if mit, err := memctrl.NewMitigationPlugin(cfg.Mitigation, th, cfg.Seed); err != nil {
+		s.initErr = err
+	} else {
+		s.mc.AttachPlugin(mit) // nil-safe for "none"
+	}
 	if cfg.Scheme == SGXFullStyle {
 		// Metadata region above the MAC region; 32KB on-chip metadata
 		// cache, the counter/tree geometry of the 16GB memory.
@@ -505,6 +569,9 @@ func (s *System) retryDeferred() {
 // own boundary crossings while every core keeps running — the paper's rate
 // methodology).
 func (s *System) Run() (Result, error) {
+	if s.initErr != nil {
+		return Result{}, s.initErr
+	}
 	n := s.cfg.Cores
 	warmCycle := make([]int64, n)
 	doneCycle := make([]int64, n)
@@ -535,13 +602,14 @@ func (s *System) Run() (Result, error) {
 		}
 	}
 	res := Result{
-		Scheme:     s.cfg.Scheme,
-		Workload:   s.cfg.Workload.Name,
-		CoreCycles: doneCycle,
-		MCStats:    s.mc.Stats,
-		LLCMisses:  s.llc.Misses,
-		LLCHits:    s.llc.Hits,
-		Prefetches: s.pf.Issued,
+		Scheme:      s.cfg.Scheme,
+		Workload:    s.cfg.Workload.Name,
+		CoreCycles:  doneCycle,
+		MCStats:     s.mc.Stats,
+		LLCMisses:   s.llc.Misses,
+		LLCHits:     s.llc.Hits,
+		Prefetches:  s.pf.Issued,
+		PluginStats: s.mc.DrainPluginStats(),
 	}
 	for i, dc := range doneCycle {
 		res.IPC = append(res.IPC, float64(s.cfg.InstrPerCore)/float64(dc-warmCycle[i]))

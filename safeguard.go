@@ -54,6 +54,7 @@ import (
 	"safeguard/internal/faultsim"
 	"safeguard/internal/itree"
 	"safeguard/internal/mac"
+	"safeguard/internal/memctrl"
 	"safeguard/internal/memsys"
 	"safeguard/internal/response"
 	"safeguard/internal/rowhammer"
@@ -336,7 +337,15 @@ const (
 	SchemeSafeGuard = sim.SafeGuard
 	SchemeSGX       = sim.SGXStyle
 	SchemeSynergy   = sim.SynergyStyle
+	SchemeSGXFull   = sim.SGXFullStyle
 )
+
+// ParseScheme resolves a scheme by name; canonical names round-trip
+// exactly through Scheme.String().
+func ParseScheme(name string) (Scheme, error) { return sim.ParseScheme(name) }
+
+// SchemeNames lists the canonical scheme names.
+func SchemeNames() []string { return sim.SchemeNames() }
 
 // DefaultSimConfig returns the paper's Table II system.
 func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
@@ -349,6 +358,55 @@ func Workloads() []string { return workload.Names() }
 
 // WorkloadByName returns one workload's calibration.
 func WorkloadByName(name string) (workload.Params, error) { return workload.ByName(name) }
+
+// ---------------------------------------------------------------------------
+// Controller plugin architecture (in-controller Row-Hammer defenses)
+// ---------------------------------------------------------------------------
+
+// ControllerPlugin observes the memory controller's real command stream
+// (ACT/RD/WR/REF/VRR); in-controller mitigations, tracers, and metrics
+// implement it.
+type ControllerPlugin = memctrl.Plugin
+
+// ControllerPluginStats is a drained snapshot of a plugin's counters.
+type ControllerPluginStats = memctrl.PluginStats
+
+// MemController is the cycle-level FR-FCFS DDR4 controller; AttachPlugin
+// registers plugins for command dispatch.
+type MemController = memctrl.Controller
+
+// MitigationNames lists the in-controller mitigation registry ("none",
+// "para", "trr", "graphene", "blockhammer").
+func MitigationNames() []string { return memctrl.MitigationNames() }
+
+// NewMitigationPlugin resolves an in-controller mitigation by registry
+// name, sized for the RH-Threshold ("none" yields a nil plugin).
+func NewMitigationPlugin(name string, threshold int, seed uint64) (ControllerPlugin, error) {
+	return memctrl.NewMitigationPlugin(name, threshold, seed)
+}
+
+// ActivationTracer feeds a controller's command stream into the
+// Row-Hammer disturbance model, so attacks run through real timing.
+type ActivationTracer = rowhammer.ActivationTracer
+
+// NewActivationTracer builds a tracer over per-bank models with the
+// given configuration.
+func NewActivationTracer(cfg RHConfig) *ActivationTracer {
+	return rowhammer.NewActivationTracer(cfg)
+}
+
+// MCAttackConfig/MCAttackResult parameterize and report controller-driven
+// attack runs.
+type (
+	MCAttackConfig = rowhammer.MCAttackConfig
+	MCAttackResult = rowhammer.MCAttackResult
+)
+
+// RunMCAttack drives a pattern through the cycle-level controller with a
+// registry-named mitigation plugin attached.
+func RunMCAttack(cfg MCAttackConfig, p AttackPattern) (MCAttackResult, error) {
+	return rowhammer.RunMCAttack(cfg, p)
+}
 
 // ---------------------------------------------------------------------------
 // Analysis and experiments
