@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench ci fmt vet
+.PHONY: all build test bench ci fmt vet fuzz-smoke examples-smoke
 
 all: build
 
@@ -22,7 +22,27 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# ci is the gate: vet, formatting, and the full test suite under the race
-# detector (includes the figure-shape regression tests in figures_test.go).
+# fuzz-smoke gives every codec decode path a short fuzzing budget — enough
+# to catch panics and fresh invariant violations without CI-scale runtime.
+FUZZ_TARGETS := FuzzSECDEDDecode FuzzSafeGuardSECDEDDecode FuzzChipkillDecode \
+	FuzzSafeGuardChipkillDecode FuzzSGXStyleMACDecode FuzzSynergyStyleMACDecode
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime 2s ./internal/ecc || exit 1; \
+	done
+
+# examples-smoke builds and runs every example program end to end.
+examples-smoke:
+	@for d in examples/*/; do \
+		echo "run $$d"; \
+		$(GO) run ./$$d > /dev/null || exit 1; \
+	done
+
+# ci is the gate: vet, formatting, the full test suite under the race
+# detector (includes the figure-shape regression tests in figures_test.go),
+# a short fuzz pass over every codec, and the example programs.
 ci: vet fmt
 	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
+	$(MAKE) examples-smoke

@@ -7,6 +7,7 @@
 package safeguard_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -169,7 +170,11 @@ func BenchmarkFigure6ReliabilitySECDED(b *testing.B) {
 	cfg := experiments.QuickReliability()
 	var rs []faultsim.Result
 	for i := 0; i < b.N; i++ {
-		rs = experiments.Figure6(cfg)
+		var err error
+		rs, err = experiments.Figure6(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	once("fig6", func() {
 		fmt.Println("\nFigure 6: 7-year failure probability (x8 modules)")
@@ -186,7 +191,11 @@ func BenchmarkFigure10ReliabilityChipkill(b *testing.B) {
 	cfg := experiments.QuickReliability()
 	var out map[float64][]faultsim.Result
 	for i := 0; i < b.N; i++ {
-		out = experiments.Figure10(cfg)
+		var err error
+		out, err = experiments.Figure10(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	once("fig10", func() {
 		fmt.Println("\nFigure 10: 7-year failure probability (x4 modules)")
@@ -230,7 +239,11 @@ func BenchmarkFigure7PerfSECDED(b *testing.B) {
 	cfg := benchPerfConfig()
 	var res experiments.PerfResult
 	for i := 0; i < b.N; i++ {
-		res = experiments.Figure7(cfg)
+		var err error
+		res, err = experiments.Figure7(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	once("fig7", func() {
 		renderPerfBench("\nFigure 7: SafeGuard vs SECDED (paper: avg 0.7%, omnetpp worst 3.6%)", res, sim.SafeGuard)
@@ -247,7 +260,11 @@ func BenchmarkFigure11PerfChipkill(b *testing.B) {
 	cfg.Workloads = []string{"mcf", "omnetpp", "lbm", "bwaves", "fotonik3d", "leela"}
 	var res experiments.PerfResult
 	for i := 0; i < b.N; i++ {
-		res = experiments.Figure11(cfg)
+		var err error
+		res, err = experiments.Figure11(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	once("fig11", func() {
 		renderPerfBench("\nFigure 11: SafeGuard vs Chipkill (paper: avg 0.7%)", res, sim.SafeGuard)
@@ -259,7 +276,11 @@ func BenchmarkFigure12PerfMACOrgs(b *testing.B) {
 	cfg := benchPerfConfig()
 	var res experiments.PerfResult
 	for i := 0; i < b.N; i++ {
-		res = experiments.Figure12(cfg)
+		var err error
+		res, err = experiments.Figure12(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	once("fig12", func() {
 		renderPerfBench("\nFigure 12: MAC organizations (paper: SafeGuard 0.7%, Synergy 7.8%, SGX 18.7%)",
@@ -275,7 +296,11 @@ func BenchmarkFigure13MACLatency(b *testing.B) {
 	cfg.Workloads = []string{"mcf", "omnetpp", "lbm", "gcc", "leela"}
 	var points []experiments.Figure13Point
 	for i := 0; i < b.N; i++ {
-		points = experiments.Figure13(cfg, []int64{8, 16, 40, 80})
+		var err error
+		points, err = experiments.Figure13(context.Background(), cfg, []int64{8, 16, 40, 80})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	once("fig13", func() {
 		t := report.NewTable("\nFigure 13: MAC-latency sensitivity (paper: SafeGuard 0.7%@8 to 5.8%@80)",
@@ -326,8 +351,15 @@ func BenchmarkSection4BBirthday(b *testing.B) {
 func BenchmarkSection5CMACEscape(b *testing.B) {
 	var iter, eager experiments.EscapeMeasurement
 	for i := 0; i < b.N; i++ {
-		iter = experiments.MeasureEscapes(ecc.Iterative, 6, 5000, 3)
-		eager = experiments.MeasureEscapes(ecc.Eager, 6, 5000, 3)
+		var err error
+		iter, err = experiments.MeasureEscapes(ecc.Iterative, 6, 5000, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eager, err = experiments.MeasureEscapes(ecc.Eager, 6, 5000, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	once("sec5c", func() {
 		fmt.Printf("\nSection V-C: permanent-chip-failure MAC exposure at 6-bit MAC\n")
@@ -360,7 +392,10 @@ func BenchmarkAblationEagerCorrection(b *testing.B) {
 	var perRead [3]float64
 	for i := 0; i < b.N; i++ {
 		for pi, policy := range []ecc.CorrectionPolicy{ecc.Iterative, ecc.History, ecc.Eager} {
-			m := experiments.MeasureEscapes(policy, 32, 300, 9)
+			m, err := experiments.MeasureEscapes(policy, 32, 300, 9)
+			if err != nil {
+				b.Fatal(err)
+			}
 			perRead[pi] = float64(m.FaultyMACChecks+m.Trials) / float64(m.Trials)
 		}
 	}
@@ -382,7 +417,10 @@ func BenchmarkAblationMACWidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rates = rates[:0]
 		for _, w := range widths {
-			m := experiments.MeasureEscapes(ecc.Iterative, w, 20000, 11)
+			m, err := experiments.MeasureEscapes(ecc.Iterative, w, 20000, 11)
+			if err != nil {
+				b.Fatal(err)
+			}
 			rates = append(rates, m.Rate())
 		}
 	}
@@ -577,10 +615,16 @@ func BenchmarkAblationScrubbing(b *testing.B) {
 	var off, on float64
 	for i := 0; i < b.N; i++ {
 		base := faultsim.Config{Modules: 150_000, Years: 7, Seed: 23, FITScale: 10}
-		offR := faultsim.Run(faultsim.ChipkillEval{}, base)
+		offR, err := faultsim.Run(faultsim.ChipkillEval{}, base)
+		if err != nil {
+			b.Fatal(err)
+		}
 		scrub := base
 		scrub.ScrubIntervalHours = 24
-		onR := faultsim.Run(faultsim.ChipkillEval{}, scrub)
+		onR, err := faultsim.Run(faultsim.ChipkillEval{}, scrub)
+		if err != nil {
+			b.Fatal(err)
+		}
 		off, on = offR.Probability(), onR.Probability()
 	}
 	once("ablation-scrub", func() {
@@ -603,7 +647,11 @@ func BenchmarkExtensionFullSGX(b *testing.B) {
 	cfg.Seeds = []uint64{1}
 	var res experiments.PerfResult
 	for i := 0; i < b.N; i++ {
-		res = experiments.RunSchemes(cfg, []sim.Scheme{sim.SafeGuard, sim.SGXStyle, sim.SGXFullStyle})
+		var err error
+		res, err = experiments.RunSchemes(context.Background(), cfg, []sim.Scheme{sim.SafeGuard, sim.SGXStyle, sim.SGXFullStyle})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	once("ext-fullsgx", func() {
 		renderPerfBench("\nExtension: full SGX (counters+tree) vs the paper's MAC-only comparison",

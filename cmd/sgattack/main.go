@@ -7,6 +7,8 @@
 //	sgattack -table1      Table I: RH-Threshold per DRAM generation
 //	sgattack -mc          attacks through the cycle-level memory controller,
 //	                      with the mitigation running as a controller plugin
+//	sgattack -respond     the full DUE response pipeline against a live
+//	                      attack: retry -> scrub -> retire -> quarantine
 //	sgattack -all         everything
 //
 // Selections are mutually exclusive; -all runs everything. -mitigation
@@ -15,9 +17,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"safeguard/internal/cliflags"
 	"safeguard/internal/ecc"
@@ -37,6 +42,7 @@ func main() {
 		eccpl      = flag.Bool("eccploit", false, "run the ECCploit timing-channel escalation (Case-3)")
 		blockhmr   = flag.Bool("blockhammer", false, "run the BlockHammer sizing/latency study (Section VIII)")
 		mcMode     = flag.Bool("mc", false, "run attacks through the cycle-level controller (plugin mitigations)")
+		respond    = flag.Bool("respond", false, "run the DUE response pipeline (retry/scrub/retire/quarantine) against a live attack")
 		all        = flag.Bool("all", false, "run everything")
 		seed       = flag.Uint64("seed", 7, "simulation seed")
 		mitigation = flag.String("mitigation", "", "in-controller mitigation for -mc (default: sweep the registry)")
@@ -44,13 +50,17 @@ func main() {
 	flag.Parse()
 	if err := cliflags.Exclusive(*all, map[string]bool{
 		"fig2": *fig2, "breakthrough": *brk, "table1": *table1,
-		"eccploit": *eccpl, "blockhammer": *blockhmr, "mc": *mcMode,
+		"eccploit": *eccpl, "blockhammer": *blockhmr, "mc": *mcMode, "respond": *respond,
 	}); err != nil {
 		cliflags.Fail(err)
 	}
 	if _, err := memctrl.NewMitigationPlugin(*mitigation, 4800, 1); err != nil {
 		cliflags.Fail(err)
 	}
+
+	// SIGINT cancels the controller-driven runs; partial results still print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *table1 || *all {
 		t := report.NewTable("Table I: Row-Hammer threshold over time (~30x reduction 2014-2020)",
@@ -116,7 +126,11 @@ func main() {
 				Accesses:   60_000,
 				MaxCycles:  40_000_000,
 			}
-			res, err := rowhammer.RunMCAttack(cfg, &rowhammer.DoubleSided{Victim: 4000})
+			res, err := rowhammer.RunMCAttackContext(ctx, cfg, &rowhammer.DoubleSided{Victim: 4000})
+			if err != nil && errors.Is(err, context.Canceled) {
+				fmt.Printf("  [interrupted] partial: %s\n", res)
+				break
+			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -129,6 +143,9 @@ func main() {
 		}
 		fmt.Println("  VRRs are real commands here: each victim refresh pays tRAS+tRP in the bank.")
 		fmt.Println()
+	}
+	if *respond || *all {
+		runRespond(ctx, *seed, *mitigation)
 	}
 	if *brk || *all {
 		results := experiments.Figure1b(*seed)
@@ -150,4 +167,61 @@ func main() {
 		fmt.Println("\n  SafeGuard rows must show SILENT=0: breakthrough bit-flips become")
 		fmt.Println("  detected uncorrectable errors instead of silent corruption (Figure 1c).")
 	}
+}
+
+// runRespond demonstrates the Section VII-A/B response pipeline end to
+// end: the aggressor hammers two benign MAC-protected rows through the
+// cycle-level controller, the response engine escalates each hard DUE
+// through retry -> scrub -> retire -> quarantine, and the run ends with
+// the aggressor's rows gated at the controller.
+func runRespond(ctx context.Context, seed uint64, mitigation string) {
+	cfg := rowhammer.ResponseAttackConfig{
+		Bank: rowhammer.Config{
+			Rows: 64, Threshold: 16, LinesPerRow: 2,
+			VulnerableCellsPerRow: 16, FlipsPerCrossing: 4, Seed: seed,
+		},
+		Mitigation: mitigation,
+		Seed:       seed,
+		Accesses:   40_000,
+		VictimRows: []int{8, 10},
+		BenignTail: 16,
+		SpareRows:  4,
+	}
+	res, err := rowhammer.RunResponseAttack(ctx, cfg, &rowhammer.DoubleSided{Victim: 8})
+	if err != nil && errors.Is(err, context.Canceled) {
+		fmt.Println("DUE response pipeline: [interrupted]")
+		if res != nil {
+			fmt.Printf("  partial: %s\n", res)
+		}
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("DUE response pipeline against a live attack (reduced bank: 64 rows, threshold 16):")
+	fmt.Printf("  %s\n", res)
+	fmt.Printf("  escalation: %d retries, %d scrubs, %d retirements, quarantined=%v\n",
+		res.EngineStats.Retries, res.EngineStats.Scrubs, res.EngineStats.Retires, res.Quarantined)
+	kinds := ""
+	for i, st := range res.Steps {
+		if i > 0 {
+			kinds += " "
+		}
+		kinds += st.Kind.String()
+		if i == 11 && len(res.Steps) > 12 {
+			kinds += fmt.Sprintf(" ... (+%d)", len(res.Steps)-12)
+			break
+		}
+	}
+	fmt.Printf("  trace: %s\n", kinds)
+	fmt.Printf("  retired rows %v remapped to spares; aggressor rows %v gated at the controller\n",
+		res.RetiredRows, res.GatedRows)
+	fmt.Printf("  benign reads: %d bad during attack, %d after quarantine; avg latency %.1f -> %.1f cycles\n",
+		res.BadReadsDuringAttack, res.BadReadsAfterQuarantine,
+		res.BenignAvgLatencyAttack, res.BenignAvgLatencyTail)
+	if res.PolicyQuarantined != nil {
+		fmt.Printf("  OS policy (Section VII-B) quarantined co-resident process(es): %v\n", res.PolicyQuarantined)
+	}
+	fmt.Println()
 }

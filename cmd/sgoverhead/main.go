@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"safeguard/internal/analysis"
 	"safeguard/internal/cliflags"
@@ -32,6 +34,18 @@ func main() {
 		cliflags.Fail(err)
 	}
 
+	// The sections here are analytic and fast, but honor SIGINT between
+	// them like the other commands: print what finished, then stop.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	canceled := func() bool {
+		if ctx.Err() != nil {
+			fmt.Println("[interrupted]")
+			return true
+		}
+		return false
+	}
+
 	if *table5 || *all {
 		t := report.NewTable("Table V: usable memory capacity (baseline ECC DIMM)",
 			"baseline", "SGX/Synergy-style MAC", "SafeGuard")
@@ -43,6 +57,9 @@ func main() {
 		t.Render(os.Stdout)
 		fmt.Println()
 	}
+	if canceled() {
+		return
+	}
 	if *budgets || *all {
 		t := report.NewTable("Per-line ECC bit budgets (64 bits per 64-byte line)",
 			"scheme", "ECC-1", "column parity", "MAC", "chip parity", "symbol code", "total")
@@ -52,6 +69,9 @@ func main() {
 		}
 		t.Render(os.Stdout)
 		fmt.Println()
+	}
+	if canceled() {
+		return
 	}
 	if *bounds || *all {
 		secded, iter, eager := analysis.Section7EBounds()
@@ -63,6 +83,9 @@ func main() {
 		t.Render(os.Stdout)
 		fmt.Printf("\n  Permanent chip failure without Eager Correction: 32-bit MAC escapes after ~%.0fs at 100M accesses/s (paper: <1 minute).\n\n",
 			analysis.PermanentChipFailureEscape(32, 100e6))
+	}
+	if canceled() {
+		return
 	}
 	if *birthday || *all {
 		m := analysis.NewBirthdayModel(64 << 30)

@@ -15,9 +15,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"safeguard/internal/cliflags"
@@ -46,6 +49,11 @@ func main() {
 		listNames  = flag.Bool("list-names", false, "print the scheme and mitigation registries and exit")
 	)
 	flag.Parse()
+
+	// SIGINT cancels the sweep; completed workloads are still reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *listNames {
 		fmt.Printf("schemes:     %s\n", strings.Join(sim.SchemeNames(), ", "))
 		fmt.Printf("mitigations: %s\n", strings.Join(memctrl.MitigationNames(), ", "))
@@ -102,7 +110,8 @@ func main() {
 	cfg.RHThreshold = *threshold
 
 	if len(customSchemes) > 0 {
-		res := experiments.RunSchemes(cfg, customSchemes)
+		res, err := experiments.RunSchemes(ctx, cfg, customSchemes)
+		interrupted(err)
 		cols := []string{"workload"}
 		for _, s := range customSchemes {
 			cols = append(cols, s.String())
@@ -124,15 +133,20 @@ func main() {
 		fmt.Println()
 	}
 	if *fig7 || *all {
+		res, err := experiments.Figure7(ctx, cfg)
+		interrupted(err)
 		renderPerf("Figure 7: SafeGuard vs SECDED (slowdown per workload; paper avg 0.7%)",
-			experiments.Figure7(cfg), sim.SafeGuard)
+			res, sim.SafeGuard)
 	}
 	if *fig11 || *all {
+		res, err := experiments.Figure11(ctx, cfg)
+		interrupted(err)
 		renderPerf("Figure 11: SafeGuard vs Chipkill (slowdown per workload; paper avg 0.7%)",
-			experiments.Figure11(cfg), sim.SafeGuard)
+			res, sim.SafeGuard)
 	}
 	if *fig12 || *all {
-		res := experiments.Figure12(cfg)
+		res, err := experiments.Figure12(ctx, cfg)
+		interrupted(err)
 		t := report.NewTable("Figure 12: MAC organizations (slowdown vs baseline; paper: SGX 18.7%, Synergy 7.8%, SafeGuard 0.7%)",
 			"workload", "SafeGuard", "SGX-style", "Synergy-style")
 		for _, row := range res.Rows {
@@ -153,7 +167,8 @@ func main() {
 		if len(c.Workloads) == 0 {
 			c.Workloads = []string{"mcf", "omnetpp", "lbm", "gcc", "leela"}
 		}
-		res := experiments.RunSchemes(c, []sim.Scheme{sim.SafeGuard, sim.SGXStyle, sim.SGXFullStyle})
+		res, err := experiments.RunSchemes(ctx, c, []sim.Scheme{sim.SafeGuard, sim.SGXStyle, sim.SGXFullStyle})
+		interrupted(err)
 		t := report.NewTable("Extension: full SGX (MAC + counters + integrity tree), the metadata the paper's comparison excluded",
 			"workload", "SafeGuard", "SGX-style (MAC only)", "SGX-full (counters+tree)")
 		for _, row := range res.Rows {
@@ -170,7 +185,8 @@ func main() {
 		fmt.Println()
 	}
 	if *fig13 || *all {
-		points := experiments.Figure13(cfg, []int64{8, 16, 40, 80})
+		points, err := experiments.Figure13(ctx, cfg, []int64{8, 16, 40, 80})
+		interrupted(err)
 		t := report.NewTable("Figure 13: sensitivity to MAC latency (average slowdown; paper: SafeGuard 5.8% at 80 cycles)",
 			"MAC latency (CPU cycles)", "SafeGuard", "SGX-style", "Synergy-style")
 		for _, p := range points {
@@ -184,7 +200,27 @@ func main() {
 	}
 }
 
+// interrupted handles an experiment error: cancellation prints a partial-
+// results banner and lets the already-collected rows render; any other
+// error is fatal.
+func interrupted(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		fmt.Println("[interrupted — printing partial results]")
+	default:
+		fmt.Fprintln(os.Stderr, "sgperf:", err)
+		os.Exit(1)
+	}
+}
+
 func renderPerf(title string, res experiments.PerfResult, scheme sim.Scheme) {
+	if len(res.Rows) == 0 {
+		fmt.Println(title)
+		fmt.Println("  (no workload completed)")
+		fmt.Println()
+		return
+	}
 	t := report.NewTable(title, "workload", "base IPC", "slowdown")
 	for _, row := range res.Rows {
 		t.AddRowStrings(row.Workload, fmt.Sprintf("%.3f", row.BaseIPC), report.Percent(row.Slowdown[scheme]))

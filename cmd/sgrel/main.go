@@ -7,12 +7,18 @@
 //	sgrel -all      everything
 //
 // -modules sets the Monte-Carlo population (paper: 10M; default 1M).
+// -scrub and -retire attach the DUE-response lifetime policies (patrol
+// scrubbing and row retirement, in hours between sweeps) to every
+// Monte-Carlo run; SIGINT prints whatever finished.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"safeguard/internal/cliflags"
 	"safeguard/internal/ecc"
@@ -31,6 +37,8 @@ func main() {
 		all     = flag.Bool("all", false, "run everything")
 		modules = flag.Int("modules", 1_000_000, "Monte-Carlo module population")
 		seed    = flag.Uint64("seed", 42, "simulation seed")
+		scrub   = flag.Float64("scrub", 0, "patrol-scrub interval in hours (0 = off)")
+		retire  = flag.Float64("retire", 0, "row-retirement sweep interval in hours (0 = off)")
 	)
 	flag.Parse()
 	if err := cliflags.Exclusive(*all, map[string]bool{
@@ -38,13 +46,30 @@ func main() {
 	}); err != nil {
 		cliflags.Fail(err)
 	}
-	cfg := faultsim.Config{Modules: *modules, Years: 7, FITScale: 1, Seed: *seed}
+	if *scrub < 0 || *retire < 0 {
+		cliflags.Fail(fmt.Errorf("-scrub and -retire must be >= 0 hours"))
+	}
+	cfg := faultsim.Config{
+		Modules: *modules, Years: 7, FITScale: 1, Seed: *seed,
+		ScrubIntervalHours: *scrub, RetireIntervalHours: *retire,
+	}
+	if *scrub > 0 || *retire > 0 {
+		fmt.Printf("Lifetime policies: scrub every %gh, retire sweep every %gh (0 = off)\n\n", *scrub, *retire)
+	}
+
+	// SIGINT cancels the Monte-Carlo runs; completed schemes still print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *fig6 || *all {
-		rs := experiments.Figure6(cfg)
+		rs, err := experiments.Figure6(ctx, cfg)
+		interrupted(err)
 		t := report.NewTable(fmt.Sprintf("Figure 6: probability of system failure over 7 years (%d modules; paper: no-parity ~1.25x SECDED, parity ~= SECDED)", *modules),
 			"scheme", "P(fail) by year 1..7", "end-of-life", "vs SECDED")
-		base := rs[0].Probability()
+		base := 0.0
+		if len(rs) > 0 {
+			base = rs[0].Probability()
+		}
 		for _, r := range rs {
 			t.AddRowStrings(r.Scheme, probSeries(r), fmt.Sprintf("%.6f", r.Probability()),
 				fmt.Sprintf("%.3fx", safeRatio(r.Probability(), base)))
@@ -53,7 +78,8 @@ func main() {
 		fmt.Println()
 	}
 	if *fig10 || *all {
-		out := experiments.Figure10(cfg)
+		out, err := experiments.Figure10(ctx, cfg)
+		interrupted(err)
 		t := report.NewTable(fmt.Sprintf("Figure 10: Chipkill vs SafeGuard-Chipkill (%d modules; paper: virtually identical at 1x and 10x FIT)", *modules),
 			"FIT scale", "scheme", "P(fail, 7y)")
 		for _, scale := range []float64{1, 10} {
@@ -81,12 +107,29 @@ func main() {
 		t := report.NewTable("MAC-escape exposure: iterative vs eager correction (6-bit MAC so escapes are observable; Section V-C/VII-E)",
 			"policy", "trials", "faulty MAC checks", "escapes", "escape rate")
 		for _, policy := range []ecc.CorrectionPolicy{ecc.Iterative, ecc.History, ecc.Eager} {
-			m := experiments.MeasureEscapes(policy, 6, 20_000, *seed)
+			m, err := experiments.MeasureEscapes(policy, 6, 20_000, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sgrel:", err)
+				os.Exit(1)
+			}
 			t.AddRowStrings(policy.String(), fmt.Sprint(m.Trials), fmt.Sprint(m.FaultyMACChecks),
 				fmt.Sprint(m.Escapes), fmt.Sprintf("%.5f", m.Rate()))
 		}
 		t.Render(os.Stdout)
 		fmt.Println()
+	}
+}
+
+// interrupted lets a SIGINT print the partial results already gathered;
+// any other experiment error is fatal.
+func interrupted(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		fmt.Println("[interrupted — printing partial results]")
+	default:
+		fmt.Fprintln(os.Stderr, "sgrel:", err)
+		os.Exit(1)
 	}
 }
 

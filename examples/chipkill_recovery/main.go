@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"math/rand/v2"
+	"os"
 
 	"safeguard"
 	"safeguard/internal/ecc"
@@ -23,7 +24,11 @@ func main() {
 	fmt.Println()
 	fmt.Printf("%-10s  %9s  %16s  %22s\n", "policy", "corrected", "MAC checks/read", "faulty-data MAC checks")
 	for _, policy := range []safeguard.CorrectionPolicy{safeguard.Iterative, safeguard.History, safeguard.Eager} {
-		codec := safeguard.NewSafeGuardChipkillPolicy(keyed, policy, safeguard.MACWidthChipkill)
+		codec, err := safeguard.NewSafeGuardChipkillPolicy(keyed, policy, safeguard.MACWidthChipkill)
+		if err != nil {
+			fmt.Println("error:", err)
+			os.Exit(1)
+		}
 		var corrected, totalChecks, faultyChecks int
 		const reads = 200
 		for i := 0; i < reads; i++ {

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"safeguard"
 )
@@ -27,7 +28,11 @@ func main() {
 	fmt.Printf("  -> SafeGuard raised its first DUE at window %d and never went silent\n\n", sg.FirstDUEWindow)
 
 	fmt.Println("=== The system's response to the DUE stream (cloud deployment) ===")
-	policy := safeguard.NewResponsePolicy(true /* cloud */, 3, 300, 50)
+	policy, err := safeguard.NewResponsePolicy(true /* cloud */, 3, 300, 50)
+	if err != nil {
+		fmt.Println("error:", err)
+		os.Exit(1)
+	}
 	// The attacker process is co-resident with every DUE; the victims
 	// rotate.
 	victims := []string{"web-frontend", "database", "cache", "web-frontend", "batch-job"}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -20,7 +21,11 @@ func main() {
 	fmt.Printf("Simulating %d modules x 7 years per scheme (Table III FIT rates)...\n\n", cfg.Modules)
 
 	// Figure 6: x8 modules.
-	results := safeguard.Figure6(cfg)
+	results, err := safeguard.Figure6(context.Background(), cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		os.Exit(1)
+	}
 	t := report.NewTable("x8 16GB modules (Figure 6)", "scheme", "P(fail, 7y)", "vs SECDED")
 	base := results[0].Probability()
 	for _, r := range results {
@@ -39,7 +44,11 @@ claim that strong detection comes at no correction cost.`)
 		c := cfg
 		c.FITScale = scale
 		for _, eval := range []faultsim.Evaluator{faultsim.ChipkillEval{}, faultsim.SafeGuardChipkillEval{}} {
-			r := safeguard.RunReliability(eval, c)
+			r, err := safeguard.RunReliability(eval, c)
+			if err != nil {
+				fmt.Println("error:", err)
+				os.Exit(1)
+			}
 			t2.AddRowStrings(fmt.Sprintf("%.0fx", scale), r.Scheme, fmt.Sprintf("%.6f", r.Probability()))
 		}
 	}

@@ -6,6 +6,7 @@
 package safeguard_test
 
 import (
+	"context"
 	"testing"
 
 	"safeguard/internal/experiments"
@@ -29,7 +30,10 @@ func shapeConfig() experiments.PerfConfig {
 // TestFigure7ShapeWithPlugins: SafeGuard vs SECDED baseline stays well
 // under 2% average slowdown (paper: 0.7%) with a mitigation plugin live.
 func TestFigure7ShapeWithPlugins(t *testing.T) {
-	res := experiments.Figure7(shapeConfig())
+	res, err := experiments.Figure7(context.Background(), shapeConfig())
+	if err != nil {
+		t.Fatalf("Figure7: %v", err)
+	}
 	if avg := res.Average(sim.SafeGuard); avg >= 0.02 {
 		t.Fatalf("Figure 7 shape broken: SafeGuard average slowdown %.2f%%, must be < 2%%", avg*100)
 	}
@@ -38,7 +42,10 @@ func TestFigure7ShapeWithPlugins(t *testing.T) {
 // TestFigure11ShapeWithPlugins: the Chipkill-baseline comparison shows
 // the same near-zero overhead.
 func TestFigure11ShapeWithPlugins(t *testing.T) {
-	res := experiments.Figure11(shapeConfig())
+	res, err := experiments.Figure11(context.Background(), shapeConfig())
+	if err != nil {
+		t.Fatalf("Figure11: %v", err)
+	}
 	if avg := res.Average(sim.SafeGuard); avg >= 0.02 {
 		t.Fatalf("Figure 11 shape broken: SafeGuard average slowdown %.2f%%, must be < 2%%", avg*100)
 	}
@@ -48,7 +55,10 @@ func TestFigure11ShapeWithPlugins(t *testing.T) {
 // Synergy > SafeGuard (paper: 18.7% > 7.8% > 0.7%) survives the plugin
 // architecture.
 func TestFigure12OrderingWithPlugins(t *testing.T) {
-	res := experiments.Figure12(shapeConfig())
+	res, err := experiments.Figure12(context.Background(), shapeConfig())
+	if err != nil {
+		t.Fatalf("Figure12: %v", err)
+	}
 	sg := res.Average(sim.SafeGuard)
 	syn := res.Average(sim.SynergyStyle)
 	sgx := res.Average(sim.SGXStyle)

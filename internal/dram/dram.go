@@ -5,6 +5,8 @@
 // internal/memctrl.
 package dram
 
+import "fmt"
+
 // Geometry is the channel organization.
 type Geometry struct {
 	// Ranks per channel.
@@ -31,6 +33,34 @@ var Table2Geometry = Geometry{
 
 // LinesPerRow returns how many cache lines one row buffer holds.
 func (g Geometry) LinesPerRow() int { return g.RowBytes / g.LineBytes }
+
+// Validate checks that the geometry is usable by the mapper and the
+// cycle-level controller: every dimension positive, rows holding a whole
+// number of lines, and the mapper-relevant dimensions powers of two.
+// NewMapper panics on a geometry Validate rejects; callers taking
+// geometry from flags or configs should Validate first.
+func (g Geometry) Validate() error {
+	if g.Ranks <= 0 || g.Banks <= 0 || g.RowsPerBank <= 0 || g.RowBytes <= 0 || g.LineBytes <= 0 {
+		return fmt.Errorf("dram: geometry dimensions must be positive: %+v", g)
+	}
+	if g.RowBytes%g.LineBytes != 0 {
+		return fmt.Errorf("dram: row bytes %d not a multiple of line bytes %d", g.RowBytes, g.LineBytes)
+	}
+	for _, d := range []struct {
+		name string
+		v    int
+	}{
+		{"ranks", g.Ranks},
+		{"banks", g.Banks},
+		{"rows per bank", g.RowsPerBank},
+		{"lines per row", g.LinesPerRow()},
+	} {
+		if d.v&(d.v-1) != 0 {
+			return fmt.Errorf("dram: %s (%d) must be a power of two", d.name, d.v)
+		}
+	}
+	return nil
+}
 
 // TotalBytes returns the channel capacity.
 func (g Geometry) TotalBytes() uint64 {

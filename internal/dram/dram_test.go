@@ -86,3 +86,22 @@ func TestMapperPanicsOnBadGeometry(t *testing.T) {
 	}()
 	NewMapper(Geometry{Ranks: 3, Banks: 16, RowsPerBank: 1024, RowBytes: 8192, LineBytes: 64})
 }
+
+func TestGeometryValidate(t *testing.T) {
+	if err := Table2Geometry.Validate(); err != nil {
+		t.Fatalf("Table II geometry invalid: %v", err)
+	}
+	bad := []Geometry{
+		{Ranks: 0, Banks: 16, RowsPerBank: 1024, RowBytes: 8192, LineBytes: 64},
+		{Ranks: 3, Banks: 16, RowsPerBank: 1024, RowBytes: 8192, LineBytes: 64},
+		{Ranks: 2, Banks: 12, RowsPerBank: 1024, RowBytes: 8192, LineBytes: 64},
+		{Ranks: 2, Banks: 16, RowsPerBank: 1000, RowBytes: 8192, LineBytes: 64},
+		{Ranks: 2, Banks: 16, RowsPerBank: 1024, RowBytes: 8192, LineBytes: 48},
+		{Ranks: 2, Banks: 16, RowsPerBank: 1024, RowBytes: 100, LineBytes: 64},
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Fatalf("Validate(%+v): expected error", g)
+		}
+	}
+}

@@ -8,6 +8,16 @@ import (
 	"safeguard/internal/mac"
 )
 
+// mustChipkillPolicy builds the scheme for tests where the width is a
+// compile-time constant and cannot fail.
+func mustChipkillPolicy(keyed *mac.Keyed, policy CorrectionPolicy, macWidth int) *SafeGuardChipkill {
+	c, err := NewSafeGuardChipkillPolicy(keyed, policy, macWidth)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 func TestChipkillCorrectsAnySingleChip(t *testing.T) {
 	c := NewChipkill()
 	r := rand.New(rand.NewPCG(20, 20))
@@ -58,7 +68,7 @@ func TestSafeGuardChipkillCorrectsAnySingleChipAllPolicies(t *testing.T) {
 		for chip := 0; chip < ChipkillChips; chip++ {
 			// Fresh controller per chip: a single module does not see 18
 			// different whole-chip failures back to back.
-			c := NewSafeGuardChipkillPolicy(testMAC(), policy, mac.WidthChipkill)
+			c := mustChipkillPolicy(testMAC(), policy, mac.WidthChipkill)
 			l := randLine(r)
 			addr := uint64(chip) * 64
 			meta := c.Encode(l, addr)
@@ -86,7 +96,7 @@ func TestSafeGuardChipkillEagerSkipsVulnerableCheck(t *testing.T) {
 	r := rand.New(rand.NewPCG(23, 23))
 	const chip = 7
 	run := func(policy CorrectionPolicy, reads int) (faultyChecks, lastTotal int) {
-		c := NewSafeGuardChipkillPolicy(testMAC(), policy, mac.WidthChipkill)
+		c := mustChipkillPolicy(testMAC(), policy, mac.WidthChipkill)
 		for i := 0; i < reads; i++ {
 			l := randLine(r)
 			addr := uint64(i) * 64
@@ -132,7 +142,7 @@ func TestSafeGuardChipkillEscapeRatioIterativeVsEager(t *testing.T) {
 	r := rand.New(rand.NewPCG(24, 24))
 	const width = 6
 	run := func(policy CorrectionPolicy) (escapes, faultyChecks int) {
-		c := NewSafeGuardChipkillPolicy(testMAC(), policy, width)
+		c := mustChipkillPolicy(testMAC(), policy, width)
 		for i := 0; i < 4000; i++ {
 			l := randLine(r)
 			addr := uint64(i) * 64
@@ -261,7 +271,7 @@ func TestSafeGuardChipkillSpareCapacity(t *testing.T) {
 func TestSafeGuardChipkillPingPongDeclaresDUE(t *testing.T) {
 	// Section V-D: interchangeably failing chips are not a pattern
 	// Chipkill repairs; after several rounds SafeGuard declares DUE.
-	c := NewSafeGuardChipkillPolicy(testMAC(), Eager, mac.WidthChipkill)
+	c := mustChipkillPolicy(testMAC(), Eager, mac.WidthChipkill)
 	r := rand.New(rand.NewPCG(30, 30))
 	sawDUE := false
 	for i := 0; i < 3*pingPongLimit; i++ {
@@ -301,13 +311,15 @@ func TestSafeGuardChipkillParityLayout(t *testing.T) {
 	}
 }
 
-func TestSafeGuardChipkillBadWidthPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for width > 32")
+func TestSafeGuardChipkillBadWidthError(t *testing.T) {
+	for _, width := range []int{-1, 0, 33, 64} {
+		if _, err := NewSafeGuardChipkillPolicy(testMAC(), Eager, width); err == nil {
+			t.Errorf("width %d accepted, want error", width)
 		}
-	}()
-	NewSafeGuardChipkillPolicy(testMAC(), Eager, 33)
+	}
+	if c, err := NewSafeGuardChipkillPolicy(testMAC(), Eager, 32); err != nil || c == nil {
+		t.Errorf("width 32 rejected: %v", err)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -415,7 +427,7 @@ func BenchmarkDecodeCleanSafeGuardChipkill(b *testing.B) {
 }
 
 func BenchmarkIterativeCorrection(b *testing.B) {
-	c := NewSafeGuardChipkillPolicy(testMAC(), Iterative, mac.WidthChipkill)
+	c := mustChipkillPolicy(testMAC(), Iterative, mac.WidthChipkill)
 	r := rand.New(rand.NewPCG(39, 39))
 	l := randLine(r)
 	meta := c.Encode(l, 64)

@@ -1,0 +1,102 @@
+package ecc
+
+import (
+	"testing"
+
+	"safeguard/internal/bits"
+	"safeguard/internal/mac"
+)
+
+// Fuzz targets for every Codec decode path. Two invariants hold for all
+// schemes under arbitrary stored-line and metadata corruption:
+//
+//  1. Decode never panics — corrupted metadata is attacker-controlled
+//     input (Row-Hammer flips land in ECC devices too).
+//  2. With zero corruption, Decode round-trips: status OK and the
+//     original line back.
+//
+// MAC-backed schemes (SafeGuard and the SGX/Synergy baselines) carry a
+// third: whenever Decode claims success (OK or Corrected), the delivered
+// line is the original — a keyed 32-bit MAC makes "corrected" with wrong
+// data a 2^-32 collision the fuzzer cannot manufacture. The plain SECDED
+// and Chipkill baselines legitimately miscorrect (ECCploit), so the
+// strong claim is deliberately not asserted for them.
+//
+// Codecs are stateful (history, spare lines), so every execution builds
+// a fresh instance.
+
+func fuzzKey() *mac.Keyed {
+	var key [16]byte
+	for i := range key {
+		key[i] = byte(0x42 + 7*i)
+	}
+	return mac.NewKeyed(key)
+}
+
+// fuzzLine assembles a bits.Line from fuzz bytes (zero-padded).
+func fuzzLine(data []byte) bits.Line {
+	var l bits.Line
+	for i, b := range data {
+		if i >= bits.LineBytes {
+			break
+		}
+		l[i/8] |= uint64(b) << (8 * (uint(i) % 8))
+	}
+	return l
+}
+
+func fuzzCodec(f *testing.F, mk func() Codec, macBacked bool) {
+	f.Add([]byte{}, []byte{}, uint64(0), uint64(0))
+	f.Add([]byte{1, 2, 3}, []byte{0xFF}, uint64(1), uint64(64))
+	f.Add([]byte{0xAA, 0xBB}, []byte{0, 0, 0x80}, ^uint64(0), uint64(1<<40))
+	f.Fuzz(func(t *testing.T, lineData, flipData []byte, metaXor, addr uint64) {
+		codec := mk()
+		orig := fuzzLine(lineData)
+		meta := codec.Encode(orig, addr)
+
+		stored := orig
+		flips := fuzzLine(flipData)
+		for w := range stored {
+			stored[w] ^= flips[w]
+		}
+		badMeta := meta ^ metaXor
+
+		res := codec.Decode(stored, badMeta, addr)
+
+		if stored == orig && badMeta == meta {
+			if res.Status != OK || res.Line != orig {
+				t.Fatalf("%s: clean decode: status %v, line match %v",
+					codec.Name(), res.Status, res.Line == orig)
+			}
+			return
+		}
+		if macBacked && res.Status != DUE && res.Line != orig {
+			t.Fatalf("%s: claimed %v but delivered wrong data under flips=%v metaXor=%#x",
+				codec.Name(), res.Status, flips, metaXor)
+		}
+	})
+}
+
+func FuzzSECDEDDecode(f *testing.F) {
+	fuzzCodec(f, func() Codec { return NewSECDED() }, false)
+}
+
+func FuzzSafeGuardSECDEDDecode(f *testing.F) {
+	fuzzCodec(f, func() Codec { return NewSafeGuardSECDED(fuzzKey()) }, true)
+}
+
+func FuzzChipkillDecode(f *testing.F) {
+	fuzzCodec(f, func() Codec { return NewChipkill() }, false)
+}
+
+func FuzzSafeGuardChipkillDecode(f *testing.F) {
+	fuzzCodec(f, func() Codec { return NewSafeGuardChipkill(fuzzKey()) }, true)
+}
+
+func FuzzSGXStyleMACDecode(f *testing.F) {
+	fuzzCodec(f, func() Codec { return NewSGXStyleMAC(fuzzKey()) }, true)
+}
+
+func FuzzSynergyStyleMACDecode(f *testing.F) {
+	fuzzCodec(f, func() Codec { return NewSynergyStyleMAC(fuzzKey()) }, true)
+}

@@ -1,6 +1,8 @@
 package ecc
 
 import (
+	"fmt"
+
 	"safeguard/internal/bits"
 	"safeguard/internal/mac"
 )
@@ -79,15 +81,22 @@ type SafeGuardChipkill struct {
 // NewSafeGuardChipkill builds the paper's default configuration: 32-bit MAC
 // with Eager Correction and spare lines.
 func NewSafeGuardChipkill(keyed *mac.Keyed) *SafeGuardChipkill {
-	return NewSafeGuardChipkillPolicy(keyed, Eager, mac.WidthChipkill)
+	c, err := NewSafeGuardChipkillPolicy(keyed, Eager, mac.WidthChipkill)
+	if err != nil {
+		// WidthChipkill is a package constant inside the valid range.
+		panic(err)
+	}
+	return c
 }
 
 // NewSafeGuardChipkillPolicy builds the scheme with an explicit correction
 // policy and MAC width (the ablations of Sections V-C/V-D use Iterative and
-// History; the MAC-escape experiments use narrow widths).
-func NewSafeGuardChipkillPolicy(keyed *mac.Keyed, policy CorrectionPolicy, macWidth int) *SafeGuardChipkill {
+// History; the MAC-escape experiments use narrow widths). The width comes
+// from experiment configs and command-line flags, so a bad value is an
+// error, not a panic.
+func NewSafeGuardChipkillPolicy(keyed *mac.Keyed, policy CorrectionPolicy, macWidth int) (*SafeGuardChipkill, error) {
 	if macWidth <= 0 || macWidth > 32 {
-		panic("ecc: SafeGuard-Chipkill MAC width must be 1..32 (one x4 chip)")
+		return nil, fmt.Errorf("ecc: SafeGuard-Chipkill MAC width must be 1..32 (one x4 chip), got %d", macWidth)
 	}
 	return &SafeGuardChipkill{
 		keyed:       keyed,
@@ -95,7 +104,7 @@ func NewSafeGuardChipkillPolicy(keyed *mac.Keyed, policy CorrectionPolicy, macWi
 		policy:      policy,
 		lastBadChip: -1,
 		spares:      make(map[uint64]bits.Line, SpareLines),
-	}
+	}, nil
 }
 
 // Name implements Codec.

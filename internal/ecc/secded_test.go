@@ -33,8 +33,8 @@ func allCodecs() []Codec {
 		NewSafeGuardSECDEDNoParity(k),
 		NewChipkill(),
 		NewSafeGuardChipkill(k),
-		NewSafeGuardChipkillPolicy(k, Iterative, mac.WidthChipkill),
-		NewSafeGuardChipkillPolicy(k, History, mac.WidthChipkill),
+		mustChipkillPolicy(k, Iterative, mac.WidthChipkill),
+		mustChipkillPolicy(k, History, mac.WidthChipkill),
 		NewSGXStyleMAC(k),
 		NewSynergyStyleMAC(k),
 	}

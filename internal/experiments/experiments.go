@@ -6,10 +6,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"safeguard/internal/bits"
 	"safeguard/internal/ecc"
@@ -107,8 +109,11 @@ func (r PerfResult) Worst(s sim.Scheme) (string, float64) {
 	return name, worst
 }
 
-// runPerf executes the sweep for the given schemes, averaging seeds.
-func runPerf(cfg PerfConfig, schemes []sim.Scheme) PerfResult {
+// runPerf executes the sweep for the given schemes, averaging seeds. A
+// failing simulation (bad workload name, cycle-limit blowout) or a
+// cancelled context aborts the sweep with an error instead of panicking
+// the worker pool.
+func runPerf(ctx context.Context, cfg PerfConfig, schemes []sim.Scheme) (PerfResult, error) {
 	names := cfg.workloads()
 	type job struct {
 		wIdx   int
@@ -134,15 +139,22 @@ func runPerf(cfg PerfConfig, schemes []sim.Scheme) PerfResult {
 	}
 	jobCh := make(chan job)
 	outCh := make(chan out, len(jobs))
+	errs := make([]error, workers)
+	var bail atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for j := range jobCh {
+				if bail.Load() || ctx.Err() != nil {
+					continue // drain the channel without working
+				}
 				p, err := workload.ByName(names[j.wIdx])
 				if err != nil {
-					panic(err)
+					errs[w] = err
+					bail.Store(true)
+					continue
 				}
 				sc := sim.DefaultConfig()
 				sc.Workload = p
@@ -153,13 +165,15 @@ func runPerf(cfg PerfConfig, schemes []sim.Scheme) PerfResult {
 				sc.Seed = j.seed
 				sc.Mitigation = cfg.Mitigation
 				sc.RHThreshold = cfg.RHThreshold
-				res, err := sim.NewSystem(sc).Run()
+				res, err := sim.NewSystem(sc).RunContext(ctx)
 				if err != nil {
-					panic(fmt.Sprintf("experiments: %s/%v/seed%d: %v", names[j.wIdx], j.scheme, j.seed, err))
+					errs[w] = fmt.Errorf("experiments: %s/%v/seed%d: %w", names[j.wIdx], j.scheme, j.seed, err)
+					bail.Store(true)
+					continue
 				}
 				outCh <- out{job: j, ipc: res.HarmonicMeanIPC()}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		for _, j := range jobs {
@@ -183,9 +197,25 @@ func runPerf(cfg PerfConfig, schemes []sim.Scheme) PerfResult {
 		k := [2]int{wi, schemeIdx(s)}
 		return sums[k] / float64(counts[k])
 	}
+	complete := func(wi int) bool {
+		if counts[[2]int{wi, schemeIdx(sim.Baseline)}] == 0 {
+			return false
+		}
+		for _, sch := range schemes {
+			if counts[[2]int{wi, schemeIdx(sch)}] == 0 {
+				return false
+			}
+		}
+		return true
+	}
 
+	// Build the result from whatever finished, so an interrupted run can
+	// still report the workloads it completed.
 	result := PerfResult{Schemes: schemes}
 	for wi, name := range names {
+		if !complete(wi) {
+			continue
+		}
 		base := mean(wi, sim.Baseline)
 		row := PerfRow{Workload: name, BaseIPC: base, Slowdown: make(map[sim.Scheme]float64)}
 		for _, sch := range schemes {
@@ -193,14 +223,22 @@ func runPerf(cfg PerfConfig, schemes []sim.Scheme) PerfResult {
 		}
 		result.Rows = append(result.Rows, row)
 	}
-	return result
+	for _, err := range errs {
+		if err != nil {
+			return result, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return result, err
+	}
+	return result, nil
 }
 
 // Figure7 reproduces the SafeGuard-vs-SECDED performance figure: the
 // baseline is conventional SECDED (no MAC), SafeGuard adds the per-read MAC
 // check. Paper: 0.7% average, omnetpp worst at 3.6%.
-func Figure7(cfg PerfConfig) PerfResult {
-	return runPerf(cfg, []sim.Scheme{sim.SafeGuard})
+func Figure7(ctx context.Context, cfg PerfConfig) (PerfResult, error) {
+	return runPerf(ctx, cfg, []sim.Scheme{sim.SafeGuard})
 }
 
 // Figure11 reproduces SafeGuard-vs-Chipkill. The timing model of the
@@ -208,15 +246,15 @@ func Figure7(cfg PerfConfig) PerfResult {
 // SECDED counterparts (ECC off the critical path vs one MAC check per
 // read), so the experiment mirrors Figure 7 — as the paper itself notes
 // ("similar to the slowdown when implemented with SECDED").
-func Figure11(cfg PerfConfig) PerfResult {
-	return runPerf(cfg, []sim.Scheme{sim.SafeGuard})
+func Figure11(ctx context.Context, cfg PerfConfig) (PerfResult, error) {
+	return runPerf(ctx, cfg, []sim.Scheme{sim.SafeGuard})
 }
 
 // Figure12 compares the MAC organizations: SafeGuard vs SGX-style (extra
 // MAC-line read per read) vs Synergy-style (extra parity write per write).
 // Paper: 0.7% / 18.7% / 7.8%.
-func Figure12(cfg PerfConfig) PerfResult {
-	return runPerf(cfg, []sim.Scheme{sim.SafeGuard, sim.SGXStyle, sim.SynergyStyle})
+func Figure12(ctx context.Context, cfg PerfConfig) (PerfResult, error) {
+	return runPerf(ctx, cfg, []sim.Scheme{sim.SafeGuard, sim.SGXStyle, sim.SynergyStyle})
 }
 
 // Figure13Point is one MAC-latency sample of the sensitivity sweep.
@@ -227,7 +265,7 @@ type Figure13Point struct {
 
 // Figure13 sweeps the MAC latency (paper: 8 to 80 processor cycles) for the
 // three MAC organizations and reports the average slowdown at each point.
-func Figure13(cfg PerfConfig, latencies []int64) []Figure13Point {
+func Figure13(ctx context.Context, cfg PerfConfig, latencies []int64) ([]Figure13Point, error) {
 	if len(latencies) == 0 {
 		latencies = []int64{8, 16, 40, 80}
 	}
@@ -235,14 +273,17 @@ func Figure13(cfg PerfConfig, latencies []int64) []Figure13Point {
 	for _, lat := range latencies {
 		c := cfg
 		c.MACLatencyCPU = lat
-		res := runPerf(c, []sim.Scheme{sim.SafeGuard, sim.SGXStyle, sim.SynergyStyle})
+		res, err := runPerf(ctx, c, []sim.Scheme{sim.SafeGuard, sim.SGXStyle, sim.SynergyStyle})
+		if err != nil {
+			return points, err
+		}
 		p := Figure13Point{MACLatencyCPU: lat, Average: make(map[sim.Scheme]float64)}
 		for _, sch := range res.Schemes {
 			p.Average[sch] = res.Average(sch)
 		}
 		points = append(points, p)
 	}
-	return points
+	return points, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -261,8 +302,8 @@ func FullReliability() faultsim.Config {
 
 // Figure6 runs the 7-year lifetime study for SECDED and both SafeGuard
 // variants. Paper: no-parity ≈ 1.25x SECDED, with parity ≈ identical.
-func Figure6(cfg faultsim.Config) []faultsim.Result {
-	return faultsim.RunAll([]faultsim.Evaluator{
+func Figure6(ctx context.Context, cfg faultsim.Config) ([]faultsim.Result, error) {
+	return faultsim.RunAllContext(ctx, []faultsim.Evaluator{
 		faultsim.SECDEDEval{},
 		faultsim.SafeGuardSECDEDEval{ColumnParity: false},
 		faultsim.SafeGuardSECDEDEval{ColumnParity: true},
@@ -270,17 +311,21 @@ func Figure6(cfg faultsim.Config) []faultsim.Result {
 }
 
 // Figure10 runs Chipkill vs SafeGuard-Chipkill at 1x and 10x FIT rates.
-func Figure10(cfg faultsim.Config) map[float64][]faultsim.Result {
+func Figure10(ctx context.Context, cfg faultsim.Config) (map[float64][]faultsim.Result, error) {
 	out := make(map[float64][]faultsim.Result)
 	for _, scale := range []float64{1, 10} {
 		c := cfg
 		c.FITScale = scale
-		out[scale] = faultsim.RunAll([]faultsim.Evaluator{
+		res, err := faultsim.RunAllContext(ctx, []faultsim.Evaluator{
 			faultsim.ChipkillEval{},
 			faultsim.SafeGuardChipkillEval{},
 		}, c)
+		if err != nil {
+			return out, err
+		}
+		out[scale] = res
 	}
-	return out
+	return out, nil
 }
 
 // Table4Cell is one (scheme, fault mode) entry of the resiliency matrix.
@@ -386,9 +431,12 @@ func (m EscapeMeasurement) Rate() float64 { return float64(m.Escapes) / float64(
 // deliberately narrow MAC, counting silent escapes. With the analysis
 // package's 1/2^n model this validates the paper's 18x iterative-vs-eager
 // exposure gap at widths where escapes are observable.
-func MeasureEscapes(policy ecc.CorrectionPolicy, macWidth, trials int, seed uint64) EscapeMeasurement {
+func MeasureEscapes(policy ecc.CorrectionPolicy, macWidth, trials int, seed uint64) (EscapeMeasurement, error) {
 	rng := rand.New(rand.NewPCG(seed, 7))
-	codec := ecc.NewSafeGuardChipkillPolicy(testKey(), policy, macWidth)
+	codec, err := ecc.NewSafeGuardChipkillPolicy(testKey(), policy, macWidth)
+	if err != nil {
+		return EscapeMeasurement{}, err
+	}
 	m := EscapeMeasurement{Policy: policy, MACWidth: macWidth, Trials: trials}
 	const chip = 5
 	for i := 0; i < trials; i++ {
@@ -406,11 +454,11 @@ func MeasureEscapes(policy ecc.CorrectionPolicy, macWidth, trials int, seed uint
 			m.Escapes++
 		}
 	}
-	return m
+	return m, nil
 }
 
 // RunSchemes exposes the sweep for arbitrary scheme sets (extension
 // experiments such as the full-SGX comparison).
-func RunSchemes(cfg PerfConfig, schemes []sim.Scheme) PerfResult {
-	return runPerf(cfg, schemes)
+func RunSchemes(ctx context.Context, cfg PerfConfig, schemes []sim.Scheme) (PerfResult, error) {
+	return runPerf(ctx, cfg, schemes)
 }

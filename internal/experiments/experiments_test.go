@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"safeguard/internal/ecc"
@@ -20,7 +21,10 @@ func tinyPerf() PerfConfig {
 }
 
 func TestFigure7Shape(t *testing.T) {
-	res := Figure7(tinyPerf())
+	res, err := Figure7(context.Background(), tinyPerf())
+	if err != nil {
+		t.Fatalf("Figure7: %v", err)
+	}
 	if len(res.Rows) != 3 {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
@@ -43,7 +47,10 @@ func TestFigure12Ordering(t *testing.T) {
 	cfg.WarmupInstr = 250_000
 	cfg.InstrPerCore = 150_000
 	cfg.Workloads = []string{"mcf", "lbm"}
-	res := Figure12(cfg)
+	res, err := Figure12(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Figure12: %v", err)
+	}
 	sg := res.Average(sim.SafeGuard)
 	sgx := res.Average(sim.SGXStyle)
 	syn := res.Average(sim.SynergyStyle)
@@ -60,7 +67,10 @@ func TestFigure12Ordering(t *testing.T) {
 func TestFigure13Monotone(t *testing.T) {
 	cfg := tinyPerf()
 	cfg.Workloads = []string{"mcf", "omnetpp"}
-	points := Figure13(cfg, []int64{8, 80})
+	points, err := Figure13(context.Background(), cfg, []int64{8, 80})
+	if err != nil {
+		t.Fatalf("Figure13: %v", err)
+	}
 	if len(points) != 2 {
 		t.Fatalf("points = %d", len(points))
 	}
@@ -84,7 +94,10 @@ func TestFigure6Quick(t *testing.T) {
 	}
 	cfg := QuickReliability()
 	cfg.Modules = 200_000
-	rs := Figure6(cfg)
+	rs, err := Figure6(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Figure6: %v", err)
+	}
 	if len(rs) != 3 {
 		t.Fatalf("results = %d", len(rs))
 	}
@@ -106,7 +119,10 @@ func TestFigure10Quick(t *testing.T) {
 	}
 	cfg := QuickReliability()
 	cfg.Modules = 200_000
-	out := Figure10(cfg)
+	out, err := Figure10(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Figure10: %v", err)
+	}
 	for scale, rs := range out {
 		ck, sg := rs[0].Probability(), rs[1].Probability()
 		t.Logf("FITx%.0f: Chipkill=%.6f SafeGuard=%.6f", scale, ck, sg)
@@ -154,8 +170,14 @@ func TestTable4Matrix(t *testing.T) {
 }
 
 func TestMeasureEscapes18xGap(t *testing.T) {
-	iter := MeasureEscapes(ecc.Iterative, 6, 4000, 3)
-	eager := MeasureEscapes(ecc.Eager, 6, 4000, 3)
+	iter, err := MeasureEscapes(ecc.Iterative, 6, 4000, 3)
+	if err != nil {
+		t.Fatalf("MeasureEscapes: %v", err)
+	}
+	eager, err := MeasureEscapes(ecc.Eager, 6, 4000, 3)
+	if err != nil {
+		t.Fatalf("MeasureEscapes: %v", err)
+	}
 	t.Logf("iterative: rate=%.4f checks=%d; eager: rate=%.4f checks=%d",
 		iter.Rate(), iter.FaultyMACChecks, eager.Rate(), eager.FaultyMACChecks)
 	if iter.FaultyMACChecks < 10*eager.FaultyMACChecks {

@@ -1,0 +1,116 @@
+package faultcampaign
+
+import "safeguard/internal/response"
+
+// campaignEngine is the escalation configuration shared by the built-in
+// scenarios: one re-read, fast backoff, retire on the second hard DUE,
+// quarantine on the second retirement.
+func campaignEngine() response.EngineConfig {
+	return response.EngineConfig{
+		MaxRetries:          1,
+		RetryBackoffCycles:  4,
+		ScrubCorrected:      true,
+		RetireThreshold:     2,
+		QuarantineThreshold: 2,
+	}
+}
+
+// Builtin returns the four scripted campaigns the experiment runtime
+// replays: a transient flip a retry rides out, a stuck chip the pipeline
+// retires, a hammered row escalating through correction to retirement,
+// and a repeated-DUE pattern that ends in quarantine.
+//
+// Rows are 4 lines (256 bytes); row r's line l lives at r*256 + l*64.
+func Builtin() []Scenario {
+	const row = 4 * 64
+	return []Scenario{
+		{
+			Name: "transient-flip",
+			Description: "A 3-bit in-flight disturbance corrupts one read; " +
+				"the engine's first re-read sees clean data and scrubs.",
+			Engine: campaignEngine(),
+			Ops: []Op{
+				{Kind: OpWrite, Addr: 0},
+				{Kind: OpTransient, Addr: 0, Bits: []int{1, 2, 3}, Reads: 1},
+				{Kind: OpRead, Addr: 0},
+				{Kind: OpRead, Addr: 0}, // clean after recovery
+			},
+			Expect: []response.StepKind{response.StepRetry, response.StepScrub},
+		},
+		{
+			Name: "stuck-chip",
+			Description: "A chip's byte sticks: every read fails, retries " +
+				"cannot help, the second hard DUE retires the row and " +
+				"re-creates its data on a spare.",
+			Engine: campaignEngine(),
+			Ops: []Op{
+				{Kind: OpWrite, Addr: 1 * row},
+				{Kind: OpStuck, Addr: 1 * row, Bits: []int{8, 9, 10, 11, 12, 13, 14, 15}},
+				{Kind: OpRead, Addr: 1 * row}, // strike 1: standing DUE
+				{Kind: OpRead, Addr: 1 * row}, // strike 2: retire + recover
+				{Kind: OpRead, Addr: 1 * row}, // clean from the spare
+			},
+			Expect: []response.StepKind{
+				response.StepRetry,
+				response.StepRetry, response.StepRetire, response.StepScrub,
+			},
+			ExpectStandingDUEs: 1,
+			ExpectRetiredRows:  []int{1},
+		},
+		{
+			Name: "hammered-row",
+			Description: "Row-Hammer flips across a row: a single-bit flip " +
+				"is corrected and scrubbed, then multi-bit flips in two " +
+				"lines strike the row into retirement.",
+			Engine: campaignEngine(),
+			Ops: []Op{
+				{Kind: OpWrite, Addr: 2 * row},
+				{Kind: OpWrite, Addr: 2*row + 64},
+				{Kind: OpWrite, Addr: 2*row + 128},
+				{Kind: OpFlip, Addr: 2*row + 128, Bits: []int{7}},
+				{Kind: OpRead, Addr: 2*row + 128}, // corrected → scrub
+				{Kind: OpFlip, Addr: 2 * row, Bits: []int{5, 70}},
+				{Kind: OpFlip, Addr: 2*row + 64, Bits: []int{3, 200}},
+				{Kind: OpRead, Addr: 2 * row},     // strike 1
+				{Kind: OpRead, Addr: 2*row + 64},  // strike 2: retire
+				{Kind: OpRead, Addr: 2 * row},     // clean after retirement
+				{Kind: OpRead, Addr: 2*row + 128}, // clean after retirement
+			},
+			Expect: []response.StepKind{
+				response.StepScrub,
+				response.StepRetry,
+				response.StepRetry, response.StepRetire, response.StepScrub,
+			},
+			ExpectStandingDUEs: 1,
+			ExpectRetiredRows:  []int{2},
+		},
+		{
+			Name: "repeated-due-row",
+			Description: "Two rows fail persistently back to back; the " +
+				"second retirement crosses the quarantine threshold and " +
+				"escalates to the co-residency response.",
+			Engine: campaignEngine(),
+			Ops: []Op{
+				{Kind: OpWrite, Addr: 3 * row},
+				{Kind: OpWrite, Addr: 4 * row},
+				{Kind: OpStuck, Addr: 3 * row, Bits: []int{0, 1, 64, 65}},
+				{Kind: OpStuck, Addr: 4 * row, Bits: []int{32, 33, 96, 97}},
+				{Kind: OpRead, Addr: 3 * row}, // strike 1 on row 3
+				{Kind: OpRead, Addr: 3 * row}, // retire row 3
+				{Kind: OpRead, Addr: 4 * row}, // strike 1 on row 4
+				{Kind: OpRead, Addr: 4 * row}, // retire row 4 → quarantine
+				{Kind: OpRead, Addr: 3 * row}, // both rows clean
+				{Kind: OpRead, Addr: 4 * row},
+			},
+			Expect: []response.StepKind{
+				response.StepRetry,
+				response.StepRetry, response.StepRetire, response.StepScrub,
+				response.StepRetry,
+				response.StepRetry, response.StepRetire, response.StepQuarantine, response.StepScrub,
+			},
+			ExpectStandingDUEs: 2,
+			ExpectRetiredRows:  []int{3, 4},
+			ExpectQuarantined:  true,
+		},
+	}
+}

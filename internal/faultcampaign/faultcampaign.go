@@ -1,0 +1,252 @@
+// Package faultcampaign replays scripted fault-injection scenarios
+// against the protected memory and asserts the exact escalation sequence
+// the response engine takes (Section VII-A's DUE response, exercised
+// deterministically rather than by Monte-Carlo sampling).
+//
+// A Scenario is a list of Ops — write a line, inject a transient or
+// stuck fault, flip bits once, read through the engine — plus the exact
+// []response.StepKind trace the run must produce. Campaigns are fully
+// deterministic: same scenario, same trace, every run.
+package faultcampaign
+
+import (
+	"fmt"
+
+	"safeguard/internal/bits"
+	"safeguard/internal/ecc"
+	"safeguard/internal/mac"
+	"safeguard/internal/memsys"
+	"safeguard/internal/response"
+)
+
+// OpKind selects an injection or workload action.
+type OpKind int
+
+const (
+	// OpWrite stores the deterministic golden line at Addr.
+	OpWrite OpKind = iota
+	// OpFlip XORs Bits into the stored image once (a Row-Hammer flip or
+	// particle strike already latched into the array).
+	OpFlip
+	// OpTransient injects a fault that corrupts the next Reads reads and
+	// then clears (an in-flight disturbance a re-read rides out).
+	OpTransient
+	// OpStuck injects a persistent fault re-applied on every read until
+	// the region is retired (a dead chip / stuck-at column).
+	OpStuck
+	// OpRead performs one demand read through the response engine.
+	OpRead
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpFlip:
+		return "flip"
+	case OpTransient:
+		return "transient"
+	case OpStuck:
+		return "stuck"
+	case OpRead:
+		return "read"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one scripted step of a scenario.
+type Op struct {
+	Kind OpKind
+	Addr uint64
+	// Bits are the bit positions to corrupt (OpFlip/OpTransient/OpStuck).
+	Bits []int
+	// Reads is the transient fault's lifetime in demand reads.
+	Reads int
+}
+
+// Scenario is one scripted fault-injection campaign.
+type Scenario struct {
+	Name        string
+	Description string
+	// Engine configures the escalation thresholds.
+	Engine response.EngineConfig
+	// RowBytes sets the retirement granularity (default 4 lines).
+	RowBytes uint64
+	// SpareRows is the retirement budget (default 4).
+	SpareRows int
+	Ops       []Op
+
+	// Expect is the exact escalation trace the run must produce.
+	Expect []response.StepKind
+	// ExpectStandingDUEs is how many reads must surface an unrecovered
+	// DUE to the consumer.
+	ExpectStandingDUEs uint64
+	// ExpectRetiredRows is the exact retirement list.
+	ExpectRetiredRows []int
+	// ExpectQuarantined asserts the run escalated to quarantine.
+	ExpectQuarantined bool
+}
+
+// Result is one scenario's replay outcome.
+type Result struct {
+	Name  string
+	Steps []response.Step
+	// Kinds is Steps reduced to the comparable escalation sequence.
+	Kinds       []response.StepKind
+	MemStats    memsys.Stats
+	EngineStats response.EngineStats
+	RetiredRows []int
+	Quarantined bool
+	// Failures lists every assertion the replay violated (empty = pass).
+	Failures []string
+}
+
+// Passed reports whether the replay matched the script's expectations.
+func (r Result) Passed() bool { return len(r.Failures) == 0 }
+
+// String renders a one-line pass/fail summary.
+func (r Result) String() string {
+	if r.Passed() {
+		return fmt.Sprintf("PASS %-18s %v", r.Name, r.Kinds)
+	}
+	return fmt.Sprintf("FAIL %-18s %v: %s", r.Name, r.Kinds, r.Failures[0])
+}
+
+// goldenLine derives deterministic line content from its address
+// (splitmix64 per word).
+func goldenLine(addr uint64) bits.Line {
+	var l bits.Line
+	x := addr*0x9E3779B97F4A7C15 + 0x5afe
+	for w := range l {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		l[w] = z ^ (z >> 31)
+	}
+	return l
+}
+
+// Run replays one scenario and checks its expectations. The returned
+// error covers mechanical problems (bad ops, bad config); expectation
+// mismatches land in Result.Failures so a campaign can report every
+// deviation rather than stopping at the first.
+func Run(s Scenario) (Result, error) {
+	rowBytes := s.RowBytes
+	if rowBytes == 0 {
+		rowBytes = 4 * bits.LineBytes
+	}
+	spare := s.SpareRows
+	if spare == 0 {
+		spare = 4
+	}
+	var key [16]byte
+	for i := range key {
+		key[i] = byte(0xA5 ^ i)
+	}
+	mem := memsys.New(ecc.NewSafeGuardSECDED(mac.NewKeyed(key)))
+	eng, err := response.NewEngine(s.Engine)
+	if err != nil {
+		return Result{}, fmt.Errorf("faultcampaign %q: %w", s.Name, err)
+	}
+	if err := mem.AttachEngine(eng, rowBytes, spare); err != nil {
+		return Result{}, fmt.Errorf("faultcampaign %q: %w", s.Name, err)
+	}
+
+	res := Result{Name: s.Name}
+	for i, op := range s.Ops {
+		switch op.Kind {
+		case OpWrite:
+			mem.Write(op.Addr, goldenLine(op.Addr))
+		case OpFlip:
+			if err := mem.Corrupt(op.Addr, memsys.FlipBits(op.Bits...)); err != nil {
+				return res, fmt.Errorf("faultcampaign %q op %d: %w", s.Name, i, err)
+			}
+		case OpTransient:
+			reads := op.Reads
+			if reads <= 0 {
+				reads = 1
+			}
+			mem.AddTransientFault(op.Addr, memsys.FlipBits(op.Bits...), reads)
+		case OpStuck:
+			mem.AddFault(op.Addr, memsys.FlipBits(op.Bits...))
+		case OpRead:
+			if _, _, err := mem.Read(op.Addr); err != nil {
+				return res, fmt.Errorf("faultcampaign %q op %d: %w", s.Name, i, err)
+			}
+		default:
+			return res, fmt.Errorf("faultcampaign %q op %d: unknown op kind %d", s.Name, i, int(op.Kind))
+		}
+	}
+
+	res.Steps = eng.Trace()
+	for _, st := range res.Steps {
+		res.Kinds = append(res.Kinds, st.Kind)
+	}
+	res.MemStats = mem.Stats
+	res.EngineStats = eng.Stats
+	res.RetiredRows = eng.RetiredRows()
+	res.Quarantined = eng.Quarantined()
+
+	// --- expectation checks -------------------------------------------
+	if !kindsEqual(res.Kinds, s.Expect) {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("escalation trace = %v, want %v", res.Kinds, s.Expect))
+	}
+	if mem.Stats.DUEs != s.ExpectStandingDUEs {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("standing DUEs = %d, want %d", mem.Stats.DUEs, s.ExpectStandingDUEs))
+	}
+	if !intsEqual(res.RetiredRows, s.ExpectRetiredRows) {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("retired rows = %v, want %v", res.RetiredRows, s.ExpectRetiredRows))
+	}
+	if res.Quarantined != s.ExpectQuarantined {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("quarantined = %v, want %v", res.Quarantined, s.ExpectQuarantined))
+	}
+	// Universal invariant: the pipeline never hands wrong data to the
+	// consumer as if it were good.
+	if mem.Stats.SilentCorruptions != 0 {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("silent corruptions = %d, want 0", mem.Stats.SilentCorruptions))
+	}
+	return res, nil
+}
+
+// RunAll replays every scenario, stopping only on mechanical errors.
+func RunAll(ss []Scenario) ([]Result, error) {
+	out := make([]Result, 0, len(ss))
+	for _, s := range ss {
+		r, err := Run(s)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func kindsEqual(a, b []response.StepKind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,118 @@
+package faultcampaign
+
+import (
+	"reflect"
+	"testing"
+
+	"safeguard/internal/response"
+)
+
+// TestBuiltinCampaignsPass replays the four scripted scenarios and
+// requires every expectation to hold exactly.
+func TestBuiltinCampaignsPass(t *testing.T) {
+	results, err := RunAll(Builtin())
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for _, r := range results {
+		if !r.Passed() {
+			t.Errorf("%s", r)
+		}
+	}
+}
+
+// TestCampaignsDeterministic replays the campaign twice and requires
+// bit-identical traces and stats.
+func TestCampaignsDeterministic(t *testing.T) {
+	a, err := RunAll(Builtin())
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := RunAll(Builtin())
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("campaign replay is not deterministic:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestMismatchReported corrupts a scenario's expectations and requires
+// the replay to flag every deviation instead of passing silently.
+func TestMismatchReported(t *testing.T) {
+	s := Builtin()[0] // transient-flip
+	s.Expect = []response.StepKind{response.StepQuarantine}
+	s.ExpectStandingDUEs = 99
+	s.ExpectQuarantined = true
+	r, err := Run(s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Passed() {
+		t.Fatalf("corrupted expectations passed")
+	}
+	if len(r.Failures) < 3 {
+		t.Errorf("Failures = %v, want trace + DUE-count + quarantine mismatches", r.Failures)
+	}
+}
+
+// TestMechanicalErrors exercises the error paths that are bugs in the
+// script, not escalation mismatches.
+func TestMechanicalErrors(t *testing.T) {
+	if _, err := Run(Scenario{
+		Name:   "read-unwritten",
+		Engine: campaignEngine(),
+		Ops:    []Op{{Kind: OpRead, Addr: 64}},
+	}); err == nil {
+		t.Errorf("read of unwritten address did not error")
+	}
+	if _, err := Run(Scenario{
+		Name:   "bad-op",
+		Engine: campaignEngine(),
+		Ops:    []Op{{Kind: OpKind(42)}},
+	}); err == nil {
+		t.Errorf("unknown op kind did not error")
+	}
+	if _, err := Run(Scenario{
+		Name:   "bad-engine",
+		Engine: response.EngineConfig{MaxRetries: -1},
+	}); err == nil {
+		t.Errorf("invalid engine config did not error")
+	}
+}
+
+// TestStuckFaultNotScrubbableButRetirable pins the semantic difference
+// between scrubbing and retirement: a stuck fault survives any number of
+// reads and retries until the region is retired.
+func TestStuckFaultNotScrubbableButRetirable(t *testing.T) {
+	eng := campaignEngine()
+	eng.RetireThreshold = 4
+	r, err := Run(Scenario{
+		Name:   "stuck-persists",
+		Engine: eng,
+		Ops: []Op{
+			{Kind: OpWrite, Addr: 0},
+			{Kind: OpStuck, Addr: 0, Bits: []int{0, 1, 2, 3}},
+			{Kind: OpRead, Addr: 0},
+			{Kind: OpRead, Addr: 0},
+			{Kind: OpRead, Addr: 0},
+			{Kind: OpRead, Addr: 0}, // 4th strike retires
+			{Kind: OpRead, Addr: 0}, // clean
+		},
+		Expect: []response.StepKind{
+			response.StepRetry, response.StepRetry, response.StepRetry,
+			response.StepRetry, response.StepRetire, response.StepScrub,
+		},
+		ExpectStandingDUEs: 3,
+		ExpectRetiredRows:  []int{0},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !r.Passed() {
+		t.Errorf("%s", r)
+	}
+}

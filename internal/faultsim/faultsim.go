@@ -1,10 +1,12 @@
 package faultsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	fm "safeguard/internal/faultmodel"
 )
@@ -31,6 +33,13 @@ type Config struct {
 	// arriving inside its scrub window. Zero disables scrubbing (the
 	// paper's configuration). Permanent faults are never scrubbed away.
 	ScrubIntervalHours float64
+	// RetireIntervalHours enables periodic row/region retirement — the
+	// lifetime-sim view of the response pipeline's retire stage. Any
+	// survivable fault (transient or permanent) is detected when the
+	// scheme corrects around it, and the damaged region is remapped to a
+	// spare at the first retire pass after its arrival; from then on new
+	// faults cannot pair with it. Zero disables retirement.
+	RetireIntervalHours float64
 }
 
 // DefaultConfig mirrors the paper's setup at a tractable default population.
@@ -70,10 +79,39 @@ func (r Result) Probability() float64 {
 	return float64(r.Failed) / float64(r.Modules)
 }
 
+// blockSize is the module count of one deterministic work unit. Each
+// block owns an RNG seeded by (cfg.Seed, block index), so the sampled
+// fault histories depend only on the seed and the module's block — never
+// on how many workers happen to pull blocks. That makes seeded runs
+// bit-identical across worker counts.
+const blockSize = 4096
+
+// partial accumulates one worker's per-block tallies. All fields are
+// order-independent sums, so merging partials in worker order yields the
+// same Result regardless of which worker processed which block.
+type partial struct {
+	failedByYear []int
+	single, pair int
+	byMode       map[fm.Mode]int
+	modules      int
+}
+
 // Run executes the Monte-Carlo study for one scheme.
-func Run(eval Evaluator, cfg Config) Result {
+func Run(eval Evaluator, cfg Config) (Result, error) {
+	return RunContext(context.Background(), eval, cfg)
+}
+
+// RunContext executes the Monte-Carlo study for one scheme, honoring
+// cancellation: on ctx cancel it returns the partial Result over the
+// modules already simulated (Result.Modules reflects the partial
+// population) together with the context's error. A panic in a worker is
+// recovered into a returned error instead of crashing the process.
+func RunContext(ctx context.Context, eval Evaluator, cfg Config) (Result, error) {
 	if cfg.Modules <= 0 {
-		panic("faultsim: Modules must be positive")
+		return Result{}, fmt.Errorf("faultsim: Modules must be positive (got %d)", cfg.Modules)
+	}
+	if cfg.ScrubIntervalHours < 0 || cfg.RetireIntervalHours < 0 {
+		return Result{}, fmt.Errorf("faultsim: scrub/retire intervals must be non-negative")
 	}
 	if cfg.FITScale == 0 {
 		cfg.FITScale = 1
@@ -89,13 +127,16 @@ func Run(eval Evaluator, cfg Config) Result {
 	years := int(cfg.Years + 0.5)
 	hours := cfg.Years * fm.HoursPerYear
 
-	type partial struct {
-		failedByYear []int
-		single, pair int
-		byMode       map[fm.Mode]int
+	blocks := (cfg.Modules + blockSize - 1) / blockSize
+	if workers > blocks {
+		workers = blocks
 	}
+
 	partials := make([]partial, workers)
-	per := (cfg.Modules + workers - 1) / workers
+	errs := make([]error, workers)
+	var next atomic.Int64
+	next.Store(-1)
+	var bail atomic.Bool
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -103,39 +144,23 @@ func Run(eval Evaluator, cfg Config) Result {
 		go func(w int) {
 			defer wg.Done()
 			sampler := fm.NewSampler(eval.Geometry(), rates, cfg.FITScale)
-			rng := rand.New(rand.NewPCG(cfg.Seed, uint64(w)+1))
-			p := partial{
-				failedByYear: make([]int, years),
-				byMode:       make(map[fm.Mode]int),
-			}
-			n := per
-			if (w+1)*per > cfg.Modules {
-				n = cfg.Modules - w*per
-			}
-			for m := 0; m < n; m++ {
-				faults := sampler.SampleLifetime(rng, hours)
-				if len(faults) == 0 {
-					continue
+			p := &partials[w]
+			p.failedByYear = make([]int, years)
+			p.byMode = make(map[fm.Mode]int)
+			for {
+				if bail.Load() || ctx.Err() != nil {
+					return
 				}
-				failH, single, mode := moduleFailure(eval, faults, cfg.ScrubIntervalHours)
-				if failH < 0 {
-					continue
+				b := int(next.Add(1))
+				if b >= blocks {
+					return
 				}
-				year := int(failH / fm.HoursPerYear)
-				if year >= years {
-					year = years - 1
-				}
-				for y := year; y < years; y++ {
-					p.failedByYear[y]++
-				}
-				if single {
-					p.single++
-					p.byMode[mode]++
-				} else {
-					p.pair++
+				if err := runBlock(eval, sampler, cfg, b, years, hours, p); err != nil {
+					errs[w] = err
+					bail.Store(true)
+					return
 				}
 			}
-			partials[w] = p
 		}(w)
 	}
 	wg.Wait()
@@ -143,7 +168,6 @@ func Run(eval Evaluator, cfg Config) Result {
 	res := Result{
 		Scheme:         eval.Name(),
 		Config:         cfg,
-		Modules:        cfg.Modules,
 		FailedByYear:   make([]int, years),
 		FailuresByMode: make(map[fm.Mode]int),
 	}
@@ -153,6 +177,7 @@ func Run(eval Evaluator, cfg Config) Result {
 		}
 		res.SingleFaultFailures += p.single
 		res.PairFailures += p.pair
+		res.Modules += p.modules
 		for m, c := range p.byMode {
 			res.FailuresByMode[m] += c
 		}
@@ -160,7 +185,54 @@ func Run(eval Evaluator, cfg Config) Result {
 	if years > 0 {
 		res.Failed = res.FailedByYear[years-1]
 	}
-	return res
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return res, ctx.Err()
+}
+
+// runBlock simulates one block of modules, recovering any panic (a buggy
+// Evaluator, a bad fault model) into a returned error so the worker pool
+// cannot deadlock or crash the process.
+func runBlock(eval Evaluator, sampler *fm.Sampler, cfg Config, b, years int, hours float64, p *partial) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("faultsim: panic in Monte-Carlo block %d: %v", b, r)
+		}
+	}()
+	rng := rand.New(rand.NewPCG(cfg.Seed, uint64(b)+1))
+	lo := b * blockSize
+	hi := lo + blockSize
+	if hi > cfg.Modules {
+		hi = cfg.Modules
+	}
+	for m := lo; m < hi; m++ {
+		p.modules++
+		faults := sampler.SampleLifetime(rng, hours)
+		if len(faults) == 0 {
+			continue
+		}
+		failH, single, mode := moduleFailure(eval, faults, cfg.ScrubIntervalHours, cfg.RetireIntervalHours)
+		if failH < 0 {
+			continue
+		}
+		year := int(failH / fm.HoursPerYear)
+		if year >= years {
+			year = years - 1
+		}
+		for y := year; y < years; y++ {
+			p.failedByYear[y]++
+		}
+		if single {
+			p.single++
+			p.byMode[mode]++
+		} else {
+			p.pair++
+		}
+	}
+	return nil
 }
 
 // moduleFailure scans a module's time-ordered fault list and returns the
@@ -168,19 +240,20 @@ func Run(eval Evaluator, cfg Config) Result {
 // failure, and the triggering mode for single-fault failures. With
 // scrubbing enabled, a transient survivable fault is only active until the
 // scrub pass after its arrival; a newer fault is pair-fatal with it only if
-// it lands within that window.
-func moduleFailure(eval Evaluator, faults []fm.Fault, scrubHours float64) (failHours float64, single bool, mode fm.Mode) {
+// it lands within that window. With retirement enabled, *any* survivable
+// fault is remapped away at the retire pass after its arrival (the
+// correction event exposes it to the response pipeline), closing its
+// pairing window — including for permanent faults, which scrubbing alone
+// cannot neutralize.
+func moduleFailure(eval Evaluator, faults []fm.Fault, scrubHours, retireHours float64) (failHours float64, single bool, mode fm.Mode) {
 	for i, f := range faults {
 		if eval.FatalAlone(f) {
 			return f.Hours, true, f.Mode
 		}
 		for j := 0; j < i; j++ {
 			prev := faults[j]
-			if scrubHours > 0 && prev.Transient {
-				scrubAt := (float64(int(prev.Hours/scrubHours)) + 1) * scrubHours
-				if f.Hours > scrubAt {
-					continue // prev was scrubbed before f arrived
-				}
+			if gone := removedAt(prev, scrubHours, retireHours); gone > 0 && f.Hours > gone {
+				continue // prev was repaired or retired before f arrived
 			}
 			if eval.PairFatal(prev, f) {
 				return f.Hours, false, f.Mode
@@ -190,13 +263,47 @@ func moduleFailure(eval Evaluator, faults []fm.Fault, scrubHours float64) (failH
 	return -1, false, 0
 }
 
-// RunAll executes the study for several schemes with the same config.
-func RunAll(evals []Evaluator, cfg Config) []Result {
-	out := make([]Result, len(evals))
-	for i, e := range evals {
-		out[i] = Run(e, cfg)
+// removedAt returns the hour at which a survivable fault stops being
+// pair-eligible (0 = never). Scrubbing repairs transient faults at the
+// next scrub pass; retirement remaps any fault's region at the next
+// retire pass.
+func removedAt(f fm.Fault, scrubHours, retireHours float64) float64 {
+	var at float64
+	if scrubHours > 0 && f.Transient {
+		at = nextPass(f.Hours, scrubHours)
 	}
-	return out
+	if retireHours > 0 {
+		r := nextPass(f.Hours, retireHours)
+		if at == 0 || r < at {
+			at = r
+		}
+	}
+	return at
+}
+
+// nextPass returns the first interval boundary strictly after h.
+func nextPass(h, interval float64) float64 {
+	return (float64(int(h/interval)) + 1) * interval
+}
+
+// RunAll executes the study for several schemes with the same config.
+func RunAll(evals []Evaluator, cfg Config) ([]Result, error) {
+	return RunAllContext(context.Background(), evals, cfg)
+}
+
+// RunAllContext executes the study for several schemes with the same
+// config, stopping at the first error or cancellation. On cancellation
+// the results completed so far are returned with the context's error.
+func RunAllContext(ctx context.Context, evals []Evaluator, cfg Config) ([]Result, error) {
+	out := make([]Result, 0, len(evals))
+	for _, e := range evals {
+		r, err := RunContext(ctx, e, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
 }
 
 // String renders a one-line summary.

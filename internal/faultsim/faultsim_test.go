@@ -1,7 +1,9 @@
 package faultsim
 
 import (
+	"context"
 	"math"
+	"reflect"
 	"testing"
 
 	fm "safeguard/internal/faultmodel"
@@ -9,6 +11,15 @@ import (
 
 func fault(mode fm.Mode, rank, chip, bank, row, col int) fm.Fault {
 	return fm.Fault{Mode: mode, Rank: rank, Chip: chip, Bank: bank, Row: row, Col: col}
+}
+
+func mustRun(t *testing.T, eval Evaluator, cfg Config) Result {
+	t.Helper()
+	res, err := Run(eval, cfg)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", eval.Name(), err)
+	}
+	return res
 }
 
 // ---------------------------------------------------------------------------
@@ -206,9 +217,9 @@ func TestFigure6Shape(t *testing.T) {
 		t.Skip("Monte-Carlo study")
 	}
 	cfg := mcConfig(400_000)
-	secded := Run(SECDEDEval{}, cfg)
-	sgNoPar := Run(SafeGuardSECDEDEval{ColumnParity: false}, cfg)
-	sgPar := Run(SafeGuardSECDEDEval{ColumnParity: true}, cfg)
+	secded := mustRun(t, SECDEDEval{}, cfg)
+	sgNoPar := mustRun(t, SafeGuardSECDEDEval{ColumnParity: false}, cfg)
+	sgPar := mustRun(t, SafeGuardSECDEDEval{ColumnParity: true}, cfg)
 
 	pS, pN, pP := secded.Probability(), sgNoPar.Probability(), sgPar.Probability()
 	t.Logf("P(fail,7y): SECDED=%.5f  SG-noparity=%.5f  SG-parity=%.5f", pS, pN, pP)
@@ -243,8 +254,8 @@ func TestFigure10Shape(t *testing.T) {
 	for _, scale := range []float64{1, 10} {
 		cfg := mcConfig(400_000)
 		cfg.FITScale = scale
-		ck := Run(ChipkillEval{}, cfg)
-		sg := Run(SafeGuardChipkillEval{}, cfg)
+		ck := mustRun(t, ChipkillEval{}, cfg)
+		sg := mustRun(t, SafeGuardChipkillEval{}, cfg)
 		t.Logf("FITx%.0f: Chipkill=%.6f SafeGuard=%.6f", scale, ck.Probability(), sg.Probability())
 		if scale == 10 && ck.Probability() == 0 {
 			t.Fatal("10x FIT should produce some Chipkill failures")
@@ -265,8 +276,8 @@ func TestChipkillFarMoreReliableThanSECDED(t *testing.T) {
 		t.Skip("Monte-Carlo study")
 	}
 	cfg := mcConfig(200_000)
-	secded := Run(SECDEDEval{}, cfg)
-	ck := Run(ChipkillEval{}, cfg)
+	secded := mustRun(t, SECDEDEval{}, cfg)
+	ck := mustRun(t, ChipkillEval{}, cfg)
 	if ck.Probability() >= secded.Probability() {
 		t.Fatalf("Chipkill (%.6f) should beat SECDED (%.6f)", ck.Probability(), secded.Probability())
 	}
@@ -280,7 +291,7 @@ func TestSECDEDFailureRateMatchesAnalyticBound(t *testing.T) {
 		t.Skip("Monte-Carlo study")
 	}
 	cfg := mcConfig(300_000)
-	res := Run(SECDEDEval{}, cfg)
+	res := mustRun(t, SECDEDEval{}, cfg)
 	hours := 7 * fm.HoursPerYear
 	lambda := (26.3-3.7)*1e-9*hours*18 + 3.7*1e-9*hours*9
 	want := 1 - math.Exp(-lambda)
@@ -292,16 +303,69 @@ func TestSECDEDFailureRateMatchesAnalyticBound(t *testing.T) {
 
 func TestRunDeterminism(t *testing.T) {
 	cfg := Config{Modules: 50_000, Years: 7, Seed: 7, Workers: 4}
-	a := Run(SECDEDEval{}, cfg)
-	b := Run(SECDEDEval{}, cfg)
+	a := mustRun(t, SECDEDEval{}, cfg)
+	b := mustRun(t, SECDEDEval{}, cfg)
 	if a.Failed != b.Failed || a.SingleFaultFailures != b.SingleFaultFailures {
 		t.Fatal("same seed must reproduce identical results")
 	}
 }
 
+func TestRunBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	// The block-based partitioning ties every module's RNG to its block
+	// index, not to a worker: the same seed must give byte-for-byte the
+	// same result no matter how the work is spread.
+	base := Config{Modules: 30_000, Years: 7, Seed: 13, FITScale: 10}
+	var ref Result
+	for i, workers := range []int{1, 4, 8} {
+		cfg := base
+		cfg.Workers = workers
+		res := mustRun(t, SECDEDEval{}, cfg)
+		res.Config = Config{} // only the measured outcome must match
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("workers=%d result differs from workers=1:\n%+v\nvs\n%+v", workers, res, ref)
+		}
+	}
+	if ref.Failed == 0 {
+		t.Fatal("degenerate comparison: no failures sampled")
+	}
+}
+
+// panicEval fails like a buggy Evaluator: FatalAlone panics on the first
+// fault it sees.
+type panicEval struct{ SECDEDEval }
+
+func (panicEval) FatalAlone(f fm.Fault) bool { panic("evaluator bug") }
+
+func TestWorkerPanicBecomesError(t *testing.T) {
+	cfg := Config{Modules: 30_000, Years: 7, Seed: 3, Workers: 4, FITScale: 10}
+	if _, err := Run(panicEval{}, cfg); err == nil {
+		t.Fatal("worker panic not surfaced as error")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, SECDEDEval{}, Config{Modules: 1_000_000, Years: 7, Seed: 5})
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	// The partial result covers only the modules actually simulated.
+	if res.Modules > 1_000_000 {
+		t.Fatalf("partial result claims %d modules", res.Modules)
+	}
+}
+
 func TestRunAllAndResultHelpers(t *testing.T) {
 	cfg := Config{Modules: 20_000, Years: 7, Seed: 9}
-	rs := RunAll([]Evaluator{SECDEDEval{}, ChipkillEval{}}, cfg)
+	rs, err := RunAll([]Evaluator{SECDEDEval{}, ChipkillEval{}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rs) != 2 {
 		t.Fatal("RunAll result count")
 	}
@@ -314,13 +378,16 @@ func TestRunAllAndResultHelpers(t *testing.T) {
 	}
 }
 
-func TestBadConfigPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	Run(SECDEDEval{}, Config{Modules: 0})
+func TestBadConfigError(t *testing.T) {
+	if _, err := Run(SECDEDEval{}, Config{Modules: 0}); err == nil {
+		t.Fatal("Modules=0 accepted")
+	}
+	if _, err := Run(SECDEDEval{}, Config{Modules: 100, ScrubIntervalHours: -1}); err == nil {
+		t.Fatal("negative scrub interval accepted")
+	}
+	if _, err := Run(SECDEDEval{}, Config{Modules: 100, RetireIntervalHours: -1}); err == nil {
+		t.Fatal("negative retire interval accepted")
+	}
 }
 
 func TestScrubbingReducesPairFailures(t *testing.T) {
@@ -333,8 +400,8 @@ func TestScrubbingReducesPairFailures(t *testing.T) {
 	base := Config{Modules: 400_000, Years: 7, Seed: 11, FITScale: 10}
 	scrubbed := base
 	scrubbed.ScrubIntervalHours = 24
-	off := Run(ChipkillEval{}, base)
-	on := Run(ChipkillEval{}, scrubbed)
+	off := mustRun(t, ChipkillEval{}, base)
+	on := mustRun(t, ChipkillEval{}, scrubbed)
 	t.Logf("Chipkill P(fail): no scrub %.6f, daily scrub %.6f", off.Probability(), on.Probability())
 	if off.Probability() == 0 {
 		t.Fatal("baseline sampled no failures")
@@ -359,18 +426,82 @@ func TestScrubbingWindowSemantics(t *testing.T) {
 	early.Hours = 10
 	late := fault(fm.SingleRow, 0, 9, 3, 40, -1)
 	late.Hours = 30 // after the hour-24 scrub pass
-	if h, _, _ := moduleFailure(e, []fm.Fault{early, late}, 24); h >= 0 {
+	if h, _, _ := moduleFailure(e, []fm.Fault{early, late}, 24, 0); h >= 0 {
 		t.Fatal("partner after the scrub pass must not collide")
 	}
 	inWindow := late
 	inWindow.Hours = 20 // before the hour-24 pass
-	if h, _, _ := moduleFailure(e, []fm.Fault{early, inWindow}, 24); h < 0 {
+	if h, _, _ := moduleFailure(e, []fm.Fault{early, inWindow}, 24, 0); h < 0 {
 		t.Fatal("partner inside the scrub window must collide")
 	}
 	// Permanent faults never scrub away.
 	perm := early
 	perm.Transient = false
-	if h, _, _ := moduleFailure(e, []fm.Fault{perm, late}, 24); h < 0 {
+	if h, _, _ := moduleFailure(e, []fm.Fault{perm, late}, 24, 0); h < 0 {
 		t.Fatal("permanent fault should persist past scrubs")
+	}
+}
+
+func TestRetirementWindowSemantics(t *testing.T) {
+	// Retirement closes the pairing window of *permanent* survivable
+	// faults too — the capability scrubbing alone lacks.
+	e := ChipkillEval{}
+	perm := fault(fm.SingleRow, 0, 2, 3, 40, -1)
+	perm.Hours = 10
+	late := fault(fm.SingleRow, 0, 9, 3, 40, -1)
+	late.Hours = 30
+	if h, _, _ := moduleFailure(e, []fm.Fault{perm, late}, 24, 0); h < 0 {
+		t.Fatal("sanity: without retirement the permanent pair is fatal")
+	}
+	if h, _, _ := moduleFailure(e, []fm.Fault{perm, late}, 0, 24); h >= 0 {
+		t.Fatal("partner after the retire pass must not collide")
+	}
+	inWindow := late
+	inWindow.Hours = 20
+	if h, _, _ := moduleFailure(e, []fm.Fault{perm, inWindow}, 0, 24); h < 0 {
+		t.Fatal("partner inside the retire window must collide")
+	}
+	// Retirement cannot save a fault that is fatal on its own.
+	solo := fault(fm.MultiRank, -1, 1, -1, -1, -1)
+	solo.Hours = 5
+	if h, single, _ := moduleFailure(SECDEDEval{}, []fm.Fault{solo}, 24, 24); h < 0 || !single {
+		t.Fatal("a fatal-alone fault must still fail under both policies")
+	}
+}
+
+func TestRetirementReducesLifetimeFailures(t *testing.T) {
+	// The acceptance experiment: the same seed (hence the same sampled
+	// fault histories) with retirement+scrubbing on must fail strictly
+	// less often than policy-off, deterministically.
+	if testing.Short() {
+		t.Skip("Monte-Carlo study")
+	}
+	base := Config{Modules: 400_000, Years: 7, Seed: 11, FITScale: 10}
+	policy := base
+	policy.ScrubIntervalHours = 24
+	policy.RetireIntervalHours = 24 * 7
+	off := mustRun(t, ChipkillEval{}, base)
+	on := mustRun(t, ChipkillEval{}, policy)
+	t.Logf("Chipkill P(fail,7y): policy off %.6f, scrub+retire %.6f", off.Probability(), on.Probability())
+	if off.Probability() == 0 {
+		t.Fatal("baseline sampled no failures")
+	}
+	if on.Probability() >= off.Probability() {
+		t.Fatalf("retirement+scrubbing must strictly reduce failures: %.6f -> %.6f",
+			off.Probability(), on.Probability())
+	}
+	// Same samples, policies only remove pair opportunities: single-fault
+	// failures are identical by construction.
+	if on.SingleFaultFailures != off.SingleFaultFailures {
+		t.Fatalf("single-fault failures changed: %d vs %d", on.SingleFaultFailures, off.SingleFaultFailures)
+	}
+	// And retirement beats scrubbing alone, because it also neutralizes
+	// permanent partners.
+	scrubOnly := base
+	scrubOnly.ScrubIntervalHours = 24
+	s := mustRun(t, ChipkillEval{}, scrubOnly)
+	if on.Probability() > s.Probability() {
+		t.Fatalf("scrub+retire (%.6f) should not fail more than scrub alone (%.6f)",
+			on.Probability(), s.Probability())
 	}
 }

@@ -37,6 +37,7 @@ type request struct {
 	enqueued  int64
 	write     bool
 	actIssued bool
+	remapped  bool // routed through the retirement indirection table
 	callback  func(mcDone int64)
 }
 
@@ -67,6 +68,10 @@ type Stats struct {
 	// VRRDrops counts requests dropped at a full VRR queue.
 	VRRs     uint64
 	VRRDrops uint64
+	// RowsRetired counts rows remapped into the spare region; RemapHits
+	// counts accesses redirected through the retirement table.
+	RowsRetired uint64
+	RemapHits   uint64
 }
 
 // AvgReadLatencyMC returns the mean enqueue-to-data read latency in MC
@@ -93,6 +98,9 @@ type Controller struct {
 	// oldest requests may be scheduled, in arrival order — the scheduler
 	// ablation.
 	FCFS bool
+	// RemapPenalty is the extra MC cycles a retired-row access pays for
+	// the indirection-table lookup (DefaultRemapPenalty unless changed).
+	RemapPenalty int64
 
 	tm     dram.Timing
 	geom   dram.Geometry
@@ -106,6 +114,11 @@ type Controller struct {
 	plugins []Plugin
 	gates   []ActGate
 	vrrQ    []vrrReq
+
+	// Row-retirement state (ReserveSpareRows / RetireRow).
+	spareRows int
+	spareUsed [][]int
+	remap     map[rowKey]int
 
 	busFreeAt    int64
 	lastBusWrite bool
@@ -126,7 +139,7 @@ type pendingCompletion struct {
 
 // New builds a controller for the geometry and timing.
 func New(g dram.Geometry, tm dram.Timing) *Controller {
-	c := &Controller{tm: tm, geom: g, mapper: dram.NewMapper(g)}
+	c := &Controller{tm: tm, geom: g, mapper: dram.NewMapper(g), RemapPenalty: DefaultRemapPenalty}
 	c.banks = make([][]bankState, g.Ranks)
 	c.ranks = make([]rankState, g.Ranks)
 	for r := range c.banks {
@@ -178,6 +191,7 @@ func (c *Controller) EnqueueRead(lineAddr uint64, callback func(mcDone int64)) b
 		}
 	}
 	r := &request{lineAddr: lineAddr, coord: c.mapper.Decode(lineAddr), enqueued: c.now, callback: callback}
+	r.remapped = c.applyRemap(&r.coord)
 	c.readQ = append(c.readQ, r)
 	if d := len(c.readQ); d > c.Stats.MaxReadQueueDepth {
 		c.Stats.MaxReadQueueDepth = d
@@ -196,6 +210,7 @@ func (c *Controller) EnqueueWrite(lineAddr uint64) bool {
 		}
 	}
 	r := &request{lineAddr: lineAddr, coord: c.mapper.Decode(lineAddr), enqueued: c.now, write: true}
+	r.remapped = c.applyRemap(&r.coord)
 	c.writeQ = append(c.writeQ, r)
 	return true
 }
@@ -425,8 +440,12 @@ func (c *Controller) issueColumn(r *request, bank *bankState) {
 	bank.rdReadyAt = c.now + int64(c.tm.TCCD)
 	bank.preReadyAt = maxI64(bank.preReadyAt, c.now+int64(c.tm.TRTP))
 	c.Stats.Reads++
-	c.Stats.SumReadLatencyMC += dataEnd - r.enqueued
-	c.completions = append(c.completions, pendingCompletion{at: dataEnd, req: r})
+	done := dataEnd
+	if r.remapped {
+		done += c.RemapPenalty
+	}
+	c.Stats.SumReadLatencyMC += done - r.enqueued
+	c.completions = append(c.completions, pendingCompletion{at: done, req: r})
 	c.dispatch(CmdRD, r.coord.Rank, r.coord.Bank, r.coord.Row)
 }
 

@@ -1,0 +1,58 @@
+package memctrl
+
+// QuarantineGate is the controller end of the response pipeline's final
+// escalation (the paper's Section VII-B): rows identified as persistent
+// Row-Hammer aggressors are quarantined, and every activation targeting
+// them is denied. Like BlockHammer's throttling, a denied ACT leaves the
+// attacker's request queued and retrying — the attack stalls and its cost
+// lands on the attacker, while other rows proceed untouched.
+type QuarantineGate struct {
+	rows   map[rowKey]bool
+	denied uint64
+	added  uint64
+}
+
+// NewQuarantineGate builds an empty gate; attach it with AttachPlugin and
+// quarantine rows as the response engine escalates.
+func NewQuarantineGate() *QuarantineGate {
+	return &QuarantineGate{rows: make(map[rowKey]bool)}
+}
+
+// Quarantine denies all future activations of the row.
+func (g *QuarantineGate) Quarantine(rank, bank, row int) {
+	key := rowKey{rank: rank, bank: bank, row: row}
+	if !g.rows[key] {
+		g.rows[key] = true
+		g.added++
+	}
+}
+
+// Quarantined reports whether the row is gated.
+func (g *QuarantineGate) Quarantined(rank, bank, row int) bool {
+	return g.rows[rowKey{rank: rank, bank: bank, row: row}]
+}
+
+// Name implements Plugin.
+func (g *QuarantineGate) Name() string { return "quarantine" }
+
+// OnCommand implements Plugin (the gate only blocks, it does not observe).
+func (g *QuarantineGate) OnCommand(cmd Command, rank, bank, row int, cycle int64) {}
+
+// OnTick implements Plugin.
+func (g *QuarantineGate) OnTick(cycle int64) {}
+
+// DrainStats implements Plugin.
+func (g *QuarantineGate) DrainStats() PluginStats {
+	s := PluginStats{"quarantined_rows": float64(g.added), "denied_acts": float64(g.denied)}
+	g.denied, g.added = 0, 0
+	return s
+}
+
+// AllowAct implements ActGate: quarantined rows never activate.
+func (g *QuarantineGate) AllowAct(rank, bank, row int, cycle int64) bool {
+	if g.rows[rowKey{rank: rank, bank: bank, row: row}] {
+		g.denied++
+		return false
+	}
+	return true
+}

@@ -1,0 +1,153 @@
+package memctrl
+
+import (
+	"testing"
+
+	"safeguard/internal/dram"
+)
+
+func smallGeom() dram.Geometry {
+	return dram.Geometry{Ranks: 1, Banks: 2, RowsPerBank: 64, RowBytes: 1024, LineBytes: 64}
+}
+
+// drainReads ticks until every enqueued read has completed.
+func drainReads(t *testing.T, c *Controller, budget int) {
+	t.Helper()
+	for i := 0; i < budget; i++ {
+		if c.Idle() {
+			return
+		}
+		c.Tick()
+	}
+	t.Fatalf("controller did not drain in %d cycles", budget)
+}
+
+func TestRetireRowRemapsToSpareRegion(t *testing.T) {
+	g := smallGeom()
+	c := New(g, dram.DDR4_3200())
+	if err := c.ReserveSpareRows(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SpareRowsLeft(0, 1); got != 4 {
+		t.Fatalf("spare rows left %d, want 4", got)
+	}
+	spare, err := c.RetireRow(0, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spare != g.RowsPerBank-1 {
+		t.Fatalf("first spare %d, want %d", spare, g.RowsPerBank-1)
+	}
+	if !c.RowRetired(0, 1, 7) || c.SpareRowsLeft(0, 1) != 3 {
+		t.Fatal("retirement accounting wrong")
+	}
+	if c.Stats.RowsRetired != 1 {
+		t.Fatalf("stats %+v", c.Stats)
+	}
+	// Retiring the same row twice fails; a second row gets the next spare.
+	if _, err := c.RetireRow(0, 1, 7); err == nil {
+		t.Fatal("double retirement accepted")
+	}
+	if sp2, err := c.RetireRow(0, 1, 9); err != nil || sp2 != g.RowsPerBank-2 {
+		t.Fatalf("second retirement: %d, %v", sp2, err)
+	}
+}
+
+func TestRetireRowErrors(t *testing.T) {
+	g := smallGeom()
+	c := New(g, dram.DDR4_3200())
+	if _, err := c.RetireRow(0, 0, 1); err == nil {
+		t.Fatal("retire without reserved spares accepted")
+	}
+	if err := c.ReserveSpareRows(g.RowsPerBank); err == nil {
+		t.Fatal("reserving every row accepted")
+	}
+	if err := c.ReserveSpareRows(-1); err == nil {
+		t.Fatal("negative spare count accepted")
+	}
+	if err := c.ReserveSpareRows(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RetireRow(0, 5, 1); err == nil {
+		t.Fatal("out-of-range bank accepted")
+	}
+	if _, err := c.RetireRow(0, 0, g.RowsPerBank-1); err == nil {
+		t.Fatal("retiring a spare row accepted")
+	}
+	// Exhaust the bank's spares.
+	if _, err := c.RetireRow(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RetireRow(0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RetireRow(0, 0, 3); err == nil {
+		t.Fatal("retirement past spare budget accepted")
+	}
+}
+
+func TestRemappedReadPaysPenalty(t *testing.T) {
+	g := smallGeom()
+	mapper := dram.NewMapper(g)
+	coord := dram.Coord{Rank: 0, Bank: 1, Row: 5, Col: 0}
+	addr := mapper.Encode(coord)
+
+	run := func(retire bool) int64 {
+		c := New(g, dram.DDR4_3200())
+		if err := c.ReserveSpareRows(2); err != nil {
+			t.Fatal(err)
+		}
+		if retire {
+			if _, err := c.RetireRow(coord.Rank, coord.Bank, coord.Row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var done int64 = -1
+		if !c.EnqueueRead(addr, func(at int64) { done = at }) {
+			t.Fatal("enqueue failed")
+		}
+		drainReads(t, c, 10000)
+		if done < 0 {
+			t.Fatal("read never completed")
+		}
+		return done
+	}
+
+	base, remapped := run(false), run(true)
+	if remapped != base+DefaultRemapPenalty {
+		t.Fatalf("remapped read done at %d, want %d + %d penalty", remapped, base, DefaultRemapPenalty)
+	}
+}
+
+func TestQuarantineGateStallsRow(t *testing.T) {
+	g := smallGeom()
+	mapper := dram.NewMapper(g)
+	gated := mapper.Encode(dram.Coord{Rank: 0, Bank: 0, Row: 3})
+	free := mapper.Encode(dram.Coord{Rank: 0, Bank: 1, Row: 3})
+	gc := mapper.Decode(gated)
+
+	c := New(g, dram.DDR4_3200())
+	gate := NewQuarantineGate()
+	c.AttachPlugin(gate)
+	gate.Quarantine(gc.Rank, gc.Bank, gc.Row)
+	if !gate.Quarantined(gc.Rank, gc.Bank, gc.Row) {
+		t.Fatal("row not quarantined")
+	}
+
+	gatedDone, freeDone := false, false
+	c.EnqueueRead(gated, func(int64) { gatedDone = true })
+	c.EnqueueRead(free, func(int64) { freeDone = true })
+	for i := 0; i < 20000; i++ {
+		c.Tick()
+	}
+	if gatedDone {
+		t.Fatal("quarantined row's read completed")
+	}
+	if !freeDone {
+		t.Fatal("unrelated read starved by the quarantine gate")
+	}
+	stats := gate.DrainStats()
+	if stats["denied_acts"] == 0 || stats["quarantined_rows"] != 1 {
+		t.Fatalf("gate stats %v", stats)
+	}
+}

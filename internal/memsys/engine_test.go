@@ -1,0 +1,166 @@
+package memsys
+
+import (
+	"testing"
+
+	"safeguard/internal/bits"
+	"safeguard/internal/ecc"
+	"safeguard/internal/mac"
+	"safeguard/internal/response"
+)
+
+var _ response.Datapath = (*Memory)(nil)
+
+func sgCodec() ecc.Codec {
+	var key [16]byte
+	for i := range key {
+		key[i] = byte(0x5A + i)
+	}
+	return ecc.NewSafeGuardSECDED(mac.NewKeyed(key))
+}
+
+func attach(t *testing.T, m *Memory, cfg response.EngineConfig, spareRows int) *response.Engine {
+	t.Helper()
+	e, err := response.NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if err := m.AttachEngine(e, 8*bits.LineBytes, spareRows); err != nil {
+		t.Fatalf("AttachEngine: %v", err)
+	}
+	return e
+}
+
+func TestAttachEngineRejectsBadRowBytes(t *testing.T) {
+	m := New(sgCodec())
+	e, err := response.NewEngine(response.DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachEngine(e, 0, -1); err == nil {
+		t.Fatal("rowBytes 0 accepted")
+	}
+	if err := m.AttachEngine(e, bits.LineBytes+1, -1); err == nil {
+		t.Fatal("unaligned rowBytes accepted")
+	}
+}
+
+func TestTransientFaultExpiresByReadCount(t *testing.T) {
+	m := New(sgCodec())
+	line := bits.Line{0xDEAD}
+	m.Write(0, line)
+	// Corrupt the next two raw reads only — no engine attached, so the
+	// first two reads are DUEs and the third is clean.
+	m.AddTransientFault(0, FlipBits(3, 70), 2)
+	for i := 0; i < 2; i++ {
+		if _, res, _ := m.Read(0); res.Status != ecc.DUE {
+			t.Fatalf("read %d: status %v, want DUE", i, res.Status)
+		}
+	}
+	got, res, _ := m.Read(0)
+	if res.Status != ecc.OK || got != line {
+		t.Fatalf("after expiry: status %v line %v", res.Status, got)
+	}
+}
+
+func TestEngineRecoversTransientDUE(t *testing.T) {
+	m := New(sgCodec())
+	line := bits.Line{0xBEEF}
+	m.Write(0, line)
+	eng := attach(t, m, response.DefaultEngineConfig(), -1)
+	// One corrupted raw access: the initial read sees the DUE and the
+	// first retry reads clean.
+	m.AddTransientFault(0, FlipBits(3, 70), 1)
+	got, res, err := m.Read(0)
+	if err != nil || res.Status != ecc.OK || got != line {
+		t.Fatalf("recovered read: %v %v %v", got, res.Status, err)
+	}
+	if m.Stats.DUEs != 0 || m.Stats.DUERecovered != 1 {
+		t.Fatalf("stats %+v", m.Stats)
+	}
+	if eng.Stats.RetryHits != 1 || eng.Stats.Scrubs != 1 {
+		t.Fatalf("engine stats %+v", eng.Stats)
+	}
+}
+
+func TestEngineRetiresPermanentlyFaultyRow(t *testing.T) {
+	m := New(sgCodec())
+	line := bits.Line{0xF00D}
+	m.Write(0, line)
+	cfg := response.DefaultEngineConfig()
+	cfg.RetireThreshold = 2
+	eng := attach(t, m, cfg, 4)
+	// A persistent read-path fault: every access DUEs until the row is
+	// retired and the data relocated to the spare region.
+	m.AddFault(0, FlipBits(3, 70))
+
+	if _, res, _ := m.Read(0); res.Status != ecc.DUE {
+		t.Fatalf("first strike: status %v, want standing DUE", res.Status)
+	}
+	got, res, _ := m.Read(0)
+	if res.Status != ecc.OK || got != line {
+		t.Fatalf("post-retirement read: %v %v", got, res.Status)
+	}
+	if !m.RowRetired(0) || m.Stats.RowsRetired != 1 || eng.Stats.Retires != 1 {
+		t.Fatalf("retirement state: mem %+v engine %+v", m.Stats, eng.Stats)
+	}
+	// The row is clean from now on.
+	if _, res, _ := m.Read(0); res.Status != ecc.OK {
+		t.Fatalf("retired row still faulty: %v", res.Status)
+	}
+}
+
+func TestRetireRespectsSpareBudgetAndHook(t *testing.T) {
+	m := New(sgCodec())
+	m.Write(0, bits.Line{1})
+	cfg := response.DefaultEngineConfig()
+	cfg.RetireThreshold = 1
+	attach(t, m, cfg, 0) // no spares
+	m.AddFault(0, FlipBits(3, 70))
+	if _, res, _ := m.Read(0); res.Status != ecc.DUE {
+		t.Fatal("DUE should stand with no spares")
+	}
+	if m.Stats.RowsRetired != 0 {
+		t.Fatal("retired without spares")
+	}
+
+	m2 := New(sgCodec())
+	m2.Write(0, bits.Line{1})
+	attach(t, m2, cfg, -1)
+	vetoed := 0
+	m2.SetRetireHook(func(row int) bool { vetoed++; return false })
+	m2.AddFault(0, FlipBits(3, 70))
+	if _, res, _ := m2.Read(0); res.Status != ecc.DUE {
+		t.Fatal("DUE should stand when the hook vetoes")
+	}
+	if vetoed == 0 || m2.Stats.RowsRetired != 0 {
+		t.Fatalf("hook veto ignored (vetoed=%d, retired=%d)", vetoed, m2.Stats.RowsRetired)
+	}
+}
+
+func TestCorrectedReadScrubsArray(t *testing.T) {
+	// SECDED corrects the single bit; with ScrubCorrected the engine
+	// rewrites the array so the flip cannot pair with a second one.
+	m := New(ecc.NewSECDED())
+	line := bits.Line{0x1234}
+	m.Write(0, line)
+	eng := attach(t, m, response.DefaultEngineConfig(), -1)
+	if err := m.Corrupt(0, FlipBits(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, res, _ := m.Read(0); res.Status != ecc.Corrected {
+		t.Fatalf("status %v, want Corrected", res.Status)
+	}
+	if eng.Stats.Scrubs != 1 {
+		t.Fatalf("engine stats %+v", eng.Stats)
+	}
+	// The stored image is repaired: a second, different flip is still a
+	// single error and stays correctable instead of compounding.
+	if err := m.Corrupt(0, FlipBits(77)); err != nil {
+		t.Fatal(err)
+	}
+	got, res, _ := m.Read(0)
+	if res.Status != ecc.Corrected || got != line {
+		t.Fatalf("second flip after scrub: status %v line %v", res.Status, got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"safeguard/internal/bits"
 	"safeguard/internal/ecc"
+	"safeguard/internal/response"
 )
 
 // Fault is a persistent corruption applied to a line's stored image on
@@ -47,6 +48,12 @@ type Stats struct {
 	// the last write — detectable here only because the store keeps the
 	// golden copy; a real system cannot see these, which is the point.
 	SilentCorruptions uint64
+	// DUERecovered counts DUEs the attached response engine turned back
+	// into good data (retry, scrub, or retirement); such reads do not
+	// count as DUEs.
+	DUERecovered uint64
+	// RowsRetired counts rows remapped to the spare region.
+	RowsRetired uint64
 }
 
 type entry struct {
@@ -55,11 +62,26 @@ type entry struct {
 	meta   uint64
 }
 
+// transient is a read-path fault that clears after a bounded number of
+// raw array reads (a soft error the next access no longer sees).
+type transient struct {
+	f     Fault
+	reads int
+}
+
 // Memory is a functional protected memory.
 type Memory struct {
-	codec  ecc.Codec
-	lines  map[uint64]*entry
-	faults map[uint64][]Fault
+	codec      ecc.Codec
+	lines      map[uint64]*entry
+	faults     map[uint64][]Fault
+	transients map[uint64][]transient
+
+	// DUE response pipeline state (AttachEngine).
+	eng      *response.Engine
+	rowBytes uint64
+	spares   int // remaining spare rows; -1 = unlimited
+	retired  map[int]bool
+	onRetire func(row int) bool
 
 	Stats Stats
 }
@@ -67,9 +89,11 @@ type Memory struct {
 // New builds a memory protected by the codec.
 func New(codec ecc.Codec) *Memory {
 	return &Memory{
-		codec:  codec,
-		lines:  make(map[uint64]*entry),
-		faults: make(map[uint64][]Fault),
+		codec:      codec,
+		lines:      make(map[uint64]*entry),
+		faults:     make(map[uint64][]Fault),
+		transients: make(map[uint64][]transient),
+		retired:    make(map[int]bool),
 	}
 }
 
@@ -88,6 +112,8 @@ func (m *Memory) Write(addr uint64, line bits.Line) {
 
 // Read returns the line at addr through the codec's verify/correct path,
 // plus the decode result. Reading an unwritten address returns an error.
+// With an engine attached (AttachEngine), a DUE is escalated through the
+// retry/scrub/retire pipeline before it is allowed to stand.
 func (m *Memory) Read(addr uint64) (bits.Line, ecc.Result, error) {
 	mustAligned(addr)
 	e, ok := m.lines[addr]
@@ -95,20 +121,53 @@ func (m *Memory) Read(addr uint64) (bits.Line, ecc.Result, error) {
 		return bits.Line{}, ecc.Result{}, fmt.Errorf("memsys: read of unwritten address %#x", addr)
 	}
 	m.Stats.Reads++
-	stored, meta := e.stored, e.meta
-	for _, f := range m.faults[addr] {
-		stored, meta = f(stored, meta)
-	}
-	res := m.codec.Decode(stored, meta, addr)
+	res := m.decodeOnce(addr, e)
 	switch {
 	case res.Status == ecc.DUE:
+		if m.eng != nil {
+			if rec, ok := m.eng.HandleDUE(addr, m.RowOf(addr)); ok {
+				m.Stats.DUERecovered++
+				if rec.Line != e.golden {
+					m.Stats.SilentCorruptions++
+				}
+				return rec.Line, rec, nil
+			}
+		}
 		m.Stats.DUEs++
 	case res.Line != e.golden:
 		m.Stats.SilentCorruptions++
 	case res.Status == ecc.Corrected:
 		m.Stats.Corrected++
+		if m.eng != nil {
+			m.eng.HandleCorrected(addr, m.RowOf(addr), res.Line)
+		}
 	}
 	return res.Line, res, nil
+}
+
+// decodeOnce performs one raw array access: persistent faults apply,
+// transient faults apply and burn down their read budget, and the codec
+// decodes the corrupted view.
+func (m *Memory) decodeOnce(addr uint64, e *entry) ecc.Result {
+	stored, meta := e.stored, e.meta
+	for _, f := range m.faults[addr] {
+		stored, meta = f(stored, meta)
+	}
+	if ts := m.transients[addr]; len(ts) > 0 {
+		live := ts[:0]
+		for _, t := range ts {
+			stored, meta = t.f(stored, meta)
+			if t.reads--; t.reads > 0 {
+				live = append(live, t)
+			}
+		}
+		if len(live) == 0 {
+			delete(m.transients, addr)
+		} else {
+			m.transients[addr] = live
+		}
+	}
+	return m.codec.Decode(stored, meta, addr)
 }
 
 // Corrupt permanently alters the stored image (a write disturbance or
@@ -130,8 +189,113 @@ func (m *Memory) AddFault(addr uint64, f Fault) {
 	m.faults[addr] = append(m.faults[addr], f)
 }
 
+// AddTransientFault attaches a fault that corrupts the next `reads` raw
+// array accesses of addr and then clears — the soft error a bounded
+// re-read retry is designed to ride out.
+func (m *Memory) AddTransientFault(addr uint64, f Fault, reads int) {
+	mustAligned(addr)
+	if reads <= 0 {
+		return
+	}
+	m.transients[addr] = append(m.transients[addr], transient{f: f, reads: reads})
+}
+
 // ClearFaults removes an address's persistent faults (a repair/remap).
 func (m *Memory) ClearFaults(addr uint64) { delete(m.faults, addr) }
+
+// AttachEngine wires a response engine into the read path: DUEs escalate
+// through retry/scrub/retire/quarantine before they stand. rowBytes sets
+// the row granularity for strike tracking and retirement; spareRows
+// bounds how many rows can be retired (negative = unlimited). The engine
+// is bound to this memory as its datapath.
+func (m *Memory) AttachEngine(e *response.Engine, rowBytes uint64, spareRows int) error {
+	if rowBytes == 0 || rowBytes%bits.LineBytes != 0 {
+		return fmt.Errorf("memsys: rowBytes %d must be a positive multiple of %d", rowBytes, bits.LineBytes)
+	}
+	m.eng = e
+	m.rowBytes = rowBytes
+	m.spares = spareRows
+	e.Bind(m)
+	return nil
+}
+
+// Engine returns the attached response engine (nil when none).
+func (m *Memory) Engine() *response.Engine { return m.eng }
+
+// SetRetireHook installs a callback consulted before each row retirement;
+// returning false vetoes it (e.g. the cycle-level controller is out of
+// spare rows). Attack runners use it to mirror retirement into memctrl.
+func (m *Memory) SetRetireHook(fn func(row int) bool) { m.onRetire = fn }
+
+// RowOf maps a line address to its DRAM row (engine granularity).
+func (m *Memory) RowOf(addr uint64) int {
+	if m.rowBytes == 0 {
+		return 0
+	}
+	return int(addr / m.rowBytes)
+}
+
+// RowRetired reports whether a row has been retired.
+func (m *Memory) RowRetired(row int) bool { return m.retired[row] }
+
+// Reread implements response.Datapath: one more raw array access through
+// the verify/correct path (transient faults burn down their budget).
+func (m *Memory) Reread(addr uint64) ecc.Result {
+	e, ok := m.lines[addr]
+	if !ok {
+		return ecc.Result{Status: ecc.DUE}
+	}
+	m.Stats.Reads++
+	return m.decodeOnce(addr, e)
+}
+
+// Scrub implements response.Datapath: rewrite the line with known-good
+// data, re-encoding the metadata. The golden copy is untouched — scrub
+// repairs the array image, it does not change what was last written.
+func (m *Memory) Scrub(addr uint64, line bits.Line) {
+	e, ok := m.lines[addr]
+	if !ok {
+		return
+	}
+	e.stored = line
+	e.meta = m.codec.Encode(line, addr)
+	if sg, ok := m.codec.(*ecc.SafeGuardChipkill); ok {
+		sg.InvalidateSpare(addr)
+	}
+}
+
+// Retire implements response.Datapath: remap a row to the spare region.
+// The paper's Section VII-A response re-creates the data from a clean
+// source (restart / page relocation), so the spare row is seeded from the
+// golden copies and the row's faults no longer apply. Returns false when
+// the row is already retired, the spare budget is exhausted, or the
+// retire hook vetoes.
+func (m *Memory) Retire(row int) bool {
+	if m.rowBytes == 0 || m.retired[row] || m.spares == 0 {
+		return false
+	}
+	if m.onRetire != nil && !m.onRetire(row) {
+		return false
+	}
+	if m.spares > 0 {
+		m.spares--
+	}
+	m.retired[row] = true
+	m.Stats.RowsRetired++
+	lo := uint64(row) * m.rowBytes
+	for addr, e := range m.lines {
+		if addr >= lo && addr < lo+m.rowBytes {
+			delete(m.faults, addr)
+			delete(m.transients, addr)
+			e.stored = e.golden
+			e.meta = m.codec.Encode(e.golden, addr)
+			if sg, ok := m.codec.(*ecc.SafeGuardChipkill); ok {
+				sg.InvalidateSpare(addr)
+			}
+		}
+	}
+	return true
+}
 
 // Lines returns the number of distinct written lines.
 func (m *Memory) Lines() int { return len(m.lines) }

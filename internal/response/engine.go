@@ -1,0 +1,291 @@
+// The DUE response engine: the in-datapath half of the paper's Section VII
+// contract. Where Policy (response.go) models the OS-level decision to
+// restart/migrate/quarantine *processes*, the Engine sits next to the
+// memory controller and handles each detected uncorrectable error in the
+// read path itself, escalating through the stages a production memory
+// subsystem uses before it ever bothers the OS:
+//
+//  1. retry  — re-read the line a bounded number of times with exponential
+//     backoff in cycles; transient faults and in-flight disturbances clear,
+//     permanent damage does not;
+//  2. scrub  — rewrite recovered (or corrected) data so correctable errors
+//     do not accumulate into uncorrectable ones;
+//  3. retire — rows that keep producing hard DUEs are remapped to a spare
+//     region (the datapath models the capacity and latency cost);
+//  4. quarantine — when retirement keeps happening, the damage is adversarial
+//     (a persistent Row-Hammer aggressor), and the engine signals its owner
+//     to gate the aggressor at the controller's ActGate hook.
+//
+// Every escalation is recorded as a Step so tests and fault-injection
+// campaigns can assert the exact sequence.
+package response
+
+import (
+	"fmt"
+
+	"safeguard/internal/bits"
+	"safeguard/internal/ecc"
+)
+
+// StepKind classifies one escalation action of the engine.
+type StepKind int
+
+const (
+	// StepRetry is one bounded re-read attempt (OK reports whether the
+	// re-read decoded successfully).
+	StepRetry StepKind = iota
+	// StepScrub is a rewrite of known-good data over a faulty line.
+	StepScrub
+	// StepRetire is a row retirement: the row is remapped to a spare.
+	StepRetire
+	// StepQuarantine is the final escalation: persistent retirements mark
+	// the damage adversarial and the aggressor is gated.
+	StepQuarantine
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepRetry:
+		return "retry"
+	case StepScrub:
+		return "scrub"
+	case StepRetire:
+		return "retire"
+	case StepQuarantine:
+		return "quarantine"
+	default:
+		return fmt.Sprintf("response.StepKind(%d)", int(k))
+	}
+}
+
+// Step is one recorded escalation action.
+type Step struct {
+	Kind StepKind
+	// Addr is the line the action concerned (0 for quarantine).
+	Addr uint64
+	// Row is the DRAM row the action concerned (-1 for quarantine).
+	Row int
+	// Attempt numbers retries within one DUE (1-based); 0 otherwise.
+	Attempt int
+	// OK reports whether a retry recovered the line or a retire found a
+	// spare; always true for scrub and quarantine.
+	OK bool
+	// Cycle is the engine's cycle clock when the action completed.
+	Cycle int64
+}
+
+func (s Step) String() string {
+	switch s.Kind {
+	case StepRetry:
+		return fmt.Sprintf("retry#%d addr=%#x ok=%v", s.Attempt, s.Addr, s.OK)
+	case StepScrub:
+		return fmt.Sprintf("scrub addr=%#x", s.Addr)
+	case StepRetire:
+		return fmt.Sprintf("retire row=%d ok=%v", s.Row, s.OK)
+	default:
+		return "quarantine"
+	}
+}
+
+// Datapath is the narrow view of a protected memory the engine acts
+// through. memsys.Memory implements it; campaign and attack runners may
+// wrap it to mirror actions into the cycle-level controller.
+type Datapath interface {
+	// Reread re-issues the read of addr through the verify/correct path.
+	Reread(addr uint64) ecc.Result
+	// Scrub rewrites the line with known-good data, re-encoding metadata.
+	Scrub(addr uint64, line bits.Line)
+	// Retire remaps the row to a spare region; false when no spare is
+	// available or the row is already retired.
+	Retire(row int) bool
+}
+
+// EngineConfig parameterizes the escalation thresholds.
+type EngineConfig struct {
+	// MaxRetries bounds re-read attempts per DUE.
+	MaxRetries int
+	// RetryBackoffCycles is the wait before the first retry; each further
+	// attempt doubles it (backoff-in-cycles, charged to the engine clock).
+	RetryBackoffCycles int64
+	// ScrubCorrected rewrites lines whose read was Corrected, so single
+	// errors cannot accumulate into uncorrectable patterns.
+	ScrubCorrected bool
+	// RetireThreshold is the number of hard (retry-exhausted) DUEs a row
+	// may produce before it is retired. Zero disables retirement.
+	RetireThreshold int
+	// QuarantineThreshold is the number of row retirements after which the
+	// engine declares the damage adversarial and fires OnQuarantine. Zero
+	// disables quarantine.
+	QuarantineThreshold int
+	// OnQuarantine, when set, receives the retired rows at quarantine time
+	// (the attack runner gates the aggressor through the controller's
+	// ActGate hook here).
+	OnQuarantine func(retiredRows []int)
+}
+
+// DefaultEngineConfig returns a production-shaped escalation: three
+// retries starting at a 64-cycle backoff, scrub-on-corrected, retirement
+// after 2 hard DUEs on a row, quarantine after 2 retirements.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{
+		MaxRetries:          3,
+		RetryBackoffCycles:  64,
+		ScrubCorrected:      true,
+		RetireThreshold:     2,
+		QuarantineThreshold: 2,
+	}
+}
+
+// EngineStats counts the engine's activity.
+type EngineStats struct {
+	DUEs        uint64
+	Retries     uint64
+	RetryHits   uint64 // retries that recovered the line
+	Scrubs      uint64
+	HardDUEs    uint64 // DUEs that exhausted every retry
+	Retires     uint64
+	RetireFails uint64 // retirement attempts with no spare available
+	Quarantines uint64
+	// RetryCycles is the total backoff time charged, in engine cycles.
+	RetryCycles int64
+}
+
+// Engine escalates detected uncorrectable errors through
+// retry -> scrub -> retire -> quarantine.
+type Engine struct {
+	cfg EngineConfig
+	dp  Datapath
+
+	strikes     map[int]int // hard DUEs per row
+	retiredRows []int
+	quarantined bool
+	trace       []Step
+	now         int64
+
+	Stats EngineStats
+}
+
+// NewEngine validates the configuration and builds an unbound engine;
+// call Bind (or memsys.Memory.AttachEngine) before use.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.MaxRetries < 0 || cfg.RetryBackoffCycles < 0 ||
+		cfg.RetireThreshold < 0 || cfg.QuarantineThreshold < 0 {
+		return nil, fmt.Errorf("response: engine thresholds must be non-negative: %+v", cfg)
+	}
+	return &Engine{cfg: cfg, strikes: make(map[int]int)}, nil
+}
+
+// Bind attaches the datapath the engine acts through.
+func (e *Engine) Bind(dp Datapath) { e.dp = dp }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() EngineConfig { return e.cfg }
+
+// Trace returns the ordered escalation steps recorded so far.
+func (e *Engine) Trace() []Step { return e.trace }
+
+// Quarantined reports whether the engine has escalated to quarantine.
+func (e *Engine) Quarantined() bool { return e.quarantined }
+
+// RetiredRows returns the rows retired so far, in retirement order.
+func (e *Engine) RetiredRows() []int { return e.retiredRows }
+
+// Now returns the engine's cycle clock (advanced by retry backoffs).
+func (e *Engine) Now() int64 { return e.now }
+
+// step records one escalation action.
+func (e *Engine) step(s Step) {
+	s.Cycle = e.now
+	e.trace = append(e.trace, s)
+}
+
+// HandleCorrected runs the scrub stage for a read that was corrected:
+// rewriting the corrected data prevents the single error from pairing with
+// a future one. Returns true when a scrub was issued.
+func (e *Engine) HandleCorrected(addr uint64, row int, line bits.Line) bool {
+	if e.dp == nil || !e.cfg.ScrubCorrected {
+		return false
+	}
+	e.dp.Scrub(addr, line)
+	e.Stats.Scrubs++
+	e.step(Step{Kind: StepScrub, Addr: addr, Row: row, OK: true})
+	return true
+}
+
+// HandleDUE escalates one detected uncorrectable error at addr (in the
+// given row). It returns the final decode result and whether the line was
+// recovered; on false the DUE stands and the caller must treat the read as
+// failed (and escalate to the process-level Policy).
+func (e *Engine) HandleDUE(addr uint64, row int) (ecc.Result, bool) {
+	e.Stats.DUEs++
+	if e.dp == nil {
+		return ecc.Result{Status: ecc.DUE}, false
+	}
+
+	// Stage 1: bounded re-read retries with exponential backoff. A
+	// transient fault (or a disturbance caught mid-flight) clears; the
+	// retry then delivers OK or Corrected data.
+	backoff := e.cfg.RetryBackoffCycles
+	for attempt := 1; attempt <= e.cfg.MaxRetries; attempt++ {
+		e.now += backoff
+		e.Stats.RetryCycles += backoff
+		backoff *= 2
+		res := e.dp.Reread(addr)
+		e.Stats.Retries++
+		ok := res.Status != ecc.DUE
+		e.step(Step{Kind: StepRetry, Addr: addr, Row: row, Attempt: attempt, OK: ok})
+		if ok {
+			e.Stats.RetryHits++
+			e.scrub(addr, row, res.Line)
+			return res, true
+		}
+	}
+
+	// Stage 2 failed: this is a hard DUE. Strike the row and retire it
+	// once it crosses the threshold.
+	e.Stats.HardDUEs++
+	e.strikes[row]++
+	if e.cfg.RetireThreshold > 0 && e.strikes[row] >= e.cfg.RetireThreshold {
+		if e.retire(row) {
+			// The retired row's data lives in the spare region now; the
+			// re-read goes through the remapped location.
+			res := e.dp.Reread(addr)
+			if res.Status != ecc.DUE {
+				e.scrub(addr, row, res.Line)
+				return res, true
+			}
+		}
+	}
+	return ecc.Result{Status: ecc.DUE}, false
+}
+
+// scrub rewrites known-good data over the faulty line.
+func (e *Engine) scrub(addr uint64, row int, line bits.Line) {
+	e.dp.Scrub(addr, line)
+	e.Stats.Scrubs++
+	e.step(Step{Kind: StepScrub, Addr: addr, Row: row, OK: true})
+}
+
+// retire remaps the row and, when retirements persist, escalates to
+// quarantine. Returns whether the retirement succeeded.
+func (e *Engine) retire(row int) bool {
+	ok := e.dp.Retire(row)
+	e.step(Step{Kind: StepRetire, Row: row, OK: ok})
+	if !ok {
+		e.Stats.RetireFails++
+		return false
+	}
+	e.Stats.Retires++
+	e.retiredRows = append(e.retiredRows, row)
+	delete(e.strikes, row)
+	if e.cfg.QuarantineThreshold > 0 && !e.quarantined &&
+		len(e.retiredRows) >= e.cfg.QuarantineThreshold {
+		e.quarantined = true
+		e.Stats.Quarantines++
+		e.step(Step{Kind: StepQuarantine, Row: -1, OK: true})
+		if e.cfg.OnQuarantine != nil {
+			e.cfg.OnQuarantine(append([]int(nil), e.retiredRows...))
+		}
+	}
+	return true
+}

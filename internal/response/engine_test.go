@@ -1,0 +1,232 @@
+package response
+
+import (
+	"reflect"
+	"testing"
+
+	"safeguard/internal/bits"
+	"safeguard/internal/ecc"
+)
+
+// fakePath scripts the datapath: each address carries a countdown of
+// DUE-returning rereads before it recovers (negative = never recovers).
+type fakePath struct {
+	duesLeft map[uint64]int
+	scrubs   []uint64
+	retired  []int
+	spares   int
+	good     bits.Line
+}
+
+func newFakePath(spares int) *fakePath {
+	return &fakePath{duesLeft: make(map[uint64]int), spares: spares, good: bits.Line{0xAB}}
+}
+
+func (f *fakePath) Reread(addr uint64) ecc.Result {
+	if n := f.duesLeft[addr]; n != 0 {
+		if n > 0 {
+			f.duesLeft[addr] = n - 1
+		}
+		return ecc.Result{Status: ecc.DUE}
+	}
+	return ecc.Result{Line: f.good, Status: ecc.OK}
+}
+
+func (f *fakePath) Scrub(addr uint64, line bits.Line) { f.scrubs = append(f.scrubs, addr) }
+
+func (f *fakePath) Retire(row int) bool {
+	if f.spares == 0 {
+		return false
+	}
+	f.spares--
+	f.retired = append(f.retired, row)
+	// Retirement relocates the row's data: all addresses read clean again.
+	for a := range f.duesLeft {
+		delete(f.duesLeft, a)
+	}
+	return true
+}
+
+func mustEngine(t *testing.T, cfg EngineConfig) *Engine {
+	t.Helper()
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e
+}
+
+func kinds(trace []Step) []StepKind {
+	out := make([]StepKind, len(trace))
+	for i, s := range trace {
+		out[i] = s.Kind
+	}
+	return out
+}
+
+func TestEngineBadConfigError(t *testing.T) {
+	for _, cfg := range []EngineConfig{
+		{MaxRetries: -1},
+		{RetryBackoffCycles: -2},
+		{RetireThreshold: -1},
+		{QuarantineThreshold: -1},
+	} {
+		if _, err := NewEngine(cfg); err == nil {
+			t.Fatalf("NewEngine(%+v): expected error", cfg)
+		}
+	}
+}
+
+func TestTransientDUERecoveredByRetry(t *testing.T) {
+	fp := newFakePath(4)
+	fp.duesLeft[0x40] = 1 // one failing reread, then clean
+	e := mustEngine(t, DefaultEngineConfig())
+	e.Bind(fp)
+
+	res, ok := e.HandleDUE(0x40, 7)
+	if !ok || res.Status != ecc.OK {
+		t.Fatalf("transient DUE not recovered: ok=%v status=%v", ok, res.Status)
+	}
+	want := []StepKind{StepRetry, StepRetry, StepScrub}
+	if got := kinds(e.Trace()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("trace %v, want %v", got, want)
+	}
+	if e.Stats.Retries != 2 || e.Stats.RetryHits != 1 || e.Stats.Scrubs != 1 || e.Stats.HardDUEs != 0 {
+		t.Fatalf("stats %+v", e.Stats)
+	}
+	if len(fp.scrubs) != 1 || fp.scrubs[0] != 0x40 {
+		t.Fatalf("scrubs %v", fp.scrubs)
+	}
+}
+
+func TestRetryBackoffDoublesInCycles(t *testing.T) {
+	fp := newFakePath(0)
+	fp.duesLeft[0x0] = -1 // never recovers
+	e := mustEngine(t, EngineConfig{MaxRetries: 3, RetryBackoffCycles: 10})
+	e.Bind(fp)
+	e.HandleDUE(0x0, 0)
+	// 10 + 20 + 40 cycles of backoff.
+	if e.Stats.RetryCycles != 70 || e.Now() != 70 {
+		t.Fatalf("retry cycles %d, now %d, want 70", e.Stats.RetryCycles, e.Now())
+	}
+	tr := e.Trace()
+	if tr[0].Cycle != 10 || tr[1].Cycle != 30 || tr[2].Cycle != 70 {
+		t.Fatalf("retry completion cycles %d/%d/%d, want 10/30/70", tr[0].Cycle, tr[1].Cycle, tr[2].Cycle)
+	}
+}
+
+func TestPermanentFaultEscalatesToRetirement(t *testing.T) {
+	fp := newFakePath(4)
+	fp.duesLeft[0x80] = -1
+	cfg := DefaultEngineConfig()
+	cfg.RetireThreshold = 2
+	e := mustEngine(t, cfg)
+	e.Bind(fp)
+
+	// First hard DUE: retries exhausted, row struck but below threshold.
+	if _, ok := e.HandleDUE(0x80, 3); ok {
+		t.Fatal("permanent fault recovered on first strike")
+	}
+	if len(fp.retired) != 0 {
+		t.Fatal("retired too early")
+	}
+	// Second hard DUE on the same row: retire, reread clean, scrub.
+	fp.duesLeft[0x80] = -1
+	res, ok := e.HandleDUE(0x80, 3)
+	if !ok || res.Status != ecc.OK {
+		t.Fatalf("retirement should recover the read: ok=%v status=%v", ok, res.Status)
+	}
+	if !reflect.DeepEqual(fp.retired, []int{3}) {
+		t.Fatalf("retired rows %v, want [3]", fp.retired)
+	}
+	if e.Stats.Retires != 1 || e.Stats.HardDUEs != 2 {
+		t.Fatalf("stats %+v", e.Stats)
+	}
+	tail := kinds(e.Trace())[len(e.Trace())-2:]
+	if !reflect.DeepEqual(tail, []StepKind{StepRetire, StepScrub}) {
+		t.Fatalf("trace tail %v, want [retire scrub]", tail)
+	}
+}
+
+func TestRepeatedRetirementsEscalateToQuarantine(t *testing.T) {
+	fp := newFakePath(4)
+	cfg := EngineConfig{MaxRetries: 1, RetryBackoffCycles: 1, RetireThreshold: 1, QuarantineThreshold: 2}
+	var hookRows []int
+	cfg.OnQuarantine = func(rows []int) { hookRows = rows }
+	e := mustEngine(t, cfg)
+	e.Bind(fp)
+
+	fp.duesLeft[0x100] = -1
+	e.HandleDUE(0x100, 10)
+	if e.Quarantined() {
+		t.Fatal("quarantined after one retirement")
+	}
+	fp.duesLeft[0x200] = -1
+	e.HandleDUE(0x200, 20)
+	if !e.Quarantined() {
+		t.Fatal("not quarantined after two retirements")
+	}
+	if !reflect.DeepEqual(hookRows, []int{10, 20}) {
+		t.Fatalf("OnQuarantine rows %v, want [10 20]", hookRows)
+	}
+	if !reflect.DeepEqual(e.RetiredRows(), []int{10, 20}) {
+		t.Fatalf("retired rows %v", e.RetiredRows())
+	}
+	if e.Stats.Quarantines != 1 {
+		t.Fatalf("quarantines %d, want 1", e.Stats.Quarantines)
+	}
+}
+
+func TestRetirementWithoutSpareFails(t *testing.T) {
+	fp := newFakePath(0) // no spare capacity
+	cfg := EngineConfig{MaxRetries: 1, RetryBackoffCycles: 1, RetireThreshold: 1}
+	e := mustEngine(t, cfg)
+	e.Bind(fp)
+	fp.duesLeft[0x40] = -1
+	if _, ok := e.HandleDUE(0x40, 5); ok {
+		t.Fatal("recovered without spares")
+	}
+	if e.Stats.RetireFails != 1 || e.Stats.Retires != 0 {
+		t.Fatalf("stats %+v", e.Stats)
+	}
+}
+
+func TestHandleCorrectedScrubs(t *testing.T) {
+	fp := newFakePath(0)
+	e := mustEngine(t, DefaultEngineConfig())
+	e.Bind(fp)
+	if !e.HandleCorrected(0x40, 1, bits.Line{}) {
+		t.Fatal("corrected read not scrubbed")
+	}
+	if len(fp.scrubs) != 1 {
+		t.Fatalf("scrubs %v", fp.scrubs)
+	}
+	off := mustEngine(t, EngineConfig{})
+	off.Bind(fp)
+	if off.HandleCorrected(0x40, 1, bits.Line{}) {
+		t.Fatal("scrubbed with ScrubCorrected disabled")
+	}
+}
+
+func TestUnboundEngineLeavesDUEStanding(t *testing.T) {
+	e := mustEngine(t, DefaultEngineConfig())
+	if _, ok := e.HandleDUE(0x40, 0); ok {
+		t.Fatal("unbound engine claimed recovery")
+	}
+}
+
+func TestStepKindStrings(t *testing.T) {
+	for _, k := range []StepKind{StepRetry, StepScrub, StepRetire, StepQuarantine} {
+		if k.String() == "" {
+			t.Fatal("unnamed step kind")
+		}
+	}
+	steps := []Step{
+		{Kind: StepRetry, Attempt: 1}, {Kind: StepScrub}, {Kind: StepRetire, Row: 3}, {Kind: StepQuarantine},
+	}
+	for _, s := range steps {
+		if s.String() == "" {
+			t.Fatal("empty step string")
+		}
+	}
+}

@@ -76,9 +76,10 @@ type Policy struct {
 }
 
 // NewPolicy builds a policy with the given thresholds.
-func NewPolicy(cloud bool, quarantineThreshold int, window float64, rebootThreshold int) *Policy {
+func NewPolicy(cloud bool, quarantineThreshold int, window float64, rebootThreshold int) (*Policy, error) {
 	if quarantineThreshold <= 0 || window <= 0 || rebootThreshold <= 0 {
-		panic("response: thresholds must be positive")
+		return nil, fmt.Errorf("response: thresholds must be positive (quarantine=%d window=%v reboot=%d)",
+			quarantineThreshold, window, rebootThreshold)
 	}
 	return &Policy{
 		Cloud:               cloud,
@@ -86,7 +87,7 @@ func NewPolicy(cloud bool, quarantineThreshold int, window float64, rebootThresh
 		Window:              window,
 		RebootThreshold:     rebootThreshold,
 		quarantined:         make(map[string]bool),
-	}
+	}, nil
 }
 
 // Decision is the policy's response to one event.

@@ -2,13 +2,22 @@ package response
 
 import "testing"
 
+func mustPolicy(t *testing.T, cloud bool, quarantine int, window float64, reboot int) *Policy {
+	t.Helper()
+	p, err := NewPolicy(cloud, quarantine, window, reboot)
+	if err != nil {
+		t.Fatalf("NewPolicy: %v", err)
+	}
+	return p
+}
+
 func TestFirstResponseMatchesDeployment(t *testing.T) {
-	onprem := NewPolicy(false, 3, 60, 100)
+	onprem := mustPolicy(t, false, 3, 60, 100)
 	d := onprem.OnDUE(DUEEvent{Time: 1, Consumer: "db"})
 	if len(d.Actions) != 1 || d.Actions[0] != RestartProcess {
 		t.Fatalf("on-prem first response: %v", d.Actions)
 	}
-	cloud := NewPolicy(true, 3, 60, 100)
+	cloud := mustPolicy(t, true, 3, 60, 100)
 	d = cloud.OnDUE(DUEEvent{Time: 1, Consumer: "db"})
 	if d.Actions[0] != MigrateProcess {
 		t.Fatalf("cloud first response: %v", d.Actions)
@@ -19,7 +28,7 @@ func TestPersistentAggressorQuarantined(t *testing.T) {
 	// Section VII-B: the attacker process is co-resident with every DUE;
 	// innocent processes are not. After the threshold the attacker is
 	// quarantined, the victims are not.
-	p := NewPolicy(true, 3, 100, 1000)
+	p := mustPolicy(t, true, 3, 100, 1000)
 	var quarantined []string
 	for i := 0; i < 5; i++ {
 		d := p.OnDUE(DUEEvent{
@@ -40,7 +49,7 @@ func TestPersistentAggressorQuarantined(t *testing.T) {
 func TestConsumerIsNotASuspect(t *testing.T) {
 	// The process consuming corrupted data is the victim; repeated
 	// victimhood must not get it quarantined.
-	p := NewPolicy(false, 2, 100, 1000)
+	p := mustPolicy(t, false, 2, 100, 1000)
 	for i := 0; i < 10; i++ {
 		d := p.OnDUE(DUEEvent{Time: float64(i), Consumer: "victim", CoResident: []string{"victim"}})
 		if len(d.Quarantine) != 0 {
@@ -49,8 +58,48 @@ func TestConsumerIsNotASuspect(t *testing.T) {
 	}
 }
 
+func TestQuarantineDoSCountermeasure(t *testing.T) {
+	// Section VII-B's flip side: an attacker must not be able to weaponize
+	// quarantine against an innocent co-resident. A process that is merely
+	// *sometimes* co-resident with DUEs stays below the threshold inside
+	// the sliding window, while the process present at every DUE crosses
+	// it. The consumer-exclusion above plus the windowed correlation is
+	// the countermeasure: framing requires sustained co-residency, which
+	// makes the framer indistinguishable from an aggressor.
+	p := mustPolicy(t, true, 5, 50, 1000)
+	var quarantined []string
+	for i := 0; i < 8; i++ {
+		co := []string{"victim", "attacker"}
+		if i%2 == 0 {
+			// The innocent service shares the machine only half the time.
+			co = append(co, "innocent")
+		}
+		d := p.OnDUE(DUEEvent{Time: float64(i), Consumer: "victim", CoResident: co})
+		quarantined = append(quarantined, d.Quarantine...)
+	}
+	if len(quarantined) != 1 || quarantined[0] != "attacker" {
+		t.Fatalf("quarantined %v, want exactly [attacker]", quarantined)
+	}
+	if p.Quarantined("innocent") {
+		t.Fatal("half-time co-resident wrongly quarantined (quarantine DoS)")
+	}
+}
+
+func TestQuarantineFiresOnce(t *testing.T) {
+	// A quarantined process must not be re-quarantined by later events.
+	p := mustPolicy(t, false, 2, 100, 1000)
+	total := 0
+	for i := 0; i < 6; i++ {
+		d := p.OnDUE(DUEEvent{Time: float64(i), Consumer: "v", CoResident: []string{"v", "agg"}})
+		total += len(d.Quarantine)
+	}
+	if total != 1 {
+		t.Fatalf("quarantine fired %d times, want 1", total)
+	}
+}
+
 func TestSlidingWindowForgets(t *testing.T) {
-	p := NewPolicy(false, 3, 10, 1000)
+	p := mustPolicy(t, false, 3, 10, 1000)
 	p.OnDUE(DUEEvent{Time: 0, Consumer: "v", CoResident: []string{"x"}})
 	p.OnDUE(DUEEvent{Time: 1, Consumer: "v", CoResident: []string{"x"}})
 	// Long quiet period: old events age out.
@@ -64,7 +113,7 @@ func TestSlidingWindowForgets(t *testing.T) {
 }
 
 func TestRebootOnMachineWideStorm(t *testing.T) {
-	p := NewPolicy(false, 100, 10, 3)
+	p := mustPolicy(t, false, 100, 10, 3)
 	var last Decision
 	for i := 0; i < 3; i++ {
 		last = p.OnDUE(DUEEvent{Time: float64(i), Consumer: "v"})
@@ -80,8 +129,20 @@ func TestRebootOnMachineWideStorm(t *testing.T) {
 	}
 }
 
+func TestMigrateEveryEventInCloud(t *testing.T) {
+	// Cloud deployments keep migrating (paper: relocation to another
+	// machine) rather than falling back to restart after the first event.
+	p := mustPolicy(t, true, 100, 100, 1000)
+	for i := 0; i < 4; i++ {
+		d := p.OnDUE(DUEEvent{Time: float64(i), Consumer: "svc"})
+		if d.Actions[0] != MigrateProcess {
+			t.Fatalf("event %d: first action %v, want migrate", i, d.Actions[0])
+		}
+	}
+}
+
 func TestOutOfOrderEventsPanic(t *testing.T) {
-	p := NewPolicy(false, 3, 10, 100)
+	p := mustPolicy(t, false, 3, 10, 100)
 	p.OnDUE(DUEEvent{Time: 5})
 	defer func() {
 		if recover() == nil {
@@ -91,13 +152,21 @@ func TestOutOfOrderEventsPanic(t *testing.T) {
 	p.OnDUE(DUEEvent{Time: 4})
 }
 
-func TestBadThresholdsPanic(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestBadThresholdsError(t *testing.T) {
+	for _, tc := range []struct {
+		quarantine int
+		window     float64
+		reboot     int
+	}{
+		{0, 10, 10},
+		{3, 0, 10},
+		{3, 10, 0},
+		{-1, -1, -1},
+	} {
+		if _, err := NewPolicy(false, tc.quarantine, tc.window, tc.reboot); err == nil {
+			t.Fatalf("NewPolicy(%d, %v, %d): expected error", tc.quarantine, tc.window, tc.reboot)
 		}
-	}()
-	NewPolicy(false, 0, 10, 10)
+	}
 }
 
 func TestActionStrings(t *testing.T) {

@@ -1,6 +1,7 @@
 package rowhammer
 
 import (
+	"context"
 	"fmt"
 
 	"safeguard/internal/dram"
@@ -62,8 +63,17 @@ func (r MCAttackResult) String() string {
 // precharge+activate, matching the one-ACT-per-access assumption of the
 // pure model.
 func RunMCAttack(cfg MCAttackConfig, pattern Pattern) (MCAttackResult, error) {
+	return RunMCAttackContext(context.Background(), cfg, pattern)
+}
+
+// RunMCAttackContext is RunMCAttack with cancellation: on ctx cancel the
+// partial result accumulated so far is returned with the context's error.
+func RunMCAttackContext(ctx context.Context, cfg MCAttackConfig, pattern Pattern) (MCAttackResult, error) {
 	if cfg.Bank.Rows == 0 {
 		cfg.Bank = DefaultConfig()
+	}
+	if err := cfg.Bank.Validate(); err != nil {
+		return MCAttackResult{}, err
 	}
 	th := cfg.MitigationThreshold
 	if th == 0 {
@@ -79,6 +89,9 @@ func RunMCAttack(cfg MCAttackConfig, pattern Pattern) (MCAttackResult, error) {
 		RowsPerBank: cfg.Bank.Rows,
 		RowBytes:    cfg.Bank.LinesPerRow * 64,
 		LineBytes:   64,
+	}
+	if err := geom.Validate(); err != nil {
+		return MCAttackResult{}, err
 	}
 	mc := memctrl.New(geom, dram.DDR4_3200())
 	mit, err := memctrl.NewMitigationPlugin(mitName, th, cfg.Seed)
@@ -104,6 +117,9 @@ func RunMCAttack(cfg MCAttackConfig, pattern Pattern) (MCAttackResult, error) {
 		done := false
 		mc.EnqueueRead(mapper.Encode(dram.Coord{Row: row}), func(int64) { done = true })
 		for !done && mc.Now() < maxCycles {
+			if mc.Now()&1023 == 0 && ctx.Err() != nil {
+				return res, ctx.Err()
+			}
 			mc.Tick()
 		}
 		if !done {
@@ -114,6 +130,9 @@ func RunMCAttack(cfg MCAttackConfig, pattern Pattern) (MCAttackResult, error) {
 	}
 	// Let queued victim refreshes land before reading out the damage.
 	for !mc.Idle() && mc.Now() < maxCycles {
+		if mc.Now()&1023 == 0 && ctx.Err() != nil {
+			return res, ctx.Err()
+		}
 		mc.Tick()
 	}
 

@@ -21,6 +21,7 @@
 package rowhammer
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"safeguard/internal/bits"
@@ -110,10 +111,20 @@ type Bank struct {
 	TraceRefresh func(row int)
 }
 
+// Validate checks the configuration is usable. Attack runners taking
+// configs from flags should Validate before NewBank, which panics.
+func (c Config) Validate() error {
+	if c.Rows <= 0 || c.Threshold <= 0 || c.LinesPerRow <= 0 {
+		return fmt.Errorf("rowhammer: rows (%d), threshold (%d) and lines per row (%d) must be positive",
+			c.Rows, c.Threshold, c.LinesPerRow)
+	}
+	return nil
+}
+
 // NewBank builds a bank.
 func NewBank(cfg Config) *Bank {
-	if cfg.Rows <= 0 || cfg.Threshold <= 0 || cfg.LinesPerRow <= 0 {
-		panic("rowhammer: invalid config")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	return &Bank{
 		cfg:         cfg,

@@ -18,6 +18,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -569,6 +570,12 @@ func (s *System) retryDeferred() {
 // own boundary crossings while every core keeps running — the paper's rate
 // methodology).
 func (s *System) Run() (Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation, polled every 1024 cycles so a
+// SIGINT lands within microseconds of simulated progress.
+func (s *System) RunContext(ctx context.Context) (Result, error) {
 	if s.initErr != nil {
 		return Result{}, s.initErr
 	}
@@ -580,6 +587,9 @@ func (s *System) Run() (Result, error) {
 	for s.now = 1; remaining > 0; s.now++ {
 		if s.now > s.cfg.MaxCycles {
 			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d (%d cores unfinished)", s.cfg.MaxCycles, remaining)
+		}
+		if s.now&1023 == 0 && ctx.Err() != nil {
+			return Result{}, ctx.Err()
 		}
 		s.retryDeferred()
 		for i, c := range s.cores {

@@ -43,6 +43,7 @@
 package safeguard
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"safeguard/internal/analysis"
@@ -50,6 +51,7 @@ import (
 	"safeguard/internal/ecc"
 	"safeguard/internal/eccploit"
 	"safeguard/internal/experiments"
+	"safeguard/internal/faultcampaign"
 	"safeguard/internal/faultmodel"
 	"safeguard/internal/faultsim"
 	"safeguard/internal/itree"
@@ -154,8 +156,9 @@ func NewSafeGuardChipkill(keyed *MAC) *ecc.SafeGuardChipkill {
 }
 
 // NewSafeGuardChipkillPolicy selects the correction policy and MAC width
-// explicitly (the Section V-C/V-D ablations).
-func NewSafeGuardChipkillPolicy(keyed *MAC, policy CorrectionPolicy, macWidth int) *ecc.SafeGuardChipkill {
+// explicitly (the Section V-C/V-D ablations). A width outside 1..32 is an
+// error.
+func NewSafeGuardChipkillPolicy(keyed *MAC, policy CorrectionPolicy, macWidth int) (*ecc.SafeGuardChipkill, error) {
 	return ecc.NewSafeGuardChipkillPolicy(keyed, policy, macWidth)
 }
 
@@ -204,10 +207,72 @@ type ResponsePolicy = response.Policy
 type DUEEvent = response.DUEEvent
 
 // NewResponsePolicy builds the policy (cloud selects migration over
-// restart as the first response).
-func NewResponsePolicy(cloud bool, quarantineThreshold int, window float64, rebootThreshold int) *ResponsePolicy {
+// restart as the first response). Non-positive thresholds are an error.
+func NewResponsePolicy(cloud bool, quarantineThreshold int, window float64, rebootThreshold int) (*ResponsePolicy, error) {
 	return response.NewPolicy(cloud, quarantineThreshold, window, rebootThreshold)
 }
+
+// ResponseEngine is the in-controller DUE response pipeline: bounded
+// re-read retries, scrubbing of recovered lines, row retirement onto
+// spares, and quarantine escalation for persistent aggressors.
+type ResponseEngine = response.Engine
+
+// ResponseEngineConfig parameterizes the escalation thresholds.
+type ResponseEngineConfig = response.EngineConfig
+
+// ResponseStep is one recorded escalation action; ResponseStepKind
+// classifies it (retry, scrub, retire, quarantine).
+type (
+	ResponseStep     = response.Step
+	ResponseStepKind = response.StepKind
+)
+
+// Escalation step kinds.
+const (
+	StepRetry      = response.StepRetry
+	StepScrub      = response.StepScrub
+	StepRetire     = response.StepRetire
+	StepQuarantine = response.StepQuarantine
+)
+
+// DefaultResponseEngineConfig returns the default escalation thresholds.
+func DefaultResponseEngineConfig() ResponseEngineConfig { return response.DefaultEngineConfig() }
+
+// NewResponseEngine builds a response engine; attach it to a
+// ProtectedMemory with AttachEngine to arm the live read path.
+func NewResponseEngine(cfg ResponseEngineConfig) (*ResponseEngine, error) {
+	return response.NewEngine(cfg)
+}
+
+// QuarantineGate is the controller plugin denying ACTs to quarantined
+// rows (the end of the escalation pipeline).
+type QuarantineGate = memctrl.QuarantineGate
+
+// NewQuarantineGate builds an empty gate.
+func NewQuarantineGate() *QuarantineGate { return memctrl.NewQuarantineGate() }
+
+// ---------------------------------------------------------------------------
+// Fault-injection campaigns (deterministic escalation replay)
+// ---------------------------------------------------------------------------
+
+// CampaignScenario scripts a fault-injection scenario and its expected
+// escalation trace; CampaignResult reports one replay.
+type (
+	CampaignScenario = faultcampaign.Scenario
+	CampaignResult   = faultcampaign.Result
+	CampaignOp       = faultcampaign.Op
+)
+
+// BuiltinCampaigns returns the four scripted scenarios (transient flip,
+// stuck chip, hammered row, repeated-DUE row).
+func BuiltinCampaigns() []CampaignScenario { return faultcampaign.Builtin() }
+
+// RunCampaign replays one scenario; expectation mismatches land in
+// Result.Failures.
+func RunCampaign(s CampaignScenario) (CampaignResult, error) { return faultcampaign.Run(s) }
+
+// RunCampaigns replays a scenario list.
+func RunCampaigns(ss []CampaignScenario) ([]CampaignResult, error) { return faultcampaign.RunAll(ss) }
 
 // ---------------------------------------------------------------------------
 // ECCploit (Section II-E Case-3, Section VII-D)
@@ -314,8 +379,15 @@ type ReliabilityResult = faultsim.Result
 
 // RunReliability executes the FaultSim-style study for the named scheme
 // evaluators (see the experiments package for the paper's exact sets).
-func RunReliability(eval faultsim.Evaluator, cfg ReliabilityConfig) ReliabilityResult {
+func RunReliability(eval faultsim.Evaluator, cfg ReliabilityConfig) (ReliabilityResult, error) {
 	return faultsim.Run(eval, cfg)
+}
+
+// RunReliabilityContext is RunReliability with cancellation: on ctx
+// cancel the partial result over the modules simulated so far is
+// returned with the context's error.
+func RunReliabilityContext(ctx context.Context, eval faultsim.Evaluator, cfg ReliabilityConfig) (ReliabilityResult, error) {
+	return faultsim.RunContext(ctx, eval, cfg)
 }
 
 // ---------------------------------------------------------------------------
@@ -408,6 +480,25 @@ func RunMCAttack(cfg MCAttackConfig, p AttackPattern) (MCAttackResult, error) {
 	return rowhammer.RunMCAttack(cfg, p)
 }
 
+// RunMCAttackContext is RunMCAttack with cancellation.
+func RunMCAttackContext(ctx context.Context, cfg MCAttackConfig, p AttackPattern) (MCAttackResult, error) {
+	return rowhammer.RunMCAttackContext(ctx, cfg, p)
+}
+
+// ResponseAttackConfig/ResponseAttackResult parameterize and report
+// response-enabled attack runs: the attacker hammers through the
+// controller while the DUE response pipeline escalates retry → scrub →
+// retirement → quarantine.
+type (
+	ResponseAttackConfig = rowhammer.ResponseAttackConfig
+	ResponseAttackResult = rowhammer.ResponseAttackResult
+)
+
+// RunResponseAttack drives a pattern against the full response pipeline.
+func RunResponseAttack(ctx context.Context, cfg ResponseAttackConfig, p AttackPattern) (*ResponseAttackResult, error) {
+	return rowhammer.RunResponseAttack(ctx, cfg, p)
+}
+
 // ---------------------------------------------------------------------------
 // Analysis and experiments
 // ---------------------------------------------------------------------------
@@ -435,10 +526,17 @@ type (
 // Quick experiment presets.
 func QuickPerfConfig() PerfConfig               { return experiments.QuickPerf() }
 func QuickReliabilityConfig() ReliabilityConfig { return experiments.QuickReliability() }
-func Figure7(cfg PerfConfig) PerfResult         { return experiments.Figure7(cfg) }
-func Figure12(cfg PerfConfig) PerfResult        { return experiments.Figure12(cfg) }
-func Figure6(cfg ReliabilityConfig) []ReliabilityResult {
-	return experiments.Figure6(cfg)
+
+// Figure wrappers run the paper's headline experiments; they honor
+// cancellation and surface simulation failures as errors.
+func Figure7(ctx context.Context, cfg PerfConfig) (PerfResult, error) {
+	return experiments.Figure7(ctx, cfg)
+}
+func Figure12(ctx context.Context, cfg PerfConfig) (PerfResult, error) {
+	return experiments.Figure12(ctx, cfg)
+}
+func Figure6(ctx context.Context, cfg ReliabilityConfig) ([]ReliabilityResult, error) {
+	return experiments.Figure6(ctx, cfg)
 }
 
 // ---------------------------------------------------------------------------

@@ -179,7 +179,10 @@ func TestPublicECCploitAndResponse(t *testing.T) {
 	if out.Succeeded() {
 		t.Fatal("SafeGuard must not be silently corrupted")
 	}
-	policy := safeguard.NewResponsePolicy(true, 2, 100, 1000)
+	policy, err := safeguard.NewResponsePolicy(true, 2, 100, 1000)
+	if err != nil {
+		t.Fatalf("NewResponsePolicy: %v", err)
+	}
 	var quarantined int
 	for i := 0; i < 4; i++ {
 		d := policy.OnDUE(safeguard.DUEEvent{
