@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench ci fmt vet fuzz-smoke examples-smoke
+.PHONY: all build test bench ci cover fmt vet fuzz-smoke examples-smoke
 
 all: build
 
@@ -10,8 +10,10 @@ build:
 test:
 	$(GO) test ./...
 
+# bench runs the figure/table benchmarks with allocation stats and writes a
+# machine-readable report alongside the human log.
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' .
+	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/bench2json -o BENCH_3.json
 
 vet:
 	$(GO) vet ./...
@@ -39,10 +41,28 @@ examples-smoke:
 		$(GO) run ./$$d > /dev/null || exit 1; \
 	done
 
+# cover gates statement coverage of the observability-critical packages:
+# telemetry feeds every -stats/-trace surface and response drives the DUE
+# pipeline, so regressions there must not land untested.
+COVER_GATE_PKGS := ./internal/telemetry ./internal/response
+COVER_GATE_MIN  := 85
+cover:
+	@$(GO) test -cover $(COVER_GATE_PKGS) | awk -v min=$(COVER_GATE_MIN) ' \
+		{ print } \
+		/coverage:/ { \
+			for (i = 1; i <= NF; i++) if ($$i == "coverage:") { \
+				pct = $$(i+1); sub(/%/, "", pct); \
+				if (pct + 0 < min) { bad = bad "\n  " $$2 " at " pct "% (need " min "%)" } \
+			} \
+		} \
+		END { if (bad != "") { print "coverage gate FAILED:" bad; exit 1 } }'
+
 # ci is the gate: vet, formatting, the full test suite under the race
 # detector (includes the figure-shape regression tests in figures_test.go),
-# a short fuzz pass over every codec, and the example programs.
+# the coverage gate, a short fuzz pass over every codec, and the example
+# programs.
 ci: vet fmt
 	$(GO) test -race ./...
+	$(MAKE) cover
 	$(MAKE) fuzz-smoke
 	$(MAKE) examples-smoke

@@ -1,0 +1,112 @@
+// Command bench2json converts `go test -bench` output into a JSON report.
+// It reads the benchmark log on stdin, echoes it unchanged to stdout (so it
+// sits transparently in a pipe), and writes the parsed results to -o.
+//
+//	go test -bench=. -benchmem -run '^$' . | bench2json -o BENCH_3.json
+//
+// Each benchmark line becomes one record keyed by benchmark name with the
+// iteration count and every unit-tagged measurement (ns/op, B/op,
+// allocs/op, and any b.ReportMetric custom units). Records are sorted by
+// name so the report is deterministic regardless of run order.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result.
+type Record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the file layout: a schema marker plus the sorted records.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Package    string   `json:"pkg,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// parseLine parses one "BenchmarkName-8  N  123 ns/op  ..." line; ok is
+// false for non-benchmark output.
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	name := fields[0]
+	// Trim the -GOMAXPROCS suffix: it is machine configuration, not identity.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	// The rest is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	return rec, true
+}
+
+func main() {
+	out := flag.String("o", "BENCH_3.json", "output JSON path")
+	flag.Parse()
+
+	rep := Report{Schema: "safeguard-bench/1"}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(w, line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Package = strings.TrimPrefix(line, "pkg: ")
+		default:
+			if rec, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, rec)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench2json: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}

@@ -47,6 +47,7 @@ func main() {
 		seed       = flag.Uint64("seed", 7, "simulation seed")
 		mitigation = flag.String("mitigation", "", "in-controller mitigation for -mc (default: sweep the registry)")
 	)
+	tf := cliflags.Telemetry()
 	flag.Parse()
 	if err := cliflags.Exclusive(*all, map[string]bool{
 		"fig2": *fig2, "breakthrough": *brk, "table1": *table1,
@@ -57,6 +58,10 @@ func main() {
 	if _, err := memctrl.NewMitigationPlugin(*mitigation, 4800, 1); err != nil {
 		cliflags.Fail(err)
 	}
+	if err := tf.Activate(); err != nil {
+		cliflags.Fail(err)
+	}
+	defer tf.MustFinish()
 
 	// SIGINT cancels the controller-driven runs; partial results still print.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -145,7 +150,7 @@ func main() {
 		fmt.Println()
 	}
 	if *respond || *all {
-		runRespond(ctx, *seed, *mitigation)
+		runRespond(ctx, *seed, *mitigation, tf)
 	}
 	if *brk || *all {
 		results := experiments.Figure1b(*seed)
@@ -174,7 +179,7 @@ func main() {
 // cycle-level controller, the response engine escalates each hard DUE
 // through retry -> scrub -> retire -> quarantine, and the run ends with
 // the aggressor's rows gated at the controller.
-func runRespond(ctx context.Context, seed uint64, mitigation string) {
+func runRespond(ctx context.Context, seed uint64, mitigation string, tf *cliflags.TelemetryFlags) {
 	cfg := rowhammer.ResponseAttackConfig{
 		Bank: rowhammer.Config{
 			Rows: 64, Threshold: 16, LinesPerRow: 2,
@@ -186,6 +191,8 @@ func runRespond(ctx context.Context, seed uint64, mitigation string) {
 		VictimRows: []int{8, 10},
 		BenignTail: 16,
 		SpareRows:  4,
+		Telemetry:  tf.Registry,
+		Trace:      tf.Tracer,
 	}
 	res, err := rowhammer.RunResponseAttack(ctx, cfg, &rowhammer.DoubleSided{Victim: 8})
 	if err != nil && errors.Is(err, context.Canceled) {

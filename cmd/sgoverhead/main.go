@@ -27,12 +27,17 @@ func main() {
 		birthday = flag.Bool("birthday", false, "print Section IV-B analysis")
 		all      = flag.Bool("all", false, "print everything")
 	)
+	tf := cliflags.Telemetry()
 	flag.Parse()
 	if err := cliflags.Exclusive(*all, map[string]bool{
 		"table5": *table5, "budgets": *budgets, "bounds": *bounds, "birthday": *birthday,
 	}); err != nil {
 		cliflags.Fail(err)
 	}
+	if err := tf.Activate(); err != nil {
+		cliflags.Fail(err)
+	}
+	defer tf.MustFinish()
 
 	// The sections here are analytic and fast, but honor SIGINT between
 	// them like the other commands: print what finished, then stop.
@@ -47,6 +52,7 @@ func main() {
 	}
 
 	if *table5 || *all {
+		tf.Registry.Counter("overhead.sections.table5").Inc()
 		t := report.NewTable("Table V: usable memory capacity (baseline ECC DIMM)",
 			"baseline", "SGX/Synergy-style MAC", "SafeGuard")
 		for _, r := range analysis.StorageOverheadTable(16, 64, 256) {
@@ -61,6 +67,7 @@ func main() {
 		return
 	}
 	if *budgets || *all {
+		tf.Registry.Counter("overhead.sections.budgets").Inc()
 		t := report.NewTable("Per-line ECC bit budgets (64 bits per 64-byte line)",
 			"scheme", "ECC-1", "column parity", "MAC", "chip parity", "symbol code", "total")
 		for _, b := range analysis.ECCBudgets() {
@@ -74,6 +81,7 @@ func main() {
 		return
 	}
 	if *bounds || *all {
+		tf.Registry.Counter("overhead.sections.bounds").Inc()
 		secded, iter, eager := analysis.Section7EBounds()
 		t := report.NewTable("Section VII-E: expected attack time to one MAC escape (one corrupted line per 64ms refresh period)",
 			"design", "MAC", "checks/fault", "expected time")
@@ -88,6 +96,7 @@ func main() {
 		return
 	}
 	if *birthday || *all {
+		tf.Registry.Counter("overhead.sections.birthday").Inc()
 		m := analysis.NewBirthdayModel(64 << 30)
 		fmt.Println("Section IV-B: birthday analysis of independent single-bit faults (64GB memory)")
 		fmt.Printf("  lines: 2^30; faults before a two-fault line: ~%.0f\n", m.FaultsForCollision())

@@ -48,6 +48,7 @@ func main() {
 		threshold  = flag.Int("threshold", 0, "RH-Threshold sizing the mitigation (0 = Table I default)")
 		listNames  = flag.Bool("list-names", false, "print the scheme and mitigation registries and exit")
 	)
+	tf := cliflags.Telemetry()
 	flag.Parse()
 
 	// SIGINT cancels the sweep; completed workloads are still reported.
@@ -108,6 +109,12 @@ func main() {
 	}
 	cfg.Mitigation = *mitigation
 	cfg.RHThreshold = *threshold
+	if err := tf.Activate(); err != nil {
+		cliflags.Fail(err)
+	}
+	defer tf.MustFinish()
+	cfg.Telemetry = tf.Registry
+	cfg.Trace = tf.Tracer
 
 	if len(customSchemes) > 0 {
 		res, err := experiments.RunSchemes(ctx, cfg, customSchemes)

@@ -40,6 +40,7 @@ func main() {
 		scrub   = flag.Float64("scrub", 0, "patrol-scrub interval in hours (0 = off)")
 		retire  = flag.Float64("retire", 0, "row-retirement sweep interval in hours (0 = off)")
 	)
+	tf := cliflags.Telemetry()
 	flag.Parse()
 	if err := cliflags.Exclusive(*all, map[string]bool{
 		"fig6": *fig6, "fig10": *fig10, "matrix": *matrix, "escape": *escape,
@@ -49,9 +50,14 @@ func main() {
 	if *scrub < 0 || *retire < 0 {
 		cliflags.Fail(fmt.Errorf("-scrub and -retire must be >= 0 hours"))
 	}
+	if err := tf.Activate(); err != nil {
+		cliflags.Fail(err)
+	}
+	defer tf.MustFinish()
 	cfg := faultsim.Config{
 		Modules: *modules, Years: 7, FITScale: 1, Seed: *seed,
 		ScrubIntervalHours: *scrub, RetireIntervalHours: *retire,
+		Telemetry: tf.Registry,
 	}
 	if *scrub > 0 || *retire > 0 {
 		fmt.Printf("Lifetime policies: scrub every %gh, retire sweep every %gh (0 = off)\n\n", *scrub, *retire)

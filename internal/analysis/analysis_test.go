@@ -13,6 +13,7 @@ func approx(t *testing.T, got, want, tol float64, what string) {
 }
 
 func TestBirthdaySection4BNumbers(t *testing.T) {
+	t.Parallel()
 	// Paper: 64GB = 2^30 lines; ~32K faults to see a two-fault line; the
 	// probability SECDED beats SafeGuard is 7/8 * 1/32K = 3.51e-5.
 	m := NewBirthdayModel(64 << 30)
@@ -23,6 +24,7 @@ func TestBirthdaySection4BNumbers(t *testing.T) {
 }
 
 func TestBirthdayYearsToTwoFaultLine(t *testing.T) {
+	t.Parallel()
 	// Paper: at 100x FIT, one single-bit fault per ~6 months on 64GB;
 	// two word-distinct faults in one line take "approximately 2,500
 	// years". The exact birthday horizon (sqrt(N) * 8/7 faults at one per
@@ -38,6 +40,7 @@ func TestBirthdayYearsToTwoFaultLine(t *testing.T) {
 }
 
 func TestEscapeModelBasics(t *testing.T) {
+	t.Parallel()
 	e := EscapeModel{MACBits: 1, ChecksPerFault: 1}
 	approx(t, e.EscapeProbabilityPerFault(), 0.5, 1e-12, "1-bit escape")
 	approx(t, e.ExpectedFaultsToEscape(), 2, 1e-12, "1-bit expected faults")
@@ -51,6 +54,7 @@ func TestEscapeModelBasics(t *testing.T) {
 }
 
 func TestSection7EBounds(t *testing.T) {
+	t.Parallel()
 	secded, iter, eager := Section7EBounds()
 	// 46-bit MAC at one fault per 64ms: 2^46 * 0.064s ≈ 142,700 years —
 	// comfortably the paper's "1000+ years".
@@ -70,6 +74,7 @@ func TestSection7EBounds(t *testing.T) {
 }
 
 func TestPermanentChipFailureEscape(t *testing.T) {
+	t.Parallel()
 	// Section V-C: with every access checking faulty data, a 32-bit MAC
 	// falls in ~4 billion accesses — "less than 1 minute" at ~100M
 	// accesses/s.
@@ -83,6 +88,7 @@ func TestPermanentChipFailureEscape(t *testing.T) {
 }
 
 func TestStorageOverheadTableV(t *testing.T) {
+	t.Parallel()
 	rows := StorageOverheadTable(16, 64, 256)
 	want := []StorageRow{
 		{16, 14, 2, 16},
@@ -97,6 +103,7 @@ func TestStorageOverheadTableV(t *testing.T) {
 }
 
 func TestECCBudgetsTile64Bits(t *testing.T) {
+	t.Parallel()
 	for _, b := range ECCBudgets() {
 		if b.Total() != 64 {
 			t.Fatalf("%s uses %d ECC bits, must tile exactly 64", b.Scheme, b.Total())

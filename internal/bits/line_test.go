@@ -15,6 +15,7 @@ func rngLine(r *rand.Rand) Line {
 }
 
 func TestLineBytesRoundTrip(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewPCG(1, 2))
 	for i := 0; i < 100; i++ {
 		l := rngLine(r)
@@ -26,6 +27,7 @@ func TestLineBytesRoundTrip(t *testing.T) {
 }
 
 func TestLineFromBytesPanicsOnWrongSize(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for short slice")
@@ -35,6 +37,7 @@ func TestLineFromBytesPanicsOnWrongSize(t *testing.T) {
 }
 
 func TestBitSetGetFlip(t *testing.T) {
+	t.Parallel()
 	var l Line
 	for _, i := range []int{0, 1, 63, 64, 100, 255, 256, 511} {
 		l = l.SetBit(i, 1)
@@ -59,6 +62,7 @@ func TestBitSetGetFlip(t *testing.T) {
 }
 
 func TestFlipBitsInvolution(t *testing.T) {
+	t.Parallel()
 	f := func(w0, w1, w2, w3, w4, w5, w6, w7 uint64, p0, p1 uint16) bool {
 		l := Line{w0, w1, w2, w3, w4, w5, w6, w7}
 		a, b := int(p0)%LineBits, int(p1)%LineBits
@@ -73,6 +77,7 @@ func TestFlipBitsInvolution(t *testing.T) {
 }
 
 func TestXORProperties(t *testing.T) {
+	t.Parallel()
 	f := func(a0, a1, a2, a3, a4, a5, a6, a7, b0 uint64) bool {
 		a := Line{a0, a1, a2, a3, a4, a5, a6, a7}
 		b := Line{b0, a1 ^ 1, a2, a3, a4, a5, a6, a7}
@@ -84,6 +89,7 @@ func TestXORProperties(t *testing.T) {
 }
 
 func TestWordAccess(t *testing.T) {
+	t.Parallel()
 	var l Line
 	l = l.WithWord(3, 0xDEADBEEF)
 	if l.Word(3) != 0xDEADBEEF {
@@ -95,6 +101,7 @@ func TestWordAccess(t *testing.T) {
 }
 
 func TestNibbleAccess(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewPCG(3, 4))
 	l := rngLine(r)
 	for i := 0; i < 128; i++ {
@@ -123,6 +130,7 @@ func TestNibbleAccess(t *testing.T) {
 }
 
 func TestByteAccess(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewPCG(5, 6))
 	l := rngLine(r)
 	raw := l.Bytes()
@@ -141,6 +149,7 @@ func TestByteAccess(t *testing.T) {
 }
 
 func TestPinSymbolRoundTrip(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewPCG(7, 8))
 	l := rngLine(r)
 	for k := 0; k < 64; k++ {
@@ -158,6 +167,7 @@ func TestPinSymbolRoundTrip(t *testing.T) {
 }
 
 func TestColumnParityReconstructsPin(t *testing.T) {
+	t.Parallel()
 	// Core invariant behind SafeGuard's column-failure recovery: stored
 	// parity XOR the parity of the corrupted line equals the XOR
 	// difference of the corrupted pin symbol.
@@ -177,6 +187,7 @@ func TestColumnParityReconstructsPin(t *testing.T) {
 }
 
 func TestColumnParityIsXOROfPinSymbols(t *testing.T) {
+	t.Parallel()
 	f := func(w0, w1, w2, w3, w4, w5, w6, w7 uint64) bool {
 		l := Line{w0, w1, w2, w3, w4, w5, w6, w7}
 		var acc uint8
@@ -191,6 +202,7 @@ func TestColumnParityIsXOROfPinSymbols(t *testing.T) {
 }
 
 func TestFold64AndParity(t *testing.T) {
+	t.Parallel()
 	l := Line{}
 	if l.Fold64() != 0 || l.Parity() != 0 {
 		t.Fatal("zero line should fold to zero")
@@ -202,6 +214,7 @@ func TestFold64AndParity(t *testing.T) {
 }
 
 func TestStringFormat(t *testing.T) {
+	t.Parallel()
 	var l Line
 	l = l.WithWord(0, 0x1)
 	s := l.String()

@@ -6,6 +6,7 @@ import (
 )
 
 func TestEstimateNeverUnderestimates(t *testing.T) {
+	t.Parallel()
 	// The count-min property BlockHammer's safety rests on: the estimate
 	// is always >= the true insert count.
 	c := NewCounting(1024, 4, 1)
@@ -24,6 +25,7 @@ func TestEstimateNeverUnderestimates(t *testing.T) {
 }
 
 func TestEstimateTightForSparseKeys(t *testing.T) {
+	t.Parallel()
 	// With few keys and a large filter, estimates are exact.
 	c := NewCounting(1<<14, 4, 2)
 	for i := 0; i < 100; i++ {
@@ -39,6 +41,7 @@ func TestEstimateTightForSparseKeys(t *testing.T) {
 }
 
 func TestInsertReturnsEstimate(t *testing.T) {
+	t.Parallel()
 	c := NewCounting(1<<12, 4, 3)
 	for i := uint32(1); i <= 50; i++ {
 		if got := c.Insert(5); got != i {
@@ -48,6 +51,7 @@ func TestInsertReturnsEstimate(t *testing.T) {
 }
 
 func TestClear(t *testing.T) {
+	t.Parallel()
 	c := NewCounting(256, 3, 4)
 	for i := 0; i < 10; i++ {
 		c.Insert(uint64(i))
@@ -61,6 +65,7 @@ func TestClear(t *testing.T) {
 }
 
 func TestCollisionInflationBounded(t *testing.T) {
+	t.Parallel()
 	// Heavy multi-key load: estimates inflate but stay within a small
 	// factor for a reasonably sized filter.
 	c := NewCounting(1<<14, 4, 5)
@@ -85,6 +90,7 @@ func TestCollisionInflationBounded(t *testing.T) {
 }
 
 func TestBadGeometryPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")

@@ -6,6 +6,7 @@ import (
 )
 
 func TestBasicHitMiss(t *testing.T) {
+	t.Parallel()
 	c := New(32<<10, 4) // 128 sets x 4 ways
 	if c.Lookup(100, false) {
 		t.Fatal("empty cache hit")
@@ -20,6 +21,7 @@ func TestBasicHitMiss(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
+	t.Parallel()
 	c := New(64*4*1, 4) // 1 set, 4 ways (4 lines of 64B)
 	for i := uint64(0); i < 4; i++ {
 		c.Fill(i, false)
@@ -38,6 +40,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestDirtyTracking(t *testing.T) {
+	t.Parallel()
 	c := New(64*4, 4)
 	c.Fill(1, false)
 	c.Lookup(1, true) // store marks dirty
@@ -51,6 +54,7 @@ func TestDirtyTracking(t *testing.T) {
 }
 
 func TestFillExistingRefreshes(t *testing.T) {
+	t.Parallel()
 	c := New(64*4, 4)
 	c.Fill(7, false)
 	ev := c.Fill(7, true) // racing fill marks dirty, no eviction
@@ -67,6 +71,7 @@ func TestFillExistingRefreshes(t *testing.T) {
 }
 
 func TestInvalidate(t *testing.T) {
+	t.Parallel()
 	c := New(64*4, 4)
 	c.Fill(3, true)
 	present, dirty := c.Invalidate(3)
@@ -83,6 +88,7 @@ func TestInvalidate(t *testing.T) {
 }
 
 func TestSetIndexingDistributes(t *testing.T) {
+	t.Parallel()
 	c := New(32<<10, 4)
 	// Lines mapping to different sets must not evict each other.
 	for i := uint64(0); i < 128; i++ {
@@ -96,6 +102,7 @@ func TestSetIndexingDistributes(t *testing.T) {
 }
 
 func TestWorkingSetResidency(t *testing.T) {
+	t.Parallel()
 	// A working set smaller than the cache must converge to ~100% hits.
 	c := New(4<<20, 16) // the LLC
 	r := rand.New(rand.NewPCG(1, 1))
@@ -113,6 +120,7 @@ func TestWorkingSetResidency(t *testing.T) {
 }
 
 func TestBadGeometryPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -126,6 +134,7 @@ func TestBadGeometryPanics(t *testing.T) {
 // ---------------------------------------------------------------------------
 
 func TestPrefetcherDetectsAscendingStream(t *testing.T) {
+	t.Parallel()
 	p := NewStreamPrefetcher(4)
 	var got []uint64
 	for i := uint64(1000); i < 1010; i++ {
@@ -140,6 +149,7 @@ func TestPrefetcherDetectsAscendingStream(t *testing.T) {
 }
 
 func TestPrefetcherDetectsDescendingStream(t *testing.T) {
+	t.Parallel()
 	p := NewStreamPrefetcher(2)
 	var got []uint64
 	for i := uint64(2000); i > 1990; i-- {
@@ -151,6 +161,7 @@ func TestPrefetcherDetectsDescendingStream(t *testing.T) {
 }
 
 func TestPrefetcherIgnoresRandom(t *testing.T) {
+	t.Parallel()
 	p := NewStreamPrefetcher(4)
 	r := rand.New(rand.NewPCG(2, 2))
 	issued := 0
@@ -163,6 +174,7 @@ func TestPrefetcherIgnoresRandom(t *testing.T) {
 }
 
 func TestPrefetcherTracksMultipleStreams(t *testing.T) {
+	t.Parallel()
 	p := NewStreamPrefetcher(2)
 	// Interleave two streams in different 4KB regions.
 	var a, b []uint64

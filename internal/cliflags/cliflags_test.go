@@ -6,18 +6,21 @@ import (
 )
 
 func TestExclusiveSingleSelection(t *testing.T) {
+	t.Parallel()
 	if err := Exclusive(false, map[string]bool{"a": true, "b": false}); err != nil {
 		t.Fatalf("single selection rejected: %v", err)
 	}
 }
 
 func TestExclusiveAllAlone(t *testing.T) {
+	t.Parallel()
 	if err := Exclusive(true, map[string]bool{"a": false, "b": false}); err != nil {
 		t.Fatalf("-all alone rejected: %v", err)
 	}
 }
 
 func TestExclusiveNothingSelected(t *testing.T) {
+	t.Parallel()
 	err := Exclusive(false, map[string]bool{"a": false, "b": false})
 	if err == nil {
 		t.Fatal("empty selection must error")
@@ -25,6 +28,7 @@ func TestExclusiveNothingSelected(t *testing.T) {
 }
 
 func TestExclusiveTwoFlags(t *testing.T) {
+	t.Parallel()
 	err := Exclusive(false, map[string]bool{"fig7": true, "fig11": true, "fig12": false})
 	if err == nil {
 		t.Fatal("two selections must error")
@@ -40,6 +44,7 @@ func TestExclusiveTwoFlags(t *testing.T) {
 }
 
 func TestExclusiveAllPlusFlag(t *testing.T) {
+	t.Parallel()
 	err := Exclusive(true, map[string]bool{"a": true, "b": false})
 	if err == nil {
 		t.Fatal("-all combined with a selection must error")

@@ -41,6 +41,7 @@ func run(c *Core, cycles int64) {
 }
 
 func TestNonMemIPCReachesWidth(t *testing.T) {
+	t.Parallel()
 	c := New(&scriptSource{}, &fixedMem{latency: 1})
 	run(c, 1000)
 	ipc := float64(c.Retired) / 1000
@@ -50,6 +51,7 @@ func TestNonMemIPCReachesWidth(t *testing.T) {
 }
 
 func TestLoadLatencyBoundsIPCWhenSerialized(t *testing.T) {
+	t.Parallel()
 	// All-dependent loads: every load waits for the previous one, so
 	// throughput ≈ 1 load per latency.
 	instrs := make([]workload.Instr, 0, 1000)
@@ -66,6 +68,7 @@ func TestLoadLatencyBoundsIPCWhenSerialized(t *testing.T) {
 }
 
 func TestIndependentLoadsOverlap(t *testing.T) {
+	t.Parallel()
 	// Independent loads exploit the ROB: with a 224-entry window and
 	// 50-cycle loads, many are in flight at once.
 	instrs := make([]workload.Instr, 0, 5000)
@@ -82,6 +85,7 @@ func TestIndependentLoadsOverlap(t *testing.T) {
 }
 
 func TestROBLimitsOutstanding(t *testing.T) {
+	t.Parallel()
 	// With a never-completing memory, dispatch must stop at the ROB size.
 	type blackhole struct{ fixedMem }
 	bh := &blackhole{}
@@ -107,6 +111,7 @@ func (b loadBlocker) Load(addr uint64, at int64, complete func(int64)) { *b.coun
 func (b loadBlocker) Store(addr uint64, at int64) bool                 { return true }
 
 func TestStoresDoNotBlockRetirement(t *testing.T) {
+	t.Parallel()
 	instrs := make([]workload.Instr, 0, 600)
 	for i := 0; i < 600; i++ {
 		instrs = append(instrs, workload.Instr{IsStore: true, Addr: uint64(i) * 64})
@@ -123,6 +128,7 @@ func TestStoresDoNotBlockRetirement(t *testing.T) {
 }
 
 func TestDependentLoadWaitsForProducer(t *testing.T) {
+	t.Parallel()
 	// load A (100 cycles), dependent load B: B must not start before A
 	// completes.
 	var starts []int64
@@ -156,6 +162,7 @@ func (m *recordingMem) Load(addr uint64, at int64, complete func(int64)) {
 func (m *recordingMem) Store(addr uint64, at int64) bool { return true }
 
 func TestRetirementIsInOrder(t *testing.T) {
+	t.Parallel()
 	// A slow load followed by fast NOPs: nothing after the load retires
 	// until it completes.
 	instrs := []workload.Instr{{IsLoad: true, Addr: 0}}
@@ -180,6 +187,7 @@ func TestRetirementIsInOrder(t *testing.T) {
 }
 
 func TestCountersTrackMix(t *testing.T) {
+	t.Parallel()
 	p, _ := workload.ByName("gcc")
 	gen := workload.NewGenerator(p, 0, 3)
 	mem := &fixedMem{latency: 5}

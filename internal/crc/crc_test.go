@@ -17,6 +17,7 @@ func randLine(r *rand.Rand) bits.Line {
 }
 
 func TestChecksumDeterministicAndWidthBounded(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewPCG(1, 1))
 	for _, p := range []*Poly{Koopman54, CRC32C} {
 		for i := 0; i < 200; i++ {
@@ -33,6 +34,7 @@ func TestChecksumDeterministicAndWidthBounded(t *testing.T) {
 }
 
 func TestLinearity(t *testing.T) {
+	t.Parallel()
 	// crc(a XOR b) == crc(a) XOR crc(b): the property that makes CRC
 	// forgeable and therefore unsuitable for SafeGuard (Section IV-A).
 	f := func(a0, a1, a2, a3, b0, b1, b2, b3 uint64) bool {
@@ -46,6 +48,7 @@ func TestLinearity(t *testing.T) {
 }
 
 func TestDetectsRandomCorruption(t *testing.T) {
+	t.Parallel()
 	// Against non-adversarial corruption a CRC is a fine detector.
 	r := rand.New(rand.NewPCG(2, 2))
 	for i := 0; i < 2000; i++ {
@@ -63,6 +66,7 @@ func TestDetectsRandomCorruption(t *testing.T) {
 }
 
 func TestForgeryAlwaysSucceeds(t *testing.T) {
+	t.Parallel()
 	// The adversarial break: for ANY chosen error pattern, adjusting the
 	// stored CRC by the pattern's syndrome yields an accepted pair. No
 	// search, no luck — pure linear algebra.
@@ -84,6 +88,7 @@ func TestForgeryAlwaysSucceeds(t *testing.T) {
 }
 
 func TestCRC32CKnownBehaviour(t *testing.T) {
+	t.Parallel()
 	// Sanity: distinct inputs yield distinct checksums at the expected
 	// rate, and the zero line checks to zero (no init/final XOR form).
 	var zero bits.Line
@@ -102,6 +107,7 @@ func TestCRC32CKnownBehaviour(t *testing.T) {
 }
 
 func TestBadWidthPanics(t *testing.T) {
+	t.Parallel()
 	for _, w := range []int{0, 7, 55} {
 		func() {
 			defer func() {

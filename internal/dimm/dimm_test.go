@@ -19,6 +19,7 @@ func randLine(r *rand.Rand) bits.Line {
 }
 
 func TestSerializeRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(w0, w1, w2, w3, w4, w5, w6, w7, meta uint64) bool {
 		l := bits.Line{w0, w1, w2, w3, w4, w5, w6, w7}
 		for _, org := range []Organization{X8, X4} {
@@ -35,6 +36,7 @@ func TestSerializeRoundTrip(t *testing.T) {
 }
 
 func TestGeometry(t *testing.T) {
+	t.Parallel()
 	if X8.Devices() != 9 || X8.Width() != 8 || X8.DataDevices() != 8 {
 		t.Fatal("x8 geometry")
 	}
@@ -44,6 +46,7 @@ func TestGeometry(t *testing.T) {
 }
 
 func TestDataDeviceLaneContent(t *testing.T) {
+	t.Parallel()
 	// Device d of an x8 burst must carry byte d of every word — the
 	// ground-truth layout the ecc injectors assume.
 	r := rand.New(rand.NewPCG(1, 1))
@@ -69,6 +72,7 @@ func TestDataDeviceLaneContent(t *testing.T) {
 }
 
 func TestPinCorruptionMatchesPinSymbolView(t *testing.T) {
+	t.Parallel()
 	// Corrupting pin p of x8 device d on all beats must equal flipping
 	// pin symbol 8d+p in the bits.Line view — the equivalence SafeGuard's
 	// column parity recovery relies on.
@@ -87,6 +91,7 @@ func TestPinCorruptionMatchesPinSymbolView(t *testing.T) {
 }
 
 func TestDeviceCorruptionDetectedBySafeGuard(t *testing.T) {
+	t.Parallel()
 	// Wire-level chip garbage, deserialized and decoded: SafeGuard-
 	// Chipkill corrects any single x4 device failure end to end.
 	var key [16]byte
@@ -117,6 +122,7 @@ func TestDeviceCorruptionDetectedBySafeGuard(t *testing.T) {
 }
 
 func TestMetadataDevices(t *testing.T) {
+	t.Parallel()
 	meta := uint64(0x0123456789ABCDEF)
 	b := Serialize(X8, bits.Line{}, meta)
 	// Device 8 byte per beat.
@@ -137,6 +143,7 @@ func TestMetadataDevices(t *testing.T) {
 }
 
 func TestBeatCorruption(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewPCG(4, 4))
 	l := randLine(r)
 	b := Serialize(X8, l, 0)
@@ -156,6 +163,7 @@ func TestBeatCorruption(t *testing.T) {
 }
 
 func TestOutOfRangePanics(t *testing.T) {
+	t.Parallel()
 	b := Serialize(X8, bits.Line{}, 0)
 	for _, f := range []func(){
 		func() { b.CorruptDevice(9, [Beats]uint8{}) },

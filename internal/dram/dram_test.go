@@ -7,6 +7,7 @@ import (
 )
 
 func TestTable2Geometry(t *testing.T) {
+	t.Parallel()
 	g := Table2Geometry
 	if g.TotalBytes() != 16<<30 {
 		t.Fatalf("capacity %d, want 16GB", g.TotalBytes())
@@ -17,6 +18,7 @@ func TestTable2Geometry(t *testing.T) {
 }
 
 func TestTimingSanity(t *testing.T) {
+	t.Parallel()
 	tm := DDR4_3200()
 	if tm.TRAS < tm.TRCD {
 		t.Fatal("tRAS must cover tRCD")
@@ -34,6 +36,7 @@ func TestTimingSanity(t *testing.T) {
 }
 
 func TestMapperRoundTrip(t *testing.T) {
+	t.Parallel()
 	m := NewMapper(Table2Geometry)
 	lines := Table2Geometry.TotalBytes() / 64
 	f := func(a uint64) bool {
@@ -46,6 +49,7 @@ func TestMapperRoundTrip(t *testing.T) {
 }
 
 func TestMapperBounds(t *testing.T) {
+	t.Parallel()
 	m := NewMapper(Table2Geometry)
 	r := rand.New(rand.NewPCG(1, 1))
 	lines := Table2Geometry.TotalBytes() / 64
@@ -59,6 +63,7 @@ func TestMapperBounds(t *testing.T) {
 }
 
 func TestMapperStreamLocality(t *testing.T) {
+	t.Parallel()
 	// Consecutive lines must walk one row's columns (row-buffer hits).
 	m := NewMapper(Table2Geometry)
 	c0 := m.Decode(0)
@@ -79,6 +84,7 @@ func TestMapperStreamLocality(t *testing.T) {
 }
 
 func TestMapperPanicsOnBadGeometry(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -88,6 +94,7 @@ func TestMapperPanicsOnBadGeometry(t *testing.T) {
 }
 
 func TestGeometryValidate(t *testing.T) {
+	t.Parallel()
 	if err := Table2Geometry.Validate(); err != nil {
 		t.Fatalf("Table II geometry invalid: %v", err)
 	}

@@ -19,6 +19,7 @@ func mustChipkillPolicy(keyed *mac.Keyed, policy CorrectionPolicy, macWidth int)
 }
 
 func TestChipkillCorrectsAnySingleChip(t *testing.T) {
+	t.Parallel()
 	c := NewChipkill()
 	r := rand.New(rand.NewPCG(20, 20))
 	for chip := 0; chip < ChipkillChips; chip++ {
@@ -36,6 +37,7 @@ func TestChipkillCorrectsAnySingleChip(t *testing.T) {
 }
 
 func TestChipkillTwoChipFaultNotDelivered(t *testing.T) {
+	t.Parallel()
 	// Two-chip faults exceed SSC; they are detected or miscorrect (the
 	// ECCploit weakness) but the decode must never return the original.
 	c := NewChipkill()
@@ -63,6 +65,7 @@ func TestChipkillTwoChipFaultNotDelivered(t *testing.T) {
 }
 
 func TestSafeGuardChipkillCorrectsAnySingleChipAllPolicies(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewPCG(22, 22))
 	for _, policy := range []CorrectionPolicy{Iterative, History, Eager} {
 		for chip := 0; chip < ChipkillChips; chip++ {
@@ -90,6 +93,7 @@ func TestSafeGuardChipkillCorrectsAnySingleChipAllPolicies(t *testing.T) {
 }
 
 func TestSafeGuardChipkillEagerSkipsVulnerableCheck(t *testing.T) {
+	t.Parallel()
 	// Section V-D: under a permanent chip failure, Eager performs exactly
 	// one MAC check per read and never checks faulty data, while
 	// Iterative/History check raw faulty data every time.
@@ -136,6 +140,7 @@ func TestSafeGuardChipkillEagerSkipsVulnerableCheck(t *testing.T) {
 }
 
 func TestSafeGuardChipkillEscapeRatioIterativeVsEager(t *testing.T) {
+	t.Parallel()
 	// Section VII-E: with iterative correction each fault incurs up to 18
 	// MAC verifications on faulty data vs 1 for eager — an ~18x escape
 	// exposure gap. Use a 6-bit MAC so escapes are observable.
@@ -170,6 +175,7 @@ func TestSafeGuardChipkillEscapeRatioIterativeVsEager(t *testing.T) {
 }
 
 func TestSafeGuardChipkillMACChipFailure(t *testing.T) {
+	t.Parallel()
 	// The MAC chip itself failing is recovered: its content is rebuilt
 	// from parity and the data verified against the rebuilt MAC.
 	c := NewSafeGuardChipkill(testMAC())
@@ -188,6 +194,7 @@ func TestSafeGuardChipkillMACChipFailure(t *testing.T) {
 }
 
 func TestSafeGuardChipkillTwoChipIsDUE(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewPCG(26, 26))
 	c := NewSafeGuardChipkill(testMAC())
 	for i := 0; i < 300; i++ {
@@ -206,6 +213,7 @@ func TestSafeGuardChipkillTwoChipIsDUE(t *testing.T) {
 }
 
 func TestSafeGuardChipkillRowHammerDetected(t *testing.T) {
+	t.Parallel()
 	c := NewSafeGuardChipkill(testMAC())
 	r := rand.New(rand.NewPCG(27, 27))
 	for i := 0; i < 500; i++ {
@@ -222,6 +230,7 @@ func TestSafeGuardChipkillRowHammerDetected(t *testing.T) {
 }
 
 func TestSafeGuardChipkillSpareLines(t *testing.T) {
+	t.Parallel()
 	// Footnote 2: a line with a single-bit permanent fault is copied into
 	// the controller spares; subsequent reads come from the spare with no
 	// MAC checks against faulty data and no iterative search.
@@ -251,6 +260,7 @@ func TestSafeGuardChipkillSpareLines(t *testing.T) {
 }
 
 func TestSafeGuardChipkillSpareCapacity(t *testing.T) {
+	t.Parallel()
 	c := NewSafeGuardChipkill(testMAC())
 	r := rand.New(rand.NewPCG(29, 29))
 	// Fill beyond capacity; oldest entries must be evicted, map bounded.
@@ -269,6 +279,7 @@ func TestSafeGuardChipkillSpareCapacity(t *testing.T) {
 }
 
 func TestSafeGuardChipkillPingPongDeclaresDUE(t *testing.T) {
+	t.Parallel()
 	// Section V-D: interchangeably failing chips are not a pattern
 	// Chipkill repairs; after several rounds SafeGuard declares DUE.
 	c := mustChipkillPolicy(testMAC(), Eager, mac.WidthChipkill)
@@ -293,6 +304,7 @@ func TestSafeGuardChipkillPingPongDeclaresDUE(t *testing.T) {
 }
 
 func TestSafeGuardChipkillParityLayout(t *testing.T) {
+	t.Parallel()
 	// parity32 must satisfy: XOR of all 17 devices' nibbles per beat
 	// equals the parity nibble.
 	r := rand.New(rand.NewPCG(31, 31))
@@ -312,6 +324,7 @@ func TestSafeGuardChipkillParityLayout(t *testing.T) {
 }
 
 func TestSafeGuardChipkillBadWidthError(t *testing.T) {
+	t.Parallel()
 	for _, width := range []int{-1, 0, 33, 64} {
 		if _, err := NewSafeGuardChipkillPolicy(testMAC(), Eager, width); err == nil {
 			t.Errorf("width %d accepted, want error", width)
@@ -327,6 +340,7 @@ func TestSafeGuardChipkillBadWidthError(t *testing.T) {
 // ---------------------------------------------------------------------------
 
 func TestSGXStyleDetectsBeyondSECDED(t *testing.T) {
+	t.Parallel()
 	k := testMAC()
 	c := NewSGXStyleMAC(k)
 	r := rand.New(rand.NewPCG(32, 32))
@@ -344,6 +358,7 @@ func TestSGXStyleDetectsBeyondSECDED(t *testing.T) {
 }
 
 func TestSGXStyleMACRegionCorruption(t *testing.T) {
+	t.Parallel()
 	// The MAC region lives in DRAM too: corrupting it causes a DUE on an
 	// otherwise clean line (a false alarm, not silent corruption).
 	k := testMAC()
@@ -359,6 +374,7 @@ func TestSGXStyleMACRegionCorruption(t *testing.T) {
 }
 
 func TestSynergyStyleCorrectsChipFailure(t *testing.T) {
+	t.Parallel()
 	k := testMAC()
 	c := NewSynergyStyleMAC(k)
 	r := rand.New(rand.NewPCG(34, 34))
@@ -376,6 +392,7 @@ func TestSynergyStyleCorrectsChipFailure(t *testing.T) {
 }
 
 func TestSynergyStyleDetectsMultiChip(t *testing.T) {
+	t.Parallel()
 	k := testMAC()
 	c := NewSynergyStyleMAC(k)
 	r := rand.New(rand.NewPCG(35, 35))

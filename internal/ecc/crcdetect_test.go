@@ -8,6 +8,7 @@ import (
 )
 
 func TestCRCDetectHandlesNaturalFaults(t *testing.T) {
+	t.Parallel()
 	// Against nature, the CRC layout behaves like the MAC layout: single
 	// bits corrected by ECC-1, multi-bit damage detected.
 	c := NewCRCDetect()
@@ -31,6 +32,7 @@ func TestCRCDetectHandlesNaturalFaults(t *testing.T) {
 }
 
 func TestCRCDetectForgeableByAdversary(t *testing.T) {
+	t.Parallel()
 	// The Section IV-A rejection rationale, demonstrated: an adversary
 	// with arbitrary bit-flip power (Row-Hammer) corrupts the data AND
 	// the metadata so the CRC layout accepts silently — every single
@@ -79,6 +81,7 @@ func TestCRCDetectForgeableByAdversary(t *testing.T) {
 }
 
 func TestCRCDetectMetaLayout(t *testing.T) {
+	t.Parallel()
 	c := NewCRCDetect()
 	if c.MetaBits() != 64 || c.ExtraDataBits() != 0 {
 		t.Fatal("CRC layout must fit the ECC budget")

@@ -8,6 +8,7 @@ import (
 )
 
 func TestSafeGuardSECDEDSingleMetaBit(t *testing.T) {
+	t.Parallel()
 	// A single flipped bit in the 64 ECC bits never corrupts delivered
 	// data. A flip in the MAC/parity fields forces the ECC-1 repair path
 	// (Corrected); a flip in the ECC-1 field itself is benign on the read
@@ -42,6 +43,7 @@ func TestSafeGuardSECDEDSingleMetaBit(t *testing.T) {
 }
 
 func TestSafeGuardSECDEDColumnFaultCorrected(t *testing.T) {
+	t.Parallel()
 	// Section IV-C: with column parity, a pin failure's vertical pattern
 	// is recovered by iterative reconstruction under MAC verification.
 	c := NewSafeGuardSECDED(testMAC())
@@ -62,6 +64,7 @@ func TestSafeGuardSECDEDColumnFaultCorrected(t *testing.T) {
 }
 
 func TestSafeGuardSECDEDNoParityColumnFaultIsDUE(t *testing.T) {
+	t.Parallel()
 	// The Figure 6 ablation: without column parity a multi-bit column
 	// fault is detected but not correctable.
 	c := NewSafeGuardSECDEDNoParity(testMAC())
@@ -82,6 +85,7 @@ func TestSafeGuardSECDEDNoParityColumnFaultIsDUE(t *testing.T) {
 }
 
 func TestSafeGuardSECDEDRowHammerPatternsAreDUE(t *testing.T) {
+	t.Parallel()
 	// The headline property: arbitrary multi-bit flips (breakthrough RH
 	// attacks) are detected, never silently consumed. 46-bit MAC makes
 	// collisions unobservable at test scale.
@@ -105,6 +109,7 @@ func TestSafeGuardSECDEDRowHammerPatternsAreDUE(t *testing.T) {
 }
 
 func TestSafeGuardSECDEDChipFaultsDetected(t *testing.T) {
+	t.Parallel()
 	// Table IV rows word/row/bank/multi-*: SafeGuard detects all chip
 	// fault patterns (DUE), never delivering corrupted data.
 	c := NewSafeGuardSECDED(testMAC())
@@ -123,6 +128,7 @@ func TestSafeGuardSECDEDChipFaultsDetected(t *testing.T) {
 }
 
 func TestSafeGuardSECDEDPermanentColumnFastPath(t *testing.T) {
+	t.Parallel()
 	// Section IV-C: after a few corrections of the same pin, the
 	// controller skips the initial MAC check and pays ~1 MAC check per
 	// read instead of 2+.
@@ -159,6 +165,7 @@ func TestSafeGuardSECDEDPermanentColumnFastPath(t *testing.T) {
 }
 
 func TestSafeGuardSECDEDFirstColumnHitIsExpensive(t *testing.T) {
+	t.Parallel()
 	// Before any history, a column fault costs the raw check + ECC-1
 	// recheck + up to 64 reconstruction checks.
 	c := NewSafeGuardSECDED(testMAC())
@@ -184,6 +191,7 @@ func TestSafeGuardSECDEDFirstColumnHitIsExpensive(t *testing.T) {
 }
 
 func TestSafeGuardSECDEDTableIVMatrix(t *testing.T) {
+	t.Parallel()
 	// Reproduce Table IV for SafeGuard (with column parity): the scheme's
 	// outcome per fault mode. "Detect" = never silent; "Correct" = data
 	// restored.
@@ -235,6 +243,7 @@ func TestSafeGuardSECDEDTableIVMatrix(t *testing.T) {
 }
 
 func TestSafeGuardSECDEDShortMACEscapes(t *testing.T) {
+	t.Parallel()
 	// With a deliberately tiny MAC, corrupted lines do escape at ~1/2^n —
 	// the model behind the Section VII-E analysis. 8-bit MAC: ~1/256 per
 	// faulty check; the iterative column search multiplies exposure.
@@ -267,6 +276,7 @@ func TestSafeGuardSECDEDShortMACEscapes(t *testing.T) {
 }
 
 func TestSafeGuardSECDEDMetaLayout(t *testing.T) {
+	t.Parallel()
 	// 10-bit ECC-1 + 8-bit parity + 46-bit MAC must tile the 64 ECC bits.
 	c := NewSafeGuardSECDED(testMAC())
 	r := rand.New(rand.NewPCG(19, 19))

@@ -41,6 +41,7 @@ func allCodecs() []Codec {
 }
 
 func TestAllCodecsCleanRoundTrip(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewPCG(1, 1))
 	for _, c := range allCodecs() {
 		for i := 0; i < 50; i++ {
@@ -59,6 +60,7 @@ func TestAllCodecsCleanRoundTrip(t *testing.T) {
 }
 
 func TestAllCodecsCorrectSingleBit(t *testing.T) {
+	t.Parallel()
 	// Table IV row "single bit": every scheme corrects a single data-bit
 	// error.
 	r := rand.New(rand.NewPCG(2, 2))
@@ -89,6 +91,7 @@ func TestAllCodecsCorrectSingleBit(t *testing.T) {
 }
 
 func TestAllCodecsMetaBitsWithinECCBudget(t *testing.T) {
+	t.Parallel()
 	for _, c := range allCodecs() {
 		if c.MetaBits() != 64 {
 			t.Fatalf("%s: MetaBits %d, ECC DIMMs provide 64 per line", c.Name(), c.MetaBits())
@@ -97,6 +100,7 @@ func TestAllCodecsMetaBitsWithinECCBudget(t *testing.T) {
 }
 
 func TestStorageOverheadsMatchPaper(t *testing.T) {
+	t.Parallel()
 	// Table V: SGX- and Synergy-style need 12.5% of data memory (64 extra
 	// bits per 512-bit line); SafeGuard and the baselines need none.
 	k := testMAC()
@@ -117,6 +121,7 @@ func TestStorageOverheadsMatchPaper(t *testing.T) {
 // ---------------------------------------------------------------------------
 
 func TestSECDEDCorrectsOneBitPerWord(t *testing.T) {
+	t.Parallel()
 	// Word granularity means up to 8 single-bit errors are correctable if
 	// they land in distinct words.
 	c := NewSECDED()
@@ -137,6 +142,7 @@ func TestSECDEDCorrectsOneBitPerWord(t *testing.T) {
 }
 
 func TestSECDEDDetectsDoubleBitInWord(t *testing.T) {
+	t.Parallel()
 	c := NewSECDED()
 	r := rand.New(rand.NewPCG(4, 4))
 	for i := 0; i < 100; i++ {
@@ -154,6 +160,7 @@ func TestSECDEDDetectsDoubleBitInWord(t *testing.T) {
 }
 
 func TestSECDEDCorrectsColumnFault(t *testing.T) {
+	t.Parallel()
 	// Table IV: SECDED corrects single-column faults (one bit per word).
 	c := NewSECDED()
 	r := rand.New(rand.NewPCG(5, 5))
@@ -173,6 +180,7 @@ func TestSECDEDCorrectsColumnFault(t *testing.T) {
 }
 
 func TestSECDEDWordFaultNotCorrectable(t *testing.T) {
+	t.Parallel()
 	// Table IV: single-word chip faults (8 bits in one word) exceed
 	// SECDED; they must never be delivered as the original data — either
 	// DUE or a silent miscorrection (the asterisk in the paper's table).
@@ -210,6 +218,7 @@ func TestSECDEDWordFaultNotCorrectable(t *testing.T) {
 }
 
 func TestSECDEDChipFaultEscapesArePossible(t *testing.T) {
+	t.Parallel()
 	// The security motivation: whole-chip / multi-bit faults can slip
 	// through word SECDED as miscorrections. Count outcomes.
 	c := NewSECDED()

@@ -16,6 +16,7 @@ func testKeyed() *mac.Keyed {
 }
 
 func TestECCploitDefeatsSECDED(t *testing.T) {
+	t.Parallel()
 	// Case-3 of Section II-E: escalated flips eventually slip past word
 	// SECDED as a silent miscorrection.
 	cfg := DefaultConfig()
@@ -31,6 +32,7 @@ func TestECCploitDefeatsSECDED(t *testing.T) {
 }
 
 func TestECCploitOnlyRaisesDUEUnderSafeGuard(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig()
 	cfg.Bank.Seed = 3
 	out := Run(cfg, ecc.NewSafeGuardSECDED(testKeyed()))
@@ -44,6 +46,7 @@ func TestECCploitOnlyRaisesDUEUnderSafeGuard(t *testing.T) {
 }
 
 func TestTimingChannelExistsUnderBothSchemes(t *testing.T) {
+	t.Parallel()
 	// Section VII-D: SafeGuard does not remove the correction-latency
 	// channel — the early single-bit stage is observable under both
 	// schemes. What changes is where the escalation can go.
@@ -57,6 +60,7 @@ func TestTimingChannelExistsUnderBothSchemes(t *testing.T) {
 }
 
 func TestSafeGuardFlagsEarlierThanSECDEDSilence(t *testing.T) {
+	t.Parallel()
 	// The defender's view: SafeGuard's first DUE arrives no later than
 	// the window where SECDED would have silently served corrupted data.
 	cfg := DefaultConfig()
@@ -71,6 +75,7 @@ func TestSafeGuardFlagsEarlierThanSECDEDSilence(t *testing.T) {
 }
 
 func TestOutcomeString(t *testing.T) {
+	t.Parallel()
 	o := Outcome{Scheme: "x", SilentAtWindow: 1, WindowsRun: 2}
 	if o.String() == "" {
 		t.Fatal("empty render")

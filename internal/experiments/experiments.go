@@ -19,6 +19,7 @@ import (
 	"safeguard/internal/faultsim"
 	"safeguard/internal/mac"
 	"safeguard/internal/sim"
+	"safeguard/internal/telemetry"
 	"safeguard/internal/workload"
 )
 
@@ -45,6 +46,16 @@ type PerfConfig struct {
 	Mitigation string
 	// RHThreshold sizes the mitigation (0 = Table I default).
 	RHThreshold int
+	// Telemetry, when set, aggregates every simulation run's counters.
+	// Each run writes a private registry merged in with commutative
+	// operations, so the sweep total is independent of worker count and
+	// job scheduling.
+	Telemetry *telemetry.Registry
+	// Trace, when set, receives every run's controller command events.
+	// Events from concurrent runs interleave (each still carries its own
+	// run's cycle stamp), so this is a debugging aid, not a deterministic
+	// artifact — use workers=1 for a reproducible stream.
+	Trace *telemetry.Tracer
 }
 
 // QuickPerf is the benchmark-harness preset.
@@ -165,11 +176,21 @@ func runPerf(ctx context.Context, cfg PerfConfig, schemes []sim.Scheme) (PerfRes
 				sc.Seed = j.seed
 				sc.Mitigation = cfg.Mitigation
 				sc.RHThreshold = cfg.RHThreshold
+				if cfg.Telemetry != nil {
+					sc.Telemetry = telemetry.NewRegistry()
+				}
+				sc.Trace = cfg.Trace
 				res, err := sim.NewSystem(sc).RunContext(ctx)
 				if err != nil {
 					errs[w] = fmt.Errorf("experiments: %s/%v/seed%d: %w", names[j.wIdx], j.scheme, j.seed, err)
 					bail.Store(true)
 					continue
+				}
+				if cfg.Telemetry != nil {
+					sc.Telemetry.Counter("experiments.runs").Inc()
+					// Merge is commutative, so concurrent per-run merges
+					// land on the same totals regardless of scheduling.
+					cfg.Telemetry.Merge(sc.Telemetry)
 				}
 				outCh <- out{job: j, ipc: res.HarmonicMeanIPC()}
 			}

@@ -21,6 +21,7 @@ func tinyPerf() PerfConfig {
 }
 
 func TestFigure7Shape(t *testing.T) {
+	t.Parallel()
 	res, err := Figure7(context.Background(), tinyPerf())
 	if err != nil {
 		t.Fatalf("Figure7: %v", err)
@@ -40,6 +41,7 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestFigure12Ordering(t *testing.T) {
+	t.Parallel()
 	// Synergy's extra cost is per-writeback: the LLC must fill during
 	// warm-up so dirty evictions flow in the measured window, hence the
 	// longer budget and the write-heavy workload pair.
@@ -65,6 +67,7 @@ func TestFigure12Ordering(t *testing.T) {
 }
 
 func TestFigure13Monotone(t *testing.T) {
+	t.Parallel()
 	cfg := tinyPerf()
 	cfg.Workloads = []string{"mcf", "omnetpp"}
 	points, err := Figure13(context.Background(), cfg, []int64{8, 80})
@@ -89,6 +92,7 @@ func TestFigure13Monotone(t *testing.T) {
 }
 
 func TestFigure6Quick(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("Monte-Carlo study")
 	}
@@ -114,6 +118,7 @@ func TestFigure6Quick(t *testing.T) {
 }
 
 func TestFigure10Quick(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("Monte-Carlo study")
 	}
@@ -136,6 +141,7 @@ func TestFigure10Quick(t *testing.T) {
 }
 
 func TestTable4Matrix(t *testing.T) {
+	t.Parallel()
 	m := Table4(300, 1)
 	sec, sg := m["SECDED"], m["SafeGuard"]
 	// Both correct single bits.
@@ -170,6 +176,7 @@ func TestTable4Matrix(t *testing.T) {
 }
 
 func TestMeasureEscapes18xGap(t *testing.T) {
+	t.Parallel()
 	iter, err := MeasureEscapes(ecc.Iterative, 6, 4000, 3)
 	if err != nil {
 		t.Fatalf("MeasureEscapes: %v", err)
@@ -189,6 +196,7 @@ func TestMeasureEscapes18xGap(t *testing.T) {
 }
 
 func TestFigure1b(t *testing.T) {
+	t.Parallel()
 	results := Figure1b(7)
 	if len(results) != 4 {
 		t.Fatalf("studies = %d", len(results))
@@ -212,6 +220,7 @@ func TestFigure1b(t *testing.T) {
 }
 
 func TestFigure2(t *testing.T) {
+	t.Parallel()
 	r := Figure2(5)
 	if r.FlipsInNeighbors == 0 {
 		t.Fatal("no flips at threshold")

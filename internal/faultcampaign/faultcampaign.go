@@ -17,6 +17,7 @@ import (
 	"safeguard/internal/mac"
 	"safeguard/internal/memsys"
 	"safeguard/internal/response"
+	"safeguard/internal/telemetry"
 )
 
 // OpKind selects an injection or workload action.
@@ -132,6 +133,13 @@ func goldenLine(addr uint64) bits.Line {
 // mismatches land in Result.Failures so a campaign can report every
 // deviation rather than stopping at the first.
 func Run(s Scenario) (Result, error) {
+	return RunTraced(s, nil, nil)
+}
+
+// RunTraced is Run with telemetry: the replayed datapath and engine are
+// attached to the given registry/tracer (either may be nil), so callers
+// can assert the exact cycle-stamped event sequence a scenario produces.
+func RunTraced(s Scenario, reg *telemetry.Registry, tr *telemetry.Tracer) (Result, error) {
 	rowBytes := s.RowBytes
 	if rowBytes == 0 {
 		rowBytes = 4 * bits.LineBytes
@@ -152,6 +160,8 @@ func Run(s Scenario) (Result, error) {
 	if err := mem.AttachEngine(eng, rowBytes, spare); err != nil {
 		return Result{}, fmt.Errorf("faultcampaign %q: %w", s.Name, err)
 	}
+	mem.AttachTelemetry(reg, tr, nil)
+	eng.AttachTelemetry(reg, tr)
 
 	res := Result{Name: s.Name}
 	for i, op := range s.Ops {

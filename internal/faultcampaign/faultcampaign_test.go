@@ -10,6 +10,7 @@ import (
 // TestBuiltinCampaignsPass replays the four scripted scenarios and
 // requires every expectation to hold exactly.
 func TestBuiltinCampaignsPass(t *testing.T) {
+	t.Parallel()
 	results, err := RunAll(Builtin())
 	if err != nil {
 		t.Fatalf("RunAll: %v", err)
@@ -27,6 +28,7 @@ func TestBuiltinCampaignsPass(t *testing.T) {
 // TestCampaignsDeterministic replays the campaign twice and requires
 // bit-identical traces and stats.
 func TestCampaignsDeterministic(t *testing.T) {
+	t.Parallel()
 	a, err := RunAll(Builtin())
 	if err != nil {
 		t.Fatalf("first run: %v", err)
@@ -43,6 +45,7 @@ func TestCampaignsDeterministic(t *testing.T) {
 // TestMismatchReported corrupts a scenario's expectations and requires
 // the replay to flag every deviation instead of passing silently.
 func TestMismatchReported(t *testing.T) {
+	t.Parallel()
 	s := Builtin()[0] // transient-flip
 	s.Expect = []response.StepKind{response.StepQuarantine}
 	s.ExpectStandingDUEs = 99
@@ -62,6 +65,7 @@ func TestMismatchReported(t *testing.T) {
 // TestMechanicalErrors exercises the error paths that are bugs in the
 // script, not escalation mismatches.
 func TestMechanicalErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := Run(Scenario{
 		Name:   "read-unwritten",
 		Engine: campaignEngine(),
@@ -88,6 +92,7 @@ func TestMechanicalErrors(t *testing.T) {
 // between scrubbing and retirement: a stuck fault survives any number of
 // reads and retries until the region is retired.
 func TestStuckFaultNotScrubbableButRetirable(t *testing.T) {
+	t.Parallel()
 	eng := campaignEngine()
 	eng.RetireThreshold = 4
 	r, err := Run(Scenario{

@@ -1,0 +1,128 @@
+package faultcampaign
+
+import (
+	"testing"
+
+	"safeguard/internal/telemetry"
+)
+
+// The exact cycle-stamped event stream of a builtin scenario is part of the
+// replay contract: same scenario, same events, every run. The sequences are
+// frozen here event-by-event; a change to engine scheduling, memsys hook
+// placement, or tracer encoding must show up as a diff in this test, not as
+// silent drift.
+func TestBuiltinTraceEventSequence(t *testing.T) {
+	t.Parallel()
+	want := map[string][]string{
+		"transient-flip": {
+			"0 DECODE addr=0x0 status=2",
+			"4 REREAD addr=0x0",
+			"4 RESPONSE step=0 addr=0x0 row=0 aux=1",
+			"4 SCRUB addr=0x0",
+			"4 RESPONSE step=1 addr=0x0 row=0 aux=1",
+			"4 DECODE addr=0x0 status=0",
+		},
+		"stuck-chip": {
+			"0 DECODE addr=0x100 status=2",
+			"4 REREAD addr=0x100",
+			"4 RESPONSE step=0 addr=0x100 row=1 aux=1",
+			"4 DECODE addr=0x100 status=2",
+			"8 REREAD addr=0x100",
+			"8 RESPONSE step=0 addr=0x100 row=1 aux=1",
+			"8 RETIRE row=1 ok=1",
+			"8 RESPONSE step=2 addr=0x0 row=1 aux=1",
+			"8 REREAD addr=0x100",
+			"8 SCRUB addr=0x100",
+			"8 RESPONSE step=1 addr=0x100 row=1 aux=1",
+			"8 DECODE addr=0x100 status=0",
+		},
+	}
+	scenarios := map[string]Scenario{}
+	for _, s := range Builtin() {
+		scenarios[s.Name] = s
+	}
+	for name, wantEvents := range want {
+		s, ok := scenarios[name]
+		if !ok {
+			t.Fatalf("builtin scenario %q not found", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			tr := telemetry.NewTracer(0)
+			reg := telemetry.NewRegistry()
+			res, err := RunTraced(s, reg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Passed() {
+				t.Fatalf("scenario failed: %v", res.Failures)
+			}
+			events := tr.Events()
+			if tr.Dropped() != 0 {
+				t.Fatalf("tracer dropped %d events", tr.Dropped())
+			}
+			for i, ev := range events {
+				if i >= len(wantEvents) {
+					break
+				}
+				if got := ev.String(); got != wantEvents[i] {
+					t.Errorf("event %d:\n  got  %s\n  want %s", i, got, wantEvents[i])
+				}
+			}
+			if len(events) != len(wantEvents) {
+				t.Errorf("got %d events, want %d", len(events), len(wantEvents))
+				for i, ev := range events {
+					t.Logf("  [%d] %s", i, ev.String())
+				}
+			}
+			// The registry agrees with the trace: one decode counter tick
+			// per DECODE event.
+			snap := reg.Snapshot()
+			var decodes uint64
+			for _, k := range []string{"memsys.decode.ok", "memsys.decode.corrected", "memsys.decode.due"} {
+				decodes += snap.Counters[k]
+			}
+			var traced uint64
+			for _, ev := range events {
+				if ev.Kind == telemetry.EvDecode {
+					traced++
+				}
+			}
+			if decodes != traced {
+				t.Errorf("decode counters total %d, trace has %d DECODE events", decodes, traced)
+			}
+		})
+	}
+}
+
+// Replaying the same scenario twice must yield bit-identical traces and
+// snapshots — the determinism contract the -trace / -stats flags rely on.
+func TestBuiltinTraceDeterminism(t *testing.T) {
+	t.Parallel()
+	for _, s := range Builtin() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			run := func() ([]telemetry.Event, telemetry.Snapshot) {
+				tr := telemetry.NewTracer(0)
+				reg := telemetry.NewRegistry()
+				if _, err := RunTraced(s, reg, tr); err != nil {
+					t.Fatal(err)
+				}
+				return tr.Events(), reg.Snapshot()
+			}
+			ev1, snap1 := run()
+			ev2, snap2 := run()
+			if len(ev1) != len(ev2) {
+				t.Fatalf("event counts differ: %d vs %d", len(ev1), len(ev2))
+			}
+			for i := range ev1 {
+				if ev1[i] != ev2[i] {
+					t.Fatalf("event %d differs: %s vs %s", i, ev1[i], ev2[i])
+				}
+			}
+			if !snap1.Equal(snap2) {
+				t.Fatal("snapshots differ between identical replays")
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 )
 
 func TestTableIIIRates(t *testing.T) {
+	t.Parallel()
 	// Pin the exact Table III values the paper uses.
 	cases := []struct {
 		mode                 Mode
@@ -32,6 +33,7 @@ func TestTableIIIRates(t *testing.T) {
 }
 
 func TestModuleGeometries(t *testing.T) {
+	t.Parallel()
 	// 16GB x8: 2 ranks x (8 data + 1 ECC) chips of 8Gb.
 	g := X8SECDED16GB
 	if g.Devices() != 18 {
@@ -61,6 +63,7 @@ func TestModuleGeometries(t *testing.T) {
 }
 
 func TestPoissonMean(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewPCG(1, 1))
 	for _, lambda := range []float64{0.01, 0.3, 2.0} {
 		const n = 200000
@@ -79,6 +82,7 @@ func TestPoissonMean(t *testing.T) {
 }
 
 func TestSampleLifetimeRate(t *testing.T) {
+	t.Parallel()
 	// Expected faults per module over 7 years: 66.1 FIT x 18 chips x
 	// 61362h ≈ 0.0730 (multi-rank sampled per position halves its
 	// module-level contribution: 3.7 FIT x 9 positions instead of 18).
@@ -100,6 +104,7 @@ func TestSampleLifetimeRate(t *testing.T) {
 }
 
 func TestSampleLifetimeOrderingAndBounds(t *testing.T) {
+	t.Parallel()
 	s := NewSampler(X4Chipkill16GB, SridharanFITRates, 50) // high rate for coverage
 	rng := rand.New(rand.NewPCG(3, 3))
 	hours := 7 * HoursPerYear
@@ -167,6 +172,7 @@ func checkShape(t *testing.T, f Fault) {
 }
 
 func TestTransientFractionMatchesRates(t *testing.T) {
+	t.Parallel()
 	s := NewSampler(X8SECDED16GB, SridharanFITRates, 100)
 	rng := rand.New(rand.NewPCG(4, 4))
 	hours := 7 * HoursPerYear
@@ -191,6 +197,7 @@ func TestTransientFractionMatchesRates(t *testing.T) {
 }
 
 func TestFITScale(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewPCG(5, 5))
 	hours := 7 * HoursPerYear
 	count := func(scale float64) int {
@@ -209,6 +216,7 @@ func TestFITScale(t *testing.T) {
 }
 
 func TestModeStringsAndSpans(t *testing.T) {
+	t.Parallel()
 	for _, m := range Modes {
 		if m.String() == "" || m.String()[0] == 'f' {
 			t.Fatalf("mode %d badly named: %q", m, m.String())
@@ -227,6 +235,7 @@ func TestModeStringsAndSpans(t *testing.T) {
 }
 
 func TestSamplerGeometryAccessor(t *testing.T) {
+	t.Parallel()
 	s := NewSampler(X8SECDED16GB, SridharanFITRates, 1)
 	if s.Geometry().Devices() != 18 {
 		t.Fatal("geometry accessor")

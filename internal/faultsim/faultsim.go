@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	fm "safeguard/internal/faultmodel"
+	"safeguard/internal/telemetry"
 )
 
 // Config parameterizes a Monte-Carlo lifetime study.
@@ -40,6 +41,11 @@ type Config struct {
 	// spare at the first retire pass after its arrival; from then on new
 	// faults cannot pair with it. Zero disables retirement.
 	RetireIntervalHours float64
+	// Telemetry, when set, receives the study's aggregate counters and the
+	// faults-per-module histogram. Workers accumulate into private
+	// registries merged after the pool drains, so the published numbers
+	// are bit-identical across worker counts.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig mirrors the paper's setup at a tractable default population.
@@ -94,6 +100,9 @@ type partial struct {
 	single, pair int
 	byMode       map[fm.Mode]int
 	modules      int
+	// reg is the worker-private telemetry registry (nil when telemetry is
+	// off); merged into Config.Telemetry after the pool drains.
+	reg *telemetry.Registry
 }
 
 // Run executes the Monte-Carlo study for one scheme.
@@ -147,6 +156,9 @@ func RunContext(ctx context.Context, eval Evaluator, cfg Config) (Result, error)
 			p := &partials[w]
 			p.failedByYear = make([]int, years)
 			p.byMode = make(map[fm.Mode]int)
+			if cfg.Telemetry != nil {
+				p.reg = telemetry.NewRegistry()
+			}
 			for {
 				if bail.Load() || ctx.Err() != nil {
 					return
@@ -181,6 +193,7 @@ func RunContext(ctx context.Context, eval Evaluator, cfg Config) (Result, error)
 		for m, c := range p.byMode {
 			res.FailuresByMode[m] += c
 		}
+		cfg.Telemetry.Merge(p.reg)
 	}
 	if years > 0 {
 		res.Failed = res.FailedByYear[years-1]
@@ -208,12 +221,20 @@ func runBlock(eval Evaluator, sampler *fm.Sampler, cfg Config, b, years int, hou
 	if hi > cfg.Modules {
 		hi = cfg.Modules
 	}
+	modules := p.reg.Counter("faultsim.modules")
+	faulty := p.reg.Counter("faultsim.faulty_modules")
+	failSingle := p.reg.Counter("faultsim.failures.single")
+	failPair := p.reg.Counter("faultsim.failures.pair")
+	perModule := p.reg.Histogram("faultsim.faults_per_module", []int64{0, 1, 2, 4, 8})
 	for m := lo; m < hi; m++ {
 		p.modules++
+		modules.Inc()
 		faults := sampler.SampleLifetime(rng, hours)
+		perModule.Observe(int64(len(faults)))
 		if len(faults) == 0 {
 			continue
 		}
+		faulty.Inc()
 		failH, single, mode := moduleFailure(eval, faults, cfg.ScrubIntervalHours, cfg.RetireIntervalHours)
 		if failH < 0 {
 			continue
@@ -228,8 +249,11 @@ func runBlock(eval Evaluator, sampler *fm.Sampler, cfg Config, b, years int, hou
 		if single {
 			p.single++
 			p.byMode[mode]++
+			failSingle.Inc()
+			p.reg.Counter("faultsim.fail_mode." + mode.String()).Inc()
 		} else {
 			p.pair++
+			failPair.Inc()
 		}
 	}
 	return nil

@@ -27,6 +27,7 @@ func mustRun(t *testing.T, eval Evaluator, cfg Config) Result {
 // ---------------------------------------------------------------------------
 
 func TestSECDEDFatalAlone(t *testing.T) {
+	t.Parallel()
 	e := SECDEDEval{}
 	survivable := []fm.Mode{fm.SingleBit, fm.SingleColumn}
 	fatal := []fm.Mode{fm.SingleWord, fm.SingleRow, fm.SingleBank, fm.MultiBank, fm.MultiRank}
@@ -43,6 +44,7 @@ func TestSECDEDFatalAlone(t *testing.T) {
 }
 
 func TestSECDEDPairGeometry(t *testing.T) {
+	t.Parallel()
 	e := SECDEDEval{}
 	// Two bits, different chips, same word (bank 2, row 7, beat 3:
 	// cols 24..31).
@@ -84,6 +86,7 @@ func TestSECDEDPairGeometry(t *testing.T) {
 }
 
 func TestSafeGuardSECDEDFatalAlone(t *testing.T) {
+	t.Parallel()
 	withParity := SafeGuardSECDEDEval{ColumnParity: true}
 	noParity := SafeGuardSECDEDEval{ColumnParity: false}
 
@@ -109,6 +112,7 @@ func TestSafeGuardSECDEDFatalAlone(t *testing.T) {
 }
 
 func TestSafeGuardSECDEDPairGeometry(t *testing.T) {
+	t.Parallel()
 	e := SafeGuardSECDEDEval{ColumnParity: true}
 	// Two bits in one line (64-column window) but different beats: fatal
 	// for SafeGuard (word-granularity SECDED would have survived this).
@@ -144,6 +148,7 @@ func TestSafeGuardSECDEDPairGeometry(t *testing.T) {
 }
 
 func TestChipkillPairGeometry(t *testing.T) {
+	t.Parallel()
 	e := ChipkillEval{}
 	for _, m := range []fm.Mode{fm.SingleRow, fm.SingleBank, fm.MultiBank, fm.MultiRank} {
 		if e.FatalAlone(fm.Fault{Mode: m}) {
@@ -186,6 +191,7 @@ func TestChipkillPairGeometry(t *testing.T) {
 }
 
 func TestSafeGuardChipkillWindow(t *testing.T) {
+	t.Parallel()
 	e := SafeGuardChipkillEval{}
 	// SafeGuard's line window (32 cols) is wider than Chipkill's beat
 	// pair (8): bits at cols 2 and 30 in different chips collide for
@@ -209,6 +215,7 @@ func mcConfig(modules int) Config {
 }
 
 func TestFigure6Shape(t *testing.T) {
+	t.Parallel()
 	// SafeGuard without column parity fails ~1.25x more often than
 	// SECDED; with column parity the curves are virtually identical
 	// (within a few percent — the residual gap is ECC-chip column faults
@@ -247,6 +254,7 @@ func TestFigure6Shape(t *testing.T) {
 }
 
 func TestFigure10Shape(t *testing.T) {
+	t.Parallel()
 	// SafeGuard-Chipkill tracks Chipkill at 1x and 10x FIT rates.
 	if testing.Short() {
 		t.Skip("Monte-Carlo study")
@@ -272,6 +280,7 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestChipkillFarMoreReliableThanSECDED(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("Monte-Carlo study")
 	}
@@ -284,6 +293,7 @@ func TestChipkillFarMoreReliableThanSECDED(t *testing.T) {
 }
 
 func TestSECDEDFailureRateMatchesAnalyticBound(t *testing.T) {
+	t.Parallel()
 	// SECDED single-fault failures are driven by the fatal modes:
 	// 26.3 FIT/chip x 18 chips x 7y -> P ≈ 1 - exp(-lambda) ≈ 2.86%
 	// (multi-rank counted per position: 22.6x18 + 3.7x9).
@@ -302,6 +312,7 @@ func TestSECDEDFailureRateMatchesAnalyticBound(t *testing.T) {
 }
 
 func TestRunDeterminism(t *testing.T) {
+	t.Parallel()
 	cfg := Config{Modules: 50_000, Years: 7, Seed: 7, Workers: 4}
 	a := mustRun(t, SECDEDEval{}, cfg)
 	b := mustRun(t, SECDEDEval{}, cfg)
@@ -311,6 +322,7 @@ func TestRunDeterminism(t *testing.T) {
 }
 
 func TestRunBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	t.Parallel()
 	// The block-based partitioning ties every module's RNG to its block
 	// index, not to a worker: the same seed must give byte-for-byte the
 	// same result no matter how the work is spread.
@@ -341,6 +353,7 @@ type panicEval struct{ SECDEDEval }
 func (panicEval) FatalAlone(f fm.Fault) bool { panic("evaluator bug") }
 
 func TestWorkerPanicBecomesError(t *testing.T) {
+	t.Parallel()
 	cfg := Config{Modules: 30_000, Years: 7, Seed: 3, Workers: 4, FITScale: 10}
 	if _, err := Run(panicEval{}, cfg); err == nil {
 		t.Fatal("worker panic not surfaced as error")
@@ -348,6 +361,7 @@ func TestWorkerPanicBecomesError(t *testing.T) {
 }
 
 func TestRunContextCancellation(t *testing.T) {
+	t.Parallel()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	res, err := RunContext(ctx, SECDEDEval{}, Config{Modules: 1_000_000, Years: 7, Seed: 5})
@@ -361,6 +375,7 @@ func TestRunContextCancellation(t *testing.T) {
 }
 
 func TestRunAllAndResultHelpers(t *testing.T) {
+	t.Parallel()
 	cfg := Config{Modules: 20_000, Years: 7, Seed: 9}
 	rs, err := RunAll([]Evaluator{SECDEDEval{}, ChipkillEval{}}, cfg)
 	if err != nil {
@@ -379,6 +394,7 @@ func TestRunAllAndResultHelpers(t *testing.T) {
 }
 
 func TestBadConfigError(t *testing.T) {
+	t.Parallel()
 	if _, err := Run(SECDEDEval{}, Config{Modules: 0}); err == nil {
 		t.Fatal("Modules=0 accepted")
 	}
@@ -391,6 +407,7 @@ func TestBadConfigError(t *testing.T) {
 }
 
 func TestScrubbingReducesPairFailures(t *testing.T) {
+	t.Parallel()
 	// Chipkill's failures are all fault pairs; daily patrol scrubbing
 	// removes transient partners before most collisions can form, so its
 	// failure probability must drop substantially.
@@ -418,6 +435,7 @@ func TestScrubbingReducesPairFailures(t *testing.T) {
 }
 
 func TestScrubbingWindowSemantics(t *testing.T) {
+	t.Parallel()
 	// A transient fault is active until the next scrub pass; a partner
 	// arriving inside the window still collides.
 	e := ChipkillEval{}
@@ -443,6 +461,7 @@ func TestScrubbingWindowSemantics(t *testing.T) {
 }
 
 func TestRetirementWindowSemantics(t *testing.T) {
+	t.Parallel()
 	// Retirement closes the pairing window of *permanent* survivable
 	// faults too — the capability scrubbing alone lacks.
 	e := ChipkillEval{}
@@ -470,6 +489,7 @@ func TestRetirementWindowSemantics(t *testing.T) {
 }
 
 func TestRetirementReducesLifetimeFailures(t *testing.T) {
+	t.Parallel()
 	// The acceptance experiment: the same seed (hence the same sampled
 	// fault histories) with retirement+scrubbing on must fail strictly
 	// less often than policy-off, deterministically.

@@ -46,6 +46,7 @@ func testFieldAxioms(t *testing.T, f *Field) {
 }
 
 func TestAssociativityAndDistributivityGF16(t *testing.T) {
+	t.Parallel()
 	f := GF16
 	n := f.Size()
 	for a := 0; a < n; a++ {
@@ -67,6 +68,7 @@ func TestAssociativityAndDistributivityGF16(t *testing.T) {
 }
 
 func TestDistributivityGF256Sampled(t *testing.T) {
+	t.Parallel()
 	f := GF256
 	g := func(a, b, c uint8) bool {
 		l := f.Mul(a, f.Add(b, c))
@@ -81,6 +83,7 @@ func TestDistributivityGF256Sampled(t *testing.T) {
 }
 
 func TestExpLogInverse(t *testing.T) {
+	t.Parallel()
 	for _, f := range []*Field{GF16, GF256} {
 		for a := 1; a < f.Size(); a++ {
 			if f.Exp(f.Log(uint8(a))) != uint8(a) {
@@ -95,6 +98,7 @@ func TestExpLogInverse(t *testing.T) {
 }
 
 func TestPow(t *testing.T) {
+	t.Parallel()
 	f := GF256
 	for a := 1; a < 256; a++ {
 		acc := uint8(1)
@@ -111,6 +115,7 @@ func TestPow(t *testing.T) {
 }
 
 func TestPrimitiveElementGeneratesField(t *testing.T) {
+	t.Parallel()
 	for _, f := range []*Field{GF16, GF256} {
 		seen := make(map[uint8]bool)
 		for i := 0; i < f.Size()-1; i++ {
@@ -123,6 +128,7 @@ func TestPrimitiveElementGeneratesField(t *testing.T) {
 }
 
 func TestNonPrimitivePolynomialPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for non-primitive polynomial")
@@ -132,6 +138,7 @@ func TestNonPrimitivePolynomialPanics(t *testing.T) {
 }
 
 func TestDivByZeroPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")

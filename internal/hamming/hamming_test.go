@@ -11,6 +11,7 @@ import (
 // ---------------------------------------------------------------------------
 
 func TestSECDEDCleanWord(t *testing.T) {
+	t.Parallel()
 	var c SECDED72
 	f := func(w uint64) bool {
 		ecc := c.Encode(w)
@@ -23,6 +24,7 @@ func TestSECDEDCleanWord(t *testing.T) {
 }
 
 func TestSECDEDCorrectsEveryDataBit(t *testing.T) {
+	t.Parallel()
 	var c SECDED72
 	r := rand.New(rand.NewPCG(1, 1))
 	for trial := 0; trial < 20; trial++ {
@@ -38,6 +40,7 @@ func TestSECDEDCorrectsEveryDataBit(t *testing.T) {
 }
 
 func TestSECDEDCorrectsEveryECCBit(t *testing.T) {
+	t.Parallel()
 	var c SECDED72
 	r := rand.New(rand.NewPCG(2, 2))
 	for trial := 0; trial < 20; trial++ {
@@ -53,6 +56,7 @@ func TestSECDEDCorrectsEveryECCBit(t *testing.T) {
 }
 
 func TestSECDEDDetectsEveryDoubleBit(t *testing.T) {
+	t.Parallel()
 	var c SECDED72
 	r := rand.New(rand.NewPCG(3, 3))
 	w := r.Uint64()
@@ -87,6 +91,7 @@ func TestSECDEDDetectsEveryDoubleBit(t *testing.T) {
 }
 
 func TestSECDEDMultiBitBehaviour(t *testing.T) {
+	t.Parallel()
 	// >= 3 bit flips: the real code either detects, corrects to the wrong
 	// word (miscorrection), or — for even-weight patterns that alias to a
 	// zero syndrome — escapes. Assert the decoder never claims Corrected
@@ -132,6 +137,7 @@ func TestSECDEDMultiBitBehaviour(t *testing.T) {
 func safeGuardSEC() *SEC { return NewSEC(566) }
 
 func TestSECCheckBitsMatchPaper(t *testing.T) {
+	t.Parallel()
 	// The paper's ECC-1 for the 64-byte line (plus MAC) uses 10 bits.
 	if got := safeGuardSEC().CheckBits(); got != 10 {
 		t.Fatalf("ECC-1 over 566 bits needs %d check bits, paper says 10", got)
@@ -156,6 +162,7 @@ func randMsg(r *rand.Rand, msgBits int) []uint64 {
 }
 
 func TestSECCleanMessage(t *testing.T) {
+	t.Parallel()
 	s := safeGuardSEC()
 	r := rand.New(rand.NewPCG(5, 5))
 	for i := 0; i < 100; i++ {
@@ -169,6 +176,7 @@ func TestSECCleanMessage(t *testing.T) {
 }
 
 func TestSECCorrectsEveryMessageBit(t *testing.T) {
+	t.Parallel()
 	s := safeGuardSEC()
 	r := rand.New(rand.NewPCG(6, 6))
 	m := randMsg(r, s.MsgBits())
@@ -189,6 +197,7 @@ func TestSECCorrectsEveryMessageBit(t *testing.T) {
 }
 
 func TestSECCorrectsCheckBitErrors(t *testing.T) {
+	t.Parallel()
 	s := safeGuardSEC()
 	r := rand.New(rand.NewPCG(7, 7))
 	m := randMsg(r, s.MsgBits())
@@ -203,6 +212,7 @@ func TestSECCorrectsCheckBitErrors(t *testing.T) {
 }
 
 func TestSECDoubleErrorsNotSilentlyOK(t *testing.T) {
+	t.Parallel()
 	// A pure SEC code miscorrects double errors; it must never report OK.
 	s := safeGuardSEC()
 	r := rand.New(rand.NewPCG(8, 8))
@@ -222,6 +232,7 @@ func TestSECDoubleErrorsNotSilentlyOK(t *testing.T) {
 }
 
 func TestSECGeometryPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -231,6 +242,7 @@ func TestSECGeometryPanics(t *testing.T) {
 }
 
 func TestSECSmallCode(t *testing.T) {
+	t.Parallel()
 	// Hamming(7,4): 4 data bits, 3 check bits.
 	s := NewSEC(4)
 	if s.CheckBits() != 3 {

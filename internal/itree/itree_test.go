@@ -25,6 +25,7 @@ func randLine(r *rand.Rand) bits.Line {
 }
 
 func TestWriteReadRoundTrip(t *testing.T) {
+	t.Parallel()
 	m := NewSecureMemory(500, keyed())
 	if m.Lines() != 512 { // rounded up to a power of 8
 		t.Fatalf("capacity %d, want 512", m.Lines())
@@ -46,6 +47,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 }
 
 func TestDetectsDataTamper(t *testing.T) {
+	t.Parallel()
 	m := NewSecureMemory(64, keyed())
 	r := rand.New(rand.NewPCG(2, 2))
 	m.Write(5, randLine(r))
@@ -56,6 +58,7 @@ func TestDetectsDataTamper(t *testing.T) {
 }
 
 func TestDetectsCounterTamper(t *testing.T) {
+	t.Parallel()
 	m := NewSecureMemory(64, keyed())
 	r := rand.New(rand.NewPCG(3, 3))
 	m.Write(9, randLine(r))
@@ -66,6 +69,7 @@ func TestDetectsCounterTamper(t *testing.T) {
 }
 
 func TestDetectsTreeNodeTamper(t *testing.T) {
+	t.Parallel()
 	m := NewSecureMemory(512, keyed())
 	r := rand.New(rand.NewPCG(4, 4))
 	m.Write(100, randLine(r))
@@ -81,6 +85,7 @@ func TestDetectsTreeNodeTamper(t *testing.T) {
 }
 
 func TestReplayDetected(t *testing.T) {
+	t.Parallel()
 	// The capability SafeGuard deliberately trades away (Section VII-C):
 	// the counter-tree memory detects even a full off-chip replay.
 	m := NewSecureMemory(512, keyed())
@@ -105,6 +110,7 @@ func TestReplayDetected(t *testing.T) {
 }
 
 func TestReplayDeepConsistencyWithoutRoot(t *testing.T) {
+	t.Parallel()
 	// Sanity for the threat analysis: after a deep replay the *off-chip*
 	// state is self-consistent (the detection really does hinge on the
 	// SRAM root), shown by replaying the root too.
@@ -124,6 +130,7 @@ func TestReplayDeepConsistencyWithoutRoot(t *testing.T) {
 }
 
 func TestUnwrittenLinesVerify(t *testing.T) {
+	t.Parallel()
 	m := NewSecureMemory(64, keyed())
 	if _, ok := m.Read(3); !ok {
 		t.Fatal("pristine lines must verify")
@@ -131,6 +138,7 @@ func TestUnwrittenLinesVerify(t *testing.T) {
 }
 
 func TestBadIndexPanics(t *testing.T) {
+	t.Parallel()
 	m := NewSecureMemory(64, keyed())
 	defer func() {
 		if recover() == nil {
@@ -145,6 +153,7 @@ func TestBadIndexPanics(t *testing.T) {
 // ---------------------------------------------------------------------------
 
 func TestTrafficLevels(t *testing.T) {
+	t.Parallel()
 	// 16GB = 2^28 lines: counters + ceil(log8(2^28/8)) internal levels.
 	tm := NewTrafficModel(1<<40, 1<<28, 32<<10)
 	if tm.Levels() < 9 || tm.Levels() > 11 {
@@ -153,6 +162,7 @@ func TestTrafficLevels(t *testing.T) {
 }
 
 func TestTrafficColdVsWarm(t *testing.T) {
+	t.Parallel()
 	tm := NewTrafficModel(1<<40, 1<<28, 32<<10)
 	cold, _ := tm.OnAccess(12345, false)
 	if len(cold) != tm.Levels() {
@@ -170,6 +180,7 @@ func TestTrafficColdVsWarm(t *testing.T) {
 }
 
 func TestTrafficLocalityCutsMisses(t *testing.T) {
+	t.Parallel()
 	// Streaming accesses amortize metadata: the per-access DRAM cost is
 	// far below the tree depth.
 	tm := NewTrafficModel(1<<40, 1<<28, 32<<10)
@@ -197,6 +208,7 @@ func TestTrafficLocalityCutsMisses(t *testing.T) {
 }
 
 func TestTrafficStats(t *testing.T) {
+	t.Parallel()
 	tm := NewTrafficModel(0, 1<<20, 4<<10)
 	tm.OnAccess(0, true)
 	if tm.Accesses == 0 || tm.MissRate() == 0 {
@@ -205,6 +217,7 @@ func TestTrafficStats(t *testing.T) {
 }
 
 func TestTrafficDirtyCounterWritebacks(t *testing.T) {
+	t.Parallel()
 	// Dirty counter lines displaced from a tiny metadata cache come back
 	// as writebacks.
 	tm := NewTrafficModel(0, 1<<20, 1<<9) // 8-line cache

@@ -25,6 +25,7 @@ func randLine(r *rand.Rand) bits.Line {
 }
 
 func TestMACDeterministic(t *testing.T) {
+	t.Parallel()
 	k := testKey()
 	r := rand.New(rand.NewPCG(1, 1))
 	for i := 0; i < 100; i++ {
@@ -37,6 +38,7 @@ func TestMACDeterministic(t *testing.T) {
 }
 
 func TestMACDetectsSingleBitFlips(t *testing.T) {
+	t.Parallel()
 	k := testKey()
 	r := rand.New(rand.NewPCG(2, 2))
 	l := randLine(r)
@@ -49,6 +51,7 @@ func TestMACDetectsSingleBitFlips(t *testing.T) {
 }
 
 func TestMACDetectsMultiBitFlips(t *testing.T) {
+	t.Parallel()
 	// Row-Hammer style patterns: arbitrary multi-bit flips must change the
 	// MAC (with overwhelming probability; any equality here at 46 bits
 	// would indicate a structural flaw, not bad luck).
@@ -73,6 +76,7 @@ func TestMACDetectsMultiBitFlips(t *testing.T) {
 }
 
 func TestMACAddressDependence(t *testing.T) {
+	t.Parallel()
 	// The same data at different addresses must have different MACs:
 	// this is what blocks an attacker from copying a valid (data, MAC)
 	// pair between lines.
@@ -90,6 +94,7 @@ func TestMACAddressDependence(t *testing.T) {
 }
 
 func TestMACKeyDependence(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewPCG(5, 5))
 	k1 := NewRandomKeyed(r)
 	k2 := NewRandomKeyed(r)
@@ -100,6 +105,7 @@ func TestMACKeyDependence(t *testing.T) {
 }
 
 func TestWordPermutationChangesMAC(t *testing.T) {
+	t.Parallel()
 	// Because each word is encrypted under a word-indexed tweak, swapping
 	// two words of the line must change the MAC even though the XOR fold
 	// is order-insensitive.
@@ -118,6 +124,7 @@ func TestWordPermutationChangesMAC(t *testing.T) {
 }
 
 func TestTruncate(t *testing.T) {
+	t.Parallel()
 	if Truncate(0xFFFFFFFFFFFFFFFF, 32) != 0xFFFFFFFF {
 		t.Fatal("32-bit truncation wrong")
 	}
@@ -136,6 +143,7 @@ func TestTruncate(t *testing.T) {
 }
 
 func TestEscapeProbability(t *testing.T) {
+	t.Parallel()
 	if got := EscapeProbability(1); got != 0.5 {
 		t.Fatalf("P(escape 1-bit) = %v", got)
 	}
@@ -148,6 +156,7 @@ func TestEscapeProbability(t *testing.T) {
 }
 
 func TestEscapeRateMatchesTruncationEmpirically(t *testing.T) {
+	t.Parallel()
 	// With a very short MAC (8 bits) corrupted data should escape at
 	// ~1/256. This validates the 1/2^n model that the paper's Section
 	// VII-E security bounds rest on.
@@ -180,6 +189,7 @@ func TestEscapeRateMatchesTruncationEmpirically(t *testing.T) {
 }
 
 func TestMACWidthConstants(t *testing.T) {
+	t.Parallel()
 	// Paper Section IV: 64 ECC bits = 10 ECC-1 + 8 column parity + 46 MAC;
 	// without column parity, 54-bit MAC. Chipkill: one x4 chip = 32 bits.
 	if WidthSECDED != 64-10-8 {

@@ -129,6 +129,8 @@ type Controller struct {
 
 	now int64
 
+	tel ctrlTelemetry
+
 	Stats Stats
 }
 
@@ -175,6 +177,7 @@ func (c *Controller) CanAcceptWrite() bool { return len(c.writeQ) < WriteQueueSi
 func (c *Controller) EnqueueRead(lineAddr uint64, callback func(mcDone int64)) bool {
 	if len(c.readQ) >= ReadQueueSize {
 		c.Stats.ReadQueueFullEvents++
+		c.tel.queueFull.Inc()
 		return false
 	}
 	// Forward from a queued write to the same line: the controller holds
@@ -187,6 +190,7 @@ func (c *Controller) EnqueueRead(lineAddr uint64, callback func(mcDone int64)) b
 			}})
 			c.Stats.Reads++
 			c.Stats.SumReadLatencyMC++
+			c.onReadComplete(1)
 			return true
 		}
 	}
@@ -196,6 +200,8 @@ func (c *Controller) EnqueueRead(lineAddr uint64, callback func(mcDone int64)) b
 	if d := len(c.readQ); d > c.Stats.MaxReadQueueDepth {
 		c.Stats.MaxReadQueueDepth = d
 	}
+	c.tel.readDepth.Observe(int64(len(c.readQ)))
+	c.tel.maxDepth.SetMax(float64(c.Stats.MaxReadQueueDepth))
 	return true
 }
 
@@ -212,6 +218,7 @@ func (c *Controller) EnqueueWrite(lineAddr uint64) bool {
 	r := &request{lineAddr: lineAddr, coord: c.mapper.Decode(lineAddr), enqueued: c.now, write: true}
 	r.remapped = c.applyRemap(&r.coord)
 	c.writeQ = append(c.writeQ, r)
+	c.tel.writeDepth.Observe(int64(len(c.writeQ)))
 	return true
 }
 
@@ -323,8 +330,10 @@ func (c *Controller) schedule(queue []*request) {
 			// found the row open is a hit.
 			if r.actIssued {
 				c.Stats.RowMisses++
+				c.tel.rowMisses.Inc()
 			} else {
 				c.Stats.RowHits++
+				c.tel.rowHits.Inc()
 			}
 			return
 		}
@@ -445,6 +454,7 @@ func (c *Controller) issueColumn(r *request, bank *bankState) {
 		done += c.RemapPenalty
 	}
 	c.Stats.SumReadLatencyMC += done - r.enqueued
+	c.onReadComplete(done - r.enqueued)
 	c.completions = append(c.completions, pendingCompletion{at: done, req: r})
 	c.dispatch(CmdRD, r.coord.Rank, r.coord.Bank, r.coord.Row)
 }

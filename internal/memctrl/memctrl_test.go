@@ -22,6 +22,7 @@ func runUntil(c *Controller, bound int64, pred func() bool) bool {
 }
 
 func TestColdReadLatency(t *testing.T) {
+	t.Parallel()
 	// A single read to a closed bank costs ACT(tRCD) + RD(tCL) + burst:
 	// 22 + 22 + 4 = 48 MC cycles, plus a scheduling cycle or two.
 	c := newCtl()
@@ -41,6 +42,7 @@ func TestColdReadLatency(t *testing.T) {
 }
 
 func TestRowHitLatency(t *testing.T) {
+	t.Parallel()
 	// The second read to an open row skips ACT: ~tCL + burst later.
 	c := newCtl()
 	var d1, d2 int64 = -1, -1
@@ -61,6 +63,7 @@ func TestRowHitLatency(t *testing.T) {
 }
 
 func TestRowConflictCostsPrecharge(t *testing.T) {
+	t.Parallel()
 	m := dram.NewMapper(dram.Table2Geometry)
 	c := newCtl()
 	sameBankOtherRow := m.Encode(dram.Coord{Rank: 0, Bank: 0, Row: 1, Col: 0})
@@ -74,6 +77,7 @@ func TestRowConflictCostsPrecharge(t *testing.T) {
 }
 
 func TestBankParallelism(t *testing.T) {
+	t.Parallel()
 	// Reads to different banks overlap: 4 reads to 4 banks complete far
 	// sooner than 4x the cold latency.
 	m := dram.NewMapper(dram.Table2Geometry)
@@ -94,6 +98,7 @@ func TestBankParallelism(t *testing.T) {
 }
 
 func TestWriteDrainWatermarks(t *testing.T) {
+	t.Parallel()
 	c := newCtl()
 	// Fill the write queue past the high watermark; ticks must drain it
 	// below the low watermark before reads resume priority.
@@ -112,6 +117,7 @@ func TestWriteDrainWatermarks(t *testing.T) {
 }
 
 func TestWriteCoalescing(t *testing.T) {
+	t.Parallel()
 	c := newCtl()
 	c.EnqueueWrite(64)
 	c.EnqueueWrite(64)
@@ -121,6 +127,7 @@ func TestWriteCoalescing(t *testing.T) {
 }
 
 func TestReadForwardsFromWriteQueue(t *testing.T) {
+	t.Parallel()
 	c := newCtl()
 	c.EnqueueWrite(64)
 	var done int64 = -1
@@ -132,6 +139,7 @@ func TestReadForwardsFromWriteQueue(t *testing.T) {
 }
 
 func TestQueueCapacity(t *testing.T) {
+	t.Parallel()
 	c := newCtl()
 	for i := 0; i < ReadQueueSize; i++ {
 		if !c.EnqueueRead(uint64(i*8192*128), func(int64) {}) {
@@ -147,6 +155,7 @@ func TestQueueCapacity(t *testing.T) {
 }
 
 func TestRefreshHappens(t *testing.T) {
+	t.Parallel()
 	c := newCtl()
 	for i := int64(0); i < int64(dram.DDR4_3200().TREFI)*3; i++ {
 		c.Tick()
@@ -158,6 +167,7 @@ func TestRefreshHappens(t *testing.T) {
 }
 
 func TestRefreshDelaysReads(t *testing.T) {
+	t.Parallel()
 	// A read arriving during tRFC waits for the rank to recover. With
 	// staggered refresh, rank 0 (line address 0) first refreshes at
 	// tREFI/2.
@@ -179,6 +189,7 @@ func TestRefreshDelaysReads(t *testing.T) {
 }
 
 func TestThroughputApproachesBusLimit(t *testing.T) {
+	t.Parallel()
 	// A long row-hit stream should keep the data bus nearly saturated:
 	// one burst per tCCD.
 	c := newCtl()
@@ -212,6 +223,7 @@ func TestThroughputApproachesBusLimit(t *testing.T) {
 }
 
 func TestNoStarvationUnderMixedLoad(t *testing.T) {
+	t.Parallel()
 	// Interleaved reads and writes across rows must all finish.
 	c := newCtl()
 	m := dram.NewMapper(dram.Table2Geometry)

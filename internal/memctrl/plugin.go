@@ -136,6 +136,7 @@ func (c *Controller) EnqueueVRR(rank, bank, row int) bool {
 	}
 	if len(c.vrrQ) >= vrrQueueSize {
 		c.Stats.VRRDrops++
+		c.tel.vrrDrops.Inc()
 		return false
 	}
 	c.vrrQ = append(c.vrrQ, vrrReq{rank: rank, bank: bank, row: row})
@@ -147,6 +148,7 @@ func (c *Controller) PendingVRRs() int { return len(c.vrrQ) }
 
 // dispatch notifies every plugin of an issued command.
 func (c *Controller) dispatch(cmd Command, rank, bank, row int) {
+	c.onDispatch(cmd, rank, bank, row)
 	for _, p := range c.plugins {
 		p.OnCommand(cmd, rank, bank, row, c.now)
 	}
@@ -157,6 +159,7 @@ func (c *Controller) dispatch(cmd Command, rank, bank, row int) {
 func (c *Controller) allowAct(rank, bank, row int) bool {
 	for _, g := range c.gates {
 		if !g.AllowAct(rank, bank, row, c.now) {
+			c.onActDenied(rank, bank, row)
 			return false
 		}
 	}

@@ -42,6 +42,7 @@ func runUntilIdle(t *testing.T, c *Controller, maxCycles int64) {
 }
 
 func TestCommandStrings(t *testing.T) {
+	t.Parallel()
 	want := map[Command]string{CmdACT: "ACT", CmdRD: "RD", CmdWR: "WR", CmdREF: "REF", CmdVRR: "VRR"}
 	for cmd, name := range want {
 		if cmd.String() != name {
@@ -57,6 +58,7 @@ func TestCommandStrings(t *testing.T) {
 // command reaches both, in attach order, and that the per-command stream
 // is the expected ACT-then-RD sequence for a cold read.
 func TestPluginDispatchOrdering(t *testing.T) {
+	t.Parallel()
 	c := newPluggedController()
 	var log []string
 	c.AttachPlugin(&recorder{id: "A", log: &log})
@@ -80,6 +82,7 @@ func TestPluginDispatchOrdering(t *testing.T) {
 }
 
 func TestPluginSeesWritesAndRefreshes(t *testing.T) {
+	t.Parallel()
 	c := newPluggedController()
 	var log []string
 	c.AttachPlugin(&recorder{id: "A", log: &log})
@@ -115,6 +118,7 @@ func TestPluginSeesWritesAndRefreshes(t *testing.T) {
 }
 
 func TestOnTickFiresEveryCycle(t *testing.T) {
+	t.Parallel()
 	c := newPluggedController()
 	var log []string
 	r := &recorder{id: "A", log: &log}
@@ -133,6 +137,7 @@ func TestOnTickFiresEveryCycle(t *testing.T) {
 // TestVRRHonorsBankTiming enqueues two VRRs to one bank: the second must
 // wait out the first's tRAS+tRP bank occupancy.
 func TestVRRHonorsBankTiming(t *testing.T) {
+	t.Parallel()
 	c := newPluggedController()
 	var log []string
 	c.AttachPlugin(&recorder{id: "A", log: &log})
@@ -161,6 +166,7 @@ func TestVRRHonorsBankTiming(t *testing.T) {
 // TestVRRClosesOpenRow checks a VRR to a bank holding an open row first
 // precharges it: the victim refresh can never target an open row.
 func TestVRRClosesOpenRow(t *testing.T) {
+	t.Parallel()
 	c := newPluggedController()
 	var vrrAt int64
 	c.AttachPlugin(pluginFunc(func(cmd Command, rank, bank, row int, cycle int64) {
@@ -188,6 +194,7 @@ func TestVRRClosesOpenRow(t *testing.T) {
 }
 
 func TestVRRRejectsBadCoordinates(t *testing.T) {
+	t.Parallel()
 	c := newPluggedController()
 	cases := [][3]int{
 		{-1, 0, 0}, {2, 0, 0}, {0, -1, 0}, {0, 16, 0}, {0, 0, -1}, {0, 0, 65536},
@@ -203,6 +210,7 @@ func TestVRRRejectsBadCoordinates(t *testing.T) {
 }
 
 func TestVRRQueueOverflowDrops(t *testing.T) {
+	t.Parallel()
 	c := newPluggedController()
 	for i := 0; i < vrrQueueSize; i++ {
 		if !c.EnqueueVRR(0, i%16, i) {
@@ -220,6 +228,7 @@ func TestVRRQueueOverflowDrops(t *testing.T) {
 // TestActGateThrottlesRow blocks ACTs to one row and checks the request
 // stalls while another bank's traffic proceeds.
 func TestActGateThrottlesRow(t *testing.T) {
+	t.Parallel()
 	c := newPluggedController()
 	blockedRow := 42
 	c.AttachPlugin(&gatePlugin{deny: func(rank, bank, row int) bool { return row == blockedRow }})
@@ -239,6 +248,7 @@ func TestActGateThrottlesRow(t *testing.T) {
 }
 
 func TestRegistryRoundTrip(t *testing.T) {
+	t.Parallel()
 	for _, name := range MitigationNames() {
 		p, err := NewMitigationPlugin(name, 4800, 1)
 		if err != nil {
@@ -260,6 +270,7 @@ func TestRegistryRoundTrip(t *testing.T) {
 }
 
 func TestAttachNilPluginIsNoop(t *testing.T) {
+	t.Parallel()
 	c := newPluggedController()
 	c.AttachPlugin(nil)
 	if len(c.Plugins()) != 0 {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"safeguard/internal/dram"
+	"safeguard/internal/telemetry"
 )
 
 // DefaultRemapPenalty is the extra MC cycles a remapped access pays for
@@ -76,6 +77,10 @@ func (c *Controller) RetireRow(rank, bank, row int) (int, error) {
 	c.spareUsed[rank][bank] = used + 1
 	c.remap[key] = spare
 	c.Stats.RowsRetired++
+	c.tel.retired.Inc()
+	c.tel.trace.Emit(telemetry.Event{
+		Cycle: c.now, Kind: telemetry.EvRetire, Rank: rank, Bank: bank, Row: row, Arg: 1,
+	})
 	// The physical row closes: whatever was open there is gone after the
 	// copy-out to the spare.
 	if bank < len(c.banks[rank]) && c.banks[rank][bank].openRow == row {
@@ -102,5 +107,6 @@ func (c *Controller) applyRemap(coord *dram.Coord) bool {
 	}
 	coord.Row = spare
 	c.Stats.RemapHits++
+	c.tel.remapHits.Inc()
 	return true
 }

@@ -23,6 +23,7 @@ func drainReads(t *testing.T, c *Controller, budget int) {
 }
 
 func TestRetireRowRemapsToSpareRegion(t *testing.T) {
+	t.Parallel()
 	g := smallGeom()
 	c := New(g, dram.DDR4_3200())
 	if err := c.ReserveSpareRows(4); err != nil {
@@ -54,6 +55,7 @@ func TestRetireRowRemapsToSpareRegion(t *testing.T) {
 }
 
 func TestRetireRowErrors(t *testing.T) {
+	t.Parallel()
 	g := smallGeom()
 	c := New(g, dram.DDR4_3200())
 	if _, err := c.RetireRow(0, 0, 1); err == nil {
@@ -87,6 +89,7 @@ func TestRetireRowErrors(t *testing.T) {
 }
 
 func TestRemappedReadPaysPenalty(t *testing.T) {
+	t.Parallel()
 	g := smallGeom()
 	mapper := dram.NewMapper(g)
 	coord := dram.Coord{Rank: 0, Bank: 1, Row: 5, Col: 0}
@@ -120,6 +123,7 @@ func TestRemappedReadPaysPenalty(t *testing.T) {
 }
 
 func TestQuarantineGateStallsRow(t *testing.T) {
+	t.Parallel()
 	g := smallGeom()
 	mapper := dram.NewMapper(g)
 	gated := mapper.Encode(dram.Coord{Rank: 0, Bank: 0, Row: 3})

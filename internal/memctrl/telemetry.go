@@ -1,0 +1,111 @@
+// Controller telemetry: the memctrl half of the unified observability
+// layer. AttachTelemetry resolves named instruments once, up front; the
+// per-cycle paths then touch only pre-resolved handles, which are free
+// no-ops when telemetry is disabled (nil registry/tracer). DESIGN.md's
+// "Telemetry" section documents the metric and event taxonomy.
+package memctrl
+
+import (
+	"safeguard/internal/telemetry"
+)
+
+// ctrlTelemetry holds the controller's pre-resolved instrument handles.
+// The zero value (all nil) is the disabled state.
+type ctrlTelemetry struct {
+	trace *telemetry.Tracer
+
+	cmds       [5]*telemetry.Counter // indexed by Command
+	actDenied  *telemetry.Counter
+	queueFull  *telemetry.Counter
+	vrrDrops   *telemetry.Counter
+	rowHits    *telemetry.Counter
+	rowMisses  *telemetry.Counter
+	retired    *telemetry.Counter
+	remapHits  *telemetry.Counter
+	readLat    *telemetry.Histogram
+	readDepth  *telemetry.Histogram
+	writeDepth *telemetry.Histogram
+	maxDepth   *telemetry.Gauge
+}
+
+// AttachTelemetry wires the controller to a registry and tracer (either
+// may be nil). Counters and histograms are registered under the
+// "memctrl." prefix; every issued DRAM command, ActGate denial, and read
+// completion is traced/counted from then on.
+func (c *Controller) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	c.tel = ctrlTelemetry{
+		trace:      tr,
+		actDenied:  reg.Counter("memctrl.act_denied"),
+		queueFull:  reg.Counter("memctrl.read_queue_full"),
+		vrrDrops:   reg.Counter("memctrl.vrr_drops"),
+		rowHits:    reg.Counter("memctrl.row_hits"),
+		rowMisses:  reg.Counter("memctrl.row_misses"),
+		retired:    reg.Counter("memctrl.rows_retired"),
+		remapHits:  reg.Counter("memctrl.remap_hits"),
+		readLat:    reg.Histogram("memctrl.read_latency_mc", telemetry.DefaultLatencyBounds()),
+		readDepth:  reg.Histogram("memctrl.read_queue_depth", queueDepthBounds()),
+		writeDepth: reg.Histogram("memctrl.write_queue_depth", queueDepthBounds()),
+		maxDepth:   reg.Gauge("memctrl.read_queue_depth_max"),
+	}
+	for cmd := CmdACT; cmd <= CmdVRR; cmd++ {
+		c.tel.cmds[cmd] = reg.Counter("memctrl.cmd." + cmd.String())
+	}
+}
+
+// queueDepthBounds buckets queue occupancy against the Table II capacity.
+func queueDepthBounds() []int64 {
+	return []int64{0, 4, 8, 16, 32, 48, 64}
+}
+
+// cmdEventKind maps a DRAM command class to its trace-event kind.
+func cmdEventKind(cmd Command) telemetry.EventKind {
+	switch cmd {
+	case CmdACT:
+		return telemetry.EvACT
+	case CmdRD:
+		return telemetry.EvRD
+	case CmdWR:
+		return telemetry.EvWR
+	case CmdREF:
+		return telemetry.EvREF
+	default:
+		return telemetry.EvVRR
+	}
+}
+
+// onDispatch records one issued command. Called from dispatch() on the
+// hot path; every branch is a nil-check no-op when telemetry is off.
+func (c *Controller) onDispatch(cmd Command, rank, bank, row int) {
+	c.tel.cmds[cmd].Inc()
+	c.tel.trace.Emit(telemetry.Event{
+		Cycle: c.now, Kind: cmdEventKind(cmd), Rank: rank, Bank: bank, Row: row,
+	})
+}
+
+// onActDenied records an ActGate denial (throttling/quarantine at work).
+func (c *Controller) onActDenied(rank, bank, row int) {
+	c.tel.actDenied.Inc()
+	c.tel.trace.Emit(telemetry.Event{
+		Cycle: c.now, Kind: telemetry.EvActDenied, Rank: rank, Bank: bank, Row: row,
+	})
+}
+
+// onReadComplete records one read's enqueue-to-data latency.
+func (c *Controller) onReadComplete(latency int64) {
+	c.tel.readLat.Observe(latency)
+}
+
+// PublishPluginStats writes a drained plugin-stat map into the registry
+// as gauges named "plugin.<plugin>.<key>" — the bridge between the
+// Plugin.DrainStats contract and the unified registry. Nil-safe on both
+// sides.
+func PublishPluginStats(reg *telemetry.Registry, stats map[string]PluginStats) {
+	if reg == nil {
+		return
+	}
+	for name, ps := range stats {
+		for k, v := range ps {
+			reg.Gauge("plugin." + name + "." + k).Set(v)
+		}
+	}
+}

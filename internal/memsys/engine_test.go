@@ -32,6 +32,7 @@ func attach(t *testing.T, m *Memory, cfg response.EngineConfig, spareRows int) *
 }
 
 func TestAttachEngineRejectsBadRowBytes(t *testing.T) {
+	t.Parallel()
 	m := New(sgCodec())
 	e, err := response.NewEngine(response.DefaultEngineConfig())
 	if err != nil {
@@ -46,6 +47,7 @@ func TestAttachEngineRejectsBadRowBytes(t *testing.T) {
 }
 
 func TestTransientFaultExpiresByReadCount(t *testing.T) {
+	t.Parallel()
 	m := New(sgCodec())
 	line := bits.Line{0xDEAD}
 	m.Write(0, line)
@@ -64,6 +66,7 @@ func TestTransientFaultExpiresByReadCount(t *testing.T) {
 }
 
 func TestEngineRecoversTransientDUE(t *testing.T) {
+	t.Parallel()
 	m := New(sgCodec())
 	line := bits.Line{0xBEEF}
 	m.Write(0, line)
@@ -84,6 +87,7 @@ func TestEngineRecoversTransientDUE(t *testing.T) {
 }
 
 func TestEngineRetiresPermanentlyFaultyRow(t *testing.T) {
+	t.Parallel()
 	m := New(sgCodec())
 	line := bits.Line{0xF00D}
 	m.Write(0, line)
@@ -111,6 +115,7 @@ func TestEngineRetiresPermanentlyFaultyRow(t *testing.T) {
 }
 
 func TestRetireRespectsSpareBudgetAndHook(t *testing.T) {
+	t.Parallel()
 	m := New(sgCodec())
 	m.Write(0, bits.Line{1})
 	cfg := response.DefaultEngineConfig()
@@ -139,6 +144,7 @@ func TestRetireRespectsSpareBudgetAndHook(t *testing.T) {
 }
 
 func TestCorrectedReadScrubsArray(t *testing.T) {
+	t.Parallel()
 	// SECDED corrects the single bit; with ScrubCorrected the engine
 	// rewrites the array so the flip cannot pair with a second one.
 	m := New(ecc.NewSECDED())

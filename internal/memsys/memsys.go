@@ -12,6 +12,7 @@ import (
 	"safeguard/internal/bits"
 	"safeguard/internal/ecc"
 	"safeguard/internal/response"
+	"safeguard/internal/telemetry"
 )
 
 // Fault is a persistent corruption applied to a line's stored image on
@@ -83,6 +84,8 @@ type Memory struct {
 	retired  map[int]bool
 	onRetire func(row int) bool
 
+	tel memTelemetry
+
 	Stats Stats
 }
 
@@ -104,6 +107,7 @@ func (m *Memory) Codec() ecc.Codec { return m.codec }
 func (m *Memory) Write(addr uint64, line bits.Line) {
 	mustAligned(addr)
 	m.Stats.Writes++
+	m.tel.writes.Inc()
 	m.lines[addr] = &entry{golden: line, stored: line, meta: m.codec.Encode(line, addr)}
 	if sg, ok := m.codec.(*ecc.SafeGuardChipkill); ok {
 		sg.InvalidateSpare(addr)
@@ -121,14 +125,18 @@ func (m *Memory) Read(addr uint64) (bits.Line, ecc.Result, error) {
 		return bits.Line{}, ecc.Result{}, fmt.Errorf("memsys: read of unwritten address %#x", addr)
 	}
 	m.Stats.Reads++
+	m.tel.reads.Inc()
 	res := m.decodeOnce(addr, e)
+	m.onDecode(addr, res.Status)
 	switch {
 	case res.Status == ecc.DUE:
 		if m.eng != nil {
 			if rec, ok := m.eng.HandleDUE(addr, m.RowOf(addr)); ok {
 				m.Stats.DUERecovered++
+				m.tel.dueRecovered.Inc()
 				if rec.Line != e.golden {
 					m.Stats.SilentCorruptions++
+					m.tel.silent.Inc()
 				}
 				return rec.Line, rec, nil
 			}
@@ -136,6 +144,7 @@ func (m *Memory) Read(addr uint64) (bits.Line, ecc.Result, error) {
 		m.Stats.DUEs++
 	case res.Line != e.golden:
 		m.Stats.SilentCorruptions++
+		m.tel.silent.Inc()
 	case res.Status == ecc.Corrected:
 		m.Stats.Corrected++
 		if m.eng != nil {
@@ -246,6 +255,8 @@ func (m *Memory) Reread(addr uint64) ecc.Result {
 		return ecc.Result{Status: ecc.DUE}
 	}
 	m.Stats.Reads++
+	m.tel.rereads.Inc()
+	m.tel.trace.Emit(telemetry.Event{Cycle: m.telNow(), Kind: telemetry.EvReread, Addr: addr})
 	return m.decodeOnce(addr, e)
 }
 
@@ -257,6 +268,8 @@ func (m *Memory) Scrub(addr uint64, line bits.Line) {
 	if !ok {
 		return
 	}
+	m.tel.scrubs.Inc()
+	m.tel.trace.Emit(telemetry.Event{Cycle: m.telNow(), Kind: telemetry.EvScrub, Addr: addr})
 	e.stored = line
 	e.meta = m.codec.Encode(line, addr)
 	if sg, ok := m.codec.(*ecc.SafeGuardChipkill); ok {
@@ -282,6 +295,8 @@ func (m *Memory) Retire(row int) bool {
 	}
 	m.retired[row] = true
 	m.Stats.RowsRetired++
+	m.tel.rowsRetired.Inc()
+	m.tel.trace.Emit(telemetry.Event{Cycle: m.telNow(), Kind: telemetry.EvRetire, Row: row, Arg: 1})
 	lo := uint64(row) * m.rowBytes
 	for addr, e := range m.lines {
 		if addr >= lo && addr < lo+m.rowBytes {

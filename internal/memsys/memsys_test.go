@@ -26,6 +26,7 @@ func randLine(r *rand.Rand) bits.Line {
 }
 
 func TestWriteReadRoundTrip(t *testing.T) {
+	t.Parallel()
 	m := New(ecc.NewSafeGuardSECDED(keyed()))
 	r := rand.New(rand.NewPCG(1, 1))
 	want := make(map[uint64]bits.Line)
@@ -47,6 +48,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 }
 
 func TestReadUnwrittenFails(t *testing.T) {
+	t.Parallel()
 	m := New(ecc.NewSECDED())
 	if _, _, err := m.Read(0); err == nil {
 		t.Fatal("expected error")
@@ -54,6 +56,7 @@ func TestReadUnwrittenFails(t *testing.T) {
 }
 
 func TestUnalignedPanics(t *testing.T) {
+	t.Parallel()
 	m := New(ecc.NewSECDED())
 	defer func() {
 		if recover() == nil {
@@ -64,6 +67,7 @@ func TestUnalignedPanics(t *testing.T) {
 }
 
 func TestStuckBitCorrectedEveryRead(t *testing.T) {
+	t.Parallel()
 	m := New(ecc.NewSafeGuardSECDED(keyed()))
 	r := rand.New(rand.NewPCG(2, 2))
 	l := randLine(r).SetBit(100, 0)
@@ -84,6 +88,7 @@ func TestStuckBitCorrectedEveryRead(t *testing.T) {
 }
 
 func TestRowHammerCorruptionIsDUE(t *testing.T) {
+	t.Parallel()
 	m := New(ecc.NewSafeGuardSECDED(keyed()))
 	r := rand.New(rand.NewPCG(3, 3))
 	l := randLine(r)
@@ -104,6 +109,7 @@ func TestRowHammerCorruptionIsDUE(t *testing.T) {
 }
 
 func TestRewriteHealsCorruption(t *testing.T) {
+	t.Parallel()
 	// Writing fresh data re-encodes metadata: the line is healthy again.
 	m := New(ecc.NewSafeGuardSECDED(keyed()))
 	r := rand.New(rand.NewPCG(4, 4))
@@ -122,6 +128,7 @@ func TestRewriteHealsCorruption(t *testing.T) {
 }
 
 func TestSilentCorruptionVisibleUnderSECDED(t *testing.T) {
+	t.Parallel()
 	// The integration-level contrast: inject word-sized damage into many
 	// lines; the SECDED memory serves some corrupted data silently, the
 	// SafeGuard memory never does.
@@ -152,6 +159,7 @@ func TestSilentCorruptionVisibleUnderSECDED(t *testing.T) {
 }
 
 func TestChipkillChipFailureLifecycle(t *testing.T) {
+	t.Parallel()
 	// Integration: a permanent chip failure across many lines under
 	// SafeGuard-Chipkill with Eager Correction; every read corrects, the
 	// remembered chip makes steady-state reads single-check, and writes
@@ -183,6 +191,7 @@ func TestChipkillChipFailureLifecycle(t *testing.T) {
 }
 
 func TestReplayAttackBoundary(t *testing.T) {
+	t.Parallel()
 	// Section VII-C: MAC checking does not defend against replay — an
 	// adversary who could restore an *entire old (data, metadata) pair*
 	// would pass verification. The paper's threat model excludes this
@@ -213,6 +222,7 @@ func TestReplayAttackBoundary(t *testing.T) {
 }
 
 func TestAccessorsAndClearFaults(t *testing.T) {
+	t.Parallel()
 	// SafeGuard codec: a 5-bit fault is deterministically a DUE (word
 	// SECDED could miscorrect it instead).
 	codec := ecc.NewSafeGuardSECDED(keyed())
@@ -242,6 +252,7 @@ func TestAccessorsAndClearFaults(t *testing.T) {
 }
 
 func TestFlipMetaFault(t *testing.T) {
+	t.Parallel()
 	keyedCodec := ecc.NewSafeGuardSECDED(keyed())
 	m := New(keyedCodec)
 	var l bits.Line

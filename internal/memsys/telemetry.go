@@ -1,0 +1,68 @@
+// Datapath telemetry: decode outcomes, response-pipeline datapath actions
+// (reread/scrub/retire), and silent-corruption detection mirrored into the
+// unified registry/tracer. Instruments are pre-resolved at attach time so
+// the Read hot path stays allocation-free whether telemetry is on or off.
+package memsys
+
+import (
+	"safeguard/internal/ecc"
+	"safeguard/internal/telemetry"
+)
+
+// memTelemetry holds the memory's pre-resolved instrument handles; the
+// zero value (all nil) is the disabled state.
+type memTelemetry struct {
+	trace *telemetry.Tracer
+	clock func() int64
+
+	reads        *telemetry.Counter
+	writes       *telemetry.Counter
+	decode       [3]*telemetry.Counter // indexed by ecc.Status
+	silent       *telemetry.Counter
+	dueRecovered *telemetry.Counter
+	rereads      *telemetry.Counter
+	scrubs       *telemetry.Counter
+	rowsRetired  *telemetry.Counter
+}
+
+// now returns the trace timestamp: the caller-provided clock when set,
+// else the attached response engine's cycle clock, else zero.
+func (m *Memory) telNow() int64 {
+	if m.tel.clock != nil {
+		return m.tel.clock()
+	}
+	if m.eng != nil {
+		return m.eng.Now()
+	}
+	return 0
+}
+
+// AttachTelemetry wires the memory to a registry and tracer (either may
+// be nil). Instruments register under the "memsys." prefix. clock, when
+// non-nil, timestamps trace events (pass the cycle-level controller's
+// Now); otherwise events use the response engine's clock when one is
+// attached.
+func (m *Memory) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer, clock func() int64) {
+	m.tel = memTelemetry{
+		trace:        tr,
+		clock:        clock,
+		reads:        reg.Counter("memsys.reads"),
+		writes:       reg.Counter("memsys.writes"),
+		silent:       reg.Counter("memsys.silent_corruptions"),
+		dueRecovered: reg.Counter("memsys.due_recovered"),
+		rereads:      reg.Counter("memsys.rereads"),
+		scrubs:       reg.Counter("memsys.scrubs"),
+		rowsRetired:  reg.Counter("memsys.rows_retired"),
+	}
+	for s := ecc.OK; s <= ecc.DUE; s++ {
+		m.tel.decode[s] = reg.Counter("memsys.decode." + s.String())
+	}
+}
+
+// onDecode records one front-door decode outcome.
+func (m *Memory) onDecode(addr uint64, s ecc.Status) {
+	m.tel.decode[s].Inc()
+	m.tel.trace.Emit(telemetry.Event{
+		Cycle: m.telNow(), Kind: telemetry.EvDecode, Addr: addr, Arg: int64(s),
+	})
+}

@@ -8,6 +8,7 @@ import (
 )
 
 func TestEncryptDecryptRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(keyHi, keyLo, block, tweak uint64) bool {
 		c := New(keyHi, keyLo)
 		return c.Decrypt(c.Encrypt(block, tweak), tweak) == block
@@ -18,6 +19,7 @@ func TestEncryptDecryptRoundTrip(t *testing.T) {
 }
 
 func TestEncryptIsPermutationPerTweak(t *testing.T) {
+	t.Parallel()
 	// Injectivity spot-check: distinct plaintexts never collide.
 	c := New(0x0123456789ABCDEF, 0xFEDCBA9876543210)
 	seen := make(map[uint64]uint64)
@@ -34,6 +36,7 @@ func TestEncryptIsPermutationPerTweak(t *testing.T) {
 }
 
 func TestTweakSeparation(t *testing.T) {
+	t.Parallel()
 	c := New(1, 2)
 	r := rand.New(rand.NewPCG(2, 2))
 	for i := 0; i < 1000; i++ {
@@ -49,6 +52,7 @@ func TestTweakSeparation(t *testing.T) {
 }
 
 func TestKeySeparation(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewPCG(3, 3))
 	c1 := New(r.Uint64(), r.Uint64())
 	c2 := New(r.Uint64(), r.Uint64())
@@ -65,6 +69,7 @@ func TestKeySeparation(t *testing.T) {
 }
 
 func TestAvalanchePlaintext(t *testing.T) {
+	t.Parallel()
 	// Flipping one plaintext bit should flip ~32 ciphertext bits on
 	// average. Accept a generous band; a broken diffusion layer gives
 	// values near 1 or near 64.
@@ -85,6 +90,7 @@ func TestAvalanchePlaintext(t *testing.T) {
 }
 
 func TestAvalancheTweak(t *testing.T) {
+	t.Parallel()
 	c := New(0xDEADBEEFCAFEF00D, 0x0123456789ABCDEF)
 	r := rand.New(rand.NewPCG(5, 5))
 	total, n := 0, 0
@@ -103,6 +109,7 @@ func TestAvalancheTweak(t *testing.T) {
 }
 
 func TestAvalancheKey(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewPCG(6, 6))
 	total, n := 0, 0
 	for i := 0; i < 300; i++ {
@@ -125,6 +132,7 @@ func TestAvalancheKey(t *testing.T) {
 }
 
 func TestSboxIsInvolution(t *testing.T) {
+	t.Parallel()
 	for i := uint8(0); i < 16; i++ {
 		if sbox[sbox[i]] != i {
 			t.Fatalf("sbox not involutory at %d", i)
@@ -133,6 +141,7 @@ func TestSboxIsInvolution(t *testing.T) {
 }
 
 func TestMixColumnsIsInvolution(t *testing.T) {
+	t.Parallel()
 	f := func(s uint64) bool { return mixColumns(mixColumns(s)) == s }
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -140,6 +149,7 @@ func TestMixColumnsIsInvolution(t *testing.T) {
 }
 
 func TestShufflePermutationsInverse(t *testing.T) {
+	t.Parallel()
 	f := func(s uint64) bool {
 		return shuffle(shuffle(s, &tau), &tauInv) == s &&
 			shuffle(shuffle(s, &tweakPerm), &tweakPermInv) == s
@@ -150,6 +160,7 @@ func TestShufflePermutationsInverse(t *testing.T) {
 }
 
 func TestLFSRInverse(t *testing.T) {
+	t.Parallel()
 	seen := make(map[uint8]bool)
 	for v := uint8(0); v < 16; v++ {
 		w := lfsr(v)
@@ -167,6 +178,7 @@ func TestLFSRInverse(t *testing.T) {
 }
 
 func TestTweakScheduleInvertible(t *testing.T) {
+	t.Parallel()
 	f := func(tw uint64) bool { return tweakBackward(tweakForward(tw)) == tw }
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -174,6 +186,7 @@ func TestTweakScheduleInvertible(t *testing.T) {
 }
 
 func TestReflectorInverse(t *testing.T) {
+	t.Parallel()
 	c := New(11, 22)
 	f := func(s uint64) bool {
 		return c.reflectorInv(c.reflector(s)) == s
@@ -184,6 +197,7 @@ func TestReflectorInverse(t *testing.T) {
 }
 
 func TestNewFromBytesMatchesHalves(t *testing.T) {
+	t.Parallel()
 	var key [16]byte
 	for i := range key {
 		key[i] = byte(i + 1)
@@ -198,6 +212,7 @@ func TestNewFromBytesMatchesHalves(t *testing.T) {
 }
 
 func TestCiphertextDistribution(t *testing.T) {
+	t.Parallel()
 	// Each output bit should be ~50% over many random inputs.
 	c := New(123, 456)
 	r := rand.New(rand.NewPCG(7, 7))

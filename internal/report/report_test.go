@@ -6,6 +6,7 @@ import (
 )
 
 func TestTableRendering(t *testing.T) {
+	t.Parallel()
 	tab := NewTable("Table X: demo", "name", "value", "note")
 	tab.AddRow("alpha", 1.5, "first")
 	tab.AddRow("beta-longer-name", 22, "second row")
@@ -29,6 +30,7 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestAddRowStrings(t *testing.T) {
+	t.Parallel()
 	tab := NewTable("", "a", "b")
 	tab.AddRowStrings("x", "y")
 	if !strings.Contains(tab.String(), "x") {
@@ -37,6 +39,7 @@ func TestAddRowStrings(t *testing.T) {
 }
 
 func TestRenderSeries(t *testing.T) {
+	t.Parallel()
 	var b strings.Builder
 	RenderSeries(&b, "Figure Y", []string{"w1", "w2"},
 		Series{Name: "s1", Values: []float64{0.1, 0.2}},
@@ -52,6 +55,7 @@ func TestRenderSeries(t *testing.T) {
 }
 
 func TestPercent(t *testing.T) {
+	t.Parallel()
 	if Percent(0.007) != "+0.70%" {
 		t.Fatalf("got %q", Percent(0.007))
 	}

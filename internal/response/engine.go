@@ -161,6 +161,7 @@ type Engine struct {
 	quarantined bool
 	trace       []Step
 	now         int64
+	tel         engTelemetry
 
 	Stats EngineStats
 }
@@ -197,6 +198,7 @@ func (e *Engine) Now() int64 { return e.now }
 func (e *Engine) step(s Step) {
 	s.Cycle = e.now
 	e.trace = append(e.trace, s)
+	e.emitStep(s)
 }
 
 // HandleCorrected runs the scrub stage for a read that was corrected:
@@ -208,6 +210,7 @@ func (e *Engine) HandleCorrected(addr uint64, row int, line bits.Line) bool {
 	}
 	e.dp.Scrub(addr, line)
 	e.Stats.Scrubs++
+	e.tel.scrubs.Inc()
 	e.step(Step{Kind: StepScrub, Addr: addr, Row: row, OK: true})
 	return true
 }
@@ -218,6 +221,7 @@ func (e *Engine) HandleCorrected(addr uint64, row int, line bits.Line) bool {
 // failed (and escalate to the process-level Policy).
 func (e *Engine) HandleDUE(addr uint64, row int) (ecc.Result, bool) {
 	e.Stats.DUEs++
+	e.tel.dues.Inc()
 	if e.dp == nil {
 		return ecc.Result{Status: ecc.DUE}, false
 	}
@@ -229,13 +233,16 @@ func (e *Engine) HandleDUE(addr uint64, row int) (ecc.Result, bool) {
 	for attempt := 1; attempt <= e.cfg.MaxRetries; attempt++ {
 		e.now += backoff
 		e.Stats.RetryCycles += backoff
+		e.tel.retryCycles.Add(uint64(backoff))
 		backoff *= 2
 		res := e.dp.Reread(addr)
 		e.Stats.Retries++
+		e.tel.retries.Inc()
 		ok := res.Status != ecc.DUE
 		e.step(Step{Kind: StepRetry, Addr: addr, Row: row, Attempt: attempt, OK: ok})
 		if ok {
 			e.Stats.RetryHits++
+			e.tel.retryHits.Inc()
 			e.scrub(addr, row, res.Line)
 			return res, true
 		}
@@ -244,6 +251,7 @@ func (e *Engine) HandleDUE(addr uint64, row int) (ecc.Result, bool) {
 	// Stage 2 failed: this is a hard DUE. Strike the row and retire it
 	// once it crosses the threshold.
 	e.Stats.HardDUEs++
+	e.tel.hardDUEs.Inc()
 	e.strikes[row]++
 	if e.cfg.RetireThreshold > 0 && e.strikes[row] >= e.cfg.RetireThreshold {
 		if e.retire(row) {
@@ -263,6 +271,7 @@ func (e *Engine) HandleDUE(addr uint64, row int) (ecc.Result, bool) {
 func (e *Engine) scrub(addr uint64, row int, line bits.Line) {
 	e.dp.Scrub(addr, line)
 	e.Stats.Scrubs++
+	e.tel.scrubs.Inc()
 	e.step(Step{Kind: StepScrub, Addr: addr, Row: row, OK: true})
 }
 
@@ -273,15 +282,18 @@ func (e *Engine) retire(row int) bool {
 	e.step(Step{Kind: StepRetire, Row: row, OK: ok})
 	if !ok {
 		e.Stats.RetireFails++
+		e.tel.retireFails.Inc()
 		return false
 	}
 	e.Stats.Retires++
+	e.tel.retires.Inc()
 	e.retiredRows = append(e.retiredRows, row)
 	delete(e.strikes, row)
 	if e.cfg.QuarantineThreshold > 0 && !e.quarantined &&
 		len(e.retiredRows) >= e.cfg.QuarantineThreshold {
 		e.quarantined = true
 		e.Stats.Quarantines++
+		e.tel.quarantines.Inc()
 		e.step(Step{Kind: StepQuarantine, Row: -1, OK: true})
 		if e.cfg.OnQuarantine != nil {
 			e.cfg.OnQuarantine(append([]int(nil), e.retiredRows...))

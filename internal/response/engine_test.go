@@ -65,6 +65,7 @@ func kinds(trace []Step) []StepKind {
 }
 
 func TestEngineBadConfigError(t *testing.T) {
+	t.Parallel()
 	for _, cfg := range []EngineConfig{
 		{MaxRetries: -1},
 		{RetryBackoffCycles: -2},
@@ -78,6 +79,7 @@ func TestEngineBadConfigError(t *testing.T) {
 }
 
 func TestTransientDUERecoveredByRetry(t *testing.T) {
+	t.Parallel()
 	fp := newFakePath(4)
 	fp.duesLeft[0x40] = 1 // one failing reread, then clean
 	e := mustEngine(t, DefaultEngineConfig())
@@ -100,6 +102,7 @@ func TestTransientDUERecoveredByRetry(t *testing.T) {
 }
 
 func TestRetryBackoffDoublesInCycles(t *testing.T) {
+	t.Parallel()
 	fp := newFakePath(0)
 	fp.duesLeft[0x0] = -1 // never recovers
 	e := mustEngine(t, EngineConfig{MaxRetries: 3, RetryBackoffCycles: 10})
@@ -116,6 +119,7 @@ func TestRetryBackoffDoublesInCycles(t *testing.T) {
 }
 
 func TestPermanentFaultEscalatesToRetirement(t *testing.T) {
+	t.Parallel()
 	fp := newFakePath(4)
 	fp.duesLeft[0x80] = -1
 	cfg := DefaultEngineConfig()
@@ -149,6 +153,7 @@ func TestPermanentFaultEscalatesToRetirement(t *testing.T) {
 }
 
 func TestRepeatedRetirementsEscalateToQuarantine(t *testing.T) {
+	t.Parallel()
 	fp := newFakePath(4)
 	cfg := EngineConfig{MaxRetries: 1, RetryBackoffCycles: 1, RetireThreshold: 1, QuarantineThreshold: 2}
 	var hookRows []int
@@ -178,6 +183,7 @@ func TestRepeatedRetirementsEscalateToQuarantine(t *testing.T) {
 }
 
 func TestRetirementWithoutSpareFails(t *testing.T) {
+	t.Parallel()
 	fp := newFakePath(0) // no spare capacity
 	cfg := EngineConfig{MaxRetries: 1, RetryBackoffCycles: 1, RetireThreshold: 1}
 	e := mustEngine(t, cfg)
@@ -192,6 +198,7 @@ func TestRetirementWithoutSpareFails(t *testing.T) {
 }
 
 func TestHandleCorrectedScrubs(t *testing.T) {
+	t.Parallel()
 	fp := newFakePath(0)
 	e := mustEngine(t, DefaultEngineConfig())
 	e.Bind(fp)
@@ -209,6 +216,7 @@ func TestHandleCorrectedScrubs(t *testing.T) {
 }
 
 func TestUnboundEngineLeavesDUEStanding(t *testing.T) {
+	t.Parallel()
 	e := mustEngine(t, DefaultEngineConfig())
 	if _, ok := e.HandleDUE(0x40, 0); ok {
 		t.Fatal("unbound engine claimed recovery")
@@ -216,6 +224,7 @@ func TestUnboundEngineLeavesDUEStanding(t *testing.T) {
 }
 
 func TestStepKindStrings(t *testing.T) {
+	t.Parallel()
 	for _, k := range []StepKind{StepRetry, StepScrub, StepRetire, StepQuarantine} {
 		if k.String() == "" {
 			t.Fatal("unnamed step kind")

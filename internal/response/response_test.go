@@ -12,6 +12,7 @@ func mustPolicy(t *testing.T, cloud bool, quarantine int, window float64, reboot
 }
 
 func TestFirstResponseMatchesDeployment(t *testing.T) {
+	t.Parallel()
 	onprem := mustPolicy(t, false, 3, 60, 100)
 	d := onprem.OnDUE(DUEEvent{Time: 1, Consumer: "db"})
 	if len(d.Actions) != 1 || d.Actions[0] != RestartProcess {
@@ -25,6 +26,7 @@ func TestFirstResponseMatchesDeployment(t *testing.T) {
 }
 
 func TestPersistentAggressorQuarantined(t *testing.T) {
+	t.Parallel()
 	// Section VII-B: the attacker process is co-resident with every DUE;
 	// innocent processes are not. After the threshold the attacker is
 	// quarantined, the victims are not.
@@ -47,6 +49,7 @@ func TestPersistentAggressorQuarantined(t *testing.T) {
 }
 
 func TestConsumerIsNotASuspect(t *testing.T) {
+	t.Parallel()
 	// The process consuming corrupted data is the victim; repeated
 	// victimhood must not get it quarantined.
 	p := mustPolicy(t, false, 2, 100, 1000)
@@ -59,6 +62,7 @@ func TestConsumerIsNotASuspect(t *testing.T) {
 }
 
 func TestQuarantineDoSCountermeasure(t *testing.T) {
+	t.Parallel()
 	// Section VII-B's flip side: an attacker must not be able to weaponize
 	// quarantine against an innocent co-resident. A process that is merely
 	// *sometimes* co-resident with DUEs stays below the threshold inside
@@ -86,6 +90,7 @@ func TestQuarantineDoSCountermeasure(t *testing.T) {
 }
 
 func TestQuarantineFiresOnce(t *testing.T) {
+	t.Parallel()
 	// A quarantined process must not be re-quarantined by later events.
 	p := mustPolicy(t, false, 2, 100, 1000)
 	total := 0
@@ -99,6 +104,7 @@ func TestQuarantineFiresOnce(t *testing.T) {
 }
 
 func TestSlidingWindowForgets(t *testing.T) {
+	t.Parallel()
 	p := mustPolicy(t, false, 3, 10, 1000)
 	p.OnDUE(DUEEvent{Time: 0, Consumer: "v", CoResident: []string{"x"}})
 	p.OnDUE(DUEEvent{Time: 1, Consumer: "v", CoResident: []string{"x"}})
@@ -113,6 +119,7 @@ func TestSlidingWindowForgets(t *testing.T) {
 }
 
 func TestRebootOnMachineWideStorm(t *testing.T) {
+	t.Parallel()
 	p := mustPolicy(t, false, 100, 10, 3)
 	var last Decision
 	for i := 0; i < 3; i++ {
@@ -130,6 +137,7 @@ func TestRebootOnMachineWideStorm(t *testing.T) {
 }
 
 func TestMigrateEveryEventInCloud(t *testing.T) {
+	t.Parallel()
 	// Cloud deployments keep migrating (paper: relocation to another
 	// machine) rather than falling back to restart after the first event.
 	p := mustPolicy(t, true, 100, 100, 1000)
@@ -142,6 +150,7 @@ func TestMigrateEveryEventInCloud(t *testing.T) {
 }
 
 func TestOutOfOrderEventsPanic(t *testing.T) {
+	t.Parallel()
 	p := mustPolicy(t, false, 3, 10, 100)
 	p.OnDUE(DUEEvent{Time: 5})
 	defer func() {
@@ -153,6 +162,7 @@ func TestOutOfOrderEventsPanic(t *testing.T) {
 }
 
 func TestBadThresholdsError(t *testing.T) {
+	t.Parallel()
 	for _, tc := range []struct {
 		quarantine int
 		window     float64
@@ -170,6 +180,7 @@ func TestBadThresholdsError(t *testing.T) {
 }
 
 func TestActionStrings(t *testing.T) {
+	t.Parallel()
 	for _, a := range []Action{RestartProcess, MigrateProcess, RebootMachine, QuarantineProcess} {
 		if a.String() == "" {
 			t.Fatal("unnamed action")

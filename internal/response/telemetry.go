@@ -1,0 +1,63 @@
+// Engine telemetry: every escalation Step the engine records is mirrored
+// into the unified registry/tracer so campaigns can assert the exact
+// retry/scrub/retire/quarantine sequence without reaching into Trace().
+package response
+
+import (
+	"safeguard/internal/telemetry"
+)
+
+// engTelemetry holds the engine's pre-resolved instrument handles; the
+// zero value (all nil) is the disabled state.
+type engTelemetry struct {
+	trace *telemetry.Tracer
+
+	dues        *telemetry.Counter
+	retries     *telemetry.Counter
+	retryHits   *telemetry.Counter
+	scrubs      *telemetry.Counter
+	hardDUEs    *telemetry.Counter
+	retires     *telemetry.Counter
+	retireFails *telemetry.Counter
+	quarantines *telemetry.Counter
+	retryCycles *telemetry.Counter
+}
+
+// AttachTelemetry wires the engine to a registry and tracer (either may
+// be nil). Instruments register under the "response." prefix.
+func (e *Engine) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	e.tel = engTelemetry{
+		trace:       tr,
+		dues:        reg.Counter("response.dues"),
+		retries:     reg.Counter("response.retries"),
+		retryHits:   reg.Counter("response.retry_hits"),
+		scrubs:      reg.Counter("response.scrubs"),
+		hardDUEs:    reg.Counter("response.hard_dues"),
+		retires:     reg.Counter("response.retires"),
+		retireFails: reg.Counter("response.retire_fails"),
+		quarantines: reg.Counter("response.quarantines"),
+		retryCycles: reg.Counter("response.retry_cycles"),
+	}
+}
+
+// emitStep traces one escalation step. Quarantine gets its own event
+// kind; every other step is a RESPONSE event carrying the StepKind in
+// Arg, the retry attempt (or retire/scrub success bit) in Aux.
+func (e *Engine) emitStep(s Step) {
+	if s.Kind == StepQuarantine {
+		e.tel.trace.Emit(telemetry.Event{Cycle: e.now, Kind: telemetry.EvQuarantine})
+		return
+	}
+	aux := int64(s.Attempt)
+	if s.Kind != StepRetry {
+		if s.OK {
+			aux = 1
+		} else {
+			aux = 0
+		}
+	}
+	e.tel.trace.Emit(telemetry.Event{
+		Cycle: e.now, Kind: telemetry.EvResponseStep,
+		Addr: s.Addr, Row: s.Row, Arg: int64(s.Kind), Aux: aux,
+	})
+}

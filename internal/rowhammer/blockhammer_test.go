@@ -3,6 +3,7 @@ package rowhammer
 import "testing"
 
 func TestBlockHammerStopsEveryAttackPattern(t *testing.T) {
+	t.Parallel()
 	// Correctly sized BlockHammer caps every row under the RH-Threshold,
 	// so even the breakthrough patterns cannot flip bits.
 	cfg := testConfig()
@@ -25,6 +26,7 @@ func TestBlockHammerStopsEveryAttackPattern(t *testing.T) {
 }
 
 func TestBlockHammerThresholdDependence(t *testing.T) {
+	t.Parallel()
 	// The paper's critique: a mitigation sized for one RH-Threshold fails
 	// on a module with a lower one. BlockHammer designed for 10K faces an
 	// LPDDR4-new module at 4.8K: the cap (9999 acts/row) is far above the
@@ -39,6 +41,7 @@ func TestBlockHammerThresholdDependence(t *testing.T) {
 }
 
 func TestBlockHammerThrottlesBenignHotRows(t *testing.T) {
+	t.Parallel()
 	// The paper's other critique: a legitimately hot row (think hot B-tree
 	// root) gets its activations beyond the cap delayed — severe added
 	// latency for benign traffic.
@@ -55,6 +58,7 @@ func TestBlockHammerThrottlesBenignHotRows(t *testing.T) {
 }
 
 func TestBlockHammerNeverRefreshes(t *testing.T) {
+	t.Parallel()
 	// BlockHammer's defense is rate-limiting, not refreshing — so it is
 	// immune to the Half-Double refresh-weaponization by construction.
 	cfg := testConfig()

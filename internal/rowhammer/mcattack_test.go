@@ -20,6 +20,7 @@ func mcCfg(mit string) rowhammer.MCAttackConfig {
 }
 
 func TestMCAttackUnmitigatedFlips(t *testing.T) {
+	t.Parallel()
 	res, err := rowhammer.RunMCAttack(mcCfg("none"), &rowhammer.DoubleSided{Victim: 4000})
 	if err != nil {
 		t.Fatal(err)
@@ -39,6 +40,7 @@ func TestMCAttackUnmitigatedFlips(t *testing.T) {
 }
 
 func TestMCAttackGrapheneProtects(t *testing.T) {
+	t.Parallel()
 	res, err := rowhammer.RunMCAttack(mcCfg("graphene"), &rowhammer.DoubleSided{Victim: 4000})
 	if err != nil {
 		t.Fatal(err)
@@ -56,6 +58,7 @@ func TestMCAttackGrapheneProtects(t *testing.T) {
 }
 
 func TestMCAttackBlockHammerStalls(t *testing.T) {
+	t.Parallel()
 	cfg := mcCfg("blockhammer")
 	cfg.Accesses = 4000
 	cfg.MaxCycles = 1_500_000
@@ -75,6 +78,7 @@ func TestMCAttackBlockHammerStalls(t *testing.T) {
 }
 
 func TestMCAttackDeterministic(t *testing.T) {
+	t.Parallel()
 	a, err := rowhammer.RunMCAttack(mcCfg("para"), &rowhammer.DoubleSided{Victim: 4000})
 	if err != nil {
 		t.Fatal(err)
@@ -90,6 +94,7 @@ func TestMCAttackDeterministic(t *testing.T) {
 }
 
 func TestMCAttackRejectsUnknownMitigation(t *testing.T) {
+	t.Parallel()
 	cfg := mcCfg("definitely-not-real")
 	if _, err := rowhammer.RunMCAttack(cfg, &rowhammer.DoubleSided{Victim: 4000}); err == nil {
 		t.Fatal("unknown mitigation must error")
@@ -97,6 +102,7 @@ func TestMCAttackRejectsUnknownMitigation(t *testing.T) {
 }
 
 func TestMCAttackRejectsOutOfRangePattern(t *testing.T) {
+	t.Parallel()
 	if _, err := rowhammer.RunMCAttack(mcCfg("none"), &rowhammer.DoubleSided{Victim: 9000}); err == nil {
 		t.Fatal("pattern rows beyond the bank must error")
 	}
@@ -105,6 +111,7 @@ func TestMCAttackRejectsOutOfRangePattern(t *testing.T) {
 // TestActivationTracerDisturbance drives the tracer directly: activations
 // disturb, VRRs heal, REFs advance the window clock.
 func TestActivationTracerDisturbance(t *testing.T) {
+	t.Parallel()
 	cfg := rowhammer.DefaultConfig()
 	cfg.Rows = 64
 	cfg.Threshold = 100
@@ -131,6 +138,7 @@ func TestActivationTracerDisturbance(t *testing.T) {
 // outer rows 9 and 13 still flip — a VRR on the middle victim cannot
 // protect them — so the assertion is scoped to row 11.
 func TestActivationTracerVRRHeals(t *testing.T) {
+	t.Parallel()
 	cfg := rowhammer.DefaultConfig()
 	cfg.Rows = 64
 	cfg.Threshold = 100

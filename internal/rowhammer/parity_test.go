@@ -110,6 +110,7 @@ func runParity(t *testing.T, mit rowhammer.Mitigation, plug memctrl.Plugin) (ora
 }
 
 func TestWindowConstantsAgree(t *testing.T) {
+	t.Parallel()
 	if memctrl.ActsPerWindow != rowhammer.ActsPerWindow {
 		t.Fatalf("memctrl.ActsPerWindow = %d, rowhammer.ActsPerWindow = %d",
 			memctrl.ActsPerWindow, rowhammer.ActsPerWindow)
@@ -121,6 +122,7 @@ func TestWindowConstantsAgree(t *testing.T) {
 }
 
 func TestPARAPluginParity(t *testing.T) {
+	t.Parallel()
 	const seed = 31
 	oracle, plugin := runParity(t,
 		rowhammer.NewPARA(parityThreshold, seed),
@@ -129,11 +131,13 @@ func TestPARAPluginParity(t *testing.T) {
 }
 
 func TestTRRPluginParity(t *testing.T) {
+	t.Parallel()
 	oracle, plugin := runParity(t, rowhammer.NewTRR(4), memctrl.NewTRRPlugin(4))
 	assertSameRows(t, "TRR", oracle, plugin)
 }
 
 func TestGraphenePluginParity(t *testing.T) {
+	t.Parallel()
 	oracle, plugin := runParity(t,
 		rowhammer.NewGraphene(parityThreshold),
 		memctrl.NewGraphenePlugin(parityThreshold))
@@ -143,6 +147,7 @@ func TestGraphenePluginParity(t *testing.T) {
 // TestBlockHammerPluginParity compares the allow/deny sequence instead of
 // refresh rows: BlockHammer never refreshes, it throttles.
 func TestBlockHammerPluginParity(t *testing.T) {
+	t.Parallel()
 	var refreshed []int
 	b := parityBank(t, &refreshed)
 	oracle := rowhammer.NewBlockHammer(parityThreshold)

@@ -19,6 +19,7 @@ import (
 	"safeguard/internal/memctrl"
 	"safeguard/internal/memsys"
 	"safeguard/internal/response"
+	"safeguard/internal/telemetry"
 )
 
 // ResponseAttackConfig parameterizes a response-enabled attack run.
@@ -54,6 +55,13 @@ type ResponseAttackConfig struct {
 	// PolicyQuarantineThreshold configures the process-level
 	// response.Policy correlating DUEs with co-residents (default 3).
 	PolicyQuarantineThreshold int
+	// Telemetry, when set, receives counters/histograms from the
+	// controller, the protected memory, and the response engine.
+	Telemetry *telemetry.Registry
+	// Trace, when set, receives the run's cycle-stamped event stream
+	// (DRAM commands, ActGate denials, decode outcomes, engine steps),
+	// timestamped on the controller's clock.
+	Trace *telemetry.Tracer
 }
 
 // ResponseAttackResult summarizes the escalation.
@@ -168,6 +176,7 @@ func RunResponseAttack(ctx context.Context, cfg ResponseAttackConfig, pattern Pa
 	if err := mc.ReserveSpareRows(spareRows); err != nil {
 		return nil, err
 	}
+	mc.AttachTelemetry(cfg.Telemetry, cfg.Trace)
 	mapper := dram.NewMapper(geom)
 	bank := tracer.Bank(0, 0)
 
@@ -206,6 +215,8 @@ func RunResponseAttack(ctx context.Context, cfg ResponseAttackConfig, pattern Pa
 	if err := mem.AttachEngine(eng, rowBytes, spareRows); err != nil {
 		return nil, err
 	}
+	mem.AttachTelemetry(cfg.Telemetry, cfg.Trace, mc.Now)
+	eng.AttachTelemetry(cfg.Telemetry, cfg.Trace)
 	mem.SetRetireHook(func(row int) bool {
 		_, err := mc.RetireRow(0, 0, row)
 		return err == nil
@@ -358,6 +369,14 @@ attack:
 	res.RetiredRows = eng.RetiredRows()
 	res.MemStats = mem.Stats
 	res.MCStats = mc.Stats
+	if reg := cfg.Telemetry; reg != nil {
+		reg.Counter("attack.accesses").Add(uint64(res.AttackerAccesses))
+		reg.Counter("attack.bad_reads.during").Add(uint64(res.BadReadsDuringAttack))
+		reg.Counter("attack.bad_reads.after").Add(uint64(res.BadReadsAfterQuarantine))
+		reg.Gauge("attack.benign_latency.attack").Set(res.BenignAvgLatencyAttack)
+		reg.Gauge("attack.benign_latency.tail").Set(res.BenignAvgLatencyTail)
+		memctrl.PublishPluginStats(reg, mc.DrainPluginStats())
+	}
 	return res, ctx.Err()
 }
 

@@ -54,6 +54,7 @@ func respCfg() ResponseAttackConfig {
 // retry → scrub → row retirement → aggressor quarantine, after which the
 // benign workload sees zero bad reads and bounded slowdown.
 func TestResponseAttackFullEscalation(t *testing.T) {
+	t.Parallel()
 	cfg := respCfg()
 	res, err := RunResponseAttack(context.Background(), cfg, &roundRobin{rows: []int{7, 9, 11}})
 	if err != nil {
@@ -155,6 +156,7 @@ func TestResponseAttackFullEscalation(t *testing.T) {
 }
 
 func TestResponseAttackValidation(t *testing.T) {
+	t.Parallel()
 	ctx := context.Background()
 	if _, err := RunResponseAttack(ctx, ResponseAttackConfig{Bank: Config{Rows: 8, Threshold: 4, LinesPerRow: 2}}, &roundRobin{rows: []int{1}}); err == nil {
 		t.Errorf("no victim rows accepted")
@@ -172,6 +174,7 @@ func TestResponseAttackValidation(t *testing.T) {
 }
 
 func TestResponseAttackCancellation(t *testing.T) {
+	t.Parallel()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	cfg := respCfg()

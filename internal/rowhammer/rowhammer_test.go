@@ -24,6 +24,7 @@ func testKeyed() *mac.Keyed {
 }
 
 func TestGoldenLineDeterministicAndDistinct(t *testing.T) {
+	t.Parallel()
 	b := NewBank(testConfig())
 	if b.GoldenLine(5, 9) != b.GoldenLine(5, 9) {
 		t.Fatal("golden line not deterministic")
@@ -34,6 +35,7 @@ func TestGoldenLineDeterministicAndDistinct(t *testing.T) {
 }
 
 func TestWriteReadLine(t *testing.T) {
+	t.Parallel()
 	b := NewBank(testConfig())
 	var l bits.Line
 	l = l.WithWord(0, 0x1234)
@@ -47,6 +49,7 @@ func TestWriteReadLine(t *testing.T) {
 }
 
 func TestHammeringBelowThresholdNoFlips(t *testing.T) {
+	t.Parallel()
 	b := NewBank(testConfig())
 	agg := 100
 	for i := 0; i < b.cfg.Threshold-1; i++ {
@@ -58,6 +61,7 @@ func TestHammeringBelowThresholdNoFlips(t *testing.T) {
 }
 
 func TestSingleSidedHammerFlipsNeighbours(t *testing.T) {
+	t.Parallel()
 	// Figure 2: hammering an aggressor past the threshold flips bits in
 	// the adjacent victim rows.
 	b := NewBank(testConfig())
@@ -77,6 +81,7 @@ func TestSingleSidedHammerFlipsNeighbours(t *testing.T) {
 }
 
 func TestDoubleSidedTwiceAsFast(t *testing.T) {
+	t.Parallel()
 	// Double-sided hammering needs ~half the per-aggressor activations.
 	cfg := testConfig()
 	b := NewBank(cfg)
@@ -95,6 +100,7 @@ func TestDoubleSidedTwiceAsFast(t *testing.T) {
 }
 
 func TestVictimAccessResetsDisturbance(t *testing.T) {
+	t.Parallel()
 	// Accessing (activating) the victim replenishes its charge: the
 	// attack only works on untouched victims (Section II-C).
 	b := NewBank(testConfig())
@@ -112,6 +118,7 @@ func TestVictimAccessResetsDisturbance(t *testing.T) {
 }
 
 func TestRefreshWindowResetsDisturbance(t *testing.T) {
+	t.Parallel()
 	b := NewBank(testConfig())
 	agg := 400
 	for i := 0; i < b.cfg.Threshold-10; i++ {
@@ -127,6 +134,7 @@ func TestRefreshWindowResetsDisturbance(t *testing.T) {
 }
 
 func TestFlipsPersistAcrossRefresh(t *testing.T) {
+	t.Parallel()
 	b := NewBank(testConfig())
 	agg := 500
 	for i := 0; i < b.cfg.Threshold+10; i++ {
@@ -146,6 +154,7 @@ func TestFlipsPersistAcrossRefresh(t *testing.T) {
 }
 
 func TestDirectDistanceTwoInfeasible(t *testing.T) {
+	t.Parallel()
 	// With Weight2 = Weight1/512, a full window of pure distance-2
 	// hammering at the LPDDR4-new threshold cannot flip bits.
 	cfg := testConfig()
@@ -173,6 +182,7 @@ func (p *distanceTwoOnly) Next() int {
 }
 
 func TestDataDependence(t *testing.T) {
+	t.Parallel()
 	// Only charged (1) cells flip: a victim row of all zeros cannot flip.
 	cfg := testConfig()
 	b := NewBank(cfg)
@@ -190,6 +200,7 @@ func TestDataDependence(t *testing.T) {
 }
 
 func TestContinuedHammeringFlipsMore(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	b1 := NewBank(cfg)
 	for i := 0; i < cfg.Threshold+5; i++ {
@@ -211,6 +222,7 @@ func TestContinuedHammeringFlipsMore(t *testing.T) {
 // ---------------------------------------------------------------------------
 
 func TestPARAStopsClassicHammering(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	b := NewBank(cfg)
 	mit := NewPARA(cfg.Threshold, 1)
@@ -221,6 +233,7 @@ func TestPARAStopsClassicHammering(t *testing.T) {
 }
 
 func TestGrapheneStopsClassicHammering(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	b := NewBank(cfg)
 	mit := NewGraphene(cfg.Threshold)
@@ -231,6 +244,7 @@ func TestGrapheneStopsClassicHammering(t *testing.T) {
 }
 
 func TestTRRStopsClassicDoubleSided(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	b := NewBank(cfg)
 	mit := NewTRR(4)
@@ -241,6 +255,7 @@ func TestTRRStopsClassicDoubleSided(t *testing.T) {
 }
 
 func TestTRRespassBreaksTRR(t *testing.T) {
+	t.Parallel()
 	// Case-2 of Section II-E: dummy rows evict the true aggressors from
 	// TRR's small sampler, so the victim's neighbours never get refreshed.
 	cfg := testConfig()
@@ -254,6 +269,7 @@ func TestTRRespassBreaksTRR(t *testing.T) {
 }
 
 func TestGrapheneStopsTRRespass(t *testing.T) {
+	t.Parallel()
 	// Misra–Gries counting is immune to capacity eviction.
 	cfg := testConfig()
 	b := NewBank(cfg)
@@ -266,6 +282,7 @@ func TestGrapheneStopsTRRespass(t *testing.T) {
 }
 
 func TestHalfDoubleBreaksPreciseMitigations(t *testing.T) {
+	t.Parallel()
 	// Case-1 of Section II-E / Figure 1b: the mitigation's own distance-1
 	// refreshes of the middle rows hammer the victim at distance 2 from
 	// the attacker's aggressors. As in the real attack, the pattern is
@@ -301,6 +318,7 @@ func TestHalfDoubleBreaksPreciseMitigations(t *testing.T) {
 }
 
 func TestHalfDoubleNeedsMitigation(t *testing.T) {
+	t.Parallel()
 	// The irony at the heart of Half-Double: without any mitigation the
 	// same pattern's near-row hits are far too few and distance-2
 	// coupling too weak.
@@ -318,6 +336,7 @@ func TestHalfDoubleNeedsMitigation(t *testing.T) {
 // ---------------------------------------------------------------------------
 
 func TestSafeGuardDetectsBreakthroughFlips(t *testing.T) {
+	t.Parallel()
 	// Run TRRespass against TRR (mitigation broken, flips land), then
 	// check every damaged line under SECDED vs SafeGuard. SafeGuard must
 	// have zero silent lines.
@@ -341,6 +360,7 @@ func TestSafeGuardDetectsBreakthroughFlips(t *testing.T) {
 }
 
 func TestSECDEDCanBeSilentlyCorrupted(t *testing.T) {
+	t.Parallel()
 	// Keep hammering so victims accumulate many flips per line; word
 	// SECDED then miscorrects some lines silently — the security risk.
 	cfg := testConfig()
@@ -362,6 +382,7 @@ func TestSECDEDCanBeSilentlyCorrupted(t *testing.T) {
 }
 
 func TestThresholdHistoryTable(t *testing.T) {
+	t.Parallel()
 	// Table I: pinned values and the ~30x fall from 2014 to 2020.
 	if len(ThresholdHistory) != 6 {
 		t.Fatalf("Table I has 6 rows, got %d", len(ThresholdHistory))
@@ -377,6 +398,7 @@ func TestThresholdHistoryTable(t *testing.T) {
 }
 
 func TestBadConfigPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")

@@ -27,6 +27,7 @@ func codeword(c *Codec, data []uint8) []uint8 {
 }
 
 func TestCleanCodewordDecodesOK(t *testing.T) {
+	t.Parallel()
 	c := chipkill()
 	r := rand.New(rand.NewPCG(1, 1))
 	for i := 0; i < 200; i++ {
@@ -45,6 +46,7 @@ func TestCleanCodewordDecodesOK(t *testing.T) {
 }
 
 func TestSingleSymbolCorrection(t *testing.T) {
+	t.Parallel()
 	c := chipkill()
 	r := rand.New(rand.NewPCG(2, 2))
 	for i := 0; i < 500; i++ {
@@ -67,6 +69,7 @@ func TestSingleSymbolCorrection(t *testing.T) {
 }
 
 func TestEverySymbolPositionCorrectable(t *testing.T) {
+	t.Parallel()
 	c := chipkill()
 	r := rand.New(rand.NewPCG(3, 3))
 	data := randData(r, c.K())
@@ -83,6 +86,7 @@ func TestEverySymbolPositionCorrectable(t *testing.T) {
 }
 
 func TestDoubleSymbolErrorNeverMiscorrectsSilently(t *testing.T) {
+	t.Parallel()
 	// With 2 check symbols the code has distance 3: a two-symbol error is
 	// at distance >= 1 from every codeword, so decode either flags it or
 	// lands on a wrong codeword. We verify that whenever decode claims
@@ -132,6 +136,7 @@ func TestDoubleSymbolErrorNeverMiscorrectsSilently(t *testing.T) {
 }
 
 func TestWholeChipErrorPatterns(t *testing.T) {
+	t.Parallel()
 	// A chip failure corrupts exactly one 8-bit symbol: always correctable
 	// regardless of how many of its bits flipped.
 	c := chipkill()
@@ -148,6 +153,7 @@ func TestWholeChipErrorPatterns(t *testing.T) {
 }
 
 func TestStrongerCodeCorrectsMoreSymbols(t *testing.T) {
+	t.Parallel()
 	// RS(20,14): 6 check symbols, corrects 3.
 	c := New(gf.GF256, 20, 14)
 	r := rand.New(rand.NewPCG(6, 6))
@@ -173,6 +179,7 @@ func TestStrongerCodeCorrectsMoreSymbols(t *testing.T) {
 }
 
 func TestGF16Code(t *testing.T) {
+	t.Parallel()
 	// RS(15,13) over GF(16): single-symbol correction on nibbles.
 	c := New(gf.GF16, 15, 13)
 	r := rand.New(rand.NewPCG(7, 7))
@@ -198,6 +205,7 @@ func TestGF16Code(t *testing.T) {
 }
 
 func TestInvalidGeometryPanics(t *testing.T) {
+	t.Parallel()
 	for _, tc := range [][2]int{{300, 16}, {16, 16}, {10, 0}} {
 		func() {
 			defer func() {
@@ -211,6 +219,7 @@ func TestInvalidGeometryPanics(t *testing.T) {
 }
 
 func TestEncodeLinearity(t *testing.T) {
+	t.Parallel()
 	// RS is linear: parity(a XOR b) = parity(a) XOR parity(b).
 	c := chipkill()
 	r := rand.New(rand.NewPCG(8, 8))

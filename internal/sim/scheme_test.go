@@ -8,6 +8,7 @@ import (
 // TestParseSchemeRoundTrip: every scheme's String() must parse back to
 // itself, exactly — the registry contract the cmds rely on.
 func TestParseSchemeRoundTrip(t *testing.T) {
+	t.Parallel()
 	for _, s := range Schemes() {
 		got, err := ParseScheme(s.String())
 		if err != nil {
@@ -20,6 +21,7 @@ func TestParseSchemeRoundTrip(t *testing.T) {
 }
 
 func TestParseSchemeAliases(t *testing.T) {
+	t.Parallel()
 	cases := map[string]Scheme{
 		"baseline":  Baseline,
 		"SafeGuard": SafeGuard,
@@ -41,6 +43,7 @@ func TestParseSchemeAliases(t *testing.T) {
 }
 
 func TestParseSchemeUnknown(t *testing.T) {
+	t.Parallel()
 	_, err := ParseScheme("not-a-scheme")
 	if err == nil {
 		t.Fatal("unknown scheme must error")
@@ -51,6 +54,7 @@ func TestParseSchemeUnknown(t *testing.T) {
 }
 
 func TestSchemeNamesMatchSchemes(t *testing.T) {
+	t.Parallel()
 	names := SchemeNames()
 	schemes := Schemes()
 	if len(names) != len(schemes) {
@@ -66,6 +70,7 @@ func TestSchemeNamesMatchSchemes(t *testing.T) {
 // TestRunWithMitigationPlugin runs a full simulation with an in-controller
 // mitigation attached and checks its stats surface in the result.
 func TestRunWithMitigationPlugin(t *testing.T) {
+	t.Parallel()
 	cfg := testCfg("mcf", Baseline)
 	cfg.Mitigation = "graphene"
 	cfg.RHThreshold = 4800
@@ -83,6 +88,7 @@ func TestRunWithMitigationPlugin(t *testing.T) {
 }
 
 func TestRunWithUnknownMitigationErrors(t *testing.T) {
+	t.Parallel()
 	cfg := testCfg("gcc", Baseline)
 	cfg.Mitigation = "bogus"
 	if _, err := NewSystem(cfg).Run(); err == nil {
@@ -97,6 +103,7 @@ func TestRunWithUnknownMitigationErrors(t *testing.T) {
 // (TRR is the contrast: its per-REF victim refreshes cost several percent
 // when modeled as explicit VRR commands instead of hiding inside tRFC.)
 func TestMitigationPerturbsLittle(t *testing.T) {
+	t.Parallel()
 	base, err := NewSystem(testCfg("gcc", Baseline)).Run()
 	if err != nil {
 		t.Fatal(err)

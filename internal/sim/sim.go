@@ -27,6 +27,7 @@ import (
 	"safeguard/internal/dram"
 	"safeguard/internal/itree"
 	"safeguard/internal/memctrl"
+	"safeguard/internal/telemetry"
 	"safeguard/internal/workload"
 )
 
@@ -145,6 +146,12 @@ type Config struct {
 	// RHThreshold sizes the mitigation; 0 uses the paper's LPDDR4-new
 	// threshold (Table I: 4800).
 	RHThreshold int
+	// Telemetry, when set, receives the run's counters/histograms (memctrl
+	// command mix, latencies, queue depths, plugin stats, LLC summary).
+	Telemetry *telemetry.Registry
+	// Trace, when set, receives cycle-stamped command events from the
+	// memory controller.
+	Trace *telemetry.Tracer
 }
 
 // DefaultConfig returns the Table II system.
@@ -252,6 +259,7 @@ func NewSystem(cfg Config) *System {
 		lineMask:    g.TotalBytes()/64 - 1,
 	}
 	s.mc.FCFS = cfg.FCFSScheduler
+	s.mc.AttachTelemetry(cfg.Telemetry, cfg.Trace)
 	th := cfg.RHThreshold
 	if th == 0 {
 		th = 4800 // Table I, LPDDR4-new
@@ -623,6 +631,13 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 	}
 	for i, dc := range doneCycle {
 		res.IPC = append(res.IPC, float64(s.cfg.InstrPerCore)/float64(dc-warmCycle[i]))
+	}
+	if reg := s.cfg.Telemetry; reg != nil {
+		reg.Counter("llc.hits").Add(s.llc.Hits)
+		reg.Counter("llc.misses").Add(s.llc.Misses)
+		reg.Counter("llc.prefetches").Add(s.pf.Issued)
+		reg.Gauge("sim.hmean_ipc").Set(res.HarmonicMeanIPC())
+		memctrl.PublishPluginStats(reg, res.PluginStats)
 	}
 	return res, nil
 }

@@ -20,6 +20,7 @@ func testCfg(name string, scheme Scheme) Config {
 }
 
 func TestRunCompletes(t *testing.T) {
+	t.Parallel()
 	res, err := NewSystem(testCfg("gcc", Baseline)).Run()
 	if err != nil {
 		t.Fatal(err)
@@ -38,6 +39,7 @@ func TestRunCompletes(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	a, err := NewSystem(testCfg("mcf", SafeGuard)).Run()
 	if err != nil {
 		t.Fatal(err)
@@ -57,6 +59,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestZeroMACLatencyMatchesBaseline(t *testing.T) {
+	t.Parallel()
 	// SafeGuard's only timing difference is the MAC latency: at zero it
 	// must be cycle-identical to the baseline.
 	base, err := NewSystem(testCfg("omnetpp", Baseline)).Run()
@@ -77,6 +80,7 @@ func TestZeroMACLatencyMatchesBaseline(t *testing.T) {
 }
 
 func TestSafeGuardAddsLatencyNotTraffic(t *testing.T) {
+	t.Parallel()
 	base, _ := NewSystem(testCfg("mcf", Baseline)).Run()
 	sg, _ := NewSystem(testCfg("mcf", SafeGuard)).Run()
 	// Identical request streams up to scheduling noise: within 2%.
@@ -91,6 +95,7 @@ func TestSafeGuardAddsLatencyNotTraffic(t *testing.T) {
 }
 
 func TestSGXStyleDoublesReadTraffic(t *testing.T) {
+	t.Parallel()
 	base, _ := NewSystem(testCfg("mcf", Baseline)).Run()
 	sgx, _ := NewSystem(testCfg("mcf", SGXStyle)).Run()
 	ratio := float64(sgx.MCStats.Reads) / float64(base.MCStats.Reads)
@@ -104,6 +109,7 @@ func TestSGXStyleDoublesReadTraffic(t *testing.T) {
 }
 
 func TestSynergyStyleAddsWriteTraffic(t *testing.T) {
+	t.Parallel()
 	cfgB := testCfg("lbm", Baseline)
 	cfgB.WarmupInstr = 250_000
 	cfgB.InstrPerCore = 150_000
@@ -130,6 +136,7 @@ func TestSynergyStyleAddsWriteTraffic(t *testing.T) {
 }
 
 func TestCacheResidentWorkloadBarelyTouchesMemory(t *testing.T) {
+	t.Parallel()
 	res, _ := NewSystem(testCfg("exchange2", Baseline)).Run()
 	// MC stats span warm-up too, so cold-start fills dominate this small
 	// budget; the bound only excludes steady-state DRAM traffic.
@@ -143,6 +150,7 @@ func TestCacheResidentWorkloadBarelyTouchesMemory(t *testing.T) {
 }
 
 func TestMemoryBoundWorkloadIsSlow(t *testing.T) {
+	t.Parallel()
 	lbm, _ := NewSystem(testCfg("lbm", Baseline)).Run()
 	leela, _ := NewSystem(testCfg("leela", Baseline)).Run()
 	if lbm.HarmonicMeanIPC() >= leela.HarmonicMeanIPC() {
@@ -151,6 +159,7 @@ func TestMemoryBoundWorkloadIsSlow(t *testing.T) {
 }
 
 func TestRowBufferLocalityOfStreams(t *testing.T) {
+	t.Parallel()
 	res, _ := NewSystem(testCfg("lbm", Baseline)).Run()
 	if hr := res.MCStats.RowHitRate(); hr < 0.5 {
 		t.Fatalf("streaming workload row-hit rate %.2f", hr)
@@ -161,6 +170,7 @@ func TestRowBufferLocalityOfStreams(t *testing.T) {
 }
 
 func TestMaxCyclesGuard(t *testing.T) {
+	t.Parallel()
 	cfg := testCfg("lbm", Baseline)
 	cfg.MaxCycles = 1000
 	if _, err := NewSystem(cfg).Run(); err == nil {
@@ -169,6 +179,7 @@ func TestMaxCyclesGuard(t *testing.T) {
 }
 
 func TestSchemeStrings(t *testing.T) {
+	t.Parallel()
 	for _, s := range []Scheme{Baseline, SafeGuard, SGXStyle, SynergyStyle} {
 		if s.String() == "unknown" || s.String() == "" {
 			t.Fatalf("scheme %d has no name", s)
@@ -177,6 +188,7 @@ func TestSchemeStrings(t *testing.T) {
 }
 
 func TestRunWorkloadHelper(t *testing.T) {
+	t.Parallel()
 	p, _ := workload.ByName("leela")
 	res, err := RunWorkload(p, SafeGuard, 8, 50_000, 1)
 	if err != nil {
@@ -188,6 +200,7 @@ func TestRunWorkloadHelper(t *testing.T) {
 }
 
 func TestSGXFullCostsMoreThanSGX(t *testing.T) {
+	t.Parallel()
 	// The machinery the paper's comparison excluded (counters + integrity
 	// tree) adds further traffic on top of the MAC fetches: SGX-full must
 	// be at least as slow as SGX-style, with more reads.

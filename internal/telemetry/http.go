@@ -1,0 +1,56 @@
+// Opt-in HTTP observability for long sweeps: an expvar endpoint exposing
+// the registry's live snapshot plus the standard pprof profiles, on a
+// loopback (or operator-chosen) address. Nothing here runs unless a cmd
+// passes -http; the simulation hot paths never touch this file.
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvarOnce guards the process-global expvar name: expvar.Publish panics
+// on duplicates, and tests may start several servers. expvarReg holds the
+// registry the expvar func reads — the most recent ServeHTTP call wins.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+// ServeHTTP starts an HTTP server on addr exposing:
+//
+//	/debug/vars    expvar (includes the registry under "safeguard")
+//	/debug/pprof/  the standard pprof handlers
+//	/stats         the registry's deterministic JSON snapshot
+//
+// It returns the bound address (useful with ":0") and a shutdown func.
+// The registry may be nil; /stats then serves the empty snapshot.
+func ServeHTTP(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("safeguard", expvar.Func(func() any { return expvarReg.Load().Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeHTTP(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("served").Add(9)
+	addr, shutdown, err := ServeHTTP("127.0.0.1:0", reg)
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer func() { _ = shutdown() }()
+
+	get := func(path string) string {
+		cl := &http.Client{Timeout: 5 * time.Second}
+		resp, err := cl.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/stats")), &snap); err != nil {
+		t.Fatalf("/stats not JSON: %v", err)
+	}
+	if snap.Counters["served"] != 9 {
+		t.Fatalf("/stats counters = %+v", snap.Counters)
+	}
+	if !strings.Contains(get("/debug/vars"), `"safeguard"`) {
+		t.Fatal("/debug/vars missing the safeguard expvar")
+	}
+	if !strings.Contains(get("/debug/pprof/"), "profile") {
+		t.Fatal("/debug/pprof/ index missing")
+	}
+}
+
+func TestServeHTTPBadAddr(t *testing.T) {
+	t.Parallel()
+	if _, _, err := ServeHTTP("256.256.256.256:1", nil); err == nil {
+		t.Fatal("expected error for unusable address")
+	}
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestParallelWriters hammers one registry from many goroutines — the
+// worker-pool shape of experiments/faultsim — and checks totals are exact
+// under the race detector.
+func TestParallelWriters(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	tr := NewTracer(1024)
+	const workers, perWorker = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Interleave registration and updates: handles are shared.
+			c := r.Counter("races")
+			h := r.Histogram("lat", DefaultLatencyBounds())
+			g := r.Gauge("peak")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(i % 2000))
+				g.SetMax(float64(w*perWorker + i))
+				if i%100 == 0 {
+					tr.Emit(Event{Cycle: int64(i), Kind: EvRD, Rank: w})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["races"] != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", s.Counters["races"], workers*perWorker)
+	}
+	if s.Histograms["lat"].Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", s.Histograms["lat"].Count, workers*perWorker)
+	}
+	if s.Gauges["peak"] != float64(workers*perWorker-1) {
+		t.Fatalf("gauge max = %g, want %d", s.Gauges["peak"], workers*perWorker-1)
+	}
+	// 8 workers x 100 emits fit the ring without eviction.
+	if tr.Len() != workers*perWorker/100 || tr.Dropped() != 0 {
+		t.Fatalf("tracer kept %d events (dropped %d), want %d kept, 0 dropped",
+			tr.Len(), tr.Dropped(), workers*perWorker/100)
+	}
+}
+
+// TestPerWorkerMergeDeterministic runs the same deterministic block-
+// partitioned workload under different worker counts, each worker with a
+// private registry, and requires bit-identical merged snapshots — the
+// property faultsim/experiments rely on.
+func TestPerWorkerMergeDeterministic(t *testing.T) {
+	t.Parallel()
+	const blocks, perBlock = 64, 257
+	runWith := func(workers int) Snapshot {
+		parts := make([]*Registry, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			parts[w] = NewRegistry()
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				reg := parts[w]
+				for b := w; b < blocks; b += workers {
+					// Per-block deterministic work, independent of worker.
+					c := reg.Counter("modules")
+					h := reg.Histogram("hours", []int64{100, 1000})
+					for i := 0; i < perBlock; i++ {
+						c.Inc()
+						h.Observe(int64((b*perBlock + i) % 2500))
+					}
+					reg.Counter(fmt.Sprintf("block.%03d", b)).Add(uint64(b))
+				}
+			}(w)
+		}
+		wg.Wait()
+		merged := NewRegistry()
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		return merged.Snapshot()
+	}
+	base := runWith(1)
+	for _, workers := range []int{4, 8} {
+		got := runWith(workers)
+		if !got.Equal(base) {
+			t.Fatalf("snapshot with %d workers differs from workers=1", workers)
+		}
+	}
+	if base.Counters["modules"] != blocks*perBlock {
+		t.Fatalf("modules = %d, want %d", base.Counters["modules"], blocks*perBlock)
+	}
+}
+
+// TestConcurrentSnapshotAndMerge takes snapshots while writers run: no
+// races, and the final state is exact.
+func TestConcurrentSnapshotAndMerge(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			r.Counter("live").Inc()
+			r.Histogram("h", []int64{10}).Observe(int64(i))
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		_ = r.Snapshot()
+		side := NewRegistry()
+		side.Merge(r)
+	}
+	<-done
+	if got := r.Snapshot().Counters["live"]; got != 5000 {
+		t.Fatalf("final counter = %d, want 5000", got)
+	}
+}

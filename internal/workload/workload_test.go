@@ -6,6 +6,7 @@ import (
 )
 
 func TestAllWorkloadsWellFormed(t *testing.T) {
+	t.Parallel()
 	for _, p := range SPEC2017Rate {
 		memFrac := p.LoadFrac + p.StoreFrac
 		if memFrac <= 0 || memFrac >= 1 {
@@ -25,6 +26,7 @@ func TestAllWorkloadsWellFormed(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
+	t.Parallel()
 	p, err := ByName("omnetpp")
 	if err != nil || p.Name != "omnetpp" {
 		t.Fatalf("ByName failed: %v %v", p, err)
@@ -38,6 +40,7 @@ func TestByName(t *testing.T) {
 }
 
 func TestGeneratorDeterminism(t *testing.T) {
+	t.Parallel()
 	p, _ := ByName("mcf")
 	g1 := NewGenerator(p, 0, 42)
 	g2 := NewGenerator(p, 0, 42)
@@ -49,6 +52,7 @@ func TestGeneratorDeterminism(t *testing.T) {
 }
 
 func TestCopiesAreDisjoint(t *testing.T) {
+	t.Parallel()
 	p, _ := ByName("mcf")
 	g0 := NewGenerator(p, 0, 42)
 	g3 := NewGenerator(p, 3, 42)
@@ -75,6 +79,7 @@ func TestCopiesAreDisjoint(t *testing.T) {
 }
 
 func TestInstructionMixMatchesParams(t *testing.T) {
+	t.Parallel()
 	for _, name := range []string{"mcf", "lbm", "leela"} {
 		p, _ := ByName(name)
 		g := NewGenerator(p, 0, 7)
@@ -106,6 +111,7 @@ func TestInstructionMixMatchesParams(t *testing.T) {
 }
 
 func TestStreamStrideIsWordGranular(t *testing.T) {
+	t.Parallel()
 	// Streaming loads must revisit each cache line ~8 times (8-byte
 	// stride), the spatial locality real code has.
 	p, _ := ByName("lbm")
@@ -129,6 +135,7 @@ func TestStreamStrideIsWordGranular(t *testing.T) {
 }
 
 func TestMemoryIntensityOrdering(t *testing.T) {
+	t.Parallel()
 	// The DRAM-footprint fractions must order the workloads the paper's
 	// results depend on: mcf/lbm memory-bound, leela/exchange2 resident.
 	intensity := func(name string) float64 {
@@ -148,6 +155,7 @@ func TestMemoryIntensityOrdering(t *testing.T) {
 }
 
 func TestOmnetppIsTheChaseHeavyWorkload(t *testing.T) {
+	t.Parallel()
 	// omnetpp's DRAM traffic must be chase-dominated (latency-critical,
 	// the paper's 3.6% worst case).
 	p, _ := ByName("omnetpp")
