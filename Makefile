@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench ci cover fmt vet fuzz-smoke examples-smoke
+.PHONY: all build test bench ci cover fmt vet fuzz-smoke examples-smoke sgprof-smoke
 
 all: build
 
@@ -11,9 +11,13 @@ test:
 	$(GO) test ./...
 
 # bench runs the figure/table benchmarks with allocation stats and writes a
-# machine-readable report alongside the human log.
+# machine-readable report alongside the human log. The artifact is keyed
+# off the newest PR number recorded in CHANGES.md (BENCH_<n>.json), so each
+# PR's numbers land beside its predecessors'; compare two with
+# `go run ./cmd/bench2json -diff BENCH_3.json BENCH_4.json`.
+BENCH_PR := $(shell sed -n 's/^- PR \([0-9][0-9]*\):.*/\1/p' CHANGES.md | tail -1)
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/bench2json -o BENCH_3.json
+	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/bench2json -o BENCH_$(BENCH_PR).json
 
 vet:
 	$(GO) vet ./...
@@ -41,10 +45,20 @@ examples-smoke:
 		$(GO) run ./$$d > /dev/null || exit 1; \
 	done
 
+# sgprof-smoke drives the profiler end to end: a tiny attribution run, a
+# JSON artifact, and a self-diff that must report zero regressions.
+sgprof-smoke:
+	@$(GO) run ./cmd/sgprof -run -workload mcf -instr 20000 -warmup 10000 \
+		-o /tmp/sgprof-smoke.json > /dev/null
+	@$(GO) run ./cmd/sgprof -in /tmp/sgprof-smoke.json \
+		-diff /tmp/sgprof-smoke.json > /dev/null
+	@echo "sgprof smoke OK (run -> report -> self-diff clean)"
+
 # cover gates statement coverage of the observability-critical packages:
-# telemetry feeds every -stats/-trace surface and response drives the DUE
-# pipeline, so regressions there must not land untested.
-COVER_GATE_PKGS := ./internal/telemetry ./internal/response
+# telemetry feeds every -stats/-trace surface, response drives the DUE
+# pipeline, and attrib is the cycle-accounting layer sgprof reports from,
+# so regressions there must not land untested.
+COVER_GATE_PKGS := ./internal/telemetry ./internal/response ./internal/attrib
 COVER_GATE_MIN  := 85
 cover:
 	@$(GO) test -cover $(COVER_GATE_PKGS) | awk -v min=$(COVER_GATE_MIN) ' \
@@ -59,10 +73,11 @@ cover:
 
 # ci is the gate: vet, formatting, the full test suite under the race
 # detector (includes the figure-shape regression tests in figures_test.go),
-# the coverage gate, a short fuzz pass over every codec, and the example
-# programs.
+# the coverage gate, a short fuzz pass over every codec, the example
+# programs, and the sgprof profiler smoke.
 ci: vet fmt
 	$(GO) test -race ./...
 	$(MAKE) cover
 	$(MAKE) fuzz-smoke
 	$(MAKE) examples-smoke
+	$(MAKE) sgprof-smoke

@@ -62,6 +62,11 @@ func main() {
 		cliflags.Fail(err)
 	}
 	defer tf.MustFinish()
+	tf.SetTraceMeta("tool", "sgattack")
+	tf.SetTraceMeta("seed", fmt.Sprint(*seed))
+	if *mitigation != "" {
+		tf.SetTraceMeta("mitigation", *mitigation)
+	}
 
 	// SIGINT cancels the controller-driven runs; partial results still print.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -229,6 +234,12 @@ func runRespond(ctx context.Context, seed uint64, mitigation string, tf *cliflag
 		res.BenignAvgLatencyAttack, res.BenignAvgLatencyTail)
 	if res.PolicyQuarantined != nil {
 		fmt.Printf("  OS policy (Section VII-B) quarantined co-resident process(es): %v\n", res.PolicyQuarantined)
+	}
+	if res.Analysis != nil {
+		// -trace was given: the run analyzed its own event stream, so the
+		// per-bank picture and incident timeline render right here.
+		fmt.Println()
+		res.Analysis.WriteText(os.Stdout)
 	}
 	fmt.Println()
 }

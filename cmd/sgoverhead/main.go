@@ -38,6 +38,7 @@ func main() {
 		cliflags.Fail(err)
 	}
 	defer tf.MustFinish()
+	tf.SetTraceMeta("tool", "sgoverhead")
 
 	// The sections here are analytic and fast, but honor SIGINT between
 	// them like the other commands: print what finished, then stop.

@@ -11,7 +11,9 @@
 // Budgets: -instr/-warmup set per-core instruction counts, -seeds the
 // averaging runs. -full selects the paper-scale preset. -mitigation
 // attaches an in-controller Row-Hammer defense (none, para, trr,
-// graphene, blockhammer) to every run of the sweep.
+// graphene, blockhammer) to every run of the sweep. -attrib turns on
+// cycle attribution and prints each scheme's CPI stack after the
+// figures (see sgprof for the dedicated profiling front-end).
 package main
 
 import (
@@ -23,11 +25,13 @@ import (
 	"os/signal"
 	"strings"
 
+	"safeguard/internal/attrib"
 	"safeguard/internal/cliflags"
 	"safeguard/internal/experiments"
 	"safeguard/internal/memctrl"
 	"safeguard/internal/report"
 	"safeguard/internal/sim"
+	"safeguard/internal/telemetry"
 )
 
 func main() {
@@ -46,6 +50,7 @@ func main() {
 		wl         = flag.String("workloads", "", "comma-separated workload subset")
 		mitigation = flag.String("mitigation", "", "in-controller Row-Hammer mitigation attached to every run")
 		threshold  = flag.Int("threshold", 0, "RH-Threshold sizing the mitigation (0 = Table I default)")
+		attribCPI  = flag.Bool("attrib", false, "attribute every cycle to a cause and print per-scheme CPI stacks after the figures")
 		listNames  = flag.Bool("list-names", false, "print the scheme and mitigation registries and exit")
 	)
 	tf := cliflags.Telemetry()
@@ -115,6 +120,16 @@ func main() {
 	defer tf.MustFinish()
 	cfg.Telemetry = tf.Registry
 	cfg.Trace = tf.Tracer
+	cfg.Attrib = *attribCPI
+	if cfg.Attrib && cfg.Telemetry == nil {
+		// CPI stacks travel as telemetry counters; attribution without
+		// -stats still needs a registry to collect into.
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	tf.SetTraceMeta("tool", "sgperf")
+	if *mitigation != "" {
+		tf.SetTraceMeta("mitigation", *mitigation)
+	}
 
 	if len(customSchemes) > 0 {
 		res, err := experiments.RunSchemes(ctx, cfg, customSchemes)
@@ -204,6 +219,11 @@ func main() {
 		}
 		t.Render(os.Stdout)
 		fmt.Println()
+	}
+	if cfg.Attrib && cfg.Telemetry != nil {
+		rep := attrib.NewReport()
+		rep.AddStacksFromSnapshot(cfg.Telemetry.Snapshot())
+		rep.WriteText(os.Stdout)
 	}
 }
 

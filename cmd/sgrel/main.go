@@ -54,6 +54,8 @@ func main() {
 		cliflags.Fail(err)
 	}
 	defer tf.MustFinish()
+	tf.SetTraceMeta("tool", "sgrel")
+	tf.SetTraceMeta("seed", fmt.Sprint(*seed))
 	cfg := faultsim.Config{
 		Modules: *modules, Years: 7, FITScale: 1, Seed: *seed,
 		ScrubIntervalHours: *scrub, RetireIntervalHours: *retire,

@@ -1,0 +1,393 @@
+// The windowed trace analyzer: a streaming consumer of telemetry.Tracer
+// events that folds the stream into fixed cycle windows. Three products:
+//
+//   - per-bank time series (utilization and row-buffer locality per
+//     window) — where in DRAM the pressure is and when;
+//   - an aggressor-row activation-rate leaderboard — the same
+//     activations-per-window signal BlockHammer thresholds on, so the
+//     top of the board IS the mitigation's view of the attack;
+//   - a DUE/response incident timeline — detection → retry → scrub →
+//     retire → quarantine latency per incident, the observable shape of
+//     the paper's response pipeline.
+//
+// Everything is integer bucketing over cycle stamps; identical event
+// streams produce identical analyses.
+package attrib
+
+import (
+	"sort"
+
+	"safeguard/internal/ecc"
+	"safeguard/internal/response"
+	"safeguard/internal/telemetry"
+)
+
+// DefaultWindowCycles is the analysis window when a config leaves it 0.
+// At DDR4-3200 MC cycles this is ~6.4 µs — fine enough to see refresh
+// beats, coarse enough that a full trace is a few hundred windows.
+const DefaultWindowCycles = 10_000
+
+// AnalyzerConfig bounds an analysis.
+type AnalyzerConfig struct {
+	// WindowCycles is the bucket width (DefaultWindowCycles when <= 0).
+	WindowCycles int64
+	// TopRows bounds the activation leaderboard (default 10).
+	TopRows int
+}
+
+// WindowStat is one bank's activity inside one window.
+type WindowStat struct {
+	// Start is the window's first cycle (Window * WindowCycles).
+	Window int64 `json:"window"`
+	ACTs   int64 `json:"acts"`
+	Reads  int64 `json:"reads"`
+	Writes int64 `json:"writes"`
+	VRRs   int64 `json:"vrrs,omitempty"`
+	// Denials counts ACTs an ActGate refused in the window.
+	Denials int64 `json:"denials,omitempty"`
+}
+
+// burstCycles approximates the data-bus cycles one column command holds
+// the bus (DDR4 BL8: tBURST = 4 MC cycles). Used only for the
+// utilization estimate; the controller, not the analyzer, owns timing.
+const burstCycles = 4
+
+// Utilization estimates the fraction of the window the bank held the
+// data bus (column commands × burst / window width), capped at 1.
+func (w WindowStat) Utilization(windowCycles int64) float64 {
+	if windowCycles <= 0 {
+		return 0
+	}
+	u := float64((w.Reads+w.Writes)*burstCycles) / float64(windowCycles)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// RowBufferLocality is the fraction of column commands served without a
+// fresh activation — 1 is a pure row-hit stream, 0 one ACT per access.
+func (w WindowStat) RowBufferLocality() float64 {
+	cols := w.Reads + w.Writes
+	if cols == 0 {
+		return 0
+	}
+	hit := cols - w.ACTs
+	if hit < 0 {
+		hit = 0
+	}
+	return float64(hit) / float64(cols)
+}
+
+// BankSeries is one bank's window time series.
+type BankSeries struct {
+	Rank int `json:"rank"`
+	Bank int `json:"bank"`
+	// Windows holds the non-empty windows in ascending order.
+	Windows []WindowStat `json:"windows"`
+}
+
+// RowRate is one row's standing on the activation leaderboard.
+type RowRate struct {
+	Rank int `json:"rank"`
+	Bank int `json:"bank"`
+	Row  int `json:"row"`
+	// ACTs is the row's total activations over the trace.
+	ACTs int64 `json:"acts"`
+	// PeakWindowACTs is the row's hottest single-window activation count
+	// — the value a BlockHammer-style threshold would compare against.
+	PeakWindowACTs int64 `json:"peak_window_acts"`
+}
+
+// Incident is one DUE's journey through the response pipeline. Cycle
+// fields are 0 when the stage never happened.
+type Incident struct {
+	// Addr is the faulting line; Row its DRAM row (-1 when no response
+	// step revealed it).
+	Addr uint64 `json:"addr"`
+	Row  int    `json:"row"`
+	// DetectCycle stamps the first DUE decode.
+	DetectCycle int64 `json:"detect_cycle"`
+	// Retries / Rereads count recovery re-read activity.
+	Retries int `json:"retries,omitempty"`
+	Rereads int `json:"rereads,omitempty"`
+	// Stage completion stamps, in escalation order.
+	FirstRetryCycle int64 `json:"first_retry_cycle,omitempty"`
+	ScrubCycle      int64 `json:"scrub_cycle,omitempty"`
+	RetireCycle     int64 `json:"retire_cycle,omitempty"`
+	QuarantineCycle int64 `json:"quarantine_cycle,omitempty"`
+	// LastCycle stamps the incident's final observed event.
+	LastCycle int64 `json:"last_cycle"`
+}
+
+// RecoveryCycles is the detection-to-last-action latency.
+func (in Incident) RecoveryCycles() int64 { return in.LastCycle - in.DetectCycle }
+
+// Analysis is a completed trace analysis.
+type Analysis struct {
+	WindowCycles int64 `json:"window_cycles"`
+	Events       int   `json:"events"`
+	// Dropped carries the tracer ring's eviction count when known.
+	Dropped    uint64 `json:"dropped,omitempty"`
+	FirstCycle int64  `json:"first_cycle"`
+	LastCycle  int64  `json:"last_cycle"`
+	// Banks is sorted by (rank, bank); Leaderboard by ACTs descending.
+	Banks       []BankSeries `json:"banks,omitempty"`
+	Leaderboard []RowRate    `json:"leaderboard,omitempty"`
+	Incidents   []Incident   `json:"incidents,omitempty"`
+}
+
+type bankKey struct{ rank, bank int }
+type rowKey struct{ rank, bank, row int }
+
+// Analyzer consumes events one at a time; Finish freezes the analysis.
+type Analyzer struct {
+	cfg   AnalyzerConfig
+	n     int
+	first int64
+	last  int64
+
+	banks map[bankKey]map[int64]*WindowStat
+	rows  map[rowKey]map[int64]int64
+
+	open      map[uint64]*Incident
+	incidents []*Incident
+}
+
+// NewAnalyzer builds a streaming analyzer.
+func NewAnalyzer(cfg AnalyzerConfig) *Analyzer {
+	if cfg.WindowCycles <= 0 {
+		cfg.WindowCycles = DefaultWindowCycles
+	}
+	if cfg.TopRows <= 0 {
+		cfg.TopRows = 10
+	}
+	return &Analyzer{
+		cfg:   cfg,
+		banks: make(map[bankKey]map[int64]*WindowStat),
+		rows:  make(map[rowKey]map[int64]int64),
+		open:  make(map[uint64]*Incident),
+	}
+}
+
+// Feed consumes one event.
+func (a *Analyzer) Feed(e telemetry.Event) {
+	if a.n == 0 || e.Cycle < a.first {
+		a.first = e.Cycle
+	}
+	if e.Cycle > a.last {
+		a.last = e.Cycle
+	}
+	a.n++
+	win := e.Cycle / a.cfg.WindowCycles
+	switch e.Kind {
+	case telemetry.EvACT:
+		a.window(e, win).ACTs++
+		k := rowKey{e.Rank, e.Bank, e.Row}
+		if a.rows[k] == nil {
+			a.rows[k] = make(map[int64]int64)
+		}
+		a.rows[k][win]++
+	case telemetry.EvRD:
+		a.window(e, win).Reads++
+	case telemetry.EvWR:
+		a.window(e, win).Writes++
+	case telemetry.EvVRR:
+		a.window(e, win).VRRs++
+	case telemetry.EvActDenied:
+		a.window(e, win).Denials++
+	case telemetry.EvDecode:
+		a.feedDecode(e)
+	case telemetry.EvReread:
+		if in := a.open[e.Addr]; in != nil {
+			in.Rereads++
+			in.touch(e.Cycle)
+		}
+	case telemetry.EvScrub:
+		if in := a.open[e.Addr]; in != nil {
+			if in.ScrubCycle == 0 {
+				in.ScrubCycle = e.Cycle
+			}
+			in.touch(e.Cycle)
+		}
+	case telemetry.EvRetire:
+		// Row-scoped: attach to the open incident on that row, else the
+		// most recent open incident.
+		if in := a.openByRow(e.Row); in != nil {
+			if in.RetireCycle == 0 {
+				in.RetireCycle = e.Cycle
+			}
+			in.touch(e.Cycle)
+		}
+	case telemetry.EvQuarantine:
+		if in := a.newestOpen(); in != nil {
+			if in.QuarantineCycle == 0 {
+				in.QuarantineCycle = e.Cycle
+			}
+			in.touch(e.Cycle)
+		}
+	case telemetry.EvResponseStep:
+		a.feedStep(e)
+	}
+}
+
+func (a *Analyzer) window(e telemetry.Event, win int64) *WindowStat {
+	k := bankKey{e.Rank, e.Bank}
+	m := a.banks[k]
+	if m == nil {
+		m = make(map[int64]*WindowStat)
+		a.banks[k] = m
+	}
+	w := m[win]
+	if w == nil {
+		w = &WindowStat{Window: win}
+		m[win] = w
+	}
+	return w
+}
+
+func (a *Analyzer) feedDecode(e telemetry.Event) {
+	if ecc.Status(e.Arg) != ecc.DUE {
+		// A clean (or corrected) decode on a line with an open incident
+		// means recovery delivered good data: close the incident.
+		if in := a.open[e.Addr]; in != nil {
+			in.touch(e.Cycle)
+			delete(a.open, e.Addr)
+		}
+		return
+	}
+	if in := a.open[e.Addr]; in != nil {
+		in.touch(e.Cycle) // repeated DUE on an open incident
+		return
+	}
+	in := &Incident{Addr: e.Addr, Row: -1, DetectCycle: e.Cycle, LastCycle: e.Cycle}
+	a.open[e.Addr] = in
+	a.incidents = append(a.incidents, in)
+}
+
+func (a *Analyzer) feedStep(e telemetry.Event) {
+	in := a.open[e.Addr]
+	if in == nil {
+		return
+	}
+	if in.Row < 0 && e.Row >= 0 {
+		in.Row = e.Row
+	}
+	switch response.StepKind(e.Arg) {
+	case response.StepRetry:
+		in.Retries++
+		if in.FirstRetryCycle == 0 {
+			in.FirstRetryCycle = e.Cycle
+		}
+	case response.StepScrub:
+		if in.ScrubCycle == 0 {
+			in.ScrubCycle = e.Cycle
+		}
+	case response.StepRetire:
+		if in.RetireCycle == 0 {
+			in.RetireCycle = e.Cycle
+		}
+	}
+	in.touch(e.Cycle)
+}
+
+func (in *Incident) touch(cycle int64) {
+	if cycle > in.LastCycle {
+		in.LastCycle = cycle
+	}
+}
+
+// openByRow finds the open incident on a row (newest wins).
+func (a *Analyzer) openByRow(row int) *Incident {
+	var best *Incident
+	for i := len(a.incidents) - 1; i >= 0; i-- {
+		in := a.incidents[i]
+		if a.open[in.Addr] != in {
+			continue
+		}
+		if in.Row == row {
+			return in
+		}
+		if best == nil {
+			best = in
+		}
+	}
+	return best
+}
+
+func (a *Analyzer) newestOpen() *Incident {
+	for i := len(a.incidents) - 1; i >= 0; i-- {
+		if in := a.incidents[i]; a.open[in.Addr] == in {
+			return in
+		}
+	}
+	return nil
+}
+
+// Finish freezes the analysis. The analyzer may keep consuming events
+// afterwards; Finish just snapshots.
+func (a *Analyzer) Finish() Analysis {
+	out := Analysis{
+		WindowCycles: a.cfg.WindowCycles,
+		Events:       a.n,
+		FirstCycle:   a.first,
+		LastCycle:    a.last,
+	}
+	for k, wins := range a.banks {
+		s := BankSeries{Rank: k.rank, Bank: k.bank}
+		idxs := make([]int64, 0, len(wins))
+		for w := range wins {
+			idxs = append(idxs, w)
+		}
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		for _, w := range idxs {
+			s.Windows = append(s.Windows, *wins[w])
+		}
+		out.Banks = append(out.Banks, s)
+	}
+	sort.Slice(out.Banks, func(i, j int) bool {
+		if out.Banks[i].Rank != out.Banks[j].Rank {
+			return out.Banks[i].Rank < out.Banks[j].Rank
+		}
+		return out.Banks[i].Bank < out.Banks[j].Bank
+	})
+	for k, wins := range a.rows {
+		r := RowRate{Rank: k.rank, Bank: k.bank, Row: k.row}
+		for _, n := range wins {
+			r.ACTs += n
+			if n > r.PeakWindowACTs {
+				r.PeakWindowACTs = n
+			}
+		}
+		out.Leaderboard = append(out.Leaderboard, r)
+	}
+	sort.Slice(out.Leaderboard, func(i, j int) bool {
+		x, y := out.Leaderboard[i], out.Leaderboard[j]
+		if x.ACTs != y.ACTs {
+			return x.ACTs > y.ACTs
+		}
+		if x.Rank != y.Rank {
+			return x.Rank < y.Rank
+		}
+		if x.Bank != y.Bank {
+			return x.Bank < y.Bank
+		}
+		return x.Row < y.Row
+	})
+	if len(out.Leaderboard) > a.cfg.TopRows {
+		out.Leaderboard = out.Leaderboard[:a.cfg.TopRows]
+	}
+	for _, in := range a.incidents {
+		out.Incidents = append(out.Incidents, *in)
+	}
+	return out
+}
+
+// Analyze is the one-shot wrapper over the streaming analyzer.
+func Analyze(events []telemetry.Event, cfg AnalyzerConfig) Analysis {
+	a := NewAnalyzer(cfg)
+	for _, e := range events {
+		a.Feed(e)
+	}
+	return a.Finish()
+}

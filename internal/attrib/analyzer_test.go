@@ -1,0 +1,198 @@
+package attrib
+
+import (
+	"reflect"
+	"testing"
+
+	"safeguard/internal/ecc"
+	"safeguard/internal/response"
+	"safeguard/internal/telemetry"
+)
+
+func ev(cycle int64, k telemetry.EventKind, rank, bank, row int) telemetry.Event {
+	return telemetry.Event{Cycle: cycle, Kind: k, Rank: rank, Bank: bank, Row: row}
+}
+
+func TestAnalyzerBankWindows(t *testing.T) {
+	events := []telemetry.Event{
+		ev(10, telemetry.EvACT, 0, 1, 42),
+		ev(12, telemetry.EvRD, 0, 1, 42),
+		ev(14, telemetry.EvRD, 0, 1, 42),
+		ev(20, telemetry.EvWR, 0, 1, 42),
+		ev(105, telemetry.EvACT, 0, 1, 43), // second window
+		ev(110, telemetry.EvRD, 0, 1, 43),
+		ev(50, telemetry.EvVRR, 1, 0, 7), // other bank
+		ev(55, telemetry.EvActDenied, 1, 0, 7),
+	}
+	a := Analyze(events, AnalyzerConfig{WindowCycles: 100})
+	if a.Events != len(events) || a.FirstCycle != 10 || a.LastCycle != 110 {
+		t.Fatalf("header = %+v", a)
+	}
+	if len(a.Banks) != 2 {
+		t.Fatalf("banks = %d, want 2", len(a.Banks))
+	}
+	// Sorted by (rank, bank): (0,1) first.
+	b := a.Banks[0]
+	if b.Rank != 0 || b.Bank != 1 || len(b.Windows) != 2 {
+		t.Fatalf("bank[0] = %+v", b)
+	}
+	w0 := b.Windows[0]
+	if w0.Window != 0 || w0.ACTs != 1 || w0.Reads != 2 || w0.Writes != 1 {
+		t.Fatalf("window 0 = %+v", w0)
+	}
+	if b.Windows[1].Window != 1 || b.Windows[1].Reads != 1 {
+		t.Fatalf("window 1 = %+v", b.Windows[1])
+	}
+	other := a.Banks[1]
+	if other.Rank != 1 || other.Windows[0].VRRs != 1 || other.Windows[0].Denials != 1 {
+		t.Fatalf("bank[1] = %+v", other)
+	}
+}
+
+func TestWindowStatMetrics(t *testing.T) {
+	w := WindowStat{ACTs: 2, Reads: 6, Writes: 2}
+	// 8 column commands * 4 burst cycles / 100 = 0.32
+	if got := w.Utilization(100); got != 0.32 {
+		t.Fatalf("Utilization = %v", got)
+	}
+	if got := w.Utilization(0); got != 0 {
+		t.Fatalf("Utilization(0) = %v", got)
+	}
+	if got := (WindowStat{Reads: 100, Writes: 100}).Utilization(10); got != 1 {
+		t.Fatalf("Utilization not capped: %v", got)
+	}
+	// (8-2)/8 = 0.75 row hits
+	if got := w.RowBufferLocality(); got != 0.75 {
+		t.Fatalf("RowBufferLocality = %v", got)
+	}
+	if got := (WindowStat{}).RowBufferLocality(); got != 0 {
+		t.Fatalf("empty locality = %v", got)
+	}
+	if got := (WindowStat{ACTs: 5, Reads: 2}).RowBufferLocality(); got != 0 {
+		t.Fatalf("locality went negative: %v", got)
+	}
+}
+
+func TestAnalyzerLeaderboard(t *testing.T) {
+	var events []telemetry.Event
+	// Row 100: 6 ACTs in one window (peak 6). Row 200: 8 ACTs across two
+	// windows (peak 4). Row 300: 1 ACT.
+	for i := 0; i < 6; i++ {
+		events = append(events, ev(int64(i), telemetry.EvACT, 0, 0, 100))
+	}
+	for i := 0; i < 4; i++ {
+		events = append(events, ev(int64(i), telemetry.EvACT, 0, 1, 200))
+		events = append(events, ev(int64(100+i), telemetry.EvACT, 0, 1, 200))
+	}
+	events = append(events, ev(5, telemetry.EvACT, 1, 0, 300))
+	a := Analyze(events, AnalyzerConfig{WindowCycles: 100, TopRows: 2})
+	if len(a.Leaderboard) != 2 {
+		t.Fatalf("leaderboard = %+v, want 2 rows (TopRows cap)", a.Leaderboard)
+	}
+	top := a.Leaderboard[0]
+	if top.Row != 200 || top.ACTs != 8 || top.PeakWindowACTs != 4 {
+		t.Fatalf("top row = %+v", top)
+	}
+	second := a.Leaderboard[1]
+	if second.Row != 100 || second.ACTs != 6 || second.PeakWindowACTs != 6 {
+		t.Fatalf("second row = %+v", second)
+	}
+}
+
+func TestAnalyzerIncidentLifecycle(t *testing.T) {
+	const addr = 0xdead40
+	events := []telemetry.Event{
+		{Cycle: 100, Kind: telemetry.EvDecode, Addr: addr, Arg: int64(ecc.DUE)},
+		{Cycle: 110, Kind: telemetry.EvResponseStep, Addr: addr, Row: 33,
+			Arg: int64(response.StepRetry), Aux: 1},
+		{Cycle: 115, Kind: telemetry.EvReread, Addr: addr},
+		{Cycle: 120, Kind: telemetry.EvResponseStep, Addr: addr, Row: 33,
+			Arg: int64(response.StepRetry), Aux: 2},
+		{Cycle: 130, Kind: telemetry.EvResponseStep, Addr: addr, Row: 33,
+			Arg: int64(response.StepScrub), Aux: 1},
+		{Cycle: 135, Kind: telemetry.EvScrub, Addr: addr},
+		{Cycle: 140, Kind: telemetry.EvResponseStep, Addr: addr, Row: 33,
+			Arg: int64(response.StepRetire), Aux: 1},
+		{Cycle: 145, Kind: telemetry.EvRetire, Row: 33, Arg: 1},
+		{Cycle: 150, Kind: telemetry.EvQuarantine},
+		{Cycle: 160, Kind: telemetry.EvDecode, Addr: addr, Arg: int64(ecc.OK)},
+	}
+	a := Analyze(events, AnalyzerConfig{})
+	if len(a.Incidents) != 1 {
+		t.Fatalf("incidents = %+v", a.Incidents)
+	}
+	in := a.Incidents[0]
+	want := Incident{
+		Addr: addr, Row: 33, DetectCycle: 100,
+		Retries: 2, Rereads: 1,
+		FirstRetryCycle: 110, ScrubCycle: 130, RetireCycle: 140, QuarantineCycle: 150,
+		LastCycle: 160,
+	}
+	if !reflect.DeepEqual(in, want) {
+		t.Fatalf("incident:\n got %+v\nwant %+v", in, want)
+	}
+	if in.RecoveryCycles() != 60 {
+		t.Fatalf("RecoveryCycles = %d", in.RecoveryCycles())
+	}
+}
+
+func TestAnalyzerIncidentEdgeCases(t *testing.T) {
+	// A repeated DUE extends the open incident rather than opening a
+	// second; steps and scrubs on unknown addresses are ignored; a clean
+	// decode with no open incident is a no-op.
+	events := []telemetry.Event{
+		{Cycle: 5, Kind: telemetry.EvDecode, Addr: 0x100, Arg: int64(ecc.OK)},
+		{Cycle: 10, Kind: telemetry.EvDecode, Addr: 0x200, Arg: int64(ecc.DUE)},
+		{Cycle: 20, Kind: telemetry.EvDecode, Addr: 0x200, Arg: int64(ecc.DUE)},
+		{Cycle: 25, Kind: telemetry.EvScrub, Addr: 0x999},
+		{Cycle: 26, Kind: telemetry.EvReread, Addr: 0x999},
+		{Cycle: 27, Kind: telemetry.EvResponseStep, Addr: 0x999, Arg: int64(response.StepRetry)},
+		// Retire on an unrelated row still attaches to the newest open
+		// incident (quarantine-style global escalation fallback).
+		{Cycle: 30, Kind: telemetry.EvRetire, Row: 77, Arg: 1},
+	}
+	a := Analyze(events, AnalyzerConfig{})
+	if len(a.Incidents) != 1 {
+		t.Fatalf("incidents = %+v", a.Incidents)
+	}
+	in := a.Incidents[0]
+	if in.Addr != 0x200 || in.DetectCycle != 10 || in.LastCycle != 30 || in.RetireCycle != 30 {
+		t.Fatalf("incident = %+v", in)
+	}
+	if in.Retries != 0 || in.Rereads != 0 || in.ScrubCycle != 0 {
+		t.Fatalf("foreign-address activity leaked in: %+v", in)
+	}
+}
+
+func TestAnalyzerQuarantineNoOpen(t *testing.T) {
+	// Quarantine/retire with no open incident must not panic or invent one.
+	a := Analyze([]telemetry.Event{
+		{Cycle: 1, Kind: telemetry.EvQuarantine},
+		{Cycle: 2, Kind: telemetry.EvRetire, Row: 3, Arg: 1},
+		{Cycle: 3, Kind: telemetry.EvREF, Rank: 0, Bank: -1, Row: -1},
+	}, AnalyzerConfig{})
+	if len(a.Incidents) != 0 {
+		t.Fatalf("incidents = %+v", a.Incidents)
+	}
+	if a.Events != 3 {
+		t.Fatalf("events = %d", a.Events)
+	}
+}
+
+func TestAnalyzerDefaultsAndDeterminism(t *testing.T) {
+	events := []telemetry.Event{
+		ev(3, telemetry.EvACT, 0, 0, 1),
+		ev(1, telemetry.EvRD, 0, 0, 1), // out-of-order cycle stamps
+	}
+	a := Analyze(events, AnalyzerConfig{})
+	if a.WindowCycles != DefaultWindowCycles {
+		t.Fatalf("WindowCycles = %d", a.WindowCycles)
+	}
+	if a.FirstCycle != 1 || a.LastCycle != 3 {
+		t.Fatalf("range = %d..%d", a.FirstCycle, a.LastCycle)
+	}
+	b := Analyze(events, AnalyzerConfig{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same events, different analyses")
+	}
+}

@@ -1,0 +1,227 @@
+// Package attrib is the deterministic cycle-attribution and
+// trace-analytics layer on top of internal/telemetry. It answers the two
+// questions raw telemetry cannot: *where did every cycle go* (CPI stacks,
+// this file) and *how did a run unfold over time* (windowed trace
+// analytics, analyzer.go). cmd/sgprof renders both.
+//
+// The accounting contract is exact: an attributing core charges exactly
+// one component per core cycle, so a CPIStack's components sum to the
+// measured cycle count with no residue (invariant-tested in
+// internal/sim). Components are published to a telemetry.Registry as
+// plain counters, so per-worker stacks merge commutatively and sweep
+// totals are independent of worker count — the same block-determinism
+// rule the rest of the repository follows.
+package attrib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"safeguard/internal/telemetry"
+)
+
+// Component is one cause a stalled (or productive) retire slot is charged
+// to. The taxonomy follows the paper's decomposition of SafeGuard's
+// overhead: the protection costs (MAC verify, ECC decode, re-reads) are
+// separated from the machine costs they ride on (DRAM latency, refresh
+// and mitigation interference, queueing) so a profile shows exactly which
+// layer a regression lives in.
+type Component int
+
+const (
+	// CompBase is useful work: full-width retirement, front-end supply,
+	// and single-cycle op latency. Everything not a stall lands here.
+	CompBase Component = iota
+	// CompCache is time hidden inside L1/LLC hit latency.
+	CompCache
+	// CompROBFull is dispatch starved by store-buffer backpressure: the
+	// memory system refused a store and the ROB drained empty behind it.
+	CompROBFull
+	// CompQueue is a demand miss parked outside a full controller read
+	// queue (the overflow backlog, before DRAM even sees the request).
+	CompQueue
+	// CompDRAM is raw DRAM service latency: activation, column access,
+	// bus occupancy, and in-controller queueing.
+	CompDRAM
+	// CompRefresh is a request stalled behind auto-refresh (tRFC) or a
+	// mitigation's victim-row refresh occupying the bank.
+	CompRefresh
+	// CompGate is a request whose activation an ActGate denied
+	// (BlockHammer-style throttling or a quarantine gate).
+	CompGate
+	// CompDecode is the on-critical-path ECC decode tail of a fill.
+	CompDecode
+	// CompMAC is the MAC-verify tail of a fill, plus waits for a separate
+	// MAC-region fetch (SGX-style) after the data itself arrived.
+	CompMAC
+	// CompReread is response-engine re-read recovery (trace-derived; the
+	// perf sim has no DUEs, so it stays zero there).
+	CompReread
+	// CompResponse is response-engine scrub/retire/quarantine recovery
+	// (trace-derived, like CompReread).
+	CompResponse
+
+	// NumComponents sizes a CPIStack.
+	NumComponents
+)
+
+// componentNames are the canonical short names, in Component order; they
+// appear in counter keys, reports, and diffs.
+var componentNames = [NumComponents]string{
+	"base", "cache", "rob_full", "queue", "dram",
+	"vrr_refresh", "gate", "ecc_decode", "mac", "reread", "response",
+}
+
+// String returns the component's canonical short name.
+func (c Component) String() string {
+	if c < 0 || c >= NumComponents {
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+	return componentNames[c]
+}
+
+// Components lists every component in canonical order.
+func Components() []Component {
+	out := make([]Component, NumComponents)
+	for i := range out {
+		out[i] = Component(i)
+	}
+	return out
+}
+
+// ParseComponent resolves a canonical component name.
+func ParseComponent(name string) (Component, error) {
+	for i, n := range componentNames {
+		if n == name {
+			return Component(i), nil
+		}
+	}
+	return 0, fmt.Errorf("attrib: unknown component %q", name)
+}
+
+// CPIStack is a per-component cycle account. Stacks are plain value
+// arrays: copy to snapshot, subtract to window, add to merge — all
+// integer operations, so merged stacks are independent of merge order.
+type CPIStack [NumComponents]int64
+
+// Charge adds one cycle to the component. The caller guarantees exactly
+// one Charge per attributed core cycle — that is the sum-to-total
+// invariant.
+func (s *CPIStack) Charge(c Component) { s[c]++ }
+
+// AddN adds n cycles to the component (trace-derived overlays).
+func (s *CPIStack) AddN(c Component, n int64) { s[c] += n }
+
+// Total returns the summed cycle count across components.
+func (s CPIStack) Total() int64 {
+	var t int64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// Sub returns the per-component difference s - prev (a measurement
+// window between two snapshots).
+func (s CPIStack) Sub(prev CPIStack) CPIStack {
+	var out CPIStack
+	for i := range s {
+		out[i] = s[i] - prev[i]
+	}
+	return out
+}
+
+// Merge adds another stack into this one (commutative).
+func (s *CPIStack) Merge(o CPIStack) {
+	for i := range s {
+		s[i] += o[i]
+	}
+}
+
+// Map returns the stack as component-name -> cycles (every component
+// present, zeros included, so report shapes never vary).
+func (s CPIStack) Map() map[string]int64 {
+	out := make(map[string]int64, NumComponents)
+	for i, v := range s {
+		out[componentNames[i]] = v
+	}
+	return out
+}
+
+// StackFromMap rebuilds a stack from a component-name map (report
+// ingestion). Unknown names are an error; missing names are zero.
+func StackFromMap(m map[string]int64) (CPIStack, error) {
+	var s CPIStack
+	for name, v := range m {
+		c, err := ParseComponent(name)
+		if err != nil {
+			return s, err
+		}
+		s[c] = v
+	}
+	return s, nil
+}
+
+// Probe reports which component a still-pending (or just-completed)
+// operation would stall its consumer on at the given cycle. Cores call
+// the head-of-ROB probe once per stalled cycle; probes must therefore be
+// allocation-free and side-effect-free.
+type Probe func(now int64) Component
+
+// counterPrefix namespaces the published per-scheme CPI counters.
+const counterPrefix = "attrib.cpi."
+
+// PublishCPI publishes a measured stack into a registry as counters
+// "attrib.cpi.<label>.<component>". Counters add under Merge, so
+// per-worker publishes land on the same totals in any order. No-op on a
+// nil registry.
+func PublishCPI(reg *telemetry.Registry, label string, s CPIStack) {
+	if reg == nil {
+		return
+	}
+	for i, v := range s {
+		reg.Counter(counterPrefix + label + "." + componentNames[i]).Add(uint64(v))
+	}
+}
+
+// CPIFromSnapshot recovers the published stack for a label from a
+// registry snapshot; ok is false when the label published nothing.
+func CPIFromSnapshot(snap telemetry.Snapshot, label string) (CPIStack, bool) {
+	var s CPIStack
+	found := false
+	for i, name := range componentNames {
+		v, ok := snap.Counters[counterPrefix+label+"."+name]
+		if ok {
+			found = true
+		}
+		s[i] = int64(v)
+	}
+	return s, found
+}
+
+// CPILabels lists every label that published a stack into the snapshot,
+// sorted (deterministic report ordering).
+func CPILabels(snap telemetry.Snapshot) []string {
+	seen := map[string]bool{}
+	for key := range snap.Counters {
+		if !strings.HasPrefix(key, counterPrefix) {
+			continue
+		}
+		rest := key[len(counterPrefix):]
+		i := strings.LastIndexByte(rest, '.')
+		if i <= 0 {
+			continue
+		}
+		if _, err := ParseComponent(rest[i+1:]); err != nil {
+			continue
+		}
+		seen[rest[:i]] = true
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,133 @@
+package attrib
+
+import (
+	"strings"
+	"testing"
+
+	"safeguard/internal/telemetry"
+)
+
+func TestComponentNamesRoundTrip(t *testing.T) {
+	for _, c := range Components() {
+		got, err := ParseComponent(c.String())
+		if err != nil {
+			t.Fatalf("ParseComponent(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Fatalf("ParseComponent(%q) = %v, want %v", c.String(), got, c)
+		}
+	}
+	if _, err := ParseComponent("nonsense"); err == nil {
+		t.Fatal("ParseComponent accepted an unknown name")
+	}
+	if s := Component(-1).String(); !strings.Contains(s, "-1") {
+		t.Fatalf("out-of-range String = %q", s)
+	}
+	if s := NumComponents.String(); !strings.Contains(s, "Component(") {
+		t.Fatalf("NumComponents String = %q", s)
+	}
+}
+
+func TestCPIStackArithmetic(t *testing.T) {
+	var s CPIStack
+	s.Charge(CompBase)
+	s.Charge(CompBase)
+	s.Charge(CompMAC)
+	s.AddN(CompDRAM, 5)
+	if got := s.Total(); got != 8 {
+		t.Fatalf("Total = %d, want 8", got)
+	}
+
+	prev := s
+	s.Charge(CompDecode)
+	s.AddN(CompDRAM, 2)
+	win := s.Sub(prev)
+	if win[CompDecode] != 1 || win[CompDRAM] != 2 || win.Total() != 3 {
+		t.Fatalf("Sub window = %v", win.Map())
+	}
+
+	var a, b CPIStack
+	a.AddN(CompBase, 3)
+	b.AddN(CompBase, 4)
+	b.AddN(CompQueue, 1)
+	ab, ba := a, b
+	ab.Merge(b)
+	ba.Merge(a)
+	if ab != ba {
+		t.Fatalf("Merge not commutative: %v vs %v", ab.Map(), ba.Map())
+	}
+	if ab[CompBase] != 7 || ab[CompQueue] != 1 {
+		t.Fatalf("Merge = %v", ab.Map())
+	}
+}
+
+func TestCPIStackMapRoundTrip(t *testing.T) {
+	var s CPIStack
+	s.AddN(CompBase, 10)
+	s.AddN(CompMAC, 3)
+	m := s.Map()
+	if len(m) != int(NumComponents) {
+		t.Fatalf("Map has %d keys, want %d (zeros must be present)", len(m), NumComponents)
+	}
+	back, err := StackFromMap(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip: %v != %v", back.Map(), s.Map())
+	}
+	if _, err := StackFromMap(map[string]int64{"bogus": 1}); err == nil {
+		t.Fatal("StackFromMap accepted an unknown component")
+	}
+	// Missing names default to zero.
+	partial, err := StackFromMap(map[string]int64{"mac": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial[CompMAC] != 7 || partial.Total() != 7 {
+		t.Fatalf("partial map = %v", partial.Map())
+	}
+}
+
+func TestPublishCPISnapshot(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var sg, base CPIStack
+	sg.AddN(CompBase, 100)
+	sg.AddN(CompMAC, 25)
+	base.AddN(CompBase, 90)
+	PublishCPI(reg, "SafeGuard", sg)
+	PublishCPI(reg, "Baseline", base)
+	PublishCPI(nil, "ignored", sg) // nil registry is a no-op
+
+	snap := reg.Snapshot()
+	labels := CPILabels(snap)
+	if len(labels) != 2 || labels[0] != "Baseline" || labels[1] != "SafeGuard" {
+		t.Fatalf("labels = %v", labels)
+	}
+	got, ok := CPIFromSnapshot(snap, "SafeGuard")
+	if !ok || got != sg {
+		t.Fatalf("SafeGuard stack = %v ok=%v, want %v", got.Map(), ok, sg.Map())
+	}
+	if _, ok := CPIFromSnapshot(snap, "nope"); ok {
+		t.Fatal("CPIFromSnapshot found an unpublished label")
+	}
+
+	// A second publish accumulates (commutative worker merges).
+	PublishCPI(reg, "SafeGuard", sg)
+	got, _ = CPIFromSnapshot(reg.Snapshot(), "SafeGuard")
+	if got[CompMAC] != 50 {
+		t.Fatalf("accumulated MAC = %d, want 50", got[CompMAC])
+	}
+}
+
+func TestCPILabelsIgnoresForeignCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("mc.reads").Add(1)
+	reg.Counter("attrib.cpi.oddball").Add(1)       // no component suffix
+	reg.Counter("attrib.cpi.x.notacomp").Add(1)    // bad component
+	reg.Counter("attrib.cpi.scheme/a.base").Add(1) // valid
+	labels := CPILabels(reg.Snapshot())
+	if len(labels) != 1 || labels[0] != "scheme/a" {
+		t.Fatalf("labels = %v, want [scheme/a]", labels)
+	}
+}

@@ -1,0 +1,244 @@
+// The sgprof report: a deterministic, versioned JSON artifact carrying
+// CPI stacks and/or a trace analysis, a text renderer over
+// internal/report tables, and a component-level diff that flags
+// regressions between two reports — the artifact CI's sgprof smoke and
+// perf PRs compare against.
+package attrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"safeguard/internal/report"
+	"safeguard/internal/telemetry"
+)
+
+// ReportSchema versions the sgprof report layout.
+const ReportSchema = "sgprof/1"
+
+// SchemeStack is one labelled CPI stack inside a report. The label is
+// usually a scheme name; sweeps may use "scheme/workload" compounds.
+type SchemeStack struct {
+	Label string `json:"label"`
+	// Cycles is the measured total; it equals the component sum by the
+	// accounting invariant, and ReadReport rejects reports where it
+	// does not.
+	Cycles     int64            `json:"cycles"`
+	Components map[string]int64 `json:"components"`
+}
+
+// Report is the sgprof artifact.
+type Report struct {
+	Schema string            `json:"schema"`
+	Meta   map[string]string `json:"meta,omitempty"`
+	Stacks []SchemeStack     `json:"cpi_stacks,omitempty"`
+	Trace  *Analysis         `json:"trace,omitempty"`
+}
+
+// NewReport builds an empty report.
+func NewReport() *Report {
+	return &Report{Schema: ReportSchema, Meta: map[string]string{}}
+}
+
+// AddStack appends a labelled stack (kept sorted by label).
+func (r *Report) AddStack(label string, s CPIStack) {
+	r.Stacks = append(r.Stacks, SchemeStack{
+		Label: label, Cycles: s.Total(), Components: s.Map(),
+	})
+	sort.Slice(r.Stacks, func(i, j int) bool { return r.Stacks[i].Label < r.Stacks[j].Label })
+}
+
+// AddStacksFromSnapshot imports every stack published into a registry
+// snapshot via PublishCPI.
+func (r *Report) AddStacksFromSnapshot(snap telemetry.Snapshot) {
+	for _, label := range CPILabels(snap) {
+		if s, ok := CPIFromSnapshot(snap, label); ok {
+			r.AddStack(label, s)
+		}
+	}
+}
+
+// WriteJSON renders the report as indented JSON. Map keys sort under
+// encoding/json, slices carry their own canonical order, and nothing
+// here reads a clock — identical runs produce identical bytes.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses and validates a report: schema must match and every
+// stack's components must sum to its cycle total (the invariant a
+// malformed or hand-edited artifact would break first).
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("attrib: bad report: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("attrib: unsupported report schema %q (this build reads %q)", r.Schema, ReportSchema)
+	}
+	for _, st := range r.Stacks {
+		stack, err := StackFromMap(st.Components)
+		if err != nil {
+			return nil, fmt.Errorf("attrib: stack %q: %w", st.Label, err)
+		}
+		if stack.Total() != st.Cycles {
+			return nil, fmt.Errorf("attrib: stack %q: components sum to %d, cycles field says %d",
+				st.Label, stack.Total(), st.Cycles)
+		}
+	}
+	return &r, nil
+}
+
+// WriteText renders the report as tables.
+func (r *Report) WriteText(w io.Writer) {
+	if len(r.Meta) > 0 {
+		keys := make([]string, 0, len(r.Meta))
+		for k := range r.Meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "# %s=%s\n", k, r.Meta[k])
+		}
+	}
+	for _, st := range r.Stacks {
+		t := report.NewTable(fmt.Sprintf("CPI stack — %s (%d cycles)", st.Label, st.Cycles),
+			"component", "cycles", "share")
+		for _, c := range Components() {
+			v := st.Components[c.String()]
+			share := 0.0
+			if st.Cycles > 0 {
+				share = float64(v) / float64(st.Cycles)
+			}
+			t.AddRow(c.String(), v, report.Percent(share))
+		}
+		t.Render(w)
+	}
+	if r.Trace != nil {
+		r.Trace.WriteText(w)
+	}
+}
+
+// WriteText renders the analysis as tables — bank activity, the
+// aggressor-row leaderboard, and the incident timeline — the same
+// rendering a full report embeds. Tools that analyze their own live
+// tracer (sgattack -respond) call this directly.
+func (a *Analysis) WriteText(w io.Writer) {
+	bt := report.NewTable(
+		fmt.Sprintf("Bank activity — %d events, cycles %d..%d, window=%d",
+			a.Events, a.FirstCycle, a.LastCycle, a.WindowCycles),
+		"rank", "bank", "windows", "acts", "reads", "writes", "vrrs", "denials",
+		"peak util", "mean locality")
+	for _, b := range a.Banks {
+		var acts, rds, wrs, vrrs, den int64
+		var peakU, sumLoc float64
+		for _, ws := range b.Windows {
+			acts += ws.ACTs
+			rds += ws.Reads
+			wrs += ws.Writes
+			vrrs += ws.VRRs
+			den += ws.Denials
+			if u := ws.Utilization(a.WindowCycles); u > peakU {
+				peakU = u
+			}
+			sumLoc += ws.RowBufferLocality()
+		}
+		meanLoc := 0.0
+		if len(b.Windows) > 0 {
+			meanLoc = sumLoc / float64(len(b.Windows))
+		}
+		bt.AddRow(b.Rank, b.Bank, len(b.Windows), acts, rds, wrs, vrrs, den,
+			report.Percent(peakU), report.Percent(meanLoc))
+	}
+	bt.Render(w)
+	if len(a.Leaderboard) > 0 {
+		lt := report.NewTable("Aggressor-row activation leaderboard",
+			"rank", "bank", "row", "acts", "peak acts/window")
+		for _, r := range a.Leaderboard {
+			lt.AddRow(r.Rank, r.Bank, r.Row, r.ACTs, r.PeakWindowACTs)
+		}
+		lt.Render(w)
+	}
+	if len(a.Incidents) > 0 {
+		it := report.NewTable("DUE/response incident timeline",
+			"addr", "row", "detect", "retries", "rereads", "scrub", "retire", "quarantine", "recovery cycles")
+		for _, in := range a.Incidents {
+			it.AddRow(fmt.Sprintf("%#x", in.Addr), in.Row, in.DetectCycle,
+				in.Retries, in.Rereads,
+				stageAt(in.ScrubCycle), stageAt(in.RetireCycle), stageAt(in.QuarantineCycle),
+				in.RecoveryCycles())
+		}
+		it.Render(w)
+	}
+}
+
+func stageAt(cycle int64) string {
+	if cycle == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", cycle)
+}
+
+// Regression is one diff finding: a component whose cycle cost grew past
+// the threshold between a baseline and a current report.
+type Regression struct {
+	Label     string `json:"label"`
+	Component string `json:"component"`
+	Old       int64  `json:"old"`
+	New       int64  `json:"new"`
+	// Delta is the relative growth (0.25 = +25%). When the baseline was
+	// zero any growth reports delta 1.
+	Delta float64 `json:"delta"`
+}
+
+func (g Regression) String() string {
+	return fmt.Sprintf("%s/%s: %d -> %d (%+.1f%%)", g.Label, g.Component, g.Old, g.New, g.Delta*100)
+}
+
+// Diff compares baseline and current stacks label by label and returns
+// every component (plus the per-label total) whose cycle count grew by
+// more than threshold, ordered by label then component. Labels missing
+// from either side are skipped — a diff judges what both runs measured.
+func Diff(baseline, current *Report, threshold float64) []Regression {
+	old := make(map[string]SchemeStack, len(baseline.Stacks))
+	for _, st := range baseline.Stacks {
+		old[st.Label] = st
+	}
+	var out []Regression
+	for _, st := range current.Stacks {
+		b, ok := old[st.Label]
+		if !ok {
+			continue
+		}
+		for _, c := range Components() {
+			name := c.String()
+			if g, bad := regress(b.Components[name], st.Components[name], threshold); bad {
+				out = append(out, Regression{Label: st.Label, Component: name, Old: b.Components[name], New: st.Components[name], Delta: g})
+			}
+		}
+		if g, bad := regress(b.Cycles, st.Cycles, threshold); bad {
+			out = append(out, Regression{Label: st.Label, Component: "total", Old: b.Cycles, New: st.Cycles, Delta: g})
+		}
+	}
+	return out
+}
+
+// regress reports whether new exceeds old by more than threshold.
+func regress(oldV, newV int64, threshold float64) (float64, bool) {
+	if newV <= oldV {
+		return 0, false
+	}
+	if oldV == 0 {
+		return 1, true
+	}
+	d := float64(newV-oldV) / float64(oldV)
+	// Guard rounding at the threshold itself: a delta equal to the
+	// threshold within one ulp is not a regression.
+	return d, d > threshold+math.SmallestNonzeroFloat64
+}

@@ -1,0 +1,188 @@
+package attrib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"safeguard/internal/ecc"
+	"safeguard/internal/telemetry"
+)
+
+func sampleReport() *Report {
+	r := NewReport()
+	r.Meta["scheme"] = "SafeGuard"
+	r.Meta["workload"] = "mcf"
+	var sg, base CPIStack
+	sg.AddN(CompBase, 700)
+	sg.AddN(CompDRAM, 200)
+	sg.AddN(CompMAC, 100)
+	base.AddN(CompBase, 800)
+	base.AddN(CompDRAM, 200)
+	r.AddStack("SafeGuard", sg)
+	r.AddStack("Baseline", base)
+	return r
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := r.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("WriteJSON is not byte-stable")
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ReportSchema || len(back.Stacks) != 2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	// AddStack keeps stacks sorted by label.
+	if back.Stacks[0].Label != "Baseline" || back.Stacks[1].Label != "SafeGuard" {
+		t.Fatalf("stack order = %q, %q", back.Stacks[0].Label, back.Stacks[1].Label)
+	}
+	if back.Stacks[1].Cycles != 1000 {
+		t.Fatalf("cycles = %d", back.Stacks[1].Cycles)
+	}
+}
+
+func TestReadReportRejects(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        "not json",
+		"wrong schema":   `{"schema":"sgprof/99"}`,
+		"missing schema": `{}`,
+		"bad component":  `{"schema":"sgprof/1","cpi_stacks":[{"label":"x","cycles":1,"components":{"bogus":1}}]}`,
+		"sum mismatch":   `{"schema":"sgprof/1","cpi_stacks":[{"label":"x","cycles":5,"components":{"base":4}}]}`,
+	}
+	for name, body := range cases {
+		if _, err := ReadReport(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: ReadReport accepted %q", name, body)
+		}
+	}
+}
+
+func TestAddStacksFromSnapshot(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var s CPIStack
+	s.AddN(CompBase, 42)
+	s.AddN(CompMAC, 8)
+	PublishCPI(reg, "SafeGuard", s)
+	r := NewReport()
+	r.AddStacksFromSnapshot(reg.Snapshot())
+	if len(r.Stacks) != 1 || r.Stacks[0].Label != "SafeGuard" || r.Stacks[0].Cycles != 50 {
+		t.Fatalf("stacks = %+v", r.Stacks)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := sampleReport()
+	r.Trace = &Analysis{
+		WindowCycles: 100, Events: 4, FirstCycle: 1, LastCycle: 250,
+		Banks: []BankSeries{{Rank: 0, Bank: 1, Windows: []WindowStat{
+			{Window: 0, ACTs: 1, Reads: 2, Writes: 1},
+			{Window: 2, ACTs: 1, Reads: 1},
+		}}},
+		Leaderboard: []RowRate{{Rank: 0, Bank: 1, Row: 42, ACTs: 2, PeakWindowACTs: 1}},
+		Incidents: []Incident{{
+			Addr: 0x1000, Row: 7, DetectCycle: 100, Retries: 1,
+			FirstRetryCycle: 110, ScrubCycle: 120, LastCycle: 130,
+		}},
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# scheme=SafeGuard",
+		"CPI stack — SafeGuard (1000 cycles)",
+		"CPI stack — Baseline (1000 cycles)",
+		"mac",
+		"Bank activity",
+		"Aggressor-row activation leaderboard",
+		"DUE/response incident timeline",
+		"0x1000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+	// Unreached stages render as "-", not 0.
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing stage placeholder:\n%s", out)
+	}
+	var buf2 bytes.Buffer
+	r.WriteText(&buf2)
+	if buf.String() != buf2.String() {
+		t.Fatal("WriteText is not byte-stable")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := NewReport()
+	var a CPIStack
+	a.AddN(CompBase, 1000)
+	a.AddN(CompMAC, 100)
+	old.AddStack("SafeGuard", a)
+	old.AddStack("gone", a)
+
+	cur := NewReport()
+	b := a
+	b.AddN(CompMAC, 50)    // mac: +50%
+	b.AddN(CompReread, 10) // reread: 0 -> 10
+	cur.AddStack("SafeGuard", b)
+	cur.AddStack("new-label", b) // skipped: absent from baseline
+
+	// mac grew 50% and reread appeared from zero; the 1100→1160 total is
+	// under the 10% threshold and must not be flagged.
+	regs := Diff(old, cur, 0.10)
+	want := map[string]bool{"mac": true, "reread": true}
+	if len(regs) != len(want) {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	for _, g := range regs {
+		if g.Label != "SafeGuard" || !want[g.Component] {
+			t.Fatalf("unexpected regression %+v", g)
+		}
+		if g.Component == "reread" && g.Delta != 1 {
+			t.Fatalf("zero-baseline delta = %v", g.Delta)
+		}
+		if s := g.String(); !strings.Contains(s, "SafeGuard/") {
+			t.Fatalf("String = %q", s)
+		}
+	}
+
+	// Under threshold, shrinking, or equal → no findings.
+	if regs := Diff(old, old, 0.10); len(regs) != 0 {
+		t.Fatalf("self-diff found %+v", regs)
+	}
+	if regs := Diff(cur, old, 0.10); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", regs)
+	}
+	// Exactly at the threshold is not a regression.
+	c := a
+	c.AddN(CompMAC, 10) // +10% on mac exactly
+	curEdge := NewReport()
+	curEdge.AddStack("SafeGuard", c)
+	for _, g := range Diff(old, curEdge, 0.10) {
+		if g.Component == "mac" {
+			t.Fatalf("threshold-equal delta flagged: %+v", g)
+		}
+	}
+}
+
+func TestDiffTraceReportsCompatible(t *testing.T) {
+	// A report carrying only a trace analysis (no stacks) diffs cleanly.
+	r := NewReport()
+	r.Trace = &Analysis{WindowCycles: 100, Events: 1, Incidents: []Incident{
+		{Addr: 1, Row: -1, DetectCycle: int64(ecc.DUE)},
+	}}
+	if regs := Diff(r, r, 0.1); len(regs) != 0 {
+		t.Fatalf("trace-only self-diff = %+v", regs)
+	}
+}

@@ -26,7 +26,18 @@ type TelemetryFlags struct {
 	// Tracer is non-nil when -trace was given.
 	Tracer *telemetry.Tracer
 
+	meta     map[string]string
 	stopHTTP func() error
+}
+
+// SetTraceMeta annotates the -trace file's header ("# meta key=value").
+// Tools stamp what they know — tool name, scheme, geometry — so a trace
+// artifact stays self-describing. No-op when -trace was not given.
+func (tf *TelemetryFlags) SetTraceMeta(key, value string) {
+	if tf.meta == nil {
+		tf.meta = map[string]string{}
+	}
+	tf.meta[key] = value
 }
 
 // Telemetry registers -stats, -trace and -http on the default FlagSet.
@@ -79,7 +90,7 @@ func (tf *TelemetryFlags) Finish() error {
 		if err != nil {
 			return err
 		}
-		if _, err := tf.Tracer.WriteTo(f); err != nil {
+		if err := telemetry.WriteTraceFile(f, tf.meta, tf.Tracer); err != nil {
 			_ = f.Close()
 			return err
 		}

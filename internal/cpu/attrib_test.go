@@ -1,0 +1,130 @@
+package cpu
+
+import (
+	"testing"
+
+	"safeguard/internal/attrib"
+	"safeguard/internal/workload"
+)
+
+// neverMem accepts loads but never completes them: the core fills its ROB
+// and then stalls forever — the steady state the hot-path guard measures.
+type neverMem struct{ loads int }
+
+func (m *neverMem) Load(addr uint64, at int64, complete func(int64)) { m.loads++ }
+func (m *neverMem) Store(addr uint64, at int64) bool                 { return true }
+
+// probedNeverMem is neverMem as a ProbedPort with a shared static probe.
+type probedNeverMem struct{ neverMem }
+
+var dramProbe attrib.Probe = func(int64) attrib.Component { return attrib.CompDRAM }
+
+func (m *probedNeverMem) LoadProbed(addr uint64, at int64, complete func(int64)) attrib.Probe {
+	m.Load(addr, at, complete)
+	return dramProbe
+}
+
+// loadSource produces an endless stream of independent loads.
+type loadSource struct{ n uint64 }
+
+func (s *loadSource) Next() workload.Instr {
+	s.n++
+	return workload.Instr{IsLoad: true, Addr: s.n * 64}
+}
+
+// fill runs the core until its ROB is full and dispatch has stopped.
+func fill(t *testing.T, c *Core) int64 {
+	t.Helper()
+	now := int64(1)
+	for ; now < 1000; now++ {
+		c.Cycle(now)
+		if len(c.rob) == c.ROBSize {
+			return now
+		}
+	}
+	t.Fatal("ROB never filled")
+	return now
+}
+
+// The stalled-core cycle path must stay allocation-free with attribution
+// detached — the PR 3 zero-alloc guard extended to the core model. A
+// fully stalled Cycle does retire scans, classification, and dispatch
+// checks, but allocates nothing.
+func TestCycleHotPathZeroAllocsAttribOff(t *testing.T) {
+	c := New(&loadSource{}, &neverMem{})
+	now := fill(t, c)
+	if n := testing.AllocsPerRun(1000, func() {
+		now++
+		c.Cycle(now)
+	}); n != 0 {
+		t.Fatalf("stalled Cycle allocates %.1f objects/op with attribution off, want 0", n)
+	}
+}
+
+// Attribution attached must not add allocations either: Charge is an
+// array increment and probes are shared closures.
+func TestCycleHotPathZeroAllocsAttribOn(t *testing.T) {
+	c := New(&loadSource{}, &probedNeverMem{})
+	var st attrib.CPIStack
+	c.AttachAttrib(&st)
+	now := fill(t, c)
+	before := st.Total()
+	if n := testing.AllocsPerRun(1000, func() {
+		now++
+		c.Cycle(now)
+	}); n != 0 {
+		t.Fatalf("stalled Cycle allocates %.1f objects/op with attribution on, want 0", n)
+	}
+	if st.Total() == before {
+		t.Fatal("attribution attached but no cycles charged")
+	}
+	// Every stalled cycle probed the head load: all charges land on DRAM.
+	if st[attrib.CompDRAM] == 0 {
+		t.Fatalf("stalled-on-load cycles not charged to dram: %v", st.Map())
+	}
+}
+
+// classify's full decision table, driven through real Cycle calls.
+func TestClassifyComponents(t *testing.T) {
+	t.Parallel()
+	// Full-width retirement of NOPs is base work.
+	{
+		c := New(&scriptSource{}, &fixedMem{latency: 1})
+		var st attrib.CPIStack
+		c.AttachAttrib(&st)
+		run(c, 100)
+		if st[attrib.CompBase] == 0 || st.Total() != 100 {
+			t.Fatalf("NOP stream stack = %v", st.Map())
+		}
+	}
+	// A plain (unprobed) port charges load stalls to DRAM.
+	{
+		c := New(&loadSource{}, &neverMem{})
+		var st attrib.CPIStack
+		c.AttachAttrib(&st)
+		run(c, 100)
+		if st[attrib.CompDRAM] == 0 {
+			t.Fatalf("unprobed load stalls = %v", st.Map())
+		}
+		if st.Total() != 100 {
+			t.Fatalf("sum invariant broke: %v", st.Map())
+		}
+	}
+	// Store-buffer backpressure with a drained ROB is rob_full.
+	{
+		src := &scriptSource{instrs: []workload.Instr{{IsStore: true, Addr: 64}}}
+		c := New(src, &refusingMem{})
+		var st attrib.CPIStack
+		c.AttachAttrib(&st)
+		run(c, 100)
+		if st[attrib.CompROBFull] == 0 {
+			t.Fatalf("refused store never charged rob_full: %v", st.Map())
+		}
+	}
+}
+
+// refusingMem refuses every store (permanent backpressure).
+type refusingMem struct{}
+
+func (refusingMem) Load(addr uint64, at int64, complete func(int64)) { complete(at + 1) }
+func (refusingMem) Store(addr uint64, at int64) bool                 { return false }

@@ -8,7 +8,10 @@
 // `omnetpp` the paper's most latency-sensitive workload.
 package cpu
 
-import "safeguard/internal/workload"
+import (
+	"safeguard/internal/attrib"
+	"safeguard/internal/workload"
+)
 
 // MemoryPort is the core's window into the cache hierarchy and memory
 // system. Load begins an access at cycle `at` and must invoke complete
@@ -22,6 +25,16 @@ type MemoryPort interface {
 	Store(addr uint64, at int64) bool
 }
 
+// ProbedPort is the optional MemoryPort extension cycle attribution
+// uses: LoadProbed behaves exactly like Load but additionally returns a
+// stall-cause probe for the access (nil when the memory system cannot
+// attribute it). An attributing core prefers LoadProbed; plain ports
+// keep working with every stall charged to attrib.CompDRAM.
+type ProbedPort interface {
+	MemoryPort
+	LoadProbed(addr uint64, at int64, complete func(done int64)) attrib.Probe
+}
+
 // InstrSource produces the core's instruction trace.
 type InstrSource interface {
 	Next() workload.Instr
@@ -33,6 +46,9 @@ type robEntry struct {
 	// dep is the producer load a pointer-chase waits on (nil otherwise).
 	dep  *robEntry
 	addr uint64
+	// probe reports the stall cause of an in-flight load (nil when
+	// attribution is off or the port cannot attribute).
+	probe attrib.Probe
 }
 
 // Core is one out-of-order core.
@@ -56,11 +72,26 @@ type Core struct {
 	Retired int64
 	// Loads/Stores count dispatched memory operations.
 	Loads, Stores int64
+
+	// att receives one attrib.Component charge per Cycle call when
+	// attached (nil = attribution off, zero cost beyond one nil check).
+	att *attrib.CPIStack
+	// pmem caches the ProbedPort view of mem (nil when unsupported).
+	pmem ProbedPort
 }
 
 // New builds a core with the Table II parameters (224-entry ROB, 6-wide).
 func New(src InstrSource, mem MemoryPort) *Core {
 	return &Core{ROBSize: 224, Width: 6, src: src, mem: mem}
+}
+
+// AttachAttrib points the core at a CPI stack: every subsequent Cycle
+// call charges exactly one component (the sum-to-total invariant). The
+// stack is read between cycles by the owner (snapshots at measurement
+// boundaries); nil detaches.
+func (c *Core) AttachAttrib(st *attrib.CPIStack) {
+	c.att = st
+	c.pmem, _ = c.mem.(ProbedPort)
 }
 
 // Cycle advances the core by one CPU cycle.
@@ -75,6 +106,12 @@ func (c *Core) Cycle(now int64) {
 		c.rob = c.rob[1:]
 		c.Retired++
 		retired++
+	}
+
+	// Attribute this cycle while the ROB still shows why retirement
+	// stopped (before dispatch refills it).
+	if c.att != nil {
+		c.att.Charge(c.classify(now, retired))
 	}
 
 	// Start dependent loads whose producers have completed.
@@ -130,7 +167,52 @@ func (c *Core) Cycle(now int64) {
 	}
 }
 
+// classify names the component this cycle belongs to. Exactly one call
+// per Cycle when attribution is attached; the caller charges the result.
+func (c *Core) classify(now int64, retired int) attrib.Component {
+	switch {
+	case retired == c.Width:
+		// Full-width retirement: a maximally productive cycle.
+		return attrib.CompBase
+	case len(c.rob) == 0:
+		// Nothing left to retire. If a refused store blocks dispatch the
+		// window drained behind store-buffer backpressure; otherwise the
+		// front end simply ran dry (counts as base issue).
+		if c.stalledStore != nil {
+			return attrib.CompROBFull
+		}
+		return attrib.CompBase
+	}
+	h := c.rob[0]
+	if h.done {
+		// Completed but immature head: inside an op's latency tail. A
+		// probed load names its phase (DRAM/decode/MAC/...); plain
+		// single-cycle ops are ordinary issue latency.
+		if h.probe != nil {
+			return h.probe(now)
+		}
+		return attrib.CompBase
+	}
+	// Incomplete head. A pointer chase still waiting on its producer
+	// charges the producer's stall cause.
+	e := h
+	if h.dep != nil {
+		e = h.dep
+	}
+	if e.probe != nil {
+		return e.probe(now)
+	}
+	return attrib.CompDRAM
+}
+
 func (c *Core) startLoad(e *robEntry, now int64) {
+	if c.att != nil && c.pmem != nil {
+		e.probe = c.pmem.LoadProbed(e.addr, now, func(done int64) {
+			e.done = true
+			e.completeAt = done
+		})
+		return
+	}
 	c.mem.Load(e.addr, now, func(done int64) {
 		e.done = true
 		e.completeAt = done

@@ -56,6 +56,10 @@ type PerfConfig struct {
 	// run's cycle stamp), so this is a debugging aid, not a deterministic
 	// artifact — use workers=1 for a reproducible stream.
 	Trace *telemetry.Tracer
+	// Attrib turns on cycle attribution in every run; per-run CPI stacks
+	// land in Telemetry as attrib.cpi.* counters (commutative, so sweep
+	// totals are worker-count independent).
+	Attrib bool
 }
 
 // QuickPerf is the benchmark-harness preset.
@@ -176,6 +180,7 @@ func runPerf(ctx context.Context, cfg PerfConfig, schemes []sim.Scheme) (PerfRes
 				sc.Seed = j.seed
 				sc.Mitigation = cfg.Mitigation
 				sc.RHThreshold = cfg.RHThreshold
+				sc.Attrib = cfg.Attrib
 				if cfg.Telemetry != nil {
 					sc.Telemetry = telemetry.NewRegistry()
 				}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"safeguard/internal/attrib"
+	"safeguard/internal/sim"
+	"safeguard/internal/telemetry"
+)
+
+func quickProfileConfig() ProfileConfig {
+	return ProfileConfig{
+		Workload:     "mcf",
+		Schemes:      []sim.Scheme{sim.Baseline, sim.SafeGuard},
+		Seeds:        []uint64{1, 2},
+		InstrPerCore: 30_000,
+		WarmupInstr:  15_000,
+	}
+}
+
+// The acceptance contract: the profile (and the report rendered from it)
+// is bit-identical across worker counts — per-run integer stacks merged
+// commutatively cannot depend on scheduling.
+func TestProfileWorkerCountIndependent(t *testing.T) {
+	t.Parallel()
+	var first ProfileResult
+	var firstJSON []byte
+	for i, workers := range []int{1, 4, 8} {
+		cfg := quickProfileConfig()
+		cfg.Parallelism = workers
+		res, err := Profile(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := res.Report().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first, firstJSON = res, buf.Bytes()
+			continue
+		}
+		if !reflect.DeepEqual(res.Stacks, first.Stacks) {
+			t.Fatalf("workers=%d stacks differ:\n%v\n%v", workers, res.Stacks, first.Stacks)
+		}
+		if !bytes.Equal(buf.Bytes(), firstJSON) {
+			t.Fatalf("workers=%d report bytes differ", workers)
+		}
+	}
+	// The stacks are real: SafeGuard shows MAC cycles, Baseline does not.
+	if first.Stacks[sim.SafeGuard][attrib.CompMAC] == 0 {
+		t.Fatalf("SafeGuard stack has no MAC: %v", first.Stacks[sim.SafeGuard].Map())
+	}
+	if got := first.Stacks[sim.Baseline][attrib.CompMAC]; got != 0 {
+		t.Fatalf("Baseline stack has %d MAC cycles", got)
+	}
+}
+
+// Profile's published telemetry carries the same stacks as the result.
+func TestProfilePublishesTelemetry(t *testing.T) {
+	t.Parallel()
+	cfg := quickProfileConfig()
+	cfg.Seeds = []uint64{1}
+	cfg.Telemetry = telemetry.NewRegistry()
+	res, err := Profile(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := cfg.Telemetry.Snapshot()
+	for _, sch := range cfg.Schemes {
+		got, ok := attrib.CPIFromSnapshot(snap, sch.String())
+		if !ok {
+			t.Fatalf("%v published no stack", sch)
+		}
+		if got != res.Stacks[sch] {
+			t.Fatalf("%v: snapshot %v != result %v", sch, got.Map(), res.Stacks[sch].Map())
+		}
+	}
+}
+
+func TestProfileBadWorkload(t *testing.T) {
+	t.Parallel()
+	if _, err := Profile(context.Background(), ProfileConfig{Workload: "no-such"}); err == nil {
+		t.Fatal("Profile accepted an unknown workload")
+	}
+}
+
+// PerfConfig.Attrib publishes per-scheme stacks from a sweep too.
+func TestPerfAttribPassthrough(t *testing.T) {
+	t.Parallel()
+	cfg := QuickPerf()
+	cfg.Workloads = []string{"mcf"}
+	cfg.Seeds = []uint64{1}
+	cfg.InstrPerCore = 30_000
+	cfg.WarmupInstr = 15_000
+	cfg.Attrib = true
+	cfg.Telemetry = telemetry.NewRegistry()
+	if _, err := Figure7(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	labels := attrib.CPILabels(cfg.Telemetry.Snapshot())
+	if len(labels) != 2 {
+		t.Fatalf("labels = %v, want Baseline and SafeGuard", labels)
+	}
+}

@@ -1,0 +1,91 @@
+package memctrl
+
+import (
+	"testing"
+
+	"safeguard/internal/attrib"
+)
+
+// A queued read with no interference is in plain DRAM service; a line the
+// controller does not know about defaults to DRAM too (already issued).
+func TestReadStallClassDefaultsToDRAM(t *testing.T) {
+	t.Parallel()
+	c := newCtl()
+	c.EnqueueRead(0x1000, func(int64) {})
+	if got := c.ReadStallClass(0x1000); got != attrib.CompDRAM {
+		t.Fatalf("queued read class = %v, want dram", got)
+	}
+	if got := c.ReadStallClass(0xdead000); got != attrib.CompDRAM {
+		t.Fatalf("unknown line class = %v, want dram", got)
+	}
+}
+
+// A read whose rank sits inside a tRFC blackout is stalled by refresh.
+func TestReadStallClassRefreshBlackout(t *testing.T) {
+	t.Parallel()
+	c := newCtl()
+	c.EnqueueRead(0x40, func(int64) {})
+	coord := c.readQ[0].coord
+	c.ranks[coord.Rank].refreshUntil = c.now + 100
+	if got := c.ReadStallClass(0x40); got != attrib.CompRefresh {
+		t.Fatalf("blackout class = %v, want vrr_refresh", got)
+	}
+	c.ranks[coord.Rank].refreshUntil = 0
+	if got := c.ReadStallClass(0x40); got != attrib.CompDRAM {
+		t.Fatalf("post-blackout class = %v, want dram", got)
+	}
+}
+
+// A pending victim-row refresh on the read's bank charges the wait to
+// refresh interference (normal traffic yields to VRRs).
+func TestReadStallClassPendingVRR(t *testing.T) {
+	t.Parallel()
+	c := newCtl()
+	c.EnqueueRead(0x40, func(int64) {})
+	coord := c.readQ[0].coord
+	if !c.EnqueueVRR(coord.Rank, coord.Bank, 5) {
+		t.Fatal("EnqueueVRR failed")
+	}
+	if got := c.ReadStallClass(0x40); got != attrib.CompRefresh {
+		t.Fatalf("pending-VRR class = %v, want vrr_refresh", got)
+	}
+	// A VRR on a different bank does not taint this read.
+	c.vrrQ = nil
+	other := (coord.Bank + 1) % c.geom.Banks
+	c.EnqueueVRR(coord.Rank, other, 5)
+	if got := c.ReadStallClass(0x40); got != attrib.CompDRAM {
+		t.Fatalf("other-bank-VRR class = %v, want dram", got)
+	}
+}
+
+// denyAll refuses every activation — the throttling gate at its harshest.
+type denyAll struct{}
+
+func (denyAll) Name() string                            { return "deny-all" }
+func (denyAll) OnCommand(Command, int, int, int, int64) {}
+func (denyAll) OnTick(int64)                            {}
+func (denyAll) DrainStats() PluginStats                 { return nil }
+func (denyAll) AllowAct(_, _, _ int, _ int64) bool      { return false }
+
+// A read whose activation an ActGate denied charges its wait to the gate
+// while the denial is fresh, and falls back to DRAM once it goes stale.
+func TestReadStallClassGateDenial(t *testing.T) {
+	t.Parallel()
+	c := newCtl()
+	c.AttachPlugin(denyAll{})
+	c.EnqueueRead(0x40, func(int64) {})
+	for i := 0; i < 10; i++ {
+		c.Tick()
+	}
+	if c.lastDenied.at < 0 {
+		t.Fatal("gate never denied the activation")
+	}
+	if got := c.ReadStallClass(0x40); got != attrib.CompGate {
+		t.Fatalf("denied read class = %v, want gate", got)
+	}
+	// Stale denial: the bridge only spans deniedRecently cycles.
+	c.lastDenied.at = c.now - deniedRecently - 1
+	if got := c.ReadStallClass(0x40); got != attrib.CompDRAM {
+		t.Fatalf("stale-denial class = %v, want dram", got)
+	}
+}

@@ -11,6 +11,7 @@
 package memctrl
 
 import (
+	"safeguard/internal/attrib"
 	"safeguard/internal/dram"
 )
 
@@ -54,6 +55,9 @@ type rankState struct {
 	actWindow     [4]int64 // rolling tFAW window
 	actWindowPos  int
 	nextRefreshAt int64
+	// refreshUntil marks the end of the rank's current tRFC blackout
+	// (ReadStallClass charges waits inside it to refresh interference).
+	refreshUntil int64
 }
 
 // Stats aggregates controller activity.
@@ -129,9 +133,20 @@ type Controller struct {
 
 	now int64
 
+	// lastDenied remembers the most recent ActGate denial so
+	// ReadStallClass can charge a gated request's wait to the gate
+	// rather than to generic DRAM latency.
+	lastDenied denialRecord
+
 	tel ctrlTelemetry
 
 	Stats Stats
+}
+
+// denialRecord is the coordinates and cycle of one ActGate denial.
+type denialRecord struct {
+	rank, bank, row int
+	at              int64
 }
 
 type pendingCompletion struct {
@@ -142,6 +157,7 @@ type pendingCompletion struct {
 // New builds a controller for the geometry and timing.
 func New(g dram.Geometry, tm dram.Timing) *Controller {
 	c := &Controller{tm: tm, geom: g, mapper: dram.NewMapper(g), RemapPenalty: DefaultRemapPenalty}
+	c.lastDenied.at = -1 << 30
 	c.banks = make([][]bankState, g.Ranks)
 	c.ranks = make([]rankState, g.Ranks)
 	for r := range c.banks {
@@ -222,6 +238,41 @@ func (c *Controller) EnqueueWrite(lineAddr uint64) bool {
 	return true
 }
 
+// deniedRecently is how many MC cycles an ActGate denial keeps tainting
+// a request's stall class. A gated request is denied at most once per
+// tick (when it is the scheduling candidate), so a small bridge keeps
+// the classification stable between attempts without outliving the gate.
+const deniedRecently = 4
+
+// ReadStallClass names the attrib component a queued read is currently
+// waiting on: refresh/VRR interference when its bank is blacked out or
+// yielding to a victim-row refresh, gate latency when an ActGate
+// recently denied its activation, and raw DRAM service otherwise. Reads
+// not found in the queue (already issued, or write-forwarded) are in
+// DRAM service by definition. Called from attribution probes on stalled
+// CPU cycles — a linear scan of a ≤64-entry queue, no allocation.
+func (c *Controller) ReadStallClass(lineAddr uint64) attrib.Component {
+	for _, r := range c.readQ {
+		if r.lineAddr != lineAddr {
+			continue
+		}
+		rk := &c.ranks[r.coord.Rank]
+		if c.now < rk.refreshUntil {
+			return attrib.CompRefresh
+		}
+		if len(c.vrrQ) > 0 && c.hasPendingVRR(r.coord.Rank, r.coord.Bank) {
+			return attrib.CompRefresh
+		}
+		d := c.lastDenied
+		if c.now-d.at <= deniedRecently && d.rank == r.coord.Rank &&
+			d.bank == r.coord.Bank && d.row == r.coord.Row {
+			return attrib.CompGate
+		}
+		return attrib.CompDRAM
+	}
+	return attrib.CompDRAM
+}
+
 // PendingReads returns the read-queue depth.
 func (c *Controller) PendingReads() int { return len(c.readQ) }
 
@@ -287,6 +338,7 @@ func (c *Controller) refresh() {
 		c.Stats.Refreshes++
 		c.dispatch(CmdREF, r, -1, -1)
 		until := c.now + int64(c.tm.TRFC)
+		rk.refreshUntil = until
 		for b := range c.banks[r] {
 			bank := &c.banks[r][b]
 			bank.openRow = -1

@@ -159,6 +159,7 @@ func (c *Controller) dispatch(cmd Command, rank, bank, row int) {
 func (c *Controller) allowAct(rank, bank, row int) bool {
 	for _, g := range c.gates {
 		if !g.AllowAct(rank, bank, row, c.now) {
+			c.lastDenied = denialRecord{rank: rank, bank: bank, row: row, at: c.now}
 			c.onActDenied(rank, bank, row)
 			return false
 		}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"safeguard/internal/attrib"
 	"safeguard/internal/dram"
 	"safeguard/internal/ecc"
 	"safeguard/internal/mac"
@@ -86,6 +87,11 @@ type ResponseAttackResult struct {
 	// Steps is the engine's full escalation trace.
 	Steps       []response.Step
 	EngineStats response.EngineStats
+
+	// Analysis is the windowed trace analysis of the run — bank pressure,
+	// the aggressor-row leaderboard, and the DUE incident timeline. Only
+	// populated when the config carried a Trace.
+	Analysis *attrib.Analysis
 
 	// BadReadsDuringAttack counts benign reads that consumed a standing
 	// DUE or corrupted data while the attack ran; BadReadsAfterQuarantine
@@ -369,6 +375,11 @@ attack:
 	res.RetiredRows = eng.RetiredRows()
 	res.MemStats = mem.Stats
 	res.MCStats = mc.Stats
+	if tr := cfg.Trace; tr != nil {
+		a := attrib.Analyze(tr.Events(), attrib.AnalyzerConfig{})
+		a.Dropped = tr.Dropped()
+		res.Analysis = &a
+	}
 	if reg := cfg.Telemetry; reg != nil {
 		reg.Counter("attack.accesses").Add(uint64(res.AttackerAccesses))
 		reg.Counter("attack.bad_reads.during").Add(uint64(res.BadReadsDuringAttack))

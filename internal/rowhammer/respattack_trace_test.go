@@ -135,3 +135,46 @@ func TestResponseAttackTraceDeterminism(t *testing.T) {
 			res1.AttackerAccesses, res2.AttackerAccesses, res1.Cycles, res2.Cycles)
 	}
 }
+
+// The attached trace analysis reconstructs the run: the aggressor rows
+// top the activation leaderboard, and the DUE incidents carry the
+// detection and escalation stamps the engine recorded.
+func TestResponseAttackAnalysisIncidents(t *testing.T) {
+	t.Parallel()
+	_, _, res := runTracedAttack(t)
+	a := res.Analysis
+	if a == nil {
+		t.Fatal("traced run produced no Analysis")
+	}
+	if a.Events == 0 || a.Dropped != 0 || len(a.Banks) == 0 {
+		t.Fatalf("analysis header: %+v", a)
+	}
+	if len(a.Leaderboard) == 0 {
+		t.Fatal("no leaderboard")
+	}
+	// DoubleSided{Victim: 8} hammers rows 7 and 9.
+	if top := a.Leaderboard[0].Row; top != 7 && top != 9 {
+		t.Fatalf("leaderboard top row = %d, want an aggressor (7 or 9)", top)
+	}
+	if len(a.Incidents) == 0 {
+		t.Fatal("quarantining run produced no incidents")
+	}
+	var sawRetry, sawQuarantine bool
+	for _, in := range a.Incidents {
+		if in.DetectCycle <= 0 || in.LastCycle < in.DetectCycle {
+			t.Fatalf("incident stamps out of order: %+v", in)
+		}
+		if in.Retries > 0 {
+			sawRetry = true
+		}
+		if in.QuarantineCycle != 0 {
+			sawQuarantine = true
+		}
+	}
+	if !sawRetry {
+		t.Fatal("no incident recorded a retry")
+	}
+	if !sawQuarantine && res.Quarantined {
+		t.Fatal("engine quarantined but no incident carries the stamp")
+	}
+}

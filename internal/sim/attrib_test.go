@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+
+	"safeguard/internal/attrib"
+	"safeguard/internal/telemetry"
+	"safeguard/internal/workload"
+)
+
+func attribTestConfig(t *testing.T, scheme Scheme) Config {
+	t.Helper()
+	p, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Workload = p
+	cfg.Scheme = scheme
+	cfg.WarmupInstr = 20_000
+	cfg.InstrPerCore = 30_000
+	cfg.Seed = 7
+	cfg.Attrib = true
+	return cfg
+}
+
+// The accounting contract of the whole attribution layer: one component
+// charge per core cycle means the CPI stack's components sum EXACTLY to
+// the measured cycles — for every scheme, with no residue.
+func TestCPIStackSumsToMeasuredCycles(t *testing.T) {
+	t.Parallel()
+	for _, scheme := range Schemes() {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := NewSystem(attribTestConfig(t, scheme)).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.CPI == nil {
+				t.Fatal("Attrib=true but Result.CPI is nil")
+			}
+			var measured int64
+			for i := range res.CoreCycles {
+				measured += res.CoreCycles[i] - res.WarmCycles[i]
+			}
+			if got := res.CPI.Total(); got != measured {
+				t.Fatalf("CPI stack total %d != measured cycles %d (stack %v)",
+					got, measured, res.CPI.Map())
+			}
+			if res.CPI[attrib.CompBase] == 0 {
+				t.Fatalf("no base cycles attributed: %v", res.CPI.Map())
+			}
+		})
+	}
+}
+
+// The MAC component must appear exactly where the schemes put MAC checks
+// on the critical path, and stay zero for the unprotected baseline.
+func TestCPIStackSchemeShape(t *testing.T) {
+	t.Parallel()
+	base, err := NewSystem(attribTestConfig(t, Baseline)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := NewSystem(attribTestConfig(t, SafeGuard)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base.CPI[attrib.CompMAC]; got != 0 {
+		t.Fatalf("baseline charged %d MAC cycles, want 0", got)
+	}
+	if got := sg.CPI[attrib.CompMAC]; got == 0 {
+		t.Fatalf("SafeGuard charged no MAC cycles: %v", sg.CPI.Map())
+	}
+	if got := base.CPI[attrib.CompDRAM]; got == 0 {
+		t.Fatalf("baseline charged no DRAM cycles: %v", base.CPI.Map())
+	}
+}
+
+// The ECC-decode knob becomes a visible decode component without
+// breaking the sum invariant.
+func TestCPIStackDecodeKnob(t *testing.T) {
+	t.Parallel()
+	cfg := attribTestConfig(t, SafeGuard)
+	cfg.ECCDecodeCPU = 6
+	res, err := NewSystem(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.CPI[attrib.CompDecode]; got == 0 {
+		t.Fatalf("ECCDecodeCPU=6 charged no decode cycles: %v", res.CPI.Map())
+	}
+	var measured int64
+	for i := range res.CoreCycles {
+		measured += res.CoreCycles[i] - res.WarmCycles[i]
+	}
+	if got := res.CPI.Total(); got != measured {
+		t.Fatalf("decode knob broke the invariant: total %d != measured %d", got, measured)
+	}
+}
+
+// A mitigation's refresh and gate interference must show up in the
+// refresh/gate components while the invariant holds.
+func TestCPIStackMitigationComponents(t *testing.T) {
+	t.Parallel()
+	cfg := attribTestConfig(t, SafeGuard)
+	cfg.Mitigation = "para"
+	cfg.RHThreshold = 64 // aggressive: lots of VRR traffic
+	res, err := NewSystem(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var measured int64
+	for i := range res.CoreCycles {
+		measured += res.CoreCycles[i] - res.WarmCycles[i]
+	}
+	if got := res.CPI.Total(); got != measured {
+		t.Fatalf("mitigation broke the invariant: total %d != measured %d", got, measured)
+	}
+	if got := res.CPI[attrib.CompRefresh]; got == 0 {
+		t.Fatalf("aggressive PARA charged no vrr_refresh cycles: %v", res.CPI.Map())
+	}
+}
+
+// Attribution must be deterministic (same config, same stack) and must
+// not perturb timing: the simulated cycle counts with and without
+// attribution are identical.
+func TestAttribDeterministicAndTimingNeutral(t *testing.T) {
+	t.Parallel()
+	cfg := attribTestConfig(t, SafeGuard)
+	a, err := NewSystem(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSystem(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a.CPI != *b.CPI {
+		t.Fatalf("same config, different stacks:\n%v\n%v", a.CPI.Map(), b.CPI.Map())
+	}
+	off := cfg
+	off.Attrib = false
+	c, err := NewSystem(off).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.CoreCycles {
+		if c.CoreCycles[i] != a.CoreCycles[i] {
+			t.Fatalf("attribution changed timing: core %d done at %d (off) vs %d (on)",
+				i, c.CoreCycles[i], a.CoreCycles[i])
+		}
+	}
+}
+
+// Published counters round-trip through a registry snapshot.
+func TestPublishCPIRoundTrip(t *testing.T) {
+	t.Parallel()
+	cfg := attribTestConfig(t, SafeGuard)
+	cfg.Telemetry = telemetry.NewRegistry()
+	res, err := NewSystem(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := cfg.Telemetry.Snapshot()
+	got, ok := attrib.CPIFromSnapshot(snap, SafeGuard.String())
+	if !ok {
+		t.Fatalf("no published stack in snapshot: %v", snap.Counters)
+	}
+	if got != *res.CPI {
+		t.Fatalf("snapshot stack %v != result stack %v", got.Map(), res.CPI.Map())
+	}
+	labels := attrib.CPILabels(snap)
+	if len(labels) != 1 || labels[0] != SafeGuard.String() {
+		t.Fatalf("labels = %v, want [%s]", labels, SafeGuard)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strings"
 
+	"safeguard/internal/attrib"
 	"safeguard/internal/cache"
 	"safeguard/internal/cpu"
 	"safeguard/internal/dram"
@@ -123,7 +124,12 @@ type Config struct {
 	// MACLatencyCPU is the MAC check latency in CPU cycles (Table II: 8;
 	// Figure 13 sweeps to 80).
 	MACLatencyCPU int64
-	Scheme        Scheme
+	// ECCDecodeCPU puts an ECC decode of this many CPU cycles on every
+	// fill's critical path (all schemes). The paper's designs keep decode
+	// off the critical path, so the default is 0; the knob exists for
+	// attribution ablations (sgprof -decode).
+	ECCDecodeCPU int64
+	Scheme       Scheme
 	// WarmupInstr is the per-core warm-up budget: caches fill and queues
 	// reach steady state before measurement starts (the stand-in for the
 	// paper's SimPoint fast-forwarding).
@@ -152,6 +158,11 @@ type Config struct {
 	// Trace, when set, receives cycle-stamped command events from the
 	// memory controller.
 	Trace *telemetry.Tracer
+	// Attrib enables cycle attribution: every core charges each cycle to
+	// an attrib.Component, Result.CPI carries the measured-window stack,
+	// and (when Telemetry is set) the stack is published as
+	// "attrib.cpi.<scheme>.<component>" counters.
+	Attrib bool
 }
 
 // DefaultConfig returns the Table II system.
@@ -179,6 +190,9 @@ type Result struct {
 	Scheme     Scheme
 	Workload   string
 	CoreCycles []int64 // cycle at which each core retired InstrPerCore
+	// WarmCycles is the cycle each core crossed its warm-up budget; the
+	// measured window is (WarmCycles[i], CoreCycles[i]].
+	WarmCycles []int64
 	IPC        []float64
 	MCStats    memctrl.Stats
 	LLCMisses  uint64
@@ -187,6 +201,11 @@ type Result struct {
 	// PluginStats holds each attached controller plugin's drained
 	// counters, keyed by plugin name (nil when no plugins attached).
 	PluginStats map[string]memctrl.PluginStats
+	// CPI is the aggregate measured-window CPI stack (nil unless
+	// Config.Attrib): each core's stack delta between its warm-up and
+	// completion crossings, summed. Its Total() equals the summed
+	// measured cycles exactly.
+	CPI *attrib.CPIStack
 }
 
 // HarmonicMeanIPC aggregates per-core IPCs.
@@ -224,6 +243,11 @@ type System struct {
 	lineMask uint64
 	now      int64
 
+	// coreCPI are the per-core attribution stacks (nil when Attrib off);
+	// warmCPI snapshots each stack at its core's warm-up crossing.
+	coreCPI []*attrib.CPIStack
+	warmCPI []attrib.CPIStack
+
 	// initErr defers construction-time failures (unknown mitigation
 	// name) to Run, keeping NewSystem's signature.
 	initErr error
@@ -234,6 +258,9 @@ type mshrEntry struct {
 	waiters []waiter
 	// dirtyFill marks RFO fills that enter the caches dirty.
 	dirtyFill bool
+	// track follows the fill for cycle attribution (nil when Attrib is
+	// off or the entry is prefetch-only).
+	track *reqTrack
 }
 
 type waiter struct {
@@ -244,6 +271,58 @@ type waiter struct {
 type deferredRead struct {
 	lineAddr uint64
 	cb       func(mcDone int64)
+	// track, when set, is flipped out of its deferred state once the
+	// controller accepts the read.
+	track *reqTrack
+}
+
+// reqTrack follows one demand miss through the memory system so its
+// waiters' stalled cycles can be attributed. The core's probe reads it
+// once per stalled cycle; every field transition happens at existing
+// callback boundaries, so tracking adds no events of its own.
+type reqTrack struct {
+	sys  *System
+	line uint64
+	// deferred marks the request parked outside a full controller queue.
+	deferred bool
+	// dataDone marks the data leg arrived while metadata legs (SGX MAC
+	// line, tree levels) are still outstanding.
+	dataDone bool
+	// doneAt is the fill's completion timestamp once known; tail and
+	// macTail partition its trailing latency into decode and MAC phases.
+	doneAt  int64
+	tail    int64
+	macTail int64
+	// probeFn caches the bound probe so every waiter shares one closure.
+	probeFn attrib.Probe
+}
+
+// probe implements the stall-cause query (attrib.Probe).
+func (t *reqTrack) probe(now int64) attrib.Component {
+	if t.doneAt != 0 {
+		if now >= t.doneAt {
+			// Fill fully complete; a dependent load probing after its
+			// producer finished is waiting on issue, not memory.
+			return attrib.CompBase
+		}
+		// Completed: inside the fill's latency tail. Walk backwards from
+		// the completion stamp: MAC verify last, ECC decode before it,
+		// raw DRAM (bus/burst mapping) before that.
+		switch {
+		case now >= t.doneAt-t.macTail:
+			return attrib.CompMAC
+		case now >= t.doneAt-t.tail:
+			return attrib.CompDecode
+		}
+		return attrib.CompDRAM
+	}
+	if t.deferred {
+		return attrib.CompQueue
+	}
+	if t.dataDone {
+		return attrib.CompMAC
+	}
+	return t.sys.mc.ReadStallClass(t.line)
 }
 
 // NewSystem builds the system for a config.
@@ -277,10 +356,23 @@ func NewSystem(cfg Config) *System {
 	for i := 0; i < cfg.Cores; i++ {
 		gen := workload.NewGenerator(cfg.Workload, i, cfg.Seed)
 		s.l1 = append(s.l1, cache.New(cfg.L1Bytes, cfg.L1Ways))
-		s.cores = append(s.cores, cpu.New(gen, &corePort{sys: s, core: i}))
+		core := cpu.New(gen, &corePort{sys: s, core: i})
+		if cfg.Attrib {
+			st := &attrib.CPIStack{}
+			core.AttachAttrib(st)
+			s.coreCPI = append(s.coreCPI, st)
+		}
+		s.cores = append(s.cores, core)
+	}
+	if cfg.Attrib {
+		s.warmCPI = make([]attrib.CPIStack, cfg.Cores)
 	}
 	return s
 }
+
+// cacheHitProbe attributes cycles hidden in L1/LLC hit latency. One
+// shared probe serves every hit, keeping the hit path allocation-free.
+var cacheHitProbe attrib.Probe = func(int64) attrib.Component { return attrib.CompCache }
 
 // corePort adapts the shared memory system to one core's MemoryPort.
 type corePort struct {
@@ -298,21 +390,32 @@ func (p *corePort) Store(addr uint64, at int64) bool {
 	return p.sys.store(p.core, addr>>6)
 }
 
-func (s *System) load(core int, line uint64, at int64, complete func(int64)) {
+// LoadProbed implements cpu.ProbedPort: Load plus a stall-cause probe.
+func (p *corePort) LoadProbed(addr uint64, at int64, complete func(int64)) attrib.Probe {
+	return p.sys.load(p.core, addr>>6, at, complete)
+}
+
+func (s *System) load(core int, line uint64, at int64, complete func(int64)) attrib.Probe {
 	line &= s.lineMask
 	if s.l1[core].Lookup(line, false) {
 		complete(at + s.cfg.L1Latency)
-		return
+		return cacheHitProbe
 	}
 	if s.llc.Lookup(line, false) {
 		s.fillL1(core, line, false)
 		complete(at + s.cfg.LLCLatency)
-		return
+		return cacheHitProbe
 	}
 	// Train the stream detector on demand misses only: LLC-hit traffic
 	// (hot sets) would otherwise churn the table and evict live streams.
 	s.prefetchOn(line)
-	s.demandMiss(core, line, false, complete)
+	e := s.demandMiss(core, line, false, complete)
+	if e.track != nil {
+		// A miss that merges into a prefetch-only entry has no track and
+		// returns nil: its wait is charged as generic DRAM latency.
+		return e.track.probeFn
+	}
+	return nil
 }
 
 // storeMissCap bounds outstanding write-allocate misses: beyond it the
@@ -340,8 +443,9 @@ func (s *System) store(core int, line uint64) bool {
 }
 
 // demandMiss joins or creates the line's MSHR entry and issues the memory
-// read through the scheme adapter.
-func (s *System) demandMiss(core int, line uint64, dirtyFill bool, complete func(int64)) {
+// read through the scheme adapter. It returns the entry so load can hand
+// the entry's attribution probe to the core.
+func (s *System) demandMiss(core int, line uint64, dirtyFill bool, complete func(int64)) *mshrEntry {
 	if e, ok := s.mshr[line]; ok {
 		if complete != nil {
 			e.waiters = append(e.waiters, waiter{core: core, complete: complete})
@@ -349,12 +453,20 @@ func (s *System) demandMiss(core int, line uint64, dirtyFill bool, complete func
 			e.waiters = append(e.waiters, waiter{core: core, complete: nil})
 		}
 		e.dirtyFill = e.dirtyFill || dirtyFill
-		return
+		return e
 	}
 	e := &mshrEntry{dirtyFill: dirtyFill}
 	e.waiters = append(e.waiters, waiter{core: core, complete: complete})
+	if s.cfg.Attrib {
+		// The track must exist before schemeRead runs: the scheme adapter
+		// reads it off the entry to stamp completion phases.
+		tr := &reqTrack{sys: s, line: line}
+		tr.probeFn = tr.probe
+		e.track = tr
+	}
 	s.mshr[line] = e
 	s.schemeRead(line, func(cpuDone int64) { s.finishFill(line, cpuDone) })
+	return e
 }
 
 // finishFill installs a fetched line and wakes its waiters.
@@ -443,13 +555,29 @@ func (s *System) metaLine(line uint64) uint64 {
 
 // schemeRead issues a memory read with the scheme's latency/traffic rules;
 // cb receives the CPU cycle at which data is usable by the hierarchy.
+// When the line's MSHR entry carries an attribution track, the adapter
+// stamps it: queue-overflow parking, the data leg's arrival, and the
+// completion timestamp partitioned into DRAM / ECC-decode / MAC-verify
+// phases the track's probe replays.
 func (s *System) schemeRead(line uint64, cb func(cpuDone int64)) {
 	mac := s.cfg.MACLatencyCPU
+	dec := s.cfg.ECCDecodeCPU
+	var tr *reqTrack
+	if e, ok := s.mshr[line]; ok {
+		tr = e.track
+	}
+	// fin stamps the track's completion phases, then completes the fill.
+	fin := func(cpuDone, tail, macTail int64) {
+		if tr != nil {
+			tr.doneAt, tr.tail, tr.macTail = cpuDone, tail, macTail
+		}
+		cb(cpuDone)
+	}
 	switch s.cfg.Scheme {
 	case Baseline:
-		s.mcRead(line, func(mcDone int64) { cb(mcDone * 2) })
+		s.mcReadTracked(line, tr, func(mcDone int64) { fin(mcDone*2+dec, dec, 0) })
 	case SafeGuard, SynergyStyle:
-		s.mcRead(line, func(mcDone int64) { cb(mcDone*2 + mac) })
+		s.mcReadTracked(line, tr, func(mcDone int64) { fin(mcDone*2+dec+mac, dec+mac, mac) })
 	case SGXStyle:
 		// Data is usable once both the line and its MAC line arrived and
 		// the MAC check ran. In-flight MAC-line fetches are shared: eight
@@ -464,10 +592,15 @@ func (s *System) schemeRead(line uint64, cb func(cpuDone int64)) {
 			}
 			remaining--
 			if remaining == 0 {
-				cb(latest + mac)
+				fin(latest+dec+mac, dec+mac, mac)
 			}
 		}
-		s.mcRead(line, func(mcDone int64) { join(mcDone * 2) })
+		s.mcReadTracked(line, tr, func(mcDone int64) {
+			if tr != nil {
+				tr.dataDone = true // now waiting on the MAC leg
+			}
+			join(mcDone * 2)
+		})
 		s.macRead(s.metaLine(line), join)
 	case SGXFullStyle:
 		// SGXStyle plus the counter/tree path: data is usable only after
@@ -482,13 +615,18 @@ func (s *System) schemeRead(line uint64, cb func(cpuDone int64)) {
 			}
 			remaining--
 			if remaining == 0 {
-				cb(latest + mac)
+				fin(latest+dec+mac, dec+mac, mac)
 			}
 		}
-		s.mcRead(line, func(mcDone int64) { join(mcDone * 2) })
+		s.mcReadTracked(line, tr, func(mcDone int64) {
+			if tr != nil {
+				tr.dataDone = true
+			}
+			join(mcDone * 2)
+		})
 		s.macRead(s.metaLine(line), join)
-		for _, tr := range treeReads {
-			s.macRead(tr&s.lineMask, join)
+		for _, t := range treeReads {
+			s.macRead(t&s.lineMask, join)
 		}
 		for _, wb := range treeWBs {
 			s.mcWrite(wb & s.lineMask)
@@ -539,8 +677,18 @@ func (s *System) writeback(line uint64) {
 }
 
 func (s *System) mcRead(line uint64, cb func(mcDone int64)) {
+	s.mcReadTracked(line, nil, cb)
+}
+
+// mcReadTracked is mcRead with attribution: a request parked at a full
+// controller queue marks its track deferred (charged to CompQueue) until
+// retryDeferred gets it accepted.
+func (s *System) mcReadTracked(line uint64, tr *reqTrack, cb func(mcDone int64)) {
 	if !s.mc.EnqueueRead(line, cb) {
-		s.pendingReads = append(s.pendingReads, deferredRead{lineAddr: line, cb: cb})
+		if tr != nil {
+			tr.deferred = true
+		}
+		s.pendingReads = append(s.pendingReads, deferredRead{lineAddr: line, cb: cb, track: tr})
 	}
 }
 
@@ -557,6 +705,9 @@ func (s *System) retryDeferred() {
 		if !s.mc.EnqueueRead(d.lineAddr, d.cb) {
 			s.pendingReads = append([]deferredRead{d}, s.pendingReads...)
 			break
+		}
+		if d.track != nil {
+			d.track.deferred = false
 		}
 	}
 	for len(s.pendingWrites) > 0 && s.mc.CanAcceptWrite() {
@@ -609,10 +760,22 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 			c.Cycle(s.now)
 			if warmCycle[i] == 0 && c.Retired >= s.cfg.WarmupInstr {
 				warmCycle[i] = s.now
+				if s.coreCPI != nil {
+					// Snapshot after this cycle's charge: the measured
+					// window covers cycles (warmCycle, doneCycle], exactly
+					// doneCycle-warmCycle Cycle calls.
+					s.warmCPI[i] = *s.coreCPI[i]
+				}
 			}
 			if doneCycle[i] == 0 && c.Retired >= target {
 				doneCycle[i] = s.now
 				remaining--
+				if s.coreCPI != nil {
+					// Freeze the measured window in place; the core keeps
+					// cycling (rate methodology) but later charges must
+					// not leak into the measurement.
+					s.warmCPI[i] = s.coreCPI[i].Sub(s.warmCPI[i])
+				}
 			}
 		}
 		if s.now&1 == 0 {
@@ -623,6 +786,7 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 		Scheme:      s.cfg.Scheme,
 		Workload:    s.cfg.Workload.Name,
 		CoreCycles:  doneCycle,
+		WarmCycles:  warmCycle,
 		MCStats:     s.mc.Stats,
 		LLCMisses:   s.llc.Misses,
 		LLCHits:     s.llc.Hits,
@@ -632,12 +796,23 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 	for i, dc := range doneCycle {
 		res.IPC = append(res.IPC, float64(s.cfg.InstrPerCore)/float64(dc-warmCycle[i]))
 	}
+	if s.coreCPI != nil {
+		// warmCPI now holds each core's frozen measured-window delta.
+		total := &attrib.CPIStack{}
+		for i := range s.warmCPI {
+			total.Merge(s.warmCPI[i])
+		}
+		res.CPI = total
+	}
 	if reg := s.cfg.Telemetry; reg != nil {
 		reg.Counter("llc.hits").Add(s.llc.Hits)
 		reg.Counter("llc.misses").Add(s.llc.Misses)
 		reg.Counter("llc.prefetches").Add(s.pf.Issued)
 		reg.Gauge("sim.hmean_ipc").Set(res.HarmonicMeanIPC())
 		memctrl.PublishPluginStats(reg, res.PluginStats)
+		if res.CPI != nil {
+			attrib.PublishCPI(reg, s.cfg.Scheme.String(), *res.CPI)
+		}
 	}
 	return res, nil
 }

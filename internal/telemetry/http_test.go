@@ -56,3 +56,35 @@ func TestServeHTTPBadAddr(t *testing.T) {
 		t.Fatal("expected error for unusable address")
 	}
 }
+
+// The "safeguard" expvar is the registry's full snapshot, decodable from
+// /debug/vars like any expvar — the contract external scrapers rely on.
+func TestExpvarSnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("expvar.reads").Add(3)
+	reg.Gauge("expvar.depth").Set(1.5)
+	addr, shutdown, err := ServeHTTP("127.0.0.1:0", reg)
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer func() { _ = shutdown() }()
+
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Safeguard Snapshot `json:"safeguard"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars.Safeguard.Counters["expvar.reads"] != 3 {
+		t.Fatalf("expvar counters = %+v", vars.Safeguard.Counters)
+	}
+	if vars.Safeguard.Gauges["expvar.depth"] != 1.5 {
+		t.Fatalf("expvar gauges = %+v", vars.Safeguard.Gauges)
+	}
+}
