@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench ci cover fmt vet fuzz-smoke examples-smoke sgprof-smoke
+.PHONY: all build test bench bench-check ci cover fmt vet lint fuzz-smoke examples-smoke sgprof-smoke
 
 all: build
 
@@ -14,13 +14,66 @@ test:
 # machine-readable report alongside the human log. The artifact is keyed
 # off the newest PR number recorded in CHANGES.md (BENCH_<n>.json), so each
 # PR's numbers land beside its predecessors'; compare two with
-# `go run ./cmd/bench2json -diff BENCH_3.json BENCH_4.json`.
-BENCH_PR := $(shell sed -n 's/^- PR \([0-9][0-9]*\):.*/\1/p' CHANGES.md | tail -1)
+# `go run ./cmd/bench2json -diff BENCH_3.json BENCH_4.json`. Override the
+# key explicitly with `make bench BENCH_PR=7`; when CHANGES.md has no PR
+# entry and no override is given, bench fails loudly instead of silently
+# writing an unkeyed BENCH_.json.
+BENCH_PR ?= $(shell sed -n 's/^- PR \([0-9][0-9]*\):.*/\1/p' CHANGES.md | tail -1)
 bench:
+	@if [ -z "$(BENCH_PR)" ]; then \
+		echo "bench: no 'PR <n>:' entry in CHANGES.md and no BENCH_PR=<n> override; refusing to write BENCH_.json" >&2; \
+		exit 1; \
+	fi
 	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/bench2json -o BENCH_$(BENCH_PR).json
+
+# bench-check diffs the bench artifact this tree just produced against the
+# newest committed BENCH_*.json and fails on regression. With no committed
+# baseline (a fresh clone pre-bench) it skips rather than fails, so the
+# nightly workflow works from day one.
+bench-check: bench
+	@base=$$(ls BENCH_*.json 2>/dev/null | grep -v '^BENCH_$(BENCH_PR)\.json$$' | sort -t_ -k2 -n | tail -1); \
+	if [ -z "$$base" ]; then \
+		echo "bench-check: no committed BENCH_*.json baseline; skipping diff"; \
+	else \
+		$(GO) run ./cmd/bench2json -diff $$base BENCH_$(BENCH_PR).json; \
+	fi
 
 vet:
 	$(GO) vet ./...
+
+# lint runs staticcheck and govulncheck at pinned versions. Both are
+# optional on offline dev machines: a tool that cannot be resolved (not on
+# PATH, and `go install` cannot reach the proxy) or a vuln database that
+# cannot be fetched is reported and skipped, while a tool that runs and
+# finds problems still fails the target. CI has the network, so there the
+# skips never trigger.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+lint: lint-staticcheck lint-govulncheck
+
+.PHONY: lint-staticcheck lint-govulncheck
+lint-staticcheck:
+	@PATH="$$($(GO) env GOPATH)/bin:$$PATH"; export PATH; \
+	if ! command -v staticcheck >/dev/null 2>&1; then \
+		$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) >/dev/null 2>&1 || \
+			{ echo "lint: staticcheck unavailable (offline?); skipping"; exit 0; }; \
+	fi; \
+	staticcheck ./...
+
+lint-govulncheck:
+	@PATH="$$($(GO) env GOPATH)/bin:$$PATH"; export PATH; \
+	if ! command -v govulncheck >/dev/null 2>&1; then \
+		$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) >/dev/null 2>&1 || \
+			{ echo "lint: govulncheck unavailable (offline?); skipping"; exit 0; }; \
+	fi; \
+	out=$$(govulncheck ./... 2>&1); status=$$?; \
+	if [ $$status -eq 0 ]; then \
+		echo "lint: govulncheck clean"; \
+	elif echo "$$out" | grep -qiE 'vuln\.go\.dev|dial tcp|connection refused|no such host|i/o timeout|TLS handshake'; then \
+		echo "lint: govulncheck database unreachable (offline?); skipping"; \
+	else \
+		echo "$$out"; exit $$status; \
+	fi
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -30,12 +83,14 @@ fmt:
 
 # fuzz-smoke gives every codec decode path a short fuzzing budget — enough
 # to catch panics and fresh invariant violations without CI-scale runtime.
+# The nightly workflow raises the budget with `make fuzz-smoke FUZZTIME=60s`.
 FUZZ_TARGETS := FuzzSECDEDDecode FuzzSafeGuardSECDEDDecode FuzzChipkillDecode \
 	FuzzSafeGuardChipkillDecode FuzzSGXStyleMACDecode FuzzSynergyStyleMACDecode
+FUZZTIME ?= 2s
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
-		echo "fuzz $$t"; \
-		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime 2s ./internal/ecc || exit 1; \
+		echo "fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/ecc || exit 1; \
 	done
 
 # examples-smoke builds and runs every example program end to end.
@@ -54,11 +109,14 @@ sgprof-smoke:
 		-diff /tmp/sgprof-smoke.json > /dev/null
 	@echo "sgprof smoke OK (run -> report -> self-diff clean)"
 
-# cover gates statement coverage of the observability-critical packages:
-# telemetry feeds every -stats/-trace surface, response drives the DUE
-# pipeline, and attrib is the cycle-accounting layer sgprof reports from,
-# so regressions there must not land untested.
-COVER_GATE_PKGS := ./internal/telemetry ./internal/response ./internal/attrib
+# cover gates statement coverage of the observability- and serving-
+# critical packages: telemetry feeds every -stats/-trace surface, response
+# drives the DUE pipeline, attrib is the cycle-accounting layer sgprof
+# reports from, and jobs/resultcache are the sgserve correctness core
+# (queueing, dedup, drain, cache identity), so regressions there must not
+# land untested.
+COVER_GATE_PKGS := ./internal/telemetry ./internal/response ./internal/attrib \
+	./internal/jobs ./internal/resultcache
 COVER_GATE_MIN  := 85
 cover:
 	@$(GO) test -cover $(COVER_GATE_PKGS) | awk -v min=$(COVER_GATE_MIN) ' \
@@ -71,12 +129,14 @@ cover:
 		} \
 		END { if (bad != "") { print "coverage gate FAILED:" bad; exit 1 } }'
 
-# ci is the gate: vet, formatting, the full test suite under the race
-# detector (includes the figure-shape regression tests in figures_test.go),
-# the coverage gate, a short fuzz pass over every codec, the example
-# programs, and the sgprof profiler smoke.
+# ci is the gate: vet, formatting, lint (static analysis + vuln scan), the
+# full test suite under the race detector with shuffled execution order
+# (includes the figure-shape regression tests in figures_test.go), the
+# coverage gate, a short fuzz pass over every codec, the example programs,
+# and the sgprof profiler smoke.
 ci: vet fmt
-	$(GO) test -race ./...
+	$(MAKE) lint
+	$(GO) test -race -shuffle=on ./...
 	$(MAKE) cover
 	$(MAKE) fuzz-smoke
 	$(MAKE) examples-smoke

@@ -71,19 +71,9 @@ func main() {
 	}); err != nil {
 		cliflags.Fail(err)
 	}
-	var customSchemes []sim.Scheme
-	for _, name := range strings.Split(*schemes, ",") {
-		if name == "" {
-			continue
-		}
-		s, err := sim.ParseScheme(name)
-		if err != nil {
-			cliflags.Fail(err)
-		}
-		customSchemes = append(customSchemes, s)
-	}
-	if *schemes != "" && len(customSchemes) == 0 {
-		cliflags.Fail(fmt.Errorf("-schemes %q names no scheme", *schemes))
+	customSchemes, err := cliflags.ParseSchemeList(*schemes)
+	if err != nil {
+		cliflags.Fail(err)
 	}
 	effTh := *threshold
 	if effTh == 0 {

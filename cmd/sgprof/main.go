@@ -30,7 +30,6 @@ import (
 	"safeguard/internal/dram"
 	"safeguard/internal/experiments"
 	"safeguard/internal/memctrl"
-	"safeguard/internal/sim"
 	"safeguard/internal/telemetry"
 )
 
@@ -93,16 +92,11 @@ func main() {
 			Telemetry:     tf.Registry,
 			Trace:         tf.Tracer,
 		}
-		for _, name := range strings.Split(*schemes, ",") {
-			if name == "" {
-				continue
-			}
-			s, err := sim.ParseScheme(name)
-			if err != nil {
-				cliflags.Fail(err)
-			}
-			cfg.Schemes = append(cfg.Schemes, s)
+		list, err := cliflags.ParseSchemeList(*schemes)
+		if err != nil {
+			cliflags.Fail(err)
 		}
+		cfg.Schemes = list
 		if *mitigation != "" {
 			effTh := *threshold
 			if effTh == 0 {

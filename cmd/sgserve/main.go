@@ -1,0 +1,115 @@
+// Command sgserve runs the simulation job service: an HTTP API that
+// accepts perf/reliability requests, deduplicates identical in-flight
+// configs, executes on the deterministic pools, and answers repeats from
+// a content-addressed result cache (bit-identical to a fresh run).
+//
+//	sgserve -addr :8080 -cache-dir /var/lib/sgserve
+//
+//	POST /v1/jobs           submit {"kind":"perf",...} or {"kind":"rel",...}
+//	GET  /v1/jobs/{id}      poll job state
+//	GET  /v1/results/{hash} fetch the stored artifact
+//	GET  /healthz           liveness (503 while draining)
+//	GET  /stats, /debug/... telemetry (expvar, pprof)
+//
+// SIGTERM/SIGINT drains gracefully: no new jobs are accepted, running
+// jobs finish, and jobs still queued when -drain-timeout expires are
+// persisted to -pending and resubmitted on the next start.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"safeguard/internal/cliflags"
+	"safeguard/internal/jobs"
+	"safeguard/internal/resultcache"
+	"safeguard/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		cacheDir     = flag.String("cache-dir", "", "result artifact directory (empty = memory only)")
+		memEntries   = flag.Int("mem-entries", 128, "in-memory cache capacity (artifacts)")
+		workers      = flag.Int("workers", 2, "concurrent job executors")
+		queueDepth   = flag.Int("queue-depth", 64, "max queued jobs before 429")
+		maxAttempts  = flag.Int("max-attempts", 3, "executions per job incl. retries")
+		pendingPath  = flag.String("pending", "", "drain journal for queued jobs (empty = next to -cache-dir, or off)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs at shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cliflags.Fail(fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
+	if *pendingPath == "" && *cacheDir != "" {
+		*pendingPath = *cacheDir + "/pending.json"
+	}
+
+	reg := telemetry.NewRegistry()
+	cache, err := resultcache.New(resultcache.Options{
+		MemEntries: *memEntries, Dir: *cacheDir, Telemetry: reg,
+	})
+	if err != nil {
+		cliflags.Fail(err)
+	}
+	mgr := jobs.NewManager(jobs.Config{
+		Workers: *workers, QueueDepth: *queueDepth, MaxAttempts: *maxAttempts,
+		PendingPath: *pendingPath, Cache: cache, Telemetry: reg,
+	})
+	defer mgr.Close()
+
+	// Resume jobs a previous drain persisted.
+	if *pendingPath != "" {
+		pending, err := jobs.LoadPending(*pendingPath)
+		if err != nil {
+			log.Printf("sgserve: pending journal: %v", err)
+		}
+		for _, req := range pending {
+			if _, err := mgr.Submit(req); err != nil {
+				log.Printf("sgserve: resubmit pending job: %v", err)
+			}
+		}
+		if len(pending) > 0 {
+			log.Printf("sgserve: resumed %d persisted jobs", len(pending))
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cliflags.Fail(err)
+	}
+	srv := &http.Server{Handler: jobs.NewServer(mgr, reg)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("sgserve: listening on %s (workers=%d queue=%d cache=%q)",
+		ln.Addr(), *workers, *queueDepth, *cacheDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		log.Fatalf("sgserve: serve: %v", err)
+	}
+	stop()
+
+	log.Printf("sgserve: draining (timeout %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	rep, derr := mgr.Drain(dctx)
+	_ = srv.Close()
+	log.Printf("sgserve: drained: completed=%d failed=%d persisted=%d running=%d",
+		rep.Completed, rep.Failed, rep.Persisted, rep.Running)
+	if derr != nil {
+		log.Printf("sgserve: drain: %v", derr)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,42 @@
+package cliflags
+
+import (
+	"testing"
+
+	"safeguard/internal/sim"
+)
+
+func TestParseSchemeList(t *testing.T) {
+	t.Parallel()
+	got, err := ParseSchemeList("baseline, SafeGuard,sgx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Scheme{sim.Baseline, sim.SafeGuard, sim.SGXStyle}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if out, err := ParseSchemeList(""); out != nil || err != nil {
+		t.Fatalf("empty csv = (%v, %v), want nil fallthrough", out, err)
+	}
+}
+
+func TestParseSchemeListRejections(t *testing.T) {
+	t.Parallel()
+	for name, csv := range map[string]string{
+		"unknown":       "tetraguard",
+		"alias dup":     "sgx,SGX-style",
+		"plain dup":     "SafeGuard,SafeGuard",
+		"only commas":   ",,",
+		"trailing junk": "SafeGuard,nope",
+	} {
+		if _, err := ParseSchemeList(csv); err == nil {
+			t.Errorf("%s: ParseSchemeList(%q) accepted", name, csv)
+		}
+	}
+}

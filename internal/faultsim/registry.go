@@ -1,0 +1,57 @@
+// Evaluator name registry: the lifetime-study counterpart of
+// sim.ParseScheme and memctrl.NewMitigationPlugin. Serving layers and
+// CLIs resolve evaluators by name instead of hard-coding constructor
+// sets, and canonical names round-trip exactly through Evaluator.Name().
+package faultsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// registry lists every evaluator in canonical order. Entries are value
+// types, so handing the same Evaluator to concurrent studies is safe.
+var registry = []Evaluator{
+	SECDEDEval{},
+	SafeGuardSECDEDEval{ColumnParity: true},
+	SafeGuardSECDEDEval{ColumnParity: false},
+	ChipkillEval{},
+	SafeGuardChipkillEval{},
+}
+
+// EvaluatorNames lists the canonical evaluator names (Evaluator.Name
+// values) in registry order.
+func EvaluatorNames() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.Name()
+	}
+	return out
+}
+
+// EvaluatorByName resolves an evaluator. Canonical names round-trip
+// exactly through Evaluator.Name(); matching is otherwise
+// case-insensitive, with short aliases for request payloads
+// ("safeguard-secded-noparity" for the Figure 3b ablation). Unknown
+// names are an error listing the valid set.
+func EvaluatorByName(name string) (Evaluator, error) {
+	for _, e := range registry {
+		if name == e.Name() {
+			return e, nil
+		}
+	}
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "secded":
+		return SECDEDEval{}, nil
+	case "safeguard-secded", "safeguard secded":
+		return SafeGuardSECDEDEval{ColumnParity: true}, nil
+	case "safeguard-secded-noparity", "safeguard-secded (no column parity)":
+		return SafeGuardSECDEDEval{ColumnParity: false}, nil
+	case "chipkill":
+		return ChipkillEval{}, nil
+	case "safeguard-chipkill", "safeguard chipkill":
+		return SafeGuardChipkillEval{}, nil
+	}
+	return nil, fmt.Errorf("faultsim: unknown evaluator %q (valid: %s)",
+		name, strings.Join(EvaluatorNames(), ", "))
+}

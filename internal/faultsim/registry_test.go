@@ -1,0 +1,51 @@
+package faultsim
+
+import "testing"
+
+// Canonical names must round-trip exactly: the serving layer hashes
+// normalized requests by these names, so a drifting registry would
+// silently shift every cache key.
+func TestEvaluatorNamesRoundTrip(t *testing.T) {
+	t.Parallel()
+	names := EvaluatorNames()
+	if len(names) != 5 {
+		t.Fatalf("registry has %d evaluators, want 5: %v", len(names), names)
+	}
+	for _, name := range names {
+		e, err := EvaluatorByName(name)
+		if err != nil {
+			t.Fatalf("EvaluatorByName(%q): %v", name, err)
+		}
+		if e.Name() != name {
+			t.Fatalf("EvaluatorByName(%q).Name() = %q", name, e.Name())
+		}
+	}
+}
+
+func TestEvaluatorAliases(t *testing.T) {
+	t.Parallel()
+	cases := map[string]string{
+		"secded":                    "SECDED",
+		"SECDED":                    "SECDED",
+		"safeguard-secded":          "SafeGuard-SECDED",
+		"safeguard-secded-noparity": "SafeGuard-SECDED (no column parity)",
+		"chipkill":                  "Chipkill",
+		"Safeguard-Chipkill":        "SafeGuard-Chipkill",
+	}
+	for alias, want := range cases {
+		e, err := EvaluatorByName(alias)
+		if err != nil {
+			t.Fatalf("EvaluatorByName(%q): %v", alias, err)
+		}
+		if e.Name() != want {
+			t.Fatalf("EvaluatorByName(%q) = %q, want %q", alias, e.Name(), want)
+		}
+	}
+}
+
+func TestEvaluatorByNameUnknown(t *testing.T) {
+	t.Parallel()
+	if _, err := EvaluatorByName("parity-disk"); err == nil {
+		t.Fatal("expected error for unknown evaluator")
+	}
+}

@@ -1,0 +1,562 @@
+// Package jobs turns the repository's one-shot simulation pipeline into
+// a long-lived service: a bounded work queue with backpressure, content-
+// hash singleflight so identical in-flight configs execute once, bounded
+// retries with exponential backoff on transient failures, context-
+// propagated cancellation, and a graceful drain that completes every
+// accepted job — persisting any it cannot start so a restart resumes
+// them. Execution itself stays in the deterministic experiments/faultsim
+// pools (via resultcache.Request.Execute), so a job's result bytes are
+// independent of queue timing, worker count, and retry history.
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"safeguard/internal/resultcache"
+	"safeguard/internal/telemetry"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StatePersisted State = "persisted" // drained to the pending file before starting
+)
+
+// Terminal reports whether a job in this state will never run again in
+// this process.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StatePersisted
+}
+
+// Sentinel submission errors; the HTTP layer maps them to 429 and 503.
+var (
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrDraining  = errors.New("jobs: draining, not accepting jobs")
+)
+
+// transientError marks failures worth retrying.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string { return t.err.Error() }
+func (t *transientError) Unwrap() error { return t.err }
+
+// Transient wraps an error so the manager retries the job (bounded by
+// MaxAttempts, with exponential backoff). Unwrapped errors are treated
+// as permanent: a deterministic simulator that failed once will fail
+// identically on every retry.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked
+// Transient.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// Runner executes one normalized request and returns its canonical
+// result JSON. The default runner checks the result cache, executes on
+// the deterministic pools, and stores the artifact (CachedRunner).
+type Runner func(ctx context.Context, req *resultcache.Request) (json.RawMessage, error)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Workers is the number of executor goroutines (default 2). Note
+	// each worker runs its request on the full experiments/faultsim
+	// pool, so a small worker count already saturates the machine.
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running (default 64).
+	// Beyond it Submit returns ErrQueueFull — the 429 path.
+	QueueDepth int
+	// MaxAttempts bounds executions per job, first try included
+	// (default 3). Only Transient errors are retried.
+	MaxAttempts int
+	// RetryBackoff is the sleep before attempt 2; it doubles per
+	// attempt (default 250ms). Tests shrink it to microseconds.
+	RetryBackoff time.Duration
+	// PendingPath, when non-empty, receives still-queued jobs on a
+	// drain that runs out of time; LoadPending reads it back.
+	PendingPath string
+	// Runner executes requests (default CachedRunner over Cache).
+	Runner Runner
+	// Cache backs the default runner and is consulted by Submit so a
+	// known result never occupies a queue slot. May be nil.
+	Cache *resultcache.Cache
+	// Telemetry, when set, receives "jobs.*" counters, the queue-depth
+	// gauge/histogram, and the job-latency histogram.
+	Telemetry *telemetry.Registry
+}
+
+// Job is one accepted request. Fields are guarded by the manager's
+// mutex; JobView snapshots are handed out instead of the struct.
+type Job struct {
+	id       string
+	hash     string
+	req      *resultcache.Request
+	state    State
+	err      string
+	attempts int
+	accepted time.Time
+	done     chan struct{}
+}
+
+// JobView is an immutable snapshot of a job, JSON-shaped for the API.
+type JobView struct {
+	ID    string `json:"id"`
+	Hash  string `json:"hash"`
+	State State  `json:"state"`
+	// Attempts counts executions started so far.
+	Attempts int `json:"attempts,omitempty"`
+	// Error carries the final failure (state "failed" only).
+	Error string `json:"error,omitempty"`
+	// Cached marks a submission answered from the result cache without
+	// queueing.
+	Cached bool `json:"cached,omitempty"`
+	// Result is the artifact path once the result exists.
+	Result string `json:"result,omitempty"`
+}
+
+// Manager owns the queue, the workers, and the job table.
+type Manager struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // id -> job
+	inflight map[string]*Job // hash -> job still queued/running (singleflight)
+	draining bool
+	seq      int
+	queue    chan *Job
+	wg       sync.WaitGroup // one count per accepted, non-terminal job
+
+	submitted, dedup, rejectedFull   *telemetry.Counter
+	rejectedDraining, completed      *telemetry.Counter
+	failed, retried, persisted       *telemetry.Counter
+	queueDepth                       *telemetry.Gauge
+	depthAtSubmit, latencyMS, waitMS *telemetry.Histogram
+}
+
+// queueDepthBounds buckets queue occupancy observed at submit time.
+var queueDepthBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// latencyBoundsMS buckets wall-clock durations in milliseconds.
+var latencyBoundsMS = []int64{1, 5, 10, 50, 100, 500, 1000, 5000, 15000, 60000}
+
+// NewManager builds a manager and starts its workers.
+func NewManager(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = CachedRunner(cfg.Cache, cfg.Telemetry)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	reg := cfg.Telemetry
+	m := &Manager{
+		cfg:              cfg,
+		ctx:              ctx,
+		cancel:           cancel,
+		jobs:             make(map[string]*Job),
+		inflight:         make(map[string]*Job),
+		queue:            make(chan *Job, cfg.QueueDepth),
+		submitted:        reg.Counter("jobs.submitted"),
+		dedup:            reg.Counter("jobs.dedup"),
+		rejectedFull:     reg.Counter("jobs.rejected.full"),
+		rejectedDraining: reg.Counter("jobs.rejected.draining"),
+		completed:        reg.Counter("jobs.completed"),
+		failed:           reg.Counter("jobs.failed"),
+		retried:          reg.Counter("jobs.retried"),
+		persisted:        reg.Counter("jobs.persisted"),
+		queueDepth:       reg.Gauge("jobs.queue.depth"),
+		depthAtSubmit:    reg.Histogram("jobs.queue.depth_at_submit", queueDepthBounds),
+		latencyMS:        reg.Histogram("jobs.latency_ms", latencyBoundsMS),
+		waitMS:           reg.Histogram("jobs.queue.wait_ms", latencyBoundsMS),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// CachedRunner is the production execution path: result-cache lookup,
+// deterministic execution, artifact store. Cache faults on the store
+// path are transient (a full disk should not burn the computed result's
+// retry budget at the next attempt — the artifact is rebuilt bit-
+// identically anyway).
+func CachedRunner(cache *resultcache.Cache, reg *telemetry.Registry) Runner {
+	return func(ctx context.Context, req *resultcache.Request) (json.RawMessage, error) {
+		hash, err := req.Hash()
+		if err != nil {
+			return nil, err
+		}
+		if cache != nil {
+			if a, ok, err := cache.Get(hash); err == nil && ok {
+				return a.Result, nil
+			}
+		}
+		result, err := req.Execute(ctx, reg)
+		if err != nil {
+			return nil, err
+		}
+		if cache != nil {
+			a, err := resultcache.NewArtifact(req, result)
+			if err != nil {
+				return nil, err
+			}
+			if err := cache.Put(a); err != nil {
+				return nil, Transient(err)
+			}
+		}
+		return result, nil
+	}
+}
+
+// Submit accepts a request. The request is normalized and hashed; an
+// identical request already queued or running is coalesced onto that
+// job (singleflight), and a hash already resolved in the cache answers
+// immediately with Cached set. ErrQueueFull and ErrDraining report
+// backpressure and shutdown.
+func (m *Manager) Submit(req *resultcache.Request) (JobView, error) {
+	hash, err := req.Hash()
+	if err != nil {
+		return JobView{}, err
+	}
+	if m.cfg.Cache != nil {
+		if _, ok, cerr := m.cfg.Cache.Get(hash); cerr == nil && ok {
+			return JobView{Hash: hash, State: StateDone, Cached: true, Result: resultPath(hash)}, nil
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.rejectedDraining.Inc()
+		return JobView{}, ErrDraining
+	}
+	if j, ok := m.inflight[hash]; ok {
+		m.dedup.Inc()
+		return j.view(), nil
+	}
+	m.seq++
+	j := &Job{
+		id:       fmt.Sprintf("j-%06d", m.seq),
+		hash:     hash,
+		req:      req,
+		state:    StateQueued,
+		accepted: time.Now(),
+		done:     make(chan struct{}),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.rejectedFull.Inc()
+		return JobView{}, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.inflight[hash] = j
+	m.wg.Add(1)
+	m.submitted.Inc()
+	depth := len(m.queue)
+	m.queueDepth.Set(float64(depth))
+	m.depthAtSubmit.Observe(int64(depth))
+	return j.view(), nil
+}
+
+// Job returns a snapshot of the identified job.
+func (m *Manager) Job(id string) (JobView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// WaitJob blocks until the job reaches a terminal state or ctx ends.
+func (m *Manager) WaitJob(ctx context.Context, id string) (JobView, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobView{}, fmt.Errorf("jobs: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return j.view(), nil
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+}
+
+// Draining reports whether the manager has stopped accepting jobs.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// QueueDepth returns the current queued-but-not-running count.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// DrainReport summarizes a drain.
+type DrainReport struct {
+	// Completed and Failed count jobs that reached those states during
+	// (or before) the drain; Persisted counts queued jobs written to the
+	// pending file when the drain deadline hit first. Every accepted job
+	// lands in exactly one bucket once Running reaches zero.
+	Completed, Failed, Persisted int
+	// Running counts jobs still executing when the drain returned early
+	// (always zero when the context did not expire).
+	Running int
+}
+
+// Drain stops accepting new jobs and waits for every accepted job to
+// finish. If ctx expires first, jobs still waiting in the queue are
+// persisted to PendingPath (state "persisted") so a restart can resume
+// them; running jobs keep their context and are left to finish. Either
+// way no accepted job is silently dropped.
+func (m *Manager) Drain(ctx context.Context) (DrainReport, error) {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+
+	waitDone := make(chan struct{})
+	go func() { m.wg.Wait(); close(waitDone) }()
+	var err error
+	select {
+	case <-waitDone:
+	case <-ctx.Done():
+		err = m.persistQueued()
+		// Give wg a chance to settle for jobs that finished while we
+		// were persisting.
+		select {
+		case <-waitDone:
+		default:
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var rep DrainReport
+	for _, j := range m.jobs {
+		switch j.state {
+		case StateDone:
+			rep.Completed++
+		case StateFailed:
+			rep.Failed++
+		case StatePersisted:
+			rep.Persisted++
+		default:
+			rep.Running++
+		}
+	}
+	return rep, err
+}
+
+// persistQueued pulls every not-yet-started job off the queue and
+// writes their requests to PendingPath. Jobs a worker grabs concurrently
+// simply run to completion instead — either way they are not dropped.
+func (m *Manager) persistQueued() error {
+	var drained []*Job
+	for {
+		select {
+		case j := <-m.queue:
+			drained = append(drained, j)
+		default:
+			goto pulled
+		}
+	}
+pulled:
+	if len(drained) == 0 {
+		return nil
+	}
+	var reqs []*resultcache.Request
+	for _, j := range drained {
+		reqs = append(reqs, j.req)
+	}
+	var werr error
+	if m.cfg.PendingPath != "" {
+		werr = SavePending(m.cfg.PendingPath, reqs)
+	} else {
+		werr = fmt.Errorf("jobs: %d queued jobs dropped at drain (no PendingPath configured)", len(drained))
+	}
+	for _, j := range drained {
+		st, msg := StatePersisted, ""
+		if werr != nil {
+			st, msg = StateFailed, werr.Error()
+		}
+		m.finish(j, st, msg)
+		if werr == nil {
+			m.persisted.Inc()
+		}
+	}
+	return werr
+}
+
+// pendingFile is the drain journal format.
+type pendingFile struct {
+	Schema   string                 `json:"schema"`
+	Requests []*resultcache.Request `json:"requests"`
+}
+
+// pendingSchema versions the drain journal.
+const pendingSchema = "sgserve-pending/1"
+
+// SavePending writes requests to a drain journal (atomic rename).
+func SavePending(path string, reqs []*resultcache.Request) error {
+	raw, err := json.MarshalIndent(pendingFile{Schema: pendingSchema, Requests: reqs}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadPending reads a drain journal and removes it, returning the
+// normalized requests to resubmit. A missing file is an empty resume.
+func LoadPending(path string) ([]*resultcache.Request, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var pf pendingFile
+	if err := json.Unmarshal(raw, &pf); err != nil {
+		return nil, fmt.Errorf("jobs: bad pending file %s: %w", path, err)
+	}
+	if pf.Schema != pendingSchema {
+		return nil, fmt.Errorf("jobs: unsupported pending schema %q (this build reads %q)", pf.Schema, pendingSchema)
+	}
+	for _, r := range pf.Requests {
+		if err := r.Normalize(); err != nil {
+			return nil, fmt.Errorf("jobs: pending file %s: %w", path, err)
+		}
+	}
+	if err := os.Remove(path); err != nil {
+		return nil, err
+	}
+	return pf.Requests, nil
+}
+
+// Close cancels every running job and stops the workers. Terminal
+// states already reached are preserved; the manager must not be used
+// afterwards. Drain first for a graceful exit.
+func (m *Manager) Close() { m.cancel() }
+
+// worker executes jobs with bounded retries.
+func (m *Manager) worker() {
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case j := <-m.queue:
+			m.run(j)
+		}
+	}
+}
+
+func (m *Manager) run(j *Job) {
+	m.mu.Lock()
+	j.state = StateRunning
+	m.mu.Unlock()
+	m.queueDepth.Set(float64(len(m.queue)))
+	m.waitMS.Observe(time.Since(j.accepted).Milliseconds())
+
+	var lastErr error
+	for attempt := 1; attempt <= m.cfg.MaxAttempts; attempt++ {
+		m.mu.Lock()
+		j.attempts = attempt
+		m.mu.Unlock()
+		if attempt > 1 {
+			m.retried.Inc()
+			backoff := m.cfg.RetryBackoff << (attempt - 2)
+			select {
+			case <-time.After(backoff):
+			case <-m.ctx.Done():
+				m.finishLocked(j, StateFailed, m.ctx.Err().Error())
+				return
+			}
+		}
+		_, err := m.cfg.Runner(m.ctx, j.req)
+		if err == nil {
+			m.latencyMS.Observe(time.Since(j.accepted).Milliseconds())
+			m.finishLocked(j, StateDone, "")
+			return
+		}
+		lastErr = err
+		if !IsTransient(err) || m.ctx.Err() != nil {
+			break
+		}
+	}
+	m.finishLocked(j, StateFailed, lastErr.Error())
+}
+
+// finishLocked is finish with its own locking.
+func (m *Manager) finishLocked(j *Job, st State, msg string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finish(j, st, msg)
+}
+
+// finish moves a job to a terminal state. Caller holds m.mu.
+func (m *Manager) finish(j *Job, st State, msg string) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = st
+	j.err = msg
+	if cur, ok := m.inflight[j.hash]; ok && cur == j {
+		delete(m.inflight, j.hash)
+	}
+	switch st {
+	case StateDone:
+		m.completed.Inc()
+	case StateFailed:
+		m.failed.Inc()
+	}
+	close(j.done)
+	m.wg.Done()
+}
+
+// view snapshots a job. Caller holds m.mu (or the job is freshly built).
+func (j *Job) view() JobView {
+	v := JobView{ID: j.id, Hash: j.hash, State: j.state, Attempts: j.attempts, Error: j.err}
+	if j.state == StateDone {
+		v.Result = resultPath(j.hash)
+	}
+	return v
+}
+
+// resultPath is the API path serving a hash's artifact.
+func resultPath(hash string) string { return "/v1/results/" + hash }

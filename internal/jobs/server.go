@@ -1,0 +1,153 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"safeguard/internal/resultcache"
+	"safeguard/internal/telemetry"
+)
+
+// Server is the HTTP face of a Manager:
+//
+//	POST /v1/jobs           submit a simulation request
+//	GET  /v1/jobs/{id}      poll a job
+//	GET  /v1/results/{hash} fetch an artifact (the stored bytes, verbatim)
+//	GET  /healthz           liveness + drain state
+//	/stats, /debug/...      the telemetry surface (expvar, pprof)
+//
+// Submissions answered from the cache return 200 with the job view;
+// accepted jobs return 202 with a Location header for polling. A full
+// queue returns 429 with Retry-After; a draining server returns 503.
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+	// RetryAfterSeconds fills the Retry-After header on 429/503
+	// responses (default 5).
+	RetryAfterSeconds int
+}
+
+// NewServer wires a Manager (and its telemetry registry) into a handler.
+func NewServer(mgr *Manager, reg *telemetry.Registry) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), RetryAfterSeconds: 5}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("/stats", telemetry.Handler(reg))
+	s.mux.Handle("/debug/", telemetry.Handler(reg))
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxRequestBody bounds submission payloads; canonical requests are a
+// few hundred bytes, so 1 MiB is generous headroom, not a limit anyone
+// legitimate will hit.
+const maxRequestBody = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := resultcache.ParseRequest(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	view, err := s.mgr.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds))
+		s.writeError(w, http.StatusTooManyRequests, "queue full, retry later")
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds))
+		s.writeError(w, http.StatusServiceUnavailable, "server draining, not accepting jobs")
+		return
+	case err != nil:
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if view.Cached {
+		s.writeJSON(w, http.StatusOK, view)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+view.ID)
+	s.writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, ok := s.mgr.Job(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !resultcache.ValidHash(hash) {
+		s.writeError(w, http.StatusBadRequest, "malformed result hash")
+		return
+	}
+	if s.mgr.cfg.Cache == nil {
+		s.writeError(w, http.StatusNotFound, "no result cache configured")
+		return
+	}
+	art, ok, err := s.mgr.cfg.Cache.Get(hash)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "cache read: %v", err)
+		return
+	}
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no result for %s", hash)
+		return
+	}
+	// Serve the artifact's canonical encoding verbatim: byte-identity is
+	// part of the cache contract, so no re-marshaling here.
+	enc, err := art.Encode()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encode artifact: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Result-Hash", hash)
+	_, _ = w.Write(enc)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.mgr.Draining() {
+		// Report draining as unready so load balancers stop routing here,
+		// while in-flight work finishes.
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, map[string]any{
+		"status":      status,
+		"queue_depth": s.mgr.QueueDepth(),
+	})
+}

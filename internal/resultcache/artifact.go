@@ -1,0 +1,96 @@
+// The sgserve artifact: a versioned JSON envelope binding a canonical
+// request to its result bytes under the request's content hash. Like the
+// sgprof/1 report reader, ReadArtifact re-derives every invariant a
+// corrupted or hand-edited file would break — the schema tag, the
+// request-to-hash binding, and the result's wire shape — so a bad disk
+// entry is rejected at the boundary instead of being served.
+package resultcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Artifact is one cached result.
+type Artifact struct {
+	Schema string `json:"schema"`
+	// Hash is the content hash of Request (and the artifact's identity).
+	Hash string `json:"hash"`
+	// Request is the canonical JSON of the normalized request.
+	Request json.RawMessage `json:"request"`
+	// Result is the kind-specific wire JSON (PerfWire / RelWire).
+	Result json.RawMessage `json:"result"`
+}
+
+// NewArtifact binds a request to its result bytes. The request is
+// normalized and re-hashed here, so the stored identity can never drift
+// from the payload.
+func NewArtifact(req *Request, result json.RawMessage) (*Artifact, error) {
+	canon, err := req.CanonicalJSON()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := req.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if err := req.ValidateResult(result); err != nil {
+		return nil, err
+	}
+	return &Artifact{Schema: Schema, Hash: hash, Request: canon, Result: result}, nil
+}
+
+// Encode renders the artifact as indented JSON. Field order is fixed by
+// the struct and the payloads are already canonical bytes, so identical
+// artifacts encode identically — the property that lets the result
+// endpoint serve cache hits byte-for-byte.
+func (a *Artifact) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRequest parses the artifact's embedded canonical request.
+func (a *Artifact) DecodeRequest() (*Request, error) {
+	return ParseRequest(bytes.NewReader(a.Request))
+}
+
+// ReadArtifact parses and validates an artifact:
+//
+//   - the schema must be this build's (a format bump invalidates, never
+//     misreads, old stores);
+//   - the embedded request must normalize back to the declared hash (a
+//     tampered request or a renamed file cannot alias another key);
+//   - the result must parse strictly as the request kind's wire form.
+func ReadArtifact(r io.Reader) (*Artifact, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var a Artifact
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("resultcache: bad artifact: %w", err)
+	}
+	if a.Schema != Schema {
+		return nil, fmt.Errorf("resultcache: unsupported artifact schema %q (this build reads %q)", a.Schema, Schema)
+	}
+	req, err := a.DecodeRequest()
+	if err != nil {
+		return nil, fmt.Errorf("resultcache: artifact request: %w", err)
+	}
+	hash, err := req.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if hash != a.Hash {
+		return nil, fmt.Errorf("resultcache: artifact hash %.12s… does not match its request (computed %.12s…)", a.Hash, hash)
+	}
+	if err := req.ValidateResult(a.Result); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}

@@ -1,0 +1,184 @@
+// The two-tier result store: a bounded in-memory LRU in front of an
+// optional on-disk directory of <hash>.json artifacts. Writes go through
+// both tiers (disk via temp-file + rename, so a crash never leaves a
+// half artifact); reads promote disk hits into memory; every disk load
+// runs the full ReadArtifact invariant check, and a file that fails it
+// is reported as a miss (and counted) rather than served.
+package resultcache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"safeguard/internal/telemetry"
+)
+
+// Options configures a cache.
+type Options struct {
+	// MemEntries bounds the in-memory LRU (default 128, minimum 1).
+	MemEntries int
+	// Dir, when non-empty, enables the disk tier in that directory
+	// (created if missing).
+	Dir string
+	// Telemetry, when set, receives hit/miss/eviction counters under
+	// "resultcache.*".
+	Telemetry *telemetry.Registry
+}
+
+// Cache is the two-tier store. Safe for concurrent use.
+type Cache struct {
+	mu  sync.Mutex
+	ll  *list.List               // MRU at front; values are *entry
+	idx map[string]*list.Element // hash -> element
+	max int
+	dir string
+
+	hitMem, hitDisk, miss     *telemetry.Counter
+	puts, evictMem, corrupted *telemetry.Counter
+	memLen                    *telemetry.Gauge
+}
+
+type entry struct {
+	hash string
+	art  *Artifact
+}
+
+// New builds a cache, creating the disk directory when one is
+// configured.
+func New(opts Options) (*Cache, error) {
+	if opts.MemEntries <= 0 {
+		opts.MemEntries = 128
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("resultcache: %w", err)
+		}
+	}
+	reg := opts.Telemetry
+	return &Cache{
+		ll:        list.New(),
+		idx:       make(map[string]*list.Element),
+		max:       opts.MemEntries,
+		dir:       opts.Dir,
+		hitMem:    reg.Counter("resultcache.hit.mem"),
+		hitDisk:   reg.Counter("resultcache.hit.disk"),
+		miss:      reg.Counter("resultcache.miss"),
+		puts:      reg.Counter("resultcache.put"),
+		evictMem:  reg.Counter("resultcache.evict.mem"),
+		corrupted: reg.Counter("resultcache.disk.corrupt"),
+		memLen:    reg.Gauge("resultcache.mem.entries"),
+	}, nil
+}
+
+// Len returns the in-memory entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Get returns the artifact stored under hash. The boolean reports
+// whether it was found; a disk entry that fails its invariant checks
+// counts as corrupt and reports (nil, false, nil) — corruption must
+// degrade to a recomputation, not an outage.
+func (c *Cache) Get(hash string) (*Artifact, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.idx[hash]; ok {
+		c.ll.MoveToFront(el)
+		a := el.Value.(*entry).art
+		c.mu.Unlock()
+		c.hitMem.Inc()
+		return a, true, nil
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		c.miss.Inc()
+		return nil, false, nil
+	}
+	f, err := os.Open(c.path(hash))
+	if errors.Is(err, fs.ErrNotExist) {
+		c.miss.Inc()
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("resultcache: %w", err)
+	}
+	a, rerr := ReadArtifact(f)
+	_ = f.Close()
+	if rerr != nil {
+		c.corrupted.Inc()
+		return nil, false, nil
+	}
+	if a.Hash != hash {
+		// A renamed file: internally consistent but filed under the
+		// wrong key. Refuse to alias.
+		c.corrupted.Inc()
+		return nil, false, nil
+	}
+	c.install(a)
+	c.hitDisk.Inc()
+	return a, true, nil
+}
+
+// Put stores an artifact in both tiers. Re-putting an existing hash is a
+// no-op refresh (the artifact bytes are content-addressed, so the value
+// cannot have changed).
+func (c *Cache) Put(a *Artifact) error {
+	if a == nil || a.Hash == "" {
+		return fmt.Errorf("resultcache: cannot store an artifact without a hash")
+	}
+	c.puts.Inc()
+	if c.dir != "" {
+		enc, err := a.Encode()
+		if err != nil {
+			return err
+		}
+		tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+		if err != nil {
+			return fmt.Errorf("resultcache: %w", err)
+		}
+		_, werr := tmp.Write(enc)
+		cerr := tmp.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmp.Name(), c.path(a.Hash))
+		}
+		if werr != nil {
+			_ = os.Remove(tmp.Name())
+			return fmt.Errorf("resultcache: %w", werr)
+		}
+	}
+	c.install(a)
+	return nil
+}
+
+// install puts (or refreshes) an artifact in the memory tier, evicting
+// from the LRU tail past capacity.
+func (c *Cache) install(a *Artifact) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[a.Hash]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).art = a
+		return
+	}
+	c.idx[a.Hash] = c.ll.PushFront(&entry{hash: a.Hash, art: a})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.idx, tail.Value.(*entry).hash)
+		c.evictMem.Inc()
+	}
+	c.memLen.Set(float64(c.ll.Len()))
+}
+
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}

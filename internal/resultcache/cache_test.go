@@ -1,0 +1,268 @@
+package resultcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"safeguard/internal/telemetry"
+)
+
+// artifactN builds a distinct valid artifact per seed.
+func artifactN(t *testing.T, seed uint64) *Artifact {
+	t.Helper()
+	req := tinyPerf()
+	req.Perf.Seeds = []uint64{seed}
+	art, err := NewArtifact(req, fakePerfResult(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art
+}
+
+func TestCacheMemoryTier(t *testing.T) {
+	t.Parallel()
+	reg := telemetry.NewRegistry()
+	c, err := New(Options{MemEntries: 2, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := artifactN(t, 1)
+	if _, ok, err := c.Get(a.Hash); ok || err != nil {
+		t.Fatalf("empty cache Get = (%v, %v)", ok, err)
+	}
+	if err := c.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get(a.Hash)
+	if !ok || err != nil {
+		t.Fatalf("Get after Put = (%v, %v)", ok, err)
+	}
+	if got.Hash != a.Hash {
+		t.Fatalf("got %s, want %s", got.Hash, a.Hash)
+	}
+	// Re-putting the same hash refreshes, not duplicates.
+	if err := c.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len after double Put = %d", c.Len())
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["resultcache.hit.mem"] != 1 || snap.Counters["resultcache.miss"] != 1 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	t.Parallel()
+	reg := telemetry.NewRegistry()
+	c, err := New(Options{MemEntries: 2, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, a2, a3 := artifactN(t, 1), artifactN(t, 2), artifactN(t, 3)
+	for _, a := range []*Artifact{a1, a2} {
+		if err := c.Put(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a1 so a2 is the LRU victim.
+	if _, ok, _ := c.Get(a1.Hash); !ok {
+		t.Fatal("a1 missing")
+	}
+	if err := c.Put(a3); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get(a2.Hash); ok {
+		t.Fatal("a2 survived eviction; LRU order wrong")
+	}
+	if _, ok, _ := c.Get(a1.Hash); !ok {
+		t.Fatal("recently-used a1 was evicted")
+	}
+	if n := reg.Snapshot().Counters["resultcache.evict.mem"]; n != 1 {
+		t.Fatalf("evictions = %d", n)
+	}
+}
+
+func TestCacheDiskTier(t *testing.T) {
+	t.Parallel()
+	reg := telemetry.NewRegistry()
+	dir := t.TempDir()
+	c, err := New(Options{MemEntries: 1, Dir: dir, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, a2 := artifactN(t, 1), artifactN(t, 2)
+	for _, a := range []*Artifact{a1, a2} {
+		if err := c.Put(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a1 was evicted from memory (capacity 1) but must come back from
+	// disk, byte-identical.
+	got, ok, err := c.Get(a1.Hash)
+	if !ok || err != nil {
+		t.Fatalf("disk Get = (%v, %v)", ok, err)
+	}
+	e1, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0, err := a1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(e1) != string(e0) {
+		t.Fatal("disk round trip changed artifact bytes")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["resultcache.hit.disk"] != 1 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	// A fresh cache over the same directory sees the artifacts: the disk
+	// tier is the restart-survival layer.
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c2.Get(a2.Hash); !ok {
+		t.Fatal("fresh cache cannot read prior store")
+	}
+}
+
+func TestCacheCorruptDiskEntry(t *testing.T) {
+	t.Parallel()
+	reg := telemetry.NewRegistry()
+	dir := t.TempDir()
+	c, err := New(Options{MemEntries: 1, Dir: dir, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, a2 := artifactN(t, 1), artifactN(t, 2)
+	if err := c.Put(a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(a2); err != nil { // evicts a1 from memory
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, a1.Hash+".json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(a1.Hash); ok || err != nil {
+		t.Fatalf("corrupt entry Get = (%v, %v); must degrade to a miss", ok, err)
+	}
+	// A valid artifact renamed onto the wrong hash must not alias.
+	enc, err := a2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := artifactN(t, 3)
+	if err := os.WriteFile(filepath.Join(dir, wrong.Hash+".json"), enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get(wrong.Hash); ok {
+		t.Fatal("renamed artifact served under the wrong hash")
+	}
+	if n := reg.Snapshot().Counters["resultcache.disk.corrupt"]; n != 2 {
+		t.Fatalf("corrupt counter = %d", n)
+	}
+}
+
+func TestCachePutRejectsAnonymous(t *testing.T) {
+	t.Parallel()
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(&Artifact{}); err == nil {
+		t.Fatal("hashless artifact accepted")
+	}
+	if err := c.Put(nil); err == nil {
+		t.Fatal("nil artifact accepted")
+	}
+}
+
+func TestCacheNilTelemetryAndDefaults(t *testing.T) {
+	t.Parallel()
+	c, err := New(Options{}) // nil registry, defaulted capacity, no disk
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.Put(artifactN(t, uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCacheBadDir(t *testing.T) {
+	t.Parallel()
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Dir: filepath.Join(f, "sub")}); err == nil {
+		t.Fatal("cache dir under a regular file accepted")
+	}
+}
+
+func TestConcurrentCacheAccess(t *testing.T) {
+	t.Parallel()
+	c, err := New(Options{MemEntries: 4, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts := make([]*Artifact, 8)
+	for i := range arts {
+		arts[i] = artifactN(t, uint64(i+1))
+	}
+	done := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		go func(w int) {
+			var err error
+			for i := 0; i < 20 && err == nil; i++ {
+				a := arts[(w+i)%len(arts)]
+				if i%2 == 0 {
+					err = c.Put(a)
+				} else {
+					_, _, err = c.Get(a.Hash)
+				}
+			}
+			done <- err
+		}(w)
+	}
+	for w := 0; w < 16; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWireFormsMarshalDeterministically(t *testing.T) {
+	t.Parallel()
+	w := PerfWire{
+		Schemes: []string{"SafeGuard", "SGX-style"},
+		Average: map[string]float64{"SGX-style": 0.187, "SafeGuard": 0.007},
+	}
+	a, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("PerfWire marshaling unstable")
+	}
+	// encoding/json sorts map keys: SafeGuard before SGX-style.
+	if sa := string(a); !json.Valid(a) || fmt.Sprintf("%s", sa) == "" {
+		t.Fatal("invalid JSON")
+	}
+}

@@ -1,0 +1,176 @@
+// Execution: a normalized request runs on the repository's existing
+// deterministic worker pools (experiments for perf, faultsim for rel)
+// and its result is flattened to a wire form whose JSON encoding is
+// byte-stable — map keys are strings (sorted by encoding/json), slices
+// carry registry order, and no field holds a clock or a worker count.
+// That byte-stability is the contract the cache depends on: a cache hit
+// must be indistinguishable from a fresh run.
+package resultcache
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"safeguard/internal/experiments"
+	"safeguard/internal/faultsim"
+	"safeguard/internal/sim"
+	"safeguard/internal/telemetry"
+)
+
+// PerfWire is the stored result of a perf request.
+type PerfWire struct {
+	Schemes []string      `json:"schemes"`
+	Rows    []PerfRowWire `json:"rows"`
+	// Average maps scheme name -> mean fractional slowdown across rows.
+	Average map[string]float64 `json:"average"`
+}
+
+// PerfRowWire is one workload's slowdowns.
+type PerfRowWire struct {
+	Workload string             `json:"workload"`
+	BaseIPC  float64            `json:"base_ipc"`
+	Slowdown map[string]float64 `json:"slowdown"`
+}
+
+// RelWire is the stored result of a rel request: one entry per
+// evaluator, in request order.
+type RelWire struct {
+	Results []RelResultWire `json:"results"`
+}
+
+// RelResultWire is one evaluator's lifetime study.
+type RelResultWire struct {
+	Scheme              string         `json:"scheme"`
+	Modules             int            `json:"modules"`
+	Failed              int            `json:"failed"`
+	FailedByYear        []int          `json:"failed_by_year"`
+	SingleFaultFailures int            `json:"single_fault_failures"`
+	PairFailures        int            `json:"pair_failures"`
+	FailuresByMode      map[string]int `json:"failures_by_mode"`
+	Probability         float64        `json:"probability"`
+}
+
+// Execute runs the request on the matching deterministic pool and
+// returns its canonical result JSON. The registry (may be nil) receives
+// the run's merged telemetry; because the pools merge worker-private
+// registries commutatively, neither the counters nor the result bytes
+// depend on scheduling. Parallelism is the pools' default (GOMAXPROCS).
+func (r *Request) Execute(ctx context.Context, reg *telemetry.Registry) (json.RawMessage, error) {
+	if err := r.Normalize(); err != nil {
+		return nil, err
+	}
+	switch r.Kind {
+	case KindPerf:
+		return r.Perf.execute(ctx, reg)
+	case KindRel:
+		return r.Rel.execute(ctx, reg)
+	}
+	return nil, fmt.Errorf("resultcache: unknown kind %q", r.Kind)
+}
+
+func (p *PerfRequest) execute(ctx context.Context, reg *telemetry.Registry) (json.RawMessage, error) {
+	schemes := make([]sim.Scheme, 0, len(p.Schemes))
+	for _, name := range p.Schemes {
+		s, err := sim.ParseScheme(name)
+		if err != nil {
+			return nil, err
+		}
+		schemes = append(schemes, s)
+	}
+	cfg := experiments.PerfConfig{
+		InstrPerCore:  p.InstrPerCore,
+		WarmupInstr:   p.WarmupInstr,
+		Seeds:         p.Seeds,
+		MACLatencyCPU: p.MACLatencyCPU,
+		Workloads:     p.Workloads,
+		Mitigation:    p.Mitigation,
+		RHThreshold:   p.RHThreshold,
+		Telemetry:     reg,
+	}
+	res, err := experiments.RunSchemes(ctx, cfg, schemes)
+	if err != nil {
+		return nil, err
+	}
+	wire := PerfWire{Average: make(map[string]float64)}
+	for _, s := range res.Schemes {
+		wire.Schemes = append(wire.Schemes, s.String())
+		wire.Average[s.String()] = res.Average(s)
+	}
+	for _, row := range res.Rows {
+		w := PerfRowWire{Workload: row.Workload, BaseIPC: row.BaseIPC, Slowdown: make(map[string]float64)}
+		for s, v := range row.Slowdown {
+			w.Slowdown[s.String()] = v
+		}
+		wire.Rows = append(wire.Rows, w)
+	}
+	return json.Marshal(wire)
+}
+
+func (l *RelRequest) execute(ctx context.Context, reg *telemetry.Registry) (json.RawMessage, error) {
+	evals := make([]faultsim.Evaluator, 0, len(l.Evaluators))
+	for _, name := range l.Evaluators {
+		e, err := faultsim.EvaluatorByName(name)
+		if err != nil {
+			return nil, err
+		}
+		evals = append(evals, e)
+	}
+	cfg := faultsim.Config{
+		Modules:             l.Modules,
+		Years:               l.Years,
+		FITScale:            l.FITScale,
+		Seed:                l.Seed,
+		ScrubIntervalHours:  l.ScrubIntervalHours,
+		RetireIntervalHours: l.RetireIntervalHours,
+		Telemetry:           reg,
+	}
+	results, err := faultsim.RunAllContext(ctx, evals, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var wire RelWire
+	for _, res := range results {
+		w := RelResultWire{
+			Scheme:              res.Scheme,
+			Modules:             res.Modules,
+			Failed:              res.Failed,
+			FailedByYear:        res.FailedByYear,
+			SingleFaultFailures: res.SingleFaultFailures,
+			PairFailures:        res.PairFailures,
+			FailuresByMode:      make(map[string]int),
+			Probability:         res.Probability(),
+		}
+		for mode, n := range res.FailuresByMode {
+			w.FailuresByMode[mode.String()] = n
+		}
+		wire.Results = append(wire.Results, w)
+	}
+	return json.Marshal(wire)
+}
+
+// ValidateResult checks that raw parses as the request kind's wire form
+// (strictly — unknown fields reject). ReadArtifact runs it on every
+// disk-store load, so a truncated or hand-edited artifact is caught at
+// the reader, not at a consumer.
+func (r *Request) ValidateResult(raw json.RawMessage) error {
+	if len(raw) == 0 {
+		return fmt.Errorf("resultcache: empty result payload")
+	}
+	var dst any
+	switch r.Kind {
+	case KindPerf:
+		dst = &PerfWire{}
+	case KindRel:
+		dst = &RelWire{}
+	default:
+		return fmt.Errorf("resultcache: unknown kind %q", r.Kind)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("resultcache: result does not parse as %s wire form: %w", r.Kind, err)
+	}
+	return nil
+}

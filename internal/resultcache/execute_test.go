@@ -1,0 +1,118 @@
+package resultcache
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"safeguard/internal/telemetry"
+)
+
+// Execute must be byte-deterministic: the cache serves stored bytes in
+// place of a run, so any nondeterminism here would make hits and fresh
+// runs distinguishable.
+func TestExecutePerfDeterministic(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	r1, err := tinyPerf().Execute(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tinyPerf().Execute(ctx, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Fatalf("perf Execute not byte-deterministic:\n%s\nvs\n%s", r1, r2)
+	}
+	var wire PerfWire
+	if err := json.Unmarshal(r1, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire.Rows) != 1 || wire.Rows[0].Workload != "leela" {
+		t.Fatalf("wire rows = %+v", wire.Rows)
+	}
+	if wire.Rows[0].BaseIPC <= 0 {
+		t.Fatalf("base IPC = %v", wire.Rows[0].BaseIPC)
+	}
+	if _, ok := wire.Average["SafeGuard"]; !ok {
+		t.Fatalf("missing SafeGuard average: %+v", wire.Average)
+	}
+	if err := tinyPerf().ValidateResult(r1); err != nil {
+		t.Fatalf("Execute output fails ValidateResult: %v", err)
+	}
+}
+
+func TestExecuteRelDeterministic(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	r1, err := tinyRel().Execute(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tinyRel().Execute(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Fatalf("rel Execute not byte-deterministic:\n%s\nvs\n%s", r1, r2)
+	}
+	var wire RelWire
+	if err := json.Unmarshal(r1, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire.Results) != 1 || wire.Results[0].Scheme != "SECDED" {
+		t.Fatalf("wire results = %+v", wire.Results)
+	}
+	if wire.Results[0].Modules != 20_000 {
+		t.Fatalf("modules = %d", wire.Results[0].Modules)
+	}
+	if err := tinyRel().ValidateResult(r1); err != nil {
+		t.Fatalf("Execute output fails ValidateResult: %v", err)
+	}
+}
+
+func TestExecuteTelemetryMerged(t *testing.T) {
+	t.Parallel()
+	reg := telemetry.NewRegistry()
+	if _, err := tinyPerf().Execute(context.Background(), reg); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Snapshot().Counters["experiments.runs"]; n == 0 {
+		t.Fatal("perf Execute did not merge run telemetry")
+	}
+}
+
+func TestExecuteCancelled(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tinyPerf().Execute(ctx, nil); err == nil {
+		t.Fatal("cancelled perf Execute returned no error")
+	}
+	if _, err := tinyRel().Execute(ctx, nil); err == nil {
+		t.Fatal("cancelled rel Execute returned no error")
+	}
+}
+
+func TestExecuteInvalidRequest(t *testing.T) {
+	t.Parallel()
+	if _, err := (&Request{Kind: "fuzz"}).Execute(context.Background(), nil); err == nil {
+		t.Fatal("Execute accepted an unknown kind")
+	}
+}
+
+func TestValidateResultRejectsGarbage(t *testing.T) {
+	t.Parallel()
+	req := tinyPerf()
+	for name, raw := range map[string]json.RawMessage{
+		"empty":         nil,
+		"not json":      json.RawMessage("]["),
+		"unknown field": json.RawMessage(`{"schemes":[],"rows":[],"average":{},"surplus":1}`),
+	} {
+		if err := req.ValidateResult(raw); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

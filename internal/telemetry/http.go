@@ -22,19 +22,15 @@ var (
 	expvarReg  atomic.Pointer[Registry]
 )
 
-// ServeHTTP starts an HTTP server on addr exposing:
+// Handler returns the observability mux by itself, for embedding into a
+// larger server (sgserve mounts it next to its job API):
 //
 //	/debug/vars    expvar (includes the registry under "safeguard")
 //	/debug/pprof/  the standard pprof handlers
 //	/stats         the registry's deterministic JSON snapshot
 //
-// It returns the bound address (useful with ":0") and a shutdown func.
 // The registry may be nil; /stats then serves the empty snapshot.
-func ServeHTTP(addr string, reg *Registry) (string, func() error, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
-	}
+func Handler(reg *Registry) http.Handler {
 	expvarReg.Store(reg)
 	expvarOnce.Do(func() {
 		expvar.Publish("safeguard", expvar.Func(func() any { return expvarReg.Load().Snapshot() }))
@@ -50,7 +46,17 @@ func ServeHTTP(addr string, reg *Registry) (string, func() error, error) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = reg.Snapshot().WriteJSON(w)
 	})
-	srv := &http.Server{Handler: mux}
+	return mux
+}
+
+// ServeHTTP starts a standalone server on addr wrapping Handler. It
+// returns the bound address (useful with ":0") and a shutdown func.
+func ServeHTTP(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

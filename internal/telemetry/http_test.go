@@ -4,10 +4,53 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 )
+
+// Handler is the embeddable form of the surface — sgserve mounts it
+// next to its job API. It must serve the same endpoints without owning
+// a listener, and tolerate a nil registry.
+func TestHandlerEmbeddable(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("handler.hits").Add(4)
+	ts := httptest.NewServer(Handler(reg))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/stats not JSON: %v", err)
+	}
+	if snap.Counters["handler.hits"] != 4 {
+		t.Fatalf("/stats counters = %+v", snap.Counters)
+	}
+	pr, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", pr.StatusCode)
+	}
+
+	nilTS := httptest.NewServer(Handler(nil))
+	defer nilTS.Close()
+	nr, err := http.Get(nilTS.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nr.Body.Close()
+	if nr.StatusCode != http.StatusOK {
+		t.Fatalf("nil-registry /stats status = %d", nr.StatusCode)
+	}
+}
 
 func TestServeHTTP(t *testing.T) {
 	reg := NewRegistry()

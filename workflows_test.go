@@ -1,0 +1,124 @@
+// Workflow contract tests: CI definitions rot silently because nothing
+// local executes them. These checks pin the properties the repo relies
+// on — valid YAML-ish structure, pinned action versions, and the rule
+// that workflows only ever invoke make targets (so CI can never check
+// something a developer can't reproduce with one command).
+package safeguard_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func readWorkflow(t *testing.T, name string) string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(".github", "workflows", name))
+	if err != nil {
+		t.Fatalf("workflow missing: %v", err)
+	}
+	return string(raw)
+}
+
+func workflowNames(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(".github", "workflows"))
+	if err != nil {
+		t.Fatalf("no workflows directory: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".yml") || strings.HasSuffix(e.Name(), ".yaml") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) < 2 {
+		t.Fatalf("expected ci + nightly workflows, found %v", names)
+	}
+	return names
+}
+
+// Every `uses:` must pin a major version (@v4, @v5, ...) — a bare action
+// name floats to whatever the marketplace serves tomorrow.
+func TestWorkflowActionsPinned(t *testing.T) {
+	t.Parallel()
+	pinned := regexp.MustCompile(`^[\w./-]+@v\d+$`)
+	for _, name := range workflowNames(t) {
+		for i, line := range strings.Split(readWorkflow(t, name), "\n") {
+			idx := strings.Index(line, "uses:")
+			if idx < 0 {
+				continue
+			}
+			ref := strings.TrimSpace(line[idx+len("uses:"):])
+			if !pinned.MatchString(ref) {
+				t.Errorf("%s:%d: action %q is not pinned to a major version", name, i+1, ref)
+			}
+		}
+	}
+}
+
+// Every run step must invoke make — no inline go/bash pipelines that can
+// drift from the Makefile.
+func TestWorkflowRunStepsInvokeMake(t *testing.T) {
+	t.Parallel()
+	for _, name := range workflowNames(t) {
+		for i, line := range strings.Split(readWorkflow(t, name), "\n") {
+			idx := strings.Index(line, "run:")
+			if idx < 0 || strings.Contains(line, "#") && strings.Index(line, "#") < idx {
+				continue
+			}
+			cmd := strings.TrimSpace(line[idx+len("run:"):])
+			if !strings.HasPrefix(cmd, "make ") {
+				t.Errorf("%s:%d: run step %q does not invoke make", name, i+1, cmd)
+			}
+		}
+	}
+}
+
+// Structural sanity at the actionlint level: on/jobs/steps present,
+// balanced indentation cues, no tabs (YAML forbids them).
+func TestWorkflowStructure(t *testing.T) {
+	t.Parallel()
+	for _, name := range workflowNames(t) {
+		body := readWorkflow(t, name)
+		for _, key := range []string{"name:", "on:", "jobs:", "runs-on:", "steps:", "permissions:"} {
+			if !strings.Contains(body, key) {
+				t.Errorf("%s: missing %q", name, key)
+			}
+		}
+		if strings.Contains(body, "\t") {
+			t.Errorf("%s: contains tabs; YAML requires spaces", name)
+		}
+	}
+}
+
+func TestCIWorkflowCoversPushPRAndMatrix(t *testing.T) {
+	t.Parallel()
+	body := readWorkflow(t, "ci.yml")
+	for _, want := range []string{"push:", "pull_request:", "matrix:", "stable", "oldstable", "cache: true", "make ci"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("ci.yml missing %q", want)
+		}
+	}
+}
+
+func TestNightlyWorkflowScheduleAndArtifacts(t *testing.T) {
+	t.Parallel()
+	body := readWorkflow(t, "nightly.yml")
+	for _, want := range []string{
+		"schedule:", "cron:", "workflow_dispatch:",
+		"make fuzz-smoke FUZZTIME=60s", "make bench-check",
+		"upload-artifact", "BENCH_*.json",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("nightly.yml missing %q", want)
+		}
+	}
+	// The fuzz budget the nightly passes must be a real escalation over
+	// the smoke default.
+	if strings.Contains(body, "FUZZTIME=2s") {
+		t.Error("nightly runs the smoke budget; it should escalate")
+	}
+}
