@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-check ci cover fmt vet lint fuzz-smoke examples-smoke sgprof-smoke
+.PHONY: all build test bench bench-check bench-quick ci cover fmt vet lint fuzz-smoke examples-smoke sgprof-smoke
 
 all: build
 
@@ -37,6 +37,25 @@ bench-check: bench
 	else \
 		$(GO) run ./cmd/bench2json -diff $$base BENCH_$(BENCH_PR).json; \
 	fi
+
+# bench-quick is the PR-time perf smoke: a reduced-budget pass over the
+# benchmark suite (-benchtime=100ms: fast benchmarks still amortize
+# their one-time table prints, slow ones run a single iteration) diffed
+# against the newest committed BENCH_*.json with a loose bar — reduced
+# budgets are noisy, so only a >100% ns/op growth fails. It catches
+# order-of-magnitude slips (a skip-ahead engine that stopped skipping, a
+# codec gone quadratic) in minutes where the nightly bench-check
+# measures properly. The throwaway report stays out of the tree.
+bench-quick:
+	@tmp=$$(mktemp /tmp/bench-quick-XXXXXX.json); \
+	$(GO) test -bench=. -benchtime=100ms -run '^$$' . | $(GO) run ./cmd/bench2json -o $$tmp || exit 1; \
+	base=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
+	if [ -z "$$base" ]; then \
+		echo "bench-quick: no committed BENCH_*.json baseline; skipping diff"; \
+	else \
+		$(GO) run ./cmd/bench2json -diff -regress 1.0 $$base $$tmp; \
+	fi; \
+	status=$$?; rm -f $$tmp; exit $$status
 
 vet:
 	$(GO) vet ./...
@@ -81,16 +100,20 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# fuzz-smoke gives every codec decode path a short fuzzing budget — enough
-# to catch panics and fresh invariant violations without CI-scale runtime.
-# The nightly workflow raises the budget with `make fuzz-smoke FUZZTIME=60s`.
-FUZZ_TARGETS := FuzzSECDEDDecode FuzzSafeGuardSECDEDDecode FuzzChipkillDecode \
-	FuzzSafeGuardChipkillDecode FuzzSGXStyleMACDecode FuzzSynergyStyleMACDecode
+# fuzz-smoke gives every fuzz target a short budget — enough to catch
+# panics and fresh invariant violations without CI-scale runtime. Targets
+# are package-qualified (pkg:FuzzName) so packages beyond ecc can join;
+# the nightly workflow raises the budget with `make fuzz-smoke FUZZTIME=60s`.
+FUZZ_TARGETS := ./internal/ecc:FuzzSECDEDDecode ./internal/ecc:FuzzSafeGuardSECDEDDecode \
+	./internal/ecc:FuzzChipkillDecode ./internal/ecc:FuzzSafeGuardChipkillDecode \
+	./internal/ecc:FuzzSGXStyleMACDecode ./internal/ecc:FuzzSynergyStyleMACDecode \
+	./internal/memctrl:FuzzEngineEquivalence
 FUZZTIME ?= 2s
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
-		echo "fuzz $$t ($(FUZZTIME))"; \
-		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/ecc || exit 1; \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "fuzz $$pkg $$fn ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
 	done
 
 # examples-smoke builds and runs every example program end to end.

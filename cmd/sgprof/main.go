@@ -30,6 +30,7 @@ import (
 	"safeguard/internal/dram"
 	"safeguard/internal/experiments"
 	"safeguard/internal/memctrl"
+	"safeguard/internal/sim"
 	"safeguard/internal/telemetry"
 )
 
@@ -54,6 +55,7 @@ func main() {
 		decode     = flag.Int64("decode", 0, "on-critical-path ECC-decode latency in CPU cycles")
 		mitigation = flag.String("mitigation", "", "in-controller Row-Hammer mitigation attached to -run")
 		threshold  = flag.Int("threshold", 0, "RH-Threshold sizing the mitigation (0 = Table I default)")
+		engine     = flag.String("engine", "", "simulation loop for -run: event (default) or cycle")
 	)
 	tf := cliflags.Telemetry()
 	flag.Parse()
@@ -70,6 +72,9 @@ func main() {
 	case "text", "json":
 	default:
 		cliflags.Fail(fmt.Errorf(`-report must be "text" or "json" (got %q)`, *format))
+	}
+	if _, err := sim.ParseEngine(*engine); err != nil {
+		cliflags.Fail(err)
 	}
 	if err := tf.Activate(); err != nil {
 		cliflags.Fail(err)
@@ -91,6 +96,7 @@ func main() {
 			RHThreshold:   *threshold,
 			Telemetry:     tf.Registry,
 			Trace:         tf.Tracer,
+			Engine:        *engine,
 		}
 		list, err := cliflags.ParseSchemeList(*schemes)
 		if err != nil {

@@ -7,6 +7,12 @@
 //	sgrel -all      everything
 //
 // -modules sets the Monte-Carlo population (paper: 10M; default 1M).
+// -ci switches the Monte-Carlo runs to adaptive sampling: blocks are
+// simulated until the Wilson 95% confidence interval on P(fail) is
+// within ±ci, with -modules acting as a cap; the stopping point (blocks
+// run, achieved half-width) is reported alongside the results.
+// -json emits the Monte-Carlo studies as JSON (the sgserve wire form)
+// instead of tables.
 // -scrub and -retire attach the DUE-response lifetime policies (patrol
 // scrubbing and row retirement, in hours between sweeps) to every
 // Monte-Carlo run; SIGINT prints whatever finished.
@@ -14,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,6 +33,7 @@ import (
 	fm "safeguard/internal/faultmodel"
 	"safeguard/internal/faultsim"
 	"safeguard/internal/report"
+	"safeguard/internal/resultcache"
 )
 
 func main() {
@@ -39,6 +47,8 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "simulation seed")
 		scrub   = flag.Float64("scrub", 0, "patrol-scrub interval in hours (0 = off)")
 		retire  = flag.Float64("retire", 0, "row-retirement sweep interval in hours (0 = off)")
+		ci      = flag.Float64("ci", 0, "adaptive Monte-Carlo: stop when the Wilson 95% CI half-width on P(fail) drops below this (0 = fixed population)")
+		jsonOut = flag.Bool("json", false, "emit Monte-Carlo results as JSON instead of tables")
 	)
 	tf := cliflags.Telemetry()
 	flag.Parse()
@@ -50,6 +60,9 @@ func main() {
 	if *scrub < 0 || *retire < 0 {
 		cliflags.Fail(fmt.Errorf("-scrub and -retire must be >= 0 hours"))
 	}
+	if *ci < 0 {
+		cliflags.Fail(fmt.Errorf("-ci must be >= 0"))
+	}
 	if err := tf.Activate(); err != nil {
 		cliflags.Fail(err)
 	}
@@ -59,44 +72,78 @@ func main() {
 	cfg := faultsim.Config{
 		Modules: *modules, Years: 7, FITScale: 1, Seed: *seed,
 		ScrubIntervalHours: *scrub, RetireIntervalHours: *retire,
-		Telemetry: tf.Registry,
+		CIHalfWidth: *ci,
+		Telemetry:   tf.Registry,
 	}
-	if *scrub > 0 || *retire > 0 {
-		fmt.Printf("Lifetime policies: scrub every %gh, retire sweep every %gh (0 = off)\n\n", *scrub, *retire)
+	if !*jsonOut {
+		if *scrub > 0 || *retire > 0 {
+			fmt.Printf("Lifetime policies: scrub every %gh, retire sweep every %gh (0 = off)\n\n", *scrub, *retire)
+		}
+		if *ci > 0 {
+			fmt.Printf("Adaptive Monte-Carlo: stopping at Wilson 95%% CI half-width <= %g (population cap %d)\n\n", *ci, *modules)
+		}
 	}
 
 	// SIGINT cancels the Monte-Carlo runs; completed schemes still print.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	var jsonDoc struct {
+		Fig6  *resultcache.RelWire           `json:"fig6,omitempty"`
+		Fig10 map[string]resultcache.RelWire `json:"fig10,omitempty"`
+	}
 	if *fig6 || *all {
 		rs, err := experiments.Figure6(ctx, cfg)
 		interrupted(err)
-		t := report.NewTable(fmt.Sprintf("Figure 6: probability of system failure over 7 years (%d modules; paper: no-parity ~1.25x SECDED, parity ~= SECDED)", *modules),
-			"scheme", "P(fail) by year 1..7", "end-of-life", "vs SECDED")
-		base := 0.0
-		if len(rs) > 0 {
-			base = rs[0].Probability()
+		if *jsonOut {
+			w := resultcache.RelWireFromResults(rs)
+			jsonDoc.Fig6 = &w
+		} else {
+			t := report.NewTable(fmt.Sprintf("Figure 6: probability of system failure over 7 years (%d modules; paper: no-parity ~1.25x SECDED, parity ~= SECDED)", *modules),
+				"scheme", "P(fail) by year 1..7", "end-of-life", "vs SECDED")
+			base := 0.0
+			if len(rs) > 0 {
+				base = rs[0].Probability()
+			}
+			for _, r := range rs {
+				t.AddRowStrings(r.Scheme, probSeries(r), fmt.Sprintf("%.6f", r.Probability()),
+					fmt.Sprintf("%.3fx", safeRatio(r.Probability(), base)))
+			}
+			t.Render(os.Stdout)
+			adaptiveSummary(rs)
+			fmt.Println()
 		}
-		for _, r := range rs {
-			t.AddRowStrings(r.Scheme, probSeries(r), fmt.Sprintf("%.6f", r.Probability()),
-				fmt.Sprintf("%.3fx", safeRatio(r.Probability(), base)))
-		}
-		t.Render(os.Stdout)
-		fmt.Println()
 	}
 	if *fig10 || *all {
 		out, err := experiments.Figure10(ctx, cfg)
 		interrupted(err)
-		t := report.NewTable(fmt.Sprintf("Figure 10: Chipkill vs SafeGuard-Chipkill (%d modules; paper: virtually identical at 1x and 10x FIT)", *modules),
-			"FIT scale", "scheme", "P(fail, 7y)")
-		for _, scale := range []float64{1, 10} {
-			for _, r := range out[scale] {
-				t.AddRowStrings(fmt.Sprintf("%.0fx", scale), r.Scheme, fmt.Sprintf("%.6f", r.Probability()))
+		if *jsonOut {
+			jsonDoc.Fig10 = map[string]resultcache.RelWire{
+				"1x":  resultcache.RelWireFromResults(out[1]),
+				"10x": resultcache.RelWireFromResults(out[10]),
 			}
+		} else {
+			t := report.NewTable(fmt.Sprintf("Figure 10: Chipkill vs SafeGuard-Chipkill (%d modules; paper: virtually identical at 1x and 10x FIT)", *modules),
+				"FIT scale", "scheme", "P(fail, 7y)")
+			for _, scale := range []float64{1, 10} {
+				for _, r := range out[scale] {
+					t.AddRowStrings(fmt.Sprintf("%.0fx", scale), r.Scheme, fmt.Sprintf("%.6f", r.Probability()))
+				}
+			}
+			t.Render(os.Stdout)
+			for _, scale := range []float64{1, 10} {
+				adaptiveSummary(out[scale])
+			}
+			fmt.Println()
 		}
-		t.Render(os.Stdout)
-		fmt.Println()
+	}
+	if *jsonOut && (jsonDoc.Fig6 != nil || jsonDoc.Fig10 != nil) {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonDoc); err != nil {
+			fmt.Fprintln(os.Stderr, "sgrel:", err)
+			os.Exit(1)
+		}
 	}
 	if *matrix || *all {
 		m := experiments.Table4(2000, *seed)
@@ -138,6 +185,17 @@ func interrupted(err error) {
 	default:
 		fmt.Fprintln(os.Stderr, "sgrel:", err)
 		os.Exit(1)
+	}
+}
+
+// adaptiveSummary prints each adaptive run's stopping point under its
+// table: how many 4096-module blocks ran and the achieved CI width.
+func adaptiveSummary(rs []faultsim.Result) {
+	for _, r := range rs {
+		if r.Adaptive {
+			fmt.Printf("  %s: stopped after %d blocks (%d modules), Wilson 95%% half-width ±%.2e\n",
+				r.Scheme, r.BlocksRun, r.Modules, r.CIHalfWidth)
+		}
 	}
 }
 

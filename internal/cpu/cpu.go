@@ -167,6 +167,65 @@ func (c *Core) Cycle(now int64) {
 	}
 }
 
+// skipNever marks a core that can only be woken by a memory completion,
+// never by its own state maturing.
+const skipNever = int64(1) << 62
+
+// Fallback probes for skip replay, mirroring classify's constant
+// branches: a done head with no probe is base issue latency, a pending
+// unprobed load is generic DRAM time.
+var (
+	skipBaseProbe attrib.Probe = func(int64) attrib.Component { return attrib.CompBase }
+	skipDRAMProbe attrib.Probe = func(int64) attrib.Component { return attrib.CompDRAM }
+)
+
+// SkipState reports whether the core is sure to do nothing but charge
+// attribution until wakeAt: the ROB is full, so retirement is blocked on
+// the head, dispatch (including stalled-store retries, which mutate
+// cache state) cannot run, and no waiting dependent load can start.
+// Until wakeAt — the earliest cycle retirement or a dependent-load start
+// can resume on the core's own state — every Cycle(u) call reduces to
+// charging probe(u). Completions arriving from the memory system can
+// wake the core earlier; the caller must bound any skip by the memory
+// controller's own next event. probe is nil when attribution is off
+// (the skipped cycles then need no replay at all).
+func (c *Core) SkipState() (ok bool, wakeAt int64, probe attrib.Probe) {
+	if len(c.rob) < c.ROBSize {
+		return false, 0, nil
+	}
+	wakeAt = skipNever
+	h := c.rob[0]
+	if h.done {
+		wakeAt = h.completeAt
+	}
+	for _, e := range c.await {
+		if e.dep.done && e.dep.completeAt < wakeAt {
+			wakeAt = e.dep.completeAt
+		}
+	}
+	if c.att == nil {
+		return true, wakeAt, nil
+	}
+	// Replicate classify for a full ROB with zero retirement: the head's
+	// state is frozen across the skipped span (callbacks only fire at
+	// memory-controller events, which bound the span), so the branch can
+	// be resolved once and replayed per cycle.
+	if h.done {
+		if probe = h.probe; probe == nil {
+			probe = skipBaseProbe
+		}
+	} else {
+		e := h
+		if h.dep != nil {
+			e = h.dep
+		}
+		if probe = e.probe; probe == nil {
+			probe = skipDRAMProbe
+		}
+	}
+	return true, wakeAt, probe
+}
+
 // classify names the component this cycle belongs to. Exactly one call
 // per Cycle when attribution is attached; the caller charges the result.
 func (c *Core) classify(now int64, retired int) attrib.Component {

@@ -60,6 +60,10 @@ type PerfConfig struct {
 	// land in Telemetry as attrib.cpi.* counters (commutative, so sweep
 	// totals are worker-count independent).
 	Attrib bool
+	// Engine selects the simulation loop for every run (sim.Config.Engine):
+	// "" or "event" for the skip-ahead engine, "cycle" for the legacy
+	// per-cycle loop. Results are bit-identical either way.
+	Engine string
 }
 
 // QuickPerf is the benchmark-harness preset.
@@ -181,6 +185,7 @@ func runPerf(ctx context.Context, cfg PerfConfig, schemes []sim.Scheme) (PerfRes
 				sc.Mitigation = cfg.Mitigation
 				sc.RHThreshold = cfg.RHThreshold
 				sc.Attrib = cfg.Attrib
+				sc.Engine = cfg.Engine
 				if cfg.Telemetry != nil {
 					sc.Telemetry = telemetry.NewRegistry()
 				}

@@ -47,6 +47,8 @@ type ProfileConfig struct {
 	Telemetry *telemetry.Registry
 	// Trace, when set, receives every run's controller command events.
 	Trace *telemetry.Tracer
+	// Engine selects the simulation loop (sim.Config.Engine).
+	Engine string
 }
 
 func (c *ProfileConfig) defaults() {
@@ -146,6 +148,7 @@ func Profile(ctx context.Context, cfg ProfileConfig) (ProfileResult, error) {
 				sc.Mitigation = cfg.Mitigation
 				sc.RHThreshold = cfg.RHThreshold
 				sc.Attrib = true
+				sc.Engine = cfg.Engine
 				if cfg.Telemetry != nil {
 					sc.Telemetry = telemetry.NewRegistry()
 				}

@@ -1,0 +1,137 @@
+package faultsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"safeguard/internal/telemetry"
+)
+
+func TestWilsonHalfWidth(t *testing.T) {
+	t.Parallel()
+	// Hand-computed Wilson 95% half-widths.
+	cases := []struct {
+		failed, n int
+		want      float64
+	}{
+		{0, 4096, 0.0004685}, // zero failures still leave z²/2n of doubt
+		{50, 10000, 0.0013952},
+		{5000, 10000, 0.0097982}, // worst case p=0.5
+	}
+	for _, c := range cases {
+		got := wilsonHalfWidth(c.failed, c.n)
+		if math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("wilsonHalfWidth(%d, %d) = %.7f, want ~%.7f", c.failed, c.n, got, c.want)
+		}
+	}
+	if got := wilsonHalfWidth(0, 0); got != 1 {
+		t.Errorf("empty sample must report half-width 1, got %g", got)
+	}
+	// Monotone in n for fixed p: more data, tighter interval.
+	if wilsonHalfWidth(10, 1000) <= wilsonHalfWidth(100, 10000) {
+		t.Error("half-width must shrink as the sample grows at fixed p")
+	}
+}
+
+// TestAdaptiveStopsEarly: with a loose target, the adaptive run stops
+// well short of the population cap and reports its stopping point.
+func TestAdaptiveStopsEarly(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.Modules = 200_000
+	cfg.FITScale = 100
+	cfg.Seed = 42
+	cfg.CIHalfWidth = 5e-3
+	res := mustRun(t, SECDEDEval{}, cfg)
+	if !res.Adaptive {
+		t.Fatal("CIHalfWidth > 0 must mark the result adaptive")
+	}
+	want := res.BlocksRun * 4096
+	if want > cfg.Modules {
+		want = cfg.Modules
+	}
+	if res.BlocksRun <= 0 || res.Modules != want {
+		t.Fatalf("BlocksRun=%d Modules=%d: modules must cover exactly the aggregated blocks",
+			res.BlocksRun, res.Modules)
+	}
+	if res.Modules >= cfg.Modules {
+		t.Fatalf("adaptive run aggregated the whole %d-module cap (target too tight for the test?)", cfg.Modules)
+	}
+	if res.CIHalfWidth <= 0 || res.CIHalfWidth > cfg.CIHalfWidth {
+		t.Fatalf("achieved half-width %g must be positive and within the %g target",
+			res.CIHalfWidth, cfg.CIHalfWidth)
+	}
+}
+
+// TestAdaptiveDeterministicAcrossWorkers: the stopping point and every
+// aggregate are bit-identical no matter how many workers raced through
+// the blocks (overshoot blocks are computed but discarded).
+func TestAdaptiveDeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	base := DefaultConfig()
+	base.Modules = 150_000
+	base.FITScale = 100
+	base.Seed = 7
+	base.CIHalfWidth = 4e-3
+	var ref Result
+	var refSnap telemetry.Snapshot
+	for i, workers := range []int{1, 3, 16} {
+		cfg := base
+		cfg.Workers = workers
+		cfg.Telemetry = telemetry.NewRegistry()
+		res := mustRun(t, SECDEDEval{}, cfg)
+		res.Config = Config{} // workers differ by design; compare the physics
+		snap := cfg.Telemetry.Snapshot()
+		if i == 0 {
+			ref, refSnap = res, snap
+			continue
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Errorf("workers=%d diverges from workers=1:\n got %+v\nwant %+v", workers, res, ref)
+		}
+		if !reflect.DeepEqual(snap, refSnap) {
+			t.Errorf("workers=%d telemetry diverges from workers=1", workers)
+		}
+	}
+}
+
+// TestAdaptiveFallsBackToCap: an unreachable target degrades to a full
+// fixed-population run over the Modules cap.
+func TestAdaptiveFallsBackToCap(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.Modules = 20_000
+	cfg.FITScale = 100
+	cfg.Seed = 9
+	cfg.CIHalfWidth = 1e-9
+
+	fixed := cfg
+	fixed.CIHalfWidth = 0
+	adaptive := mustRun(t, SECDEDEval{}, cfg)
+	reference := mustRun(t, SECDEDEval{}, fixed)
+	if adaptive.Modules != cfg.Modules {
+		t.Fatalf("capped adaptive run covered %d modules, want the full %d", adaptive.Modules, cfg.Modules)
+	}
+	if adaptive.Failed != reference.Failed ||
+		!reflect.DeepEqual(adaptive.FailedByYear, reference.FailedByYear) ||
+		adaptive.SingleFaultFailures != reference.SingleFaultFailures ||
+		adaptive.PairFailures != reference.PairFailures {
+		t.Fatalf("capped adaptive run must match the fixed run:\nadaptive %+v\nfixed    %+v",
+			adaptive, reference)
+	}
+	if adaptive.CIHalfWidth <= cfg.CIHalfWidth {
+		t.Fatal("unreachable target cannot be reported as achieved")
+	}
+}
+
+// TestAdaptiveRejectsNegativeTarget: validation mirrors the other
+// config fields.
+func TestAdaptiveRejectsNegativeTarget(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.CIHalfWidth = -0.5
+	if _, err := Run(SECDEDEval{}, cfg); err == nil {
+		t.Fatal("negative CIHalfWidth must error")
+	}
+}

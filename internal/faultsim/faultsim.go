@@ -46,6 +46,14 @@ type Config struct {
 	// registries merged after the pool drains, so the published numbers
 	// are bit-identical across worker counts.
 	Telemetry *telemetry.Registry
+	// CIHalfWidth, when positive, switches to adaptive sampling: 4096-
+	// module blocks are simulated until the Wilson 95% confidence
+	// interval on the end-of-life failure probability is narrower than
+	// ±CIHalfWidth. Modules then acts as a population cap rather than a
+	// fixed size. The stopping point is a deterministic function of the
+	// seed alone, so seeded adaptive runs stay bit-identical across
+	// worker counts. Zero keeps the fixed-population behaviour.
+	CIHalfWidth float64
 }
 
 // DefaultConfig mirrors the paper's setup at a tractable default population.
@@ -69,6 +77,15 @@ type Result struct {
 	// FailuresByMode counts, for single-fault failures, the triggering
 	// mode.
 	FailuresByMode map[fm.Mode]int
+	// Adaptive reports whether adaptive sampling (Config.CIHalfWidth > 0)
+	// chose the population size.
+	Adaptive bool
+	// BlocksRun counts the 4096-module blocks aggregated into this result
+	// (adaptive runs only; zero otherwise).
+	BlocksRun int
+	// CIHalfWidth is the achieved Wilson 95% half-width on Probability()
+	// at the stopping point (adaptive runs only; zero otherwise).
+	CIHalfWidth float64
 }
 
 // ProbabilityByYear returns the cumulative failure probability per year.
@@ -122,6 +139,9 @@ func RunContext(ctx context.Context, eval Evaluator, cfg Config) (Result, error)
 	if cfg.ScrubIntervalHours < 0 || cfg.RetireIntervalHours < 0 {
 		return Result{}, fmt.Errorf("faultsim: scrub/retire intervals must be non-negative")
 	}
+	if cfg.CIHalfWidth < 0 {
+		return Result{}, fmt.Errorf("faultsim: CIHalfWidth must be non-negative (got %g)", cfg.CIHalfWidth)
+	}
 	if cfg.FITScale == 0 {
 		cfg.FITScale = 1
 	}
@@ -135,6 +155,10 @@ func RunContext(ctx context.Context, eval Evaluator, cfg Config) (Result, error)
 	}
 	years := int(cfg.Years + 0.5)
 	hours := cfg.Years * fm.HoursPerYear
+
+	if cfg.CIHalfWidth > 0 {
+		return runAdaptive(ctx, eval, cfg, rates, workers, years, hours)
+	}
 
 	blocks := (cfg.Modules + blockSize - 1) / blockSize
 	if workers > blocks {

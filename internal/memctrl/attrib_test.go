@@ -63,7 +63,6 @@ type denyAll struct{}
 
 func (denyAll) Name() string                            { return "deny-all" }
 func (denyAll) OnCommand(Command, int, int, int, int64) {}
-func (denyAll) OnTick(int64)                            {}
 func (denyAll) DrainStats() PluginStats                 { return nil }
 func (denyAll) AllowAct(_, _, _ int, _ int64) bool      { return false }
 

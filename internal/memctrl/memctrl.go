@@ -117,6 +117,8 @@ type Controller struct {
 
 	plugins []Plugin
 	gates   []ActGate
+	tickers []Ticker
+	spanObs []SpanObserver
 	vrrQ    []vrrReq
 
 	// Row-retirement state (ReserveSpareRows / RetireRow).
@@ -245,26 +247,37 @@ func (c *Controller) EnqueueWrite(lineAddr uint64) bool {
 const deniedRecently = 4
 
 // ReadStallClass names the attrib component a queued read is currently
-// waiting on: refresh/VRR interference when its bank is blacked out or
-// yielding to a victim-row refresh, gate latency when an ActGate
-// recently denied its activation, and raw DRAM service otherwise. Reads
-// not found in the queue (already issued, or write-forwarded) are in
-// DRAM service by definition. Called from attribution probes on stalled
-// CPU cycles — a linear scan of a ≤64-entry queue, no allocation.
+// waiting on, evaluated at the controller's present cycle.
 func (c *Controller) ReadStallClass(lineAddr uint64) attrib.Component {
+	return c.ReadStallClassAt(lineAddr, c.now)
+}
+
+// ReadStallClassAt names the attrib component a queued read is waiting
+// on as of MC cycle `at`: refresh/VRR interference when its bank is
+// blacked out or yielding to a victim-row refresh, gate latency when an
+// ActGate recently denied its activation, and raw DRAM service
+// otherwise. Reads not found in the queue (already issued, or
+// write-forwarded) are in DRAM service by definition. Called from
+// attribution probes on stalled CPU cycles — a linear scan of a
+// ≤64-entry queue, no allocation. Taking the cycle explicitly lets the
+// event engine replay skipped stall cycles without stepping the
+// controller clock: queue membership, refreshUntil, the VRR queue, and
+// lastDenied are all frozen across a skipped span, so only the probe
+// time varies.
+func (c *Controller) ReadStallClassAt(lineAddr uint64, at int64) attrib.Component {
 	for _, r := range c.readQ {
 		if r.lineAddr != lineAddr {
 			continue
 		}
 		rk := &c.ranks[r.coord.Rank]
-		if c.now < rk.refreshUntil {
+		if at < rk.refreshUntil {
 			return attrib.CompRefresh
 		}
 		if len(c.vrrQ) > 0 && c.hasPendingVRR(r.coord.Rank, r.coord.Bank) {
 			return attrib.CompRefresh
 		}
 		d := c.lastDenied
-		if c.now-d.at <= deniedRecently && d.rank == r.coord.Rank &&
+		if at-d.at <= deniedRecently && d.rank == r.coord.Rank &&
 			d.bank == r.coord.Bank && d.row == r.coord.Row {
 			return attrib.CompGate
 		}
@@ -290,8 +303,8 @@ func (c *Controller) Idle() bool {
 // refreshes take the command slot ahead of normal traffic.
 func (c *Controller) Tick() {
 	c.now++
-	for _, p := range c.plugins {
-		p.OnTick(c.now)
+	for _, t := range c.tickers {
+		t.OnTick(c.now)
 	}
 	c.fireCompletions()
 	c.refresh()

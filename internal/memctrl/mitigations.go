@@ -120,9 +120,6 @@ func (p *PARAPlugin) vrr(rank, bank, row int) {
 	}
 }
 
-// OnTick implements Plugin.
-func (p *PARAPlugin) OnTick(int64) {}
-
 // DrainStats implements Plugin.
 func (p *PARAPlugin) DrainStats() PluginStats {
 	s := PluginStats{"acts": p.acts, "triggers": p.triggers, "vrrs": p.vrrs}
@@ -254,9 +251,6 @@ func (t *TRRPlugin) onREF(k bankKey, b *trrBank) {
 	b.counts = make(map[int]int)
 }
 
-// OnTick implements Plugin.
-func (t *TRRPlugin) OnTick(int64) {}
-
 // DrainStats implements Plugin.
 func (t *TRRPlugin) DrainStats() PluginStats {
 	s := PluginStats{"acts": t.acts, "vrrs": t.vrrs}
@@ -362,9 +356,6 @@ func (g *GraphenePlugin) vrr(k bankKey, row int) {
 	}
 }
 
-// OnTick implements Plugin.
-func (g *GraphenePlugin) OnTick(int64) {}
-
 // DrainStats implements Plugin.
 func (g *GraphenePlugin) DrainStats() PluginStats {
 	s := PluginStats{"acts": g.acts, "triggers": g.triggers, "vrrs": g.vrrs}
@@ -445,9 +436,6 @@ func (bh *BlockHammerPlugin) OnCommand(cmd Command, rank, bank, row int, cycle i
 		}
 	}
 }
-
-// OnTick implements Plugin.
-func (bh *BlockHammerPlugin) OnTick(int64) {}
 
 // DrainStats implements Plugin.
 func (bh *BlockHammerPlugin) DrainStats() PluginStats {

@@ -117,13 +117,19 @@ func TestPluginSeesWritesAndRefreshes(t *testing.T) {
 	}
 }
 
-func TestOnTickFiresEveryCycle(t *testing.T) {
+// TestTickerSeesEveryCycle: a plugin that opts into the Ticker interface
+// still gets one OnTick per controller cycle, and its presence pins
+// NextEventAt to now+1 so AdvanceTo can never jump it past a tick.
+func TestTickerSeesEveryCycle(t *testing.T) {
 	t.Parallel()
 	c := newPluggedController()
 	var log []string
 	r := &recorder{id: "A", log: &log}
 	c.AttachPlugin(r)
 	for i := 0; i < 100; i++ {
+		if got := c.NextEventAt(); got != c.Now()+1 {
+			t.Fatalf("NextEventAt = %d with a Ticker attached at cycle %d, want %d", got, c.Now(), c.Now()+1)
+		}
 		c.Tick()
 	}
 	if got := r.DrainStats()["ticks"]; got != 100 {
@@ -131,6 +137,54 @@ func TestOnTickFiresEveryCycle(t *testing.T) {
 	}
 	if got := r.DrainStats()["ticks"]; got != 0 {
 		t.Fatalf("DrainStats must reset counters, second drain saw %v", got)
+	}
+}
+
+// spanRecorder observes skipped spans only — no Ticker implementation —
+// so a controller driven by the event engine reports idle stretches to
+// it wholesale.
+type spanRecorder struct {
+	spans  int
+	cycles int64
+}
+
+func (s *spanRecorder) Name() string                            { return "span-recorder" }
+func (s *spanRecorder) OnCommand(Command, int, int, int, int64) {}
+func (s *spanRecorder) DrainStats() PluginStats                 { return nil }
+func (s *spanRecorder) OnSpan(from, to int64)                   { s.spans++; s.cycles += to - from }
+
+// TestSpanCoverage drives the controller with a mix of per-cycle ticks
+// and NextEventAt-guided skips: every controller cycle must be covered
+// exactly once, either by a Tick or by a span, so ticked + spanned
+// cycles always equals Now().
+func TestSpanCoverage(t *testing.T) {
+	t.Parallel()
+	c := newPluggedController()
+	sr := &spanRecorder{}
+	c.AttachPlugin(sr)
+	m := dram.NewMapper(dram.Table2Geometry)
+	var ticked int64
+	tick := func() { c.Tick(); ticked++ }
+	done := 0
+	c.EnqueueRead(m.Encode(dram.Coord{Rank: 0, Bank: 1, Row: 11, Col: 0}), func(int64) { done++ })
+	for i := 0; i < 5000; i++ {
+		if next := c.NextEventAt(); next > c.Now()+1 {
+			c.AdvanceTo(next - 1)
+		}
+		tick()
+		if i == 2000 {
+			c.EnqueueRead(m.Encode(dram.Coord{Rank: 1, Bank: 2, Row: 3, Col: 0}), func(int64) { done++ })
+		}
+	}
+	if done != 2 {
+		t.Fatalf("completed %d reads, want 2", done)
+	}
+	if sr.spans == 0 {
+		t.Fatal("no spans recorded: NextEventAt never exceeded now+1 on an idle controller")
+	}
+	if got := ticked + sr.cycles; got != c.Now() {
+		t.Fatalf("coverage hole: %d ticked + %d spanned = %d cycles, controller at %d",
+			ticked, sr.cycles, got, c.Now())
 	}
 }
 
@@ -288,7 +342,6 @@ func (f pluginFunc) Name() string { return "func" }
 func (f pluginFunc) OnCommand(cmd Command, rank, bank, row int, cycle int64) {
 	f(cmd, rank, bank, row, cycle)
 }
-func (f pluginFunc) OnTick(int64) {}
 func (f pluginFunc) DrainStats() PluginStats {
 	return nil
 }
@@ -300,7 +353,6 @@ type gatePlugin struct {
 
 func (g *gatePlugin) Name() string                                            { return "gate" }
 func (g *gatePlugin) OnCommand(cmd Command, rank, bank, row int, cycle int64) {}
-func (g *gatePlugin) OnTick(int64)                                            {}
 func (g *gatePlugin) DrainStats() PluginStats                                 { return nil }
 func (g *gatePlugin) AllowAct(rank, bank, row int, cycle int64) bool {
 	return !g.deny(rank, bank, row)

@@ -38,9 +38,6 @@ func (g *QuarantineGate) Name() string { return "quarantine" }
 // OnCommand implements Plugin (the gate only blocks, it does not observe).
 func (g *QuarantineGate) OnCommand(cmd Command, rank, bank, row int, cycle int64) {}
 
-// OnTick implements Plugin.
-func (g *QuarantineGate) OnTick(cycle int64) {}
-
 // DrainStats implements Plugin.
 func (g *QuarantineGate) DrainStats() PluginStats {
 	s := PluginStats{"quarantined_rows": float64(g.added), "denied_acts": float64(g.denied)}

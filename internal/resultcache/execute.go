@@ -40,7 +40,9 @@ type RelWire struct {
 	Results []RelResultWire `json:"results"`
 }
 
-// RelResultWire is one evaluator's lifetime study.
+// RelResultWire is one evaluator's lifetime study. The adaptive fields
+// are omitted for fixed-population runs, keeping their artifact bytes
+// identical to pre-adaptive builds.
 type RelResultWire struct {
 	Scheme              string         `json:"scheme"`
 	Modules             int            `json:"modules"`
@@ -50,6 +52,9 @@ type RelResultWire struct {
 	PairFailures        int            `json:"pair_failures"`
 	FailuresByMode      map[string]int `json:"failures_by_mode"`
 	Probability         float64        `json:"probability"`
+	Adaptive            bool           `json:"adaptive,omitempty"`
+	BlocksRun           int            `json:"blocks_run,omitempty"`
+	CIHalfWidth         float64        `json:"ci_half_width,omitempty"`
 }
 
 // Execute runs the request on the matching deterministic pool and
@@ -124,12 +129,20 @@ func (l *RelRequest) execute(ctx context.Context, reg *telemetry.Registry) (json
 		Seed:                l.Seed,
 		ScrubIntervalHours:  l.ScrubIntervalHours,
 		RetireIntervalHours: l.RetireIntervalHours,
+		CIHalfWidth:         l.CIHalfWidth,
 		Telemetry:           reg,
 	}
 	results, err := faultsim.RunAllContext(ctx, evals, cfg)
 	if err != nil {
 		return nil, err
 	}
+	return json.Marshal(RelWireFromResults(results))
+}
+
+// RelWireFromResults flattens faultsim results into the canonical wire
+// form. Shared with the sgrel CLI's -json mode so both emit identical
+// shapes for the same study.
+func RelWireFromResults(results []faultsim.Result) RelWire {
 	var wire RelWire
 	for _, res := range results {
 		w := RelResultWire{
@@ -141,13 +154,16 @@ func (l *RelRequest) execute(ctx context.Context, reg *telemetry.Registry) (json
 			PairFailures:        res.PairFailures,
 			FailuresByMode:      make(map[string]int),
 			Probability:         res.Probability(),
+			Adaptive:            res.Adaptive,
+			BlocksRun:           res.BlocksRun,
+			CIHalfWidth:         res.CIHalfWidth,
 		}
 		for mode, n := range res.FailuresByMode {
 			w.FailuresByMode[mode.String()] = n
 		}
 		wire.Results = append(wire.Results, w)
 	}
-	return json.Marshal(wire)
+	return wire
 }
 
 // ValidateResult checks that raw parses as the request kind's wire form

@@ -116,3 +116,60 @@ func TestValidateResultRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+// TestRelAdaptiveRequest: the ci_half_width knob reaches faultsim, the
+// wire form reports the stopping point, and a zero value stays out of
+// the canonical JSON so pre-adaptive request hashes are preserved.
+func TestRelAdaptiveRequest(t *testing.T) {
+	t.Parallel()
+	req := &Request{Kind: KindRel, Rel: &RelRequest{
+		Evaluators:  []string{"secded"},
+		Modules:     100_000,
+		FITScale:    100,
+		CIHalfWidth: 5e-3,
+	}}
+	raw, err := req.Execute(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req.ValidateResult(raw); err != nil {
+		t.Fatalf("adaptive wire form fails validation: %v", err)
+	}
+	var wire RelWire
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire.Results) != 1 {
+		t.Fatalf("results = %+v", wire.Results)
+	}
+	r := wire.Results[0]
+	if !r.Adaptive || r.BlocksRun <= 0 || r.CIHalfWidth <= 0 || r.CIHalfWidth > 5e-3 {
+		t.Fatalf("adaptive stopping point not reported: %+v", r)
+	}
+
+	canonZero, err := tinyRel().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(canonZero, []byte("ci_half_width")) {
+		t.Fatalf("zero CIHalfWidth leaked into the canonical form: %s", canonZero)
+	}
+	h1, err := tinyRel().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCI := tinyRel()
+	withCI.Rel.CIHalfWidth = 1e-3
+	h2, err := withCI.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatal("CIHalfWidth must be hash-relevant")
+	}
+	neg := tinyRel()
+	neg.Rel.CIHalfWidth = -1
+	if err := neg.Normalize(); err == nil {
+		t.Fatal("negative CIHalfWidth must be rejected")
+	}
+}

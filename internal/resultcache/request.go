@@ -88,6 +88,13 @@ type RelRequest struct {
 	// response policies; zero disables them (the paper's configuration).
 	ScrubIntervalHours  float64 `json:"scrub_interval_hours,omitempty"`
 	RetireIntervalHours float64 `json:"retire_interval_hours,omitempty"`
+	// CIHalfWidth, when positive, switches the study to adaptive
+	// sampling (faultsim.Config.CIHalfWidth): Modules becomes a
+	// population cap and blocks run until the Wilson 95% interval on the
+	// failure probability is within ±CIHalfWidth. Omitted from the
+	// canonical form when zero, so pre-existing request hashes are
+	// untouched.
+	CIHalfWidth float64 `json:"ci_half_width,omitempty"`
 }
 
 // perfBudgetCap bounds per-request instruction budgets so one submission
@@ -260,6 +267,9 @@ func (l *RelRequest) normalize() error {
 	}
 	if l.ScrubIntervalHours < 0 || l.RetireIntervalHours < 0 {
 		return fmt.Errorf("resultcache: negative scrub/retire interval")
+	}
+	if l.CIHalfWidth < 0 {
+		return fmt.Errorf("resultcache: negative CI half-width")
 	}
 	return nil
 }

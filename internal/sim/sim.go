@@ -163,6 +163,27 @@ type Config struct {
 	// and (when Telemetry is set) the stack is published as
 	// "attrib.cpi.<scheme>.<component>" counters.
 	Attrib bool
+	// Engine selects the run loop: "event" (also the "" default) skips
+	// provably idle spans using the controller's time wheel and the
+	// cores' skip states; "cycle" forces the legacy per-cycle loop — the
+	// A/B escape hatch. The two engines produce bit-identical results;
+	// unknown names surface as an error from Run.
+	Engine string
+}
+
+// EngineNames lists the valid Config.Engine values.
+func EngineNames() []string { return []string{"event", "cycle"} }
+
+// ParseEngine validates a Config.Engine value ("" is the event default).
+// Unknown names are an error listing the valid set — the cmds call this
+// up front so a typo fails with usage instead of mid-sweep.
+func ParseEngine(name string) (string, error) {
+	switch name {
+	case "", "event", "cycle":
+		return name, nil
+	}
+	return "", fmt.Errorf("unknown engine %q (valid: %s)",
+		name, strings.Join(EngineNames(), ", "))
 }
 
 // DefaultConfig returns the Table II system.
@@ -247,6 +268,16 @@ type System struct {
 	// warmCPI snapshots each stack at its core's warm-up crossing.
 	coreCPI []*attrib.CPIStack
 	warmCPI []attrib.CPIStack
+	// skipProbes is the event engine's replay scratch: one frozen probe
+	// per started core during a skipped span (allocated once).
+	skipProbes []attrib.Probe
+	// skipNextTry/skipBackoff throttle skip attempts: after a failed
+	// attempt the next one waits exponentially longer (capped), so
+	// saturated phases — where some core is active nearly every cycle —
+	// pay almost no probing overhead. Pure policy: whether an attempt
+	// happens on a given cycle never changes results, only speed.
+	skipNextTry int64
+	skipBackoff int64
 
 	// initErr defers construction-time failures (unknown mitigation
 	// name) to Run, keeping NewSystem's signature.
@@ -322,7 +353,12 @@ func (t *reqTrack) probe(now int64) attrib.Component {
 	if t.dataDone {
 		return attrib.CompMAC
 	}
-	return t.sys.mc.ReadStallClass(t.line)
+	// The controller ticks on even CPU cycles, after the cores: during a
+	// core's Cycle(now) the MC clock reads (now-1)/2. Passing that cycle
+	// explicitly (instead of reading the MC's live clock) keeps the
+	// classification exact when the event engine replays skipped stall
+	// cycles without stepping the controller.
+	return t.sys.mc.ReadStallClassAt(t.line, (now-1)>>1)
 }
 
 // NewSystem builds the system for a config.
@@ -339,6 +375,9 @@ func NewSystem(cfg Config) *System {
 	}
 	s.mc.FCFS = cfg.FCFSScheduler
 	s.mc.AttachTelemetry(cfg.Telemetry, cfg.Trace)
+	if _, err := ParseEngine(cfg.Engine); err != nil {
+		s.initErr = fmt.Errorf("sim: %w", err)
+	}
 	th := cfg.RHThreshold
 	if th == 0 {
 		th = 4800 // Table I, LPDDR4-new
@@ -743,6 +782,7 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 	doneCycle := make([]int64, n)
 	remaining := n
 	target := s.cfg.WarmupInstr + s.cfg.InstrPerCore
+	event := s.cfg.Engine != "cycle"
 	for s.now = 1; remaining > 0; s.now++ {
 		if s.now > s.cfg.MaxCycles {
 			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d (%d cores unfinished)", s.cfg.MaxCycles, remaining)
@@ -781,6 +821,16 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 		if s.now&1 == 0 {
 			s.mc.Tick()
 		}
+		if event && remaining > 0 && s.now >= s.skipNextTry {
+			if s.trySkip(ctx) {
+				s.skipBackoff = 0
+			} else {
+				if s.skipBackoff < 16 {
+					s.skipBackoff = 2*s.skipBackoff + 1
+				}
+				s.skipNextTry = s.now + s.skipBackoff
+			}
+		}
 	}
 	res := Result{
 		Scheme:      s.cfg.Scheme,
@@ -815,6 +865,97 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// trySkip is the event engine's skip-ahead step, run at the end of a
+// loop iteration. When every started core is provably inert (ROB full:
+// no retirement, no dispatch, no store retries) and the controller's
+// next event is in the future, it jumps s.now to one cycle before the
+// earliest thing that can happen — a core's own wake-up, a late core's
+// staggered start, the controller's next event (MC cycle M is processed
+// during CPU cycle 2M), or the MaxCycles guard. Skipped cycles change
+// no simulator state except attribution, which is replayed per cycle
+// from each core's frozen stall probe so every CPIStack still sums
+// exactly to its core's cycle count — the exact-sum invariant holds
+// under skips by construction. Reports whether a skip happened, feeding
+// the caller's attempt backoff; skipping is always optional, so the
+// backoff policy affects speed only, never results.
+func (s *System) trySkip(ctx context.Context) bool {
+	// Cheapest rejection first: most iterations some core is active, so
+	// scan the cores before touching the controller's (pricier) wheel.
+	if s.coreCPI != nil && s.skipProbes == nil {
+		s.skipProbes = make([]attrib.Probe, len(s.cores))
+	}
+	target := s.cfg.MaxCycles + 1
+	started := len(s.cores)
+	for i, c := range s.cores {
+		if s.now < int64(i)*997 {
+			// Not yet started: it first cycles at i*997, and later cores
+			// start later still (the stagger is monotonic).
+			if t := int64(i) * 997; t < target {
+				target = t
+			}
+			started = i
+			break
+		}
+		ok, wake, probe := c.SkipState()
+		if !ok {
+			return false
+		}
+		if wake < target {
+			target = wake
+		}
+		if s.skipProbes != nil {
+			s.skipProbes[i] = probe
+		}
+	}
+	// The cores wake too soon for a skip to pay for the wheel probe and
+	// clock jump below: a span this short costs more to set up than the
+	// handful of cheap ROB-full iterations it would save.
+	if target <= s.now+8 {
+		return false
+	}
+	// A deferred request that the controller could now accept means
+	// retryDeferred acts next iteration: not an idle span. Queue
+	// occupancy only changes at controller events, so this is stable
+	// across the span once checked.
+	if (len(s.pendingReads) > 0 && s.mc.CanAcceptRead()) ||
+		(len(s.pendingWrites) > 0 && s.mc.CanAcceptWrite()) {
+		return false
+	}
+	if mcNext := s.mc.NextEventAt(); mcNext < int64(1)<<61 {
+		if t := 2 * mcNext; t < target {
+			target = t
+		}
+	}
+	if target <= s.now+1 {
+		return false
+	}
+	// The per-cycle loop polls cancellation every 1024 cycles; a skip
+	// must not outrun that responsiveness. Refresh bounds every span to
+	// under one tREFI, so refusing to skip once cancelled leaves at most
+	// that many cycles before the per-cycle poll returns.
+	if ctx.Err() != nil {
+		return false
+	}
+	if s.coreCPI != nil {
+		// Replay the skipped cycles' attribution charges. Core state is
+		// frozen, so each core's classify reduces to its probe; the probe
+		// itself can be time-varying (refresh blackouts, gate-denial
+		// windows expire), hence per-cycle evaluation.
+		for u := s.now + 1; u < target; u++ {
+			for i := 0; i < started; i++ {
+				s.coreCPI[i].Charge(s.skipProbes[i](u))
+			}
+		}
+	}
+	// Land the MC clock where the per-cycle loop would have it entering
+	// iteration `target`: the controller ticks at the end of even CPU
+	// cycles, so it reads (target-1)/2. All jumped-over MC cycles are
+	// strictly before NextEventAt — no-op ticks by definition.
+	s.mc.AdvanceTo((target - 1) >> 1)
+	s.now = target - 1
+	return true
 }
 
 // RunWorkload is the one-call experiment helper: simulate a workload under

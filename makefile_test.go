@@ -104,6 +104,55 @@ func TestMakeFuzztimeParameterized(t *testing.T) {
 	}
 }
 
+// Fuzz targets are package-qualified (pkg:FuzzName): the recipe must
+// split each entry and hand the right package to go test, and the list
+// must keep the cross-engine equivalence target alongside the codecs.
+func TestMakeFuzzTargetsPackageQualified(t *testing.T) {
+	t.Parallel()
+	raw, err := os.ReadFile("Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf := string(raw)
+	for _, want := range []string{
+		"./internal/ecc:FuzzSECDEDDecode",
+		"./internal/memctrl:FuzzEngineEquivalence",
+	} {
+		if !strings.Contains(mf, want) {
+			t.Errorf("FUZZ_TARGETS missing %q", want)
+		}
+	}
+	out, err := runMake(t, "fuzz-smoke", "GO=echo", "--just-print")
+	if err != nil {
+		t.Fatalf("fuzz-smoke dry-run failed:\n%s", out)
+	}
+	// The pkg:Fuzz split must happen in the recipe, not leak the raw
+	// qualified token into the go test invocation.
+	if !strings.Contains(out, `pkg=$`) || !strings.Contains(out, `fn=$`) {
+		t.Errorf("fuzz-smoke recipe lost its pkg/fn split:\n%s", out)
+	}
+}
+
+// bench-quick must run the suite once per benchmark and diff loosely
+// against the committed baseline — the PR-time smoke the ci workflow
+// invokes.
+func TestMakeBenchQuickComposition(t *testing.T) {
+	t.Parallel()
+	out, err := runMake(t, "bench-quick", "GO=echo", "--just-print")
+	if err != nil {
+		t.Fatalf("bench-quick dry-run failed:\n%s", out)
+	}
+	for _, want := range []string{"-benchtime=100ms", "bench2json", "-regress 1.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench-quick recipe missing %q:\n%s", want, out)
+		}
+	}
+	// The throwaway report must not be keyed like a committed artifact.
+	if strings.Contains(out, "-o BENCH_") {
+		t.Errorf("bench-quick writes a committed-style BENCH_ artifact:\n%s", out)
+	}
+}
+
 // The CI gate must keep its legs: lint, race+shuffle tests, the coverage
 // gate (including the serving packages), fuzz, examples, sgprof.
 func TestMakeCIComposition(t *testing.T) {
@@ -168,7 +217,7 @@ func TestMakeLintVersionsPinned(t *testing.T) {
 // renamed cmd can't silently break bench or the smokes.
 func TestMakefileReferencedPathsExist(t *testing.T) {
 	t.Parallel()
-	for _, p := range []string{"cmd/bench2json", "cmd/sgprof", "internal/ecc", "examples"} {
+	for _, p := range []string{"cmd/bench2json", "cmd/sgprof", "internal/ecc", "internal/memctrl", "examples"} {
 		if _, err := os.Stat(filepath.FromSlash(p)); err != nil {
 			t.Errorf("Makefile-referenced path %s: %v", p, err)
 		}
