@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-check bench-quick ci cover fmt vet lint fuzz-smoke examples-smoke sgprof-smoke
+.PHONY: all build test bench bench-check bench-quick ci cover fmt vet lint fuzz-smoke examples-smoke sgprof-smoke fleet-chaos
 
 all: build
 
@@ -132,14 +132,23 @@ sgprof-smoke:
 		-diff /tmp/sgprof-smoke.json > /dev/null
 	@echo "sgprof smoke OK (run -> report -> self-diff clean)"
 
+# fleet-chaos repeats the fleet chaos suite (worker kill, stall-past-
+# lease zombie, result corruption, network partition) under the race
+# detector. Faults are scripted, not random, so repetition shakes out
+# scheduling interleavings rather than fault placement; the nightly
+# workflow raises the count with `make fleet-chaos FLEET_CHAOS_COUNT=20`.
+FLEET_CHAOS_COUNT ?= 3
+fleet-chaos:
+	$(GO) test -race -run 'TestChaos' -count=$(FLEET_CHAOS_COUNT) ./internal/fleet/
+
 # cover gates statement coverage of the observability- and serving-
 # critical packages: telemetry feeds every -stats/-trace surface, response
 # drives the DUE pipeline, attrib is the cycle-accounting layer sgprof
-# reports from, and jobs/resultcache are the sgserve correctness core
-# (queueing, dedup, drain, cache identity), so regressions there must not
-# land untested.
+# reports from, jobs/resultcache are the sgserve correctness core
+# (queueing, dedup, drain, cache identity), and fleet is the distributed
+# lease/recovery protocol, so regressions there must not land untested.
 COVER_GATE_PKGS := ./internal/telemetry ./internal/response ./internal/attrib \
-	./internal/jobs ./internal/resultcache
+	./internal/jobs ./internal/resultcache ./internal/fleet
 COVER_GATE_MIN  := 85
 cover:
 	@$(GO) test -cover $(COVER_GATE_PKGS) | awk -v min=$(COVER_GATE_MIN) ' \
@@ -154,12 +163,14 @@ cover:
 
 # ci is the gate: vet, formatting, lint (static analysis + vuln scan), the
 # full test suite under the race detector with shuffled execution order
-# (includes the figure-shape regression tests in figures_test.go), the
-# coverage gate, a short fuzz pass over every codec, the example programs,
-# and the sgprof profiler smoke.
+# (includes the figure-shape regression tests in figures_test.go and one
+# pass over each fleet chaos scenario), the coverage gate, a short fuzz
+# pass over every codec, the example programs, and the sgprof profiler
+# smoke. The CI workflow additionally repeats the chaos scenarios via
+# `make fleet-chaos`.
 ci: vet fmt
 	$(MAKE) lint
-	$(GO) test -race -shuffle=on ./...
+	$(GO) test -race -shuffle=on -timeout 25m ./...
 	$(MAKE) cover
 	$(MAKE) fuzz-smoke
 	$(MAKE) examples-smoke

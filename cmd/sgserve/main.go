@@ -8,8 +8,17 @@
 //	POST /v1/jobs           submit {"kind":"perf",...} or {"kind":"rel",...}
 //	GET  /v1/jobs/{id}      poll job state
 //	GET  /v1/results/{hash} fetch the stored artifact
-//	GET  /healthz           liveness (503 while draining)
+//	GET  /healthz           liveness (200 even while draining or degraded)
+//	GET  /readyz            readiness (503 draining; with -fleet, 503
+//	                        while no workers are live)
+//	POST /v1/fleet/...      worker lease protocol (-fleet only)
 //	GET  /stats, /debug/... telemetry (expvar, pprof)
+//
+// With -fleet the service becomes a coordinator: jobs are leased to
+// sgworker processes, results are verified against the request hash
+// before they are accepted, and expired leases requeue through the
+// manager's bounded retry loop. With zero live workers the coordinator
+// degrades to in-process execution (and reports not-ready).
 //
 // SIGTERM/SIGINT drains gracefully: no new jobs are accepted, running
 // jobs finish, and jobs still queued when -drain-timeout expires are
@@ -29,6 +38,7 @@ import (
 	"time"
 
 	"safeguard/internal/cliflags"
+	"safeguard/internal/fleet"
 	"safeguard/internal/jobs"
 	"safeguard/internal/resultcache"
 	"safeguard/internal/telemetry"
@@ -44,6 +54,8 @@ func main() {
 		maxAttempts  = flag.Int("max-attempts", 3, "executions per job incl. retries")
 		pendingPath  = flag.String("pending", "", "drain journal for queued jobs (empty = next to -cache-dir, or off)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs at shutdown")
+		fleetMode    = flag.Bool("fleet", false, "coordinate sgworker processes instead of executing in-process")
+		leaseTTL     = flag.Duration("lease-ttl", 15*time.Second, "worker heartbeat budget before a job requeues (-fleet)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -60,15 +72,33 @@ func main() {
 	if err != nil {
 		cliflags.Fail(err)
 	}
+	// In fleet mode the manager's runner dispatches to leased workers;
+	// lease expiry and rejected artifacts surface as transient errors, so
+	// the manager's bounded retry loop is the requeue mechanism.
+	var coord *fleet.Coordinator
+	var runner jobs.Runner
+	if *fleetMode {
+		coord, err = fleet.New(fleet.Config{
+			Local:     jobs.CachedRunner(cache, reg),
+			Cache:     cache,
+			LeaseTTL:  *leaseTTL,
+			Telemetry: reg,
+		})
+		if err != nil {
+			cliflags.Fail(err)
+		}
+		defer coord.Close()
+		runner = coord.Run
+	}
 	mgr := jobs.NewManager(jobs.Config{
 		Workers: *workers, QueueDepth: *queueDepth, MaxAttempts: *maxAttempts,
-		PendingPath: *pendingPath, Cache: cache, Telemetry: reg,
+		PendingPath: *pendingPath, Runner: runner, Cache: cache, Telemetry: reg,
 	})
 	defer mgr.Close()
 
 	// Resume jobs a previous drain persisted.
 	if *pendingPath != "" {
-		pending, err := jobs.LoadPending(*pendingPath)
+		pending, err := jobs.LoadPending(*pendingPath, reg)
 		if err != nil {
 			log.Printf("sgserve: pending journal: %v", err)
 		}
@@ -86,11 +116,16 @@ func main() {
 	if err != nil {
 		cliflags.Fail(err)
 	}
-	srv := &http.Server{Handler: jobs.NewServer(mgr, reg)}
+	api := jobs.NewServer(mgr, reg)
+	if coord != nil {
+		api.Handle("/v1/fleet/", coord.Handler())
+		api.Ready = coord.Ready
+	}
+	srv := &http.Server{Handler: api}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	log.Printf("sgserve: listening on %s (workers=%d queue=%d cache=%q)",
-		ln.Addr(), *workers, *queueDepth, *cacheDir)
+	log.Printf("sgserve: listening on %s (workers=%d queue=%d cache=%q fleet=%v)",
+		ln.Addr(), *workers, *queueDepth, *cacheDir, *fleetMode)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,234 @@
+// Package chaos is the fleet's deterministic fault-injection harness.
+// Faults are scripted, not random: a Plan maps a worker's nth lease to a
+// fault, so a test that kills worker 0 on its first job kills it there
+// every run, under -race, under -count=20, on every machine. The e2e
+// suite uses it to prove the two fleet invariants — zero lost or
+// duplicated jobs, and bit-identical results — under every failure mode
+// the protocol claims to survive:
+//
+//	Kill               crash before executing (lease expires, requeue)
+//	KillBeforeComplete crash after executing, before submitting
+//	Stall              stop heartbeats, submit only after expiry (zombie)
+//	Corrupt            flip a byte in the artifact (verification reject)
+//	Partition          drop all network traffic once leased
+package chaos
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"safeguard/internal/fleet"
+)
+
+// Fault is one scripted failure mode.
+type Fault int
+
+const (
+	// None lets the lease proceed normally.
+	None Fault = iota
+	// Kill crashes the worker after leasing, before executing. The
+	// coordinator hears nothing again: classic worker death.
+	Kill
+	// KillBeforeComplete crashes after the (wasted) execution, before
+	// the artifact is submitted — the most expensive possible crash.
+	KillBeforeComplete
+	// Stall suppresses heartbeats and holds the finished artifact until
+	// the coordinator has expired the lease, then submits anyway — the
+	// zombie-completion scenario.
+	Stall
+	// Corrupt flips a byte in the artifact before submitting, modeling a
+	// worker with bad RAM or a tampered transport.
+	Corrupt
+	// Partition cuts the worker's network once it holds the lease: no
+	// renews, no completion, endless failing re-polls afterwards.
+	Partition
+)
+
+// String names the fault for test output.
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case Kill:
+		return "kill"
+	case KillBeforeComplete:
+		return "kill-before-complete"
+	case Stall:
+		return "stall-past-lease"
+	case Corrupt:
+		return "corrupt-result"
+	case Partition:
+		return "partition"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// Script maps a worker's 0-based lease ordinal to the fault injected
+// there. Ordinals absent from the script run clean.
+type Script map[int]Fault
+
+// Notifier fans the coordinator's lease-expiry callbacks out to stalled
+// workers. Wire Notify into fleet.Config.ExpireHook; a Stall fault
+// blocks on Expired(leaseID) so the zombie submission is deterministic —
+// it always happens after the expiry, never racing it.
+type Notifier struct {
+	mu      sync.Mutex
+	expired map[string]chan struct{}
+}
+
+// NewNotifier builds an empty notifier.
+func NewNotifier() *Notifier {
+	return &Notifier{expired: make(map[string]chan struct{})}
+}
+
+// Notify records a lease expiry (plug into fleet.Config.ExpireHook).
+func (n *Notifier) Notify(leaseID string) {
+	close(n.ch(leaseID))
+}
+
+// Expired returns a channel closed once leaseID has expired.
+func (n *Notifier) Expired(leaseID string) <-chan struct{} {
+	return n.ch(leaseID)
+}
+
+func (n *Notifier) ch(leaseID string) chan struct{} {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ch, ok := n.expired[leaseID]
+	if !ok {
+		ch = make(chan struct{})
+		n.expired[leaseID] = ch
+	}
+	return ch
+}
+
+// Transport wraps a RoundTripper with a cuttable link. Once Cut, every
+// request fails with a transport error — the worker is partitioned from
+// the coordinator but very much alive, the most confusing failure a
+// distributed system gets to enjoy.
+type Transport struct {
+	mu   sync.Mutex
+	cut  bool
+	base http.RoundTripper
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport).
+func NewTransport(base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base}
+}
+
+// Cut drops all future requests.
+func (t *Transport) Cut() {
+	t.mu.Lock()
+	t.cut = true
+	t.mu.Unlock()
+}
+
+// Heal restores the link.
+func (t *Transport) Heal() {
+	t.mu.Lock()
+	t.cut = false
+	t.mu.Unlock()
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(r *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	cut := t.cut
+	t.mu.Unlock()
+	if cut {
+		return nil, fmt.Errorf("chaos: network partitioned (%s %s dropped)", r.Method, r.URL.Path)
+	}
+	return t.base.RoundTrip(r)
+}
+
+// Plan scripts one worker's faults. Build Hooks (and, for Partition, a
+// Client) into the worker's config; Fired reports which faults actually
+// triggered so tests can assert the scenario really ran.
+type Plan struct {
+	script   Script
+	notifier *Notifier
+	trans    *Transport
+
+	mu    sync.Mutex
+	fired []Fault
+}
+
+// NewPlan builds a plan. The notifier is required only for Stall
+// scripts; Transport is created lazily for Partition scripts.
+func NewPlan(script Script, notifier *Notifier) *Plan {
+	return &Plan{script: script, notifier: notifier}
+}
+
+// Client returns an http.Client routed through the plan's cuttable
+// transport — required for Partition faults to bite.
+func (p *Plan) Client() *http.Client {
+	return &http.Client{Transport: p.transport()}
+}
+
+func (p *Plan) transport() *Transport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.trans == nil {
+		p.trans = NewTransport(nil)
+	}
+	return p.trans
+}
+
+// Fired lists the faults that actually triggered, in order.
+func (p *Plan) Fired() []Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Fault(nil), p.fired...)
+}
+
+func (p *Plan) record(f Fault) {
+	p.mu.Lock()
+	p.fired = append(p.fired, f)
+	p.mu.Unlock()
+}
+
+// Hooks compiles the script into fleet worker hooks.
+func (p *Plan) Hooks() fleet.Hooks {
+	return fleet.Hooks{
+		OnLeased: func(leaseID string, ordinal int) error {
+			switch p.script[ordinal] {
+			case Kill:
+				p.record(Kill)
+				return fleet.ErrKilled
+			case Partition:
+				p.record(Partition)
+				p.transport().Cut()
+			}
+			return nil
+		},
+		SuppressRenew: func(leaseID string, ordinal int) bool {
+			return p.script[ordinal] == Stall
+		},
+		BeforeComplete: func(leaseID string, ordinal int, artifact []byte) ([]byte, error) {
+			switch p.script[ordinal] {
+			case KillBeforeComplete:
+				p.record(KillBeforeComplete)
+				return nil, fleet.ErrKilled
+			case Stall:
+				p.record(Stall)
+				// Hold the result until the coordinator has given up on
+				// us, then submit it anyway: the textbook zombie.
+				<-p.notifier.Expired(leaseID)
+				return artifact, nil
+			case Corrupt:
+				p.record(Corrupt)
+				bad := append([]byte(nil), artifact...)
+				// Flip a byte in the back half, inside the result payload.
+				bad[len(bad)/2+len(bad)/4] ^= 0x42
+				return bad, nil
+			}
+			return artifact, nil
+		},
+	}
+}

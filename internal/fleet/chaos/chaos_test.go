@@ -1,0 +1,126 @@
+package chaos
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"safeguard/internal/fleet"
+)
+
+func TestFaultNames(t *testing.T) {
+	t.Parallel()
+	want := map[Fault]string{
+		None:               "none",
+		Kill:               "kill",
+		KillBeforeComplete: "kill-before-complete",
+		Stall:              "stall-past-lease",
+		Corrupt:            "corrupt-result",
+		Partition:          "partition",
+		Fault(99):          "fault(99)",
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(f), f.String(), s)
+		}
+	}
+}
+
+func TestNotifierClosesOnceRegardlessOfOrder(t *testing.T) {
+	t.Parallel()
+	n := NewNotifier()
+
+	// Waiter before notification.
+	ch := n.Expired("l-1")
+	select {
+	case <-ch:
+		t.Fatal("expired before Notify")
+	default:
+	}
+	n.Notify("l-1")
+	<-ch
+
+	// Notification before waiter — still delivered.
+	n.Notify("l-2")
+	<-n.Expired("l-2")
+}
+
+func TestTransportCutAndHeal(t *testing.T) {
+	t.Parallel()
+	calls := 0
+	base := roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		calls++
+		return &http.Response{StatusCode: http.StatusNoContent, Body: http.NoBody}, nil
+	})
+	tr := NewTransport(base)
+	req, _ := http.NewRequest(http.MethodPost, "http://coordinator/v1/fleet/lease", nil)
+
+	if _, err := tr.RoundTrip(req); err != nil || calls != 1 {
+		t.Fatalf("healthy link: err=%v calls=%d", err, calls)
+	}
+	tr.Cut()
+	if _, err := tr.RoundTrip(req); err == nil || !strings.Contains(err.Error(), "partitioned") {
+		t.Fatalf("cut link returned %v, want a partition error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("cut link reached the base transport (%d calls)", calls)
+	}
+	tr.Heal()
+	if _, err := tr.RoundTrip(req); err != nil || calls != 2 {
+		t.Fatalf("healed link: err=%v calls=%d", err, calls)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func TestPlanScriptsFaultsByOrdinal(t *testing.T) {
+	t.Parallel()
+	n := NewNotifier()
+	p := NewPlan(Script{0: Kill, 1: Corrupt, 2: Stall}, n)
+	h := p.Hooks()
+
+	if err := h.OnLeased("l-1", 0); err != fleet.ErrKilled {
+		t.Fatalf("scripted kill returned %v, want ErrKilled", err)
+	}
+	if err := h.OnLeased("l-2", 1); err != nil {
+		t.Fatalf("corrupt ordinal killed at lease time: %v", err)
+	}
+	art := []byte(`{"schema":"x","hash":"y","request":{},"result":{}}`)
+	bad, err := h.BeforeComplete("l-2", 1, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bad) == string(art) {
+		t.Fatal("corrupt fault left the artifact untouched")
+	}
+	if len(bad) != len(art) {
+		t.Fatal("corrupt fault changed the artifact length")
+	}
+
+	// Stall waits for the expiry notification, then releases the bytes.
+	n.Notify("l-3")
+	if !h.SuppressRenew("l-3", 2) {
+		t.Fatal("stall ordinal did not suppress renewals")
+	}
+	out, err := h.BeforeComplete("l-3", 2, art)
+	if err != nil || string(out) != string(art) {
+		t.Fatalf("stalled submit = (%q, %v), want the original bytes", out, err)
+	}
+
+	// Unscripted ordinals run clean.
+	if err := h.OnLeased("l-4", 9); err != nil {
+		t.Fatal(err)
+	}
+	if h.SuppressRenew("l-4", 9) {
+		t.Fatal("clean ordinal suppressed renewals")
+	}
+	if out, err := h.BeforeComplete("l-4", 9, art); err != nil || string(out) != string(art) {
+		t.Fatalf("clean submit = (%q, %v)", out, err)
+	}
+
+	if fired := p.Fired(); len(fired) != 3 || fired[0] != Kill || fired[1] != Corrupt || fired[2] != Stall {
+		t.Fatalf("Fired() = %v, want [kill corrupt stall-past-lease]", fired)
+	}
+}

@@ -1,0 +1,245 @@
+// The stateless fleet worker: long-poll a lease, heartbeat it, execute
+// on the deterministic pools, submit a self-verifying artifact. A worker
+// owns no queue, no cache, and no journal — everything durable lives at
+// the coordinator, which is what makes killing a worker at any point a
+// recoverable event rather than a data loss.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"safeguard/internal/jobs"
+	"safeguard/internal/resultcache"
+	"safeguard/internal/telemetry"
+)
+
+// ErrKilled is returned from a hook to crash the worker mid-job — the
+// chaos harness's kill switch. The worker abandons everything without a
+// word to the coordinator, exactly like a SIGKILL.
+var ErrKilled = errors.New("fleet: worker killed")
+
+// Hooks intercept worker lifecycle points. The zero value intercepts
+// nothing; the chaos harness scripts faults through them. Every hook
+// receives the lease ID and the 0-based ordinal of the lease within
+// this worker's lifetime (the scripting key).
+type Hooks struct {
+	// OnLeased runs after a lease is acquired, before execution.
+	// Returning ErrKilled crashes the worker on the spot.
+	OnLeased func(leaseID string, ordinal int) error
+	// SuppressRenew reports whether heartbeats for this lease should be
+	// silently skipped (the stall fault).
+	SuppressRenew func(leaseID string, ordinal int) bool
+	// BeforeComplete may delay (stall-past-lease), mutate (corruption),
+	// or abort (ErrKilled) the artifact submission.
+	BeforeComplete func(leaseID string, ordinal int, artifact []byte) ([]byte, error)
+}
+
+// WorkerConfig parameterizes a Worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (required).
+	Coordinator string
+	// Name identifies this worker in leases and logs (required).
+	Name string
+	// Client issues the HTTP requests (default: a timeout-free client,
+	// since lease polls are long; chaos injects a partition transport).
+	Client *http.Client
+	// Run executes one request (default: direct deterministic execution,
+	// no cache — workers are stateless).
+	Run jobs.Runner
+	// ErrorBackoff is the pause after a failed poll (default 500ms).
+	ErrorBackoff time.Duration
+	// Telemetry receives the "sgworker.*" counters.
+	Telemetry *telemetry.Registry
+	// Hooks intercept lifecycle points (tests and chaos only).
+	Hooks Hooks
+}
+
+// Worker is one stateless fleet executor.
+type Worker struct {
+	cfg WorkerConfig
+	cl  *client
+	n   int // leases acquired, the hook ordinal
+
+	leases     *telemetry.Counter
+	completes  *telemetry.Counter
+	leaseLost  *telemetry.Counter
+	rejected   *telemetry.Counter
+	failures   *telemetry.Counter
+	pollErrors *telemetry.Counter
+}
+
+// NewWorker builds a worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" || cfg.Name == "" {
+		return nil, fmt.Errorf("fleet: worker needs a coordinator URL and a name")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.Run == nil {
+		cfg.Run = func(ctx context.Context, req *resultcache.Request) (json.RawMessage, error) {
+			return req.Execute(ctx, cfg.Telemetry)
+		}
+	}
+	if cfg.ErrorBackoff <= 0 {
+		cfg.ErrorBackoff = 500 * time.Millisecond
+	}
+	reg := cfg.Telemetry
+	return &Worker{
+		cfg:        cfg,
+		cl:         &client{base: cfg.Coordinator, hc: cfg.Client},
+		leases:     reg.Counter("sgworker.leases"),
+		completes:  reg.Counter("sgworker.completions"),
+		leaseLost:  reg.Counter("sgworker.lease_lost"),
+		rejected:   reg.Counter("sgworker.rejected"),
+		failures:   reg.Counter("sgworker.failures"),
+		pollErrors: reg.Counter("sgworker.poll_errors"),
+	}, nil
+}
+
+// Run polls, executes, and submits until ctx ends (or a chaos hook kills
+// the worker). Poll errors back off and retry: a worker separated from
+// its coordinator keeps knocking until the partition heals.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		a, err := w.cl.lease(w.cfg.Name)
+		if err != nil {
+			w.pollErrors.Inc()
+			select {
+			case <-time.After(w.cfg.ErrorBackoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+		if a == nil {
+			continue // empty poll window; go straight back
+		}
+		if err := w.execute(ctx, a); errors.Is(err, ErrKilled) {
+			return err
+		}
+	}
+}
+
+// execute runs one assignment end to end.
+func (w *Worker) execute(ctx context.Context, a *Assignment) error {
+	ordinal := w.n
+	w.n++
+	w.leases.Inc()
+
+	// Re-derive the assignment's identity before spending cycles on it: a
+	// coordinator bug (or a tampering middlebox) must not make this worker
+	// compute an artifact that can never verify.
+	req, err := resultcache.ParseRequest(bytes.NewReader(a.Request))
+	if err != nil {
+		w.failures.Inc()
+		_ = w.cl.fail(a.LeaseID, fmt.Sprintf("unparseable assignment: %v", err), false)
+		return nil
+	}
+	hash, err := req.Hash()
+	if err == nil && hash != a.Hash {
+		err = fmt.Errorf("assignment hash %.12s… does not match its request (computed %.12s…)", a.Hash, hash)
+	}
+	if err != nil {
+		w.failures.Inc()
+		_ = w.cl.fail(a.LeaseID, err.Error(), false)
+		return nil
+	}
+
+	if h := w.cfg.Hooks.OnLeased; h != nil {
+		if err := h(a.LeaseID, ordinal); err != nil {
+			return err // killed: abandon silently, like a crash would
+		}
+	}
+
+	// Heartbeat at a third of the TTL; a 410 means the lease is gone and
+	// the execution is cancelled — the coordinator already requeued.
+	execCtx, execCancel := context.WithCancel(ctx)
+	defer execCancel()
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	suppress := w.cfg.Hooks.SuppressRenew != nil && w.cfg.Hooks.SuppressRenew(a.LeaseID, ordinal)
+	if !suppress {
+		interval := time.Duration(a.LeaseTTLMS) * time.Millisecond / 3
+		if interval <= 0 {
+			interval = time.Millisecond
+		}
+		go w.heartbeat(a.LeaseID, interval, hbStop, execCancel)
+	}
+
+	result, err := w.cfg.Run(execCtx, req)
+	if execCtx.Err() != nil && ctx.Err() == nil {
+		// Lease lost mid-run: the job belongs to someone else now.
+		w.leaseLost.Inc()
+		return nil
+	}
+	if err != nil {
+		w.failures.Inc()
+		_ = w.cl.fail(a.LeaseID, err.Error(), jobs.IsTransient(err))
+		return nil
+	}
+	art, err := resultcache.NewArtifact(req, result)
+	if err != nil {
+		w.failures.Inc()
+		_ = w.cl.fail(a.LeaseID, fmt.Sprintf("artifact build: %v", err), false)
+		return nil
+	}
+	enc, err := art.Encode()
+	if err != nil {
+		w.failures.Inc()
+		_ = w.cl.fail(a.LeaseID, fmt.Sprintf("artifact encode: %v", err), false)
+		return nil
+	}
+	if h := w.cfg.Hooks.BeforeComplete; h != nil {
+		if enc, err = h(a.LeaseID, ordinal, enc); err != nil {
+			return err // killed between execute and submit
+		}
+	}
+	code, err := w.cl.complete(a.LeaseID, enc)
+	switch {
+	case err != nil:
+		// Partitioned from the coordinator: the lease will expire and the
+		// job requeues elsewhere. Nothing to resubmit — drop it.
+		w.leaseLost.Inc()
+	case code == http.StatusOK:
+		w.completes.Inc()
+	case code == http.StatusGone:
+		w.leaseLost.Inc() // zombie: our lease expired while we worked
+	default:
+		w.rejected.Inc() // the coordinator refused our bytes
+	}
+	return nil
+}
+
+// heartbeat renews the lease until stop closes; a gone lease cancels the
+// execution via execCancel. Transport errors are retried on the next
+// tick — heartbeats through a flaky network are exactly when retrying
+// matters.
+func (w *Worker) heartbeat(leaseID string, interval time.Duration, stop <-chan struct{}, execCancel context.CancelFunc) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			ok, err := w.cl.renew(leaseID, w.cfg.Name)
+			if err != nil {
+				continue
+			}
+			if !ok {
+				execCancel()
+				return
+			}
+		}
+	}
+}

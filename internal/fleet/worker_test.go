@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"safeguard/internal/jobs"
+	"safeguard/internal/resultcache"
+	"safeguard/internal/telemetry"
+)
+
+// The worker suite drives a real Worker against a real coordinator over
+// httptest — the full wire protocol, with the coordinator's clock still
+// under test control so leases expire on command.
+
+// workerStack wires coordinator + HTTP server + one worker registry.
+type workerStack struct {
+	c     *Coordinator
+	clock *fakeClock
+	creg  *telemetry.Registry // coordinator side
+	wreg  *telemetry.Registry // worker side
+	ts    *httptest.Server
+}
+
+func newWorkerStack(t *testing.T, mutate func(*Config)) *workerStack {
+	t.Helper()
+	c, clock, creg := newTestCoordinator(t, mutate)
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(ts.Close)
+	return &workerStack{c: c, clock: clock, creg: creg, wreg: telemetry.NewRegistry(), ts: ts}
+}
+
+// startWorker launches a worker and waits until the coordinator counts
+// it live, so a subsequent dispatch goes to the fleet, not local.
+func (s *workerStack) startWorker(t *testing.T, cfg WorkerConfig) context.CancelFunc {
+	t.Helper()
+	cfg.Coordinator = s.ts.URL
+	if cfg.Name == "" {
+		cfg.Name = "wkr"
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = s.wreg
+	}
+	if cfg.ErrorBackoff == 0 {
+		cfg.ErrorBackoff = 5 * time.Millisecond
+	}
+	w, err := NewWorker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = w.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+	waitFor(t, func() bool { return s.c.Ready() == nil })
+	return cancel
+}
+
+func TestWorkerExecutesLeaseEndToEnd(t *testing.T) {
+	t.Parallel()
+	s := newWorkerStack(t, nil)
+	s.startWorker(t, WorkerConfig{})
+
+	req := testReq(t, 21)
+	o := awaitOutcome(t, goRun(s.c, req))
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	// The result must match a direct local execution. (Raw spacing may
+	// differ — the remote path returns the artifact's re-indented bytes —
+	// so compare compacted; the e2e suite proves byte identity on the
+	// served artifacts, where it matters.)
+	direct, err := req.Execute(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compactJSON(t, o.result) != compactJSON(t, direct) {
+		t.Fatalf("fleet result diverged from direct execution:\n%s\nvs\n%s", o.result, direct)
+	}
+	wantCounter(t, s.creg, "fleet.completions.ok", 1)
+	wantCounter(t, s.creg, "fleet.dispatch.remote", 1)
+	wantCounter(t, s.wreg, "sgworker.leases", 1)
+	wantCounter(t, s.wreg, "sgworker.completions", 1)
+}
+
+func TestWorkerRefusesTamperedAssignment(t *testing.T) {
+	t.Parallel()
+	req := testReq(t, 22)
+	canon, err := req.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fake coordinator that hands out one assignment whose hash does
+	// not match its request — as a tampering middlebox would.
+	var (
+		mu       sync.Mutex
+		served   bool
+		failured failRequest
+		failed   = make(chan struct{})
+	)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/fleet/lease", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		first := !served
+		served = true
+		mu.Unlock()
+		if !first {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, Assignment{
+			LeaseID:    "l-00000001",
+			Hash:       strings.Repeat("0", 64),
+			Request:    canon,
+			LeaseTTLMS: 10_000,
+		})
+	})
+	mux.HandleFunc("POST /v1/fleet/lease/{id}/fail", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err := json.NewDecoder(r.Body).Decode(&failured); err != nil {
+			t.Errorf("decode fail report: %v", err)
+		}
+		close(failed)
+		writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	wreg := telemetry.NewRegistry()
+	w, err := NewWorker(WorkerConfig{Coordinator: ts.URL, Name: "wkr", Telemetry: wreg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = w.Run(ctx) }()
+
+	select {
+	case <-failed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never reported the tampered assignment")
+	}
+	cancel()
+	mu.Lock()
+	defer mu.Unlock()
+	if failured.Transient || !strings.Contains(failured.Error, "does not match") {
+		t.Fatalf("fail report = %+v, want a permanent hash-mismatch report", failured)
+	}
+	wantCounter(t, wreg, "sgworker.failures", 1)
+	wantCounter(t, wreg, "sgworker.completions", 0)
+}
+
+func TestWorkerHeartbeatDetectsLostLease(t *testing.T) {
+	t.Parallel()
+	s := newWorkerStack(t, nil)
+	running := make(chan struct{}, 1)
+	s.startWorker(t, WorkerConfig{
+		// Hold the job until the lease dies under it: only the heartbeat
+		// can notice.
+		Run: func(ctx context.Context, req *resultcache.Request) (json.RawMessage, error) {
+			running <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+
+	ch := goRun(s.c, testReq(t, 23))
+	select {
+	case <-running:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never started the job")
+	}
+	s.clock.Advance(200 * time.Millisecond)
+	s.c.Sweep()
+
+	// The dispatch requeues transient; the worker's next heartbeat gets
+	// 410 and cancels the execution instead of letting it zombie on.
+	if o := awaitOutcome(t, ch); !jobs.IsTransient(o.err) {
+		t.Fatalf("expired dispatch surfaced %v, want transient", o.err)
+	}
+	waitFor(t, func() bool { return s.wreg.Counter("sgworker.lease_lost").Value() == 1 })
+	wantCounter(t, s.creg, "fleet.leases.expired", 1)
+}
+
+func TestWorkerReportsExecutionFailure(t *testing.T) {
+	t.Parallel()
+	s := newWorkerStack(t, nil)
+	s.startWorker(t, WorkerConfig{
+		Run: func(ctx context.Context, req *resultcache.Request) (json.RawMessage, error) {
+			return nil, jobs.Transient(context.DeadlineExceeded)
+		},
+	})
+
+	o := awaitOutcome(t, goRun(s.c, testReq(t, 24)))
+	if !jobs.IsTransient(o.err) {
+		t.Fatalf("worker failure surfaced %v, want transient (the manager's retry signal)", o.err)
+	}
+	wantCounter(t, s.creg, "fleet.failures.reported", 1)
+	wantCounter(t, s.creg, "fleet.requeues", 1)
+	wantCounter(t, s.wreg, "sgworker.failures", 1)
+}
+
+func TestWorkerBacksOffPollErrors(t *testing.T) {
+	t.Parallel()
+	wreg := telemetry.NewRegistry()
+	w, err := NewWorker(WorkerConfig{
+		Coordinator:  "http://127.0.0.1:1", // nothing listens here
+		Name:         "wkr",
+		Telemetry:    wreg,
+		ErrorBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = w.Run(ctx) }()
+	waitFor(t, func() bool { return wreg.Counter("sgworker.poll_errors").Value() >= 2 })
+}
+
+// compactJSON normalizes whitespace so semantically-equal JSON compares
+// equal regardless of which path's indentation it carries.
+func compactJSON(t *testing.T, raw json.RawMessage) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		t.Fatalf("compact %q: %v", raw, err)
+	}
+	return buf.String()
+}
+
+func TestWorkerConfigValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewWorker(WorkerConfig{Name: "wkr"}); err == nil {
+		t.Fatal("NewWorker accepted a config without a coordinator URL")
+	}
+	if _, err := NewWorker(WorkerConfig{Coordinator: "http://x"}); err == nil {
+		t.Fatal("NewWorker accepted a config without a name")
+	}
+}

@@ -330,7 +330,7 @@ func TestE2EDrainPersistAndResume(t *testing.T) {
 	// — exactly what cmd/sgserve does on boot.
 	m2 := NewManager(Config{Workers: 2, Cache: cache, Telemetry: reg})
 	defer m2.Close()
-	reqs, err := LoadPending(pending)
+	reqs, err := LoadPending(pending, reg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"sync"
 	"time"
@@ -87,8 +88,15 @@ type Config struct {
 	// (default 3). Only Transient errors are retried.
 	MaxAttempts int
 	// RetryBackoff is the sleep before attempt 2; it doubles per
-	// attempt (default 250ms). Tests shrink it to microseconds.
+	// attempt (default 250ms) and then gets a deterministic ±20% jitter
+	// derived from the job hash, so a herd of clients retrying the same
+	// outage spreads out instead of stampeding in lockstep. Tests shrink
+	// it to microseconds.
 	RetryBackoff time.Duration
+	// AfterFunc is the retry clock (default time.After). Tests inject a
+	// recording fake so backoff behavior is asserted without burning
+	// wall-clock time.
+	AfterFunc func(d time.Duration) <-chan time.Time
 	// PendingPath, when non-empty, receives still-queued jobs on a
 	// drain that runs out of time; LoadPending reads it back.
 	PendingPath string
@@ -171,6 +179,9 @@ func NewManager(cfg Config) *Manager {
 	}
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 250 * time.Millisecond
+	}
+	if cfg.AfterFunc == nil {
+		cfg.AfterFunc = time.After
 	}
 	if cfg.Runner == nil {
 		cfg.Runner = CachedRunner(cfg.Cache, cfg.Telemetry)
@@ -443,7 +454,16 @@ func SavePending(path string, reqs []*resultcache.Request) error {
 
 // LoadPending reads a drain journal and removes it, returning the
 // normalized requests to resubmit. A missing file is an empty resume.
-func LoadPending(path string) ([]*resultcache.Request, error) {
+//
+// Corruption must never block a boot — a crashed drain or a tampered
+// disk costs at worst the journaled jobs, not the service. A journal
+// that does not parse (truncation, garbage, a foreign schema) is
+// quarantined to <path>.corrupt, counted under "jobs.journal.corrupt",
+// and reported as an empty resume; an individual request that fails
+// validation is skipped and counted under "jobs.journal.skipped" while
+// the rest resume. Only real I/O faults (permissions, not corruption)
+// surface as errors.
+func LoadPending(path string, reg *telemetry.Registry) ([]*resultcache.Request, error) {
 	raw, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
@@ -452,21 +472,27 @@ func LoadPending(path string) ([]*resultcache.Request, error) {
 		return nil, err
 	}
 	var pf pendingFile
-	if err := json.Unmarshal(raw, &pf); err != nil {
-		return nil, fmt.Errorf("jobs: bad pending file %s: %w", path, err)
-	}
-	if pf.Schema != pendingSchema {
-		return nil, fmt.Errorf("jobs: unsupported pending schema %q (this build reads %q)", pf.Schema, pendingSchema)
-	}
-	for _, r := range pf.Requests {
-		if err := r.Normalize(); err != nil {
-			return nil, fmt.Errorf("jobs: pending file %s: %w", path, err)
+	if uerr := json.Unmarshal(raw, &pf); uerr != nil || pf.Schema != pendingSchema {
+		reg.Counter("jobs.journal.corrupt").Inc()
+		// Keep the evidence, but off the boot path: the next start must
+		// not trip over the same bad bytes.
+		if rerr := os.Rename(path, path+".corrupt"); rerr != nil {
+			_ = os.Remove(path)
 		}
+		return nil, nil
+	}
+	good := make([]*resultcache.Request, 0, len(pf.Requests))
+	for _, r := range pf.Requests {
+		if nerr := r.Normalize(); nerr != nil {
+			reg.Counter("jobs.journal.skipped").Inc()
+			continue
+		}
+		good = append(good, r)
 	}
 	if err := os.Remove(path); err != nil {
-		return nil, err
+		return good, err
 	}
-	return pf.Requests, nil
+	return good, nil
 }
 
 // Close cancels every running job and stops the workers. Terminal
@@ -500,9 +526,9 @@ func (m *Manager) run(j *Job) {
 		m.mu.Unlock()
 		if attempt > 1 {
 			m.retried.Inc()
-			backoff := m.cfg.RetryBackoff << (attempt - 2)
+			backoff := JitteredBackoff(m.cfg.RetryBackoff, attempt, j.hash)
 			select {
-			case <-time.After(backoff):
+			case <-m.cfg.AfterFunc(backoff):
 			case <-m.ctx.Done():
 				m.finishLocked(j, StateFailed, m.ctx.Err().Error())
 				return
@@ -520,6 +546,23 @@ func (m *Manager) run(j *Job) {
 		}
 	}
 	m.finishLocked(j, StateFailed, lastErr.Error())
+}
+
+// JitteredBackoff is the sleep before retry attempt n (n >= 2): the base
+// doubles per attempt, then a ±20% jitter is applied. The jitter is
+// derived deterministically from the job hash and attempt number rather
+// than a random source — the same job retries on the same schedule every
+// time (reproducible tests), while distinct jobs land on distinct
+// offsets, which is what actually breaks up a thundering herd of clients
+// all retrying the same outage.
+func JitteredBackoff(base time.Duration, attempt int, hash string) time.Duration {
+	d := base << (attempt - 2)
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(hash))
+	_, _ = h.Write([]byte{byte(attempt)})
+	// Map the hash onto [80%, 120%] of the doubled base in 0.1% steps.
+	f := time.Duration(800 + h.Sum64()%401)
+	return d * f / 1000
 }
 
 // finishLocked is finish with its own locking.

@@ -351,7 +351,7 @@ func TestDrainPersistsQueuedAndResumes(t *testing.T) {
 	waitState(t, m, views[0].ID, StateDone)
 
 	// No accepted job was dropped: completed + persisted covers all 4.
-	reqs, err := LoadPending(pending)
+	reqs, err := LoadPending(pending, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +372,7 @@ func TestDrainPersistsQueuedAndResumes(t *testing.T) {
 		}
 	}
 	// LoadPending consumed the journal.
-	if again, err := LoadPending(pending); err != nil || again != nil {
+	if again, err := LoadPending(pending, reg); err != nil || len(again) != 0 {
 		t.Fatalf("second LoadPending = (%v, %v), want empty", again, err)
 	}
 	if n := reg.Snapshot().Counters["jobs.persisted"]; n != 3 {
@@ -401,28 +401,165 @@ func TestDrainTimeoutWithoutPendingPathFails(t *testing.T) {
 	}
 }
 
-func TestLoadPendingRejections(t *testing.T) {
+// journalFile writes a journal body into a fresh dir and returns its path.
+func journalFile(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "pending.json")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadPendingMissingIsEmptyResume(t *testing.T) {
 	t.Parallel()
-	dir := t.TempDir()
-	write := func(name, body string) string {
-		p := filepath.Join(dir, name)
-		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
-			t.Fatal(err)
+	reqs, err := LoadPending(filepath.Join(t.TempDir(), "absent.json"), nil)
+	if err != nil || reqs != nil {
+		t.Fatalf("missing journal = (%v, %v), want empty resume", reqs, err)
+	}
+}
+
+// A truncated journal (a crash mid-write, a torn disk) must degrade to a
+// counted skip — quarantined, never a startup failure.
+func TestLoadPendingTruncatedJournalDegrades(t *testing.T) {
+	t.Parallel()
+	reg := telemetry.NewRegistry()
+	// A real journal cut off mid-stream, exactly what a full disk leaves.
+	valid, err := json.Marshal(pendingFile{Schema: pendingSchema, Requests: []*resultcache.Request{reqN(t, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := journalFile(t, string(valid[:len(valid)/2]))
+	reqs, err := LoadPending(p, reg)
+	if err != nil || len(reqs) != 0 {
+		t.Fatalf("truncated journal = (%v, %v), want counted empty resume", reqs, err)
+	}
+	if n := reg.Snapshot().Counters["jobs.journal.corrupt"]; n != 1 {
+		t.Fatalf("journal.corrupt = %d, want 1", n)
+	}
+	// The bad bytes are quarantined off the boot path but kept as evidence.
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatal("corrupt journal still on the boot path")
+	}
+	if _, err := os.Stat(p + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file: %v", err)
+	}
+	// The next boot is clean: nothing left to trip over.
+	if reqs, err := LoadPending(p, reg); err != nil || len(reqs) != 0 {
+		t.Fatalf("reboot after quarantine = (%v, %v)", reqs, err)
+	}
+}
+
+// A tampered journal — valid JSON, but a request that no longer
+// validates — skips the bad entry with a counter and resumes the rest.
+func TestLoadPendingTamperedRequestSkipped(t *testing.T) {
+	t.Parallel()
+	reg := telemetry.NewRegistry()
+	good := reqN(t, 7)
+	raw, err := json.Marshal(pendingFile{Schema: pendingSchema, Requests: []*resultcache.Request{
+		{Kind: "fuzz"}, good, {Kind: resultcache.KindPerf, Perf: &resultcache.PerfRequest{Schemes: []string{"tetraguard"}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := journalFile(t, string(raw))
+	reqs, err := LoadPending(p, reg)
+	if err != nil {
+		t.Fatalf("tampered journal failed the boot: %v", err)
+	}
+	if len(reqs) != 1 {
+		t.Fatalf("resumed %d requests, want the 1 valid one", len(reqs))
+	}
+	wantHash, err := good.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, err := reqs[0].Hash(); err != nil || h != wantHash {
+		t.Fatalf("resumed the wrong request (%s, %v)", h, err)
+	}
+	if n := reg.Snapshot().Counters["jobs.journal.skipped"]; n != 2 {
+		t.Fatalf("journal.skipped = %d, want 2", n)
+	}
+	// A foreign schema is whole-file corruption, not a partial skip.
+	p2 := journalFile(t, `{"schema":"sgserve-pending/999","requests":[]}`)
+	if reqs, err := LoadPending(p2, reg); err != nil || len(reqs) != 0 {
+		t.Fatalf("future schema = (%v, %v), want counted empty resume", reqs, err)
+	}
+	if n := reg.Snapshot().Counters["jobs.journal.corrupt"]; n != 1 {
+		t.Fatalf("journal.corrupt = %d, want 1", n)
+	}
+}
+
+// The retry clock is injectable and the backoff carries a deterministic
+// ±20% jitter: same job, same schedule; different jobs, spread offsets.
+func TestRetryBackoffJitteredAndClockInjectable(t *testing.T) {
+	t.Parallel()
+	var mu sync.Mutex
+	var delays []time.Duration
+	after := func(d time.Duration) <-chan time.Time {
+		mu.Lock()
+		delays = append(delays, d)
+		mu.Unlock()
+		ch := make(chan time.Time, 1)
+		ch <- time.Time{}
+		return ch
+	}
+	var calls atomic.Int64
+	base := 100 * time.Millisecond
+	m := NewManager(Config{
+		MaxAttempts: 3, RetryBackoff: base, AfterFunc: after,
+		Runner: func(context.Context, *resultcache.Request) (json.RawMessage, error) {
+			if calls.Add(1) < 3 {
+				return nil, Transient(fmt.Errorf("flaky io"))
+			}
+			return json.RawMessage(`{}`), nil
+		},
+	})
+	defer m.Close()
+	req := reqN(t, 1)
+	hash, err := req.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v.ID, StateDone)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(delays) != 2 {
+		t.Fatalf("retry clock fired %d times, want 2", len(delays))
+	}
+	for i, d := range delays {
+		// Attempt i+2: base << i, jittered into [80%, 120%].
+		lo, hi := (base<<i)*8/10, (base<<i)*12/10
+		if d < lo || d > hi {
+			t.Errorf("delay %d = %s outside [%s, %s]", i, d, lo, hi)
 		}
-		return p
+		if want := JitteredBackoff(base, i+2, hash); d != want {
+			t.Errorf("delay %d = %s, want deterministic %s", i, d, want)
+		}
 	}
-	if _, err := LoadPending(filepath.Join(dir, "absent.json")); err != nil {
-		t.Fatalf("missing journal should be an empty resume, got %v", err)
+}
+
+func TestJitteredBackoffSpreadsHashes(t *testing.T) {
+	t.Parallel()
+	base := time.Second
+	distinct := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		d := JitteredBackoff(base, 2, fmt.Sprintf("hash-%d", i))
+		if d < base*8/10 || d > base*12/10 {
+			t.Fatalf("jitter %s outside ±20%% of %s", d, base)
+		}
+		distinct[d] = true
 	}
-	if _, err := LoadPending(write("garbage.json", "{")); err == nil {
-		t.Fatal("corrupt journal accepted")
+	if len(distinct) < 16 {
+		t.Fatalf("only %d distinct backoffs over 64 hashes; herding persists", len(distinct))
 	}
-	if _, err := LoadPending(write("schema.json", `{"schema":"sgserve-pending/999","requests":[]}`)); err == nil {
-		t.Fatal("future schema accepted")
-	}
-	if _, err := LoadPending(write("badreq.json",
-		`{"schema":"sgserve-pending/1","requests":[{"kind":"fuzz"}]}`)); err == nil {
-		t.Fatal("invalid request in journal accepted")
+	// Determinism: the schedule for one job never moves between runs.
+	if JitteredBackoff(base, 3, "h") != JitteredBackoff(base, 3, "h") {
+		t.Fatal("jitter is not deterministic")
 	}
 }
 

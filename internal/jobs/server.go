@@ -16,18 +16,28 @@ import (
 //	POST /v1/jobs           submit a simulation request
 //	GET  /v1/jobs/{id}      poll a job
 //	GET  /v1/results/{hash} fetch an artifact (the stored bytes, verbatim)
-//	GET  /healthz           liveness + drain state
+//	GET  /healthz           liveness (200 while the process serves at all)
+//	GET  /readyz            readiness (503 while draining or degraded)
 //	/stats, /debug/...      the telemetry surface (expvar, pprof)
 //
 // Submissions answered from the cache return 200 with the job view;
 // accepted jobs return 202 with a Location header for polling. A full
 // queue returns 429 with Retry-After; a draining server returns 503.
+//
+// Health and readiness are deliberately split: a draining server is
+// still alive (healthz 200 — do not restart it, it is finishing work)
+// but must not receive new traffic (readyz 503 — load balancers stop
+// routing before the submit 503s start).
 type Server struct {
 	mgr *Manager
 	mux *http.ServeMux
 	// RetryAfterSeconds fills the Retry-After header on 429/503
 	// responses (default 5).
 	RetryAfterSeconds int
+	// Ready, when set, adds a readiness dimension beyond draining — the
+	// fleet coordinator plugs its worker-liveness check in here so a
+	// worker-less-degraded server reports not-ready while still healthy.
+	Ready func() error
 }
 
 // NewServer wires a Manager (and its telemetry registry) into a handler.
@@ -37,9 +47,16 @@ func NewServer(mgr *Manager, reg *telemetry.Registry) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.Handle("/stats", telemetry.Handler(reg))
 	s.mux.Handle("/debug/", telemetry.Handler(reg))
 	return s
+}
+
+// Handle mounts an extra handler on the server's mux — how cmd/sgserve
+// attaches the fleet coordinator's lease endpoints.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -138,16 +155,35 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	// Pure liveness: a draining server is healthy (it is completing
+	// accepted work) — readiness is the signal that routes traffic away.
 	status := "ok"
-	code := http.StatusOK
 	if s.mgr.Draining() {
-		// Report draining as unready so load balancers stop routing here,
-		// while in-flight work finishes.
 		status = "draining"
-		code = http.StatusServiceUnavailable
 	}
-	s.writeJSON(w, code, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":      status,
+		"queue_depth": s.mgr.QueueDepth(),
+	})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.mgr.Draining() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining", "reason": "not accepting jobs",
+		})
+		return
+	}
+	if s.Ready != nil {
+		if err := s.Ready(); err != nil {
+			s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "degraded", "reason": err.Error(),
+			})
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ready",
 		"queue_depth": s.mgr.QueueDepth(),
 	})
 }

@@ -3,6 +3,7 @@ package jobs
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -144,15 +145,60 @@ func TestServer503WhileDraining(t *testing.T) {
 	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Fatal("503 without Retry-After")
 	}
-	// healthz flips to 503 too, so load balancers stop routing here.
+	// Liveness stays green — a draining process is finishing accepted
+	// work and must not be restarted — while readiness flips to 503 so
+	// load balancers stop routing here before the submit 503s start.
 	hr, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	hr.Body.Close()
-	if hr.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("draining healthz = %d, want 503", hr.StatusCode)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("draining healthz = %d, want 200 (liveness)", hr.StatusCode)
 	}
+	rr, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503", rr.StatusCode)
+	}
+}
+
+// The readiness hook lets an embedder (the fleet coordinator) declare
+// the server degraded without touching liveness.
+func TestServerReadyHookDegraded(t *testing.T) {
+	t.Parallel()
+	reg := telemetry.NewRegistry()
+	m := NewManager(Config{Runner: okRunner(nil), Telemetry: reg})
+	t.Cleanup(m.Close)
+	srv := NewServer(m, reg)
+	degraded := true
+	srv.Ready = func() error {
+		if degraded {
+			return fmt.Errorf("no live workers")
+		}
+		return nil
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	check := func(path string, want int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	check("/readyz", http.StatusServiceUnavailable)
+	check("/healthz", http.StatusOK) // degraded ≠ dead
+	degraded = false
+	check("/readyz", http.StatusOK)
 }
 
 func TestServerResultEndpoint(t *testing.T) {
@@ -193,7 +239,7 @@ func TestServerResultEndpoint(t *testing.T) {
 func TestServerHealthAndTelemetrySurface(t *testing.T) {
 	t.Parallel()
 	ts, _ := newTestServer(t, Config{Runner: okRunner(nil)})
-	for _, path := range []string{"/healthz", "/stats", "/debug/vars"} {
+	for _, path := range []string{"/healthz", "/readyz", "/stats", "/debug/vars"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)

@@ -170,10 +170,34 @@ func TestMakeCIComposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pkg := range []string{"./internal/jobs", "./internal/resultcache"} {
+	for _, pkg := range []string{"./internal/jobs", "./internal/resultcache", "./internal/fleet"} {
 		if !strings.Contains(string(raw), pkg) {
 			t.Errorf("coverage gate dropped %s", pkg)
 		}
+	}
+}
+
+// The chaos repetition count must be overridable (the nightly workflow
+// passes FLEET_CHAOS_COUNT=20), default to a quick 3-pass, and keep the
+// race detector on — single-pass chaos under no race detector would
+// quietly stop exercising the interleavings the suite exists to catch.
+func TestMakeFleetChaosParameterized(t *testing.T) {
+	t.Parallel()
+	out, err := runMake(t, "fleet-chaos", "GO=echo", "--just-print")
+	if err != nil {
+		t.Fatalf("fleet-chaos dry-run failed:\n%s", out)
+	}
+	for _, want := range []string{"-race", "-count=3", "TestChaos", "./internal/fleet/"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet-chaos recipe missing %q:\n%s", want, out)
+		}
+	}
+	out, err = runMake(t, "fleet-chaos", "FLEET_CHAOS_COUNT=20", "GO=echo", "--just-print")
+	if err != nil {
+		t.Fatalf("fleet-chaos FLEET_CHAOS_COUNT=20 dry-run failed:\n%s", out)
+	}
+	if !strings.Contains(out, "-count=20") {
+		t.Errorf("FLEET_CHAOS_COUNT=20 override ignored:\n%s", out)
 	}
 }
 
@@ -217,7 +241,7 @@ func TestMakeLintVersionsPinned(t *testing.T) {
 // renamed cmd can't silently break bench or the smokes.
 func TestMakefileReferencedPathsExist(t *testing.T) {
 	t.Parallel()
-	for _, p := range []string{"cmd/bench2json", "cmd/sgprof", "internal/ecc", "internal/memctrl", "examples"} {
+	for _, p := range []string{"cmd/bench2json", "cmd/sgprof", "cmd/sgserve", "cmd/sgworker", "internal/ecc", "internal/memctrl", "internal/fleet", "examples"} {
 		if _, err := os.Stat(filepath.FromSlash(p)); err != nil {
 			t.Errorf("Makefile-referenced path %s: %v", p, err)
 		}

@@ -97,7 +97,7 @@ func TestWorkflowStructure(t *testing.T) {
 func TestCIWorkflowCoversPushPRAndMatrix(t *testing.T) {
 	t.Parallel()
 	body := readWorkflow(t, "ci.yml")
-	for _, want := range []string{"push:", "pull_request:", "matrix:", "stable", "oldstable", "cache: true", "make ci", "make bench-quick"} {
+	for _, want := range []string{"push:", "pull_request:", "matrix:", "stable", "oldstable", "cache: true", "make ci", "make bench-quick", "make fleet-chaos"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("ci.yml missing %q", want)
 		}
@@ -110,15 +110,19 @@ func TestNightlyWorkflowScheduleAndArtifacts(t *testing.T) {
 	for _, want := range []string{
 		"schedule:", "cron:", "workflow_dispatch:",
 		"make fuzz-smoke FUZZTIME=60s", "make bench-check",
+		"make fleet-chaos FLEET_CHAOS_COUNT=",
 		"upload-artifact", "BENCH_*.json",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("nightly.yml missing %q", want)
 		}
 	}
-	// The fuzz budget the nightly passes must be a real escalation over
-	// the smoke default.
+	// The fuzz and chaos budgets the nightly passes must be real
+	// escalations over the PR-time defaults.
 	if strings.Contains(body, "FUZZTIME=2s") {
-		t.Error("nightly runs the smoke budget; it should escalate")
+		t.Error("nightly runs the smoke fuzz budget; it should escalate")
+	}
+	if strings.Contains(body, "FLEET_CHAOS_COUNT=3") {
+		t.Error("nightly runs the PR-time chaos count; it should escalate")
 	}
 }
