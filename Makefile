@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-check bench-quick ci cover fmt vet lint fuzz-smoke examples-smoke sgprof-smoke fleet-chaos
+.PHONY: all build test bench bench-check bench-quick ci cover fmt vet lint fuzz-smoke examples-smoke sgprof-smoke snapshot-smoke fleet-chaos
 
 all: build
 
@@ -24,7 +24,7 @@ bench:
 		echo "bench: no 'PR <n>:' entry in CHANGES.md and no BENCH_PR=<n> override; refusing to write BENCH_.json" >&2; \
 		exit 1; \
 	fi
-	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/bench2json -o BENCH_$(BENCH_PR).json
+	$(GO) test -bench=. -benchmem -timeout 60m -run '^$$' . | $(GO) run ./cmd/bench2json -o BENCH_$(BENCH_PR).json
 
 # bench-check diffs the bench artifact this tree just produced against the
 # newest committed BENCH_*.json and fails on regression. With no committed
@@ -107,7 +107,8 @@ fmt:
 FUZZ_TARGETS := ./internal/ecc:FuzzSECDEDDecode ./internal/ecc:FuzzSafeGuardSECDEDDecode \
 	./internal/ecc:FuzzChipkillDecode ./internal/ecc:FuzzSafeGuardChipkillDecode \
 	./internal/ecc:FuzzSGXStyleMACDecode ./internal/ecc:FuzzSynergyStyleMACDecode \
-	./internal/memctrl:FuzzEngineEquivalence
+	./internal/memctrl:FuzzEngineEquivalence \
+	./internal/snapshot:FuzzSnapshotRoundTrip ./internal/snapshot:FuzzSnapshotReader
 FUZZTIME ?= 2s
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
@@ -132,23 +133,41 @@ sgprof-smoke:
 		-diff /tmp/sgprof-smoke.json > /dev/null
 	@echo "sgprof smoke OK (run -> report -> self-diff clean)"
 
-# fleet-chaos repeats the fleet chaos suite (worker kill, stall-past-
-# lease zombie, result corruption, network partition) under the race
-# detector. Faults are scripted, not random, so repetition shakes out
-# scheduling interleavings rather than fault placement; the nightly
-# workflow raises the count with `make fleet-chaos FLEET_CHAOS_COUNT=20`.
+# snapshot-smoke proves the checkpoint/restore contract end to end at
+# the CLI: a cold sgperf sweep deposits post-warm-up sgsnap/1 captures
+# into a warm-start pool, a -resume sweep restores from them, and the
+# two outputs must be byte-identical — restore-equals-uninterrupted, on
+# the real binary rather than a test harness.
+snapshot-smoke:
+	@dir=$$(mktemp -d /tmp/snapshot-smoke-XXXXXX); \
+	$(GO) run ./cmd/sgperf -fig7 -workloads mcf -instr 20000 -warmup 10000 -seeds 1 \
+		-snapshot $$dir > $$dir/cold.out || { rm -rf $$dir; exit 1; }; \
+	$(GO) run ./cmd/sgperf -fig7 -workloads mcf -instr 20000 -warmup 10000 -seeds 1 \
+		-snapshot $$dir -resume > $$dir/warm.out || { rm -rf $$dir; exit 1; }; \
+	cmp $$dir/cold.out $$dir/warm.out || { echo "snapshot-smoke: resumed output diverged from cold run" >&2; rm -rf $$dir; exit 1; }; \
+	rm -rf $$dir; \
+	echo "snapshot smoke OK (cold -> deposit -> resume, byte-identical)"
+
+# fleet-chaos repeats the fleet chaos suite (worker kill, kill-mid-run
+# checkpoint resume, stall-past-lease zombie, result corruption, network
+# partition) under the race detector. Faults are scripted, not random,
+# so repetition shakes out scheduling interleavings rather than fault
+# placement; the nightly workflow raises the count with
+# `make fleet-chaos FLEET_CHAOS_COUNT=20` (hence the explicit -timeout:
+# twenty race-enabled passes outlast go test's 10m default).
 FLEET_CHAOS_COUNT ?= 3
 fleet-chaos:
-	$(GO) test -race -run 'TestChaos' -count=$(FLEET_CHAOS_COUNT) ./internal/fleet/
+	$(GO) test -race -timeout 30m -run 'TestChaos' -count=$(FLEET_CHAOS_COUNT) ./internal/fleet/
 
 # cover gates statement coverage of the observability- and serving-
 # critical packages: telemetry feeds every -stats/-trace surface, response
 # drives the DUE pipeline, attrib is the cycle-accounting layer sgprof
 # reports from, jobs/resultcache are the sgserve correctness core
-# (queueing, dedup, drain, cache identity), and fleet is the distributed
-# lease/recovery protocol, so regressions there must not land untested.
+# (queueing, dedup, drain, cache identity), fleet is the distributed
+# lease/recovery protocol, and snapshot is the sgsnap/1 checkpoint codec
+# every resume path trusts, so regressions there must not land untested.
 COVER_GATE_PKGS := ./internal/telemetry ./internal/response ./internal/attrib \
-	./internal/jobs ./internal/resultcache ./internal/fleet
+	./internal/jobs ./internal/resultcache ./internal/fleet ./internal/snapshot
 COVER_GATE_MIN  := 85
 cover:
 	@$(GO) test -cover $(COVER_GATE_PKGS) | awk -v min=$(COVER_GATE_MIN) ' \
@@ -165,9 +184,9 @@ cover:
 # full test suite under the race detector with shuffled execution order
 # (includes the figure-shape regression tests in figures_test.go and one
 # pass over each fleet chaos scenario), the coverage gate, a short fuzz
-# pass over every codec, the example programs, and the sgprof profiler
-# smoke. The CI workflow additionally repeats the chaos scenarios via
-# `make fleet-chaos`.
+# pass over every codec, the example programs, the sgprof profiler
+# smoke, and the checkpoint/restore smoke. The CI workflow additionally
+# repeats the chaos scenarios via `make fleet-chaos`.
 ci: vet fmt
 	$(MAKE) lint
 	$(GO) test -race -shuffle=on -timeout 25m ./...
@@ -175,3 +194,4 @@ ci: vet fmt
 	$(MAKE) fuzz-smoke
 	$(MAKE) examples-smoke
 	$(MAKE) sgprof-smoke
+	$(MAKE) snapshot-smoke

@@ -12,6 +12,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"safeguard/internal/analysis"
 	bits2 "safeguard/internal/bits"
@@ -713,4 +714,72 @@ func BenchmarkExtensionFullSGX(b *testing.B) {
 	if res.Average(sim.SGXFullStyle) < res.Average(sim.SGXStyle)*0.95 {
 		b.Fatal("full SGX should not beat MAC-only SGX")
 	}
+}
+
+func BenchmarkWarmStartPool(b *testing.B) {
+	// Checkpoint/restore payoff: the same sweep cold (every run pays the
+	// warm-up phase) vs against a populated warm-start pool (every run
+	// restores a post-warm-up sgsnap/1 capture). Warm-up dominates at
+	// this budget, so the warm/cold ratio is the speedup a -resume sweep
+	// or a fleet checkpoint resume buys. The two paths must agree
+	// exactly — restore-equals-uninterrupted is the pool's contract.
+	cfg := benchPerfConfig()
+	cfg.Workloads = []string{"mcf", "leela"}
+	cfg.InstrPerCore = 100_000
+	cfg.WarmupInstr = 300_000
+	schemes := []sim.Scheme{sim.SafeGuard}
+
+	coldStart := time.Now()
+	cold, err := experiments.RunSchemes(context.Background(), cfg, schemes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldElapsed := time.Since(coldStart)
+	pool := experiments.NewMemWarmStore()
+	cfg.WarmPool = pool
+	if _, err := experiments.RunSchemes(context.Background(), cfg, schemes); err != nil {
+		b.Fatal(err) // populates the pool (cold + deposit)
+	}
+	warmStart := time.Now()
+	if _, err := experiments.RunSchemes(context.Background(), cfg, schemes); err != nil {
+		b.Fatal(err)
+	}
+	warmElapsed := time.Since(warmStart)
+	// The bound, not just the report: with warm-up at 3/4 of the budget a
+	// pooled run must beat the cold one outright — if restoring ever costs
+	// more than the warm phase it skips, the pool has lost its reason to
+	// exist. The ~3x observed margin keeps this assert far from CI noise.
+	if warmElapsed >= coldElapsed {
+		b.Fatalf("warm-pooled run (%v) not faster than cold (%v)", warmElapsed, coldElapsed)
+	}
+	b.ReportMetric(float64(coldElapsed)/float64(warmElapsed), "cold_over_warm_x")
+
+	b.Run("cold", func(b *testing.B) {
+		c := cfg
+		c.WarmPool = nil
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RunSchemes(context.Background(), c, schemes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		var warm experiments.PerfResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			warm, err = experiments.RunSchemes(context.Background(), cfg, schemes)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i, row := range warm.Rows {
+			for s, v := range row.Slowdown {
+				if cold.Rows[i].Slowdown[s] != v {
+					b.Fatalf("warm-pooled %s/%s slowdown %v diverged from cold %v",
+						row.Workload, s, v, cold.Rows[i].Slowdown[s])
+				}
+			}
+		}
+		b.ReportMetric(float64(pool.Hits), "pool_hits")
+	})
 }

@@ -11,7 +11,10 @@
 // Budgets: -instr/-warmup set per-core instruction counts, -seeds the
 // averaging runs. -full selects the paper-scale preset. -mitigation
 // attaches an in-controller Row-Hammer defense (none, para, trr,
-// graphene, blockhammer) to every run of the sweep. -attrib turns on
+// graphene, blockhammer) to every run of the sweep. -snapshot DIR keeps
+// a warm-start pool of post-warm-up sgsnap/1 checkpoints; with -resume
+// later sweeps restore from it and skip the warm phase entirely while
+// producing bit-identical figures. -attrib turns on
 // cycle attribution and prints each scheme's CPI stack after the
 // figures (see sgprof for the dedicated profiling front-end).
 package main
@@ -30,6 +33,7 @@ import (
 	"safeguard/internal/experiments"
 	"safeguard/internal/memctrl"
 	"safeguard/internal/report"
+	"safeguard/internal/resultcache"
 	"safeguard/internal/sim"
 	"safeguard/internal/telemetry"
 )
@@ -55,6 +59,7 @@ func main() {
 		listNames  = flag.Bool("list-names", false, "print the scheme and mitigation registries and exit")
 	)
 	tf := cliflags.Telemetry()
+	sf := cliflags.Snapshot()
 	flag.Parse()
 
 	// SIGINT cancels the sweep; completed workloads are still reported.
@@ -84,6 +89,9 @@ func main() {
 		effTh = 4800
 	}
 	if _, err := memctrl.NewMitigationPlugin(*mitigation, effTh, 1); err != nil {
+		cliflags.Fail(err)
+	}
+	if err := sf.Validate(); err != nil {
 		cliflags.Fail(err)
 	}
 
@@ -124,6 +132,19 @@ func main() {
 	tf.SetTraceMeta("tool", "sgperf")
 	if *mitigation != "" {
 		tf.SetTraceMeta("mitigation", *mitigation)
+	}
+	if sf.Enabled() {
+		store, err := resultcache.New(resultcache.Options{Dir: sf.Dir, Telemetry: tf.Registry})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sgperf:", err)
+			os.Exit(1)
+		}
+		pool := resultcache.NewWarmPool(store)
+		if sf.Resume {
+			cfg.WarmPool = pool
+		} else {
+			cfg.WarmPool = pool.DepositOnly()
+		}
 	}
 
 	if len(customSchemes) > 0 {

@@ -10,6 +10,9 @@
 //	sgprof ... -report json                   print JSON instead of tables
 //	sgprof ... -diff baseline.json            flag component regressions
 //
+// -snapshot DIR keeps a warm-start pool of post-warm-up checkpoints for
+// -run; -resume restores from it (stacks stay bit-identical).
+//
 // -run, -read and -in are mutually exclusive report sources. Reports are
 // byte-identical across repeated runs and worker counts: CPI stacks are
 // integer arrays merged commutatively, and nothing here reads a clock.
@@ -30,6 +33,7 @@ import (
 	"safeguard/internal/dram"
 	"safeguard/internal/experiments"
 	"safeguard/internal/memctrl"
+	"safeguard/internal/resultcache"
 	"safeguard/internal/sim"
 	"safeguard/internal/telemetry"
 )
@@ -58,6 +62,7 @@ func main() {
 		engine     = flag.String("engine", "", "simulation loop for -run: event (default) or cycle")
 	)
 	tf := cliflags.Telemetry()
+	sf := cliflags.Snapshot()
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -74,6 +79,9 @@ func main() {
 		cliflags.Fail(fmt.Errorf(`-report must be "text" or "json" (got %q)`, *format))
 	}
 	if _, err := sim.ParseEngine(*engine); err != nil {
+		cliflags.Fail(err)
+	}
+	if err := sf.Validate(); err != nil {
 		cliflags.Fail(err)
 	}
 	if err := tf.Activate(); err != nil {
@@ -97,6 +105,18 @@ func main() {
 			Telemetry:     tf.Registry,
 			Trace:         tf.Tracer,
 			Engine:        *engine,
+		}
+		if sf.Enabled() {
+			store, err := resultcache.New(resultcache.Options{Dir: sf.Dir, Telemetry: tf.Registry})
+			if err != nil {
+				fatal(err)
+			}
+			pool := resultcache.NewWarmPool(store)
+			if sf.Resume {
+				cfg.WarmPool = pool
+			} else {
+				cfg.WarmPool = pool.DepositOnly()
+			}
 		}
 		list, err := cliflags.ParseSchemeList(*schemes)
 		if err != nil {

@@ -16,6 +16,9 @@
 // -scrub and -retire attach the DUE-response lifetime policies (patrol
 // scrubbing and row retirement, in hours between sweeps) to every
 // Monte-Carlo run; SIGINT prints whatever finished.
+// -snapshot DIR checkpoints each finished Monte-Carlo study into a
+// content-addressed artifact store; -resume renders stored studies
+// instantly instead of recomputing (tables stay bit-identical).
 package main
 
 import (
@@ -51,10 +54,14 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit Monte-Carlo results as JSON instead of tables")
 	)
 	tf := cliflags.Telemetry()
+	sf := cliflags.Snapshot()
 	flag.Parse()
 	if err := cliflags.Exclusive(*all, map[string]bool{
 		"fig6": *fig6, "fig10": *fig10, "matrix": *matrix, "escape": *escape,
 	}); err != nil {
+		cliflags.Fail(err)
+	}
+	if err := sf.Validate(); err != nil {
 		cliflags.Fail(err)
 	}
 	if *scrub < 0 || *retire < 0 {
@@ -88,12 +95,66 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// With -snapshot, each finished Monte-Carlo study is deposited in the
+	// content-addressed store under its request hash; with -resume a
+	// stored study renders instantly instead of recomputing. Cached
+	// results are the same wire bytes sgserve would produce, so resuming
+	// cannot change a single table cell.
+	var store *resultcache.Cache
+	if sf.Enabled() {
+		var err error
+		store, err = resultcache.New(resultcache.Options{Dir: sf.Dir, Telemetry: tf.Registry})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sgrel:", err)
+			os.Exit(1)
+		}
+	}
+	relCached := func(req *resultcache.Request, run func() ([]faultsim.Result, error)) ([]faultsim.Result, error) {
+		if store == nil {
+			return run()
+		}
+		hash, err := req.Hash()
+		if err != nil {
+			return nil, err
+		}
+		if sf.Resume {
+			if a, ok, err := store.Get(hash); err == nil && ok {
+				var wire resultcache.RelWire
+				if err := json.Unmarshal(a.Result, &wire); err == nil {
+					if rs, err := resultcache.RelResultsFromWire(wire); err == nil {
+						return rs, nil
+					}
+				}
+			}
+		}
+		rs, err := run()
+		if err != nil {
+			return rs, err
+		}
+		// Deposit is best-effort: a full disk must not fail the study.
+		if raw, err := json.Marshal(resultcache.RelWireFromResults(rs)); err == nil {
+			if a, err := resultcache.NewArtifact(req, raw); err == nil {
+				_ = store.Put(a)
+			}
+		}
+		return rs, nil
+	}
+	relRequest := func(evaluators []string, fitScale float64) *resultcache.Request {
+		return &resultcache.Request{Kind: resultcache.KindRel, Rel: &resultcache.RelRequest{
+			Evaluators: evaluators,
+			Modules:    *modules, Years: 7, FITScale: fitScale, Seed: *seed,
+			ScrubIntervalHours: *scrub, RetireIntervalHours: *retire, CIHalfWidth: *ci,
+		}}
+	}
+
 	var jsonDoc struct {
 		Fig6  *resultcache.RelWire           `json:"fig6,omitempty"`
 		Fig10 map[string]resultcache.RelWire `json:"fig10,omitempty"`
 	}
 	if *fig6 || *all {
-		rs, err := experiments.Figure6(ctx, cfg)
+		rs, err := relCached(
+			relRequest([]string{"SECDED", "SafeGuard-SECDED (no column parity)", "SafeGuard-SECDED"}, 1),
+			func() ([]faultsim.Result, error) { return experiments.Figure6(ctx, cfg) })
 		interrupted(err)
 		if *jsonOut {
 			w := resultcache.RelWireFromResults(rs)
@@ -115,7 +176,23 @@ func main() {
 		}
 	}
 	if *fig10 || *all {
-		out, err := experiments.Figure10(ctx, cfg)
+		out := make(map[float64][]faultsim.Result)
+		var err error
+		for _, scale := range []float64{1, 10} {
+			out[scale], err = relCached(
+				relRequest([]string{"Chipkill", "SafeGuard-Chipkill"}, scale),
+				func() ([]faultsim.Result, error) {
+					c := cfg
+					c.FITScale = scale
+					return faultsim.RunAllContext(ctx, []faultsim.Evaluator{
+						faultsim.ChipkillEval{},
+						faultsim.SafeGuardChipkillEval{},
+					}, c)
+				})
+			if err != nil {
+				break
+			}
+		}
 		interrupted(err)
 		if *jsonOut {
 			jsonDoc.Fig10 = map[string]resultcache.RelWire{

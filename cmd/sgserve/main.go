@@ -96,14 +96,20 @@ func main() {
 	})
 	defer mgr.Close()
 
-	// Resume jobs a previous drain persisted.
+	// Resume jobs a previous drain persisted; entries journaled mid-run
+	// carry a checkpoint ref, recorded first so their runner warm-starts.
 	if *pendingPath != "" {
-		pending, err := jobs.LoadPending(*pendingPath, reg)
+		pending, err := jobs.LoadPendingJobs(*pendingPath, reg)
 		if err != nil {
 			log.Printf("sgserve: pending journal: %v", err)
 		}
-		for _, req := range pending {
-			if _, err := mgr.Submit(req); err != nil {
+		for _, pj := range pending {
+			if pj.Checkpoint != "" {
+				if hash, err := pj.Request.Hash(); err == nil {
+					mgr.RecordCheckpoint(hash, pj.Checkpoint)
+				}
+			}
+			if _, err := mgr.Submit(pj.Request); err != nil {
 				log.Printf("sgserve: resubmit pending job: %v", err)
 			}
 		}

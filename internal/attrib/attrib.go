@@ -169,6 +169,44 @@ func StackFromMap(m map[string]int64) (CPIStack, error) {
 // allocation-free and side-effect-free.
 type Probe func(now int64) Component
 
+// Prober is the data form of a Probe: an object whose ProbeStall method
+// classifies a stalled cycle. Where Probe is a bare closure — fine for
+// transient skip-replay scratch — a Prober can be type-switched, which is
+// what lets checkpoint serialization turn a core's in-flight stall
+// probes into ProbeRefs and rebuild them on restore.
+type Prober interface {
+	ProbeStall(now int64) Component
+}
+
+// ConstProbe is a Prober that always answers the same component: cache-hit
+// latency tails, skip-replay fallbacks, and any other time-invariant
+// stall cause. Being a plain value it serializes as itself.
+type ConstProbe Component
+
+// ProbeStall implements Prober.
+func (p ConstProbe) ProbeStall(int64) Component { return Component(p) }
+
+// ProbeRef kinds: how a serialized probe is rebuilt on restore.
+const (
+	// ProbeRefNone marks an entry with no probe attached.
+	ProbeRefNone = iota
+	// ProbeRefConst rebuilds a ConstProbe from Comp.
+	ProbeRefConst
+	// ProbeRefExt rebuilds an externally owned Prober (the memory
+	// system's per-request track) from Ext, an ID the owner interned at
+	// save time.
+	ProbeRefExt
+)
+
+// ProbeRef is the serialized form of a Prober. The owner of external
+// probes supplies the encode/decode functions; const and nil probes are
+// self-contained.
+type ProbeRef struct {
+	Kind int `json:"kind"`
+	Comp int `json:"comp,omitempty"`
+	Ext  int `json:"ext,omitempty"`
+}
+
 // counterPrefix namespaces the published per-scheme CPI counters.
 const counterPrefix = "attrib.cpi."
 

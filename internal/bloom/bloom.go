@@ -76,3 +76,21 @@ func (c *Counting) Clear() {
 
 // Counters returns the filter size.
 func (c *Counting) Counters() int { return len(c.counters) }
+
+// Snapshot returns a copy of the counter array (checkpoint support; the
+// geometry and seed are configuration, not state).
+func (c *Counting) Snapshot() []uint32 {
+	out := make([]uint32, len(c.counters))
+	copy(out, c.counters)
+	return out
+}
+
+// Restore overwrites the counters from a snapshot taken on a filter with
+// the same geometry.
+func (c *Counting) Restore(counters []uint32) error {
+	if len(counters) != len(c.counters) {
+		return fmt.Errorf("bloom: snapshot has %d counters, filter has %d", len(counters), len(c.counters))
+	}
+	copy(c.counters, counters)
+	return nil
+}

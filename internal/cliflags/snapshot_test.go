@@ -1,0 +1,35 @@
+package cliflags
+
+import "testing"
+
+func TestSnapshotFlagsValidate(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		sf   SnapshotFlags
+		ok   bool
+	}{
+		{"disabled", SnapshotFlags{}, true},
+		{"deposit only", SnapshotFlags{Dir: "/tmp/pool"}, true},
+		{"resume with dir", SnapshotFlags{Dir: "/tmp/pool", Resume: true}, true},
+		{"resume without dir", SnapshotFlags{Resume: true}, false},
+	}
+	for _, c := range cases {
+		err := c.sf.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestSnapshotFlagsEnabled(t *testing.T) {
+	t.Parallel()
+	var off SnapshotFlags
+	if off.Enabled() {
+		t.Error("empty flags report enabled")
+	}
+	on := SnapshotFlags{Dir: "x"}
+	if !on.Enabled() {
+		t.Error("configured store reports disabled")
+	}
+}

@@ -11,16 +11,16 @@ import (
 // and then stalls forever — the steady state the hot-path guard measures.
 type neverMem struct{ loads int }
 
-func (m *neverMem) Load(addr uint64, at int64, complete func(int64)) { m.loads++ }
-func (m *neverMem) Store(addr uint64, at int64) bool                 { return true }
+func (m *neverMem) Load(addr uint64, at int64, token uint64) { m.loads++ }
+func (m *neverMem) Store(addr uint64, at int64) bool         { return true }
 
 // probedNeverMem is neverMem as a ProbedPort with a shared static probe.
 type probedNeverMem struct{ neverMem }
 
-var dramProbe attrib.Probe = func(int64) attrib.Component { return attrib.CompDRAM }
+var dramProbe attrib.Prober = attrib.ConstProbe(attrib.CompDRAM)
 
-func (m *probedNeverMem) LoadProbed(addr uint64, at int64, complete func(int64)) attrib.Probe {
-	m.Load(addr, at, complete)
+func (m *probedNeverMem) LoadProbed(addr uint64, at int64, token uint64) attrib.Prober {
+	m.Load(addr, at, token)
 	return dramProbe
 }
 
@@ -62,7 +62,7 @@ func TestCycleHotPathZeroAllocsAttribOff(t *testing.T) {
 }
 
 // Attribution attached must not add allocations either: Charge is an
-// array increment and probes are shared closures.
+// array increment and probes are shared values.
 func TestCycleHotPathZeroAllocsAttribOn(t *testing.T) {
 	c := New(&loadSource{}, &probedNeverMem{})
 	var st attrib.CPIStack
@@ -89,7 +89,7 @@ func TestClassifyComponents(t *testing.T) {
 	t.Parallel()
 	// Full-width retirement of NOPs is base work.
 	{
-		c := New(&scriptSource{}, &fixedMem{latency: 1})
+		c := newFixed(&scriptSource{}, &fixedMem{latency: 1})
 		var st attrib.CPIStack
 		c.AttachAttrib(&st)
 		run(c, 100)
@@ -113,7 +113,9 @@ func TestClassifyComponents(t *testing.T) {
 	// Store-buffer backpressure with a drained ROB is rob_full.
 	{
 		src := &scriptSource{instrs: []workload.Instr{{IsStore: true, Addr: 64}}}
-		c := New(src, &refusingMem{})
+		m := &refusingMem{}
+		c := New(src, m)
+		m.core = c
 		var st attrib.CPIStack
 		c.AttachAttrib(&st)
 		run(c, 100)
@@ -123,8 +125,46 @@ func TestClassifyComponents(t *testing.T) {
 	}
 }
 
-// refusingMem refuses every store (permanent backpressure).
-type refusingMem struct{}
+// Probed in-flight loads round-trip through save/restore: the const probe
+// serializes as itself, and the restored core keeps charging the same
+// component.
+func TestSaveRestoreCarriesProbes(t *testing.T) {
+	t.Parallel()
+	c := New(&loadSource{}, &probedNeverMem{})
+	var st attrib.CPIStack
+	c.AttachAttrib(&st)
+	fill(t, c)
+	saved, err := c.SaveState(nil)
+	if err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	foundConst := false
+	for _, e := range saved.Rob {
+		if e.Probe.Kind == attrib.ProbeRefConst {
+			foundConst = true
+			if e.Probe.Comp != int(attrib.CompDRAM) {
+				t.Fatalf("const probe serialized component %d, want %d", e.Probe.Comp, attrib.CompDRAM)
+			}
+		}
+	}
+	if !foundConst {
+		t.Fatal("no const probes captured from a probed full ROB")
+	}
 
-func (refusingMem) Load(addr uint64, at int64, complete func(int64)) { complete(at + 1) }
-func (refusingMem) Store(addr uint64, at int64) bool                 { return false }
+	c2 := New(&loadSource{}, &probedNeverMem{})
+	var st2 attrib.CPIStack
+	c2.AttachAttrib(&st2)
+	if err := c2.RestoreState(saved, nil); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	run(c2, 50)
+	if st2[attrib.CompDRAM] == 0 {
+		t.Fatalf("restored probes charge nothing to dram: %v", st2.Map())
+	}
+}
+
+// refusingMem refuses every store (permanent backpressure).
+type refusingMem struct{ core *Core }
+
+func (m *refusingMem) Load(addr uint64, at int64, token uint64) { m.core.Deliver(token, at+1) }
+func (m *refusingMem) Store(addr uint64, at int64) bool         { return false }

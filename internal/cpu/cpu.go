@@ -6,33 +6,42 @@
 // retirement stalled by the oldest incomplete instruction, and pointer
 // chases serialized on their producer loads — the axis that makes
 // `omnetpp` the paper's most latency-sensitive workload.
+//
+// Every piece of in-flight core state is plain data: a load in flight is
+// identified by a monotonically increasing token the memory system hands
+// back through Deliver, and a stall probe is an attrib.Prober value the
+// owner can serialize. That is what makes a core checkpointable at any
+// cycle boundary (SaveState/RestoreState) with bit-identical resumption.
 package cpu
 
 import (
+	"fmt"
+
 	"safeguard/internal/attrib"
 	"safeguard/internal/workload"
 )
 
 // MemoryPort is the core's window into the cache hierarchy and memory
-// system. Load begins an access at cycle `at` and must invoke complete
-// exactly once with the data-ready cycle (possibly synchronously for cache
-// hits). Store latency is hidden by the store buffer, but the buffer is
-// finite: Store returns false when the memory system cannot accept another
-// write-allocate miss, and the core must stall dispatch and retry — the
-// backpressure that bounds outstanding traffic.
+// system. Load begins an access at cycle `at`; the memory system must
+// call Deliver(token, done) on the issuing core exactly once with the
+// data-ready cycle (possibly synchronously for cache hits). Store latency
+// is hidden by the store buffer, but the buffer is finite: Store returns
+// false when the memory system cannot accept another write-allocate miss,
+// and the core must stall dispatch and retry — the backpressure that
+// bounds outstanding traffic.
 type MemoryPort interface {
-	Load(addr uint64, at int64, complete func(done int64))
+	Load(addr uint64, at int64, token uint64)
 	Store(addr uint64, at int64) bool
 }
 
 // ProbedPort is the optional MemoryPort extension cycle attribution
 // uses: LoadProbed behaves exactly like Load but additionally returns a
-// stall-cause probe for the access (nil when the memory system cannot
+// stall-cause prober for the access (nil when the memory system cannot
 // attribute it). An attributing core prefers LoadProbed; plain ports
 // keep working with every stall charged to attrib.CompDRAM.
 type ProbedPort interface {
 	MemoryPort
-	LoadProbed(addr uint64, at int64, complete func(done int64)) attrib.Probe
+	LoadProbed(addr uint64, at int64, token uint64) attrib.Prober
 }
 
 // InstrSource produces the core's instruction trace.
@@ -41,14 +50,18 @@ type InstrSource interface {
 }
 
 type robEntry struct {
+	// seq is the entry's load token (0 until a load is issued); Deliver
+	// routes completions back by it.
+	seq        uint64
 	done       bool
 	completeAt int64
 	// dep is the producer load a pointer-chase waits on (nil otherwise).
 	dep  *robEntry
 	addr uint64
+	load bool
 	// probe reports the stall cause of an in-flight load (nil when
 	// attribution is off or the port cannot attribute).
-	probe attrib.Probe
+	probe attrib.Prober
 }
 
 // Core is one out-of-order core.
@@ -67,6 +80,9 @@ type Core struct {
 	// stalledStore holds a store the memory system refused (store-buffer
 	// backpressure); dispatch halts until it is accepted.
 	stalledStore *workload.Instr
+	// seq is the next load token to issue (tokens start at 1 so 0 can
+	// mean "no load issued").
+	seq uint64
 
 	// Retired counts completed instructions.
 	Retired int64
@@ -92,6 +108,22 @@ func New(src InstrSource, mem MemoryPort) *Core {
 func (c *Core) AttachAttrib(st *attrib.CPIStack) {
 	c.att = st
 	c.pmem, _ = c.mem.(ProbedPort)
+}
+
+// Deliver completes the in-flight load identified by token at cycle done.
+// The memory system calls it exactly once per Load/LoadProbed, possibly
+// synchronously from within the Load call itself. An unknown token is a
+// protocol violation and panics: a load can never complete after its
+// entry retired (retirement requires completion first).
+func (c *Core) Deliver(token uint64, done int64) {
+	for _, e := range c.rob {
+		if e.seq == token {
+			e.done = true
+			e.completeAt = done
+			return
+		}
+	}
+	panic(fmt.Sprintf("cpu: Deliver(%d) matches no in-flight load", token))
 }
 
 // Cycle advances the core by one CPU cycle.
@@ -142,6 +174,10 @@ func (c *Core) Cycle(now int64) {
 		case in.IsLoad:
 			c.Loads++
 			e.addr = in.Addr
+			e.load = true
+			// The entry joins the ROB before its load issues: Deliver may
+			// fire synchronously (cache hits) and routes by ROB scan.
+			c.rob = append(c.rob, e)
 			if in.DependsOnLoad && c.lastLoad != nil && !(c.lastLoad.done && c.lastLoad.completeAt <= now) {
 				e.dep = c.lastLoad
 				c.await = append(c.await, e)
@@ -149,6 +185,7 @@ func (c *Core) Cycle(now int64) {
 				c.startLoad(e, now)
 			}
 			c.lastLoad = e
+			continue
 		case in.IsStore:
 			if !c.mem.Store(in.Addr, now) {
 				st := in
@@ -175,8 +212,8 @@ const skipNever = int64(1) << 62
 // branches: a done head with no probe is base issue latency, a pending
 // unprobed load is generic DRAM time.
 var (
-	skipBaseProbe attrib.Probe = func(int64) attrib.Component { return attrib.CompBase }
-	skipDRAMProbe attrib.Probe = func(int64) attrib.Component { return attrib.CompDRAM }
+	skipBaseProbe attrib.Probe = attrib.ConstProbe(attrib.CompBase).ProbeStall
+	skipDRAMProbe attrib.Probe = attrib.ConstProbe(attrib.CompDRAM).ProbeStall
 )
 
 // SkipState reports whether the core is sure to do nothing but charge
@@ -211,7 +248,9 @@ func (c *Core) SkipState() (ok bool, wakeAt int64, probe attrib.Probe) {
 	// memory-controller events, which bound the span), so the branch can
 	// be resolved once and replayed per cycle.
 	if h.done {
-		if probe = h.probe; probe == nil {
+		if h.probe != nil {
+			probe = h.probe.ProbeStall
+		} else {
 			probe = skipBaseProbe
 		}
 	} else {
@@ -219,7 +258,9 @@ func (c *Core) SkipState() (ok bool, wakeAt int64, probe attrib.Probe) {
 		if h.dep != nil {
 			e = h.dep
 		}
-		if probe = e.probe; probe == nil {
+		if e.probe != nil {
+			probe = e.probe.ProbeStall
+		} else {
 			probe = skipDRAMProbe
 		}
 	}
@@ -248,7 +289,7 @@ func (c *Core) classify(now int64, retired int) attrib.Component {
 		// probed load names its phase (DRAM/decode/MAC/...); plain
 		// single-cycle ops are ordinary issue latency.
 		if h.probe != nil {
-			return h.probe(now)
+			return h.probe.ProbeStall(now)
 		}
 		return attrib.CompBase
 	}
@@ -259,21 +300,17 @@ func (c *Core) classify(now int64, retired int) attrib.Component {
 		e = h.dep
 	}
 	if e.probe != nil {
-		return e.probe(now)
+		return e.probe.ProbeStall(now)
 	}
 	return attrib.CompDRAM
 }
 
 func (c *Core) startLoad(e *robEntry, now int64) {
+	c.seq++
+	e.seq = c.seq
 	if c.att != nil && c.pmem != nil {
-		e.probe = c.pmem.LoadProbed(e.addr, now, func(done int64) {
-			e.done = true
-			e.completeAt = done
-		})
+		e.probe = c.pmem.LoadProbed(e.addr, now, e.seq)
 		return
 	}
-	c.mem.Load(e.addr, now, func(done int64) {
-		e.done = true
-		e.completeAt = done
-	})
+	c.mem.Load(e.addr, now, e.seq)
 }

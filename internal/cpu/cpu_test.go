@@ -1,8 +1,10 @@
 package cpu
 
 import (
+	"reflect"
 	"testing"
 
+	"safeguard/internal/attrib"
 	"safeguard/internal/workload"
 )
 
@@ -20,19 +22,26 @@ func (s *scriptSource) Next() workload.Instr {
 	return workload.Instr{}
 }
 
-// fixedMem completes every load after a fixed latency.
+// fixedMem completes every load synchronously after a fixed latency.
 type fixedMem struct {
+	core    *Core
 	latency int64
 	loads   int
 	stores  int
 }
 
-func (m *fixedMem) Load(addr uint64, at int64, complete func(int64)) {
+func (m *fixedMem) Load(addr uint64, at int64, token uint64) {
 	m.loads++
-	complete(at + m.latency)
+	m.core.Deliver(token, at+m.latency)
 }
 
 func (m *fixedMem) Store(addr uint64, at int64) bool { m.stores++; return true }
+
+func newFixed(src InstrSource, mem *fixedMem) *Core {
+	c := New(src, mem)
+	mem.core = c
+	return c
+}
 
 func run(c *Core, cycles int64) {
 	for now := int64(1); now <= cycles; now++ {
@@ -42,7 +51,7 @@ func run(c *Core, cycles int64) {
 
 func TestNonMemIPCReachesWidth(t *testing.T) {
 	t.Parallel()
-	c := New(&scriptSource{}, &fixedMem{latency: 1})
+	c := newFixed(&scriptSource{}, &fixedMem{latency: 1})
 	run(c, 1000)
 	ipc := float64(c.Retired) / 1000
 	if ipc < 5.5 {
@@ -59,7 +68,7 @@ func TestLoadLatencyBoundsIPCWhenSerialized(t *testing.T) {
 		instrs = append(instrs, workload.Instr{IsLoad: true, Addr: uint64(i) * 64, DependsOnLoad: true})
 	}
 	mem := &fixedMem{latency: 50}
-	c := New(&scriptSource{instrs: instrs}, mem)
+	c := newFixed(&scriptSource{instrs: instrs}, mem)
 	run(c, 10000)
 	// ~10000/50 = 200 loads retired.
 	if c.Retired < 150 || c.Retired > 260 {
@@ -76,7 +85,7 @@ func TestIndependentLoadsOverlap(t *testing.T) {
 		instrs = append(instrs, workload.Instr{IsLoad: true, Addr: uint64(i) * 64})
 	}
 	mem := &fixedMem{latency: 50}
-	c := New(&scriptSource{instrs: instrs}, mem)
+	c := newFixed(&scriptSource{instrs: instrs}, mem)
 	run(c, 2000)
 	serial := int64(2000 / 50)
 	if c.Retired < 20*serial {
@@ -87,28 +96,26 @@ func TestIndependentLoadsOverlap(t *testing.T) {
 func TestROBLimitsOutstanding(t *testing.T) {
 	t.Parallel()
 	// With a never-completing memory, dispatch must stop at the ROB size.
-	type blackhole struct{ fixedMem }
-	bh := &blackhole{}
-	bhPort := MemoryPort(loadBlocker{&bh.loads})
+	var loads int
 	instrs := make([]workload.Instr, 0, 1000)
 	for i := 0; i < 1000; i++ {
 		instrs = append(instrs, workload.Instr{IsLoad: true, Addr: uint64(i) * 64})
 	}
-	c := New(&scriptSource{instrs: instrs}, bhPort)
+	c := New(&scriptSource{instrs: instrs}, loadBlocker{&loads})
 	run(c, 1000)
 	if c.Retired != 0 {
 		t.Fatal("nothing should retire with a black-hole memory")
 	}
-	if bh.loads > c.ROBSize {
-		t.Fatalf("%d loads issued, ROB is %d", bh.loads, c.ROBSize)
+	if loads > c.ROBSize {
+		t.Fatalf("%d loads issued, ROB is %d", loads, c.ROBSize)
 	}
 }
 
 // loadBlocker never completes loads.
 type loadBlocker struct{ count *int }
 
-func (b loadBlocker) Load(addr uint64, at int64, complete func(int64)) { *b.count++ }
-func (b loadBlocker) Store(addr uint64, at int64) bool                 { return true }
+func (b loadBlocker) Load(addr uint64, at int64, token uint64) { *b.count++ }
+func (b loadBlocker) Store(addr uint64, at int64) bool         { return true }
 
 func TestStoresDoNotBlockRetirement(t *testing.T) {
 	t.Parallel()
@@ -117,7 +124,7 @@ func TestStoresDoNotBlockRetirement(t *testing.T) {
 		instrs = append(instrs, workload.Instr{IsStore: true, Addr: uint64(i) * 64})
 	}
 	mem := &fixedMem{latency: 1000}
-	c := New(&scriptSource{instrs: instrs}, mem)
+	c := newFixed(&scriptSource{instrs: instrs}, mem)
 	run(c, 300)
 	if c.Retired < 600 {
 		t.Fatalf("stores retired %d/600 in 300 cycles", c.Retired)
@@ -138,6 +145,7 @@ func TestDependentLoadWaitsForProducer(t *testing.T) {
 		{IsLoad: true, Addr: 64, DependsOnLoad: true},
 	}
 	c := New(&scriptSource{instrs: instrs}, mem)
+	mem.core = c
 	run(c, 400)
 	if len(starts) != 2 {
 		t.Fatalf("expected 2 load starts, got %d", len(starts))
@@ -151,13 +159,14 @@ func TestDependentLoadWaitsForProducer(t *testing.T) {
 }
 
 type recordingMem struct {
+	core    *Core
 	latency int64
 	starts  *[]int64
 }
 
-func (m *recordingMem) Load(addr uint64, at int64, complete func(int64)) {
+func (m *recordingMem) Load(addr uint64, at int64, token uint64) {
 	*m.starts = append(*m.starts, at)
-	complete(at + m.latency)
+	m.core.Deliver(token, at+m.latency)
 }
 func (m *recordingMem) Store(addr uint64, at int64) bool { return true }
 
@@ -170,7 +179,7 @@ func TestRetirementIsInOrder(t *testing.T) {
 		instrs = append(instrs, workload.Instr{})
 	}
 	mem := &fixedMem{latency: 200}
-	c := New(&scriptSource{instrs: instrs}, mem)
+	c := newFixed(&scriptSource{instrs: instrs}, mem)
 	run(c, 150)
 	if c.Retired != 0 {
 		t.Fatalf("retired %d before the head load completed", c.Retired)
@@ -191,7 +200,7 @@ func TestCountersTrackMix(t *testing.T) {
 	p, _ := workload.ByName("gcc")
 	gen := workload.NewGenerator(p, 0, 3)
 	mem := &fixedMem{latency: 5}
-	c := New(gen, mem)
+	c := newFixed(gen, mem)
 	run(c, 20000)
 	if c.Loads == 0 || c.Stores == 0 {
 		t.Fatal("no memory activity recorded")
@@ -200,5 +209,145 @@ func TestCountersTrackMix(t *testing.T) {
 	wantFrac := p.LoadFrac / (p.LoadFrac + p.StoreFrac)
 	if loadFrac < wantFrac-0.05 || loadFrac > wantFrac+0.05 {
 		t.Fatalf("load fraction %.3f, want ~%.3f", loadFrac, wantFrac)
+	}
+}
+
+// delayMem queues completions and delivers them at their due cycle, so
+// loads are genuinely in flight between cycles — the state a checkpoint
+// must capture.
+type delayMem struct {
+	core    *Core
+	latency int64
+	pending []pendingLoad
+	refuse  int // refuse the first N stores (exercises stalledStore)
+}
+
+type pendingLoad struct {
+	token uint64
+	due   int64
+}
+
+func (m *delayMem) Load(addr uint64, at int64, token uint64) {
+	m.pending = append(m.pending, pendingLoad{token: token, due: at + m.latency})
+}
+
+func (m *delayMem) Store(addr uint64, at int64) bool {
+	if m.refuse > 0 {
+		m.refuse--
+		return false
+	}
+	return true
+}
+
+func (m *delayMem) tick(now int64) {
+	kept := m.pending[:0]
+	for _, p := range m.pending {
+		if p.due <= now {
+			m.core.Deliver(p.token, p.due)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	m.pending = kept
+}
+
+// chaseSource mixes dependent loads, independent loads, stores, and NOPs
+// deterministically — enough variety to populate rob, await, lastLoad,
+// and stalledStore.
+type chaseSource struct{ n int }
+
+func (s *chaseSource) Next() workload.Instr {
+	s.n++
+	switch s.n % 7 {
+	case 0:
+		return workload.Instr{IsLoad: true, Addr: uint64(s.n) * 64, DependsOnLoad: true}
+	case 1, 4:
+		return workload.Instr{IsLoad: true, Addr: uint64(s.n) * 64}
+	case 2:
+		return workload.Instr{IsStore: true, Addr: uint64(s.n) * 64}
+	default:
+		return workload.Instr{}
+	}
+}
+
+func TestSaveRestoreMidFlightIsBitIdentical(t *testing.T) {
+	t.Parallel()
+	const cut, end = 500, 1500
+	mkCore := func() (*Core, *delayMem) {
+		mem := &delayMem{latency: 37, refuse: 3}
+		c := New(&chaseSource{}, mem)
+		mem.core = c
+		return c, mem
+	}
+
+	// Reference run, uninterrupted.
+	ref, refMem := mkCore()
+	for now := int64(1); now <= end; now++ {
+		refMem.tick(now)
+		ref.Cycle(now)
+	}
+
+	// Interrupted run: stop at cut, save, restore into a fresh core, and
+	// finish there. The source position and in-flight loads carry over.
+	a, aMem := mkCore()
+	for now := int64(1); now <= cut; now++ {
+		aMem.tick(now)
+		a.Cycle(now)
+	}
+	st, err := a.SaveState(nil)
+	if err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	if len(st.Rob) == 0 || len(aMem.pending) == 0 {
+		t.Fatalf("checkpoint captured a quiet core (rob %d, in-flight %d) — test needs traffic", len(st.Rob), len(aMem.pending))
+	}
+
+	b, bMem := mkCore()
+	b.src = a.src // trace position is owner state, carried alongside
+	bMem.pending = append(bMem.pending, aMem.pending...)
+	bMem.refuse = aMem.refuse // memory-side state carries over too
+	if err := b.RestoreState(st, nil); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	for now := int64(cut + 1); now <= end; now++ {
+		bMem.tick(now)
+		b.Cycle(now)
+	}
+
+	if b.Retired != ref.Retired || b.Loads != ref.Loads || b.Stores != ref.Stores {
+		t.Fatalf("restored run diverged: retired %d/%d loads %d/%d stores %d/%d",
+			b.Retired, ref.Retired, b.Loads, ref.Loads, b.Stores, ref.Stores)
+	}
+	refSt, err := ref.SaveState(nil)
+	if err != nil {
+		t.Fatalf("SaveState(ref): %v", err)
+	}
+	endSt, err := b.SaveState(nil)
+	if err != nil {
+		t.Fatalf("SaveState(restored): %v", err)
+	}
+	if !reflect.DeepEqual(refSt, endSt) {
+		t.Fatalf("final states differ:\nref      %+v\nrestored %+v", refSt, endSt)
+	}
+}
+
+func TestRestoreStateRejectsCorruptState(t *testing.T) {
+	t.Parallel()
+	mem := &fixedMem{latency: 2}
+	c := newFixed(&scriptSource{}, mem)
+	bad := []CoreState{
+		{Rob: make([]EntryState, 300)},                  // exceeds ROB
+		{Rob: []EntryState{{Dep: 0}}},                   // self/forward dep
+		{Rob: []EntryState{{Dep: -1}}, Await: []int{5}}, // await out of range
+		{Rob: []EntryState{{Dep: -1}}, Await: []int{0}}, // await with no dep
+		{LastLoad: 7},  // last_load out of range
+		{LastLoad: -9}, // invalid sentinel
+		{Rob: []EntryState{{Dep: -1, Probe: attrib.ProbeRef{Kind: 99}}}},                              // unknown probe kind
+		{Rob: []EntryState{{Dep: -1, Probe: attrib.ProbeRef{Kind: attrib.ProbeRefConst, Comp: 200}}}}, // bad component
+	}
+	for i, st := range bad {
+		if err := c.RestoreState(st, nil); err == nil {
+			t.Errorf("corrupt state %d accepted", i)
+		}
 	}
 }

@@ -64,6 +64,12 @@ type PerfConfig struct {
 	// "" or "event" for the skip-ahead engine, "cycle" for the legacy
 	// per-cycle loop. Results are bit-identical either way.
 	Engine string
+	// WarmPool, when set, warm-starts every run from a pooled post-warm-up
+	// snapshot (WarmKey cell): hits skip the warm-up phase entirely,
+	// misses run cold and deposit their capture. Results stay bit-identical
+	// to cold runs either way. Ignored when Trace is set (a shared tracer
+	// cannot be restored per run).
+	WarmPool WarmStore
 }
 
 // QuickPerf is the benchmark-harness preset.
@@ -190,7 +196,12 @@ func runPerf(ctx context.Context, cfg PerfConfig, schemes []sim.Scheme) (PerfRes
 					sc.Telemetry = telemetry.NewRegistry()
 				}
 				sc.Trace = cfg.Trace
-				res, err := sim.NewSystem(sc).RunContext(ctx)
+				var res sim.Result
+				if cfg.WarmPool != nil && cfg.Trace == nil {
+					res, err = runWarmPooled(ctx, sc, cfg.WarmPool)
+				} else {
+					res, err = sim.NewSystem(sc).RunContext(ctx)
+				}
 				if err != nil {
 					errs[w] = fmt.Errorf("experiments: %s/%v/seed%d: %w", names[j.wIdx], j.scheme, j.seed, err)
 					bail.Store(true)

@@ -49,6 +49,10 @@ type ProfileConfig struct {
 	Trace *telemetry.Tracer
 	// Engine selects the simulation loop (sim.Config.Engine).
 	Engine string
+	// WarmPool, when set, warm-starts every run from a pooled
+	// post-warm-up snapshot (see PerfConfig.WarmPool); stacks are
+	// bit-identical either way. Ignored when Trace is set.
+	WarmPool WarmStore
 }
 
 func (c *ProfileConfig) defaults() {
@@ -153,7 +157,13 @@ func Profile(ctx context.Context, cfg ProfileConfig) (ProfileResult, error) {
 					sc.Telemetry = telemetry.NewRegistry()
 				}
 				sc.Trace = cfg.Trace
-				out, err := sim.NewSystem(sc).RunContext(ctx)
+				var out sim.Result
+				var err error
+				if cfg.WarmPool != nil && cfg.Trace == nil {
+					out, err = runWarmPooled(ctx, sc, cfg.WarmPool)
+				} else {
+					out, err = sim.NewSystem(sc).RunContext(ctx)
+				}
 				if err != nil {
 					mu.Lock()
 					if first == nil {

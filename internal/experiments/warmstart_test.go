@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"safeguard/internal/sim"
+	"safeguard/internal/snapshot"
+	"safeguard/internal/workload"
+)
+
+// The warm-start pool contract: pooled sweeps are bit-identical to cold
+// ones. A miss deposits the warm capture; a hit skips the entire warm
+// phase; neither changes a single result bit.
+
+func warmPerf() PerfConfig {
+	cfg := tinyPerf()
+	cfg.Workloads = []string{"omnetpp", "lbm"}
+	return cfg
+}
+
+func TestWarmPoolBitIdentical(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	cfg := warmPerf()
+	schemes := []sim.Scheme{sim.SafeGuard}
+
+	cold, err := RunSchemes(ctx, cfg, schemes)
+	if err != nil {
+		t.Fatalf("cold sweep: %v", err)
+	}
+
+	pool := NewMemWarmStore()
+	pooled := cfg
+	pooled.WarmPool = pool
+	first, err := RunSchemes(ctx, pooled, schemes)
+	if err != nil {
+		t.Fatalf("pooled sweep (cold pool): %v", err)
+	}
+	// workloads × (schemes + baseline) × seeds distinct cells.
+	cells := len(cfg.Workloads) * (len(schemes) + 1) * len(cfg.Seeds)
+	if pool.Hits != 0 || pool.Puts != cells {
+		t.Fatalf("first sweep: hits=%d puts=%d, want 0/%d", pool.Hits, pool.Puts, cells)
+	}
+	second, err := RunSchemes(ctx, pooled, schemes)
+	if err != nil {
+		t.Fatalf("pooled sweep (warm pool): %v", err)
+	}
+	if pool.Hits != cells || pool.Puts != cells {
+		t.Fatalf("second sweep: hits=%d puts=%d, want %d/%d", pool.Hits, pool.Puts, cells, cells)
+	}
+	if !reflect.DeepEqual(cold, first) {
+		t.Errorf("depositing sweep diverges from cold:\ncold  %+v\nfirst %+v", cold, first)
+	}
+	if !reflect.DeepEqual(cold, second) {
+		t.Errorf("warm-started sweep diverges from cold:\ncold   %+v\nsecond %+v", cold, second)
+	}
+}
+
+// TestWarmPoolAmortizesAcrossBudgets is the pool's reason to exist: the
+// key excludes the measured budget, so one warm capture serves every
+// budget of the cell.
+func TestWarmPoolAmortizesAcrossBudgets(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	pool := NewMemWarmStore()
+	for _, instr := range []int64{30_000, 60_000} {
+		cfg := warmPerf()
+		cfg.Workloads = []string{"lbm"}
+		cfg.InstrPerCore = instr
+		cold, err := RunSchemes(ctx, cfg, []sim.Scheme{sim.SafeGuard})
+		if err != nil {
+			t.Fatalf("cold @%d: %v", instr, err)
+		}
+		cfg.WarmPool = pool
+		got, err := RunSchemes(ctx, cfg, []sim.Scheme{sim.SafeGuard})
+		if err != nil {
+			t.Fatalf("pooled @%d: %v", instr, err)
+		}
+		if !reflect.DeepEqual(cold, got) {
+			t.Errorf("budget %d: pooled result diverges from cold", instr)
+		}
+	}
+	// 2 cells (baseline + SafeGuard), minted by the first budget only.
+	if pool.Puts != 2 || pool.Hits != 2 {
+		t.Errorf("hits=%d puts=%d, want 2/2: the second budget must reuse the first's captures", pool.Hits, pool.Puts)
+	}
+}
+
+func TestMintWarmSnapshotStopsAtWarmCapture(t *testing.T) {
+	t.Parallel()
+	p, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.DefaultConfig()
+	sc.Workload = p
+	sc.WarmupInstr = 20_000
+	sc.InstrPerCore = 60_000
+	sc.Seed = 3
+	data, err := MintWarmSnapshot(context.Background(), sc)
+	if err != nil {
+		t.Fatalf("MintWarmSnapshot: %v", err)
+	}
+	h, err := snapshot.Peek(data)
+	if err != nil {
+		t.Fatalf("minted snapshot unreadable: %v", err)
+	}
+	if h.Kind != sim.SnapshotKind {
+		t.Fatalf("kind = %q", h.Kind)
+	}
+	// The capture fires when the last core crosses the warm budget: its
+	// cycle must match the cold run's latest warm crossing exactly.
+	cold, err := sim.NewSystem(sc).RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxWarm int64
+	for _, w := range cold.WarmCycles {
+		maxWarm = max(maxWarm, w)
+	}
+	cycle, err := strconv.ParseInt(h.Meta["cycle"], 10, 64)
+	if err != nil {
+		t.Fatalf("cycle meta %q: %v", h.Meta["cycle"], err)
+	}
+	if cycle != maxWarm {
+		t.Errorf("minted at cycle %d, cold run's last warm crossing is %d", cycle, maxWarm)
+	}
+	// The mint restores and resumes into exactly the cold run.
+	sys := sim.NewSystem(sc)
+	if err := sys.RestoreSnapshot(data); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	res, err := sys.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, res) {
+		t.Errorf("resumed mint diverges from cold run")
+	}
+}
+
+func TestWarmRunNilPoolIsColdRun(t *testing.T) {
+	t.Parallel()
+	p, err := workload.ByName("leela")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.DefaultConfig()
+	sc.Workload = p
+	sc.WarmupInstr = 10_000
+	sc.InstrPerCore = 20_000
+	cold, err := sim.NewSystem(sc).RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := WarmRun(context.Background(), sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, got) {
+		t.Error("WarmRun(nil pool) diverges from a plain run")
+	}
+}

@@ -7,6 +7,8 @@
 // the protocol claims to survive:
 //
 //	Kill               crash before executing (lease expires, requeue)
+//	KillMidRun         crash mid-execution, after the first checkpoint
+//	                   (job resumes from the posted state elsewhere)
 //	KillBeforeComplete crash after executing, before submitting
 //	Stall              stop heartbeats, submit only after expiry (zombie)
 //	Corrupt            flip a byte in the artifact (verification reject)
@@ -30,6 +32,10 @@ const (
 	// Kill crashes the worker after leasing, before executing. The
 	// coordinator hears nothing again: classic worker death.
 	Kill
+	// KillMidRun crashes the worker mid-execution, right after its
+	// first checkpoint is accepted by the coordinator. The progress
+	// survives the crash; the job's next holder resumes from it.
+	KillMidRun
 	// KillBeforeComplete crashes after the (wasted) execution, before
 	// the artifact is submitted — the most expensive possible crash.
 	KillBeforeComplete
@@ -52,6 +58,8 @@ func (f Fault) String() string {
 		return "none"
 	case Kill:
 		return "kill"
+	case KillMidRun:
+		return "kill-mid-run"
 	case KillBeforeComplete:
 		return "kill-before-complete"
 	case Stall:
@@ -209,6 +217,15 @@ func (p *Plan) Hooks() fleet.Hooks {
 		},
 		SuppressRenew: func(leaseID string, ordinal int) bool {
 			return p.script[ordinal] == Stall
+		},
+		OnCheckpoint: func(leaseID string, ordinal, n int) error {
+			// Die right after the first checkpoint lands: the crash
+			// window between checkpoints, with progress already durable.
+			if p.script[ordinal] == KillMidRun && n == 0 {
+				p.record(KillMidRun)
+				return fleet.ErrKilled
+			}
+			return nil
 		},
 		BeforeComplete: func(leaseID string, ordinal int, artifact []byte) ([]byte, error) {
 			switch p.script[ordinal] {

@@ -13,6 +13,7 @@ func TestFaultNames(t *testing.T) {
 	want := map[Fault]string{
 		None:               "none",
 		Kill:               "kill",
+		KillMidRun:         "kill-mid-run",
 		KillBeforeComplete: "kill-before-complete",
 		Stall:              "stall-past-lease",
 		Corrupt:            "corrupt-result",

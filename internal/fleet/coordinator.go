@@ -111,8 +111,13 @@ type Coordinator struct {
 	byHash  map[string]*dispatch // fleet-wide singleflight
 	leases  map[string]*lease
 	workers map[string]time.Time // name -> last seen
-	wake    chan struct{}        // closed+replaced when work arrives
-	expired []string             // lease IDs awaiting ExpireHook delivery
+	// ckpts holds the warm snapshots workers posted per job hash. They
+	// outlive the lease (and the dispatch) that posted them — surviving
+	// worker death is their entire purpose — and are dropped once the
+	// job completes or fails permanently.
+	ckpts   map[string]map[string][]byte
+	wake    chan struct{} // closed+replaced when work arrives
+	expired []string      // lease IDs awaiting ExpireHook delivery
 	seq     int
 	closed  bool
 	stop    chan struct{}
@@ -133,6 +138,9 @@ type Coordinator struct {
 	runLocal     *telemetry.Counter
 	runDedup     *telemetry.Counter
 	cachePutErr  *telemetry.Counter
+	ckptStored   *telemetry.Counter
+	ckptShipped  *telemetry.Counter
+	ckptZombie   *telemetry.Counter
 }
 
 // New builds a coordinator and starts its expiry sweeper.
@@ -161,6 +169,7 @@ func New(cfg Config) (*Coordinator, error) {
 		byHash:       make(map[string]*dispatch),
 		leases:       make(map[string]*lease),
 		workers:      make(map[string]time.Time),
+		ckpts:        make(map[string]map[string][]byte),
 		wake:         make(chan struct{}),
 		stop:         make(chan struct{}),
 		workersLive:  reg.Gauge("fleet.workers.live"),
@@ -178,6 +187,9 @@ func New(cfg Config) (*Coordinator, error) {
 		runLocal:     reg.Counter("fleet.dispatch.local"),
 		runDedup:     reg.Counter("fleet.dispatch.dedup"),
 		cachePutErr:  reg.Counter("fleet.cache.put_error"),
+		ckptStored:   reg.Counter("fleet.checkpoints.stored"),
+		ckptShipped:  reg.Counter("fleet.checkpoints.shipped"),
+		ckptZombie:   reg.Counter("fleet.checkpoints.zombie"),
 	}
 	c.swept.Add(1)
 	go c.sweeper()
@@ -301,15 +313,29 @@ func (c *Coordinator) acquire(ctx context.Context, worker string) (*Assignment, 
 			c.leases[l.id] = l
 			d.state = dispatchLeased
 			d.leaseID = l.id
+			// Ship any checkpoints a previous holder of this job posted:
+			// the stored byte slices are never mutated, so sharing them
+			// with the encoder is safe.
+			var ckpts map[string][]byte
+			if m := c.ckpts[d.hash]; len(m) > 0 {
+				ckpts = make(map[string][]byte, len(m))
+				for k, v := range m {
+					ckpts[k] = v
+				}
+			}
 			c.leasesOut.Set(float64(c.activeLeasesLocked()))
 			c.mu.Unlock()
 			c.deliverExpired()
 			c.leasesGrant.Inc()
+			if len(ckpts) > 0 {
+				c.ckptShipped.Inc()
+			}
 			return &Assignment{
-				LeaseID:    l.id,
-				Hash:       d.hash,
-				Request:    d.canon,
-				LeaseTTLMS: c.cfg.LeaseTTL.Milliseconds(),
+				LeaseID:     l.id,
+				Hash:        d.hash,
+				Request:     d.canon,
+				LeaseTTLMS:  c.cfg.LeaseTTL.Milliseconds(),
+				Checkpoints: ckpts,
 			}, nil
 		}
 		wake := c.wake
@@ -355,6 +381,48 @@ func (c *Coordinator) renew(id, worker string) (time.Duration, bool) {
 	c.deliverExpired()
 	c.leasesRenew.Inc()
 	return c.cfg.LeaseTTL, true
+}
+
+// checkpointCap bounds stored checkpoints per job so a misbehaving
+// worker cannot grow coordinator memory without bound.
+const checkpointCap = 64
+
+// checkpoint stores a worker's mid-run warm snapshot against the leased
+// job's hash. The snapshot survives the lease: if this worker dies, the
+// job's next holder receives it in its Assignment and resumes from it.
+// A checkpoint on a dead lease is discarded (ErrLeaseGone) — the job
+// already belongs to someone else, whose own checkpoints must win.
+// An accepted checkpoint also renews the lease: mid-run state is the
+// strongest liveness proof a worker can offer, and it arrives exactly
+// when execution saturates the worker's CPU and starves its heartbeat
+// ticker.
+func (c *Coordinator) checkpoint(id, key string, snapshot []byte) error {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	c.sweepLocked(now)
+	l, ok := c.leases[id]
+	if !ok || l.terminal {
+		c.mu.Unlock()
+		c.deliverExpired()
+		c.ckptZombie.Inc()
+		return ErrLeaseGone
+	}
+	l.deadline = now.Add(c.cfg.LeaseTTL)
+	m := c.ckpts[l.d.hash]
+	if m == nil {
+		m = make(map[string][]byte)
+		c.ckpts[l.d.hash] = m
+	}
+	if _, exists := m[key]; !exists && len(m) >= checkpointCap {
+		c.mu.Unlock()
+		c.deliverExpired()
+		return fmt.Errorf("fleet: checkpoint cap (%d) reached for job %.12s…", checkpointCap, l.d.hash)
+	}
+	m[key] = append([]byte(nil), snapshot...)
+	c.mu.Unlock()
+	c.deliverExpired()
+	c.ckptStored.Inc()
+	return nil
 }
 
 // complete accepts a worker's finished artifact. The bytes must pass the
@@ -406,6 +474,7 @@ func (c *Coordinator) complete(id string, artifact []byte) error {
 	}
 	c.terminalizeLocked(l)
 	c.finishLocked(d, art.Result, nil)
+	delete(c.ckpts, d.hash) // the job is done; its checkpoints are dead weight
 	c.mu.Unlock()
 	c.deliverExpired()
 	c.completeOK.Inc()
@@ -436,6 +505,9 @@ func (c *Coordinator) fail(id, msg string, transient bool) error {
 	if transient {
 		err = jobs.Transient(err)
 		c.requeues.Inc()
+	} else {
+		// A permanent failure will not be retried; drop its checkpoints.
+		delete(c.ckpts, l.d.hash)
 	}
 	c.terminalizeLocked(l)
 	c.finishLocked(l.d, nil, err)

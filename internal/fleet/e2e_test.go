@@ -45,10 +45,13 @@ type stack struct {
 }
 
 // newStack assembles the coordinator node. Chaos tests use aggressive
-// lease timing (150ms TTL, 20ms sweep) so faults resolve in test time;
+// lease timing (short TTL, 20ms sweep) so faults resolve in test time;
 // the manager retries transient failures almost immediately and often
-// enough to outlast multi-fault scripts.
-func newStack(t *testing.T) *stack { return newStackTTL(t, 150*time.Millisecond) }
+// enough to outlast multi-fault scripts. The TTL still leaves a healthy
+// worker slack to heartbeat through a checkpoint-aware execution (warm
+// mint + snapshot encodes saturate every core, worst under -race)
+// without its lease expiring under it.
+func newStack(t *testing.T) *stack { return newStackTTL(t, 1500*time.Millisecond) }
 
 // newStackTTL picks the lease TTL: fault-free tests run many concurrent
 // simulations whose CPU contention (worst under -race) can starve
@@ -461,4 +464,35 @@ func TestFleetDegradedReadiness(t *testing.T) {
 
 	s.startWorker(nil)
 	s.waitFor(func() bool { return get("/readyz") == http.StatusOK })
+}
+
+// TestChaosKillMidRun: the worker dies mid-execution, right after its
+// first warm checkpoint reached the coordinator. The lease expires, the
+// job requeues, and the next worker's assignment ships the dead
+// worker's checkpoint — it resumes from that progress (a warm-pool hit
+// instead of a re-warm-up) and the artifact is still bit-identical to
+// an uninterrupted local reference run.
+func TestChaosKillMidRun(t *testing.T) {
+	s := newStack(t)
+	plan := chaos.NewPlan(chaos.Script{0: chaos.KillMidRun}, s.notifier)
+	s.startWorker(plan)
+
+	v := s.submit(fmt.Sprintf(tinyPerf, 6))
+	s.waitFor(func() bool { return len(plan.Fired()) == 1 })
+	s.waitFor(func() bool { return s.counter("fleet.leases.expired") >= 1 })
+	if st := s.counter("fleet.checkpoints.stored"); st < 1 {
+		t.Fatalf("fleet.checkpoints.stored = %d, want >= 1 (progress must survive the crash)", st)
+	}
+
+	wreg := s.startWorker(nil)
+	done := s.awaitDone(v.ID)
+
+	s.assertNoLossNoDup(map[string][]byte{done.Hash: s.artifactBytes(done.Hash)}, 1)
+	if sh := s.counter("fleet.checkpoints.shipped"); sh < 1 {
+		t.Fatalf("fleet.checkpoints.shipped = %d, want >= 1 (the requeued assignment carried no state)", sh)
+	}
+	s.waitFor(func() bool { return wreg.Counter("sgworker.warm_hits").Value() >= 1 })
+	if fired := plan.Fired(); fired[0] != chaos.KillMidRun {
+		t.Fatalf("plan fired %v, want kill-mid-run first", fired)
+	}
 }

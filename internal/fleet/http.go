@@ -2,14 +2,16 @@
 // client the worker drives it with. Four endpoints, all POST (every one
 // mutates lease state):
 //
-//	POST /v1/fleet/lease               long-poll for work
-//	                                   200 Assignment | 204 no work
-//	POST /v1/fleet/lease/{id}/renew    heartbeat
-//	                                   200 {"lease_ttl_ms"} | 410 gone
-//	POST /v1/fleet/lease/{id}/complete body = the artifact bytes
-//	                                   200 | 400 corrupt | 410 zombie
-//	POST /v1/fleet/lease/{id}/fail     {"error","transient"}
-//	                                   200 | 410 zombie
+//	POST /v1/fleet/lease                 long-poll for work
+//	                                     200 Assignment | 204 no work
+//	POST /v1/fleet/lease/{id}/renew      heartbeat
+//	                                     200 {"lease_ttl_ms"} | 410 gone
+//	POST /v1/fleet/lease/{id}/checkpoint {"key","snapshot"} mid-run state
+//	                                     200 | 410 zombie
+//	POST /v1/fleet/lease/{id}/complete   body = the artifact bytes
+//	                                     200 | 400 corrupt | 410 zombie
+//	POST /v1/fleet/lease/{id}/fail       {"error","transient"}
+//	                                     200 | 410 zombie
 //
 // 410 Gone is the protocol's zombie signal: the lease was expired or
 // already resolved, the coordinator has moved on, and the worker must
@@ -44,6 +46,16 @@ type Assignment struct {
 	Request json.RawMessage `json:"request"`
 	// LeaseTTLMS is the heartbeat budget: renew well inside it.
 	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	// Checkpoints carries the warm snapshots previous holders of this
+	// job posted (warm key JSON → sgsnap bytes). A resumed worker seeds
+	// its warm pool with them and skips the work already done.
+	Checkpoints map[string][]byte `json:"checkpoints,omitempty"`
+}
+
+// checkpointRequest is a worker's mid-run state deposit.
+type checkpointRequest struct {
+	Key      string `json:"key"`
+	Snapshot []byte `json:"snapshot"`
 }
 
 // leaseRequest is the worker's long-poll body.
@@ -77,6 +89,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/fleet/lease", c.handleLease)
 	mux.HandleFunc("POST /v1/fleet/lease/{id}/renew", c.handleRenew)
+	mux.HandleFunc("POST /v1/fleet/lease/{id}/checkpoint", c.handleCheckpoint)
 	mux.HandleFunc("POST /v1/fleet/lease/{id}/complete", c.handleComplete)
 	mux.HandleFunc("POST /v1/fleet/lease/{id}/fail", c.handleFail)
 	return mux
@@ -124,6 +137,23 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, renewResponse{LeaseTTLMS: ttl.Milliseconds()})
+}
+
+func (c *Coordinator) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var cr checkpointRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCompleteBody)).Decode(&cr); err != nil || cr.Key == "" || len(cr.Snapshot) == 0 {
+		writeError(w, http.StatusBadRequest, "checkpoint needs a key and a snapshot")
+		return
+	}
+	switch err := c.checkpoint(id, cr.Key, cr.Snapshot); {
+	case errors.Is(err, ErrLeaseGone):
+		writeError(w, http.StatusGone, "lease %s is gone; checkpoint discarded", id)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "stored"})
+	}
 }
 
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
@@ -216,6 +246,14 @@ func (cl *client) renew(leaseID, worker string) (bool, error) {
 		return false, err
 	}
 	return code == http.StatusOK, nil
+}
+
+func (cl *client) checkpoint(leaseID, key string, snapshot []byte) (int, error) {
+	body, err := json.Marshal(checkpointRequest{Key: key, Snapshot: snapshot})
+	if err != nil {
+		return 0, err
+	}
+	return cl.post("/v1/fleet/lease/"+leaseID+"/checkpoint", body, nil)
 }
 
 func (cl *client) complete(leaseID string, artifact []byte) (int, error) {

@@ -12,8 +12,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
+	"safeguard/internal/experiments"
 	"safeguard/internal/jobs"
 	"safeguard/internal/resultcache"
 	"safeguard/internal/telemetry"
@@ -35,6 +37,11 @@ type Hooks struct {
 	// SuppressRenew reports whether heartbeats for this lease should be
 	// silently skipped (the stall fault).
 	SuppressRenew func(leaseID string, ordinal int) bool
+	// OnCheckpoint runs after the nth (0-based) checkpoint for this
+	// lease has been accepted by the coordinator. Returning ErrKilled
+	// crashes the worker between checkpoints — the kill-mid-run fault:
+	// partial progress survives at the coordinator, the worker does not.
+	OnCheckpoint func(leaseID string, ordinal, n int) error
 	// BeforeComplete may delay (stall-past-lease), mutate (corruption),
 	// or abort (ErrKilled) the artifact submission.
 	BeforeComplete func(leaseID string, ordinal int, artifact []byte) ([]byte, error)
@@ -49,8 +56,11 @@ type WorkerConfig struct {
 	// Client issues the HTTP requests (default: a timeout-free client,
 	// since lease polls are long; chaos injects a partition transport).
 	Client *http.Client
-	// Run executes one request (default: direct deterministic execution,
-	// no cache — workers are stateless).
+	// Run executes one request. The default is checkpoint-aware direct
+	// execution: perf cells restore from the warm snapshots the
+	// assignment shipped and post fresh ones to the coordinator, so a
+	// job that outlives this worker resumes instead of restarting.
+	// Workers stay stateless — the checkpoints live at the coordinator.
 	Run jobs.Runner
 	// ErrorBackoff is the pause after a failed poll (default 500ms).
 	ErrorBackoff time.Duration
@@ -66,12 +76,14 @@ type Worker struct {
 	cl  *client
 	n   int // leases acquired, the hook ordinal
 
-	leases     *telemetry.Counter
-	completes  *telemetry.Counter
-	leaseLost  *telemetry.Counter
-	rejected   *telemetry.Counter
-	failures   *telemetry.Counter
-	pollErrors *telemetry.Counter
+	leases      *telemetry.Counter
+	completes   *telemetry.Counter
+	leaseLost   *telemetry.Counter
+	rejected    *telemetry.Counter
+	failures    *telemetry.Counter
+	pollErrors  *telemetry.Counter
+	checkpoints *telemetry.Counter
+	warmHits    *telemetry.Counter
 }
 
 // NewWorker builds a worker.
@@ -82,24 +94,21 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
 	}
-	if cfg.Run == nil {
-		cfg.Run = func(ctx context.Context, req *resultcache.Request) (json.RawMessage, error) {
-			return req.Execute(ctx, cfg.Telemetry)
-		}
-	}
 	if cfg.ErrorBackoff <= 0 {
 		cfg.ErrorBackoff = 500 * time.Millisecond
 	}
 	reg := cfg.Telemetry
 	return &Worker{
-		cfg:        cfg,
-		cl:         &client{base: cfg.Coordinator, hc: cfg.Client},
-		leases:     reg.Counter("sgworker.leases"),
-		completes:  reg.Counter("sgworker.completions"),
-		leaseLost:  reg.Counter("sgworker.lease_lost"),
-		rejected:   reg.Counter("sgworker.rejected"),
-		failures:   reg.Counter("sgworker.failures"),
-		pollErrors: reg.Counter("sgworker.poll_errors"),
+		cfg:         cfg,
+		cl:          &client{base: cfg.Coordinator, hc: cfg.Client},
+		leases:      reg.Counter("sgworker.leases"),
+		completes:   reg.Counter("sgworker.completions"),
+		leaseLost:   reg.Counter("sgworker.lease_lost"),
+		rejected:    reg.Counter("sgworker.rejected"),
+		failures:    reg.Counter("sgworker.failures"),
+		pollErrors:  reg.Counter("sgworker.poll_errors"),
+		checkpoints: reg.Counter("sgworker.checkpoints"),
+		warmHits:    reg.Counter("sgworker.warm_hits"),
 	}, nil
 }
 
@@ -176,7 +185,18 @@ func (w *Worker) execute(ctx context.Context, a *Assignment) error {
 		go w.heartbeat(a.LeaseID, interval, hbStop, execCancel)
 	}
 
-	result, err := w.cfg.Run(execCtx, req)
+	run := w.cfg.Run
+	var store *leaseWarmStore
+	if run == nil {
+		store = &leaseWarmStore{w: w, leaseID: a.LeaseID, ordinal: ordinal, shipped: a.Checkpoints, kill: execCancel}
+		run = func(ctx context.Context, req *resultcache.Request) (json.RawMessage, error) {
+			return req.ExecuteWarm(ctx, w.cfg.Telemetry, store)
+		}
+	}
+	result, err := run(execCtx, req)
+	if store != nil && store.killed() {
+		return ErrKilled // scripted kill between checkpoints: crash silently
+	}
 	if execCtx.Err() != nil && ctx.Err() == nil {
 		// Lease lost mid-run: the job belongs to someone else now.
 		w.leaseLost.Inc()
@@ -242,4 +262,81 @@ func (w *Worker) heartbeat(leaseID string, interval time.Duration, stop <-chan s
 			}
 		}
 	}
+}
+
+// leaseWarmStore adapts the fleet checkpoint protocol to the
+// experiments warm-start pool. Gets are served from the snapshots the
+// assignment shipped (a previous holder's progress); puts post to the
+// coordinator so the job's next holder resumes where this one stops.
+// Restoring a pooled snapshot is bit-identical to a cold run, so a
+// resumed job's artifact is indistinguishable from an uninterrupted one.
+type leaseWarmStore struct {
+	w       *Worker
+	leaseID string
+	ordinal int
+	shipped map[string][]byte // read-only after assignment decode
+	kill    context.CancelFunc
+
+	mu   sync.Mutex
+	n    int // checkpoints accepted, the OnCheckpoint hook counter
+	dead bool
+}
+
+// warmKeyString is the wire encoding of a pool key: WarmKey has fixed
+// field order, so its JSON is canonical.
+func warmKeyString(key experiments.WarmKey) (string, error) {
+	b, err := json.Marshal(key)
+	return string(b), err
+}
+
+// GetWarm implements experiments.WarmStore from the shipped checkpoints.
+func (s *leaseWarmStore) GetWarm(key experiments.WarmKey) ([]byte, bool, error) {
+	ks, err := warmKeyString(key)
+	if err != nil {
+		return nil, false, err
+	}
+	data, ok := s.shipped[ks]
+	if ok {
+		s.w.warmHits.Inc()
+	}
+	return data, ok, nil
+}
+
+// PutWarm implements experiments.WarmStore by posting to the
+// coordinator. Errors matter only to the pool (which treats deposits as
+// best-effort); a 410 additionally means the lease is dead, which the
+// heartbeat loop will discover on its own.
+func (s *leaseWarmStore) PutWarm(key experiments.WarmKey, snapshot []byte) error {
+	ks, err := warmKeyString(key)
+	if err != nil {
+		return err
+	}
+	code, err := s.w.cl.checkpoint(s.leaseID, ks, snapshot)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("fleet: checkpoint post: HTTP %d", code)
+	}
+	s.w.checkpoints.Inc()
+	s.mu.Lock()
+	n := s.n
+	s.n++
+	s.mu.Unlock()
+	if h := s.w.cfg.Hooks.OnCheckpoint; h != nil {
+		if herr := h(s.leaseID, s.ordinal, n); errors.Is(herr, ErrKilled) {
+			s.mu.Lock()
+			s.dead = true
+			s.mu.Unlock()
+			s.kill()
+			return ErrKilled
+		}
+	}
+	return nil
+}
+
+func (s *leaseWarmStore) killed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead
 }

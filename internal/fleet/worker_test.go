@@ -87,7 +87,15 @@ func TestWorkerExecutesLeaseEndToEnd(t *testing.T) {
 	wantCounter(t, s.creg, "fleet.completions.ok", 1)
 	wantCounter(t, s.creg, "fleet.dispatch.remote", 1)
 	wantCounter(t, s.wreg, "sgworker.leases", 1)
-	wantCounter(t, s.wreg, "sgworker.completions", 1)
+	// The worker bumps its completion counter only after its HTTP round
+	// trip returns, which races the dispatch resolving server-side.
+	waitFor(t, func() bool { return s.wreg.Counter("sgworker.completions").Value() == 1 })
+	// The default runner checkpoints each cell's warm capture at the
+	// coordinator as it executes.
+	waitFor(t, func() bool { return s.wreg.Counter("sgworker.checkpoints").Value() >= 1 })
+	if st := s.creg.Counter("fleet.checkpoints.stored").Value(); st < 1 {
+		t.Fatalf("fleet.checkpoints.stored = %d, want >= 1", st)
+	}
 }
 
 func TestWorkerRefusesTamperedAssignment(t *testing.T) {

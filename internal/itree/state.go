@@ -1,0 +1,33 @@
+package itree
+
+import (
+	"fmt"
+
+	"safeguard/internal/cache"
+)
+
+// TrafficState is a TrafficModel's complete serializable state: the on-chip
+// metadata cache contents plus the access/miss counters. The geometry
+// (metaBase, levels, cache shape) is configuration and is validated by the
+// cache restore.
+type TrafficState struct {
+	Cache    cache.State `json:"cache"`
+	Accesses uint64      `json:"accesses"`
+	Misses   uint64      `json:"misses"`
+}
+
+// SaveState captures the model's state.
+func (t *TrafficModel) SaveState() TrafficState {
+	return TrafficState{Cache: t.cache.SaveState(), Accesses: t.Accesses, Misses: t.Misses}
+}
+
+// RestoreState overwrites the model from a snapshot taken on a model with
+// the same cache geometry.
+func (t *TrafficModel) RestoreState(st TrafficState) error {
+	if err := t.cache.RestoreState(st.Cache); err != nil {
+		return fmt.Errorf("itree: %w", err)
+	}
+	t.Accesses = st.Accesses
+	t.Misses = st.Misses
+	return nil
+}

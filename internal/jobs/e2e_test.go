@@ -325,16 +325,21 @@ func TestE2EDrainPersistAndResume(t *testing.T) {
 	if rep.Persisted != 2 {
 		t.Fatalf("drain report = %+v, want 2 persisted", rep)
 	}
+	if rep.InFlightJournaled != 1 {
+		t.Fatalf("drain report = %+v, want the running job journaled", rep)
+	}
 
 	// "Restart": a fresh manager with the real runner resumes the journal
-	// — exactly what cmd/sgserve does on boot.
+	// — exactly what cmd/sgserve does on boot. The journal covers the 2
+	// queued jobs plus the one that was still running at the deadline;
+	// resubmitting the latter is a cache hit once its first run finished.
 	m2 := NewManager(Config{Workers: 2, Cache: cache, Telemetry: reg})
 	defer m2.Close()
 	reqs, err := LoadPending(pending, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reqs) != 2 {
+	if len(reqs) != 3 {
 		t.Fatalf("journal holds %d requests", len(reqs))
 	}
 	for _, r := range reqs {
@@ -346,9 +351,132 @@ func TestE2EDrainPersistAndResume(t *testing.T) {
 	}
 	// All three configs now have artifacts: nothing was dropped across
 	// the restart.
-	for _, h := range hashes[1:] {
+	for _, h := range hashes {
 		if _, ok, err := cache.Get(h); !ok || err != nil {
 			t.Fatalf("persisted job %s has no artifact after resume (%v)", h, err)
 		}
+	}
+}
+
+// Checkpoint refs ride the drain journal: a job interrupted mid-run
+// resumes on the next service instance with the last ref its runner
+// recorded — the warm-start handoff cmd/sgserve performs on boot.
+func TestE2ECheckpointResumeAfterDrain(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	pending := filepath.Join(dir, "pending.json")
+	reg := telemetry.NewRegistry()
+	cache, err := resultcache.New(resultcache.Options{Dir: dir, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First instance: the runner checkpoints mid-run, then blocks until
+	// shutdown kills it — a worker dying between checkpoints.
+	var m1 *Manager
+	recorded := make(chan struct{})
+	runner1 := func(ctx context.Context, req *resultcache.Request) (json.RawMessage, error) {
+		h, err := req.Hash()
+		if err != nil {
+			return nil, err
+		}
+		m1.RecordCheckpoint(h, "warm:"+h[:8])
+		close(recorded)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	m1 = NewManager(Config{
+		Workers: 1, QueueDepth: 8, MaxAttempts: 1, PendingPath: pending,
+		Cache: cache, Telemetry: reg, Runner: runner1,
+	})
+	defer m1.Close()
+	v1, err := m1.Submit(reqN(t, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-recorded
+	v2, err := m1.Submit(reqN(t, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	rep, err := m1.Drain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Persisted != 1 || rep.InFlightJournaled != 1 {
+		t.Fatalf("drain report = %+v, want 1 persisted + 1 in-flight journaled", rep)
+	}
+	m1.Close()
+
+	// The journal pairs the interrupted request with its latest ref and
+	// leaves the never-started one bare.
+	pjs, err := LoadPendingJobs(pending, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pjs) != 2 {
+		t.Fatalf("journal holds %d entries, want 2", len(pjs))
+	}
+	refs := map[string]string{}
+	for _, pj := range pjs {
+		h, err := pj.Request.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[h] = pj.Checkpoint
+	}
+	wantRef := "warm:" + v1.Hash[:8]
+	if refs[v1.Hash] != wantRef {
+		t.Fatalf("interrupted job ref = %q, want %q", refs[v1.Hash], wantRef)
+	}
+	if refs[v2.Hash] != "" {
+		t.Fatalf("queued job carries ref %q, want none", refs[v2.Hash])
+	}
+
+	// Second instance: the runner warm-starts from the recorded ref the
+	// way a pool-backed runner would.
+	var m2 *Manager
+	var mu sync.Mutex
+	seen := map[string]string{}
+	runner2 := func(ctx context.Context, req *resultcache.Request) (json.RawMessage, error) {
+		h, err := req.Hash()
+		if err != nil {
+			return nil, err
+		}
+		ref, _ := m2.Checkpoint(h)
+		mu.Lock()
+		seen[h] = ref
+		mu.Unlock()
+		return json.RawMessage(`{}`), nil
+	}
+	m2 = NewManager(Config{Workers: 2, Cache: cache, Telemetry: reg, Runner: runner2})
+	defer m2.Close()
+	for _, pj := range pjs {
+		if pj.Checkpoint != "" {
+			h, err := pj.Request.Hash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2.RecordCheckpoint(h, pj.Checkpoint)
+		}
+		v, err := m2.Submit(pj.Request)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m2, v.ID, StateDone)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if seen[v1.Hash] != wantRef {
+		t.Fatalf("resumed runner saw ref %q, want %q", seen[v1.Hash], wantRef)
+	}
+	if seen[v2.Hash] != "" {
+		t.Fatalf("fresh job saw ref %q, want none", seen[v2.Hash])
+	}
+	// Completion clears the ref: a later identical submit starts cold.
+	if ref, ok := m2.Checkpoint(v1.Hash); ok {
+		t.Fatalf("checkpoint ref %q survives completion", ref)
 	}
 }

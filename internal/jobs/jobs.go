@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -145,13 +146,14 @@ type Manager struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	jobs     map[string]*Job // id -> job
-	inflight map[string]*Job // hash -> job still queued/running (singleflight)
-	draining bool
-	seq      int
-	queue    chan *Job
-	wg       sync.WaitGroup // one count per accepted, non-terminal job
+	mu          sync.Mutex
+	jobs        map[string]*Job   // id -> job
+	inflight    map[string]*Job   // hash -> job still queued/running (singleflight)
+	checkpoints map[string]string // hash -> latest checkpoint ref
+	draining    bool
+	seq         int
+	queue       chan *Job
+	wg          sync.WaitGroup // one count per accepted, non-terminal job
 
 	submitted, dedup, rejectedFull   *telemetry.Counter
 	rejectedDraining, completed      *telemetry.Counter
@@ -194,6 +196,7 @@ func NewManager(cfg Config) *Manager {
 		cancel:           cancel,
 		jobs:             make(map[string]*Job),
 		inflight:         make(map[string]*Job),
+		checkpoints:      make(map[string]string),
 		queue:            make(chan *Job, cfg.QueueDepth),
 		submitted:        reg.Counter("jobs.submitted"),
 		dedup:            reg.Counter("jobs.dedup"),
@@ -326,6 +329,31 @@ func (m *Manager) WaitJob(ctx context.Context, id string) (JobView, error) {
 	}
 }
 
+// RecordCheckpoint notes the latest checkpoint reference for a job hash
+// — typically the content hash or store path of an sgsnap/1 snapshot
+// deposited mid-run. A drain that cannot wait journals the ref alongside
+// the request, so a restart resumes the job from its last checkpoint
+// instead of recomputing the prefix. Refs for unknown hashes are kept
+// too: a restart records journaled refs before resubmitting.
+func (m *Manager) RecordCheckpoint(hash, ref string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ref == "" {
+		delete(m.checkpoints, hash)
+		return
+	}
+	m.checkpoints[hash] = ref
+}
+
+// Checkpoint returns the last recorded checkpoint ref for a hash.
+// Runners consult it to warm-start a resumed job.
+func (m *Manager) Checkpoint(hash string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ref, ok := m.checkpoints[hash]
+	return ref, ok
+}
+
 // Draining reports whether the manager has stopped accepting jobs.
 func (m *Manager) Draining() bool {
 	m.mu.Lock()
@@ -346,13 +374,20 @@ type DrainReport struct {
 	// Running counts jobs still executing when the drain returned early
 	// (always zero when the context did not expire).
 	Running int
+	// InFlightJournaled counts running jobs whose request (and latest
+	// checkpoint ref, when one was recorded) made it into the journal on
+	// an expired drain. They keep running; the journal entry only matters
+	// if the process dies before they finish.
+	InFlightJournaled int
 }
 
 // Drain stops accepting new jobs and waits for every accepted job to
 // finish. If ctx expires first, jobs still waiting in the queue are
-// persisted to PendingPath (state "persisted") so a restart can resume
-// them; running jobs keep their context and are left to finish. Either
-// way no accepted job is silently dropped.
+// persisted to PendingPath (state "persisted"), and jobs still running
+// are journaled alongside them with their latest RecordCheckpoint refs —
+// so a restart resumes queued work from scratch and mid-run work from
+// its last checkpoint. Running jobs keep their context and are left to
+// finish. Either way no accepted job is silently dropped.
 func (m *Manager) Drain(ctx context.Context) (DrainReport, error) {
 	m.mu.Lock()
 	m.draining = true
@@ -361,10 +396,11 @@ func (m *Manager) Drain(ctx context.Context) (DrainReport, error) {
 	waitDone := make(chan struct{})
 	go func() { m.wg.Wait(); close(waitDone) }()
 	var err error
+	var journaled int
 	select {
 	case <-waitDone:
 	case <-ctx.Done():
-		err = m.persistQueued()
+		journaled, err = m.persistPending()
 		// Give wg a chance to settle for jobs that finished while we
 		// were persisting.
 		select {
@@ -374,7 +410,7 @@ func (m *Manager) Drain(ctx context.Context) (DrainReport, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var rep DrainReport
+	rep := DrainReport{InFlightJournaled: journaled}
 	for _, j := range m.jobs {
 		switch j.state {
 		case StateDone:
@@ -390,34 +426,56 @@ func (m *Manager) Drain(ctx context.Context) (DrainReport, error) {
 	return rep, err
 }
 
-// persistQueued pulls every not-yet-started job off the queue and
-// writes their requests to PendingPath. Jobs a worker grabs concurrently
-// simply run to completion instead — either way they are not dropped.
-func (m *Manager) persistQueued() error {
-	var drained []*Job
+// persistPending journals the drain's unfinished work: every not-yet-
+// started job is pulled off the queue and persisted, and every still-
+// running job is journaled with its latest checkpoint ref (it keeps
+// running — the entry is the recovery plan if the process dies before it
+// finishes; if it does finish, resubmission hits the result cache). Jobs
+// a worker grabs concurrently simply run to completion instead — either
+// way nothing is dropped. Returns the in-flight entry count.
+func (m *Manager) persistPending() (int, error) {
+	var queued []*Job
 	for {
 		select {
 		case j := <-m.queue:
-			drained = append(drained, j)
+			queued = append(queued, j)
 		default:
 			goto pulled
 		}
 	}
 pulled:
-	if len(drained) == 0 {
-		return nil
+	m.mu.Lock()
+	var running []*Job
+	for _, j := range m.jobs {
+		if j.state == StateRunning {
+			running = append(running, j)
+		}
 	}
-	var reqs []*resultcache.Request
-	for _, j := range drained {
-		reqs = append(reqs, j.req)
+	sort.Slice(running, func(i, k int) bool { return running[i].id < running[k].id })
+	entries := make([]PendingJob, 0, len(queued)+len(running))
+	for _, j := range queued {
+		entries = append(entries, PendingJob{Request: j.req})
+	}
+	for _, j := range running {
+		entries = append(entries, PendingJob{Request: j.req, Checkpoint: m.checkpoints[j.hash]})
+	}
+	m.mu.Unlock()
+	if len(entries) == 0 {
+		return 0, nil
 	}
 	var werr error
-	if m.cfg.PendingPath != "" {
-		werr = SavePending(m.cfg.PendingPath, reqs)
-	} else {
-		werr = fmt.Errorf("jobs: %d queued jobs dropped at drain (no PendingPath configured)", len(drained))
+	switch {
+	case m.cfg.PendingPath != "":
+		werr = SavePendingJobs(m.cfg.PendingPath, entries)
+	case len(queued) > 0:
+		werr = fmt.Errorf("jobs: %d queued jobs dropped at drain (no PendingPath configured)", len(queued))
+	default:
+		// Only in-flight jobs and nowhere to journal them: they are still
+		// running on their own context, so nothing is lost yet.
+		return 0, nil
 	}
-	for _, j := range drained {
+	m.mu.Lock()
+	for _, j := range queued {
 		st, msg := StatePersisted, ""
 		if werr != nil {
 			st, msg = StateFailed, werr.Error()
@@ -427,21 +485,47 @@ pulled:
 			m.persisted.Inc()
 		}
 	}
-	return werr
+	m.mu.Unlock()
+	if werr != nil {
+		return 0, werr
+	}
+	return len(running), nil
 }
 
-// pendingFile is the drain journal format.
+// PendingJob pairs a journaled request with the last checkpoint ref its
+// run recorded (empty = start from scratch).
+type PendingJob struct {
+	Request *resultcache.Request `json:"request"`
+	// Checkpoint is an opaque ref recorded via RecordCheckpoint —
+	// typically the content hash of an sgsnap/1 snapshot artifact.
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
+// pendingFile is the drain journal format. Requests is the legacy
+// checkpoint-less entry list; journals written by this build use Jobs.
+// Both are honored on load, so pre-checkpoint journals resume cleanly.
 type pendingFile struct {
 	Schema   string                 `json:"schema"`
-	Requests []*resultcache.Request `json:"requests"`
+	Requests []*resultcache.Request `json:"requests,omitempty"`
+	Jobs     []PendingJob           `json:"jobs,omitempty"`
 }
 
 // pendingSchema versions the drain journal.
 const pendingSchema = "sgserve-pending/1"
 
-// SavePending writes requests to a drain journal (atomic rename).
+// SavePending writes checkpoint-less requests to a drain journal.
 func SavePending(path string, reqs []*resultcache.Request) error {
-	raw, err := json.MarshalIndent(pendingFile{Schema: pendingSchema, Requests: reqs}, "", "  ")
+	entries := make([]PendingJob, 0, len(reqs))
+	for _, r := range reqs {
+		entries = append(entries, PendingJob{Request: r})
+	}
+	return SavePendingJobs(path, entries)
+}
+
+// SavePendingJobs writes journal entries — requests plus any checkpoint
+// refs — to a drain journal (atomic rename).
+func SavePendingJobs(path string, entries []PendingJob) error {
+	raw, err := json.MarshalIndent(pendingFile{Schema: pendingSchema, Jobs: entries}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -464,6 +548,21 @@ func SavePending(path string, reqs []*resultcache.Request) error {
 // the rest resume. Only real I/O faults (permissions, not corruption)
 // surface as errors.
 func LoadPending(path string, reg *telemetry.Registry) ([]*resultcache.Request, error) {
+	entries, err := LoadPendingJobs(path, reg)
+	reqs := make([]*resultcache.Request, 0, len(entries))
+	for _, e := range entries {
+		reqs = append(reqs, e.Request)
+	}
+	if len(reqs) == 0 {
+		reqs = nil
+	}
+	return reqs, err
+}
+
+// LoadPendingJobs is LoadPending with checkpoint refs: entries journaled
+// mid-run carry the ref last recorded for them, which the resubmitting
+// caller feeds back through Manager.RecordCheckpoint before Submit.
+func LoadPendingJobs(path string, reg *telemetry.Registry) ([]PendingJob, error) {
 	raw, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
@@ -481,13 +580,22 @@ func LoadPending(path string, reg *telemetry.Registry) ([]*resultcache.Request, 
 		}
 		return nil, nil
 	}
-	good := make([]*resultcache.Request, 0, len(pf.Requests))
+	entries := make([]PendingJob, 0, len(pf.Requests)+len(pf.Jobs))
 	for _, r := range pf.Requests {
-		if nerr := r.Normalize(); nerr != nil {
+		entries = append(entries, PendingJob{Request: r})
+	}
+	entries = append(entries, pf.Jobs...)
+	good := make([]PendingJob, 0, len(entries))
+	for _, e := range entries {
+		if e.Request == nil {
 			reg.Counter("jobs.journal.skipped").Inc()
 			continue
 		}
-		good = append(good, r)
+		if nerr := e.Request.Normalize(); nerr != nil {
+			reg.Counter("jobs.journal.skipped").Inc()
+			continue
+		}
+		good = append(good, e)
 	}
 	if err := os.Remove(path); err != nil {
 		return good, err
@@ -585,6 +693,8 @@ func (m *Manager) finish(j *Job, st State, msg string) {
 	switch st {
 	case StateDone:
 		m.completed.Inc()
+		// The result exists; its checkpoint is dead weight.
+		delete(m.checkpoints, j.hash)
 	case StateFailed:
 		m.failed.Inc()
 	}

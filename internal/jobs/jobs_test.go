@@ -345,18 +345,22 @@ func TestDrainPersistsQueuedAndResumes(t *testing.T) {
 	if rep.Persisted != 3 {
 		t.Fatalf("drain report = %+v, want 3 persisted", rep)
 	}
+	if rep.InFlightJournaled != 1 {
+		t.Fatalf("drain report = %+v, want the running job journaled", rep)
+	}
 	for _, v := range views[1:] {
 		waitState(t, m, v.ID, StatePersisted)
 	}
 	waitState(t, m, views[0].ID, StateDone)
 
-	// No accepted job was dropped: completed + persisted covers all 4.
+	// No accepted job was dropped: the journal covers the 3 queued jobs
+	// plus the one still running at the deadline.
 	reqs, err := LoadPending(pending, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reqs) != 3 {
-		t.Fatalf("journal holds %d requests, want 3", len(reqs))
+	if len(reqs) != 4 {
+		t.Fatalf("journal holds %d requests, want 4", len(reqs))
 	}
 	hashes := map[string]bool{}
 	for _, r := range reqs {
@@ -366,9 +370,9 @@ func TestDrainPersistsQueuedAndResumes(t *testing.T) {
 		}
 		hashes[h] = true
 	}
-	for _, v := range views[1:] {
+	for _, v := range views {
 		if !hashes[v.Hash] {
-			t.Fatalf("queued job %s (%s) missing from journal", v.ID, v.Hash)
+			t.Fatalf("job %s (%s) missing from journal", v.ID, v.Hash)
 		}
 	}
 	// LoadPending consumed the journal.

@@ -40,6 +40,11 @@ type request struct {
 	actIssued bool
 	remapped  bool // routed through the retirement indirection table
 	callback  func(mcDone int64)
+	// Token-routed completion (EnqueueReadToken): hasToken requests
+	// complete through the CompletionSink instead of the callback. Tokens
+	// are plain data, which is what lets in-flight reads checkpoint.
+	token    uint64
+	hasToken bool
 }
 
 type bankState struct {
@@ -133,6 +138,9 @@ type Controller struct {
 	// completions holds issued reads waiting for their data time.
 	completions []pendingCompletion
 
+	// sink receives token-routed read completions (EnqueueReadToken).
+	sink CompletionSink
+
 	now int64
 
 	// lastDenied remembers the most recent ActGate denial so
@@ -189,30 +197,51 @@ func (c *Controller) CanAcceptRead() bool { return len(c.readQ) < ReadQueueSize 
 // CanAcceptWrite reports write-queue space.
 func (c *Controller) CanAcceptWrite() bool { return len(c.writeQ) < WriteQueueSize }
 
+// CompletionSink receives token-routed read completions: OnReadDone fires
+// with the MC cycle at which data (including the burst) has arrived,
+// exactly once per accepted EnqueueReadToken.
+type CompletionSink interface {
+	OnReadDone(token uint64, mcDone int64)
+}
+
+// SetCompletionSink binds the sink token-routed reads complete through.
+// Must be set before the first EnqueueReadToken.
+func (c *Controller) SetCompletionSink(s CompletionSink) { c.sink = s }
+
 // EnqueueRead queues a line read; callback fires with the MC cycle at which
 // data (including the burst) has arrived. Returns false when the queue is
 // full.
 func (c *Controller) EnqueueRead(lineAddr uint64, callback func(mcDone int64)) bool {
+	return c.enqueueRead(&request{lineAddr: lineAddr, callback: callback})
+}
+
+// EnqueueReadToken queues a line read identified by a caller token; the
+// bound CompletionSink's OnReadDone(token, mcDone) fires in place of a
+// callback. Token requests are serializable, so they (unlike callback
+// reads) may be in flight across a checkpoint.
+func (c *Controller) EnqueueReadToken(lineAddr uint64, token uint64) bool {
+	return c.enqueueRead(&request{lineAddr: lineAddr, token: token, hasToken: true})
+}
+
+func (c *Controller) enqueueRead(r *request) bool {
 	if len(c.readQ) >= ReadQueueSize {
 		c.Stats.ReadQueueFullEvents++
 		c.tel.queueFull.Inc()
 		return false
 	}
+	r.enqueued = c.now
 	// Forward from a queued write to the same line: the controller holds
 	// the freshest data.
 	for _, w := range c.writeQ {
-		if w.lineAddr == lineAddr {
-			done := c.now + 1
-			c.completions = append(c.completions, pendingCompletion{at: done, req: &request{
-				lineAddr: lineAddr, enqueued: c.now, callback: callback,
-			}})
+		if w.lineAddr == r.lineAddr {
+			c.completions = append(c.completions, pendingCompletion{at: c.now + 1, req: r})
 			c.Stats.Reads++
 			c.Stats.SumReadLatencyMC++
 			c.onReadComplete(1)
 			return true
 		}
 	}
-	r := &request{lineAddr: lineAddr, coord: c.mapper.Decode(lineAddr), enqueued: c.now, callback: callback}
+	r.coord = c.mapper.Decode(r.lineAddr)
 	r.remapped = c.applyRemap(&r.coord)
 	c.readQ = append(c.readQ, r)
 	if d := len(c.readQ); d > c.Stats.MaxReadQueueDepth {
@@ -330,7 +359,10 @@ func (c *Controller) fireCompletions() {
 	kept := c.completions[:0]
 	for _, p := range c.completions {
 		if p.at <= c.now {
-			if p.req.callback != nil {
+			switch {
+			case p.req.hasToken:
+				c.sink.OnReadDone(p.req.token, p.at)
+			case p.req.callback != nil:
 				p.req.callback(p.at)
 			}
 		} else {

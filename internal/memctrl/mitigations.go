@@ -83,6 +83,7 @@ type PARAPlugin struct {
 	// P is the per-activation refresh probability (10/threshold, as the
 	// oracle sizes it).
 	P    float64
+	src  *rand.PCG // kept alongside rng: checkpoints marshal the PCG state
 	rng  *rand.Rand
 	sink VRRSink
 
@@ -92,7 +93,8 @@ type PARAPlugin struct {
 // NewPARAPlugin sizes PARA for the threshold with the oracle's PRNG
 // stream, so plugin and oracle draw identical coin flips per ACT.
 func NewPARAPlugin(threshold int, seed uint64) *PARAPlugin {
-	return &PARAPlugin{P: 10.0 / float64(threshold), rng: rand.New(rand.NewPCG(seed, 0xAA))}
+	src := rand.NewPCG(seed, 0xAA)
+	return &PARAPlugin{P: 10.0 / float64(threshold), src: src, rng: rand.New(src)}
 }
 
 // Name implements Plugin.

@@ -1,0 +1,109 @@
+package memsys
+
+import (
+	"fmt"
+	"slices"
+
+	"safeguard/internal/bits"
+	"safeguard/internal/response"
+)
+
+// Checkpoint support. A memory's disturbance state — stored vs golden
+// line contents, metadata, spare-row budget, retired-row map, stats, and
+// the attached response engine's escalation state — is plain data. Two
+// things are deliberately configuration, not state: the codec (identity
+// validated by the caller via Codec()) and the fault set. Faults and
+// transients are closures; a memory carrying any cannot be checkpointed,
+// and SaveState says so rather than silently dropping them.
+
+// LineState is one stored line. Entries are sorted by address.
+type LineState struct {
+	Addr   uint64    `json:"addr"`
+	Golden bits.Line `json:"golden"`
+	Stored bits.Line `json:"stored"`
+	Meta   uint64    `json:"meta"`
+}
+
+// MemoryState is a memory's complete serializable state.
+type MemoryState struct {
+	Lines   []LineState `json:"lines,omitempty"`
+	Spares  int         `json:"spares"`
+	Retired []int       `json:"retired,omitempty"`
+	Stats   Stats       `json:"stats"`
+	// RowBytes fingerprints the AttachEngine geometry (0 when no engine).
+	RowBytes uint64                `json:"row_bytes,omitempty"`
+	Engine   *response.EngineState `json:"engine,omitempty"`
+}
+
+// SaveState captures the memory's state. It errors when fault or
+// transient closures are attached: they cannot be serialized, so a
+// checkpoint taken here would silently resume with the faults gone.
+func (m *Memory) SaveState() (*MemoryState, error) {
+	if len(m.faults) > 0 || len(m.transients) > 0 {
+		return nil, fmt.Errorf("memsys: cannot checkpoint with %d fault and %d transient closures attached (clear them first)",
+			len(m.faults), len(m.transients))
+	}
+	st := &MemoryState{
+		Spares:   m.spares,
+		Stats:    m.Stats,
+		RowBytes: m.rowBytes,
+	}
+	addrs := make([]uint64, 0, len(m.lines))
+	for a := range m.lines {
+		addrs = append(addrs, a)
+	}
+	slices.Sort(addrs)
+	for _, a := range addrs {
+		e := m.lines[a]
+		st.Lines = append(st.Lines, LineState{Addr: a, Golden: e.golden, Stored: e.stored, Meta: e.meta})
+	}
+	rows := make([]int, 0, len(m.retired))
+	for r := range m.retired {
+		rows = append(rows, r)
+	}
+	slices.Sort(rows)
+	st.Retired = rows
+	if m.eng != nil {
+		es := m.eng.SaveState()
+		st.Engine = &es
+	}
+	return st, nil
+}
+
+// RestoreState overwrites the memory's state from a snapshot taken on a
+// memory with the same codec and engine attachment. The retire hook and
+// telemetry stay as configured on the receiver.
+func (m *Memory) RestoreState(st *MemoryState) error {
+	if (st.Engine != nil) != (m.eng != nil) {
+		return fmt.Errorf("memsys: snapshot and memory disagree on response-engine presence")
+	}
+	if st.RowBytes != m.rowBytes {
+		return fmt.Errorf("memsys: snapshot row size %d, memory row size %d", st.RowBytes, m.rowBytes)
+	}
+	for i, l := range st.Lines {
+		if i > 0 && l.Addr <= st.Lines[i-1].Addr {
+			return fmt.Errorf("memsys: lines not sorted and unique at %#x", l.Addr)
+		}
+	}
+	for i, r := range st.Retired {
+		if i > 0 && r <= st.Retired[i-1] {
+			return fmt.Errorf("memsys: retired rows not sorted and unique at %d", r)
+		}
+	}
+	if m.eng != nil {
+		if err := m.eng.RestoreState(*st.Engine); err != nil {
+			return err
+		}
+	}
+	m.lines = make(map[uint64]*entry, len(st.Lines))
+	for _, l := range st.Lines {
+		m.lines[l.Addr] = &entry{golden: l.Golden, stored: l.Stored, meta: l.Meta}
+	}
+	m.retired = make(map[int]bool, len(st.Retired))
+	for _, r := range st.Retired {
+		m.retired[r] = true
+	}
+	m.spares = st.Spares
+	m.Stats = st.Stats
+	return nil
+}

@@ -1,0 +1,168 @@
+package memsys
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"safeguard/internal/bits"
+	"safeguard/internal/ecc"
+	"safeguard/internal/response"
+	"safeguard/internal/snapshot"
+)
+
+// The memsys checkpoint contract: a memory mid-campaign — corrupted
+// lines, burned strikes, retired rows, a part-spent spare budget —
+// serializes through sgsnap/1 and restores into a fresh memory that
+// continues exactly where the original would have.
+
+// restoreInto round-trips m through the sgsnap/1 envelope into a fresh
+// memory with the same codec and engine attachment.
+func restoreInto(t *testing.T, m *Memory, cfg response.EngineConfig, spares int) (*Memory, *response.Engine) {
+	t.Helper()
+	st, err := m.SaveState()
+	if err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	data, err := snapshot.Encode("memsys-state", nil, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded MemoryState
+	if _, err := snapshot.Decode(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(m.Codec())
+	var e2 *response.Engine
+	if m.Engine() != nil {
+		e2 = attach(t, m2, cfg, spares)
+	}
+	if err := m2.RestoreState(&decoded); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	return m2, e2
+}
+
+func TestMemoryStateRoundTripMidCampaign(t *testing.T) {
+	t.Parallel()
+	m := New(sgCodec())
+	cfg := response.DefaultEngineConfig()
+	cfg.RetireThreshold = 2
+	eng := attach(t, m, cfg, 4)
+	for a := uint64(0); a < 6; a++ {
+		m.Write(a*bits.LineBytes, bits.Line{0xAB00 + a})
+	}
+	// Burn one strike on row 0 and fully retire row 1 (two hard DUEs),
+	// then clear the closures so the state is checkpointable.
+	m.AddFault(0, FlipBits(3, 70))
+	m.Read(0)
+	m.ClearFaults(0)
+	addr1 := uint64(8 * bits.LineBytes) // first line of row 1
+	m.Write(addr1, bits.Line{0xCAFE})
+	m.AddFault(addr1, FlipBits(5, 99))
+	m.Read(addr1)
+	m.Read(addr1)
+	m.ClearFaults(addr1)
+	if !m.RowRetired(1) {
+		t.Fatalf("setup: row 1 not retired; stats %+v", m.Stats)
+	}
+
+	m2, e2 := restoreInto(t, m, cfg, 4)
+	if m.Stats != m2.Stats {
+		t.Errorf("stats diverge:\nwant %+v\ngot  %+v", m.Stats, m2.Stats)
+	}
+	if !reflect.DeepEqual(eng.SaveState(), e2.SaveState()) {
+		t.Errorf("engine state diverges:\nwant %+v\ngot  %+v", eng.SaveState(), e2.SaveState())
+	}
+	if !m2.RowRetired(1) || m2.RowRetired(0) {
+		t.Error("retired-row map did not survive")
+	}
+	// Both memories read every line identically from here.
+	for a := uint64(0); a < 6; a++ {
+		wantLine, wantRes, _ := m.Read(a * bits.LineBytes)
+		gotLine, gotRes, _ := m2.Read(a * bits.LineBytes)
+		if wantLine != gotLine || wantRes.Status != gotRes.Status {
+			t.Errorf("line %d diverges after restore: %v/%v vs %v/%v",
+				a, wantLine, wantRes.Status, gotLine, gotRes.Status)
+		}
+	}
+	// One more strike on row 0 retires it in both worlds identically
+	// (the strike count crossed the checkpoint).
+	for _, pair := range []struct {
+		m *Memory
+		e *response.Engine
+	}{{m, eng}, {m2, e2}} {
+		pair.m.AddFault(0, FlipBits(3, 70))
+		pair.m.Read(0)
+		pair.m.ClearFaults(0)
+	}
+	if m.RowRetired(0) != m2.RowRetired(0) || eng.Stats != e2.Stats {
+		t.Errorf("post-restore escalation diverges: retired %v/%v, stats %+v vs %+v",
+			m.RowRetired(0), m2.RowRetired(0), eng.Stats, e2.Stats)
+	}
+}
+
+func TestMemorySaveStateRejectsAttachedFaults(t *testing.T) {
+	t.Parallel()
+	m := New(ecc.NewSECDED())
+	m.Write(0, bits.Line{1})
+	m.AddFault(0, FlipBits(1))
+	if _, err := m.SaveState(); err == nil {
+		t.Error("SaveState with a standing fault attached must error")
+	}
+	m.ClearFaults(0)
+	m.AddTransientFault(0, FlipBits(1), 1)
+	if _, err := m.SaveState(); err == nil {
+		t.Error("SaveState with a transient fault attached must error")
+	}
+}
+
+func TestMemoryRestoreRejectsMismatch(t *testing.T) {
+	t.Parallel()
+	m := New(sgCodec())
+	m.Write(0, bits.Line{1})
+	attach(t, m, response.DefaultEngineConfig(), 4)
+	st, err := m.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No engine attached on the receiver.
+	if err := New(sgCodec()).RestoreState(st); err == nil {
+		t.Error("engine-presence mismatch accepted")
+	}
+	// Unsorted lines.
+	bad := *st
+	bad.Lines = []LineState{{Addr: 64}, {Addr: 0}}
+	m2 := New(sgCodec())
+	attach(t, m2, response.DefaultEngineConfig(), 4)
+	if err := m2.RestoreState(&bad); err == nil {
+		t.Error("unsorted lines accepted")
+	}
+}
+
+func TestEngineStateJSONStable(t *testing.T) {
+	t.Parallel()
+	e, err := response.NewEngine(response.DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.SaveState()
+	a, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(e.SaveState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("engine state encodes non-deterministically")
+	}
+	var back response.EngineState
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RestoreState(back); err != nil {
+		t.Fatal(err)
+	}
+}

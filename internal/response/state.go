@@ -1,0 +1,72 @@
+package response
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Checkpoint support. An engine's escalation state — per-row strike
+// counts, retirement order, quarantine flag, the step trace, the backoff
+// clock, and stats — is plain data; config and the bound datapath are the
+// caller's to rebuild.
+
+// RowStrikes is one row's hard-DUE count. Entries are sorted by row.
+type RowStrikes struct {
+	Row     int `json:"row"`
+	Strikes int `json:"strikes"`
+}
+
+// EngineState is an engine's complete serializable state.
+type EngineState struct {
+	Strikes     []RowStrikes `json:"strikes,omitempty"`
+	RetiredRows []int        `json:"retired_rows,omitempty"`
+	Quarantined bool         `json:"quarantined,omitempty"`
+	Trace       []Step       `json:"trace,omitempty"`
+	Now         int64        `json:"now"`
+	Stats       EngineStats  `json:"stats"`
+}
+
+// SaveState captures the engine's state.
+func (e *Engine) SaveState() EngineState {
+	st := EngineState{
+		RetiredRows: append([]int(nil), e.retiredRows...),
+		Quarantined: e.quarantined,
+		Trace:       append([]Step(nil), e.trace...),
+		Now:         e.now,
+		Stats:       e.Stats,
+	}
+	rows := make([]int, 0, len(e.strikes))
+	for r := range e.strikes {
+		rows = append(rows, r)
+	}
+	slices.Sort(rows)
+	for _, r := range rows {
+		st.Strikes = append(st.Strikes, RowStrikes{Row: r, Strikes: e.strikes[r]})
+	}
+	return st
+}
+
+// RestoreState overwrites the engine's state from a snapshot taken on an
+// engine with the same config. Config and datapath binding are untouched.
+func (e *Engine) RestoreState(st EngineState) error {
+	strikes := make(map[int]int, len(st.Strikes))
+	for i, rs := range st.Strikes {
+		if i > 0 && rs.Row <= st.Strikes[i-1].Row {
+			return fmt.Errorf("response: strike rows not sorted and unique at row %d", rs.Row)
+		}
+		if rs.Strikes < 1 {
+			return fmt.Errorf("response: row %d recorded with %d strikes", rs.Row, rs.Strikes)
+		}
+		strikes[rs.Row] = rs.Strikes
+	}
+	if st.Now < 0 {
+		return fmt.Errorf("response: negative engine clock %d", st.Now)
+	}
+	e.strikes = strikes
+	e.retiredRows = append(e.retiredRows[:0:0], st.RetiredRows...)
+	e.quarantined = st.Quarantined
+	e.trace = append(e.trace[:0:0], st.Trace...)
+	e.now = st.Now
+	e.Stats = st.Stats
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"safeguard/internal/experiments"
+	fm "safeguard/internal/faultmodel"
 	"safeguard/internal/faultsim"
 	"safeguard/internal/sim"
 	"safeguard/internal/telemetry"
@@ -68,14 +69,32 @@ func (r *Request) Execute(ctx context.Context, reg *telemetry.Registry) (json.Ra
 	}
 	switch r.Kind {
 	case KindPerf:
-		return r.Perf.execute(ctx, reg)
+		return r.Perf.execute(ctx, reg, nil)
 	case KindRel:
 		return r.Rel.execute(ctx, reg)
+	case KindWarm:
+		return r.Warm.execute(ctx, reg)
 	}
 	return nil, fmt.Errorf("resultcache: unknown kind %q", r.Kind)
 }
 
-func (p *PerfRequest) execute(ctx context.Context, reg *telemetry.Registry) (json.RawMessage, error) {
+// ExecuteWarm is Execute with a warm-start pool attached: perf requests
+// route every cell through the pool (restoring pooled warm snapshots,
+// depositing fresh ones), which is bit-identical to a cold run while
+// skipping already-warmed cycles. Other kinds run unchanged. Fleet
+// workers use it to resume a requeued job from the checkpoints its
+// previous holder posted.
+func (r *Request) ExecuteWarm(ctx context.Context, reg *telemetry.Registry, pool experiments.WarmStore) (json.RawMessage, error) {
+	if err := r.Normalize(); err != nil {
+		return nil, err
+	}
+	if r.Kind == KindPerf && pool != nil {
+		return r.Perf.execute(ctx, reg, pool)
+	}
+	return r.Execute(ctx, reg)
+}
+
+func (p *PerfRequest) execute(ctx context.Context, reg *telemetry.Registry, pool experiments.WarmStore) (json.RawMessage, error) {
 	schemes := make([]sim.Scheme, 0, len(p.Schemes))
 	for _, name := range p.Schemes {
 		s, err := sim.ParseScheme(name)
@@ -93,6 +112,7 @@ func (p *PerfRequest) execute(ctx context.Context, reg *telemetry.Registry) (jso
 		Mitigation:    p.Mitigation,
 		RHThreshold:   p.RHThreshold,
 		Telemetry:     reg,
+		WarmPool:      pool,
 	}
 	res, err := experiments.RunSchemes(ctx, cfg, schemes)
 	if err != nil {
@@ -166,6 +186,42 @@ func RelWireFromResults(results []faultsim.Result) RelWire {
 	return wire
 }
 
+// RelResultsFromWire is the inverse of RelWireFromResults: it rebuilds
+// faultsim results from a stored artifact so sgrel's -resume path can
+// render cached studies through the same tables as live ones. The
+// faultsim.Config provenance is not stored in the wire and comes back
+// zero; everything the reports read survives the round trip.
+func RelResultsFromWire(wire RelWire) ([]faultsim.Result, error) {
+	modes := make(map[string]fm.Mode, len(fm.Modes))
+	for _, m := range fm.Modes {
+		modes[m.String()] = m
+	}
+	out := make([]faultsim.Result, 0, len(wire.Results))
+	for _, w := range wire.Results {
+		r := faultsim.Result{
+			Scheme:              w.Scheme,
+			Modules:             w.Modules,
+			Failed:              w.Failed,
+			FailedByYear:        w.FailedByYear,
+			SingleFaultFailures: w.SingleFaultFailures,
+			PairFailures:        w.PairFailures,
+			FailuresByMode:      make(map[fm.Mode]int, len(w.FailuresByMode)),
+			Adaptive:            w.Adaptive,
+			BlocksRun:           w.BlocksRun,
+			CIHalfWidth:         w.CIHalfWidth,
+		}
+		for name, n := range w.FailuresByMode {
+			m, ok := modes[name]
+			if !ok {
+				return nil, fmt.Errorf("resultcache: unknown fault mode %q in stored result", name)
+			}
+			r.FailuresByMode[m] = n
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
 // ValidateResult checks that raw parses as the request kind's wire form
 // (strictly — unknown fields reject). ReadArtifact runs it on every
 // disk-store load, so a truncated or hand-edited artifact is caught at
@@ -180,6 +236,8 @@ func (r *Request) ValidateResult(raw json.RawMessage) error {
 		dst = &PerfWire{}
 	case KindRel:
 		dst = &RelWire{}
+	case KindWarm:
+		dst = &WarmWire{}
 	default:
 		return fmt.Errorf("resultcache: unknown kind %q", r.Kind)
 	}
@@ -187,6 +245,9 @@ func (r *Request) ValidateResult(raw json.RawMessage) error {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		return fmt.Errorf("resultcache: result does not parse as %s wire form: %w", r.Kind, err)
+	}
+	if w, ok := dst.(*WarmWire); ok {
+		return validateWarmResult(w)
 	}
 	return nil
 }

@@ -34,6 +34,7 @@ const Schema = "sgserve/1"
 const (
 	KindPerf = "perf" // performance sweep via the experiments pool
 	KindRel  = "rel"  // Monte-Carlo lifetime study via the faultsim pool
+	// KindWarm is declared in warm.go: a warm-start snapshot mint.
 )
 
 // Request is one simulation job as submitted to the service. Exactly one
@@ -42,6 +43,7 @@ type Request struct {
 	Kind string       `json:"kind"`
 	Perf *PerfRequest `json:"perf,omitempty"`
 	Rel  *RelRequest  `json:"rel,omitempty"`
+	Warm *WarmRequest `json:"warm,omitempty"`
 }
 
 // PerfRequest parameterizes a performance sweep (the sim.Config axes the
@@ -128,23 +130,31 @@ func ParseRequest(r io.Reader) (*Request, error) {
 func (r *Request) Normalize() error {
 	switch r.Kind {
 	case KindPerf:
-		if r.Rel != nil {
-			return fmt.Errorf("resultcache: kind %q must not carry a rel payload", r.Kind)
+		if r.Rel != nil || r.Warm != nil {
+			return fmt.Errorf("resultcache: kind %q must not carry another kind's payload", r.Kind)
 		}
 		if r.Perf == nil {
 			r.Perf = &PerfRequest{}
 		}
 		return r.Perf.normalize()
 	case KindRel:
-		if r.Perf != nil {
-			return fmt.Errorf("resultcache: kind %q must not carry a perf payload", r.Kind)
+		if r.Perf != nil || r.Warm != nil {
+			return fmt.Errorf("resultcache: kind %q must not carry another kind's payload", r.Kind)
 		}
 		if r.Rel == nil {
 			r.Rel = &RelRequest{}
 		}
 		return r.Rel.normalize()
+	case KindWarm:
+		if r.Perf != nil || r.Rel != nil {
+			return fmt.Errorf("resultcache: kind %q must not carry another kind's payload", r.Kind)
+		}
+		if r.Warm == nil {
+			return fmt.Errorf("resultcache: warm request requires a warm payload")
+		}
+		return r.Warm.normalize()
 	default:
-		return fmt.Errorf("resultcache: unknown kind %q (valid: %s, %s)", r.Kind, KindPerf, KindRel)
+		return fmt.Errorf("resultcache: unknown kind %q (valid: %s, %s, %s)", r.Kind, KindPerf, KindRel, KindWarm)
 	}
 }
 
@@ -329,6 +339,10 @@ func (r *Request) String() string {
 	case KindRel:
 		if r.Rel != nil {
 			return fmt.Sprintf("rel[%s × %d modules]", strings.Join(r.Rel.Evaluators, ","), r.Rel.Modules)
+		}
+	case KindWarm:
+		if r.Warm != nil {
+			return fmt.Sprintf("warm[%s × %s seed %d warm %d]", r.Warm.Scheme, r.Warm.Workload, r.Warm.Seed, r.Warm.WarmupInstr)
 		}
 	}
 	return "request[" + r.Kind + "]"

@@ -1,0 +1,186 @@
+package resultcache
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"safeguard/internal/experiments"
+	"safeguard/internal/sim"
+	"safeguard/internal/snapshot"
+	"safeguard/internal/workload"
+)
+
+func tinyWarmRequest() *Request {
+	return &Request{Kind: KindWarm, Warm: &WarmRequest{WarmKey: experiments.WarmKey{
+		Workload:    "mcf",
+		Seed:        3,
+		WarmupInstr: 20_000,
+	}}}
+}
+
+func TestWarmRequestNormalize(t *testing.T) {
+	t.Parallel()
+	r := tinyWarmRequest()
+	if err := r.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	def := sim.DefaultConfig()
+	if r.Warm.Scheme != sim.SafeGuard.String() {
+		t.Errorf("default scheme %q", r.Warm.Scheme)
+	}
+	if r.Warm.Cores != def.Cores || r.Warm.LLCBytes != def.LLCBytes || r.Warm.MACLatencyCPU != def.MACLatencyCPU {
+		t.Errorf("machine defaults not materialized: %+v", r.Warm.WarmKey)
+	}
+	// Canonical and alias spellings hash identically.
+	alias := tinyWarmRequest()
+	alias.Warm.Scheme = "safeguard"
+	h1, err := r.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := alias.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("scheme alias forked the warm hash")
+	}
+	// The warm budget is semantic: changing it must move the hash.
+	other := tinyWarmRequest()
+	other.Warm.WarmupInstr = 30_000
+	h3, err := other.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Error("different warm budgets share a hash")
+	}
+}
+
+func TestWarmRequestRejections(t *testing.T) {
+	t.Parallel()
+	cases := map[string]func(*Request){
+		"no payload":      func(r *Request) { r.Warm = nil },
+		"cross payload":   func(r *Request) { r.Perf = &PerfRequest{} },
+		"no workload":     func(r *Request) { r.Warm.Workload = "" },
+		"bad workload":    func(r *Request) { r.Warm.Workload = "nope" },
+		"bad scheme":      func(r *Request) { r.Warm.Scheme = "nope" },
+		"negative budget": func(r *Request) { r.Warm.WarmupInstr = -1 },
+		"over cap":        func(r *Request) { r.Warm.WarmupInstr = perfBudgetCap + 1 },
+		"negative knob":   func(r *Request) { r.Warm.Cores = -1 },
+		"bad mitigation":  func(r *Request) { r.Warm.Mitigation = "nope" },
+		"negative rh":     func(r *Request) { r.Warm.RHThreshold = -1 },
+	}
+	for name, mutate := range cases {
+		r := tinyWarmRequest()
+		mutate(r)
+		if err := r.Normalize(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestExecuteWarmArtifactRoundTrip(t *testing.T) {
+	t.Parallel()
+	r := tinyWarmRequest()
+	raw, err := r.Execute(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	a, err := NewArtifact(r, raw)
+	if err != nil {
+		t.Fatalf("NewArtifact: %v", err)
+	}
+	enc, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifact(strings.NewReader(string(enc)))
+	if err != nil {
+		t.Fatalf("ReadArtifact: %v", err)
+	}
+	var wire WarmWire
+	if err := json.Unmarshal(back.Result, &wire); err != nil {
+		t.Fatal(err)
+	}
+	h, err := snapshot.Peek(wire.Snapshot)
+	if err != nil {
+		t.Fatalf("stored snapshot unreadable: %v", err)
+	}
+	if h.Kind != sim.SnapshotKind || h.Meta["workload"] != "mcf" {
+		t.Errorf("snapshot header %+v", h)
+	}
+	if h.Meta["cycle"] == "" || wire.Cycle <= 0 {
+		t.Errorf("cycle not mirrored: meta %q wire %d", h.Meta["cycle"], wire.Cycle)
+	}
+	// A corrupted snapshot dies at ValidateResult, not at a restore.
+	wire.Snapshot[len(wire.Snapshot)/2] ^= 0x01
+	bad, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ValidateResult(bad); err == nil {
+		t.Error("tampered warm result accepted")
+	}
+}
+
+// TestWarmPoolCacheAdapter drives the experiments pool through the
+// content-addressed cache: a sweep deposits warm artifacts, a second
+// sweep hits them, and results stay bit-identical to a cold sweep.
+func TestWarmPoolCacheAdapter(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	cfg := experiments.PerfConfig{
+		InstrPerCore:  40_000,
+		WarmupInstr:   40_000,
+		Seeds:         []uint64{1},
+		MACLatencyCPU: 8,
+		Workloads:     []string{"lbm"},
+	}
+	schemes := []sim.Scheme{sim.SafeGuard}
+	cold, err := experiments.RunSchemes(ctx, cfg, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := New(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WarmPool = NewWarmPool(cache)
+	first, err := experiments.RunSchemes(ctx, cfg, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 2 { // baseline + SafeGuard cells
+		t.Fatalf("cache holds %d warm artifacts, want 2", cache.Len())
+	}
+	second, err := experiments.RunSchemes(ctx, cfg, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, first) || !reflect.DeepEqual(cold, second) {
+		t.Error("cache-pooled sweeps diverge from cold")
+	}
+	// The pooled key round-trips through GetWarm as a readable snapshot.
+	p, err := workload.ByName("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.DefaultConfig()
+	sc.Workload = p
+	sc.Scheme = sim.SafeGuard
+	sc.Seed = 1
+	sc.InstrPerCore = cfg.InstrPerCore
+	sc.WarmupInstr = cfg.WarmupInstr
+	sc.MACLatencyCPU = cfg.MACLatencyCPU
+	data, ok, err := cfg.WarmPool.GetWarm(experiments.WarmKeyFor(sc))
+	if err != nil || !ok {
+		t.Fatalf("GetWarm: ok=%v err=%v", ok, err)
+	}
+	if _, err := snapshot.Peek(data); err != nil {
+		t.Errorf("pooled snapshot unreadable: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"safeguard/internal/snapshot"
+	"safeguard/internal/telemetry"
+	"safeguard/internal/workload"
+)
+
+// Golden snapshot fixtures freeze the sgsnap/1 byte format. Any change to
+// the envelope, the State layout, a model package's state struct, or the
+// simulator's determinism shows up here as a byte diff — a deliberate
+// format change regenerates the fixtures with:
+//
+//	go test ./internal/sim -run TestGoldenSnapshots -update
+//
+// The fixture config is deliberately tiny (2 cores, 1KB/8KB caches, 600
+// cycles) so each file stays a few KB while still carrying in-flight
+// MSHR entries, controller queue state, and attribution tracks.
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden snapshot files")
+
+func goldenConfig(t *testing.T, scheme Scheme) Config {
+	t.Helper()
+	p, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Cores:          2,
+		L1Bytes:        1 << 10,
+		L1Ways:         2,
+		L1Latency:      2,
+		LLCBytes:       8 << 10,
+		LLCWays:        4,
+		LLCLatency:     18,
+		PrefetchDegree: 2,
+		MACLatencyCPU:  8,
+		Scheme:         scheme,
+		WarmupInstr:    400,
+		InstrPerCore:   400,
+		Workload:       p,
+		Seed:           7,
+		MaxCycles:      10_000_000,
+		Mitigation:     "para",
+		RHThreshold:    64,
+		Attrib:         true,
+	}
+}
+
+func goldenSlug(s Scheme) string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case SafeGuard:
+		return "safeguard"
+	case SGXStyle:
+		return "sgx"
+	case SynergyStyle:
+		return "synergy"
+	case SGXFullStyle:
+		return "sgxfull"
+	}
+	return "unknown"
+}
+
+func TestGoldenSnapshots(t *testing.T) {
+	t.Parallel()
+	for _, scheme := range Schemes() {
+		scheme := scheme
+		t.Run(goldenSlug(scheme), func(t *testing.T) {
+			t.Parallel()
+			cfg := goldenConfig(t, scheme)
+			data := captureAt(t, cfg, "event", 600)
+			path := filepath.Join("testdata", fmt.Sprintf("snap_%s.sgsnap", goldenSlug(scheme)))
+			if *updateGolden {
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(data, want) {
+				t.Fatalf("snapshot bytes diverge from %s (%d vs %d bytes); if the format "+
+					"change is deliberate, regenerate with -update", path, len(data), len(want))
+			}
+			// The frozen bytes must stay restorable: resume each fixture
+			// and check the run completes identically to uninterrupted.
+			ref, refSnap := runEngine(t, cfg, "event")
+			res, snap := resume(t, cfg, "event", want)
+			assertRunsIdentical(t, "golden-"+goldenSlug(scheme), ref, res, refSnap, snap)
+		})
+	}
+}
+
+// TestGoldenSnapshotMeta pins the envelope header contract the warm-start
+// pool and the fleet rely on for cache keying without decoding bodies.
+func TestGoldenSnapshotMeta(t *testing.T) {
+	t.Parallel()
+	cfg := goldenConfig(t, SafeGuard)
+	data := captureAt(t, cfg, "event", 600)
+	sys := NewSystem(func() Config { c := cfg; c.Telemetry = telemetry.NewRegistry(); return c }())
+	if err := sys.RestoreSnapshot(data); err != nil {
+		t.Fatal(err)
+	}
+	h, err := snapshot.Peek(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"cores":    "2",
+		"cycle":    "600",
+		"engine":   "event",
+		"scheme":   "SafeGuard",
+		"seed":     "7",
+		"workload": "mcf",
+	}
+	if h.Kind != SnapshotKind {
+		t.Errorf("kind %q, want %q", h.Kind, SnapshotKind)
+	}
+	for k, v := range want {
+		if h.Meta[k] != v {
+			t.Errorf("meta %s=%q, want %q", k, h.Meta[k], v)
+		}
+	}
+}

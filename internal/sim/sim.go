@@ -15,10 +15,16 @@
 //   - Synergy-style MAC: the MAC travels with the data (read side free of
 //     extra accesses, MAC latency only), but every memory write issues a
 //     second write to update the remote parity.
+//
+// Every piece of in-flight state — MSHR waiters, scheme join counters,
+// merged MAC fetches, queue-overflow backlogs — is plain data keyed by
+// tokens rather than captured in closures, so a System can be checkpointed
+// at any cycle boundary (SaveState, state.go) and restored bit-identically.
 package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -169,7 +175,34 @@ type Config struct {
 	// A/B escape hatch. The two engines produce bit-identical results;
 	// unknown names surface as an error from Run.
 	Engine string
+
+	// SnapshotAt, when positive, captures the complete simulator state at
+	// the end of CPU cycle SnapshotAt and hands the encoded sgsnap/1 bytes
+	// to SnapshotFn. The capture point is end-of-cycle, which both engines
+	// reach with identical state, so a snapshot taken under one engine
+	// restores bit-identically under the other.
+	SnapshotAt int64
+	// SnapshotStop aborts the run (Run returns ErrStopped) right after the
+	// SnapshotAt capture — the "interrupted run" half of a
+	// restore-equals-uninterrupted proof, and the cheap way to mint a
+	// checkpoint without simulating past it.
+	SnapshotStop bool
+	// SnapshotWarm captures a snapshot at the end of the first cycle at
+	// which every core has crossed its warm-up budget — the warm-start
+	// pool's capture point.
+	SnapshotWarm bool
+	// CheckpointEvery, when positive, captures a snapshot every that many
+	// cycles (periodic checkpointing for preemptible workers).
+	CheckpointEvery int64
+	// SnapshotFn receives every captured snapshot; required when
+	// SnapshotAt, SnapshotWarm, or CheckpointEvery is set. A returned
+	// error aborts the run.
+	SnapshotFn func(data []byte) error
 }
+
+// ErrStopped is returned by Run when Config.SnapshotStop ends the run at
+// its SnapshotAt capture point.
+var ErrStopped = errors.New("sim: run stopped at snapshot point")
 
 // EngineNames lists the valid Config.Engine values.
 func EngineNames() []string { return []string{"event", "cycle"} }
@@ -242,10 +275,21 @@ func (r Result) HarmonicMeanIPC() float64 {
 // space, one metadata line per eight data lines.
 const macBaseLine = uint64(15) << (30 - 6) // line address of the 15GB mark
 
+// Completion tokens route memory-controller read completions back to the
+// consumer that issued them: the kind bits say which routing table (the
+// line's MSHR entry or the merged MAC-fetch table) the low bits key into.
+// Line addresses fit far below bit 44 (16GB is 2^28 lines).
+const (
+	tokKindShift = 44
+	tokKindData  = uint64(1) // data-line leg: joins mshr[line]
+	tokKindMAC   = uint64(2) // MAC/metadata-line fetch: fans out macInflight[line]
+)
+
 // System is one assembled simulation instance.
 type System struct {
 	cfg   Config
 	cores []*cpu.Core
+	gens  []*workload.Generator
 	l1    []*cache.Cache
 	llc   *cache.Cache
 	pf    *cache.StreamPrefetcher
@@ -253,8 +297,9 @@ type System struct {
 
 	// mshr tracks in-flight line fills: line -> fill state.
 	mshr map[uint64]*mshrEntry
-	// macInflight merges concurrent SGX-style MAC-line fetches.
-	macInflight map[uint64][]func(int64)
+	// macInflight merges concurrent SGX-style MAC-line fetches; each
+	// waiter names the data line whose fill joins when the fetch lands.
+	macInflight map[uint64][]macWaiter
 	// tree models counter/integrity-tree metadata traffic (SGXFullStyle).
 	tree *itree.TrafficModel
 	// pendingReads/pendingWrites retry when controller queues are full.
@@ -263,6 +308,17 @@ type System struct {
 
 	lineMask uint64
 	now      int64
+
+	// Run-loop progress (fields, not locals, so checkpoints carry it):
+	// warmCycle/doneCycle are each core's measurement crossings, remaining
+	// counts cores still short of their budget.
+	warmCycle []int64
+	doneCycle []int64
+	remaining int
+	// warmSnapped/nextCkpt sequence the SnapshotWarm and CheckpointEvery
+	// captures.
+	warmSnapped bool
+	nextCkpt    int64
 
 	// coreCPI are the per-core attribution stacks (nil when Attrib off);
 	// warmCPI snapshots each stack at its core's warm-up crossing.
@@ -275,7 +331,8 @@ type System struct {
 	// attempt the next one waits exponentially longer (capped), so
 	// saturated phases — where some core is active nearly every cycle —
 	// pay almost no probing overhead. Pure policy: whether an attempt
-	// happens on a given cycle never changes results, only speed.
+	// happens on a given cycle never changes results, only speed (and so
+	// both are deliberately absent from checkpoints).
 	skipNextTry int64
 	skipBackoff int64
 
@@ -285,23 +342,41 @@ type System struct {
 }
 
 type mshrEntry struct {
-	// waiters are demand consumers: (core, completion callback).
+	// waiters are demand consumers, in arrival order (the order fills and
+	// completions replay in — bit-identity depends on it).
 	waiters []waiter
 	// dirtyFill marks RFO fills that enter the caches dirty.
 	dirtyFill bool
 	// track follows the fill for cycle attribution (nil when Attrib is
 	// off or the entry is prefetch-only).
 	track *reqTrack
+	// remaining counts outstanding memory legs (data line, MAC line, tree
+	// levels); latest is the maximum CPU-cycle completion among the legs
+	// that already arrived. The fill completes when remaining hits zero.
+	remaining int
+	latest    int64
 }
 
+// waiter is one demand consumer of a fill: the core (for the L1 install)
+// and, for loads, the load token Deliver routes the completion to. RFO
+// waiters (stores) install into L1 but deliver nothing.
 type waiter struct {
-	core     int
-	complete func(int64)
+	core    int
+	seq     uint64
+	deliver bool
+}
+
+// macWaiter is one consumer of a merged MAC/metadata-line fetch: the data
+// line whose MSHR entry the completed fetch joins, or a fire-and-forget
+// fetch (drop) from the writeback path.
+type macWaiter struct {
+	line uint64
+	drop bool
 }
 
 type deferredRead struct {
 	lineAddr uint64
-	cb       func(mcDone int64)
+	token    uint64
 	// track, when set, is flipped out of its deferred state once the
 	// controller accepts the read.
 	track *reqTrack
@@ -310,7 +385,7 @@ type deferredRead struct {
 // reqTrack follows one demand miss through the memory system so its
 // waiters' stalled cycles can be attributed. The core's probe reads it
 // once per stalled cycle; every field transition happens at existing
-// callback boundaries, so tracking adds no events of its own.
+// completion boundaries, so tracking adds no events of its own.
 type reqTrack struct {
 	sys  *System
 	line uint64
@@ -324,12 +399,10 @@ type reqTrack struct {
 	doneAt  int64
 	tail    int64
 	macTail int64
-	// probeFn caches the bound probe so every waiter shares one closure.
-	probeFn attrib.Probe
 }
 
-// probe implements the stall-cause query (attrib.Probe).
-func (t *reqTrack) probe(now int64) attrib.Component {
+// ProbeStall implements the stall-cause query (attrib.Prober).
+func (t *reqTrack) ProbeStall(now int64) attrib.Component {
 	if t.doneAt != 0 {
 		if now >= t.doneAt {
 			// Fill fully complete; a dependent load probing after its
@@ -370,13 +443,19 @@ func NewSystem(cfg Config) *System {
 		pf:          cache.NewStreamPrefetcher(cfg.PrefetchDegree),
 		mc:          memctrl.New(g, dram.DDR4_3200()),
 		mshr:        make(map[uint64]*mshrEntry),
-		macInflight: make(map[uint64][]func(int64)),
+		macInflight: make(map[uint64][]macWaiter),
 		lineMask:    g.TotalBytes()/64 - 1,
+		remaining:   cfg.Cores,
+		nextCkpt:    cfg.CheckpointEvery,
 	}
 	s.mc.FCFS = cfg.FCFSScheduler
 	s.mc.AttachTelemetry(cfg.Telemetry, cfg.Trace)
+	s.mc.SetCompletionSink(s)
 	if _, err := ParseEngine(cfg.Engine); err != nil {
 		s.initErr = fmt.Errorf("sim: %w", err)
+	}
+	if (cfg.SnapshotAt > 0 || cfg.SnapshotWarm || cfg.CheckpointEvery > 0) && cfg.SnapshotFn == nil {
+		s.initErr = errors.New("sim: snapshot capture requested without Config.SnapshotFn")
 	}
 	th := cfg.RHThreshold
 	if th == 0 {
@@ -392,8 +471,11 @@ func NewSystem(cfg Config) *System {
 		// cache, the counter/tree geometry of the 16GB memory.
 		s.tree = itree.NewTrafficModel(macBaseLine+(1<<22), g.TotalBytes()/64, 32<<10)
 	}
+	s.warmCycle = make([]int64, cfg.Cores)
+	s.doneCycle = make([]int64, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		gen := workload.NewGenerator(cfg.Workload, i, cfg.Seed)
+		s.gens = append(s.gens, gen)
 		s.l1 = append(s.l1, cache.New(cfg.L1Bytes, cfg.L1Ways))
 		core := cpu.New(gen, &corePort{sys: s, core: i})
 		if cfg.Attrib {
@@ -410,8 +492,9 @@ func NewSystem(cfg Config) *System {
 }
 
 // cacheHitProbe attributes cycles hidden in L1/LLC hit latency. One
-// shared probe serves every hit, keeping the hit path allocation-free.
-var cacheHitProbe attrib.Probe = func(int64) attrib.Component { return attrib.CompCache }
+// shared constant probe serves every hit, keeping the hit path
+// allocation-free (small-int interface boxing is static in the runtime).
+var cacheHitProbe = attrib.ConstProbe(attrib.CompCache)
 
 // corePort adapts the shared memory system to one core's MemoryPort.
 type corePort struct {
@@ -420,8 +503,8 @@ type corePort struct {
 }
 
 // Load implements cpu.MemoryPort.
-func (p *corePort) Load(addr uint64, at int64, complete func(int64)) {
-	p.sys.load(p.core, addr>>6, at, complete)
+func (p *corePort) Load(addr uint64, at int64, token uint64) {
+	p.sys.load(p.core, addr>>6, at, token)
 }
 
 // Store implements cpu.MemoryPort.
@@ -430,30 +513,30 @@ func (p *corePort) Store(addr uint64, at int64) bool {
 }
 
 // LoadProbed implements cpu.ProbedPort: Load plus a stall-cause probe.
-func (p *corePort) LoadProbed(addr uint64, at int64, complete func(int64)) attrib.Probe {
-	return p.sys.load(p.core, addr>>6, at, complete)
+func (p *corePort) LoadProbed(addr uint64, at int64, token uint64) attrib.Prober {
+	return p.sys.load(p.core, addr>>6, at, token)
 }
 
-func (s *System) load(core int, line uint64, at int64, complete func(int64)) attrib.Probe {
+func (s *System) load(core int, line uint64, at int64, token uint64) attrib.Prober {
 	line &= s.lineMask
 	if s.l1[core].Lookup(line, false) {
-		complete(at + s.cfg.L1Latency)
+		s.cores[core].Deliver(token, at+s.cfg.L1Latency)
 		return cacheHitProbe
 	}
 	if s.llc.Lookup(line, false) {
 		s.fillL1(core, line, false)
-		complete(at + s.cfg.LLCLatency)
+		s.cores[core].Deliver(token, at+s.cfg.LLCLatency)
 		return cacheHitProbe
 	}
 	// Train the stream detector on demand misses only: LLC-hit traffic
 	// (hot sets) would otherwise churn the table and evict live streams.
 	s.prefetchOn(line)
-	e := s.demandMiss(core, line, false, complete)
+	e := s.demandMiss(core, line, false, token, true)
 	if e.track != nil {
-		// A miss that merges into a prefetch-only entry has no track and
-		// returns nil: its wait is charged as generic DRAM latency.
-		return e.track.probeFn
+		return e.track
 	}
+	// A miss that merges into a prefetch-only entry has no track and
+	// returns nil: its wait is charged as generic DRAM latency.
 	return nil
 }
 
@@ -477,34 +560,28 @@ func (s *System) store(core int, line uint64) bool {
 	}
 	// Write-allocate: fetch the line (RFO); the store itself retires via
 	// the store buffer, so nobody waits on the fill.
-	s.demandMiss(core, line, true, nil)
+	s.demandMiss(core, line, true, 0, false)
 	return true
 }
 
 // demandMiss joins or creates the line's MSHR entry and issues the memory
 // read through the scheme adapter. It returns the entry so load can hand
 // the entry's attribution probe to the core.
-func (s *System) demandMiss(core int, line uint64, dirtyFill bool, complete func(int64)) *mshrEntry {
+func (s *System) demandMiss(core int, line uint64, dirtyFill bool, seq uint64, deliver bool) *mshrEntry {
 	if e, ok := s.mshr[line]; ok {
-		if complete != nil {
-			e.waiters = append(e.waiters, waiter{core: core, complete: complete})
-		} else {
-			e.waiters = append(e.waiters, waiter{core: core, complete: nil})
-		}
+		e.waiters = append(e.waiters, waiter{core: core, seq: seq, deliver: deliver})
 		e.dirtyFill = e.dirtyFill || dirtyFill
 		return e
 	}
 	e := &mshrEntry{dirtyFill: dirtyFill}
-	e.waiters = append(e.waiters, waiter{core: core, complete: complete})
+	e.waiters = append(e.waiters, waiter{core: core, seq: seq, deliver: deliver})
 	if s.cfg.Attrib {
 		// The track must exist before schemeRead runs: the scheme adapter
 		// reads it off the entry to stamp completion phases.
-		tr := &reqTrack{sys: s, line: line}
-		tr.probeFn = tr.probe
-		e.track = tr
+		e.track = &reqTrack{sys: s, line: line}
 	}
 	s.mshr[line] = e
-	s.schemeRead(line, func(cpuDone int64) { s.finishFill(line, cpuDone) })
+	s.schemeRead(line, e)
 	return e
 }
 
@@ -515,8 +592,8 @@ func (s *System) finishFill(line uint64, cpuDone int64) {
 	s.fillLLC(line, e.dirtyFill)
 	for _, w := range e.waiters {
 		s.fillL1(w.core, line, e.dirtyFill)
-		if w.complete != nil {
-			w.complete(cpuDone)
+		if w.deliver {
+			s.cores[w.core].Deliver(w.seq, cpuDone)
 		}
 	}
 }
@@ -577,8 +654,7 @@ func (s *System) prefetchOn(trigger uint64) {
 		}
 		e := &mshrEntry{}
 		s.mshr[pl] = e
-		line := pl
-		s.schemeRead(line, func(cpuDone int64) { s.finishFill(line, cpuDone) })
+		s.schemeRead(pl, e)
 	}
 }
 
@@ -592,80 +668,34 @@ func (s *System) metaLine(line uint64) uint64 {
 	return (macBaseLine + line/8) & s.lineMask
 }
 
-// schemeRead issues a memory read with the scheme's latency/traffic rules;
-// cb receives the CPU cycle at which data is usable by the hierarchy.
-// When the line's MSHR entry carries an attribution track, the adapter
-// stamps it: queue-overflow parking, the data leg's arrival, and the
-// completion timestamp partitioned into DRAM / ECC-decode / MAC-verify
-// phases the track's probe replays.
-func (s *System) schemeRead(line uint64, cb func(cpuDone int64)) {
-	mac := s.cfg.MACLatencyCPU
-	dec := s.cfg.ECCDecodeCPU
-	var tr *reqTrack
-	if e, ok := s.mshr[line]; ok {
-		tr = e.track
-	}
-	// fin stamps the track's completion phases, then completes the fill.
-	fin := func(cpuDone, tail, macTail int64) {
-		if tr != nil {
-			tr.doneAt, tr.tail, tr.macTail = cpuDone, tail, macTail
-		}
-		cb(cpuDone)
-	}
+// schemeRead issues the memory legs of one line fill under the scheme's
+// latency/traffic rules, arming the entry's join counter. Completions
+// arrive through OnReadDone and meet in joinLeg, which stamps the entry's
+// attribution track and finishes the fill when the last leg lands.
+func (s *System) schemeRead(line uint64, e *mshrEntry) {
 	switch s.cfg.Scheme {
-	case Baseline:
-		s.mcReadTracked(line, tr, func(mcDone int64) { fin(mcDone*2+dec, dec, 0) })
-	case SafeGuard, SynergyStyle:
-		s.mcReadTracked(line, tr, func(mcDone int64) { fin(mcDone*2+dec+mac, dec+mac, mac) })
+	case Baseline, SafeGuard, SynergyStyle:
+		e.remaining = 1
+		s.mcReadTracked(line, e.track, tokKindData<<tokKindShift|line)
 	case SGXStyle:
 		// Data is usable once both the line and its MAC line arrived and
 		// the MAC check ran. In-flight MAC-line fetches are shared: eight
 		// data lines map to one MAC line, so concurrent misses on
 		// neighbouring lines coalesce (no MAC cache — the paper's
 		// fair-comparison rule — only MSHR-style merging).
-		remaining := 2
-		var latest int64
-		join := func(cpuDone int64) {
-			if cpuDone > latest {
-				latest = cpuDone
-			}
-			remaining--
-			if remaining == 0 {
-				fin(latest+dec+mac, dec+mac, mac)
-			}
-		}
-		s.mcReadTracked(line, tr, func(mcDone int64) {
-			if tr != nil {
-				tr.dataDone = true // now waiting on the MAC leg
-			}
-			join(mcDone * 2)
-		})
-		s.macRead(s.metaLine(line), join)
+		e.remaining = 2
+		s.mcReadTracked(line, e.track, tokKindData<<tokKindShift|line)
+		s.macRead(s.metaLine(line), macWaiter{line: line})
 	case SGXFullStyle:
 		// SGXStyle plus the counter/tree path: data is usable only after
 		// the data line, the MAC line, and every metadata-cache-missing
 		// tree level have arrived.
 		treeReads, treeWBs := s.tree.OnAccess(line, false)
-		remaining := 2 + len(treeReads)
-		var latest int64
-		join := func(cpuDone int64) {
-			if cpuDone > latest {
-				latest = cpuDone
-			}
-			remaining--
-			if remaining == 0 {
-				fin(latest+dec+mac, dec+mac, mac)
-			}
-		}
-		s.mcReadTracked(line, tr, func(mcDone int64) {
-			if tr != nil {
-				tr.dataDone = true
-			}
-			join(mcDone * 2)
-		})
-		s.macRead(s.metaLine(line), join)
+		e.remaining = 2 + len(treeReads)
+		s.mcReadTracked(line, e.track, tokKindData<<tokKindShift|line)
+		s.macRead(s.metaLine(line), macWaiter{line: line})
 		for _, t := range treeReads {
-			s.macRead(t&s.lineMask, join)
+			s.macRead(t&s.lineMask, macWaiter{line: line})
 		}
 		for _, wb := range treeWBs {
 			s.mcWrite(wb & s.lineMask)
@@ -673,24 +703,66 @@ func (s *System) schemeRead(line uint64, cb func(cpuDone int64)) {
 	}
 }
 
-// macRead fetches a MAC line, merging with an identical fetch in flight.
-func (s *System) macRead(macLine uint64, cb func(cpuDone int64)) {
-	if waiters, ok := s.macInflight[macLine]; ok {
-		s.macInflight[macLine] = append(waiters, cb)
+// OnReadDone implements memctrl.CompletionSink: the controller hands back
+// the completion token of a finished read and its MC-cycle timestamp, and
+// the kind bits route it to the owning join table.
+func (s *System) OnReadDone(token uint64, mcDone int64) {
+	line := token & (1<<tokKindShift - 1)
+	switch token >> tokKindShift {
+	case tokKindData:
+		e := s.mshr[line]
+		if tr := e.track; tr != nil && (s.cfg.Scheme == SGXStyle || s.cfg.Scheme == SGXFullStyle) {
+			tr.dataDone = true // now waiting on the MAC leg
+		}
+		s.joinLeg(line, e, mcDone*2)
+	case tokKindMAC:
+		// Detach the waiter list before fanning out: a completion may
+		// request this same MAC line again (writeback-path tree fetches),
+		// and that new request must start a fresh fetch rather than append
+		// to a list we are about to drop.
+		done := mcDone * 2
+		ws := s.macInflight[line]
+		delete(s.macInflight, line)
+		for _, w := range ws {
+			if w.drop {
+				continue
+			}
+			s.joinLeg(w.line, s.mshr[w.line], done)
+		}
+	default:
+		panic(fmt.Sprintf("sim: completion token %#x has unknown kind", token))
+	}
+}
+
+// joinLeg folds one completed memory leg into the entry's join; the last
+// leg stamps the track's completion phases and finishes the fill.
+func (s *System) joinLeg(line uint64, e *mshrEntry, cpuDone int64) {
+	if cpuDone > e.latest {
+		e.latest = cpuDone
+	}
+	if e.remaining--; e.remaining > 0 {
 		return
 	}
-	s.macInflight[macLine] = []func(int64){cb}
-	s.mcRead(macLine, func(mcDone int64) {
-		done := mcDone * 2
-		// Detach the waiter list before firing: a callback may request
-		// this same line again, and that new request must start a fresh
-		// fetch rather than append to a list we are about to drop.
-		ws := s.macInflight[macLine]
-		delete(s.macInflight, macLine)
-		for _, w := range ws {
-			w(done)
-		}
-	})
+	dec := s.cfg.ECCDecodeCPU
+	mac := s.cfg.MACLatencyCPU
+	if s.cfg.Scheme == Baseline {
+		mac = 0
+	}
+	done := e.latest + dec + mac
+	if tr := e.track; tr != nil {
+		tr.doneAt, tr.tail, tr.macTail = done, dec+mac, mac
+	}
+	s.finishFill(line, done)
+}
+
+// macRead fetches a MAC line, merging with an identical fetch in flight.
+func (s *System) macRead(macLine uint64, w macWaiter) {
+	if ws, ok := s.macInflight[macLine]; ok {
+		s.macInflight[macLine] = append(ws, w)
+		return
+	}
+	s.macInflight[macLine] = []macWaiter{w}
+	s.mcReadTracked(macLine, nil, tokKindMAC<<tokKindShift|macLine)
 }
 
 // writeback issues a memory write with the scheme's traffic rules.
@@ -703,11 +775,10 @@ func (s *System) writeback(line uint64) {
 	case SGXFullStyle:
 		s.mcWrite(s.metaLine(line))
 		// Writes bump the version counter: fetch any missing tree levels
-		// and absorb displaced dirty counter lines.
+		// (nobody waits on these) and absorb displaced dirty counter lines.
 		treeReads, treeWBs := s.tree.OnAccess(line, true)
-		for _, tr := range treeReads {
-			tr := tr & s.lineMask
-			s.macRead(tr, func(int64) {})
+		for _, t := range treeReads {
+			s.macRead(t&s.lineMask, macWaiter{drop: true})
 		}
 		for _, wb := range treeWBs {
 			s.mcWrite(wb & s.lineMask)
@@ -715,19 +786,15 @@ func (s *System) writeback(line uint64) {
 	}
 }
 
-func (s *System) mcRead(line uint64, cb func(mcDone int64)) {
-	s.mcReadTracked(line, nil, cb)
-}
-
-// mcReadTracked is mcRead with attribution: a request parked at a full
-// controller queue marks its track deferred (charged to CompQueue) until
-// retryDeferred gets it accepted.
-func (s *System) mcReadTracked(line uint64, tr *reqTrack, cb func(mcDone int64)) {
-	if !s.mc.EnqueueRead(line, cb) {
+// mcReadTracked enqueues a tokenized controller read with attribution: a
+// request parked at a full controller queue marks its track deferred
+// (charged to CompQueue) until retryDeferred gets it accepted.
+func (s *System) mcReadTracked(line uint64, tr *reqTrack, token uint64) {
+	if !s.mc.EnqueueReadToken(line, token) {
 		if tr != nil {
 			tr.deferred = true
 		}
-		s.pendingReads = append(s.pendingReads, deferredRead{lineAddr: line, cb: cb, track: tr})
+		s.pendingReads = append(s.pendingReads, deferredRead{lineAddr: line, token: token, track: tr})
 	}
 }
 
@@ -741,7 +808,7 @@ func (s *System) retryDeferred() {
 	for len(s.pendingReads) > 0 && s.mc.CanAcceptRead() {
 		d := s.pendingReads[0]
 		s.pendingReads = s.pendingReads[1:]
-		if !s.mc.EnqueueRead(d.lineAddr, d.cb) {
+		if !s.mc.EnqueueReadToken(d.lineAddr, d.token) {
 			s.pendingReads = append([]deferredRead{d}, s.pendingReads...)
 			break
 		}
@@ -772,20 +839,19 @@ func (s *System) Run() (Result, error) {
 }
 
 // RunContext is Run with cancellation, polled every 1024 cycles so a
-// SIGINT lands within microseconds of simulated progress.
+// SIGINT lands within microseconds of simulated progress. On a freshly
+// built system it runs from cycle 1; on a system primed by RestoreSnapshot
+// it continues from the checkpoint cycle, with results bit-identical to a
+// run that was never interrupted.
 func (s *System) RunContext(ctx context.Context) (Result, error) {
 	if s.initErr != nil {
 		return Result{}, s.initErr
 	}
-	n := s.cfg.Cores
-	warmCycle := make([]int64, n)
-	doneCycle := make([]int64, n)
-	remaining := n
 	target := s.cfg.WarmupInstr + s.cfg.InstrPerCore
 	event := s.cfg.Engine != "cycle"
-	for s.now = 1; remaining > 0; s.now++ {
+	for s.now++; s.remaining > 0; s.now++ {
 		if s.now > s.cfg.MaxCycles {
-			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d (%d cores unfinished)", s.cfg.MaxCycles, remaining)
+			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d (%d cores unfinished)", s.cfg.MaxCycles, s.remaining)
 		}
 		if s.now&1023 == 0 && ctx.Err() != nil {
 			return Result{}, ctx.Err()
@@ -798,8 +864,8 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 				continue
 			}
 			c.Cycle(s.now)
-			if warmCycle[i] == 0 && c.Retired >= s.cfg.WarmupInstr {
-				warmCycle[i] = s.now
+			if s.warmCycle[i] == 0 && c.Retired >= s.cfg.WarmupInstr {
+				s.warmCycle[i] = s.now
 				if s.coreCPI != nil {
 					// Snapshot after this cycle's charge: the measured
 					// window covers cycles (warmCycle, doneCycle], exactly
@@ -807,9 +873,9 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 					s.warmCPI[i] = *s.coreCPI[i]
 				}
 			}
-			if doneCycle[i] == 0 && c.Retired >= target {
-				doneCycle[i] = s.now
-				remaining--
+			if s.doneCycle[i] == 0 && c.Retired >= target {
+				s.doneCycle[i] = s.now
+				s.remaining--
 				if s.coreCPI != nil {
 					// Freeze the measured window in place; the core keeps
 					// cycling (rate methodology) but later charges must
@@ -821,7 +887,19 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 		if s.now&1 == 0 {
 			s.mc.Tick()
 		}
-		if event && remaining > 0 && s.now >= s.skipNextTry {
+		// Snapshot capture sits at end-of-cycle: every state transition of
+		// cycle s.now has happened, and the event engine never skips a
+		// capture cycle (trySkip caps its target below), so both engines
+		// capture identical state here.
+		if s.cfg.SnapshotFn != nil {
+			if err := s.maybeSnapshot(); err != nil {
+				return Result{}, err
+			}
+			if s.cfg.SnapshotStop && s.cfg.SnapshotAt > 0 && s.now == s.cfg.SnapshotAt {
+				return Result{}, ErrStopped
+			}
+		}
+		if event && s.remaining > 0 && s.now >= s.skipNextTry {
 			if s.trySkip(ctx) {
 				s.skipBackoff = 0
 			} else {
@@ -835,16 +913,16 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 	res := Result{
 		Scheme:      s.cfg.Scheme,
 		Workload:    s.cfg.Workload.Name,
-		CoreCycles:  doneCycle,
-		WarmCycles:  warmCycle,
+		CoreCycles:  append([]int64(nil), s.doneCycle...),
+		WarmCycles:  append([]int64(nil), s.warmCycle...),
 		MCStats:     s.mc.Stats,
 		LLCMisses:   s.llc.Misses,
 		LLCHits:     s.llc.Hits,
 		Prefetches:  s.pf.Issued,
 		PluginStats: s.mc.DrainPluginStats(),
 	}
-	for i, dc := range doneCycle {
-		res.IPC = append(res.IPC, float64(s.cfg.InstrPerCore)/float64(dc-warmCycle[i]))
+	for i, dc := range s.doneCycle {
+		res.IPC = append(res.IPC, float64(s.cfg.InstrPerCore)/float64(dc-s.warmCycle[i]))
 	}
 	if s.coreCPI != nil {
 		// warmCPI now holds each core's frozen measured-window delta.
@@ -867,19 +945,68 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 	return res, nil
 }
 
+// maybeSnapshot fires the configured captures due at the end of cycle
+// s.now: the one-shot SnapshotAt, the periodic CheckpointEvery grid, and
+// the all-cores-warm point. At most one snapshot is encoded per cycle even
+// when several triggers coincide.
+func (s *System) maybeSnapshot() error {
+	due := s.cfg.SnapshotAt > 0 && s.now == s.cfg.SnapshotAt
+	if s.cfg.CheckpointEvery > 0 && s.now == s.nextCkpt {
+		due = true
+		s.nextCkpt += s.cfg.CheckpointEvery
+	}
+	if s.cfg.SnapshotWarm && !s.warmSnapped {
+		allWarm := true
+		for _, w := range s.warmCycle {
+			if w == 0 {
+				allWarm = false
+				break
+			}
+		}
+		if allWarm {
+			due = true
+			s.warmSnapped = true
+		}
+	}
+	if !due {
+		return nil
+	}
+	data, err := s.EncodeSnapshot()
+	if err != nil {
+		return err
+	}
+	return s.cfg.SnapshotFn(data)
+}
+
+// nextSnapshotAt returns the earliest cycle after s.now at which a
+// scheduled capture (SnapshotAt or the checkpoint grid) must execute; the
+// warm capture needs no bound because it can only trigger on a cycle that
+// retires instructions, which a skipped span never does.
+func (s *System) nextSnapshotAt() int64 {
+	next := int64(1) << 62
+	if s.cfg.SnapshotAt > s.now {
+		next = s.cfg.SnapshotAt
+	}
+	if s.cfg.CheckpointEvery > 0 && s.nextCkpt > s.now && s.nextCkpt < next {
+		next = s.nextCkpt
+	}
+	return next
+}
+
 // trySkip is the event engine's skip-ahead step, run at the end of a
 // loop iteration. When every started core is provably inert (ROB full:
 // no retirement, no dispatch, no store retries) and the controller's
 // next event is in the future, it jumps s.now to one cycle before the
 // earliest thing that can happen — a core's own wake-up, a late core's
 // staggered start, the controller's next event (MC cycle M is processed
-// during CPU cycle 2M), or the MaxCycles guard. Skipped cycles change
-// no simulator state except attribution, which is replayed per cycle
-// from each core's frozen stall probe so every CPIStack still sums
-// exactly to its core's cycle count — the exact-sum invariant holds
-// under skips by construction. Reports whether a skip happened, feeding
-// the caller's attempt backoff; skipping is always optional, so the
-// backoff policy affects speed only, never results.
+// during CPU cycle 2M), a scheduled snapshot capture, or the MaxCycles
+// guard. Skipped cycles change no simulator state except attribution,
+// which is replayed per cycle from each core's frozen stall probe so
+// every CPIStack still sums exactly to its core's cycle count — the
+// exact-sum invariant holds under skips by construction. Reports whether
+// a skip happened, feeding the caller's attempt backoff; skipping is
+// always optional, so the backoff policy affects speed only, never
+// results.
 func (s *System) trySkip(ctx context.Context) bool {
 	// Cheapest rejection first: most iterations some core is active, so
 	// scan the cores before touching the controller's (pricier) wheel.
@@ -908,6 +1035,10 @@ func (s *System) trySkip(ctx context.Context) bool {
 		if s.skipProbes != nil {
 			s.skipProbes[i] = probe
 		}
+	}
+	// A scheduled capture cycle must execute in full, never be jumped.
+	if ns := s.nextSnapshotAt(); target > ns {
+		target = ns
 	}
 	// The cores wake too soon for a skip to pay for the wheel probe and
 	// clock jump below: a span this short costs more to set up than the

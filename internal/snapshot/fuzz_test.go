@@ -1,0 +1,112 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzSnapshotRoundTrip: any (kind, meta, body) that Encode accepts must
+// survive Peek and Decode unchanged — the writer and the strict reader
+// agree on the whole input space.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add("sim-state", "seed", "11", `{"a":1}`)
+	f.Add("warm-pool", "scheme", "SafeGuard (ours)", `[1,2,3]`)
+	f.Add("k", "", "", `"s"`)
+	f.Add("a-b-c", "key.with-chars_09", "value with = and spaces", `null`)
+	f.Fuzz(func(t *testing.T, kind, mk, mv, bodyJSON string) {
+		var body any
+		if err := json.Unmarshal([]byte(bodyJSON), &body); err != nil {
+			t.Skip()
+		}
+		meta := map[string]string{}
+		if mk != "" {
+			meta[mk] = mv
+		}
+		data, err := Encode(kind, meta, body)
+		if err != nil {
+			// Encode rejected the input (bad kind/meta); nothing to check.
+			return
+		}
+		h, err := Peek(data)
+		if err != nil {
+			t.Fatalf("Peek rejected Encode output: %v", err)
+		}
+		if h.Kind != kind {
+			t.Fatalf("kind %q round-tripped to %q", kind, h.Kind)
+		}
+		if mk != "" && h.Meta[mk] != mv {
+			t.Fatalf("meta %q=%q round-tripped to %q", mk, mv, h.Meta[mk])
+		}
+		var out any
+		if _, err := Decode(data, &out); err != nil {
+			t.Fatalf("Decode rejected Encode output: %v", err)
+		}
+		re, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, orig) {
+			t.Fatalf("body %s round-tripped to %s", orig, re)
+		}
+		// Deterministic: encoding again yields identical bytes.
+		again, err := Encode(kind, meta, body)
+		if err != nil || !bytes.Equal(data, again) {
+			t.Fatalf("re-encode diverged (err %v)", err)
+		}
+	})
+}
+
+// FuzzSnapshotReader: arbitrary bytes must never panic the reader, and
+// anything it accepts must re-encode to the exact same bytes (the reader
+// admits nothing outside the writer's image).
+func FuzzSnapshotReader(f *testing.F) {
+	good, err := Encode("sim-state", map[string]string{"cycle": "12000", "seed": "11"}, map[string]int{"a": 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte("sgsnap/1 k\n{}\n"))
+	f.Add([]byte("sgsnap/1 k\n# meta a=1\n{}\n# sha256 0000\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := Peek(data)
+		if err != nil {
+			return
+		}
+		var body any
+		if _, err := Decode(data, &body); err != nil {
+			// Envelope valid but body JSON does not decode into any —
+			// only possible via trailing JSON; still must not panic.
+			return
+		}
+		re, err := Encode(h.Kind, h.Meta, body)
+		if err != nil {
+			t.Fatalf("accepted input did not re-encode: %v", err)
+		}
+		// encoding/json is not byte-preserving for arbitrary accepted
+		// bodies (key order, number formatting), but structure must agree:
+		// the re-encoded document must parse to the same header.
+		h2, err := Peek(re)
+		if err != nil {
+			t.Fatalf("re-encoded accepted input rejected: %v", err)
+		}
+		if h2.Kind != h.Kind || len(h2.Meta) != len(h.Meta) {
+			t.Fatalf("header changed across re-encode: %+v vs %+v", h, h2)
+		}
+		for k, v := range h.Meta {
+			if strings.ContainsAny(v, "\n\r") {
+				t.Fatalf("reader admitted meta value with newline: %q", v)
+			}
+			if h2.Meta[k] != v {
+				t.Fatalf("meta %q changed across re-encode", k)
+			}
+		}
+	})
+}

@@ -1,0 +1,195 @@
+// Package snapshot defines sgsnap/1, the repository's checkpoint envelope:
+// a self-describing, byte-stable container for serialized simulator state.
+// It follows the same header/meta/invariant discipline as the
+// "# safeguard-trace v1" files and the resultcache artifact format:
+//
+//	sgsnap/1 <kind>
+//	# meta <key>=<value>        (zero or more, keys sorted and unique)
+//	<canonical JSON body, one line>
+//	# sha256 <hex digest of everything above>
+//
+// Writers produce deterministic bytes: meta keys are sorted, the body is
+// encoding/json output (map keys sorted by construction), and nothing
+// wall-clock-dependent is admitted. Readers are strict: a file that is
+// truncated, reordered, bit-flipped, carrying unsorted or duplicate meta,
+// or trailing extra bytes is rejected, never half-loaded — a corrupt
+// checkpoint must fail loudly rather than resume a subtly wrong simulation.
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Magic is the first token of every snapshot file.
+const Magic = "sgsnap/1"
+
+// Header identifies a snapshot without decoding its body.
+type Header struct {
+	// Kind names the payload type (e.g. "sim-state"); lowercase
+	// alphanumerics and dashes.
+	Kind string
+	// Meta carries small identifying key=value pairs (scheme, workload,
+	// seed, cycle) for cache keying and pre-restore validation.
+	Meta map[string]string
+}
+
+func validKind(kind string) bool {
+	if kind == "" {
+		return false
+	}
+	for _, r := range kind {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+func validMetaKey(k string) bool {
+	if k == "" {
+		return false
+	}
+	for _, r := range k {
+		ok := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') ||
+			r == '_' || r == '.' || r == '-'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode serializes body as one sgsnap/1 document. The same kind, meta,
+// and body always produce the same bytes.
+func Encode(kind string, meta map[string]string, body any) ([]byte, error) {
+	if !validKind(kind) {
+		return nil, fmt.Errorf("snapshot: invalid kind %q (want lowercase alphanumerics and dashes)", kind)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %s\n", Magic, kind)
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := meta[k]
+		if !validMetaKey(k) {
+			return nil, fmt.Errorf("snapshot: invalid meta key %q", k)
+		}
+		if strings.ContainsAny(v, "\n\r") {
+			return nil, fmt.Errorf("snapshot: meta value for %q contains a newline", k)
+		}
+		fmt.Fprintf(&buf, "# meta %s=%s\n", k, v)
+	}
+	enc, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: encode body: %w", err)
+	}
+	buf.Write(enc)
+	buf.WriteByte('\n')
+	sum := sha256.Sum256(buf.Bytes())
+	fmt.Fprintf(&buf, "# sha256 %s\n", hex.EncodeToString(sum[:]))
+	return buf.Bytes(), nil
+}
+
+// parse validates everything except the body JSON and returns the header
+// plus the raw body line.
+func parse(data []byte) (Header, []byte, error) {
+	var h Header
+	if len(data) == 0 {
+		return h, nil, fmt.Errorf("snapshot: empty input")
+	}
+	if data[len(data)-1] != '\n' {
+		return h, nil, fmt.Errorf("snapshot: truncated (missing trailing newline)")
+	}
+	// Split off the digest line and verify it over everything before it.
+	trimmed := data[:len(data)-1]
+	nl := bytes.LastIndexByte(trimmed, '\n')
+	if nl < 0 {
+		return h, nil, fmt.Errorf("snapshot: truncated (no digest line)")
+	}
+	shaLine := string(trimmed[nl+1:])
+	payload := data[:nl+1]
+	hexSum, ok := strings.CutPrefix(shaLine, "# sha256 ")
+	if !ok {
+		return h, nil, fmt.Errorf("snapshot: last line is not a sha256 trailer")
+	}
+	want, err := hex.DecodeString(hexSum)
+	if err != nil || len(want) != sha256.Size {
+		return h, nil, fmt.Errorf("snapshot: malformed sha256 trailer")
+	}
+	if got := sha256.Sum256(payload); !bytes.Equal(got[:], want) {
+		return h, nil, fmt.Errorf("snapshot: sha256 mismatch (corrupt or tampered)")
+	}
+	lines := strings.Split(string(payload[:len(payload)-1]), "\n")
+	magic, kind, ok := strings.Cut(lines[0], " ")
+	if !ok || magic != Magic {
+		return h, nil, fmt.Errorf("snapshot: bad magic line %q", lines[0])
+	}
+	if !validKind(kind) {
+		return h, nil, fmt.Errorf("snapshot: invalid kind %q", kind)
+	}
+	h.Kind = kind
+	h.Meta = map[string]string{}
+	body := -1
+	lastKey := ""
+	for i, line := range lines[1:] {
+		if kv, ok := strings.CutPrefix(line, "# meta "); ok {
+			if body >= 0 {
+				return h, nil, fmt.Errorf("snapshot: meta line after body")
+			}
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok || !validMetaKey(k) {
+				return h, nil, fmt.Errorf("snapshot: malformed meta line %q", line)
+			}
+			if k <= lastKey {
+				return h, nil, fmt.Errorf("snapshot: meta keys not sorted and unique at %q", k)
+			}
+			lastKey = k
+			h.Meta[k] = v
+			continue
+		}
+		if body >= 0 {
+			return h, nil, fmt.Errorf("snapshot: trailing data after body line")
+		}
+		body = i + 1
+	}
+	if body < 0 {
+		return h, nil, fmt.Errorf("snapshot: missing body line")
+	}
+	return h, []byte(lines[body]), nil
+}
+
+// Peek validates the envelope (including the digest) and returns the
+// header without decoding the body — cheap enough for cache-key checks.
+func Peek(data []byte) (Header, error) {
+	h, _, err := parse(data)
+	return h, err
+}
+
+// Decode validates the envelope and unmarshals the body into out. Unknown
+// body fields are rejected: a snapshot is a closed contract between one
+// writer and one reader, so surplus fields mean corruption or a version
+// skew the caller must see.
+func Decode(data []byte, out any) (Header, error) {
+	h, body, err := parse(data)
+	if err != nil {
+		return h, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		return h, fmt.Errorf("snapshot: decode %s body: %w", h.Kind, err)
+	}
+	if dec.More() {
+		return h, fmt.Errorf("snapshot: trailing JSON after %s body", h.Kind)
+	}
+	return h, nil
+}

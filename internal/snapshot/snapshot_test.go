@@ -1,0 +1,140 @@
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	A int      `json:"a"`
+	B []string `json:"b,omitempty"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	t.Parallel()
+	in := payload{A: 42, B: []string{"x", "y"}}
+	meta := map[string]string{"seed": "11", "scheme": "SafeGuard (ours)", "cycle": "12000"}
+	data, err := Encode("sim-state", meta, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Peek(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Kind != "sim-state" || !reflect.DeepEqual(h.Meta, meta) {
+		t.Fatalf("peek returned %+v", h)
+	}
+	var out payload
+	if _, err := Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: in %+v out %+v", in, out)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	t.Parallel()
+	meta := map[string]string{"b": "2", "a": "1", "c": "3"}
+	x, err := Encode("k", meta, payload{A: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := Encode("k", meta, payload{A: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(x, y) {
+		t.Error("same input encoded to different bytes")
+	}
+	lines := strings.Split(string(x), "\n")
+	if lines[1] != "# meta a=1" || lines[2] != "# meta b=2" || lines[3] != "# meta c=3" {
+		t.Errorf("meta lines not sorted: %q", lines[1:4])
+	}
+}
+
+func TestEncodeRejectsBadInput(t *testing.T) {
+	t.Parallel()
+	if _, err := Encode("Bad Kind", nil, 1); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if _, err := Encode("", nil, 1); err == nil {
+		t.Error("empty kind accepted")
+	}
+	if _, err := Encode("k", map[string]string{"bad key": "v"}, 1); err == nil {
+		t.Error("invalid meta key accepted")
+	}
+	if _, err := Encode("k", map[string]string{"k": "a\nb"}, 1); err == nil {
+		t.Error("meta value with newline accepted")
+	}
+	if _, err := Encode("k", nil, func() {}); err == nil {
+		t.Error("unmarshalable body accepted")
+	}
+}
+
+// TestReaderStrict: every structural violation is rejected — a corrupt
+// checkpoint must fail loudly, never half-load.
+func TestReaderStrict(t *testing.T) {
+	t.Parallel()
+	good, err := Encode("k", map[string]string{"a": "1", "b": "2"}, payload{A: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// seal signs a hand-built payload so structural mutants fail on
+	// structure, not on the digest.
+	seal := func(payload string) []byte {
+		sum := sha256.Sum256([]byte(payload))
+		return append([]byte(payload), fmt.Sprintf("# sha256 %s\n", hex.EncodeToString(sum[:]))...)
+	}
+	bad := map[string][]byte{
+		"empty":           nil,
+		"no-newline":      good[:len(good)-1],
+		"truncated":       good[:len(good)/2],
+		"no-digest":       []byte("sgsnap/1 k\n{}\n"),
+		"bad-digest-hex":  []byte("sgsnap/1 k\n{}\n# sha256 zz\n"),
+		"trailing-data":   append(append([]byte(nil), good...), "x\n"...),
+		"bad-magic":       seal("sgsnap/9 k\n{}\n"),
+		"bad-kind":        seal("sgsnap/1 K!\n{}\n"),
+		"meta-unsorted":   seal("sgsnap/1 k\n# meta b=2\n# meta a=1\n{}\n"),
+		"meta-dup":        seal("sgsnap/1 k\n# meta a=1\n# meta a=2\n{}\n"),
+		"malformed-meta":  seal("sgsnap/1 k\n# meta noequals\n{}\n"),
+		"two-bodies":      seal("sgsnap/1 k\n{}\n{}\n"),
+		"missing-body":    seal("sgsnap/1 k\n# meta a=1\n"),
+		"meta-after-body": seal("sgsnap/1 k\n{}\n# meta a=1\n"),
+	}
+	for name, data := range bad {
+		if _, err := Peek(data); err == nil {
+			t.Errorf("%s: Peek accepted corrupt input", name)
+		}
+		var out payload
+		if _, err := Decode(data, &out); err == nil {
+			t.Errorf("%s: Decode accepted corrupt input", name)
+		}
+	}
+	// Every single-byte flip in the payload is caught by the digest.
+	for pos := 0; pos < len(good)-1; pos += 7 {
+		flipped := append([]byte(nil), good...)
+		flipped[pos] ^= 0x01
+		if _, err := Peek(flipped); err == nil {
+			t.Errorf("bit flip at %d accepted", pos)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	t.Parallel()
+	data, err := Encode("k", nil, map[string]int{"a": 1, "zzz": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if _, err := Decode(data, &out); err == nil {
+		t.Error("unknown body field accepted")
+	}
+}

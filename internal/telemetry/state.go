@@ -1,0 +1,123 @@
+// Checkpoint support: a registry can be overwritten in place from a
+// Snapshot, and a tracer's ring can be captured and restored. Both mutate
+// existing instruments/buffers rather than replacing them, so handles held
+// by long-lived components (the controller's counter set, the datapath's
+// tracer) stay attached across a restore.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+)
+
+// Restore overwrites the registry's instruments from a snapshot: every
+// snapshot instrument is set to its recorded value (registering missing
+// ones), and instruments present in the registry but absent from the
+// snapshot are zeroed — after Restore, Snapshot() returns exactly the
+// restored state. Histograms already registered must agree on bucket
+// bounds. A nil registry only accepts the empty snapshot.
+func (r *Registry) Restore(s Snapshot) error {
+	if r == nil {
+		if len(s.Counters) > 0 || len(s.Gauges) > 0 || len(s.Histograms) > 0 {
+			return fmt.Errorf("telemetry: cannot restore %d instruments into a disabled registry",
+				len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+		}
+		return nil
+	}
+	for name, hs := range s.Histograms {
+		if len(hs.Buckets) != len(hs.Bounds)+1 {
+			return fmt.Errorf("telemetry: histogram %q snapshot has %d buckets for %d bounds", name, len(hs.Buckets), len(hs.Bounds))
+		}
+		for i := 1; i < len(hs.Bounds); i++ {
+			if hs.Bounds[i] <= hs.Bounds[i-1] {
+				return fmt.Errorf("telemetry: histogram %q snapshot bounds not strictly ascending", name)
+			}
+		}
+	}
+	r.mu.Lock()
+	for name, h := range r.histograms {
+		if hs, ok := s.Histograms[name]; ok && !int64sEqual(h.bounds, hs.Bounds) {
+			r.mu.Unlock()
+			return fmt.Errorf("telemetry: histogram %q snapshot bounds disagree with registered bounds", name)
+		}
+	}
+	for name, c := range r.counters {
+		c.v.Store(s.Counters[name])
+	}
+	for name, g := range r.gauges {
+		g.bits.Store(math.Float64bits(s.Gauges[name]))
+	}
+	for name, h := range r.histograms {
+		hs := s.Histograms[name] // zero value zeroes the histogram
+		h.count.Store(hs.Count)
+		h.sum.Store(hs.Sum)
+		for i := range h.buckets {
+			var n uint64
+			if i < len(hs.Buckets) {
+				n = hs.Buckets[i]
+			}
+			h.buckets[i].Store(n)
+		}
+	}
+	r.mu.Unlock()
+	// Register and set instruments the snapshot has but the registry lacks.
+	for name, v := range s.Counters {
+		r.Counter(name).v.Store(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).bits.Store(math.Float64bits(v))
+	}
+	for name, hs := range s.Histograms {
+		h := r.Histogram(name, hs.Bounds)
+		h.count.Store(hs.Count)
+		h.sum.Store(hs.Sum)
+		for i := range h.buckets {
+			h.buckets[i].Store(hs.Buckets[i])
+		}
+	}
+	return nil
+}
+
+// TracerState is a tracer's complete serializable state: the buffered
+// events oldest-first, the eviction count, and the ring capacity (restore
+// validates it).
+type TracerState struct {
+	Capacity int     `json:"capacity"`
+	Events   []Event `json:"events"`
+	Dropped  uint64  `json:"dropped"`
+}
+
+// SaveState captures the ring's state (nil for a nil tracer).
+func (t *Tracer) SaveState() *TracerState {
+	if t == nil {
+		return nil
+	}
+	return &TracerState{Capacity: cap(t.buf), Events: t.Events(), Dropped: t.Dropped()}
+}
+
+// RestoreState overwrites the ring from a snapshot taken on a tracer of
+// the same capacity.
+func (t *Tracer) RestoreState(st *TracerState) error {
+	if t == nil {
+		if st != nil && (len(st.Events) > 0 || st.Dropped > 0) {
+			return fmt.Errorf("telemetry: cannot restore %d events into a disabled tracer", len(st.Events))
+		}
+		return nil
+	}
+	if st == nil {
+		return fmt.Errorf("telemetry: nil tracer snapshot for an enabled tracer")
+	}
+	if st.Capacity != cap(t.buf) {
+		return fmt.Errorf("telemetry: tracer snapshot capacity %d, ring capacity %d", st.Capacity, cap(t.buf))
+	}
+	if len(st.Events) > st.Capacity {
+		return fmt.Errorf("telemetry: tracer snapshot has %d events over capacity %d", len(st.Events), st.Capacity)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf[:0], st.Events...)
+	t.next = 0
+	t.wrapped = len(t.buf) == cap(t.buf) && st.Dropped > 0
+	t.dropped = st.Dropped
+	return nil
+}

@@ -1,0 +1,38 @@
+package workload
+
+import "fmt"
+
+// GeneratorState is a generator's complete serializable state: the PCG
+// stream position (opaque MarshalBinary bytes) and the two sequential walk
+// cursors. Params, copy index, and base address are configuration.
+type GeneratorState struct {
+	RNG       []byte `json:"rng"`
+	StreamPos uint64 `json:"stream_pos"`
+	StorePos  uint64 `json:"store_pos"`
+}
+
+// SaveState captures the generator's state.
+func (g *Generator) SaveState() (GeneratorState, error) {
+	rng, err := g.src.MarshalBinary()
+	if err != nil {
+		return GeneratorState{}, fmt.Errorf("workload: marshal rng: %w", err)
+	}
+	return GeneratorState{RNG: rng, StreamPos: g.streamPos, StorePos: g.storePos}, nil
+}
+
+// RestoreState overwrites the generator's state from a snapshot taken on a
+// generator with the same Params.
+func (g *Generator) RestoreState(st GeneratorState) error {
+	if st.StreamPos >= g.p.StreamWS*(lineBytes/wordBytes) {
+		return fmt.Errorf("workload: stream position %d outside working set %d", st.StreamPos, g.p.StreamWS*(lineBytes/wordBytes))
+	}
+	if st.StorePos >= g.p.StoreWS*(lineBytes/wordBytes) {
+		return fmt.Errorf("workload: store position %d outside working set %d", st.StorePos, g.p.StoreWS*(lineBytes/wordBytes))
+	}
+	if err := g.src.UnmarshalBinary(st.RNG); err != nil {
+		return fmt.Errorf("workload: restore rng: %w", err)
+	}
+	g.streamPos = st.StreamPos
+	g.storePos = st.StorePos
+	return nil
+}

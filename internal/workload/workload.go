@@ -124,6 +124,9 @@ func Names() []string {
 type Generator struct {
 	p   Params
 	rng *rand.Rand
+	// src is the rng's underlying PCG, retained because rand.Rand hides
+	// its source and checkpointing needs MarshalBinary access.
+	src *rand.PCG
 	// base places this copy's footprint in physical memory.
 	base uint64
 	// streamPos / storePos walk the sequential regions in 8-byte words.
@@ -147,9 +150,11 @@ const (
 // copy starts its sequential walks at a random phase so the four rate
 // copies do not march through DRAM banks in lock-step.
 func NewGenerator(p Params, copyIdx int, seed uint64) *Generator {
+	src := rand.NewPCG(seed, uint64(copyIdx)*0x9E3779B97F4A7C15+uint64(copyIdx)+1)
 	g := &Generator{
 		p:    p,
-		rng:  rand.New(rand.NewPCG(seed, uint64(copyIdx)*0x9E3779B97F4A7C15+uint64(copyIdx)+1)),
+		rng:  rand.New(src),
+		src:  src,
 		base: uint64(copyIdx) * copyStride,
 	}
 	g.streamPos = g.rng.Uint64N(p.StreamWS * (lineBytes / wordBytes))

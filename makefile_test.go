@@ -117,6 +117,8 @@ func TestMakeFuzzTargetsPackageQualified(t *testing.T) {
 	for _, want := range []string{
 		"./internal/ecc:FuzzSECDEDDecode",
 		"./internal/memctrl:FuzzEngineEquivalence",
+		"./internal/snapshot:FuzzSnapshotRoundTrip",
+		"./internal/snapshot:FuzzSnapshotReader",
 	} {
 		if !strings.Contains(mf, want) {
 			t.Errorf("FUZZ_TARGETS missing %q", want)
@@ -161,7 +163,7 @@ func TestMakeCIComposition(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ci dry-run failed:\n%s", out)
 	}
-	for _, leg := range []string{"lint", "-race", "-shuffle=on", "cover", "fuzz-smoke", "examples-smoke", "sgprof-smoke"} {
+	for _, leg := range []string{"lint", "-race", "-shuffle=on", "cover", "fuzz-smoke", "examples-smoke", "sgprof-smoke", "snapshot-smoke"} {
 		if !strings.Contains(out, leg) {
 			t.Errorf("make ci lost its %q leg:\n%s", leg, out)
 		}
@@ -170,7 +172,7 @@ func TestMakeCIComposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pkg := range []string{"./internal/jobs", "./internal/resultcache", "./internal/fleet"} {
+	for _, pkg := range []string{"./internal/jobs", "./internal/resultcache", "./internal/fleet", "./internal/snapshot"} {
 		if !strings.Contains(string(raw), pkg) {
 			t.Errorf("coverage gate dropped %s", pkg)
 		}
@@ -241,7 +243,7 @@ func TestMakeLintVersionsPinned(t *testing.T) {
 // renamed cmd can't silently break bench or the smokes.
 func TestMakefileReferencedPathsExist(t *testing.T) {
 	t.Parallel()
-	for _, p := range []string{"cmd/bench2json", "cmd/sgprof", "cmd/sgserve", "cmd/sgworker", "internal/ecc", "internal/memctrl", "internal/fleet", "examples"} {
+	for _, p := range []string{"cmd/bench2json", "cmd/sgprof", "cmd/sgperf", "cmd/sgserve", "cmd/sgworker", "internal/ecc", "internal/memctrl", "internal/fleet", "internal/snapshot", "examples"} {
 		if _, err := os.Stat(filepath.FromSlash(p)); err != nil {
 			t.Errorf("Makefile-referenced path %s: %v", p, err)
 		}

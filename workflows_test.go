@@ -97,7 +97,7 @@ func TestWorkflowStructure(t *testing.T) {
 func TestCIWorkflowCoversPushPRAndMatrix(t *testing.T) {
 	t.Parallel()
 	body := readWorkflow(t, "ci.yml")
-	for _, want := range []string{"push:", "pull_request:", "matrix:", "stable", "oldstable", "cache: true", "make ci", "make bench-quick", "make fleet-chaos"} {
+	for _, want := range []string{"push:", "pull_request:", "matrix:", "stable", "oldstable", "cache: true", "make ci", "make bench-quick", "make fleet-chaos", "make snapshot-smoke"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("ci.yml missing %q", want)
 		}
