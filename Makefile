@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-check bench-quick ci cover fmt vet lint fuzz-smoke examples-smoke sgprof-smoke snapshot-smoke fleet-chaos
+.PHONY: all build test bench bench-check bench-quick ci cover fmt vet lint fuzz-smoke examples-smoke sgprof-smoke snapshot-smoke obs-smoke fleet-chaos
 
 all: build
 
@@ -148,6 +148,30 @@ snapshot-smoke:
 	rm -rf $$dir; \
 	echo "snapshot smoke OK (cold -> deposit -> resume, byte-identical)"
 
+# obs-smoke proves the observability plane end to end: first the
+# ObsSmoke test suite under the race detector (executor progress spans,
+# the exact SSE lifecycle of a fleet job, merged-snapshot bit-identity
+# across worker counts, the heartbeat live preview), then the real
+# binaries — sgserve brought up cold, sgtop -once -json pulling a frame
+# from its /healthz + /stats surfaces.
+OBS_SMOKE_ADDR ?= 127.0.0.1:18417
+obs-smoke:
+	$(GO) test -race -count=1 -timeout 10m -run 'TestObsSmoke' ./internal/fleet/ ./internal/resultcache/
+	@tmp=$$(mktemp -d /tmp/obs-smoke-XXXXXX); \
+	$(GO) build -o $$tmp/sgserve ./cmd/sgserve || { rm -rf $$tmp; exit 1; }; \
+	$(GO) build -o $$tmp/sgtop ./cmd/sgtop || { rm -rf $$tmp; exit 1; }; \
+	$$tmp/sgserve -addr $(OBS_SMOKE_ADDR) >$$tmp/serve.log 2>&1 & pid=$$!; \
+	ok=0; \
+	for i in $$(seq 1 20); do \
+		if $$tmp/sgtop -server http://$(OBS_SMOKE_ADDR) -once -json >$$tmp/frame.json 2>/dev/null; then ok=1; break; fi; \
+		sleep 0.5; \
+	done; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	if [ $$ok -ne 1 ]; then echo "obs-smoke: sgtop never got a frame from sgserve" >&2; cat $$tmp/serve.log >&2; rm -rf $$tmp; exit 1; fi; \
+	grep -q '"status": "ok"' $$tmp/frame.json || { echo "obs-smoke: unhealthy frame:" >&2; cat $$tmp/frame.json >&2; rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp; \
+	echo "obs smoke OK (ObsSmoke suite + sgserve -> sgtop -once -json frame)"
+
 # fleet-chaos repeats the fleet chaos suite (worker kill, kill-mid-run
 # checkpoint resume, stall-past-lease zombie, result corruption, network
 # partition) under the race detector. Faults are scripted, not random,
@@ -185,8 +209,9 @@ cover:
 # (includes the figure-shape regression tests in figures_test.go and one
 # pass over each fleet chaos scenario), the coverage gate, a short fuzz
 # pass over every codec, the example programs, the sgprof profiler
-# smoke, and the checkpoint/restore smoke. The CI workflow additionally
-# repeats the chaos scenarios via `make fleet-chaos`.
+# smoke, the checkpoint/restore smoke, and the observability smoke. The
+# CI workflow additionally repeats the chaos scenarios via
+# `make fleet-chaos`.
 ci: vet fmt
 	$(MAKE) lint
 	$(GO) test -race -shuffle=on -timeout 25m ./...
@@ -195,3 +220,4 @@ ci: vet fmt
 	$(MAKE) examples-smoke
 	$(MAKE) sgprof-smoke
 	$(MAKE) snapshot-smoke
+	$(MAKE) obs-smoke

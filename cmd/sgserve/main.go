@@ -5,14 +5,18 @@
 //
 //	sgserve -addr :8080 -cache-dir /var/lib/sgserve
 //
-//	POST /v1/jobs           submit {"kind":"perf",...} or {"kind":"rel",...}
-//	GET  /v1/jobs/{id}      poll job state
-//	GET  /v1/results/{hash} fetch the stored artifact
-//	GET  /healthz           liveness (200 even while draining or degraded)
-//	GET  /readyz            readiness (503 draining; with -fleet, 503
-//	                        while no workers are live)
-//	POST /v1/fleet/...      worker lease protocol (-fleet only)
-//	GET  /stats, /debug/... telemetry (expvar, pprof)
+//	POST /v1/jobs              submit {"kind":"perf",...} or {"kind":"rel",...}
+//	GET  /v1/jobs              list jobs (state + progress), paginated
+//	GET  /v1/jobs/{id}         poll job state
+//	GET  /v1/jobs/{id}/events  one job's lifecycle as SSE (history + live)
+//	GET  /v1/events            every job event as SSE (sgtop's feed)
+//	GET  /v1/results/{hash}    fetch the stored artifact
+//	GET  /healthz              liveness (200 even while draining or degraded)
+//	GET  /readyz               readiness (503 draining; with -fleet, 503
+//	                           while no workers are live)
+//	POST /v1/fleet/...         worker lease protocol (-fleet only)
+//	GET  /metrics              Prometheus text exposition
+//	GET  /stats, /debug/...    telemetry (expvar, pprof)
 //
 // With -fleet the service becomes a coordinator: jobs are leased to
 // sgworker processes, results are verified against the request hash
@@ -66,6 +70,10 @@ func main() {
 	}
 
 	reg := telemetry.NewRegistry()
+	// One bus feeds both publishers (the manager's lifecycle events, the
+	// coordinator's checkpoint events) and every SSE subscriber, so the
+	// firehose is a single total order.
+	bus := telemetry.NewBus(reg)
 	cache, err := resultcache.New(resultcache.Options{
 		MemEntries: *memEntries, Dir: *cacheDir, Telemetry: reg,
 	})
@@ -83,6 +91,7 @@ func main() {
 			Cache:     cache,
 			LeaseTTL:  *leaseTTL,
 			Telemetry: reg,
+			Bus:       bus,
 		})
 		if err != nil {
 			cliflags.Fail(err)
@@ -93,6 +102,7 @@ func main() {
 	mgr := jobs.NewManager(jobs.Config{
 		Workers: *workers, QueueDepth: *queueDepth, MaxAttempts: *maxAttempts,
 		PendingPath: *pendingPath, Runner: runner, Cache: cache, Telemetry: reg,
+		Bus: bus,
 	})
 	defer mgr.Close()
 

@@ -1,0 +1,394 @@
+// Command sgtop is a live console for a running sgserve: it follows the
+// /v1/events SSE firehose and polls /healthz + /stats each refresh,
+// rendering queue depth, per-job activity with phase/percent progress,
+// counter deltas since the previous frame, and latency quantiles
+// computed from the histogram buckets (the same estimator Prometheus'
+// histogram_quantile applies to /metrics).
+//
+//	sgtop -server http://127.0.0.1:8080
+//	sgtop -server http://127.0.0.1:8080 -interval 5s
+//	sgtop -server http://127.0.0.1:8080 -once -json
+//
+// Live mode redraws every -interval until interrupted. -once collects a
+// single frame and exits; with -json the frame is emitted as one
+// machine-readable JSON object — the mode scripts and smoke tests use.
+//
+// The firehose is consumed on the bus's terms: a slow sgtop loses
+// events rather than back-pressuring the server, and the frame reports
+// how many (detected as gaps in the bus sequence numbers).
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"safeguard/internal/cliflags"
+	"safeguard/internal/telemetry"
+)
+
+// tracker folds the SSE firehose into what a frame renders: the latest
+// event per live job, terminal tallies, and stream health. Events at or
+// below the last seen sequence number are ignored, which makes the
+// history replay after a reconnect harmless.
+type tracker struct {
+	mu          sync.Mutex
+	seen        uint64
+	lost        uint64 // sequence-number gaps: events the bus shed for us
+	lastSeq     uint64
+	active      map[string]telemetry.JobEvent
+	completed   uint64
+	failed      uint64
+	retried     uint64
+	checkpoints uint64
+}
+
+func newTracker() *tracker {
+	return &tracker{active: map[string]telemetry.JobEvent{}}
+}
+
+func (t *tracker) apply(ev telemetry.JobEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ev.Seq <= t.lastSeq {
+		return // reconnect replay of history we already folded in
+	}
+	// The first event just anchors the sequence: history the ring evicted
+	// before we connected was never ours to lose.
+	if t.lastSeq != 0 {
+		t.lost += ev.Seq - t.lastSeq - 1
+	}
+	t.lastSeq = ev.Seq
+	t.seen++
+	switch ev.Type {
+	case telemetry.EventComplete:
+		t.completed++
+	case telemetry.EventFailed:
+		t.failed++
+	case telemetry.EventRetried:
+		t.retried++
+	case telemetry.EventCheckpoint:
+		t.checkpoints++
+	}
+	if ev.Job == "" {
+		return // checkpoint deposits are keyed by hash, not job
+	}
+	if ev.Terminal() {
+		delete(t.active, ev.Job)
+		return
+	}
+	t.active[ev.Job] = ev
+}
+
+// frame is one observation — everything sgtop shows, in a shape that
+// also serializes cleanly for -once -json.
+type frame struct {
+	Server      string       `json:"server"`
+	Status      string       `json:"status"`
+	QueueDepth  int          `json:"queue_depth"`
+	Active      []activeRow  `json:"active"`
+	Completed   uint64       `json:"completed"`
+	Failed      uint64       `json:"failed"`
+	Retried     uint64       `json:"retried"`
+	Checkpoints uint64       `json:"checkpoints"`
+	EventsSeen  uint64       `json:"events_seen"`
+	EventsLost  uint64       `json:"events_lost"`
+	Counters    []counterRow `json:"counters"`
+	Histograms  []histRow    `json:"histograms"`
+}
+
+// activeRow is one live (non-terminal) job.
+type activeRow struct {
+	Job     string  `json:"job"`
+	Worker  string  `json:"worker,omitempty"`
+	Event   string  `json:"event"`
+	Phase   string  `json:"phase,omitempty"`
+	Done    int64   `json:"done,omitempty"`
+	Total   int64   `json:"total,omitempty"`
+	Percent float64 `json:"percent"` // -1 while the extent is unknown
+}
+
+// counterRow is one registry counter with its growth since the previous
+// frame (zero on the first frame and in -once mode).
+type counterRow struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+	Delta uint64 `json:"delta"`
+}
+
+// histRow is one histogram summarized to the quantiles a console wants.
+type histRow struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// activeRows flattens the tracker's live jobs, sorted by job ID.
+func activeRows(active map[string]telemetry.JobEvent) []activeRow {
+	rows := make([]activeRow, 0, len(active))
+	for job, ev := range active {
+		row := activeRow{Job: job, Worker: ev.Worker, Event: ev.Type, Percent: -1}
+		if p := ev.Progress; p != nil {
+			row.Phase, row.Done, row.Total = p.Phase, p.Done, p.Total
+			row.Percent = p.Percent()
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Job < rows[j].Job })
+	return rows
+}
+
+// counterRows sorts the snapshot counters and annotates each with its
+// delta against the previous frame's values.
+func counterRows(cur, prev map[string]uint64) []counterRow {
+	rows := make([]counterRow, 0, len(cur))
+	for name, v := range cur {
+		row := counterRow{Name: name, Value: v}
+		if old, ok := prev[name]; ok && v > old {
+			row.Delta = v - old
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// histRows summarizes every histogram in the snapshot, sorted by name.
+func histRows(hs map[string]telemetry.HistogramSnapshot) []histRow {
+	rows := make([]histRow, 0, len(hs))
+	for name, h := range hs {
+		rows = append(rows, histRow{
+			Name: name, Count: h.Count, Mean: h.Mean(),
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// healthView is the /healthz body sgtop reads.
+type healthView struct {
+	Status     string `json:"status"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// collector polls the server's JSON surfaces and builds frames; the SSE
+// tracker supplies the live-activity half.
+type collector struct {
+	base string
+	hc   *http.Client
+	tr   *tracker
+	prev map[string]uint64
+}
+
+func (c *collector) getJSON(path string, v any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (c *collector) frame() (frame, error) {
+	var hv healthView
+	if err := c.getJSON("/healthz", &hv); err != nil {
+		return frame{}, err
+	}
+	var snap telemetry.Snapshot
+	if err := c.getJSON("/stats", &snap); err != nil {
+		return frame{}, err
+	}
+	f := frame{
+		Server: c.base, Status: hv.Status, QueueDepth: hv.QueueDepth,
+		Counters:   counterRows(snap.Counters, c.prev),
+		Histograms: histRows(snap.Histograms),
+	}
+	c.prev = snap.Counters
+	t := c.tr
+	t.mu.Lock()
+	f.Active = activeRows(t.active)
+	f.Completed, f.Failed = t.completed, t.failed
+	f.Retried, f.Checkpoints = t.retried, t.checkpoints
+	f.EventsSeen, f.EventsLost = t.seen, t.lost
+	t.mu.Unlock()
+	return f, nil
+}
+
+// render writes one frame as the console layout.
+func render(w io.Writer, f frame) {
+	fmt.Fprintf(w, "sgtop — %s  status=%s  queue=%d\n", f.Server, f.Status, f.QueueDepth)
+	fmt.Fprintf(w, "jobs: %d active  %d complete  %d failed  %d retried  %d checkpoints   events: %d seen, %d lost\n\n",
+		len(f.Active), f.Completed, f.Failed, f.Retried, f.Checkpoints, f.EventsSeen, f.EventsLost)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  JOB\tWORKER\tEVENT\tPHASE\tPROGRESS")
+	for _, row := range f.Active {
+		worker, phase, prog := row.Worker, row.Phase, ""
+		if worker == "" {
+			worker = "-"
+		}
+		if phase == "" {
+			phase = "-"
+		}
+		switch {
+		case row.Percent >= 0:
+			prog = fmt.Sprintf("%d/%d (%.1f%%)", row.Done, row.Total, row.Percent)
+		case row.Phase != "":
+			prog = fmt.Sprintf("%d/?", row.Done)
+		default:
+			prog = "-"
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%s\n", row.Job, worker, row.Event, phase, prog)
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "\ncounters (delta since last frame):")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, row := range f.Counters {
+		delta := ""
+		if row.Delta > 0 {
+			delta = fmt.Sprintf("+%d", row.Delta)
+		}
+		fmt.Fprintf(tw, "  %s\t%d\t%s\n", row.Name, row.Value, delta)
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "\nhistograms (p50/p99):")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, row := range f.Histograms {
+		fmt.Fprintf(tw, "  %s\tn=%d\tmean=%.1f\tp50=%.1f\tp99=%.1f\n",
+			row.Name, row.Count, row.Mean, row.P50, row.P99)
+	}
+	tw.Flush()
+}
+
+// handleSSELine folds one SSE line into the tracker. Only data lines
+// carry events; comment lines (the server's drop notices) are redundant
+// with the sequence-gap accounting and are skipped.
+func handleSSELine(line string, tr *tracker) {
+	payload, ok := strings.CutPrefix(line, "data: ")
+	if !ok {
+		return
+	}
+	var ev telemetry.JobEvent
+	if err := json.Unmarshal([]byte(payload), &ev); err == nil {
+		tr.apply(ev)
+	}
+}
+
+// follow consumes the /v1/events firehose into the tracker, reconnecting
+// after a pause until ctx ends. Each reconnect replays the bus history
+// ring; the tracker's sequence filter deduplicates it.
+func follow(ctx context.Context, hc *http.Client, base string, tr *tracker) {
+	for ctx.Err() == nil {
+		_ = followOnce(ctx, hc, base, tr)
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+		}
+	}
+}
+
+func followOnce(ctx context.Context, hc *http.Client, base string, tr *tracker) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/events: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		handleSSELine(sc.Text(), tr)
+	}
+	return sc.Err()
+}
+
+func run(base string, interval time.Duration, once, asJSON bool, out io.Writer) int {
+	// The poll client gets a timeout; the stream client must not have one
+	// (an SSE response is supposed to outlive any deadline).
+	poll := &http.Client{Timeout: 10 * time.Second}
+	stream := &http.Client{}
+	tr := newTracker()
+	col := &collector{base: base, hc: poll, tr: tr}
+
+	if once {
+		f, err := col.frame()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sgtop:", err)
+			return 1
+		}
+		if asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(f)
+		} else {
+			render(out, f)
+		}
+		return 0
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go follow(ctx, stream, base, tr)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		f, err := col.frame()
+		if err != nil {
+			fmt.Fprintln(out, "sgtop:", err)
+		} else {
+			fmt.Fprint(out, "\033[H\033[2J") // home + clear: redraw in place
+			render(out, f)
+		}
+		select {
+		case <-ctx.Done():
+			return 0
+		case <-t.C:
+		}
+	}
+}
+
+func main() {
+	var (
+		server   = flag.String("server", "", "sgserve base URL (required)")
+		interval = flag.Duration("interval", 2*time.Second, "refresh period (live mode)")
+		once     = flag.Bool("once", false, "collect a single frame and exit")
+		asJSON   = flag.Bool("json", false, "with -once, emit the frame as JSON")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cliflags.Fail(fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
+	if *server == "" {
+		cliflags.Fail(fmt.Errorf("-server is required (the sgserve base URL)"))
+	}
+	if *asJSON && !*once {
+		cliflags.Fail(fmt.Errorf("-json requires -once (live frames are for terminals)"))
+	}
+	os.Exit(run(strings.TrimRight(*server, "/"), *interval, *once, *asJSON, os.Stdout))
+}

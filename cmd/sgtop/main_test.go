@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"safeguard/internal/jobs"
+	"safeguard/internal/resultcache"
+	"safeguard/internal/telemetry"
+)
+
+func ev(seq uint64, typ, job string) telemetry.JobEvent {
+	return telemetry.JobEvent{Schema: telemetry.EventSchema, Seq: seq, Type: typ, Job: job}
+}
+
+func TestTrackerLifecycle(t *testing.T) {
+	t.Parallel()
+	tr := newTracker()
+	tr.apply(ev(1, telemetry.EventQueued, "job-1"))
+	tr.apply(ev(2, telemetry.EventLeased, "job-1"))
+	prog := ev(3, telemetry.EventProgress, "job-1")
+	prog.Progress = &telemetry.Progress{Phase: "measure", Done: 1, Total: 2}
+	tr.apply(prog)
+	tr.apply(prog) // reconnect replay: must not double count
+	if tr.seen != 3 {
+		t.Fatalf("seen = %d, want 3 (replay deduplicated)", tr.seen)
+	}
+	rows := activeRows(tr.active)
+	if len(rows) != 1 || rows[0].Phase != "measure" || rows[0].Percent != 50 {
+		t.Fatalf("active rows = %+v", rows)
+	}
+	// Seq 4 never arrives: the bus shed it for us.
+	tr.apply(ev(5, telemetry.EventComplete, "job-1"))
+	if tr.lost != 1 {
+		t.Fatalf("lost = %d, want 1", tr.lost)
+	}
+	if tr.completed != 1 || len(tr.active) != 0 {
+		t.Fatalf("completed = %d active = %v", tr.completed, tr.active)
+	}
+	// A hash-only checkpoint deposit counts but never shows as a job.
+	ck := ev(6, telemetry.EventCheckpoint, "")
+	tr.apply(ck)
+	if tr.checkpoints != 1 || len(tr.active) != 0 {
+		t.Fatalf("checkpoints = %d active = %v", tr.checkpoints, tr.active)
+	}
+}
+
+func TestTrackerFirstEventAnchorsSequence(t *testing.T) {
+	t.Parallel()
+	tr := newTracker()
+	// Connecting late must not count the evicted history as lost.
+	tr.apply(ev(500, telemetry.EventQueued, "job-9"))
+	if tr.lost != 0 || tr.seen != 1 {
+		t.Fatalf("lost = %d seen = %d after late connect", tr.lost, tr.seen)
+	}
+}
+
+func TestHandleSSELine(t *testing.T) {
+	t.Parallel()
+	tr := newTracker()
+	handleSSELine(`data: {"schema":"sgevents/1","seq":1,"type":"queued","job":"j1"}`, tr)
+	handleSSELine(": dropped=3", tr) // comment: informational only
+	handleSSELine("", tr)            // event separator
+	handleSSELine("data: not json", tr)
+	if tr.seen != 1 || len(tr.active) != 1 {
+		t.Fatalf("seen = %d active = %v", tr.seen, tr.active)
+	}
+}
+
+func TestRowsSortedAndAnnotated(t *testing.T) {
+	t.Parallel()
+	cur := map[string]uint64{"b": 10, "a": 3}
+	prev := map[string]uint64{"b": 4}
+	rows := counterRows(cur, prev)
+	if len(rows) != 2 || rows[0].Name != "a" || rows[1].Delta != 6 {
+		t.Fatalf("counter rows = %+v", rows)
+	}
+	hr := histRows(map[string]telemetry.HistogramSnapshot{
+		"lat": {Bounds: []int64{10, 20}, Buckets: []uint64{4, 4, 0}, Count: 8, Sum: 96},
+	})
+	if len(hr) != 1 || hr[0].Mean != 12 || hr[0].P50 != 10 || hr[0].P99 <= hr[0].P50 {
+		t.Fatalf("hist rows = %+v", hr)
+	}
+}
+
+func TestRenderFrame(t *testing.T) {
+	t.Parallel()
+	f := frame{
+		Server: "http://x", Status: "ok", QueueDepth: 2,
+		Active: []activeRow{
+			{Job: "job-1", Worker: "w1", Event: "progress", Phase: "measure", Done: 3, Total: 4, Percent: 75},
+			{Job: "job-2", Event: "progress", Phase: "measure", Done: 7, Percent: -1},
+			{Job: "job-3", Event: "leased", Percent: -1},
+		},
+		Completed: 5, EventsSeen: 42,
+		Counters:   []counterRow{{Name: "jobs.completed", Value: 5, Delta: 2}},
+		Histograms: []histRow{{Name: "memctrl.read_latency_mc", Count: 9, Mean: 14.2, P50: 12, P99: 31.5}},
+	}
+	var buf bytes.Buffer
+	render(&buf, f)
+	out := buf.String()
+	for _, want := range []string{
+		"status=ok", "queue=2", "5 complete", "42 seen",
+		"3/4 (75.0%)", "7/?", "job-3",
+		"jobs.completed", "+2",
+		"memctrl.read_latency_mc", "p50=12.0", "p99=31.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+const tinyPerfBody = `{"kind":"perf","perf":{"schemes":["SafeGuard"],"workloads":["leela"],"seeds":[1],"instr_per_core":1500,"warmup_instr":500}}`
+
+// startServer runs a jobs server whose runner reports one progress span,
+// returning the base URL.
+func startServer(t *testing.T) string {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	bus := telemetry.NewBus(reg)
+	runner := func(ctx context.Context, _ *resultcache.Request) (json.RawMessage, error) {
+		telemetry.ProgressFromContext(ctx).Set(telemetry.Progress{Phase: "measure", Done: 2, Total: 2})
+		return json.RawMessage(`{"ok":true}`), nil
+	}
+	mgr := jobs.NewManager(jobs.Config{
+		Workers: 1, QueueDepth: 8, Runner: runner, Telemetry: reg, Bus: bus,
+	})
+	t.Cleanup(mgr.Close)
+	ts := httptest.NewServer(jobs.NewServer(mgr, reg))
+	t.Cleanup(ts.Close)
+
+	req, err := resultcache.ParseRequest(strings.NewReader(tinyPerfBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := mgr.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, ok := mgr.Job(view.ID)
+		if ok && v.State == jobs.StateDone {
+			return ts.URL
+		}
+		if ok && v.State.Terminal() {
+			t.Fatalf("job ended %s: %s", v.State, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFollowAndCollectAgainstLiveServer(t *testing.T) {
+	t.Parallel()
+	base := startServer(t)
+	tr := newTracker()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = followOnce(ctx, &http.Client{}, base, tr)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		tr.mu.Lock()
+		completed := tr.completed
+		tr.mu.Unlock()
+		if completed >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("firehose never replayed the completed job")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	col := &collector{base: base, hc: &http.Client{}, tr: tr}
+	f, err := col.frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Status != "ok" || f.QueueDepth != 0 {
+		t.Fatalf("frame health = %q/%d", f.Status, f.QueueDepth)
+	}
+	if f.Completed != 1 || f.EventsSeen < 3 {
+		t.Fatalf("frame events = %+v", f)
+	}
+	var completedCounter uint64
+	for _, row := range f.Counters {
+		if row.Name == "jobs.completed" {
+			completedCounter = row.Value
+		}
+	}
+	if completedCounter != 1 {
+		t.Fatalf("jobs.completed counter = %d, want 1", completedCounter)
+	}
+}
+
+func TestRunOnceJSON(t *testing.T) {
+	t.Parallel()
+	base := startServer(t)
+	var buf bytes.Buffer
+	if code := run(base, time.Second, true, true, &buf); code != 0 {
+		t.Fatalf("run -once -json exit = %d", code)
+	}
+	var f frame
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, buf.String())
+	}
+	if f.Server != base || f.Status != "ok" {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestRunOnceUnreachableServer(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if code := run("http://127.0.0.1:1", time.Second, true, false, &buf); code != 1 {
+		t.Fatalf("unreachable server exit = %d, want 1", code)
+	}
+}

@@ -7,6 +7,11 @@
 //
 //	sgworker -coordinator http://127.0.0.1:8080
 //	sgworker -coordinator http://coord:8080 -name rack3-7
+//	sgworker -coordinator http://coord:8080 -http :9100
+//
+// -http exposes the worker's own telemetry surface (/metrics Prometheus
+// exposition, /stats JSON, /debug pprof+expvar) — the per-process view
+// that complements the coordinator's fleet-wide aggregate.
 //
 // SIGTERM/SIGINT stops polling and exits; a job in flight at that
 // moment is abandoned and requeues at the coordinator when its lease
@@ -34,6 +39,7 @@ func main() {
 		coordinator  = flag.String("coordinator", "", "sgserve coordinator base URL (required)")
 		name         = flag.String("name", "", "worker name in leases and logs (default host-pid)")
 		errorBackoff = flag.Duration("error-backoff", 500*time.Millisecond, "pause after a failed lease poll")
+		httpAddr     = flag.String("http", "", "serve /metrics, /stats, /debug on this address (empty = off)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -51,6 +57,14 @@ func main() {
 	}
 
 	reg := telemetry.NewRegistry()
+	if *httpAddr != "" {
+		bound, shutdown, err := telemetry.ServeHTTP(*httpAddr, reg)
+		if err != nil {
+			cliflags.Fail(err)
+		}
+		defer func() { _ = shutdown() }()
+		log.Printf("sgworker: telemetry on http://%s (/metrics, /stats, /debug)", bound)
+	}
 	w, err := fleet.NewWorker(fleet.WorkerConfig{
 		Coordinator:  *coordinator,
 		Name:         *name,

@@ -158,6 +158,12 @@ func runPerf(ctx context.Context, cfg PerfConfig, schemes []sim.Scheme) (PerfRes
 			}
 		}
 	}
+	// Progress spans ride the context: one write before the pool starts
+	// (the warm-up phase every cell begins with) and one per finished
+	// cell — coarse enough to cost nothing against a simulation run.
+	pv := telemetry.ProgressFromContext(ctx)
+	pv.Set(telemetry.Progress{Phase: "warmup", Done: 0, Total: int64(len(jobs))})
+
 	workers := cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -230,7 +236,10 @@ func runPerf(ctx context.Context, cfg PerfConfig, schemes []sim.Scheme) (PerfRes
 	sums := make(map[[2]int]float64)
 	counts := make(map[[2]int]int)
 	schemeIdx := func(s sim.Scheme) int { return int(s) }
+	var cells int64
 	for o := range outCh {
+		cells++
+		pv.Set(telemetry.Progress{Phase: "measure", Done: cells, Total: int64(len(jobs))})
 		k := [2]int{o.wIdx, schemeIdx(o.scheme)}
 		sums[k] += o.ipc
 		counts[k]++

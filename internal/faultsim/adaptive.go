@@ -57,6 +57,12 @@ func runAdaptive(ctx context.Context, eval Evaluator, cfg Config, rates map[fm.M
 	tallies := make([]partial, 0, workers*4)
 	stopN := 0
 
+	// Adaptive runs have no fixed extent — the stopping block is data
+	// dependent — so progress reports Total == 0 ("unknown") and Done
+	// counts finished blocks per round.
+	pv := telemetry.ProgressFromContext(ctx)
+	pv.Set(telemetry.Progress{Phase: "measure", Done: 0, Total: 0})
+
 	for len(tallies) < maxBlocks && stopN == 0 && ctx.Err() == nil {
 		batch := workers * 4
 		if rem := maxBlocks - len(tallies); batch > rem {
@@ -112,6 +118,7 @@ func runAdaptive(ctx context.Context, eval Evaluator, cfg Config, rates map[fm.M
 			}
 			tallies = append(tallies, p)
 		}
+		pv.Set(telemetry.Progress{Phase: "measure", Done: int64(len(tallies)), Total: 0})
 
 		failed, n := 0, 0
 		for i := range tallies {

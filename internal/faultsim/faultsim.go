@@ -165,6 +165,12 @@ func RunContext(ctx context.Context, eval Evaluator, cfg Config) (Result, error)
 		workers = blocks
 	}
 
+	// One progress write per finished block: coarse enough that the
+	// Monte-Carlo inner loop never sees it.
+	pv := telemetry.ProgressFromContext(ctx)
+	pv.Set(telemetry.Progress{Phase: "measure", Done: 0, Total: int64(blocks)})
+	var blocksDone atomic.Int64
+
 	partials := make([]partial, workers)
 	errs := make([]error, workers)
 	var next atomic.Int64
@@ -196,6 +202,7 @@ func RunContext(ctx context.Context, eval Evaluator, cfg Config) (Result, error)
 					bail.Store(true)
 					return
 				}
+				pv.Set(telemetry.Progress{Phase: "measure", Done: blocksDone.Add(1), Total: int64(blocks)})
 			}
 		}(w)
 	}

@@ -62,8 +62,14 @@ type Config struct {
 	WorkerTTL time.Duration
 	// SweepEvery is the expiry scan interval (default LeaseTTL/4).
 	SweepEvery time.Duration
-	// Telemetry receives the "fleet.*" gauges and counters.
+	// Telemetry receives the "fleet.*" gauges and counters, plus the
+	// merged executor telemetry of every verified remote completion.
 	Telemetry *telemetry.Registry
+	// Bus, when set, receives checkpoint events (keyed by job hash —
+	// the coordinator does not know manager job IDs). All other
+	// lifecycle events are the jobs.Manager's to publish; a single
+	// publisher per event type keeps streams duplicate-free.
+	Bus *telemetry.Bus
 	// Now is the lease clock (default time.Now; tests inject a fake).
 	Now func() time.Time
 	// ExpireHook, when set, is called (outside the coordinator lock)
@@ -90,6 +96,10 @@ type dispatch struct {
 	done    chan struct{}
 	result  json.RawMessage
 	err     error
+	// pv is the submitting job's progress cell (captured from Run's
+	// context); heartbeat and completion reports write through it, which
+	// is how remote progress reaches the manager's event bus.
+	pv *telemetry.ProgressVar
 }
 
 // lease is one worker's claim on a dispatch.
@@ -115,13 +125,23 @@ type Coordinator struct {
 	// outlive the lease (and the dispatch) that posted them — surviving
 	// worker death is their entire purpose — and are dropped once the
 	// job completes or fails permanently.
-	ckpts   map[string]map[string][]byte
-	wake    chan struct{} // closed+replaced when work arrives
-	expired []string      // lease IDs awaiting ExpireHook delivery
-	seq     int
-	closed  bool
-	stop    chan struct{}
-	swept   sync.WaitGroup
+	ckpts map[string]map[string][]byte
+	// fleetReg accumulates the telemetry snapshot of every verified
+	// remote completion — merged exactly once per completed job, so the
+	// aggregate is deterministic for a fixed job set regardless of
+	// worker count or arrival order. workerRegs is the same accounting
+	// split per worker; workerLive holds each worker's latest heartbeat
+	// snapshot (a latest-wins preview of in-flight work, never merged —
+	// merging previews would double count once the job completes).
+	fleetReg   *telemetry.Registry
+	workerRegs map[string]*telemetry.Registry
+	workerLive map[string]telemetry.Snapshot
+	wake       chan struct{} // closed+replaced when work arrives
+	expired    []string      // lease IDs awaiting ExpireHook delivery
+	seq        int
+	closed     bool
+	stop       chan struct{}
+	swept      sync.WaitGroup
 
 	workersLive  *telemetry.Gauge
 	leasesOut    *telemetry.Gauge
@@ -170,6 +190,9 @@ func New(cfg Config) (*Coordinator, error) {
 		leases:       make(map[string]*lease),
 		workers:      make(map[string]time.Time),
 		ckpts:        make(map[string]map[string][]byte),
+		fleetReg:     telemetry.NewRegistry(),
+		workerRegs:   make(map[string]*telemetry.Registry),
+		workerLive:   make(map[string]telemetry.Snapshot),
 		wake:         make(chan struct{}),
 		stop:         make(chan struct{}),
 		workersLive:  reg.Gauge("fleet.workers.live"),
@@ -266,7 +289,7 @@ func (c *Coordinator) Run(ctx context.Context, req *resultcache.Request) (json.R
 		c.mu.Unlock()
 		return nil, err
 	}
-	d := &dispatch{hash: hash, canon: canon, state: dispatchQueued, enq: now, done: make(chan struct{})}
+	d := &dispatch{hash: hash, canon: canon, state: dispatchQueued, enq: now, done: make(chan struct{}), pv: telemetry.ProgressFromContext(ctx)}
 	c.pending = append(c.pending, d)
 	c.byHash[hash] = d
 	c.wakePollersLocked()
@@ -365,6 +388,15 @@ func (c *Coordinator) acquire(ctx context.Context, worker string) (*Assignment, 
 // is gone — expired, completed, or never granted — and the worker must
 // abandon the job: the coordinator has already requeued it.
 func (c *Coordinator) renew(id, worker string) (time.Duration, bool) {
+	return c.renewWith(id, worker, nil, nil)
+}
+
+// renewWith is renew plus the heartbeat's piggybacked observability
+// payload: the job's latest progress span (forwarded to the submitting
+// job's progress cell, attributed to the worker) and a live snapshot of
+// the worker's per-job registry (stored latest-wins as a preview — the
+// authoritative merge happens once, on verified completion).
+func (c *Coordinator) renewWith(id, worker string, prog *telemetry.Progress, snap *telemetry.Snapshot) (time.Duration, bool) {
 	now := c.cfg.Now()
 	c.mu.Lock()
 	c.workers[worker] = now
@@ -377,8 +409,15 @@ func (c *Coordinator) renew(id, worker string) (time.Duration, bool) {
 		return 0, false
 	}
 	l.deadline = now.Add(c.cfg.LeaseTTL)
+	if snap != nil && worker != "" {
+		c.workerLive[worker] = *snap
+	}
+	pv := l.d.pv
 	c.mu.Unlock()
 	c.deliverExpired()
+	if prog != nil {
+		pv.SetFrom(worker, *prog)
+	}
 	c.leasesRenew.Inc()
 	return c.cfg.LeaseTTL, true
 }
@@ -419,9 +458,11 @@ func (c *Coordinator) checkpoint(id, key string, snapshot []byte) error {
 		return fmt.Errorf("fleet: checkpoint cap (%d) reached for job %.12s…", checkpointCap, l.d.hash)
 	}
 	m[key] = append([]byte(nil), snapshot...)
+	hash, worker := l.d.hash, l.worker
 	c.mu.Unlock()
 	c.deliverExpired()
 	c.ckptStored.Inc()
+	c.cfg.Bus.Publish(telemetry.JobEvent{Type: telemetry.EventCheckpoint, Hash: hash, Worker: worker})
 	return nil
 }
 
@@ -430,6 +471,17 @@ func (c *Coordinator) checkpoint(id, key string, snapshot []byte) error {
 // corrupted result is rejected (ErrBadArtifact) and the job requeues; a
 // late completion on a dead lease is discarded idempotently (ErrLeaseGone).
 func (c *Coordinator) complete(id string, artifact []byte) error {
+	return c.completeWith(id, artifact, nil, nil)
+}
+
+// completeWith is complete plus the envelope extras: on a verified
+// completion, the job's final progress span is forwarded to its progress
+// cell (guaranteeing at least one progress event per remotely-executed
+// job, even when the run outpaced every heartbeat), and the worker's
+// per-job telemetry snapshot is merged — exactly once — into the
+// fleet-wide registry, the worker's registry, and Config.Telemetry.
+// Rejected or zombie completions merge nothing.
+func (c *Coordinator) completeWith(id string, artifact []byte, snap *telemetry.Snapshot, prog *telemetry.Progress) error {
 	now := c.cfg.Now()
 	c.mu.Lock()
 	c.sweepLocked(now)
@@ -473,6 +525,23 @@ func (c *Coordinator) complete(id string, artifact []byte) error {
 		return fmt.Errorf("%w: %v", ErrBadArtifact, verr)
 	}
 	c.terminalizeLocked(l)
+	// Final span first, then resolve: the dispatch waiter (the manager's
+	// runner) returns only after done closes, so the progress event is
+	// on the bus before the manager's complete event — streams always
+	// show progress ≥ 1 before the terminal event.
+	if prog != nil {
+		d.pv.SetFrom(l.worker, *prog)
+	}
+	if snap != nil {
+		c.fleetReg.MergeSnapshot(*snap)
+		wr := c.workerRegs[l.worker]
+		if wr == nil {
+			wr = telemetry.NewRegistry()
+			c.workerRegs[l.worker] = wr
+		}
+		wr.MergeSnapshot(*snap)
+		c.cfg.Telemetry.MergeSnapshot(*snap)
+	}
 	c.finishLocked(d, art.Result, nil)
 	delete(c.ckpts, d.hash) // the job is done; its checkpoints are dead weight
 	c.mu.Unlock()
@@ -630,6 +699,40 @@ func (c *Coordinator) finishLocked(d *dispatch, result json.RawMessage, err erro
 func (c *Coordinator) wakePollersLocked() {
 	close(c.wake)
 	c.wake = make(chan struct{})
+}
+
+// FleetSnapshot returns the merged telemetry of every verified remote
+// completion. Because each completed job's snapshot is folded in exactly
+// once with commutative operations, the result is bit-identical for a
+// fixed job set across worker counts and arrival orders.
+func (c *Coordinator) FleetSnapshot() telemetry.Snapshot {
+	return c.fleetReg.Snapshot()
+}
+
+// WorkerSnapshots returns the per-worker merged completion telemetry —
+// the same accounting as FleetSnapshot, split by the worker that
+// completed each job.
+func (c *Coordinator) WorkerSnapshots() map[string]telemetry.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]telemetry.Snapshot, len(c.workerRegs))
+	for name, reg := range c.workerRegs {
+		out[name] = reg.Snapshot()
+	}
+	return out
+}
+
+// WorkerLive returns each worker's latest heartbeat-piggybacked live
+// snapshot — a preview of in-flight work. Never merged into the
+// completion aggregates, so reading it cannot double count.
+func (c *Coordinator) WorkerLive() map[string]telemetry.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]telemetry.Snapshot, len(c.workerLive))
+	for name, s := range c.workerLive {
+		out[name] = s
+	}
+	return out
 }
 
 // deliverExpired invokes ExpireHook outside the lock for every lease the

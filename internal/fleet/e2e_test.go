@@ -40,6 +40,7 @@ type stack struct {
 	coord    *fleet.Coordinator
 	mgr      *jobs.Manager
 	reg      *telemetry.Registry
+	bus      *telemetry.Bus
 	notifier *chaos.Notifier
 	nworkers int
 }
@@ -67,9 +68,11 @@ func newStackTTL(t *testing.T, leaseTTL time.Duration) *stack {
 		t.Fatal(err)
 	}
 	notifier := chaos.NewNotifier()
+	bus := telemetry.NewBus(reg)
 	coord, err := fleet.New(fleet.Config{
 		Local:    jobs.CachedRunner(cache, reg),
 		Cache:    cache,
+		Bus:      bus,
 		LeaseTTL: leaseTTL,
 		PollWait: 100 * time.Millisecond,
 		// WorkerTTL stays generous even when the lease TTL is aggressive:
@@ -91,7 +94,7 @@ func newStackTTL(t *testing.T, leaseTTL time.Duration) *stack {
 		Workers: 4, QueueDepth: 64, MaxAttempts: 6,
 		RetryBackoff: time.Millisecond,
 		Runner:       coord.Run,
-		Cache:        cache, Telemetry: reg,
+		Cache:        cache, Telemetry: reg, Bus: bus,
 	})
 	t.Cleanup(mgr.Close)
 	srv := jobs.NewServer(mgr, reg)
@@ -99,7 +102,7 @@ func newStackTTL(t *testing.T, leaseTTL time.Duration) *stack {
 	srv.Handle("/v1/fleet/", coord.Handler())
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	return &stack{t: t, ts: ts, coord: coord, mgr: mgr, reg: reg, notifier: notifier}
+	return &stack{t: t, ts: ts, coord: coord, mgr: mgr, reg: reg, bus: bus, notifier: notifier}
 }
 
 // startWorker attaches a (possibly chaos-scripted) worker and waits for

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"safeguard/internal/telemetry"
 )
 
 // Sentinel protocol errors.
@@ -63,9 +65,44 @@ type leaseRequest struct {
 	Worker string `json:"worker"`
 }
 
+// renewRequest is the heartbeat body: the worker's identity plus its
+// optional piggybacked observability payload — the job's latest progress
+// span and a live snapshot of the worker's per-job registry. Plain
+// leaseRequest bodies (older workers) decode into it with the extras
+// absent, so the wire stays backward compatible.
+type renewRequest struct {
+	Worker    string              `json:"worker"`
+	Progress  *telemetry.Progress `json:"progress,omitempty"`
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
 // renewResponse answers a successful heartbeat.
 type renewResponse struct {
 	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+}
+
+// completeEnvelope wraps a finished artifact with the job's final
+// telemetry snapshot and progress span. The complete endpoint also still
+// accepts raw artifact bytes (the pre-envelope wire): an artifact can
+// never strict-decode as this envelope — its schema/request fields are
+// unknown here — so sniffing is unambiguous.
+type completeEnvelope struct {
+	Artifact  []byte              `json:"artifact"`
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	Progress  *telemetry.Progress `json:"progress,omitempty"`
+}
+
+// sniffComplete splits a complete body into artifact bytes plus any
+// envelope extras, falling back to treating the whole body as the
+// artifact (the back-compat path).
+func sniffComplete(body []byte) (artifact []byte, snap *telemetry.Snapshot, prog *telemetry.Progress) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var env completeEnvelope
+	if err := dec.Decode(&env); err == nil && len(env.Artifact) > 0 {
+		return env.Artifact, env.Telemetry, env.Progress
+	}
+	return body, nil, nil
 }
 
 // failRequest reports a worker-side execution failure.
@@ -127,11 +164,12 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	var lr leaseRequest
+	var rr renewRequest
 	// The renew body is optional; an identified worker refreshes its
-	// liveness horizon alongside the lease.
-	_ = json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&lr)
-	ttl, ok := c.renew(id, lr.Worker)
+	// liveness horizon alongside the lease, and may piggyback progress
+	// and a live telemetry snapshot (hence the generous body cap).
+	_ = json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&rr)
+	ttl, ok := c.renewWith(id, rr.Worker, rr.Progress, rr.Telemetry)
 	if !ok {
 		writeError(w, http.StatusGone, "lease %s is gone; abandon the job", id)
 		return
@@ -163,7 +201,8 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "read artifact: %v", err)
 		return
 	}
-	switch err := c.complete(id, body); {
+	artifact, snap, prog := sniffComplete(body)
+	switch err := c.completeWith(id, artifact, snap, prog); {
 	case errors.Is(err, ErrLeaseGone):
 		writeError(w, http.StatusGone, "lease %s is gone; result discarded", id)
 	case errors.Is(err, ErrBadArtifact):
@@ -237,7 +276,12 @@ func (cl *client) lease(worker string) (*Assignment, error) {
 }
 
 func (cl *client) renew(leaseID, worker string) (bool, error) {
-	body, err := json.Marshal(leaseRequest{Worker: worker})
+	return cl.renewWith(leaseID, renewRequest{Worker: worker})
+}
+
+// renewWith is renew with the piggybacked observability payload.
+func (cl *client) renewWith(leaseID string, rr renewRequest) (bool, error) {
+	body, err := json.Marshal(rr)
 	if err != nil {
 		return false, err
 	}
@@ -258,6 +302,16 @@ func (cl *client) checkpoint(leaseID, key string, snapshot []byte) (int, error) 
 
 func (cl *client) complete(leaseID string, artifact []byte) (int, error) {
 	return cl.post("/v1/fleet/lease/"+leaseID+"/complete", artifact, nil)
+}
+
+// completeEnveloped submits the artifact wrapped with its final
+// telemetry and progress.
+func (cl *client) completeEnveloped(leaseID string, env completeEnvelope) (int, error) {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return 0, err
+	}
+	return cl.post("/v1/fleet/lease/"+leaseID+"/complete", body, nil)
 }
 
 func (cl *client) fail(leaseID, msg string, transient bool) error {

@@ -170,10 +170,18 @@ func (w *Worker) execute(ctx context.Context, a *Assignment) error {
 		}
 	}
 
+	// Per-assignment observability state: the progress var collects the
+	// executor's phase spans, and the job registry isolates this job's
+	// telemetry so it can ride heartbeats as a live preview and the
+	// complete body as the one merged copy.
+	pv := &telemetry.ProgressVar{}
+	jobReg := telemetry.NewRegistry()
+
 	// Heartbeat at a third of the TTL; a 410 means the lease is gone and
 	// the execution is cancelled — the coordinator already requeued.
 	execCtx, execCancel := context.WithCancel(ctx)
 	defer execCancel()
+	execCtx = telemetry.WithProgress(execCtx, pv)
 	hbStop := make(chan struct{})
 	defer close(hbStop)
 	suppress := w.cfg.Hooks.SuppressRenew != nil && w.cfg.Hooks.SuppressRenew(a.LeaseID, ordinal)
@@ -182,7 +190,7 @@ func (w *Worker) execute(ctx context.Context, a *Assignment) error {
 		if interval <= 0 {
 			interval = time.Millisecond
 		}
-		go w.heartbeat(a.LeaseID, interval, hbStop, execCancel)
+		go w.heartbeat(a.LeaseID, interval, hbStop, execCancel, pv, jobReg)
 	}
 
 	run := w.cfg.Run
@@ -190,7 +198,7 @@ func (w *Worker) execute(ctx context.Context, a *Assignment) error {
 	if run == nil {
 		store = &leaseWarmStore{w: w, leaseID: a.LeaseID, ordinal: ordinal, shipped: a.Checkpoints, kill: execCancel}
 		run = func(ctx context.Context, req *resultcache.Request) (json.RawMessage, error) {
-			return req.ExecuteWarm(ctx, w.cfg.Telemetry, store)
+			return req.ExecuteWarm(ctx, jobReg, store)
 		}
 	}
 	result, err := run(execCtx, req)
@@ -224,7 +232,17 @@ func (w *Worker) execute(ctx context.Context, a *Assignment) error {
 			return err // killed between execute and submit
 		}
 	}
-	code, err := w.cl.complete(a.LeaseID, enc)
+	// Ship the job's telemetry and final progress alongside the artifact.
+	// The envelope wraps whatever BeforeComplete produced, so the chaos
+	// corruption fault still mutates the artifact bytes the coordinator
+	// verifies.
+	env := completeEnvelope{Artifact: enc}
+	snap := jobReg.Snapshot()
+	env.Telemetry = &snap
+	if _, p, ok := pv.Load(); ok {
+		env.Progress = &p
+	}
+	code, err := w.cl.completeEnveloped(a.LeaseID, env)
 	switch {
 	case err != nil:
 		// Partitioned from the coordinator: the lease will expire and the
@@ -232,6 +250,9 @@ func (w *Worker) execute(ctx context.Context, a *Assignment) error {
 		w.leaseLost.Inc()
 	case code == http.StatusOK:
 		w.completes.Inc()
+		// Merge on acceptance only: a zombie or rejected completion never
+		// counted, so its telemetry must not either.
+		w.cfg.Telemetry.Merge(jobReg)
 	case code == http.StatusGone:
 		w.leaseLost.Inc() // zombie: our lease expired while we worked
 	default:
@@ -243,8 +264,10 @@ func (w *Worker) execute(ctx context.Context, a *Assignment) error {
 // heartbeat renews the lease until stop closes; a gone lease cancels the
 // execution via execCancel. Transport errors are retried on the next
 // tick — heartbeats through a flaky network are exactly when retrying
-// matters.
-func (w *Worker) heartbeat(leaseID string, interval time.Duration, stop <-chan struct{}, execCancel context.CancelFunc) {
+// matters. Each renew piggybacks the job's latest progress and a live
+// telemetry snapshot, so the coordinator sees in-flight work without any
+// extra round trips.
+func (w *Worker) heartbeat(leaseID string, interval time.Duration, stop <-chan struct{}, execCancel context.CancelFunc, pv *telemetry.ProgressVar, jobReg *telemetry.Registry) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
@@ -252,7 +275,13 @@ func (w *Worker) heartbeat(leaseID string, interval time.Duration, stop <-chan s
 		case <-stop:
 			return
 		case <-t.C:
-			ok, err := w.cl.renew(leaseID, w.cfg.Name)
+			rr := renewRequest{Worker: w.cfg.Name}
+			if _, p, ok := pv.Load(); ok {
+				rr.Progress = &p
+			}
+			snap := jobReg.Snapshot()
+			rr.Telemetry = &snap
+			ok, err := w.cl.renewWith(leaseID, rr)
 			if err != nil {
 				continue
 			}

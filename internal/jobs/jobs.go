@@ -109,6 +109,12 @@ type Config struct {
 	// Telemetry, when set, receives "jobs.*" counters, the queue-depth
 	// gauge/histogram, and the job-latency histogram.
 	Telemetry *telemetry.Registry
+	// Bus, when set, receives the job lifecycle event stream
+	// (queued/leased/progress/retried/complete/failed) behind the SSE
+	// endpoints and sgtop. May be nil: events are then dropped at zero
+	// cost. The manager is the single publisher of lifecycle events;
+	// other layers (the fleet coordinator) only add checkpoint events.
+	Bus *telemetry.Bus
 }
 
 // Job is one accepted request. Fields are guarded by the manager's
@@ -122,6 +128,9 @@ type Job struct {
 	attempts int
 	accepted time.Time
 	done     chan struct{}
+	// pv is the job's progress cell; executors write it through the
+	// context, the bus observer and JobView read it.
+	pv *telemetry.ProgressVar
 }
 
 // JobView is an immutable snapshot of a job, JSON-shaped for the API.
@@ -138,6 +147,11 @@ type JobView struct {
 	Cached bool `json:"cached,omitempty"`
 	// Result is the artifact path once the result exists.
 	Result string `json:"result,omitempty"`
+	// Worker names the source of the latest progress report (a fleet
+	// worker; empty for in-process execution).
+	Worker string `json:"worker,omitempty"`
+	// Progress is the latest recorded span, once the job reported any.
+	Progress *telemetry.Progress `json:"progress,omitempty"`
 }
 
 // Manager owns the queue, the workers, and the job table.
@@ -284,6 +298,7 @@ func (m *Manager) Submit(req *resultcache.Request) (JobView, error) {
 		accepted: time.Now(),
 		done:     make(chan struct{}),
 	}
+	j.pv = m.newProgressVar(j.id, hash)
 	select {
 	case m.queue <- j:
 	default:
@@ -297,7 +312,77 @@ func (m *Manager) Submit(req *resultcache.Request) (JobView, error) {
 	depth := len(m.queue)
 	m.queueDepth.Set(float64(depth))
 	m.depthAtSubmit.Observe(int64(depth))
+	m.cfg.Bus.Publish(telemetry.JobEvent{Type: telemetry.EventQueued, Job: j.id, Hash: hash})
 	return j.view(), nil
+}
+
+// newProgressVar builds a job's progress cell. Its observer republishes
+// spans onto the event bus, rate-limited so a fine-grained executor
+// (thousands of Monte-Carlo blocks) does not flood subscribers: an event
+// goes out on the first write, on any phase or source change, when Done
+// reaches Total, and otherwise only per ~1% of Total advance.
+func (m *Manager) newProgressVar(id, hash string) *telemetry.ProgressVar {
+	pv := &telemetry.ProgressVar{}
+	if m.cfg.Bus == nil {
+		return pv
+	}
+	// Observer state needs no extra lock: the var invokes it under its
+	// own mutex, so calls are serialized.
+	var last telemetry.Progress
+	var lastSrc string
+	seen := false
+	pv.Observe(func(src string, p telemetry.Progress) {
+		step := int64(1)
+		if p.Total > 100 {
+			step = p.Total / 100
+		}
+		switch {
+		case !seen, p.Phase != last.Phase, src != lastSrc,
+			p.Total > 0 && p.Done >= p.Total,
+			p.Done-last.Done >= step, p.Done < last.Done:
+		default:
+			return
+		}
+		seen, last, lastSrc = true, p, src
+		m.cfg.Bus.Publish(telemetry.JobEvent{
+			Type: telemetry.EventProgress, Job: id, Hash: hash,
+			Worker: src, Progress: &p,
+		})
+	})
+	return pv
+}
+
+// Bus exposes the configured event bus (nil when events are disabled);
+// the HTTP layer subscribes its SSE handlers to it.
+func (m *Manager) Bus() *telemetry.Bus { return m.cfg.Bus }
+
+// List returns up to limit job snapshots starting at offset in id order
+// (= submission order), plus the total job count. limit <= 0 means no
+// bound beyond the table itself.
+func (m *Manager) List(offset, limit int) ([]JobView, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	total := len(ids)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	end := total
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+	}
+	views := make([]JobView, 0, end-offset)
+	for _, id := range ids[offset:end] {
+		views = append(views, m.jobs[id].view())
+	}
+	return views, total
 }
 
 // Job returns a snapshot of the identified job.
@@ -626,6 +711,11 @@ func (m *Manager) run(j *Job) {
 	m.mu.Unlock()
 	m.queueDepth.Set(float64(len(m.queue)))
 	m.waitMS.Observe(time.Since(j.accepted).Milliseconds())
+	m.cfg.Bus.Publish(telemetry.JobEvent{Type: telemetry.EventLeased, Job: j.id, Hash: j.hash, Attempt: 1})
+
+	// The runner sees the job's progress var through the context; local
+	// executors and the fleet coordinator both pick it up there.
+	runCtx := telemetry.WithProgress(m.ctx, j.pv)
 
 	var lastErr error
 	for attempt := 1; attempt <= m.cfg.MaxAttempts; attempt++ {
@@ -641,8 +731,9 @@ func (m *Manager) run(j *Job) {
 				m.finishLocked(j, StateFailed, m.ctx.Err().Error())
 				return
 			}
+			m.cfg.Bus.Publish(telemetry.JobEvent{Type: telemetry.EventRetried, Job: j.id, Hash: j.hash, Attempt: attempt, Error: lastErr.Error()})
 		}
-		_, err := m.cfg.Runner(m.ctx, j.req)
+		_, err := m.cfg.Runner(runCtx, j.req)
 		if err == nil {
 			m.latencyMS.Observe(time.Since(j.accepted).Milliseconds())
 			m.finishLocked(j, StateDone, "")
@@ -690,13 +781,23 @@ func (m *Manager) finish(j *Job, st State, msg string) {
 	if cur, ok := m.inflight[j.hash]; ok && cur == j {
 		delete(m.inflight, j.hash)
 	}
+	var evType string
 	switch st {
 	case StateDone:
 		m.completed.Inc()
 		// The result exists; its checkpoint is dead weight.
 		delete(m.checkpoints, j.hash)
+		evType = telemetry.EventComplete
 	case StateFailed:
 		m.failed.Inc()
+		evType = telemetry.EventFailed
+	}
+	if evType != "" {
+		ev := telemetry.JobEvent{Type: evType, Job: j.id, Hash: j.hash, Attempt: j.attempts, Error: msg}
+		if src, p, ok := j.pv.Load(); ok {
+			ev.Worker, ev.Progress = src, &p
+		}
+		m.cfg.Bus.Publish(ev)
 	}
 	close(j.done)
 	m.wg.Done()
@@ -707,6 +808,10 @@ func (j *Job) view() JobView {
 	v := JobView{ID: j.id, Hash: j.hash, State: j.state, Attempts: j.attempts, Error: j.err}
 	if j.state == StateDone {
 		v.Result = resultPath(j.hash)
+	}
+	if src, p, ok := j.pv.Load(); ok {
+		v.Worker = src
+		v.Progress = &p
 	}
 	return v
 }

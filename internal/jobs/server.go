@@ -13,12 +13,16 @@ import (
 
 // Server is the HTTP face of a Manager:
 //
-//	POST /v1/jobs           submit a simulation request
-//	GET  /v1/jobs/{id}      poll a job
-//	GET  /v1/results/{hash} fetch an artifact (the stored bytes, verbatim)
-//	GET  /healthz           liveness (200 while the process serves at all)
-//	GET  /readyz            readiness (503 while draining or degraded)
-//	/stats, /debug/...      the telemetry surface (expvar, pprof)
+//	POST /v1/jobs              submit a simulation request
+//	GET  /v1/jobs              list jobs (state + progress), paginated
+//	GET  /v1/jobs/{id}         poll a job
+//	GET  /v1/jobs/{id}/events  one job's lifecycle as SSE (history + live)
+//	GET  /v1/events            every job event as SSE (the firehose)
+//	GET  /v1/results/{hash}    fetch an artifact (the stored bytes, verbatim)
+//	GET  /healthz              liveness (200 while the process serves at all)
+//	GET  /readyz               readiness (503 while draining or degraded)
+//	GET  /metrics              Prometheus text exposition of the registry
+//	/stats, /debug/...         the telemetry surface (expvar, pprof)
 //
 // Submissions answered from the cache return 200 with the job view;
 // accepted jobs return 202 with a Location header for polling. A full
@@ -44,12 +48,17 @@ type Server struct {
 func NewServer(mgr *Manager, reg *telemetry.Registry) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux(), RetryAfterSeconds: 5}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/events", s.handleEventsFirehose)
 	s.mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
-	s.mux.Handle("/stats", telemetry.Handler(reg))
-	s.mux.Handle("/debug/", telemetry.Handler(reg))
+	tel := telemetry.Handler(reg)
+	s.mux.Handle("/stats", tel)
+	s.mux.Handle("/debug/", tel)
+	s.mux.Handle("/metrics", tel)
 	return s
 }
 

@@ -1,0 +1,134 @@
+// The live side of the job API: a paginated job listing and two SSE
+// streams over the manager's event bus —
+//
+//	GET /v1/jobs             list jobs (state + latest progress), paginated
+//	GET /v1/events           firehose: every event, as it happens
+//	GET /v1/jobs/{id}/events one job's lifecycle, history replayed first
+//
+// SSE frames are `data: <one-line JSON>\n\n` (sgevents/1 shape). The bus
+// never blocks on a slow client; when a subscriber has lost events the
+// stream carries a `: dropped=N` comment line so consumers can tell the
+// stream is gapped rather than silently incomplete.
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"safeguard/internal/telemetry"
+)
+
+// Job-list pagination defaults; limit is capped so one request cannot
+// serialize an unbounded table.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
+// JobList is the GET /v1/jobs response body.
+type JobList struct {
+	Total  int       `json:"total"`
+	Offset int       `json:"offset"`
+	Jobs   []JobView `json:"jobs"`
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	offset, limit := 0, defaultListLimit
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.writeError(w, http.StatusBadRequest, "invalid offset %q", v)
+			return
+		}
+		offset = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			s.writeError(w, http.StatusBadRequest, "invalid limit %q", v)
+			return
+		}
+		limit = min(n, maxListLimit)
+	}
+	views, total := s.mgr.List(offset, limit)
+	s.writeJSON(w, http.StatusOK, JobList{Total: total, Offset: offset, Jobs: views})
+}
+
+func (s *Server) handleEventsFirehose(w http.ResponseWriter, r *http.Request) {
+	bus := s.mgr.Bus()
+	if bus == nil {
+		s.writeError(w, http.StatusNotFound, "event streaming disabled (no bus configured)")
+		return
+	}
+	s.serveSSE(w, r, bus.Subscribe(256, nil), false)
+}
+
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	bus := s.mgr.Bus()
+	if bus == nil {
+		s.writeError(w, http.StatusNotFound, "event streaming disabled (no bus configured)")
+		return
+	}
+	id := r.PathValue("id")
+	view, ok := s.mgr.Job(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	// Match the job's own events plus hash-keyed ones (checkpoint
+	// deposits carry no job id — the coordinator only knows the hash).
+	hash := view.Hash
+	sub := bus.Subscribe(256, func(ev telemetry.JobEvent) bool {
+		return ev.Job == id || (ev.Job == "" && ev.Hash == hash)
+	})
+	// History replay covers lifecycles that ended before the client
+	// connected; the stream closes itself after the terminal event.
+	s.serveSSE(w, r, sub, true)
+}
+
+// serveSSE pumps a subscription to the client until the client leaves,
+// the subscription closes, or (when untilTerminal) the job's lifecycle
+// ends. Owns sub and closes it.
+func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, sub *telemetry.Subscription, untilTerminal bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		sub.Close()
+		s.writeError(w, http.StatusNotImplemented, "streaming unsupported by this connection")
+		return
+	}
+	defer sub.Close()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	var reportedDrops uint64
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-sub.C:
+			if !open {
+				return
+			}
+			if d := sub.Dropped(); d > reportedDrops {
+				reportedDrops = d
+				fmt.Fprintf(w, ": dropped=%d\n\n", d)
+			}
+			raw, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", raw)
+			fl.Flush()
+			if untilTerminal && ev.Terminal() {
+				return
+			}
+		}
+	}
+}

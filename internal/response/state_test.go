@@ -1,0 +1,149 @@
+package response
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"safeguard/internal/telemetry"
+)
+
+// driveDirtyEngine escalates a permanent fault through retirement so the
+// engine accumulates strikes, a retired row, trace steps, a non-zero
+// backoff clock, and stats — every field SaveState must carry.
+func driveDirtyEngine(t *testing.T) *Engine {
+	t.Helper()
+	fp := newFakePath(1)
+	fp.duesLeft[0x40] = -1 // never recovers until the row is retired
+	e := mustEngine(t, DefaultEngineConfig())
+	e.Bind(fp)
+	if _, ok := e.HandleDUE(0x40, 7); ok {
+		t.Fatal("first strike should stay below the retire threshold")
+	}
+	fp.duesLeft[0x40] = -1
+	if _, ok := e.HandleDUE(0x40, 7); !ok {
+		t.Fatal("second hard DUE with a spare available should recover via retirement")
+	}
+	return e
+}
+
+func TestEngineStateRoundTrip(t *testing.T) {
+	t.Parallel()
+	e := driveDirtyEngine(t)
+	st := e.SaveState()
+	if len(st.Trace) == 0 || len(st.RetiredRows) != 1 || st.Stats.Retires != 1 {
+		t.Fatalf("dirty engine saved an implausibly clean state: %+v", st)
+	}
+
+	fresh := mustEngine(t, e.Config())
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if got := fresh.SaveState(); !reflect.DeepEqual(got, st) {
+		t.Fatalf("restore round-trip drifted:\n got %+v\nwant %+v", got, st)
+	}
+	if fresh.Now() != e.Now() || fresh.Quarantined() != e.Quarantined() {
+		t.Fatalf("accessors disagree after restore: now %d/%d quarantined %v/%v",
+			fresh.Now(), e.Now(), fresh.Quarantined(), e.Quarantined())
+	}
+	if !reflect.DeepEqual(fresh.RetiredRows(), e.RetiredRows()) {
+		t.Fatalf("retired rows %v != %v", fresh.RetiredRows(), e.RetiredRows())
+	}
+	if !reflect.DeepEqual(fresh.Trace(), e.Trace()) {
+		t.Fatal("trace drifted across restore")
+	}
+}
+
+// Restoring the zero state onto a dirty engine must leave it
+// indistinguishable from a freshly constructed one.
+func TestEngineRestoreZeroStateResets(t *testing.T) {
+	t.Parallel()
+	e := driveDirtyEngine(t)
+	if err := e.RestoreState(EngineState{}); err != nil {
+		t.Fatalf("RestoreState(zero): %v", err)
+	}
+	want := mustEngine(t, e.Config()).SaveState()
+	if got := e.SaveState(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("zero-state restore left residue:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEngineRestoreRejectsBadState(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		st   EngineState
+		want string
+	}{
+		{"unsorted strikes", EngineState{Strikes: []RowStrikes{{Row: 9, Strikes: 1}, {Row: 3, Strikes: 1}}}, "not sorted"},
+		{"duplicate row", EngineState{Strikes: []RowStrikes{{Row: 3, Strikes: 1}, {Row: 3, Strikes: 2}}}, "not sorted"},
+		{"zero strikes", EngineState{Strikes: []RowStrikes{{Row: 3, Strikes: 0}}}, "strikes"},
+		{"negative clock", EngineState{Now: -1}, "clock"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			e := mustEngine(t, DefaultEngineConfig())
+			before := e.SaveState()
+			err := e.RestoreState(tc.st)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("RestoreState(%+v) = %v, want error containing %q", tc.st, err, tc.want)
+			}
+			// A rejected restore must not have half-applied anything.
+			if got := e.SaveState(); !reflect.DeepEqual(got, before) {
+				t.Fatalf("rejected restore mutated the engine:\n got %+v\nwant %+v", got, before)
+			}
+		})
+	}
+}
+
+// AttachTelemetry mirrors every escalation into the registry and tracer:
+// the counters must agree with EngineStats and the trace ring must carry
+// the quarantine event.
+func TestAttachTelemetryMirrorsEscalation(t *testing.T) {
+	t.Parallel()
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(64)
+
+	fp := newFakePath(1)
+	fp.duesLeft[0x40] = -1
+	cfg := DefaultEngineConfig()
+	cfg.RetireThreshold = 1
+	cfg.QuarantineThreshold = 1 // first retirement quarantines
+	e := mustEngine(t, cfg)
+	e.Bind(fp)
+	e.AttachTelemetry(reg, tr)
+
+	if _, ok := e.HandleDUE(0x40, 7); !ok {
+		t.Fatal("permanent DUE with a spare should recover via retirement")
+	}
+	if !e.Quarantined() {
+		t.Fatal("engine should have escalated to quarantine")
+	}
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"response.dues":        e.Stats.DUEs,
+		"response.retries":     e.Stats.Retries,
+		"response.hard_dues":   e.Stats.HardDUEs,
+		"response.scrubs":      e.Stats.Scrubs,
+		"response.retires":     e.Stats.Retires,
+		"response.quarantines": e.Stats.Quarantines,
+	} {
+		if got := snap.Counters[name]; got != want || want == 0 {
+			t.Errorf("%s = %d, want non-zero %d (stats %+v)", name, got, want, e.Stats)
+		}
+	}
+	if got := snap.Counters["response.retry_cycles"]; got != uint64(e.Stats.RetryCycles) {
+		t.Errorf("response.retry_cycles = %d, want %d", got, e.Stats.RetryCycles)
+	}
+	var sawQuarantine bool
+	for _, ev := range tr.Events() {
+		if ev.Kind == telemetry.EvQuarantine {
+			sawQuarantine = true
+		}
+	}
+	if !sawQuarantine {
+		t.Fatalf("tracer events %v missing EvQuarantine", tr.Events())
+	}
+}

@@ -118,6 +118,7 @@ func (p *PerfRequest) execute(ctx context.Context, reg *telemetry.Registry, pool
 	if err != nil {
 		return nil, err
 	}
+	telemetry.ProgressFromContext(ctx).Set(telemetry.Progress{Phase: "encode"})
 	wire := PerfWire{Average: make(map[string]float64)}
 	for _, s := range res.Schemes {
 		wire.Schemes = append(wire.Schemes, s.String())
@@ -156,6 +157,7 @@ func (l *RelRequest) execute(ctx context.Context, reg *telemetry.Registry) (json
 	if err != nil {
 		return nil, err
 	}
+	telemetry.ProgressFromContext(ctx).Set(telemetry.Progress{Phase: "encode"})
 	return json.Marshal(RelWireFromResults(results))
 }
 

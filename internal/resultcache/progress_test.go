@@ -1,0 +1,134 @@
+package resultcache
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"safeguard/internal/telemetry"
+)
+
+// progressLog records every observer callback in order; good enough to
+// assert the span sequence an executor emits through the context.
+type progressLog struct {
+	mu sync.Mutex
+	ps []telemetry.Progress
+}
+
+func (l *progressLog) record(_ string, p telemetry.Progress) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ps = append(l.ps, p)
+}
+
+func (l *progressLog) phases() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range l.ps {
+		if !seen[p.Phase] {
+			seen[p.Phase] = true
+			out = append(out, p.Phase)
+		}
+	}
+	return out
+}
+
+func (l *progressLog) last(phase string) (telemetry.Progress, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := len(l.ps) - 1; i >= 0; i-- {
+		if l.ps[i].Phase == phase {
+			return l.ps[i], true
+		}
+	}
+	return telemetry.Progress{}, false
+}
+
+// A perf execution must walk warmup -> measure -> encode, with the
+// measure span reaching Done == Total before encode begins.
+func TestObsSmokePerfExecuteProgressSpans(t *testing.T) {
+	t.Parallel()
+	var log progressLog
+	pv := &telemetry.ProgressVar{}
+	pv.Observe(log.record)
+	ctx := telemetry.WithProgress(context.Background(), pv)
+
+	if _, err := tinyPerf().Execute(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"warmup", "measure", "encode"}
+	got := log.phases()
+	if len(got) != len(want) {
+		t.Fatalf("phases = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("phases = %v, want %v", got, want)
+		}
+	}
+	m, ok := log.last("measure")
+	if !ok || m.Total <= 0 || m.Done != m.Total {
+		t.Fatalf("final measure span = %+v, want Done == Total > 0", m)
+	}
+	if pct := m.Percent(); pct != 100 {
+		t.Fatalf("final measure Percent() = %v, want 100", pct)
+	}
+}
+
+// A rel execution reports measure spans per Monte-Carlo block, then an
+// encode span. Fixed-population runs know their extent up front.
+func TestObsSmokeRelExecuteProgressSpans(t *testing.T) {
+	t.Parallel()
+	var log progressLog
+	pv := &telemetry.ProgressVar{}
+	pv.Observe(log.record)
+	ctx := telemetry.WithProgress(context.Background(), pv)
+
+	if _, err := tinyRel().Execute(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := log.last("measure")
+	if !ok || m.Total <= 0 || m.Done != m.Total {
+		t.Fatalf("final measure span = %+v, want Done == Total > 0", m)
+	}
+	if _, ok := log.last("encode"); !ok {
+		t.Fatal("rel execution never reported the encode phase")
+	}
+}
+
+// Adaptive rel runs have no fixed extent: Total stays 0 (unknown) and
+// Percent() reports -1, but Done still advances.
+func TestAdaptiveRelProgressUnknownExtent(t *testing.T) {
+	t.Parallel()
+	var log progressLog
+	pv := &telemetry.ProgressVar{}
+	pv.Observe(log.record)
+	ctx := telemetry.WithProgress(context.Background(), pv)
+
+	req := tinyRel()
+	req.Rel.CIHalfWidth = 0.2 // loose target: stops after the first round
+	if _, err := req.Execute(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := log.last("measure")
+	if !ok || m.Total != 0 {
+		t.Fatalf("adaptive measure span = %+v, want Total == 0 (unknown extent)", m)
+	}
+	if m.Done <= 0 {
+		t.Fatalf("adaptive measure Done = %d, want > 0", m.Done)
+	}
+	if m.Percent() != -1 {
+		t.Fatalf("adaptive Percent() = %v, want -1 for unknown extent", m.Percent())
+	}
+}
+
+// Executors must run unchanged when no ProgressVar rides the context —
+// the nil-safe no-op path every non-fleet caller takes.
+func TestExecuteWithoutProgressVar(t *testing.T) {
+	t.Parallel()
+	if _, err := tinyPerf().Execute(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+// The event bus behind the SSE surface: a bounded broadcaster of job
+// lifecycle events. Publishing never blocks — each subscriber owns a
+// buffered channel and a slow one loses events (counted per subscriber
+// and registry-wide), so a stalled curl can never back-pressure the job
+// manager or the coordinator. A small history ring lets a subscriber
+// replay the recent past atomically with its subscription, which is how
+// GET /v1/jobs/{id}/events shows a full lifecycle even when the client
+// connects after the job finished.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// EventSchema versions the event wire shape; every published event
+// carries it so consumers can reject streams they don't understand.
+const EventSchema = "sgevents/1"
+
+// Event types, in lifecycle order.
+const (
+	EventQueued     = "queued"
+	EventLeased     = "leased"
+	EventProgress   = "progress"
+	EventCheckpoint = "checkpoint"
+	EventRetried    = "retried"
+	EventComplete   = "complete"
+	EventFailed     = "failed"
+)
+
+// JobEvent is one lifecycle event, JSON-shaped for the SSE stream (one
+// line per event — no embedded newlines, no indentation).
+type JobEvent struct {
+	Schema string `json:"schema"`
+	// Seq is the bus-assigned total order; gaps at a subscriber mean
+	// events were dropped for it.
+	Seq  uint64 `json:"seq"`
+	Type string `json:"type"`
+	// Job is the manager's job ID; empty on events keyed only by hash
+	// (coordinator-side checkpoint deposits).
+	Job  string `json:"job,omitempty"`
+	Hash string `json:"hash,omitempty"`
+	// Worker attributes the event to a fleet worker (empty = in-process).
+	Worker string `json:"worker,omitempty"`
+	// Attempt is the 1-based execution attempt (retried events).
+	Attempt  int       `json:"attempt,omitempty"`
+	Progress *Progress `json:"progress,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// Terminal reports whether the event ends its job's lifecycle.
+func (e JobEvent) Terminal() bool {
+	return e.Type == EventComplete || e.Type == EventFailed
+}
+
+// defaultBusHistory bounds the replay ring.
+const defaultBusHistory = 1024
+
+// Bus broadcasts job events to subscribers. A nil *Bus is the disabled
+// bus: Publish is a no-op and Subscribe returns nil.
+type Bus struct {
+	mu   sync.Mutex
+	ring []JobEvent
+	seq  uint64 // total events published; ring[(seq-1)%len] is newest
+	subs map[*Subscription]struct{}
+
+	published *Counter
+	dropped   *Counter
+}
+
+// NewBus builds a bus with the default history ring. The registry (may
+// be nil) receives "bus.published" and "bus.dropped" counters.
+func NewBus(reg *Registry) *Bus {
+	return &Bus{
+		ring:      make([]JobEvent, defaultBusHistory),
+		subs:      make(map[*Subscription]struct{}),
+		published: reg.Counter("bus.published"),
+		dropped:   reg.Counter("bus.dropped"),
+	}
+}
+
+// Publish stamps the event (schema, sequence) and fans it out. Slow
+// subscribers lose it; nobody blocks. No-op on a nil bus.
+func (b *Bus) Publish(ev JobEvent) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.seq++
+	ev.Schema = EventSchema
+	ev.Seq = b.seq
+	b.ring[(b.seq-1)%uint64(len(b.ring))] = ev
+	for s := range b.subs {
+		if s.match != nil && !s.match(ev) {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			s.nDropped.Add(1)
+			b.dropped.Inc()
+		}
+	}
+	b.mu.Unlock()
+	b.published.Inc()
+}
+
+// Subscription is one subscriber's end of the bus. Receive from C;
+// Close when done. After Close the channel is closed and drains.
+type Subscription struct {
+	// C delivers events in publish order (with drops under pressure).
+	C <-chan JobEvent
+
+	bus      *Bus
+	ch       chan JobEvent
+	match    func(JobEvent) bool
+	nDropped atomic.Uint64
+	closed   bool
+}
+
+// Dropped returns how many events this subscriber has lost so far.
+func (s *Subscription) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.nDropped.Load()
+}
+
+// Close detaches the subscription and closes its channel.
+func (s *Subscription) Close() {
+	if s == nil {
+		return
+	}
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(s.bus.subs, s)
+	close(s.ch)
+}
+
+// Subscribe registers a subscriber with the given channel buffer
+// (default 64). match filters events (nil = everything). History
+// matching the filter is replayed into the buffer first, atomically
+// with registration, so no event between "replay" and "live" is missed
+// — a replay larger than the buffer drops its oldest part, counted like
+// any other drop. Returns nil on a nil bus.
+func (b *Bus) Subscribe(buf int, match func(JobEvent) bool) *Subscription {
+	if b == nil {
+		return nil
+	}
+	if buf <= 0 {
+		buf = 64
+	}
+	s := &Subscription{bus: b, ch: make(chan JobEvent, buf), match: match}
+	s.C = s.ch
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	start := uint64(0)
+	if n := uint64(len(b.ring)); b.seq > n {
+		start = b.seq - n
+	}
+	for i := start; i < b.seq; i++ {
+		ev := b.ring[i%uint64(len(b.ring))]
+		if match != nil && !match(ev) {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			// Buffer full mid-replay: shed the oldest queued event to keep
+			// the newest — the tail of a lifecycle matters more than its
+			// middle.
+			select {
+			case <-s.ch:
+				s.nDropped.Add(1)
+				b.dropped.Inc()
+			default:
+			}
+			select {
+			case s.ch <- ev:
+			default:
+				s.nDropped.Add(1)
+				b.dropped.Inc()
+			}
+		}
+	}
+	b.subs[s] = struct{}{}
+	return s
+}

@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBusNilSafe(t *testing.T) {
+	t.Parallel()
+	var b *Bus
+	b.Publish(JobEvent{Type: EventQueued}) // must not panic
+	if s := b.Subscribe(4, nil); s != nil {
+		t.Fatal("nil bus Subscribe must return nil")
+	}
+	var s *Subscription
+	if s.Dropped() != 0 {
+		t.Fatal("nil subscription Dropped must be 0")
+	}
+	s.Close() // must not panic
+}
+
+func TestBusStampsAndOrders(t *testing.T) {
+	t.Parallel()
+	b := NewBus(nil)
+	s := b.Subscribe(8, nil)
+	defer s.Close()
+	b.Publish(JobEvent{Type: EventQueued, Job: "j-1"})
+	b.Publish(JobEvent{Type: EventLeased, Job: "j-1"})
+	b.Publish(JobEvent{Type: EventComplete, Job: "j-1"})
+	var got []JobEvent
+	for i := 0; i < 3; i++ {
+		got = append(got, <-s.C)
+	}
+	for i, ev := range got {
+		if ev.Schema != EventSchema {
+			t.Fatalf("event %d schema %q, want %q", i, ev.Schema, EventSchema)
+		}
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	if got[0].Type != EventQueued || got[1].Type != EventLeased || got[2].Type != EventComplete {
+		t.Fatalf("order broken: %+v", got)
+	}
+	if !got[2].Terminal() || got[0].Terminal() {
+		t.Fatal("Terminal misclassifies events")
+	}
+}
+
+func TestBusSlowSubscriberDropsNeverBlocks(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	b := NewBus(reg)
+	s := b.Subscribe(2, nil) // tiny buffer, never drained
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		b.Publish(JobEvent{Type: EventProgress, Job: "j-1"}) // must not block
+	}
+	if d := s.Dropped(); d != 8 {
+		t.Fatalf("Dropped = %d, want 8", d)
+	}
+	if n := reg.Counter("bus.dropped").Value(); n != 8 {
+		t.Fatalf("bus.dropped = %d, want 8", n)
+	}
+	if n := reg.Counter("bus.published").Value(); n != 10 {
+		t.Fatalf("bus.published = %d, want 10", n)
+	}
+	// The two buffered events are the oldest (live drops shed the newest).
+	if ev := <-s.C; ev.Seq != 1 {
+		t.Fatalf("first buffered seq = %d, want 1", ev.Seq)
+	}
+}
+
+func TestBusMatchFilters(t *testing.T) {
+	t.Parallel()
+	b := NewBus(nil)
+	s := b.Subscribe(8, func(ev JobEvent) bool { return ev.Job == "j-2" })
+	defer s.Close()
+	b.Publish(JobEvent{Type: EventQueued, Job: "j-1"})
+	b.Publish(JobEvent{Type: EventQueued, Job: "j-2"})
+	if ev := <-s.C; ev.Job != "j-2" {
+		t.Fatalf("filter leaked job %q", ev.Job)
+	}
+	select {
+	case ev := <-s.C:
+		t.Fatalf("unexpected extra event %+v", ev)
+	default:
+	}
+}
+
+func TestBusReplayThenLive(t *testing.T) {
+	t.Parallel()
+	b := NewBus(nil)
+	b.Publish(JobEvent{Type: EventQueued, Job: "j-1"})
+	b.Publish(JobEvent{Type: EventLeased, Job: "j-1"})
+	// Subscribe after the fact: history replays, then live events follow.
+	s := b.Subscribe(8, func(ev JobEvent) bool { return ev.Job == "j-1" })
+	defer s.Close()
+	b.Publish(JobEvent{Type: EventComplete, Job: "j-1"})
+	wantTypes := []string{EventQueued, EventLeased, EventComplete}
+	for i, want := range wantTypes {
+		ev := <-s.C
+		if ev.Type != want {
+			t.Fatalf("event %d type %q, want %q", i, ev.Type, want)
+		}
+	}
+}
+
+func TestBusReplayKeepsNewestWhenBufferSmall(t *testing.T) {
+	t.Parallel()
+	b := NewBus(nil)
+	for i := 0; i < 10; i++ {
+		typ := EventProgress
+		if i == 9 {
+			typ = EventComplete
+		}
+		b.Publish(JobEvent{Type: typ, Job: "j-1"})
+	}
+	s := b.Subscribe(2, nil)
+	defer s.Close()
+	if d := s.Dropped(); d == 0 {
+		t.Fatal("small-buffer replay reported no drops")
+	}
+	// The tail of the lifecycle must survive the shedding.
+	var last JobEvent
+	for i := 0; i < 2; i++ {
+		last = <-s.C
+	}
+	if last.Type != EventComplete || last.Seq != 10 {
+		t.Fatalf("newest replayed event = %+v, want the complete (seq 10)", last)
+	}
+}
+
+func TestBusRingOverwritesOldHistory(t *testing.T) {
+	t.Parallel()
+	b := NewBus(nil)
+	total := defaultBusHistory + 50
+	for i := 0; i < total; i++ {
+		b.Publish(JobEvent{Type: EventProgress, Job: "j-1"})
+	}
+	s := b.Subscribe(total, nil)
+	defer s.Close()
+	// Only the last defaultBusHistory events are replayable.
+	first := <-s.C
+	if want := uint64(total - defaultBusHistory + 1); first.Seq != want {
+		t.Fatalf("oldest replayed seq = %d, want %d", first.Seq, want)
+	}
+}
+
+func TestBusConcurrentPublishSubscribe(t *testing.T) {
+	t.Parallel()
+	b := NewBus(NewRegistry())
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Publish(JobEvent{Type: EventProgress, Job: "j-1"})
+			}
+		}()
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := b.Subscribe(16, nil)
+			for i := 0; i < 50; i++ {
+				select {
+				case <-s.C:
+				default:
+				}
+			}
+			s.Close()
+			// Receiving from a closed, detached subscription drains then
+			// yields zero values — no panic, no deadlock.
+			for range s.C {
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBusCloseIdempotent(t *testing.T) {
+	t.Parallel()
+	b := NewBus(nil)
+	s := b.Subscribe(1, nil)
+	s.Close()
+	s.Close() // second close must not panic
+	b.Publish(JobEvent{Type: EventQueued})
+	if _, ok := <-s.C; ok {
+		t.Fatal("closed subscription received an event")
+	}
+}

@@ -1,42 +1,100 @@
 // Opt-in HTTP observability for long sweeps: an expvar endpoint exposing
-// the registry's live snapshot plus the standard pprof profiles, on a
-// loopback (or operator-chosen) address. Nothing here runs unless a cmd
-// passes -http; the simulation hot paths never touch this file.
+// the registry's live snapshot, a Prometheus /metrics exposition, plus
+// the standard pprof profiles, on a loopback (or operator-chosen)
+// address. Nothing here runs unless a cmd passes -http (or a server
+// mounts the handler); the simulation hot paths never touch this file.
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
-	"sync/atomic"
 )
 
-// expvarOnce guards the process-global expvar name: expvar.Publish panics
-// on duplicates, and tests may start several servers. expvarReg holds the
-// registry the expvar func reads — the most recent ServeHTTP call wins.
+// expvarOnce guards the process-global expvar name: expvar.Publish
+// panics on duplicates, and tests may start several servers. The
+// published func reads expvarSnap, which each Handler call swaps a
+// closure into — so the *global* expvar surface (expvar.Do, a plain
+// expvar.Handler elsewhere in the process) reports the most recent
+// handler's registry. That last-wins global is unavoidable with expvar's
+// process-wide namespace; what each Handler's own /debug/vars reports is
+// NOT last-wins — see scopedExpvars.
 var (
 	expvarOnce sync.Once
-	expvarReg  atomic.Pointer[Registry]
+	expvarMu   sync.Mutex
+	expvarSnap func() Snapshot
 )
+
+// expvarName is the registry's key in the expvar namespace.
+const expvarName = "safeguard"
+
+func publishExpvar(reg *Registry) {
+	expvarMu.Lock()
+	expvarSnap = reg.Snapshot
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish(expvarName, expvar.Func(func() any {
+			expvarMu.Lock()
+			snap := expvarSnap
+			expvarMu.Unlock()
+			return snap()
+		}))
+	})
+}
+
+// scopedExpvars renders the expvar page with this handler's registry
+// substituted under the "safeguard" key. Two servers in one process
+// (sgserve -fleet embeds the coordinator next to the job API; tests
+// start several stacks) each report their own registry rather than
+// whichever one called Handler last — the footgun the raw
+// expvar.Handler had here.
+func scopedExpvars(reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		type kv struct{ key, val string }
+		var vars []kv
+		expvar.Do(func(v expvar.KeyValue) {
+			if v.Key == expvarName {
+				return // replaced below with this handler's registry
+			}
+			vars = append(vars, kv{v.Key, v.Value.String()})
+		})
+		own, err := json.Marshal(reg.Snapshot())
+		if err == nil {
+			vars = append(vars, kv{expvarName, string(own)})
+		}
+		sort.Slice(vars, func(i, j int) bool { return vars[i].key < vars[j].key })
+		fmt.Fprintf(w, "{\n")
+		for i, v := range vars {
+			if i > 0 {
+				fmt.Fprintf(w, ",\n")
+			}
+			fmt.Fprintf(w, "%q: %s", v.key, v.val)
+		}
+		fmt.Fprintf(w, "\n}\n")
+	}
+}
 
 // Handler returns the observability mux by itself, for embedding into a
 // larger server (sgserve mounts it next to its job API):
 //
-//	/debug/vars    expvar (includes the registry under "safeguard")
+//	/debug/vars    expvar (this handler's registry under "safeguard")
 //	/debug/pprof/  the standard pprof handlers
 //	/stats         the registry's deterministic JSON snapshot
+//	/metrics       the Prometheus text exposition of the same snapshot
 //
-// The registry may be nil; /stats then serves the empty snapshot.
+// The registry may be nil; /stats and /metrics then serve the empty
+// snapshot. Each returned handler is scoped to the registry it was built
+// with — two handlers in one process report their own registries.
 func Handler(reg *Registry) http.Handler {
-	expvarReg.Store(reg)
-	expvarOnce.Do(func() {
-		expvar.Publish("safeguard", expvar.Func(func() any { return expvarReg.Load().Snapshot() }))
-	})
+	publishExpvar(reg)
 	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/vars", scopedExpvars(reg))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -45,6 +103,10 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		_ = WritePrometheus(w, reg.Snapshot())
 	})
 	return mux
 }

@@ -100,6 +100,94 @@ func TestServeHTTPBadAddr(t *testing.T) {
 	}
 }
 
+// Two handlers in one process must each report their own registry on
+// /debug/vars — the last-ServeHTTP-wins footgun the process-global
+// expvar had. sgserve -fleet is exactly this shape: the job API and the
+// coordinator telemetry surfaces coexist.
+func TestHandlerExpvarScopedPerRegistry(t *testing.T) {
+	regA := NewRegistry()
+	regA.Counter("scoped.a").Add(1)
+	regB := NewRegistry()
+	regB.Counter("scoped.b").Add(2)
+
+	// Build A first, then B: under the old global, A's /debug/vars would
+	// now report B's registry.
+	tsA := httptest.NewServer(Handler(regA))
+	defer tsA.Close()
+	tsB := httptest.NewServer(Handler(regB))
+	defer tsB.Close()
+
+	read := func(url string) Snapshot {
+		resp, err := http.Get(url + "/debug/vars")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var vars struct {
+			Safeguard Snapshot `json:"safeguard"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+			t.Fatalf("/debug/vars not JSON: %v", err)
+		}
+		return vars.Safeguard
+	}
+	a, b := read(tsA.URL), read(tsB.URL)
+	if a.Counters["scoped.a"] != 1 || a.Counters["scoped.b"] != 0 {
+		t.Fatalf("handler A reports the wrong registry: %+v", a.Counters)
+	}
+	if b.Counters["scoped.b"] != 2 || b.Counters["scoped.a"] != 0 {
+		t.Fatalf("handler B reports the wrong registry: %+v", b.Counters)
+	}
+}
+
+// /metrics renders the registry's snapshot in the Prometheus text
+// format, with the exposition content type.
+func TestHandlerMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("metrics.hits").Add(4)
+	reg.Histogram("metrics.lat", []int64{16, 32}).Observe(10)
+	ts := httptest.NewServer(Handler(reg))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != PrometheusContentType {
+		t.Fatalf("/metrics Content-Type = %q, want %q", ct, PrometheusContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE sg_metrics_hits_total counter",
+		"sg_metrics_hits_total 4",
+		`sg_metrics_lat_bucket{le="+Inf"} 1`,
+		"sg_metrics_lat_count 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Byte-determinism over the wire: the same (unchanged) registry
+	// serves the same body twice.
+	again, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Body.Close()
+	body2, err := io.ReadAll(again.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != string(body2) {
+		t.Fatal("/metrics body changed between identical snapshots")
+	}
+}
+
 // The "safeguard" expvar is the registry's full snapshot, decodable from
 // /debug/vars like any expvar — the contract external scrapers rely on.
 func TestExpvarSnapshotJSON(t *testing.T) {

@@ -1,0 +1,113 @@
+// Job-progress spans: a Progress value names the phase a long-running
+// execution is in (warm-up, measure, encode) and how far through it is;
+// a ProgressVar is the shared cell an executor writes and an observer
+// (the jobs manager, the fleet coordinator) reads. Executors receive the
+// var through the context, so instrumentation follows the same rule as
+// the rest of the package: unconditional call sites, free when disabled
+// (a nil var is a no-op).
+//
+// Granularity is deliberately coarse — one write per Monte-Carlo block
+// or per finished simulation cell, never per cycle — so progress costs
+// nothing measurable against the runs it describes and the simulation
+// hot paths stay allocation-free.
+package telemetry
+
+import (
+	"context"
+	"sync"
+)
+
+// Progress locates an execution inside its run: a phase name plus a
+// done/total pair in phase-specific units (simulation cells, Monte-Carlo
+// blocks). Total == 0 means the extent is unknown (adaptive sampling);
+// consumers then render the phase and raw count without a percentage.
+type Progress struct {
+	Phase string `json:"phase"`
+	Done  int64  `json:"done"`
+	Total int64  `json:"total,omitempty"`
+}
+
+// Percent returns completion in [0,100], or -1 when Total is unknown.
+func (p Progress) Percent() float64 {
+	if p.Total <= 0 {
+		return -1
+	}
+	if p.Done >= p.Total {
+		return 100
+	}
+	return 100 * float64(p.Done) / float64(p.Total)
+}
+
+// ProgressVar is a concurrency-safe latest-value cell for one job's
+// progress, tagged with the source that reported it (a fleet worker
+// name, or empty for in-process execution). Writes are last-wins: a
+// resumed job's new holder simply supersedes the dead holder's report.
+// The zero value is ready to use; a nil var ignores writes.
+type ProgressVar struct {
+	mu       sync.Mutex
+	src      string
+	p        Progress
+	set      bool
+	observer func(src string, p Progress)
+}
+
+// Set records in-process progress (empty source).
+func (v *ProgressVar) Set(p Progress) { v.SetFrom("", p) }
+
+// SetFrom records progress attributed to a source. The observer, when
+// installed, runs synchronously under the var's lock, so observations
+// are totally ordered per var; observers must not call back into the
+// var.
+func (v *ProgressVar) SetFrom(src string, p Progress) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.src = src
+	v.p = p
+	v.set = true
+	if v.observer != nil {
+		v.observer(src, p)
+	}
+}
+
+// Load returns the latest source and progress; ok reports whether any
+// write happened yet (false for a nil var).
+func (v *ProgressVar) Load() (src string, p Progress, ok bool) {
+	if v == nil {
+		return "", Progress{}, false
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.src, v.p, v.set
+}
+
+// Observe installs the single observer called on every subsequent write.
+// The jobs manager uses it to turn writes into bus events.
+func (v *ProgressVar) Observe(fn func(src string, p Progress)) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.observer = fn
+}
+
+// progressKey carries a *ProgressVar through a context.
+type progressKey struct{}
+
+// WithProgress attaches a progress var to ctx for executors downstream.
+func WithProgress(ctx context.Context, v *ProgressVar) context.Context {
+	if v == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey{}, v)
+}
+
+// ProgressFromContext returns the attached progress var, or nil (the
+// no-op var) when the caller did not ask for progress.
+func ProgressFromContext(ctx context.Context) *ProgressVar {
+	v, _ := ctx.Value(progressKey{}).(*ProgressVar)
+	return v
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+)
+
+func TestProgressPercent(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		p    Progress
+		want float64
+	}{
+		{Progress{Phase: "measure", Done: 0, Total: 0}, -1}, // unknown extent
+		{Progress{Phase: "measure", Done: 50, Total: 200}, 25},
+		{Progress{Phase: "measure", Done: 200, Total: 200}, 100},
+		{Progress{Phase: "measure", Done: 300, Total: 200}, 100}, // clamped
+	}
+	for _, c := range cases {
+		if got := c.p.Percent(); got != c.want {
+			t.Errorf("Percent(%+v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestProgressVarNilSafe(t *testing.T) {
+	t.Parallel()
+	var v *ProgressVar
+	v.Set(Progress{Phase: "x", Done: 1})
+	v.SetFrom("w", Progress{Phase: "x", Done: 2})
+	v.Observe(func(string, Progress) { t.Fatal("observer on nil var") })
+	if src, p, ok := v.Load(); ok || src != "" || p.Done != 0 {
+		t.Fatalf("nil var Load = %q %+v %v, want zero values", src, p, ok)
+	}
+}
+
+func TestProgressVarLastWinsAndObserver(t *testing.T) {
+	t.Parallel()
+	v := &ProgressVar{}
+	var seen []string
+	v.Observe(func(src string, p Progress) {
+		seen = append(seen, src+":"+p.Phase)
+	})
+	v.SetFrom("w1", Progress{Phase: "warmup", Done: 0, Total: 10})
+	v.SetFrom("w1", Progress{Phase: "measure", Done: 5, Total: 10})
+	// Supersede: a resumed holder overwrites the dead one's report even
+	// with a smaller Done.
+	v.SetFrom("w2", Progress{Phase: "measure", Done: 2, Total: 10})
+	src, p, ok := v.Load()
+	if !ok || src != "w2" || p.Done != 2 {
+		t.Fatalf("Load = %q %+v %v, want w2 done=2", src, p, ok)
+	}
+	want := []string{"w1:warmup", "w1:measure", "w2:measure"}
+	if len(seen) != len(want) {
+		t.Fatalf("observer saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("observer saw %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestProgressContextRoundTrip(t *testing.T) {
+	t.Parallel()
+	if v := ProgressFromContext(context.Background()); v != nil {
+		t.Fatal("bare context must yield the nil (no-op) var")
+	}
+	v := &ProgressVar{}
+	ctx := WithProgress(context.Background(), v)
+	if got := ProgressFromContext(ctx); got != v {
+		t.Fatal("context did not carry the progress var")
+	}
+	// Attaching nil leaves the context unchanged (still the no-op var).
+	if got := ProgressFromContext(WithProgress(context.Background(), nil)); got != nil {
+		t.Fatal("nil attach must stay no-op")
+	}
+}

@@ -1,0 +1,89 @@
+// Prometheus text exposition (format 0.0.4) for any Snapshot. The
+// renderer is a pure function of the snapshot: families sort by name,
+// numbers format with strconv's shortest round-trip form, and nothing
+// reads a clock — so identical snapshots render byte-identical bodies,
+// which the contract tests assert exactly.
+//
+// Naming rules (documented in DESIGN.md and frozen by tests):
+//
+//   - every metric is prefixed "sg_"; registry names translate by
+//     replacing each character outside [a-zA-Z0-9_] with '_'
+//     ("fleet.leases.granted" -> "sg_fleet_leases_granted_total")
+//   - counters get the "_total" suffix
+//   - histograms expose cumulative "_bucket{le=...}" series plus the
+//     "+Inf" bucket, "_sum", and "_count", per the Prometheus histogram
+//     convention (registry buckets are per-bin and are summed here)
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// PrometheusContentType is the Content-Type for /metrics responses.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName translates a registry instrument name to a Prometheus metric
+// name: "sg_" prefix, every non-[a-zA-Z0-9_] byte replaced with '_'.
+func promName(name string) string {
+	b := make([]byte, 0, len(name)+3)
+	b = append(b, "sg_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// formatFloat renders a float the Prometheus way: shortest decimal that
+// round-trips ('g' without forced exponent for typical magnitudes).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the text exposition format.
+// Output is deterministic: byte-identical snapshots yield byte-identical
+// bodies.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, name := range sortedKeys(s.Counters) {
+		m := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		m := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m, m, formatFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		m := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", m); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, bound := range h.Bounds {
+			if i < len(h.Buckets) {
+				cum += h.Buckets[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", m, bound, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", m, h.Sum, m, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

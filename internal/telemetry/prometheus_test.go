@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func promFixture() *Registry {
+	reg := NewRegistry()
+	reg.Counter("fleet.leases.granted").Add(7)
+	reg.Counter("jobs.completed").Add(3)
+	reg.Gauge("jobs.queue.depth").Set(2.5)
+	h := reg.Histogram("memctrl.read_latency_mc", []int64{16, 32, 64})
+	h.Observe(10)
+	h.Observe(20)
+	h.Observe(20)
+	h.Observe(50)
+	h.Observe(999) // overflow
+	return reg
+}
+
+func TestWritePrometheusExact(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promFixture().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE sg_fleet_leases_granted_total counter",
+		"sg_fleet_leases_granted_total 7",
+		"# TYPE sg_jobs_completed_total counter",
+		"sg_jobs_completed_total 3",
+		"# TYPE sg_jobs_queue_depth gauge",
+		"sg_jobs_queue_depth 2.5",
+		"# TYPE sg_memctrl_read_latency_mc histogram",
+		`sg_memctrl_read_latency_mc_bucket{le="16"} 1`,
+		`sg_memctrl_read_latency_mc_bucket{le="32"} 3`,
+		`sg_memctrl_read_latency_mc_bucket{le="64"} 4`,
+		`sg_memctrl_read_latency_mc_bucket{le="+Inf"} 5`,
+		"sg_memctrl_read_latency_mc_sum 1099",
+		"sg_memctrl_read_latency_mc_count 5",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	t.Parallel()
+	cases := map[string]string{
+		"fleet.leases.granted": "sg_fleet_leases_granted",
+		"a-b c/d":              "sg_a_b_c_d",
+		"already_ok_123":       "sg_already_ok_123",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestObsSmokePrometheusContract is the /metrics contract: output for a
+// fixed snapshot is byte-identical across renders, and every line obeys
+// the text exposition format — `# TYPE name counter|gauge|histogram` or
+// `name[{le="bound"}] value` with cumulative, monotone histogram
+// buckets ending at +Inf == count. It runs under `make obs-smoke`.
+func TestObsSmokePrometheusContract(t *testing.T) {
+	t.Parallel()
+	snap := promFixture().Snapshot()
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical snapshots rendered different /metrics bodies")
+	}
+
+	typeOf := map[string]string{}
+	var (
+		curHist   string
+		lastCum   uint64
+		histCount = map[string]uint64{}
+		histInf   = map[string]uint64{}
+	)
+	for ln, line := range strings.Split(strings.TrimSuffix(a.String(), "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			name, kind := parts[2], parts[3]
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Fatalf("line %d: unknown type %q", ln+1, kind)
+			}
+			if _, dup := typeOf[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %q", ln+1, name)
+			}
+			typeOf[name] = kind
+			if kind == "histogram" {
+				curHist, lastCum = name, 0
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no sample value in %q", ln+1, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		name := series
+		var le string
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+			label := series[i:]
+			if !strings.HasPrefix(label, `{le="`) || !strings.HasSuffix(label, `"}`) {
+				t.Fatalf("line %d: unexpected label set %q", ln+1, label)
+			}
+			le = label[len(`{le="`) : len(label)-len(`"}`)]
+		}
+		for _, r := range name {
+			if !(r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+				t.Fatalf("line %d: invalid metric name char %q in %q", ln+1, r, name)
+			}
+		}
+		if !strings.HasPrefix(name, "sg_") {
+			t.Fatalf("line %d: metric %q lacks the sg_ prefix", ln+1, name)
+		}
+		if _, err := strconv.ParseFloat(valStr, 64); err != nil {
+			t.Fatalf("line %d: unparseable value %q", ln+1, valStr)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, okCut := strings.CutSuffix(name, suf); okCut && typeOf[b] == "histogram" {
+				base = b
+			}
+		}
+		kind, known := typeOf[base]
+		if !known {
+			t.Fatalf("line %d: sample %q precedes its TYPE line", ln+1, name)
+		}
+		switch kind {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				t.Fatalf("line %d: counter %q lacks _total", ln+1, name)
+			}
+		case "histogram":
+			if strings.HasSuffix(name, "_bucket") {
+				if base != curHist {
+					t.Fatalf("line %d: bucket for %q outside its histogram block", ln+1, base)
+				}
+				v, err := strconv.ParseUint(valStr, 10, 64)
+				if err != nil {
+					t.Fatalf("line %d: bucket value %q: %v", ln+1, valStr, err)
+				}
+				if v < lastCum {
+					t.Fatalf("line %d: bucket series for %q not cumulative (%d < %d)", ln+1, base, v, lastCum)
+				}
+				lastCum = v
+				if le == "+Inf" {
+					histInf[base] = v
+				} else if _, err := strconv.ParseInt(le, 10, 64); err != nil {
+					t.Fatalf("line %d: non-numeric le %q", ln+1, le)
+				}
+			}
+			if strings.HasSuffix(name, "_count") {
+				v, _ := strconv.ParseUint(valStr, 10, 64)
+				histCount[base] = v
+			}
+		}
+	}
+	for name, count := range histCount {
+		if inf, okInf := histInf[name]; !okInf || inf != count {
+			t.Fatalf("histogram %q: +Inf bucket %d != count %d", name, histInf[name], count)
+		}
+	}
+	if len(typeOf) == 0 {
+		t.Fatal("contract test saw no metric families")
+	}
+}
+
+func TestWritePrometheusEmptySnapshot(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, (*Registry)(nil).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty snapshot rendered %q, want empty body", buf.String())
+	}
+}
+
+func TestWritePrometheusGaugeFormats(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	reg.Gauge("g.int").Set(4)
+	reg.Gauge("g.small").Set(0.00005)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sg_g_int 4\n", fmt.Sprintf("sg_g_small %s\n", strconv.FormatFloat(0.00005, 'g', -1, 64))} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuantileEmptyAndDegenerate(t *testing.T) {
+	t.Parallel()
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+	// No finite bounds at all: nothing to interpolate against.
+	h := HistogramSnapshot{Buckets: []uint64{3}, Count: 3, Sum: 30}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("boundless histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestQuantileLinearInterpolation(t *testing.T) {
+	t.Parallel()
+	// 10 observations uniform in one bucket (16, 32]: the median should
+	// interpolate to the bucket midpoint.
+	h := HistogramSnapshot{
+		Bounds:  []int64{16, 32, 64},
+		Buckets: []uint64{0, 10, 0, 0},
+		Count:   10,
+		Sum:     240,
+	}
+	if got := h.Quantile(0.5); got != 24 {
+		t.Fatalf("p50 = %v, want 24 (midpoint of (16,32])", got)
+	}
+	if got := h.Quantile(1); got != 32 {
+		t.Fatalf("p100 = %v, want 32 (bucket upper bound)", got)
+	}
+	// First bucket interpolates from zero.
+	h2 := HistogramSnapshot{Bounds: []int64{16}, Buckets: []uint64{4, 0}, Count: 4}
+	if got := h2.Quantile(0.5); got != 8 {
+		t.Fatalf("first-bucket p50 = %v, want 8", got)
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	t.Parallel()
+	// 50 in (0,16], 30 in (16,32], 20 in (32,64].
+	h := HistogramSnapshot{
+		Bounds:  []int64{16, 32, 64},
+		Buckets: []uint64{50, 30, 20, 0},
+		Count:   100,
+	}
+	// p50: rank 50, exactly the first bucket's cumulative edge.
+	if got := h.Quantile(0.50); got != 16 {
+		t.Fatalf("p50 = %v, want 16", got)
+	}
+	// p80: rank 80 = 50 + 30 -> upper edge of second bucket.
+	if got := h.Quantile(0.80); got != 32 {
+		t.Fatalf("p80 = %v, want 32", got)
+	}
+	// p90: rank 90, 10 into the 20-wide third bucket -> 32 + 32*0.5 = 48.
+	if got := h.Quantile(0.90); got != 48 {
+		t.Fatalf("p90 = %v, want 48", got)
+	}
+	// Out-of-range q clamps.
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Fatal("q<0 must clamp to 0")
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Fatal("q>1 must clamp to 1")
+	}
+}
+
+func TestQuantileOverflowClampsToLastBound(t *testing.T) {
+	t.Parallel()
+	h := HistogramSnapshot{
+		Bounds:  []int64{16, 32},
+		Buckets: []uint64{1, 1, 8}, // bulk in overflow
+		Count:   10,
+	}
+	if got := h.Quantile(0.99); got != 32 {
+		t.Fatalf("p99 in overflow = %v, want clamp to last bound 32", got)
+	}
+}
+
+func TestQuantileMatchesExactOnSingletonBuckets(t *testing.T) {
+	t.Parallel()
+	// Every observation pinned to a bound: quantiles stay within one
+	// bucket width of the true value.
+	reg := NewRegistry()
+	h := reg.Histogram("lat", DefaultLatencyBounds())
+	for i := 0; i < 1000; i++ {
+		h.Observe(int64(i % 500))
+	}
+	snap := reg.Snapshot().Histograms["lat"]
+	p50 := snap.Quantile(0.5)
+	if math.Abs(p50-250) > 256 {
+		t.Fatalf("p50 = %v, want within a bucket width of 250", p50)
+	}
+	if p99 := snap.Quantile(0.99); p99 < p50 {
+		t.Fatalf("p99 (%v) < p50 (%v): quantiles must be monotone", p99, p50)
+	}
+}
+
+func TestWriteTextIncludesQuantiles(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	h := reg.Histogram("m.lat", []int64{16, 32})
+	h.Observe(10)
+	h.Observe(20)
+	var sb strings.Builder
+	if err := reg.Snapshot().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "quantile  m.lat") {
+		t.Fatalf("WriteText missing quantile line:\n%s", out)
+	}
+	for _, want := range []string{"p50=", "p90=", "p99="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText quantile line missing %s:\n%s", want, out)
+		}
+	}
+	// Empty histograms render no quantile line (nothing to estimate).
+	reg2 := NewRegistry()
+	reg2.Histogram("empty.lat", []int64{16})
+	var sb2 strings.Builder
+	if err := reg2.Snapshot().WriteText(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb2.String(), "quantile") {
+		t.Fatalf("empty histogram rendered a quantile line:\n%s", sb2.String())
+	}
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func dirtySnapshot() Snapshot {
+	return Snapshot{
+		Counters: map[string]uint64{"reads": 7, "writes": 3},
+		Gauges:   map[string]float64{"depth": 2.5},
+		Histograms: map[string]HistogramSnapshot{
+			"lat": {Bounds: []int64{10, 100}, Buckets: []uint64{1, 2, 3}, Count: 6, Sum: 420},
+		},
+	}
+}
+
+// Restore must make Snapshot() return exactly the restored state: recorded
+// instruments overwritten, missing ones registered, extra ones zeroed.
+func TestRegistryRestoreRoundTrip(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	reg.Counter("reads").Add(99)       // overwritten to 7
+	reg.Counter("stale").Inc()         // absent from snapshot: zeroed
+	reg.Gauge("stale.gauge").Set(1.25) // likewise
+	h := reg.Histogram("lat", []int64{10, 100})
+	h.Observe(5)
+
+	want := dirtySnapshot()
+	if err := reg.Restore(want); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	got := reg.Snapshot()
+	if got.Counters["reads"] != 7 || got.Counters["writes"] != 3 || got.Counters["stale"] != 0 {
+		t.Fatalf("counters %v", got.Counters)
+	}
+	if got.Gauges["depth"] != 2.5 || got.Gauges["stale.gauge"] != 0 {
+		t.Fatalf("gauges %v", got.Gauges)
+	}
+	if !reflect.DeepEqual(got.Histograms["lat"], want.Histograms["lat"]) {
+		t.Fatalf("histogram %+v, want %+v", got.Histograms["lat"], want.Histograms["lat"])
+	}
+	// Handles held before the restore stay attached to the instruments.
+	if h.Count() != 6 {
+		t.Fatalf("pre-restore handle sees count %d, want 6", h.Count())
+	}
+	// A second restore of the empty snapshot zeroes everything.
+	if err := reg.Restore(Snapshot{}); err != nil {
+		t.Fatalf("Restore(empty): %v", err)
+	}
+	after := reg.Snapshot()
+	for name, v := range after.Counters {
+		if v != 0 {
+			t.Errorf("counter %s = %d after empty restore", name, v)
+		}
+	}
+	if hs := after.Histograms["lat"]; hs.Count != 0 || hs.Sum != 0 {
+		t.Errorf("histogram not zeroed: %+v", hs)
+	}
+}
+
+func TestRegistryRestoreNil(t *testing.T) {
+	t.Parallel()
+	var reg *Registry
+	if err := reg.Restore(Snapshot{}); err != nil {
+		t.Fatalf("nil registry must accept the empty snapshot: %v", err)
+	}
+	if err := reg.Restore(dirtySnapshot()); err == nil ||
+		!strings.Contains(err.Error(), "disabled registry") {
+		t.Fatalf("nil registry accepted instruments: %v", err)
+	}
+}
+
+func TestRegistryRestoreRejectsBadHistograms(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		hs   HistogramSnapshot
+		want string
+	}{
+		{"bucket/bound mismatch", HistogramSnapshot{Bounds: []int64{10}, Buckets: []uint64{1}}, "buckets"},
+		{"non-ascending bounds", HistogramSnapshot{Bounds: []int64{10, 10}, Buckets: []uint64{1, 2, 3}}, "ascending"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			reg := NewRegistry()
+			err := reg.Restore(Snapshot{Histograms: map[string]HistogramSnapshot{"h": tc.hs}})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Restore = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+	// Bounds that disagree with an already-registered histogram are a
+	// caller bug, not data to silently merge.
+	reg := NewRegistry()
+	reg.Histogram("lat", []int64{1, 2})
+	err := reg.Restore(Snapshot{Histograms: map[string]HistogramSnapshot{
+		"lat": {Bounds: []int64{10, 100}, Buckets: []uint64{0, 0, 0}},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "disagree") {
+		t.Fatalf("bound disagreement accepted: %v", err)
+	}
+}
+
+func TestTracerStateRoundTrip(t *testing.T) {
+	t.Parallel()
+	tr := NewTracer(4)
+	for i := range 6 { // wraps: capacity 4, 2 dropped
+		tr.Emit(Event{Cycle: int64(i), Kind: EvRD})
+	}
+	st := tr.SaveState()
+	if st.Capacity != 4 || len(st.Events) != 4 || st.Dropped != 2 {
+		t.Fatalf("saved state %+v", st)
+	}
+	fresh := NewTracer(4)
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if !reflect.DeepEqual(fresh.SaveState(), st) {
+		t.Fatalf("round-trip drifted: %+v != %+v", fresh.SaveState(), st)
+	}
+	// The restored ring keeps evicting oldest-first.
+	fresh.Emit(Event{Cycle: 99, Kind: EvRD})
+	evs := fresh.Events()
+	if evs[0].Cycle != 3 || evs[len(evs)-1].Cycle != 99 || fresh.Dropped() != 3 {
+		t.Fatalf("restored ring misbehaves: %v dropped=%d", evs, fresh.Dropped())
+	}
+}
+
+func TestTracerRestoreStateErrors(t *testing.T) {
+	t.Parallel()
+	var nilTr *Tracer
+	if nilTr.SaveState() != nil {
+		t.Fatal("nil tracer SaveState != nil")
+	}
+	if err := nilTr.RestoreState(nil); err != nil {
+		t.Fatalf("nil tracer must accept nil state: %v", err)
+	}
+	if err := nilTr.RestoreState(&TracerState{Events: []Event{{}}}); err == nil {
+		t.Fatal("nil tracer accepted events")
+	}
+
+	tr := NewTracer(2)
+	if err := tr.RestoreState(nil); err == nil {
+		t.Fatal("enabled tracer accepted nil state")
+	}
+	if err := tr.RestoreState(&TracerState{Capacity: 3}); err == nil {
+		t.Fatal("capacity mismatch accepted")
+	}
+	if err := tr.RestoreState(&TracerState{Capacity: 2, Events: []Event{{}, {}, {}}}); err == nil {
+		t.Fatal("over-capacity events accepted")
+	}
+}

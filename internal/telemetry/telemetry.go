@@ -234,7 +234,20 @@ func (r *Registry) Merge(o *Registry) {
 	}
 	// Freeze the source first, then apply: keeps the lock scopes of the
 	// two registries disjoint.
-	src := o.Snapshot()
+	r.MergeSnapshot(o.Snapshot())
+}
+
+// MergeSnapshot folds a frozen snapshot into the registry under the same
+// commutative rules as Merge. The fleet coordinator uses it to fold
+// worker-shipped completion snapshots into its fleet-wide registry.
+// Snapshots cross the wire there, so malformed shapes are skipped rather
+// than panicking: a histogram whose bucket slice disagrees with its
+// bounds, or whose bounds conflict with an already-registered histogram,
+// is dropped — one bad worker must not poison the aggregate.
+func (r *Registry) MergeSnapshot(src Snapshot) {
+	if r == nil {
+		return
+	}
 	for _, name := range sortedKeys(src.Counters) {
 		r.Counter(name).Add(src.Counters[name])
 	}
@@ -243,13 +256,41 @@ func (r *Registry) Merge(o *Registry) {
 	}
 	for _, name := range sortedKeys(src.Histograms) {
 		hs := src.Histograms[name]
-		dst := r.Histogram(name, hs.Bounds)
+		if len(hs.Buckets) != len(hs.Bounds)+1 {
+			continue
+		}
+		dst := r.histogramIfCompatible(name, hs.Bounds)
+		if dst == nil {
+			continue
+		}
 		for i, n := range hs.Buckets {
 			dst.buckets[i].Add(n)
 		}
 		dst.count.Add(hs.Count)
 		dst.sum.Add(hs.Sum)
 	}
+}
+
+// histogramIfCompatible is Histogram for untrusted (wire-crossing)
+// shapes: it returns nil instead of panicking when bounds are unsorted
+// or conflict with an existing registration.
+func (r *Registry) histogramIfCompatible(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		if !int64sEqual(h.bounds, bounds) {
+			return nil
+		}
+		return h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil
+		}
+	}
+	h := &Histogram{bounds: append([]int64(nil), bounds...), buckets: make([]atomic.Uint64, len(bounds)+1)}
+	r.histograms[name] = h
+	return h
 }
 
 // HistogramSnapshot is one histogram's frozen state.
@@ -266,6 +307,46 @@ func (h HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket holding the target rank, assuming observations are
+// uniform inside a bucket — the standard fixed-bucket estimator, the
+// same one Prometheus' histogram_quantile applies to the exposition this
+// snapshot renders to. The first bucket interpolates from zero; a rank
+// landing in the overflow bucket has no upper bound and clamps to the
+// last finite bound. Returns 0 for an empty histogram.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum uint64
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.Bounds) {
+				return float64(h.Bounds[len(h.Bounds)-1])
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = float64(h.Bounds[i-1])
+			}
+			upper := float64(h.Bounds[i])
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + (upper-lower)*frac
+		}
+		cum += n
+	}
+	return float64(h.Bounds[len(h.Bounds)-1])
 }
 
 // Snapshot is a registry's frozen, deterministic state: plain maps whose
@@ -340,6 +421,13 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		h := s.Histograms[name]
 		if _, err := fmt.Fprintf(w, "histogram %-44s count=%d sum=%d mean=%.2f buckets=%v\n",
 			name, h.Count, h.Sum, h.Mean(), h.Buckets); err != nil {
+			return err
+		}
+		if h.Count == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "quantile  %-44s p50=%.2f p90=%.2f p99=%.2f\n",
+			name, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)); err != nil {
 			return err
 		}
 	}

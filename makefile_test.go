@@ -163,7 +163,7 @@ func TestMakeCIComposition(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ci dry-run failed:\n%s", out)
 	}
-	for _, leg := range []string{"lint", "-race", "-shuffle=on", "cover", "fuzz-smoke", "examples-smoke", "sgprof-smoke", "snapshot-smoke"} {
+	for _, leg := range []string{"lint", "-race", "-shuffle=on", "cover", "fuzz-smoke", "examples-smoke", "sgprof-smoke", "snapshot-smoke", "obs-smoke"} {
 		if !strings.Contains(out, leg) {
 			t.Errorf("make ci lost its %q leg:\n%s", leg, out)
 		}
@@ -175,6 +175,25 @@ func TestMakeCIComposition(t *testing.T) {
 	for _, pkg := range []string{"./internal/jobs", "./internal/resultcache", "./internal/fleet", "./internal/snapshot"} {
 		if !strings.Contains(string(raw), pkg) {
 			t.Errorf("coverage gate dropped %s", pkg)
+		}
+	}
+}
+
+// obs-smoke must keep both halves: the race-enabled ObsSmoke test pass
+// over the packages that define those tests, and the real-binary leg
+// (sgserve up, sgtop -once -json reading a frame).
+func TestMakeObsSmokeComposition(t *testing.T) {
+	t.Parallel()
+	out, err := runMake(t, "obs-smoke", "GO=echo", "--just-print")
+	if err != nil {
+		t.Fatalf("obs-smoke dry-run failed:\n%s", out)
+	}
+	for _, want := range []string{
+		"-race", "TestObsSmoke", "./internal/fleet/", "./internal/resultcache/",
+		"./cmd/sgserve", "./cmd/sgtop", "-once -json",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("obs-smoke recipe missing %q:\n%s", want, out)
 		}
 	}
 }
@@ -243,7 +262,7 @@ func TestMakeLintVersionsPinned(t *testing.T) {
 // renamed cmd can't silently break bench or the smokes.
 func TestMakefileReferencedPathsExist(t *testing.T) {
 	t.Parallel()
-	for _, p := range []string{"cmd/bench2json", "cmd/sgprof", "cmd/sgperf", "cmd/sgserve", "cmd/sgworker", "internal/ecc", "internal/memctrl", "internal/fleet", "internal/snapshot", "examples"} {
+	for _, p := range []string{"cmd/bench2json", "cmd/sgprof", "cmd/sgperf", "cmd/sgserve", "cmd/sgworker", "cmd/sgtop", "internal/ecc", "internal/memctrl", "internal/fleet", "internal/snapshot", "examples"} {
 		if _, err := os.Stat(filepath.FromSlash(p)); err != nil {
 			t.Errorf("Makefile-referenced path %s: %v", p, err)
 		}
