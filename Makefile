@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-check bench-quick ci cover fmt vet lint fuzz-smoke examples-smoke sgprof-smoke snapshot-smoke obs-smoke fleet-chaos
+.PHONY: all build test bench bench-check bench-quick ci cover fmt vet lint fuzz-smoke examples-smoke sgprof-smoke snapshot-smoke obs-smoke fleet-chaos synth-smoke synth-baseline synth-baseline-check
 
 all: build
 
@@ -108,7 +108,8 @@ FUZZ_TARGETS := ./internal/ecc:FuzzSECDEDDecode ./internal/ecc:FuzzSafeGuardSECD
 	./internal/ecc:FuzzChipkillDecode ./internal/ecc:FuzzSafeGuardChipkillDecode \
 	./internal/ecc:FuzzSGXStyleMACDecode ./internal/ecc:FuzzSynergyStyleMACDecode \
 	./internal/memctrl:FuzzEngineEquivalence \
-	./internal/snapshot:FuzzSnapshotRoundTrip ./internal/snapshot:FuzzSnapshotReader
+	./internal/snapshot:FuzzSnapshotRoundTrip ./internal/snapshot:FuzzSnapshotReader \
+	./internal/payload:FuzzPayloadParse
 FUZZTIME ?= 2s
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
@@ -172,6 +173,39 @@ obs-smoke:
 	rm -rf $$tmp; \
 	echo "obs smoke OK (ObsSmoke suite + sgserve -> sgtop -once -json frame)"
 
+# synth-smoke proves the attack-synthesis determinism contract on the
+# real binary: two identical tiny `sgattack -synth -json` sweeps (two
+# mitigations x one threshold, fixed seed) must emit byte-identical
+# synth-matrix/1 JSON — the cache-identity property that lets sgserve
+# store synthesis results under a content hash and serve them from any
+# worker.
+SYNTH_SMOKE_FLAGS := -synth -json -seed 7 -synth-mitigations none,para \
+	-synth-thresholds 300 -synth-rows 256 -synth-budget 800 -synth-gens 2 -synth-pop 4
+synth-smoke:
+	@tmp=$$(mktemp -d /tmp/synth-smoke-XXXXXX); \
+	$(GO) build -o $$tmp/sgattack ./cmd/sgattack || { rm -rf $$tmp; exit 1; }; \
+	$$tmp/sgattack $(SYNTH_SMOKE_FLAGS) > $$tmp/one.json || { rm -rf $$tmp; exit 1; }; \
+	$$tmp/sgattack $(SYNTH_SMOKE_FLAGS) > $$tmp/two.json || { rm -rf $$tmp; exit 1; }; \
+	cmp $$tmp/one.json $$tmp/two.json || { echo "synth-smoke: matrix not bit-identical across runs" >&2; rm -rf $$tmp; exit 1; }; \
+	grep -q '"schema": "synth-matrix/1"' $$tmp/one.json || { echo "synth-smoke: output is not a synth-matrix/1 artifact" >&2; rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp; \
+	echo "synth smoke OK (2 mitigations x 1 threshold, byte-identical across runs)"
+
+# The nightly synthesis security gate: a longer-budget sweep over the
+# whole mitigation registry whose matrix must not defeat any mitigation
+# more cheaply than the committed baseline records. synth-baseline
+# regenerates testdata/synth_baseline.json (run it when a deliberate
+# searcher improvement moves the frontier, then commit the diff);
+# synth-baseline-check reruns the identical sweep into synth_matrix.json
+# (the nightly upload) and exits 1 on any regression — a mitigation
+# newly defeated, or defeated under a smaller activation budget.
+SYNTH_BASELINE_FLAGS := -synth -json -seed 7 -synth-thresholds 600 \
+	-synth-rows 1024 -synth-budget 3000 -synth-gens 4 -synth-pop 8
+synth-baseline:
+	$(GO) run ./cmd/sgattack $(SYNTH_BASELINE_FLAGS) > testdata/synth_baseline.json
+synth-baseline-check:
+	$(GO) run ./cmd/sgattack $(SYNTH_BASELINE_FLAGS) -baseline testdata/synth_baseline.json > synth_matrix.json
+
 # fleet-chaos repeats the fleet chaos suite (worker kill, kill-mid-run
 # checkpoint resume, stall-past-lease zombie, result corruption, network
 # partition) under the race detector. Faults are scripted, not random,
@@ -188,10 +222,13 @@ fleet-chaos:
 # drives the DUE pipeline, attrib is the cycle-accounting layer sgprof
 # reports from, jobs/resultcache are the sgserve correctness core
 # (queueing, dedup, drain, cache identity), fleet is the distributed
-# lease/recovery protocol, and snapshot is the sgsnap/1 checkpoint codec
-# every resume path trusts, so regressions there must not land untested.
+# lease/recovery protocol, snapshot is the sgsnap/1 checkpoint codec
+# every resume path trusts, and payload/synth are the attack-synthesis
+# engine whose matrix artifacts the nightly security gate reads, so
+# regressions there must not land untested.
 COVER_GATE_PKGS := ./internal/telemetry ./internal/response ./internal/attrib \
-	./internal/jobs ./internal/resultcache ./internal/fleet ./internal/snapshot
+	./internal/jobs ./internal/resultcache ./internal/fleet ./internal/snapshot \
+	./internal/payload ./internal/synth
 COVER_GATE_MIN  := 85
 cover:
 	@$(GO) test -cover $(COVER_GATE_PKGS) | awk -v min=$(COVER_GATE_MIN) ' \
@@ -209,9 +246,9 @@ cover:
 # (includes the figure-shape regression tests in figures_test.go and one
 # pass over each fleet chaos scenario), the coverage gate, a short fuzz
 # pass over every codec, the example programs, the sgprof profiler
-# smoke, the checkpoint/restore smoke, and the observability smoke. The
-# CI workflow additionally repeats the chaos scenarios via
-# `make fleet-chaos`.
+# smoke, the checkpoint/restore smoke, the observability smoke, and the
+# attack-synthesis determinism smoke. The CI workflow additionally
+# repeats the chaos scenarios via `make fleet-chaos`.
 ci: vet fmt
 	$(MAKE) lint
 	$(GO) test -race -shuffle=on -timeout 25m ./...
@@ -221,3 +258,4 @@ ci: vet fmt
 	$(MAKE) sgprof-smoke
 	$(MAKE) snapshot-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) synth-smoke

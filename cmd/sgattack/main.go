@@ -9,11 +9,21 @@
 //	                      with the mitigation running as a controller plugin
 //	sgattack -respond     the full DUE response pipeline against a live
 //	                      attack: retry -> scrub -> retire -> quarantine
+//	sgattack -synth       synthesize attacks: evolve hammering payloads
+//	                      (the payload DSL) against each mitigation and
+//	                      report the cheapest defeating payload per cell
 //	sgattack -all         everything
 //
 // Selections are mutually exclusive; -all runs everything. -mitigation
 // names an in-controller defense from the registry (none, para, trr,
 // graphene, blockhammer); unknown names exit with usage.
+//
+// -synth accepts -json (emit the canonical synth-matrix/1 JSON — the
+// exact bytes an sgserve synth job stores), -baseline FILE (compare
+// against a committed matrix and exit 1 on any security regression:
+// a mitigation newly defeated or defeated at a cheaper budget), and
+// -synth-mitigations a,b (sweep an explicit mitigation list instead of
+// -mitigation / the whole registry).
 package main
 
 import (
@@ -23,6 +33,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	"safeguard/internal/cliflags"
 	"safeguard/internal/ecc"
@@ -31,7 +43,9 @@ import (
 	"safeguard/internal/mac"
 	"safeguard/internal/memctrl"
 	"safeguard/internal/report"
+	"safeguard/internal/resultcache"
 	"safeguard/internal/rowhammer"
+	"safeguard/internal/synth"
 )
 
 func main() {
@@ -43,20 +57,44 @@ func main() {
 		blockhmr   = flag.Bool("blockhammer", false, "run the BlockHammer sizing/latency study (Section VIII)")
 		mcMode     = flag.Bool("mc", false, "run attacks through the cycle-level controller (plugin mitigations)")
 		respond    = flag.Bool("respond", false, "run the DUE response pipeline (retry/scrub/retire/quarantine) against a live attack")
+		synthMode  = flag.Bool("synth", false, "synthesize attacks: evolve payloads against each mitigation")
 		all        = flag.Bool("all", false, "run everything")
 		seed       = flag.Uint64("seed", 7, "simulation seed")
-		mitigation = flag.String("mitigation", "", "in-controller mitigation for -mc (default: sweep the registry)")
+		mitigation = flag.String("mitigation", "", "in-controller mitigation for -mc/-synth (default: sweep the registry)")
+
+		jsonOut     = flag.Bool("json", false, "with -synth: emit the canonical matrix JSON instead of the table")
+		baseline    = flag.String("baseline", "", "with -synth: compare against a committed matrix; exit 1 on regression")
+		synthBudget = flag.Int("synth-budget", 3000, "with -synth: attacker activation budget per evaluation")
+		synthGens   = flag.Int("synth-gens", 4, "with -synth: searcher generations per cell")
+		synthPop    = flag.Int("synth-pop", 8, "with -synth: searcher population per generation")
+		synthRows   = flag.Int("synth-rows", 1024, "with -synth: rows in the reduced bank (power of two)")
+		synthThs    = flag.String("synth-thresholds", "600", "with -synth: comma-separated RH-threshold sweep")
+		synthMits   = flag.String("synth-mitigations", "", "with -synth: comma-separated mitigation sweep (default: -mitigation, else the whole registry)")
 	)
 	tf := cliflags.Telemetry()
 	flag.Parse()
 	if err := cliflags.Exclusive(*all, map[string]bool{
 		"fig2": *fig2, "breakthrough": *brk, "table1": *table1,
-		"eccploit": *eccpl, "blockhammer": *blockhmr, "mc": *mcMode, "respond": *respond,
+		"eccploit": *eccpl, "blockhammer": *blockhmr, "mc": *mcMode,
+		"respond": *respond, "synth": *synthMode,
 	}); err != nil {
 		cliflags.Fail(err)
 	}
+	if (*jsonOut || *baseline != "" || *synthMits != "") && !*synthMode {
+		cliflags.Fail(fmt.Errorf("-json, -baseline, and -synth-mitigations require -synth"))
+	}
+	if *synthMits != "" && *mitigation != "" {
+		cliflags.Fail(fmt.Errorf("use -mitigation or -synth-mitigations, not both"))
+	}
 	if _, err := memctrl.NewMitigationPlugin(*mitigation, 4800, 1); err != nil {
 		cliflags.Fail(err)
+	}
+	if *synthMits != "" {
+		for _, m := range strings.Split(*synthMits, ",") {
+			if _, err := memctrl.NewMitigationPlugin(strings.TrimSpace(m), 4800, 1); err != nil {
+				cliflags.Fail(err)
+			}
+		}
 	}
 	if err := tf.Activate(); err != nil {
 		cliflags.Fail(err)
@@ -157,6 +195,14 @@ func main() {
 	if *respond || *all {
 		runRespond(ctx, *seed, *mitigation, tf)
 	}
+	if *synthMode || *all {
+		runSynth(ctx, synthOptions{
+			seed: *seed, mitigation: *mitigation, mitigations: *synthMits,
+			json: *jsonOut, baseline: *baseline,
+			budget: *synthBudget, gens: *synthGens, pop: *synthPop,
+			rows: *synthRows, thresholds: *synthThs,
+		}, tf)
+	}
 	if *brk || *all {
 		results := experiments.Figure1b(*seed)
 		t := report.NewTable("Figure 1b/1c: breakthrough attacks vs mitigations, and what the protection schemes do with the flips",
@@ -177,6 +223,102 @@ func main() {
 		fmt.Println("\n  SafeGuard rows must show SILENT=0: breakthrough bit-flips become")
 		fmt.Println("  detected uncorrectable errors instead of silent corruption (Figure 1c).")
 	}
+}
+
+// synthOptions carries the -synth flag set.
+type synthOptions struct {
+	seed              uint64
+	mitigation        string
+	mitigations       string // comma list; overrides mitigation
+	json              bool
+	baseline          string
+	budget, gens, pop int
+	rows              int
+	thresholds        string
+}
+
+// runSynth executes the attack-synthesis sweep through the same
+// resultcache request path sgserve jobs use, so the -json bytes here
+// are the artifact bytes there. The table mode renders the matrix;
+// -baseline then gates on CompareBaseline.
+func runSynth(ctx context.Context, opt synthOptions, tf *cliflags.TelemetryFlags) {
+	ths, err := parseThresholds(opt.thresholds)
+	if err != nil {
+		cliflags.Fail(err)
+	}
+	var mits []string
+	switch {
+	case opt.mitigations != "":
+		for _, m := range strings.Split(opt.mitigations, ",") {
+			mits = append(mits, strings.TrimSpace(m))
+		}
+	case opt.mitigation != "":
+		mits = []string{opt.mitigation}
+	}
+	req := resultcache.Request{Kind: resultcache.KindSynth, Synth: &resultcache.SynthRequest{
+		Bank: rowhammer.Config{
+			Rows: opt.rows, Threshold: ths[0], LinesPerRow: 8,
+			VulnerableCellsPerRow: 32, FlipsPerCrossing: 4, Seed: opt.seed,
+		},
+		Mitigations: mits,
+		Thresholds:  ths,
+		Seed:        opt.seed,
+		Budget:      opt.budget,
+		Generations: opt.gens,
+		Population:  opt.pop,
+	}}
+	raw, err := req.Execute(ctx, tf.Registry)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("attack synthesis: [interrupted]")
+			return
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m, err := synth.ParseMatrix(raw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if opt.json {
+		os.Stdout.Write(raw)
+	} else {
+		fmt.Print(m.Table())
+	}
+	if opt.baseline != "" {
+		b, err := os.ReadFile(opt.baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		base, err := synth.ParseMatrix(b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := synth.CompareBaseline(m, base); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "baseline %s holds: no mitigation defeated cheaper\n", opt.baseline)
+	}
+	if !opt.json {
+		fmt.Println()
+	}
+}
+
+// parseThresholds parses the comma-separated -synth-thresholds list.
+func parseThresholds(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -synth-thresholds entry %q (want positive integers)", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // runRespond demonstrates the Section VII-A/B response pipeline end to

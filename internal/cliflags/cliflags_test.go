@@ -53,3 +53,44 @@ func TestExclusiveAllPlusFlag(t *testing.T) {
 		t.Fatalf("error does not explain the -all clash: %v", err)
 	}
 }
+
+// sgattackSelection mirrors cmd/sgattack's Exclusive map so the CLI's
+// mutual-exclusion contract — including the -synth mode — is pinned
+// here, where it is testable without spawning the binary.
+func sgattackSelection(set ...string) map[string]bool {
+	m := map[string]bool{
+		"fig2": false, "breakthrough": false, "table1": false,
+		"eccploit": false, "blockhammer": false, "mc": false,
+		"respond": false, "synth": false,
+	}
+	for _, name := range set {
+		if _, ok := m[name]; !ok {
+			panic("unknown sgattack selection flag " + name)
+		}
+		m[name] = true
+	}
+	return m
+}
+
+func TestExclusiveSgattackSynthAlone(t *testing.T) {
+	t.Parallel()
+	if err := Exclusive(false, sgattackSelection("synth")); err != nil {
+		t.Fatalf("-synth alone rejected: %v", err)
+	}
+}
+
+func TestExclusiveSgattackSynthClashes(t *testing.T) {
+	t.Parallel()
+	for _, other := range []string{"mc", "respond"} {
+		err := Exclusive(false, sgattackSelection("synth", other))
+		if err == nil {
+			t.Fatalf("-synth combined with -%s accepted", other)
+		}
+		if !strings.Contains(err.Error(), "-synth") || !strings.Contains(err.Error(), "-"+other) {
+			t.Fatalf("error does not name both -synth and -%s: %v", other, err)
+		}
+	}
+	if err := Exclusive(true, sgattackSelection("synth")); err == nil {
+		t.Fatal("-synth combined with -all accepted")
+	}
+}

@@ -1,0 +1,132 @@
+// Fleet end-to-end coverage for the synth job kind: the attack-synthesis
+// searcher runs on fleet workers through the same lease/complete
+// protocol as every other kind, and its matrix artifact is bit-identical
+// between a 1-worker fleet, a 4-worker fleet, and a local reference
+// execution — the acceptance contract for serving synthesis results
+// from cache.
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"safeguard/internal/resultcache"
+	"safeguard/internal/synth"
+)
+
+// tinySynthJob is the fast e2e synthesis request (seed-parameterized so
+// runs are distinct jobs): a 64-row bank, two mitigations, a search
+// small enough for test time.
+const tinySynthJob = `{"kind":"synth","synth":{` +
+	`"bank":{"Rows":64,"Threshold":120,"LinesPerRow":8,"VulnerableCellsPerRow":16,"FlipsPerCrossing":4,"Seed":9},` +
+	`"mitigations":["none","para"],"thresholds":[120],` +
+	`"seed":%d,"budget":400,"generations":2,"population":4}}`
+
+// runSynthJobs submits n seed-distinct synth jobs and returns hash →
+// artifact bytes.
+func (s *stack) runSynthJobs(n int) map[string][]byte {
+	s.t.Helper()
+	views := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		views = append(views, s.submit(fmt.Sprintf(tinySynthJob, i+1)).ID)
+	}
+	out := make(map[string][]byte, n)
+	for _, id := range views {
+		done := s.awaitDone(id)
+		out[done.Hash] = s.artifactBytes(done.Hash)
+	}
+	return out
+}
+
+// referenceSynthArtifact recomputes a synth artifact outside the stack.
+func referenceSynthArtifact(t *testing.T, hash string) []byte {
+	t.Helper()
+	refMu.Lock()
+	defer refMu.Unlock()
+	if b, ok := refCache[hash]; ok {
+		return b
+	}
+	for seed := 1; seed <= 4; seed++ {
+		req, err := resultcache.ParseRequest(strings.NewReader(fmt.Sprintf(tinySynthJob, seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := req.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := refCache[h]; !ok {
+			result, err := req.Execute(context.Background(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			art, err := resultcache.NewArtifact(req, result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc, err := art.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			refCache[h] = enc
+		}
+	}
+	b, ok := refCache[hash]
+	if !ok {
+		t.Fatalf("no reference synth artifact for hash %s", hash)
+	}
+	return b
+}
+
+// TestFleetSynthBitIdentityOneVsFourWorkers is the synthesis acceptance
+// gate: the same synth jobs served by a 1-worker fleet and a 4-worker
+// fleet yield byte-identical matrix artifacts, each equal to a local
+// reference execution.
+func TestFleetSynthBitIdentityOneVsFourWorkers(t *testing.T) {
+	const njobs = 2
+
+	one := newStackTTL(t, 10*time.Second)
+	one.startWorker(nil)
+	resultsOne := one.runSynthJobs(njobs)
+	if len(resultsOne) != njobs {
+		t.Fatalf("1-worker fleet served %d distinct artifacts, want %d", len(resultsOne), njobs)
+	}
+
+	four := newStackTTL(t, 10*time.Second)
+	for i := 0; i < 4; i++ {
+		four.startWorker(nil)
+	}
+	resultsFour := four.runSynthJobs(njobs)
+	if len(resultsFour) != njobs {
+		t.Fatalf("4-worker fleet served %d distinct artifacts, want %d", len(resultsFour), njobs)
+	}
+
+	for hash, b1 := range resultsOne {
+		b4, ok := resultsFour[hash]
+		if !ok {
+			t.Fatalf("4-worker fleet lacks synth artifact %s", hash)
+		}
+		if !bytes.Equal(b1, b4) {
+			t.Fatalf("synth artifact %s differs between 1-worker and 4-worker fleets", hash)
+		}
+		if want := referenceSynthArtifact(t, hash); !bytes.Equal(b1, want) {
+			t.Fatalf("synth artifact %s diverged from a local reference execution", hash)
+		}
+		// The served artifact's result payload is a canonical matrix.
+		art, err := resultcache.ReadArtifact(bytes.NewReader(b1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := synth.ParseMatrix(art.Result)
+		if err != nil {
+			t.Fatalf("served synth artifact does not parse as a matrix: %v", err)
+		}
+		if len(m.Cells) != 2 {
+			t.Fatalf("served matrix has %d cells, want 2", len(m.Cells))
+		}
+	}
+}

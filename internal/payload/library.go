@@ -1,0 +1,84 @@
+// Library builders: the four legacy attack patterns of
+// internal/rowhammer, expressed as compact LOOP programs. Each builder
+// unrolls exactly one period of the corresponding Pattern's access
+// stream and wraps it in a loop (plus the remainder prefix), so the
+// expanded program reproduces the scripted stream row-for-row — the
+// property the payload-vs-scripted parity tests assert by running both
+// through the controller and comparing every counter and plugin
+// decision.
+package payload
+
+import (
+	"fmt"
+
+	"safeguard/internal/rowhammer"
+)
+
+// SingleSided is the classic one-aggressor hammer as a program: acts
+// activations of the aggressor row.
+func SingleSided(aggressor, acts int) *Program {
+	return roll(fmt.Sprintf("single-sided(%d)", aggressor),
+		&rowhammer.SingleSided{Aggressor: aggressor}, 1, acts)
+}
+
+// DoubleSided alternates the two rows sandwiching the victim.
+func DoubleSided(victim, acts int) *Program {
+	return roll(fmt.Sprintf("double-sided(%d)", victim),
+		&rowhammer.DoubleSided{Victim: victim}, 2, acts)
+}
+
+// ManySided is the TRRespass pattern: the true aggressor pair plus a
+// rotating decoy burst sized to overflow TRR's sampler. Period is one
+// full aggressor/decoy cycle.
+func ManySided(victim, dummies, dummyBase, acts int) *Program {
+	return roll(fmt.Sprintf("many-sided(%d,+%d@%d)", victim, dummies, dummyBase),
+		&rowhammer.ManySided{Victim: victim, Dummies: dummies, DummyBase: dummyBase},
+		2+2*dummies, acts)
+}
+
+// HalfDouble is Google's distance-two pattern: far rows hammered
+// heavily, near rows touched once per nearEvery far activations (0
+// relies purely on mitigation refreshes). The access stream repeats
+// every 2×nearEvery steps (2 when nearEvery is 0): the per-step choice
+// depends only on step mod nearEvery, (step/nearEvery) mod 2, and
+// step mod 2, all of which are functions of step mod 2×nearEvery.
+func HalfDouble(victim, nearEvery, acts int) *Program {
+	period := 2
+	if nearEvery > 0 {
+		period = 2 * nearEvery
+	}
+	return roll(fmt.Sprintf("half-double(%d,near%d)", victim, nearEvery),
+		&rowhammer.HalfDouble{Victim: victim, NearEvery: nearEvery}, period, acts)
+}
+
+// roll unrolls `period` accesses of a fresh pattern into a loop body and
+// emits LOOP ⌊acts/period⌋ { body } followed by the remainder prefix —
+// exactly `acts` activations whose i-th row equals the pattern's i-th
+// Next() as long as the pattern truly has that period (the library tests
+// verify each claimed period against a long scripted stream).
+func roll(name string, p rowhammer.Pattern, period, acts int) *Program {
+	if period < 1 || acts < 1 || acts > MaxLoop {
+		panic(fmt.Sprintf("payload: bad roll(%q, period=%d, acts=%d)", name, period, acts))
+	}
+	rows := make([]int, period)
+	for i := range rows {
+		rows[i] = p.Next()
+	}
+	prog := &Program{Name: name}
+	full, rem := acts/period, acts%period
+	if full > 0 {
+		body := make([]Instr, period)
+		for i, r := range rows {
+			body[i] = Act{Row: r}
+		}
+		if full == 1 {
+			prog.Body = append(prog.Body, body...)
+		} else {
+			prog.Body = append(prog.Body, Loop{Count: full, Body: body})
+		}
+	}
+	for i := 0; i < rem; i++ {
+		prog.Body = append(prog.Body, Act{Row: rows[i]})
+	}
+	return prog
+}

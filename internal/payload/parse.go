@@ -1,0 +1,145 @@
+// The strict payload parser. Payloads cross trust boundaries — sgserve
+// accepts them inside synthesis requests and the nightly fuzz leg feeds
+// them garbage — so the parser rejects instead of guessing: unknown
+// opcodes, malformed arguments, tabs, carriage returns, blank lines,
+// unbalanced or empty loops, and trailing bytes are all errors that name
+// the offending line. Leading-space indentation is accepted in any
+// amount (nesting is defined by braces, not whitespace), and Encode
+// re-canonicalizes it; everything else must match the grammar exactly.
+//
+// Grammar (line-oriented, after the mandatory header line):
+//
+//	program = "payload/1 " name "\n" body
+//	body    = line+
+//	line    = indent ( "ACT " num | "NOP " num | "LOOP " num " {" | "}" ) "\n"
+//	indent  = " "*
+//	num     = digit+         (value range-checked against the limits)
+package payload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse decodes the text form of a program. It is the inverse of
+// Encode on valid programs: Parse(p.Encode()) reproduces p exactly, and
+// for any accepted input s, Parse(Parse(s).Encode()) equals Parse(s) —
+// the round-trip the FuzzPayloadParse target enforces.
+func Parse(s string) (*Program, error) {
+	if strings.ContainsAny(s, "\t\r") {
+		return nil, fmt.Errorf("payload: tabs and carriage returns are not allowed")
+	}
+	if !strings.HasSuffix(s, "\n") {
+		return nil, fmt.Errorf("payload: missing trailing newline")
+	}
+	lines := strings.Split(s[:len(s)-1], "\n")
+	header := lines[0]
+	if !strings.HasPrefix(header, Schema+" ") {
+		return nil, fmt.Errorf("payload: line 1: header must start with %q", Schema+" ")
+	}
+	name := header[len(Schema)+1:]
+	if !validName(name) {
+		return nil, fmt.Errorf("payload: line 1: invalid program name %q", name)
+	}
+
+	p := &Program{Name: name}
+	// stack[0] is the program body; each open LOOP pushes its body.
+	stack := []*[]Instr{&p.Body}
+	loops := []*Loop{}
+	count := 0
+	for i, raw := range lines[1:] {
+		lineNo := i + 2
+		line := strings.TrimLeft(raw, " ")
+		if line == "" {
+			return nil, fmt.Errorf("payload: line %d: blank line", lineNo)
+		}
+		top := stack[len(stack)-1]
+		switch {
+		case line == "}":
+			if len(loops) == 0 {
+				return nil, fmt.Errorf("payload: line %d: unmatched }", lineNo)
+			}
+			l := loops[len(loops)-1]
+			if len(l.Body) == 0 {
+				return nil, fmt.Errorf("payload: line %d: empty LOOP body", lineNo)
+			}
+			loops = loops[:len(loops)-1]
+			stack = stack[:len(stack)-1]
+			// The loop itself was counted and appended when opened; the
+			// parent body holds a placeholder updated in place below.
+			parent := stack[len(stack)-1]
+			(*parent)[len(*parent)-1] = *l
+		case strings.HasPrefix(line, "ACT "):
+			row, err := parseArg(line[4:], MaxRow, 0)
+			if err != nil {
+				return nil, fmt.Errorf("payload: line %d: ACT: %v", lineNo, err)
+			}
+			count++
+			*top = append(*top, Act{Row: row})
+		case strings.HasPrefix(line, "NOP "):
+			cyc, err := parseArg(line[4:], MaxNop, 1)
+			if err != nil {
+				return nil, fmt.Errorf("payload: line %d: NOP: %v", lineNo, err)
+			}
+			count++
+			*top = append(*top, Nop{Cycles: cyc})
+		case strings.HasPrefix(line, "LOOP "):
+			rest := line[5:]
+			arg, ok := strings.CutSuffix(rest, " {")
+			if !ok {
+				return nil, fmt.Errorf("payload: line %d: LOOP must end with %q", lineNo, " {")
+			}
+			n, err := parseArg(arg, MaxLoop, 1)
+			if err != nil {
+				return nil, fmt.Errorf("payload: line %d: LOOP: %v", lineNo, err)
+			}
+			if len(stack) > MaxDepth {
+				return nil, fmt.Errorf("payload: line %d: loop nesting exceeds depth %d", lineNo, MaxDepth)
+			}
+			count++
+			l := &Loop{Count: n}
+			// Placeholder in the parent; finalized at the closing brace.
+			*top = append(*top, *l)
+			loops = append(loops, l)
+			stack = append(stack, &l.Body)
+		default:
+			return nil, fmt.Errorf("payload: line %d: unknown instruction %q", lineNo, line)
+		}
+		if count > MaxInstrs {
+			return nil, fmt.Errorf("payload: line %d: program exceeds %d instructions", lineNo, MaxInstrs)
+		}
+	}
+	if len(loops) > 0 {
+		return nil, fmt.Errorf("payload: unclosed LOOP at end of input")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseArg parses a decimal instruction argument: digits only, no sign,
+// value within [min, max]. Leading zeros are accepted (Encode
+// canonicalizes them away).
+func parseArg(s string, max, min int) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("missing argument")
+	}
+	if len(s) > 10 {
+		return 0, fmt.Errorf("argument %q too long", s)
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, fmt.Errorf("argument %q is not a decimal number", s)
+		}
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("argument %q: %v", s, err)
+	}
+	if v < min || v > max {
+		return 0, fmt.Errorf("argument %d out of range [%d, %d]", v, min, max)
+	}
+	return v, nil
+}

@@ -1,0 +1,42 @@
+package payload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzPayloadParse is the nightly fuzz leg's DSL target: the parser must
+// never panic, and every accepted input must canonicalize stably —
+// Encode round-trips through Parse to the identical program and
+// identical bytes, so a payload stored in an artifact or a baseline file
+// always re-parses to the program that produced it.
+func FuzzPayloadParse(f *testing.F) {
+	f.Add("payload/1 demo\nACT 7\nLOOP 3 {\n  ACT 1\n  NOP 40\n}\n")
+	f.Add("payload/1 x\nACT 0\n")
+	f.Add("payload/1 deep\nLOOP 2 {\nLOOP 2 {\nLOOP 2 {\nACT 9\n}\n}\n}\n")
+	f.Add("payload/1 pad\n      ACT 007\nNOP 01\n")
+	f.Add("payload/1 x\nJMP 3\n")
+	f.Add("payload/1 x\nLOOP 0 {\n}\n")
+	f.Add(DoubleSided(4000, 60000).Encode())
+	f.Add(ManySided(4000, 16, 6000, 60000).Encode())
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := Parse(in)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse accepted a program Validate rejects: %v\ninput: %q", verr, in)
+		}
+		enc := p.Encode()
+		back, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding does not re-parse: %v\nencoding: %q", err, enc)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("parse→encode→parse changed the program:\n%#v\n%#v", p, back)
+		}
+		if enc2 := back.Encode(); enc2 != enc {
+			t.Fatalf("canonical encoding unstable:\n%q\n%q", enc, enc2)
+		}
+	})
+}

@@ -20,7 +20,8 @@ type Artifact struct {
 	Hash string `json:"hash"`
 	// Request is the canonical JSON of the normalized request.
 	Request json.RawMessage `json:"request"`
-	// Result is the kind-specific wire JSON (PerfWire / RelWire).
+	// Result is the kind-specific wire JSON (PerfWire / RelWire /
+	// WarmWire / the synth-matrix/1 artifact).
 	Result json.RawMessage `json:"result"`
 }
 

@@ -74,6 +74,8 @@ func (r *Request) Execute(ctx context.Context, reg *telemetry.Registry) (json.Ra
 		return r.Rel.execute(ctx, reg)
 	case KindWarm:
 		return r.Warm.execute(ctx, reg)
+	case KindSynth:
+		return r.Synth.execute(ctx, reg)
 	}
 	return nil, fmt.Errorf("resultcache: unknown kind %q", r.Kind)
 }
@@ -240,6 +242,8 @@ func (r *Request) ValidateResult(raw json.RawMessage) error {
 		dst = &RelWire{}
 	case KindWarm:
 		dst = &WarmWire{}
+	case KindSynth:
+		dst = &SynthWire{}
 	default:
 		return fmt.Errorf("resultcache: unknown kind %q", r.Kind)
 	}
@@ -248,8 +252,11 @@ func (r *Request) ValidateResult(raw json.RawMessage) error {
 	if err := dec.Decode(dst); err != nil {
 		return fmt.Errorf("resultcache: result does not parse as %s wire form: %w", r.Kind, err)
 	}
-	if w, ok := dst.(*WarmWire); ok {
+	switch w := dst.(type) {
+	case *WarmWire:
 		return validateWarmResult(w)
+	case *SynthWire:
+		return validateSynthResult(w)
 	}
 	return nil
 }

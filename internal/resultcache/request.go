@@ -35,15 +35,17 @@ const (
 	KindPerf = "perf" // performance sweep via the experiments pool
 	KindRel  = "rel"  // Monte-Carlo lifetime study via the faultsim pool
 	// KindWarm is declared in warm.go: a warm-start snapshot mint.
+	// KindSynth is declared in synth.go: an attack-synthesis sweep.
 )
 
 // Request is one simulation job as submitted to the service. Exactly one
 // kind-specific payload must be present, matching Kind.
 type Request struct {
-	Kind string       `json:"kind"`
-	Perf *PerfRequest `json:"perf,omitempty"`
-	Rel  *RelRequest  `json:"rel,omitempty"`
-	Warm *WarmRequest `json:"warm,omitempty"`
+	Kind  string        `json:"kind"`
+	Perf  *PerfRequest  `json:"perf,omitempty"`
+	Rel   *RelRequest   `json:"rel,omitempty"`
+	Warm  *WarmRequest  `json:"warm,omitempty"`
+	Synth *SynthRequest `json:"synth,omitempty"`
 }
 
 // PerfRequest parameterizes a performance sweep (the sim.Config axes the
@@ -130,7 +132,7 @@ func ParseRequest(r io.Reader) (*Request, error) {
 func (r *Request) Normalize() error {
 	switch r.Kind {
 	case KindPerf:
-		if r.Rel != nil || r.Warm != nil {
+		if r.Rel != nil || r.Warm != nil || r.Synth != nil {
 			return fmt.Errorf("resultcache: kind %q must not carry another kind's payload", r.Kind)
 		}
 		if r.Perf == nil {
@@ -138,7 +140,7 @@ func (r *Request) Normalize() error {
 		}
 		return r.Perf.normalize()
 	case KindRel:
-		if r.Perf != nil || r.Warm != nil {
+		if r.Perf != nil || r.Warm != nil || r.Synth != nil {
 			return fmt.Errorf("resultcache: kind %q must not carry another kind's payload", r.Kind)
 		}
 		if r.Rel == nil {
@@ -146,15 +148,23 @@ func (r *Request) Normalize() error {
 		}
 		return r.Rel.normalize()
 	case KindWarm:
-		if r.Perf != nil || r.Rel != nil {
+		if r.Perf != nil || r.Rel != nil || r.Synth != nil {
 			return fmt.Errorf("resultcache: kind %q must not carry another kind's payload", r.Kind)
 		}
 		if r.Warm == nil {
 			return fmt.Errorf("resultcache: warm request requires a warm payload")
 		}
 		return r.Warm.normalize()
+	case KindSynth:
+		if r.Perf != nil || r.Rel != nil || r.Warm != nil {
+			return fmt.Errorf("resultcache: kind %q must not carry another kind's payload", r.Kind)
+		}
+		if r.Synth == nil {
+			r.Synth = &SynthRequest{}
+		}
+		return r.Synth.normalize()
 	default:
-		return fmt.Errorf("resultcache: unknown kind %q (valid: %s, %s, %s)", r.Kind, KindPerf, KindRel, KindWarm)
+		return fmt.Errorf("resultcache: unknown kind %q (valid: %s, %s, %s, %s)", r.Kind, KindPerf, KindRel, KindWarm, KindSynth)
 	}
 }
 
@@ -343,6 +353,10 @@ func (r *Request) String() string {
 	case KindWarm:
 		if r.Warm != nil {
 			return fmt.Sprintf("warm[%s × %s seed %d warm %d]", r.Warm.Scheme, r.Warm.Workload, r.Warm.Seed, r.Warm.WarmupInstr)
+		}
+	case KindSynth:
+		if r.Synth != nil {
+			return fmt.Sprintf("synth[%s × th %v budget %d]", strings.Join(r.Synth.Mitigations, ","), r.Synth.Thresholds, r.Synth.Budget)
 		}
 	}
 	return "request[" + r.Kind + "]"

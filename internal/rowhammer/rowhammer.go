@@ -101,6 +101,12 @@ type Bank struct {
 	// GoldenLine.
 	data map[int]map[int]bits.Line
 
+	// peakDist / peakRow track the highest disturbance any row has
+	// reached at any point (refreshes clear disturbance, not the peak):
+	// the synthesis searcher's fitness gradient when no flip lands.
+	peakDist int64
+	peakRow  int
+
 	flips []Flip
 	// Activations counts ACT commands (not mitigation refreshes).
 	Activations int
@@ -226,8 +232,20 @@ func (b *Bank) disturb(row int) {
 			continue
 		}
 		b.disturbance[v] += int64(d.w)
+		if b.disturbance[v] > b.peakDist {
+			b.peakDist, b.peakRow = b.disturbance[v], v
+		}
 		b.maybeFlip(v)
 	}
+}
+
+// Peak returns the row holding the highest disturbance ever accumulated
+// and that peak in activation-equivalents (Weight1 units). Unlike
+// Disturbance it survives refreshes: it reports how close the bank ever
+// came to a threshold crossing, which is the searcher's gradient signal
+// on runs that flip nothing.
+func (b *Bank) Peak() (row int, acts float64) {
+	return b.peakRow, float64(b.peakDist) / Weight1
 }
 
 // maybeFlip flips a batch of vulnerable cells each time the victim's

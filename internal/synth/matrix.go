@@ -1,0 +1,145 @@
+// The synthesis artifact: a mitigation-vs-synthesized-attack matrix
+// with one cell per (mitigation, RH-threshold) pair. The JSON form is
+// canonical — fixed field order, fixed cell order (mitigation-major in
+// config order), no maps — so the same search emits the same bytes on
+// any worker, which is what the smoke test's run-twice-and-compare and
+// the fleet's one-vs-four-workers bit-identity checks pin. The nightly
+// baseline gate parses a committed matrix and fails when any mitigation
+// became cheaper to defeat.
+package synth
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"safeguard/internal/rowhammer"
+)
+
+// MatrixSchema versions the artifact; bump on any wire change.
+const MatrixSchema = "synth-matrix/1"
+
+// Matrix is the synthesis result: the configuration that produced it
+// plus one cell per (mitigation, threshold) pair, in sweep order.
+type Matrix struct {
+	Schema      string           `json:"schema"`
+	Bank        rowhammer.Config `json:"bank"`
+	Budget      int              `json:"budget"`
+	Generations int              `json:"generations"`
+	Population  int              `json:"population"`
+	Seed        uint64           `json:"seed"`
+	Engine      string           `json:"engine"`
+	Cells       []Cell           `json:"cells"`
+}
+
+// Cell is one mitigation-vs-attack outcome.
+type Cell struct {
+	Mitigation string `json:"mitigation"`
+	Threshold  int    `json:"threshold"`
+	// Defeated reports the searcher found a payload that flips bits
+	// within the budget; MinBudget is then the smallest activation
+	// budget at which the winning payload still flips.
+	Defeated  bool   `json:"defeated"`
+	MinBudget int    `json:"min_budget,omitempty"`
+	Payload   string `json:"payload"`
+	// Flips/Activations/PeakDisturbance/Stalled describe the winning
+	// payload's full-budget run.
+	Flips           int     `json:"flips"`
+	Activations     int     `json:"activations"`
+	PeakDisturbance float64 `json:"peak_disturbance"`
+	Stalled         bool    `json:"stalled,omitempty"`
+	// Evals counts distinct controller runs the cell's search spent.
+	Evals int `json:"evals"`
+}
+
+// EncodeJSON renders the canonical artifact bytes (indented, trailing
+// newline — the form committed as the nightly baseline).
+func (m *Matrix) EncodeJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ParseMatrix parses artifact bytes, rejecting unknown fields and wrong
+// schemas so a stale or hand-mangled baseline fails loudly.
+func ParseMatrix(b []byte) (*Matrix, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var m Matrix
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("synth: parse matrix: %w", err)
+	}
+	if m.Schema != MatrixSchema {
+		return nil, fmt.Errorf("synth: matrix schema %q, want %q", m.Schema, MatrixSchema)
+	}
+	return &m, nil
+}
+
+// Table renders the matrix as an aligned text table for terminals.
+func (m *Matrix) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "synthesized attacks: budget %d acts, %d gens x %d pop, seed %d, engine %s\n",
+		m.Budget, m.Generations, m.Population, m.Seed, m.Engine)
+	fmt.Fprintf(&b, "%-12s %9s %-9s %10s %7s %9s %7s  %s\n",
+		"MITIGATION", "THRESHOLD", "DEFEATED", "MIN-BUDGET", "FLIPS", "PEAK", "EVALS", "PAYLOAD")
+	for _, c := range m.Cells {
+		defeated, minb := "no", "-"
+		if c.Defeated {
+			defeated = "YES"
+			minb = fmt.Sprint(c.MinBudget)
+		}
+		name := c.Payload
+		if i := strings.IndexByte(name, '\n'); i >= 0 {
+			name = strings.TrimPrefix(name[:i], "payload/1 ")
+		}
+		fmt.Fprintf(&b, "%-12s %9d %-9s %10s %7d %9.1f %7d  %s\n",
+			c.Mitigation, c.Threshold, defeated, minb, c.Flips, c.PeakDisturbance, c.Evals, name)
+	}
+	return b.String()
+}
+
+// CompareBaseline checks the current matrix against a committed
+// baseline and returns an error describing every security regression:
+// a cell the baseline holds that the current run lacks, a mitigation
+// newly defeated, or a defeat at a cheaper activation budget than the
+// baseline records. Improvements (a defeat getting more expensive, a
+// cell no longer defeated, extra cells) pass.
+func CompareBaseline(cur, base *Matrix) error {
+	type key struct {
+		mit string
+		th  int
+	}
+	got := make(map[key]Cell, len(cur.Cells))
+	for _, c := range cur.Cells {
+		got[key{c.Mitigation, c.Threshold}] = c
+	}
+	var regressions []string
+	for _, b := range base.Cells {
+		c, ok := got[key{b.Mitigation, b.Threshold}]
+		switch {
+		case !ok:
+			regressions = append(regressions,
+				fmt.Sprintf("%s/th=%d: cell missing from current matrix", b.Mitigation, b.Threshold))
+		case c.Defeated && !b.Defeated:
+			regressions = append(regressions,
+				fmt.Sprintf("%s/th=%d: newly defeated (min budget %d acts) — baseline held",
+					b.Mitigation, b.Threshold, c.MinBudget))
+		case c.Defeated && b.Defeated && c.MinBudget < b.MinBudget:
+			regressions = append(regressions,
+				fmt.Sprintf("%s/th=%d: defeated at %d acts, baseline needed %d",
+					b.Mitigation, b.Threshold, c.MinBudget, b.MinBudget))
+		}
+	}
+	if len(regressions) == 0 {
+		return nil
+	}
+	sort.Strings(regressions)
+	return fmt.Errorf("synth: %d baseline regression(s):\n  %s",
+		len(regressions), strings.Join(regressions, "\n  "))
+}

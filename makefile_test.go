@@ -119,6 +119,7 @@ func TestMakeFuzzTargetsPackageQualified(t *testing.T) {
 		"./internal/memctrl:FuzzEngineEquivalence",
 		"./internal/snapshot:FuzzSnapshotRoundTrip",
 		"./internal/snapshot:FuzzSnapshotReader",
+		"./internal/payload:FuzzPayloadParse",
 	} {
 		if !strings.Contains(mf, want) {
 			t.Errorf("FUZZ_TARGETS missing %q", want)
@@ -163,7 +164,7 @@ func TestMakeCIComposition(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ci dry-run failed:\n%s", out)
 	}
-	for _, leg := range []string{"lint", "-race", "-shuffle=on", "cover", "fuzz-smoke", "examples-smoke", "sgprof-smoke", "snapshot-smoke", "obs-smoke"} {
+	for _, leg := range []string{"lint", "-race", "-shuffle=on", "cover", "fuzz-smoke", "examples-smoke", "sgprof-smoke", "snapshot-smoke", "obs-smoke", "synth-smoke"} {
 		if !strings.Contains(out, leg) {
 			t.Errorf("make ci lost its %q leg:\n%s", leg, out)
 		}
@@ -172,10 +173,74 @@ func TestMakeCIComposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pkg := range []string{"./internal/jobs", "./internal/resultcache", "./internal/fleet", "./internal/snapshot"} {
+	for _, pkg := range []string{"./internal/jobs", "./internal/resultcache", "./internal/fleet", "./internal/snapshot", "./internal/payload", "./internal/synth"} {
 		if !strings.Contains(string(raw), pkg) {
 			t.Errorf("coverage gate dropped %s", pkg)
 		}
+	}
+}
+
+// synth-smoke must keep the determinism proof it exists for: the same
+// tiny two-mitigation sweep run twice through the real sgattack binary,
+// outputs compared with cmp — plus the schema sniff that pins the JSON
+// mode to the canonical synth-matrix/1 artifact.
+func TestMakeSynthSmokeComposition(t *testing.T) {
+	t.Parallel()
+	out, err := runMake(t, "synth-smoke", "GO=echo", "--just-print")
+	if err != nil {
+		t.Fatalf("synth-smoke dry-run failed:\n%s", out)
+	}
+	for _, want := range []string{
+		"./cmd/sgattack", "-synth", "-json",
+		"-synth-mitigations none,para", "-synth-thresholds 300",
+		"cmp", "synth-matrix/1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("synth-smoke recipe missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The nightly synthesis gate: synth-baseline-check must rerun the
+// committed-baseline sweep, compare via -baseline against the committed
+// matrix, and leave the fresh matrix in synth_matrix.json for the
+// artifact upload. synth-baseline must regenerate that same committed
+// file from identical knobs, or the gate compares apples to oranges.
+func TestMakeSynthBaselineComposition(t *testing.T) {
+	t.Parallel()
+	out, err := runMake(t, "synth-baseline-check", "GO=echo", "--just-print")
+	if err != nil {
+		t.Fatalf("synth-baseline-check dry-run failed:\n%s", out)
+	}
+	for _, want := range []string{"-synth", "-baseline testdata/synth_baseline.json", "synth_matrix.json"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("synth-baseline-check recipe missing %q:\n%s", want, out)
+		}
+	}
+	gen, err := runMake(t, "synth-baseline", "GO=echo", "--just-print")
+	if err != nil {
+		t.Fatalf("synth-baseline dry-run failed:\n%s", gen)
+	}
+	if !strings.Contains(gen, "testdata/synth_baseline.json") {
+		t.Fatalf("synth-baseline does not write the committed baseline path:\n%s", gen)
+	}
+	// Same knobs both sides: strip the target-specific tail and the two
+	// sgattack invocations must share the flag prefix.
+	flags := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if i := strings.Index(line, "-synth -json"); i >= 0 {
+				tail := line[i:]
+				if j := strings.Index(tail, " >"); j >= 0 {
+					tail = tail[:j]
+				}
+				return strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(tail), "-baseline testdata/synth_baseline.json"))
+			}
+		}
+		return ""
+	}
+	cf, gf := flags(out), flags(gen)
+	if cf == "" || cf != gf {
+		t.Errorf("baseline knobs drifted between check (%q) and regenerate (%q)", cf, gf)
 	}
 }
 
@@ -262,7 +327,7 @@ func TestMakeLintVersionsPinned(t *testing.T) {
 // renamed cmd can't silently break bench or the smokes.
 func TestMakefileReferencedPathsExist(t *testing.T) {
 	t.Parallel()
-	for _, p := range []string{"cmd/bench2json", "cmd/sgprof", "cmd/sgperf", "cmd/sgserve", "cmd/sgworker", "cmd/sgtop", "internal/ecc", "internal/memctrl", "internal/fleet", "internal/snapshot", "examples"} {
+	for _, p := range []string{"cmd/bench2json", "cmd/sgprof", "cmd/sgperf", "cmd/sgserve", "cmd/sgworker", "cmd/sgtop", "cmd/sgattack", "internal/ecc", "internal/memctrl", "internal/fleet", "internal/snapshot", "internal/payload", "internal/synth", "examples", "testdata/synth_baseline.json"} {
 		if _, err := os.Stat(filepath.FromSlash(p)); err != nil {
 			t.Errorf("Makefile-referenced path %s: %v", p, err)
 		}

@@ -97,7 +97,7 @@ func TestWorkflowStructure(t *testing.T) {
 func TestCIWorkflowCoversPushPRAndMatrix(t *testing.T) {
 	t.Parallel()
 	body := readWorkflow(t, "ci.yml")
-	for _, want := range []string{"push:", "pull_request:", "matrix:", "stable", "oldstable", "cache: true", "make ci", "make bench-quick", "make fleet-chaos", "make snapshot-smoke"} {
+	for _, want := range []string{"push:", "pull_request:", "matrix:", "stable", "oldstable", "cache: true", "make ci", "make bench-quick", "make fleet-chaos", "make snapshot-smoke", "make synth-smoke"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("ci.yml missing %q", want)
 		}
@@ -111,6 +111,7 @@ func TestNightlyWorkflowScheduleAndArtifacts(t *testing.T) {
 		"schedule:", "cron:", "workflow_dispatch:",
 		"make fuzz-smoke FUZZTIME=60s", "make bench-check",
 		"make fleet-chaos FLEET_CHAOS_COUNT=",
+		"make synth-baseline-check", "synth_matrix.json",
 		"upload-artifact", "BENCH_*.json",
 	} {
 		if !strings.Contains(body, want) {
